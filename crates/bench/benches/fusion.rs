@@ -1,0 +1,52 @@
+//! Micro-benchmarks for Pattern-Fusion's building blocks: the ball query
+//! (K × pool distance scans) and a full fusion run on the intro workload.
+
+use cfp_core::{ball_radius, pattern_distance, FusionConfig, Pattern, PatternFusion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fusion(c: &mut Criterion) {
+    let db = cfp_datagen::diag_plus(24, 12, 18);
+    let pf = PatternFusion::new(&db, FusionConfig::new(20, 12).with_pool_max_len(2));
+    let pool: Vec<Pattern> = pf.mine_initial_pool();
+    let radius = ball_radius(0.5);
+
+    let mut group = c.benchmark_group("fusion");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function(format!("ball_scan_pool{}", pool.len()), |b| {
+        b.iter(|| {
+            let seed = &pool[0];
+            pool.iter()
+                .filter(|p| pattern_distance(black_box(seed), p) <= radius)
+                .count()
+        })
+    });
+
+    group.bench_function("full_run_diag24_plus", |b| {
+        b.iter(|| {
+            let config = FusionConfig::new(20, 12)
+                .with_pool_max_len(2)
+                .with_parallel(false)
+                .with_seed(1);
+            PatternFusion::new(black_box(&db), config).run()
+        })
+    });
+
+    group.bench_function("full_run_diag24_plus_parallel", |b| {
+        b.iter(|| {
+            let config = FusionConfig::new(20, 12)
+                .with_pool_max_len(2)
+                .with_parallel(true)
+                .with_seed(1);
+            PatternFusion::new(black_box(&db), config).run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

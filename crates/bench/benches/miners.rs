@@ -1,0 +1,51 @@
+//! Micro-benchmarks for the baseline miners on two characteristic
+//! workloads: a QUEST-style basket database (benign) and a small diagonal
+//! table (the adversarial shape of Figure 6, scaled to bench size).
+
+use cfp_miners::{apriori, closed, eclat, fp_growth, maximal, top_k_closed, Budget};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_miners(c: &mut Criterion) {
+    let quest = cfp_datagen::quest(&cfp_datagen::QuestConfig {
+        n_transactions: 500,
+        n_items: 60,
+        ..Default::default()
+    });
+    let diag = cfp_datagen::diag(14); // C(14,7) = 3432 maximal patterns
+
+    let mut group = c.benchmark_group("miners");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("apriori_quest_s10", |b| {
+        b.iter(|| apriori(black_box(&quest), 10, &Budget::unlimited()))
+    });
+    group.bench_function("eclat_quest_s10", |b| {
+        b.iter(|| eclat(black_box(&quest), 10, &Budget::unlimited()))
+    });
+    group.bench_function("fp_growth_quest_s10", |b| {
+        b.iter(|| fp_growth(black_box(&quest), 10, &Budget::unlimited()))
+    });
+    group.bench_function("closed_quest_s10", |b| {
+        b.iter(|| closed(black_box(&quest), 10, &Budget::unlimited()))
+    });
+    group.bench_function("maximal_quest_s10", |b| {
+        b.iter(|| maximal(black_box(&quest), 10, &Budget::unlimited()))
+    });
+    group.bench_function("topk_quest_k50_l2", |b| {
+        b.iter(|| top_k_closed(black_box(&quest), 50, 2, 1, &Budget::unlimited()))
+    });
+    group.bench_function("maximal_diag14_s7", |b| {
+        b.iter(|| maximal(black_box(&diag), 7, &Budget::unlimited()))
+    });
+    group.bench_function("closed_diag14_s7", |b| {
+        b.iter(|| closed(black_box(&diag), 7, &Budget::unlimited()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

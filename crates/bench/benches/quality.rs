@@ -1,0 +1,43 @@
+//! Micro-benchmarks for the quality-evaluation model: Δ(AP_Q) over
+//! result/complete sets of the sizes the paper's experiments use.
+
+use cfp_itemset::Itemset;
+use cfp_quality::{approximation_error, edit_distance, uniform_sample};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn random_patterns(n: usize, size: usize, universe: usize, seed: u64) -> Vec<Itemset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let idx = rand::seq::index::sample(&mut rng, universe, size);
+            Itemset::from_items(&idx.into_iter().map(|i| i as u32).collect::<Vec<_>>())
+        })
+        .collect()
+}
+
+fn bench_quality(c: &mut Criterion) {
+    let q = random_patterns(1000, 20, 40, 1); // Fig. 7 scale
+    let p = uniform_sample(&q, 100, 2);
+    let a = &q[0];
+    let b = &q[1];
+
+    let mut group = c.benchmark_group("quality");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("edit_distance_size20", |bench| {
+        bench.iter(|| edit_distance(black_box(a), black_box(b)))
+    });
+    group.bench_function("delta_p100_q1000", |bench| {
+        bench.iter(|| approximation_error(black_box(&p), black_box(&q)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

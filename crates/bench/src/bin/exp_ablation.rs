@@ -1,0 +1,228 @@
+//! Ablation study: the design choices DESIGN.md calls out.
+//!
+//! Sweeps, on the intro's Diag40+20 construction (one colossal pattern among
+//! `C(40,20)` mid-sized ones):
+//!
+//! * **τ (ball radius)** — smaller τ widens the ball and speeds convergence
+//!   but admits foreign members; larger τ narrows it toward exact-support
+//!   cores.
+//! * **attempts per seed** — more randomized agglomeration attempts per seed
+//!   raise colossal-recovery probability at linear cost.
+//! * **closure post-step** — closing fused patterns accelerates convergence
+//!   on closed-lattice-rich data.
+//! * **initial pool size bound** — pools of size ≤ 1, 2, 3.
+//!
+//! Each row reports whether the colossal pattern (41..79, size 39) was
+//! recovered, the iteration count and the runtime, averaged over trials.
+//!
+//! Run: `cargo run --release -p cfp-bench --bin exp_ablation [--fast]`
+
+use cfp_bench::{flag, time, Table};
+use cfp_core::{FusionConfig, PatternFusion};
+use cfp_itemset::{Itemset, TransactionDb};
+
+struct Outcome {
+    recovered: f64,
+    avg_iters: f64,
+    avg_secs: f64,
+    avg_max_size: f64,
+}
+
+fn run_trials(
+    db: &TransactionDb,
+    target: &Itemset,
+    make: impl Fn(u64) -> FusionConfig,
+    trials: u64,
+) -> Outcome {
+    let mut recovered = 0u64;
+    let mut iters = 0usize;
+    let mut total = 0.0;
+    let mut max_size = 0usize;
+    for t in 0..trials {
+        let config = make(t);
+        let (result, d) = time(|| PatternFusion::new(db, config).run());
+        if result.patterns.iter().any(|p| &p.items == target) {
+            recovered += 1;
+        }
+        iters += result.stats.iterations.len();
+        max_size += result.max_pattern_len();
+        total += d.as_secs_f64();
+    }
+    Outcome {
+        recovered: recovered as f64 / trials as f64,
+        avg_iters: iters as f64 / trials as f64,
+        avg_secs: total / trials as f64,
+        avg_max_size: max_size as f64 / trials as f64,
+    }
+}
+
+fn main() {
+    let fast = flag("--fast");
+    let trials: u64 = if fast { 2 } else { 5 };
+    let (n, extra_rows, extra_items, minsup) = if fast {
+        (16u32, 8u32, 12u32, 8usize)
+    } else {
+        (40, 20, 39, 20)
+    };
+    let db = cfp_datagen::diag_plus(n, extra_rows, extra_items);
+    let colossal: Vec<u32> = (n + 1..=n + extra_items)
+        .map(|i| db.item_map().internal(i).unwrap())
+        .collect();
+    let target = Itemset::from_items(&colossal);
+    let k = 20usize;
+
+    // --- τ sweep -----------------------------------------------------------
+    let mut t1 = Table::new(vec![
+        "tau",
+        "recovery_rate",
+        "avg_iters",
+        "avg_secs",
+        "avg_max_size",
+    ]);
+    for tau in [0.3, 0.5, 0.7, 0.9] {
+        let o = run_trials(
+            &db,
+            &target,
+            |t| {
+                FusionConfig::new(k, minsup)
+                    .with_pool_max_len(2)
+                    .with_tau(tau)
+                    .with_seed(0xAB1 + t)
+            },
+            trials,
+        );
+        t1.row(vec![
+            format!("{tau:.1}"),
+            format!("{:.2}", o.recovered),
+            format!("{:.1}", o.avg_iters),
+            format!("{:.3}", o.avg_secs),
+            format!("{:.1}", o.avg_max_size),
+        ]);
+    }
+    t1.print("Ablation 1: core ratio tau");
+
+    // --- attempts per seed --------------------------------------------------
+    let mut t2 = Table::new(vec![
+        "attempts",
+        "recovery_rate",
+        "avg_iters",
+        "avg_secs",
+        "avg_max_size",
+    ]);
+    for attempts in [1usize, 2, 4, 8, 16] {
+        let o = run_trials(
+            &db,
+            &target,
+            |t| {
+                FusionConfig::new(k, minsup)
+                    .with_pool_max_len(2)
+                    .with_attempts_per_seed(attempts)
+                    .with_seed(0xAB2 + t)
+            },
+            trials,
+        );
+        t2.row(vec![
+            attempts.to_string(),
+            format!("{:.2}", o.recovered),
+            format!("{:.1}", o.avg_iters),
+            format!("{:.3}", o.avg_secs),
+            format!("{:.1}", o.avg_max_size),
+        ]);
+    }
+    t2.print("Ablation 2: agglomeration attempts per seed");
+
+    // --- closure post-step ---------------------------------------------------
+    let mut t3 = Table::new(vec![
+        "closure_step",
+        "recovery_rate",
+        "avg_iters",
+        "avg_secs",
+        "avg_max_size",
+    ]);
+    for on in [false, true] {
+        let o = run_trials(
+            &db,
+            &target,
+            |t| {
+                FusionConfig::new(k, minsup)
+                    .with_pool_max_len(2)
+                    .with_closure_step(on)
+                    .with_seed(0xAB3 + t)
+            },
+            trials,
+        );
+        t3.row(vec![
+            on.to_string(),
+            format!("{:.2}", o.recovered),
+            format!("{:.1}", o.avg_iters),
+            format!("{:.3}", o.avg_secs),
+            format!("{:.1}", o.avg_max_size),
+        ]);
+    }
+    t3.print("Ablation 3: closure post-step");
+
+    // --- result archive (survival lottery) -----------------------------------
+    // Without the archive, the final answer is the last pool only (the
+    // paper's literal Algorithm 1); a colossal pattern found in iteration 0
+    // can die later merely by never being drawn as a seed.
+    let mut t5 = Table::new(vec![
+        "archive",
+        "recovery_rate",
+        "avg_iters",
+        "avg_secs",
+        "avg_max_size",
+    ]);
+    let lottery_trials = trials * 4; // the effect is probabilistic; more trials
+    for on in [true, false] {
+        let o = run_trials(
+            &db,
+            &target,
+            |t| {
+                FusionConfig::new(k, minsup)
+                    .with_pool_max_len(2)
+                    .with_archive(on)
+                    .with_seed(0xAB5 + t)
+            },
+            lottery_trials,
+        );
+        t5.row(vec![
+            on.to_string(),
+            format!("{:.2}", o.recovered),
+            format!("{:.1}", o.avg_iters),
+            format!("{:.3}", o.avg_secs),
+            format!("{:.1}", o.avg_max_size),
+        ]);
+    }
+    t5.print("Ablation 5: cross-iteration result archive");
+
+    // --- initial pool bound ---------------------------------------------------
+    let mut t4 = Table::new(vec![
+        "pool_max_len",
+        "pool_size",
+        "recovery_rate",
+        "avg_secs",
+        "avg_max_size",
+    ]);
+    for len in [1usize, 2, 3] {
+        let probe = PatternFusion::new(&db, FusionConfig::new(k, minsup).with_pool_max_len(len));
+        let pool_size = probe.mine_initial_pool().len();
+        let o = run_trials(
+            &db,
+            &target,
+            |t| {
+                FusionConfig::new(k, minsup)
+                    .with_pool_max_len(len)
+                    .with_seed(0xAB4 + t)
+            },
+            trials,
+        );
+        t4.row(vec![
+            len.to_string(),
+            pool_size.to_string(),
+            format!("{:.2}", o.recovered),
+            format!("{:.3}", o.avg_secs),
+            format!("{:.1}", o.avg_max_size),
+        ]);
+    }
+    t4.print("Ablation 4: initial pool size bound");
+}

@@ -1,0 +1,87 @@
+//! Figure 7: approximation error on Diag40 — Pattern-Fusion vs uniform
+//! sampling.
+//!
+//! Diag40 at minimum support 20: the complete answer is the `C(40,20)`
+//! size-20 patterns — far too many to enumerate, so (like the paper) the
+//! complete set is *randomly sampled* for comparison. Pattern-Fusion starts
+//! from the 820 patterns of size ≤ 2 and mines K patterns for K from 10 to
+//! 450; the paper's observation is that its Δ(AP_Q) tracks the uniform-
+//! sampling baseline, i.e. fusion does not get stuck in a corner of the
+//! pattern space.
+//!
+//! Run: `cargo run --release -p cfp-bench --bin exp_fig7 [--fast]
+//!       [--sample N]`
+
+use cfp_bench::{arg_usize, flag, Table};
+use cfp_core::{FusionConfig, PatternFusion};
+use cfp_itemset::Itemset;
+use cfp_quality::{approximation_error, uniform_sampling_error};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniformly random size-20 subsets of the 40 integers — a uniform sample of
+/// the complete answer set (every 20-subset is a closed frequent pattern of
+/// Diag40 at support 20).
+fn sample_complete_set(n_samples: usize, seed: u64) -> Vec<Itemset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_samples)
+        .map(|_| {
+            let idx = rand::seq::index::sample(&mut rng, 40, 20);
+            Itemset::from_items(&idx.into_iter().map(|i| i as u32).collect::<Vec<_>>())
+        })
+        .collect()
+}
+
+fn main() {
+    let fast = flag("--fast");
+    let n_sample = arg_usize("--sample", if fast { 300 } else { 2000 });
+    let ks: &[usize] = if fast {
+        &[10, 50, 100]
+    } else {
+        &[10, 50, 100, 150, 200, 250, 300, 350, 400, 450]
+    };
+
+    let db = cfp_datagen::diag(40);
+    let minsup = 20usize;
+    let q = sample_complete_set(n_sample, 0xF17);
+
+    let mut table = Table::new(vec![
+        "K",
+        "initial_pool",
+        "pf_mined",
+        "pf_error",
+        "uniform_sampling_error",
+    ]);
+
+    for &k in ks {
+        let config = FusionConfig::new(k, minsup)
+            .with_pool_max_len(2)
+            .with_seed(0xF170 + k as u64);
+        let pf = PatternFusion::new(&db, config);
+        let pool = pf.mine_initial_pool();
+        let pool_size = pool.len();
+        let result = pf.run_with_pool(pool);
+
+        // Compare against the sampled complete set; internal item ids equal
+        // the integers 1..=40 minus 1, and the sample uses ids 0..40 — the
+        // same dense space, so itemsets are directly comparable.
+        let p: Vec<Itemset> = result.patterns.iter().map(|pt| pt.items.clone()).collect();
+        let pf_err = approximation_error(&p, &q).unwrap_or(f64::NAN);
+        let ue =
+            uniform_sampling_error(&q, k.min(q.len()), 8, 0xF171 + k as u64).unwrap_or(f64::NAN);
+
+        table.row(vec![
+            k.to_string(),
+            pool_size.to_string(),
+            result.patterns.len().to_string(),
+            format!("{pf_err:.4}"),
+            format!("{ue:.4}"),
+        ]);
+        eprintln!("K={k} done (pf {pf_err:.4}, uniform {ue:.4})");
+    }
+    table.print("Figure 7: approximation error on Diag40 (minsup 20)");
+    println!(
+        "shape check: the paper's initial pool is 820 patterns of size <= 2; both\n\
+         curves fall with K and stay within the same band (~0.15-0.45)."
+    );
+}

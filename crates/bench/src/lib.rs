@@ -1,0 +1,160 @@
+//! Experiment harness for regenerating the paper's figures and tables.
+//!
+//! Each `exp_fig*` binary in `src/bin/` reproduces one artifact of the
+//! paper's evaluation section (see `DESIGN.md` §5 for the index) and prints
+//! the same rows/series the paper reports, plus a CSV block for plotting.
+//! This module holds the shared plumbing: wall-clock timing, budget-aware
+//! result formatting, aligned table printing, and a tiny argument parser
+//! (`--fast` shrinks every experiment to smoke-test scale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and wall-clock duration.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Formats a duration as seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a budgeted miner timing: the plain seconds when the run
+/// completed, `>x.xxx (budget)` when it was capped — the analogue of the
+/// paper's "did not finish in 10 hours" entries.
+pub fn secs_capped(d: Duration, complete: bool) -> String {
+    if complete {
+        secs(d)
+    } else {
+        format!(">{} (budget)", secs(d))
+    }
+}
+
+/// A fixed-width console table that doubles as CSV.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the same data as CSV (for plotting scripts).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the aligned table followed by a CSV block.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+        println!("\n--- csv ---");
+        print!("{}", self.to_csv());
+        println!("--- end csv ---");
+    }
+}
+
+/// Whether a bare `--flag` is present in the process arguments.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Parses `--name value` from the process arguments, with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = Table::new(vec!["n", "time"]);
+        t.row(vec!["5", "0.001"]);
+        t.row(vec!["4000", "12.5"]);
+        let rendered = t.render();
+        assert!(rendered.contains("n     time"));
+        assert!(rendered.lines().count() == 4);
+        assert_eq!(t.to_csv(), "n,time\n5,0.001\n4000,12.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+    }
+
+    #[test]
+    fn capped_formatting() {
+        let d = Duration::from_millis(1500);
+        assert_eq!(secs_capped(d, true), "1.500");
+        assert_eq!(secs_capped(d, false), ">1.500 (budget)");
+    }
+
+    #[test]
+    fn time_measures_something() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

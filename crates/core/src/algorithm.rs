@@ -1,0 +1,510 @@
+//! The Pattern-Fusion main loop (paper Algorithms 1 and 2).
+//!
+//! ```text
+//! Algorithm 1 (Main):             Algorithm 2 (Pattern_Fusion):
+//!   do                              draw K seeds at random
+//!     S ← Pattern_Fusion(Pool)      for each seed α:
+//!     Pool ← S                        CoreList ← {β : Dist(α,β) ≤ r(τ)}
+//!   while |S| > K                     S ← S ∪ Fusion(α.CoreList)
+//!   return S                        return S
+//! ```
+//!
+//! Termination is driven by Lemma 1 (fused support sets only shrink) and
+//! Lemma 5 (the minimum pattern size in the pool is non-decreasing); a
+//! stagnation check and an iteration cap guard degenerate configurations.
+//!
+//! Seed processing is embarrassingly parallel; each seed's RNG is derived
+//! from the master seed and the seed's position, so results are bit-for-bit
+//! identical at any thread count.
+
+use crate::config::FusionConfig;
+use crate::distance::{ball_radius, pattern_distance};
+use crate::fusion::fuse_ball;
+use crate::pattern::Pattern;
+use crate::stats::{IterationStats, RunStats};
+use cfp_itemset::{ClosureOperator, Itemset, TransactionDb, VerticalIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A configured Pattern-Fusion run over one database.
+pub struct PatternFusion<'a> {
+    db: &'a TransactionDb,
+    index: VerticalIndex,
+    config: FusionConfig,
+}
+
+/// The outcome of a run: the approximation to the colossal patterns, plus
+/// run statistics.
+#[derive(Debug, Clone)]
+pub struct FusionResult {
+    /// Mined patterns, sorted by (size desc, support desc, itemset).
+    pub patterns: Vec<Pattern>,
+    /// Per-iteration statistics.
+    pub stats: RunStats,
+}
+
+impl FusionResult {
+    /// The largest pattern size mined (0 when empty).
+    pub fn max_pattern_len(&self) -> usize {
+        self.patterns.iter().map(Pattern::len).max().unwrap_or(0)
+    }
+
+    /// Patterns of size ≥ `len` (the colossal slice of the result).
+    pub fn patterns_of_len_at_least(&self, len: usize) -> Vec<&Pattern> {
+        self.patterns.iter().filter(|p| p.len() >= len).collect()
+    }
+}
+
+impl<'a> PatternFusion<'a> {
+    /// Prepares a run (builds the vertical index).
+    pub fn new(db: &'a TransactionDb, config: FusionConfig) -> Self {
+        Self {
+            db,
+            index: VerticalIndex::new(db),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FusionConfig {
+        &self.config
+    }
+
+    /// Mines the initial pool: the complete set of frequent patterns of size
+    /// ≤ `pool_max_len` with their support sets (paper §2.3, phase 1).
+    pub fn mine_initial_pool(&self) -> Vec<Pattern> {
+        cfp_miners::initial_pool(self.db, self.config.min_count, self.config.pool_max_len)
+            .into_iter()
+            .map(Pattern::from)
+            .collect()
+    }
+
+    /// Runs the full algorithm: mines the initial pool, then iterates
+    /// fusion until at most K patterns remain.
+    pub fn run(&self) -> FusionResult {
+        let pool = self.mine_initial_pool();
+        self.run_with_pool(pool)
+    }
+
+    /// Runs iterative fusion from a caller-supplied pool (phase 2 only).
+    pub fn run_with_pool(&self, mut pool: Vec<Pattern>) -> FusionResult {
+        let cfg = &self.config;
+        let mut stats = RunStats {
+            initial_pool_size: pool.len(),
+            ..Default::default()
+        };
+        if pool.is_empty() {
+            return FusionResult {
+                patterns: Vec::new(),
+                stats,
+            };
+        }
+        let radius = ball_radius(cfg.tau);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Cross-iteration archive of the largest patterns seen (see
+        // `FusionConfig::archive`): protects already-found colossal patterns
+        // from the seed-drawing survival lottery.
+        let mut archive: Vec<Pattern> = Vec::new();
+
+        for iteration in 0..cfg.max_iterations {
+            let t0 = Instant::now();
+            let n_seeds = cfg.k.min(pool.len()).max(1);
+            let seed_positions: Vec<usize> =
+                rand::seq::index::sample(&mut rng, pool.len(), n_seeds).into_vec();
+
+            let per_seed = self.process_seeds(&pool, &seed_positions, radius, iteration);
+
+            // Merge, deduplicating by itemset.
+            let mut seen: HashSet<Itemset> = HashSet::new();
+            let mut next: Vec<Pattern> = Vec::new();
+            for batch in per_seed {
+                for p in batch {
+                    if seen.insert(p.items.clone()) {
+                        next.push(p);
+                    }
+                }
+            }
+
+            if cfg.archive {
+                archive.extend(next.iter().cloned());
+                dedup_sorted(&mut archive);
+                archive.truncate(cfg.k);
+            }
+
+            let (min_len, max_len) = next.iter().fold((usize::MAX, 0), |(lo, hi), p| {
+                (lo.min(p.len()), hi.max(p.len()))
+            });
+            stats.iterations.push(IterationStats {
+                pool_size: pool.len(),
+                seeds: n_seeds,
+                generated: next.len(),
+                min_pattern_len: if next.is_empty() { 0 } else { min_len },
+                max_pattern_len: max_len,
+                elapsed: t0.elapsed(),
+            });
+
+            let stagnated = next.len() == pool.len() && {
+                let old: HashSet<&Itemset> = pool.iter().map(|p| &p.items).collect();
+                next.iter().all(|p| old.contains(&p.items))
+            };
+            pool = next;
+            if pool.len() <= cfg.k {
+                stats.converged = true;
+                break;
+            }
+            if stagnated {
+                // The pool reproduces itself exactly; the paper's loop would
+                // spin forever. Return it as the answer.
+                break;
+            }
+        }
+
+        if cfg.archive {
+            let cap = pool.len().max(cfg.k);
+            pool.extend(archive);
+            dedup_sorted(&mut pool);
+            pool.truncate(cap);
+        } else {
+            dedup_sorted(&mut pool);
+        }
+        FusionResult {
+            patterns: pool,
+            stats,
+        }
+    }
+
+    /// Ball query + fusion for each seed, optionally in parallel. Every seed
+    /// position gets an RNG derived from (master seed, iteration, position),
+    /// making the output independent of the thread schedule.
+    fn process_seeds(
+        &self,
+        pool: &[Pattern],
+        seed_positions: &[usize],
+        radius: f64,
+        iteration: usize,
+    ) -> Vec<Vec<Pattern>> {
+        let work = |order: usize, pool_idx: usize| -> Vec<Pattern> {
+            let seed = &pool[pool_idx];
+            let mut ball: Vec<usize> = (0..pool.len())
+                .filter(|&j| j != pool_idx && pattern_distance(seed, &pool[j]) <= radius)
+                .collect();
+            let mut seed_rng = StdRng::seed_from_u64(splitmix64(
+                self.config
+                    .seed
+                    .wrapping_add((iteration as u64) << 32)
+                    .wrapping_add(order as u64),
+            ));
+            // Bounded breadth: subsample oversized balls (see
+            // `FusionConfig::max_ball_size`).
+            if ball.len() > self.config.max_ball_size {
+                ball =
+                    rand::seq::index::sample(&mut seed_rng, ball.len(), self.config.max_ball_size)
+                        .into_iter()
+                        .map(|i| ball[i])
+                        .collect();
+            }
+            let mut out = fuse_ball(
+                seed,
+                &ball,
+                pool,
+                &self.config.fusion_params(),
+                &mut seed_rng,
+            );
+            if self.config.closure_step {
+                let cl = ClosureOperator::new(&self.index);
+                for p in &mut out {
+                    p.items = cl.closure_of_tidset(&p.tids);
+                }
+            }
+            out
+        };
+
+        let threads = if self.config.parallel {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(seed_positions.len().max(1))
+        } else {
+            1
+        };
+
+        if threads <= 1 {
+            return seed_positions
+                .iter()
+                .enumerate()
+                .map(|(order, &idx)| work(order, idx))
+                .collect();
+        }
+
+        let chunk = seed_positions.len().div_ceil(threads);
+        let mut results: Vec<Vec<Pattern>> = vec![Vec::new(); seed_positions.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, slice) in seed_positions.chunks(chunk).enumerate() {
+                let base = t * chunk;
+                let work = &work;
+                handles.push(scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(off, &idx)| (base + off, work(base + off, idx)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (order, out) in h.join().expect("fusion worker panicked") {
+                    results[order] = out;
+                }
+            }
+        });
+        results
+    }
+}
+
+/// Sorts by (size desc, support desc, itemset) and removes itemset
+/// duplicates.
+fn dedup_sorted(patterns: &mut Vec<Pattern>) {
+    patterns.sort_by(|a, b| {
+        b.len()
+            .cmp(&a.len())
+            .then_with(|| b.support().cmp(&a.support()))
+            .then_with(|| a.items.cmp(&b.items))
+    });
+    patterns.dedup_by(|a, b| a.items == b.items);
+}
+
+/// SplitMix64 finalizer: decorrelates derived RNG seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FusionConfig;
+
+    /// The introduction's flagship scenario, scaled down: Diag16 plus 8 rows
+    /// of a 12-item block. Exhaustive miners face C(16,8) = 12 870 mid-sized
+    /// patterns; Pattern-Fusion must still surface the colossal block.
+    #[test]
+    fn finds_the_intro_colossal_pattern() {
+        let db = cfp_datagen::diag_plus(16, 8, 12);
+        let config = FusionConfig::new(10, 8).with_pool_max_len(2).with_seed(11);
+        let result = PatternFusion::new(&db, config).run();
+        let colossal: Vec<u32> = (17..=28)
+            .map(|i| db.item_map().internal(i).unwrap())
+            .collect();
+        let target = Itemset::from_items(&colossal);
+        assert!(
+            result.patterns.iter().any(|p| p.items == target),
+            "colossal block (41..79 analogue) missing: {:?}",
+            result.patterns.iter().take(5).collect::<Vec<_>>()
+        );
+        assert!(result.stats.converged);
+    }
+
+    #[test]
+    fn result_supports_are_exact_and_frequent() {
+        let db = cfp_datagen::diag_plus(12, 6, 8);
+        let config = FusionConfig::new(8, 6).with_pool_max_len(2).with_seed(3);
+        let pf = PatternFusion::new(&db, config);
+        let result = pf.run();
+        let index = VerticalIndex::new(&db);
+        assert!(!result.patterns.is_empty());
+        for p in &result.patterns {
+            assert_eq!(p.tids, index.tidset(&p.items), "tid-set drift on {p:?}");
+            assert!(p.support() >= 6);
+        }
+    }
+
+    #[test]
+    fn lemma5_min_pool_size_is_non_decreasing() {
+        let db = cfp_datagen::diag_plus(14, 7, 10);
+        let config = FusionConfig::new(6, 7).with_pool_max_len(2).with_seed(5);
+        let result = PatternFusion::new(&db, config).run();
+        assert!(
+            result.stats.min_sizes_non_decreasing(),
+            "{:?}",
+            result.stats.iterations
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree_exactly() {
+        let db = cfp_datagen::diag_plus(12, 6, 8);
+        let mk = |parallel| {
+            let config = FusionConfig::new(6, 6)
+                .with_pool_max_len(2)
+                .with_seed(17)
+                .with_parallel(parallel);
+            PatternFusion::new(&db, config).run()
+        };
+        let a = mk(true);
+        let b = mk(false);
+        let pa: Vec<_> = a.patterns.iter().map(|p| p.items.clone()).collect();
+        let pb: Vec<_> = b.patterns.iter().map(|p| p.items.clone()).collect();
+        assert_eq!(pa, pb, "thread count must not affect results");
+    }
+
+    #[test]
+    fn same_seed_same_result_different_seed_usually_differs() {
+        let db = cfp_datagen::diag(20);
+        let run = |s| {
+            let config = FusionConfig::new(5, 10).with_pool_max_len(2).with_seed(s);
+            PatternFusion::new(&db, config).run()
+        };
+        let a1 = run(1);
+        let a2 = run(1);
+        assert_eq!(
+            a1.patterns.iter().map(|p| &p.items).collect::<Vec<_>>(),
+            a2.patterns.iter().map(|p| &p.items).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_pool_returns_empty_result() {
+        // Min support above every item's support → empty pool.
+        let db = cfp_datagen::diag(6);
+        let config = FusionConfig::new(5, 100);
+        let result = PatternFusion::new(&db, config).run();
+        assert!(result.patterns.is_empty());
+        assert_eq!(result.stats.initial_pool_size, 0);
+        assert_eq!(result.max_pattern_len(), 0);
+    }
+
+    #[test]
+    fn closure_step_produces_closed_patterns() {
+        let db = cfp_datagen::diag_plus(10, 5, 7);
+        let config = FusionConfig::new(6, 5)
+            .with_pool_max_len(2)
+            .with_seed(23)
+            .with_closure_step(true);
+        let result = PatternFusion::new(&db, config).run();
+        let index = VerticalIndex::new(&db);
+        let cl = ClosureOperator::new(&index);
+        for p in &result.patterns {
+            assert_eq!(cl.closure(&p.items), p.items, "{p:?} not closed");
+        }
+    }
+
+    /// The survival-lottery regression: on the paper's Diag40+20 instance,
+    /// iteration 0 always fuses the colossal block, but pool replacement can
+    /// drop it when no later seed lands in its ball. The archive must make
+    /// recovery reliable across seeds.
+    #[test]
+    fn archive_protects_colossal_patterns_across_iterations() {
+        let db = cfp_datagen::diag_plus(40, 20, 39);
+        let colossal: Vec<u32> = (41..=79)
+            .map(|i| db.item_map().internal(i).unwrap())
+            .collect();
+        let target = Itemset::from_items(&colossal);
+        for seed in [7u64, 8, 9, 10] {
+            let config = FusionConfig::new(20, 20)
+                .with_pool_max_len(2)
+                .with_seed(seed);
+            let result = PatternFusion::new(&db, config).run();
+            assert!(
+                result.patterns.iter().any(|p| p.items == target),
+                "colossal lost with archive on (seed {seed})"
+            );
+            assert!(result.patterns.len() <= 20, "result capped at K");
+        }
+    }
+
+    #[test]
+    fn tau_one_restricts_balls_to_identical_support_sets() {
+        // At τ = 1 the ball radius is 0: only patterns with *identical*
+        // support sets fuse. Planted blocks still assemble (all subsets of a
+        // block share its tid-set), but nothing else can mix in.
+        let data = cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+            n_rows: 30,
+            pattern_sizes: vec![10, 8],
+            pattern_support: 10,
+            max_row_overlap: 4,
+            row_len: 0,
+            filler_rows_lo: 2,
+            filler_rows_hi: 3,
+            seed: 2,
+        });
+        let config = FusionConfig::new(6, 10)
+            .with_pool_max_len(2)
+            .with_tau(1.0)
+            .with_seed(3);
+        let result = PatternFusion::new(&data.db, config).run();
+        for planted in &data.patterns {
+            assert!(
+                result.patterns.iter().any(|p| p.items == planted.items),
+                "block of size {} missing at τ=1",
+                planted.items.len()
+            );
+        }
+        // Every result is a subset of exactly one planted block.
+        for p in &result.patterns {
+            assert!(
+                data.patterns
+                    .iter()
+                    .any(|pl| p.items.is_subset_of(&pl.items)),
+                "mixed pattern at τ=1: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_one_converges_to_a_single_pattern() {
+        let db = cfp_datagen::diag_plus(10, 5, 7);
+        let config = FusionConfig::new(1, 5).with_pool_max_len(2).with_seed(9);
+        let result = PatternFusion::new(&db, config).run();
+        assert_eq!(result.patterns.len(), 1, "K=1 must return one pattern");
+        assert!(result.patterns[0].support() >= 5);
+    }
+
+    #[test]
+    fn singleton_only_pool_survives() {
+        // max_len 1: the pool is just the frequent items; fusion must still
+        // grow patterns (balls contain sibling items of the same blocks).
+        let db = cfp_datagen::diag_plus(8, 6, 9);
+        let config = FusionConfig::new(5, 6).with_pool_max_len(1).with_seed(13);
+        let result = PatternFusion::new(&db, config).run();
+        assert!(
+            result.max_pattern_len() >= 9,
+            "the 9-item block should assemble from singletons: {:?}",
+            result.patterns
+        );
+    }
+
+    #[test]
+    fn ball_cap_bounds_work_without_losing_the_colossal_pattern() {
+        // Force tiny balls: the colossal block must still assemble because
+        // even small ball samples cover all items across attempts and
+        // iterations (Theorem 3's coverage argument).
+        let db = cfp_datagen::diag_plus(14, 7, 10);
+        let config = FusionConfig::new(8, 7)
+            .with_pool_max_len(2)
+            .with_max_ball_size(24)
+            .with_seed(41);
+        let result = PatternFusion::new(&db, config).run();
+        let colossal: Vec<u32> = (15..=24)
+            .map(|i| db.item_map().internal(i).unwrap())
+            .collect();
+        let target = Itemset::from_items(&colossal);
+        assert!(
+            result.patterns.iter().any(|p| p.items == target),
+            "colossal lost under ball cap: {:?}",
+            result.patterns.iter().take(4).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn patterns_of_len_at_least_filters() {
+        let db = cfp_datagen::diag_plus(10, 5, 7);
+        let config = FusionConfig::new(6, 5).with_pool_max_len(2).with_seed(2);
+        let result = PatternFusion::new(&db, config).run();
+        let big = result.patterns_of_len_at_least(7);
+        assert!(big.iter().all(|p| p.len() >= 7));
+    }
+}

@@ -1,0 +1,232 @@
+//! Complementary core patterns (Definition 7, Lemma 4).
+//!
+//! A set `S ⊆ C_α \ {α}` is *complementary* when `⋃ S = α`: fusing S alone
+//! regenerates α. The paper's rationale: the more complementary sets α has
+//! (|Γ_α| ≥ 2^{d−1} − 1 for a (d,τ)-robust α, Lemma 4), the likelier a random
+//! draw plus one ball query reassembles it — which is why colossal patterns
+//! are *favored* by Pattern-Fusion, and why even distant outliers (Theorem 4)
+//! are caught.
+
+use crate::core_pattern::core_patterns_of;
+use cfp_itemset::{Itemset, VerticalIndex};
+
+/// Whether `sets` is a set of complementary core patterns of `alpha`
+/// (Definition 7): every member is a **proper** τ-core pattern of α and
+/// their union is exactly α.
+pub fn is_complementary_set(
+    sets: &[Itemset],
+    alpha: &Itemset,
+    index: &VerticalIndex,
+    tau: f64,
+) -> bool {
+    if sets.is_empty() {
+        return false;
+    }
+    let mut union = Itemset::empty();
+    for s in sets {
+        if s == alpha || !crate::core_pattern::is_core_pattern_of(s, alpha, index, tau) {
+            return false;
+        }
+        union = union.union(s);
+    }
+    union == *alpha
+}
+
+/// Finds one set of complementary core patterns of `alpha` greedily (largest
+/// uncovered-contribution first), or `None` when none exists — e.g. when
+/// some item of α appears in no proper core pattern.
+///
+/// # Panics
+/// Panics if `|α| > 24` (inherits [`core_patterns_of`]'s enumeration bound).
+pub fn find_complementary_set(
+    alpha: &Itemset,
+    index: &VerticalIndex,
+    tau: f64,
+) -> Option<Vec<Itemset>> {
+    let cores: Vec<Itemset> = core_patterns_of(alpha, index, tau)
+        .into_iter()
+        .filter(|c| c != alpha)
+        .collect();
+    let mut chosen = Vec::new();
+    let mut covered = Itemset::empty();
+    while covered != *alpha {
+        let best = cores
+            .iter()
+            .map(|c| (c, c.difference(&covered).len()))
+            .filter(|&(_, gain)| gain > 0)
+            .max_by_key(|&(c, gain)| (gain, std::cmp::Reverse(c.clone())))?;
+        covered = covered.union(best.0);
+        chosen.push(best.0.clone());
+    }
+    Some(chosen)
+}
+
+/// Counts **all** sets of complementary core patterns of `alpha` (|Γ_α|) by
+/// exhaustive subset enumeration over `C_α \ {α}`.
+///
+/// # Panics
+/// Panics if α has more than 20 proper core patterns (2^20 subsets is the
+/// enumeration budget) or `|α| > 24`.
+pub fn count_complementary_sets(alpha: &Itemset, index: &VerticalIndex, tau: f64) -> u64 {
+    let cores: Vec<Itemset> = core_patterns_of(alpha, index, tau)
+        .into_iter()
+        .filter(|c| c != alpha)
+        .collect();
+    assert!(
+        cores.len() <= 20,
+        "complementary-set counting limited to 20 proper cores, got {}",
+        cores.len()
+    );
+    // Map each core to a coverage bitmask over α's item positions.
+    let positions: std::collections::HashMap<u32, u32> = alpha
+        .iter()
+        .enumerate()
+        .map(|(i, item)| (item, i as u32))
+        .collect();
+    let full: u32 = if alpha.len() == 32 {
+        u32::MAX
+    } else {
+        (1u32 << alpha.len()) - 1
+    };
+    let masks: Vec<u32> = cores
+        .iter()
+        .map(|c| c.iter().map(|item| 1u32 << positions[&item]).sum())
+        .collect();
+    let mut count = 0u64;
+    for subset in 1u64..(1 << cores.len()) {
+        let mut cover = 0u32;
+        let mut bits = subset;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            cover |= masks[i];
+            bits &= bits - 1;
+        }
+        if cover == full {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::robustness::robustness;
+    use cfp_itemset::TransactionDb;
+
+    fn fig3_db() -> TransactionDb {
+        let mut txns = Vec::new();
+        for _ in 0..100 {
+            txns.push(Itemset::from_items(&[0, 1, 3]));
+            txns.push(Itemset::from_items(&[1, 2, 4]));
+            txns.push(Itemset::from_items(&[0, 2, 4]));
+            txns.push(Itemset::from_items(&[0, 1, 2, 3, 4]));
+        }
+        TransactionDb::from_dense(txns)
+    }
+
+    #[test]
+    fn paper_example_ab_ae_is_complementary_for_abe() {
+        // §3.1: "{(ab), (ae)} is a set of complementary core patterns of
+        // (abe)" — with a=0, b=1, e=3.
+        let db = fig3_db();
+        let idx = VerticalIndex::new(&db);
+        let abe = Itemset::from_items(&[0, 1, 3]);
+        let s = vec![Itemset::from_items(&[0, 1]), Itemset::from_items(&[0, 3])];
+        assert!(is_complementary_set(&s, &abe, &idx, 0.5));
+        // α itself is excluded by definition (S ⊆ C_α \ {α}).
+        assert!(!is_complementary_set(
+            std::slice::from_ref(&abe),
+            &abe,
+            &idx,
+            0.5
+        ));
+        // A non-covering set is not complementary.
+        assert!(!is_complementary_set(
+            &[Itemset::from_items(&[0, 1])],
+            &abe,
+            &idx,
+            0.5
+        ));
+        // The empty set is not complementary.
+        assert!(!is_complementary_set(&[], &abe, &idx, 0.5));
+    }
+
+    #[test]
+    fn paper_example_ab_cef_reassembles_abcef() {
+        // §2.2 Observation 2: "abcef can be generated by merging just two of
+        // its core patterns ab and cef".
+        let db = fig3_db();
+        let idx = VerticalIndex::new(&db);
+        let abcef = Itemset::from_items(&[0, 1, 2, 3, 4]);
+        let s = vec![
+            Itemset::from_items(&[0, 1]),    // ab
+            Itemset::from_items(&[2, 3, 4]), // cef
+        ];
+        assert!(is_complementary_set(&s, &abcef, &idx, 0.5));
+    }
+
+    #[test]
+    fn greedy_finder_returns_valid_sets() {
+        let db = fig3_db();
+        let idx = VerticalIndex::new(&db);
+        for items in [vec![0u32, 1, 3], vec![0, 1, 2, 3, 4]] {
+            let alpha = Itemset::from_items(&items);
+            let s =
+                find_complementary_set(&alpha, &idx, 0.5).expect("complementary set must exist");
+            assert!(is_complementary_set(&s, &alpha, &idx, 0.5), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn singleton_pattern_has_no_complementary_set() {
+        // A singleton's only core pattern is itself, which is excluded.
+        let db = fig3_db();
+        let idx = VerticalIndex::new(&db);
+        let a = Itemset::from_items(&[0]);
+        assert!(find_complementary_set(&a, &idx, 0.5).is_none());
+        assert_eq!(count_complementary_sets(&a, &idx, 0.5), 0);
+    }
+
+    #[test]
+    fn lemma4_bound_holds_on_fig3() {
+        // |Γ_α| ≥ 2^{d−1} − 1 for a (d,τ)-robust α.
+        let db = fig3_db();
+        let idx = VerticalIndex::new(&db);
+        let abe = Itemset::from_items(&[0, 1, 3]);
+        let d = robustness(&abe, &idx, 0.5);
+        assert_eq!(d, 2);
+        let gamma = count_complementary_sets(&abe, &idx, 0.5);
+        assert!(
+            gamma >= (1u64 << (d - 1)) - 1,
+            "Lemma 4: |Γ| = {gamma} < 2^{}−1",
+            d - 1
+        );
+        // And the count is exact for this tiny instance: 6 proper cores of
+        // abe → subsets covering {a,b,e}.
+        assert!(gamma > 0);
+    }
+
+    #[test]
+    fn bigger_patterns_have_more_complementary_sets() {
+        // The §3.1 rationale: colossal patterns have more complementary
+        // sets, hence are regenerated with higher probability. Compare a
+        // size-4 and a size-2 planted pattern at equal support (sizes kept
+        // tiny because every proper subset of a planted block is a core,
+        // and the counter enumerates subsets of the core set).
+        let data = cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+            n_rows: 30,
+            pattern_sizes: vec![4, 2],
+            pattern_support: 10,
+            max_row_overlap: 4,
+            row_len: 0,
+            filler_rows_lo: 2,
+            filler_rows_hi: 3,
+            seed: 5,
+        });
+        let idx = VerticalIndex::new(&data.db);
+        let big = count_complementary_sets(&data.patterns[0].items, &idx, 0.5);
+        let small = count_complementary_sets(&data.patterns[1].items, &idx, 0.5);
+        assert!(big > small, "Γ: {big} vs {small}");
+    }
+}

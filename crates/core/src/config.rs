@@ -1,0 +1,190 @@
+//! Pattern-Fusion configuration.
+
+use crate::fusion::FusionParams;
+
+/// Configuration for a [`crate::PatternFusion`] run.
+///
+/// `K` (the maximum number of patterns to mine) and the minimum support are
+/// the paper's user-facing parameters; the rest tune the fusion heuristic and
+/// default to values that reproduce the paper's experiments.
+#[derive(Debug, Clone)]
+pub struct FusionConfig {
+    /// Maximum number of patterns to mine (the paper's `K`). Iteration stops
+    /// once a fusion round yields ≤ K patterns.
+    pub k: usize,
+    /// Minimum absolute support.
+    pub min_count: usize,
+    /// Core ratio τ (Definition 3). Default 0.5, the paper's running value.
+    pub tau: f64,
+    /// Initial pool holds all frequent patterns of size ≤ this (paper: "up
+    /// to a small size, e.g., 3"). Default 3.
+    pub pool_max_len: usize,
+    /// Randomized agglomeration attempts per seed per iteration.
+    pub attempts_per_seed: usize,
+    /// Distinct super-patterns retained per seed (the paper's
+    /// system-determined threshold before weighted sampling).
+    pub max_results_per_seed: usize,
+    /// Hard cap on fusion iterations (the paper's loop terminates by
+    /// Lemma 1; this guards degenerate configurations).
+    pub max_iterations: usize,
+    /// Per-seed ball cap: when a seed's distance ball exceeds this, a random
+    /// subset of this size is fused instead.
+    ///
+    /// This is the "bounded breadth" of the paper's design point 1 applied to
+    /// the ball itself: at very low support the pool of small patterns grows
+    /// quadratically and so do the balls, yet by Theorem 3 a sample of
+    /// `O(n·ln n / k)` core patterns already covers a colossal pattern's
+    /// items with high probability — far below this cap. Keeps run time
+    /// level as the support threshold drops (Figure 10).
+    pub max_ball_size: usize,
+    /// Post-process each fused pattern to its closure (same support set,
+    /// possibly more items). Off by default — the paper fuses unions only —
+    /// and explored in the ablation bench.
+    pub closure_step: bool,
+    /// Keep an archive of the largest patterns seen across iterations and
+    /// merge it into the final answer (capped at K).
+    ///
+    /// The paper returns the last pool only; because each iteration's pool is
+    /// rebuilt exclusively from the K drawn seeds, a colossal pattern that
+    /// was already found can die in a later iteration simply by never being
+    /// drawn (a survival lottery the ablation bench quantifies). The archive
+    /// removes that failure mode without altering the search trajectory.
+    /// Default on.
+    pub archive: bool,
+    /// Fan seed processing out across threads (deterministic regardless of
+    /// thread count: every seed gets an RNG derived from `seed` and its
+    /// position).
+    pub parallel: bool,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl FusionConfig {
+    /// A configuration with the paper's defaults for the two mandatory
+    /// parameters.
+    pub fn new(k: usize, min_count: usize) -> Self {
+        Self {
+            k,
+            min_count: min_count.max(1),
+            tau: 0.5,
+            pool_max_len: 3,
+            attempts_per_seed: 8,
+            max_results_per_seed: 3,
+            max_iterations: 64,
+            max_ball_size: 20_000,
+            closure_step: false,
+            archive: true,
+            parallel: true,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Sets the core ratio τ.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        assert!(tau > 0.0 && tau <= 1.0, "τ ∈ (0, 1]");
+        self.tau = tau;
+        self
+    }
+
+    /// Sets the initial-pool size bound.
+    pub fn with_pool_max_len(mut self, len: usize) -> Self {
+        self.pool_max_len = len;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the closure post-step.
+    pub fn with_closure_step(mut self, on: bool) -> Self {
+        self.closure_step = on;
+        self
+    }
+
+    /// Enables or disables the cross-iteration result archive.
+    pub fn with_archive(mut self, on: bool) -> Self {
+        self.archive = on;
+        self
+    }
+
+    /// Sets the per-seed ball cap.
+    pub fn with_max_ball_size(mut self, n: usize) -> Self {
+        self.max_ball_size = n.max(1);
+        self
+    }
+
+    /// Enables or disables parallel seed processing.
+    pub fn with_parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Sets the agglomeration attempts per seed.
+    pub fn with_attempts_per_seed(mut self, attempts: usize) -> Self {
+        self.attempts_per_seed = attempts.max(1);
+        self
+    }
+
+    /// Sets the retained super-patterns per seed.
+    pub fn with_max_results_per_seed(mut self, n: usize) -> Self {
+        self.max_results_per_seed = n.max(1);
+        self
+    }
+
+    pub(crate) fn fusion_params(&self) -> FusionParams {
+        FusionParams {
+            tau: self.tau,
+            min_count: self.min_count,
+            attempts: self.attempts_per_seed,
+            max_results: self.max_results_per_seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_conventions() {
+        let c = FusionConfig::new(100, 30);
+        assert_eq!(c.k, 100);
+        assert_eq!(c.min_count, 30);
+        assert_eq!(c.tau, 0.5);
+        assert_eq!(c.pool_max_len, 3);
+        assert!(!c.closure_step);
+    }
+
+    #[test]
+    fn zero_min_count_normalizes_to_one() {
+        assert_eq!(FusionConfig::new(5, 0).min_count, 1);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = FusionConfig::new(10, 2)
+            .with_tau(0.8)
+            .with_pool_max_len(2)
+            .with_seed(9)
+            .with_closure_step(true)
+            .with_parallel(false)
+            .with_attempts_per_seed(4)
+            .with_max_results_per_seed(2);
+        assert_eq!(c.tau, 0.8);
+        assert_eq!(c.pool_max_len, 2);
+        assert_eq!(c.seed, 9);
+        assert!(c.closure_step);
+        assert!(!c.parallel);
+        assert_eq!(c.attempts_per_seed, 4);
+        assert_eq!(c.max_results_per_seed, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "τ")]
+    fn invalid_tau_rejected() {
+        FusionConfig::new(1, 1).with_tau(1.5);
+    }
+}

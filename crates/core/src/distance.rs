@@ -1,0 +1,110 @@
+//! Pattern distance (Definition 6) and the core-pattern ball radius
+//! (Theorem 2).
+
+use crate::pattern::Pattern;
+
+/// The pattern distance `Dist(α, β) = 1 − |Dα ∩ Dβ| / |Dα ∪ Dβ|`
+/// (Definition 6) — the Jaccard distance between support sets.
+///
+/// `(S, Dist)` is a metric space (Theorem 1), so distances obey the triangle
+/// inequality; that is what makes the ball query sound.
+#[inline]
+pub fn pattern_distance(a: &Pattern, b: &Pattern) -> f64 {
+    a.tids.jaccard_distance(&b.tids)
+}
+
+/// The ball radius `r(τ) = 1 − 1/(2/τ − 1)` of Theorem 2: any two τ-core
+/// patterns of the same pattern are at distance ≤ `r(τ)`.
+///
+/// # Panics
+/// Panics unless `0 < τ ≤ 1` (Definition 3's domain).
+#[inline]
+pub fn ball_radius(tau: f64) -> f64 {
+    assert!(tau > 0.0 && tau <= 1.0, "core ratio τ must be in (0, 1]");
+    1.0 - 1.0 / (2.0 / tau - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_itemset::{Itemset, TidSet};
+
+    fn pat(universe: usize, items: &[u32], tids: &[usize]) -> Pattern {
+        Pattern::new(
+            Itemset::from_items(items),
+            TidSet::from_tids(universe, tids.iter().copied()),
+        )
+    }
+
+    #[test]
+    fn distance_matches_definition_6() {
+        let a = pat(10, &[0], &[0, 1, 2, 3]);
+        let b = pat(10, &[1], &[2, 3, 4]);
+        // |∩| = 2, |∪| = 5.
+        assert!((pattern_distance(&a, &b) - 0.6).abs() < 1e-12);
+        assert_eq!(pattern_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn radius_known_values() {
+        // τ = 1 ⇒ identical support sets only ⇒ r = 0.
+        assert!((ball_radius(1.0) - 0.0).abs() < 1e-12);
+        // τ = 0.5 ⇒ r = 1 − 1/3 = 2/3 (the paper's running example).
+        assert!((ball_radius(0.5) - 2.0 / 3.0).abs() < 1e-12);
+        // τ = 2/3 ⇒ 2/τ − 1 = 2 ⇒ r = 0.5.
+        assert!((ball_radius(2.0 / 3.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_decreases_with_tau() {
+        let mut prev = f64::INFINITY;
+        for t in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let r = ball_radius(t);
+            assert!(r < prev, "r(τ) must be strictly decreasing");
+            assert!((0.0..=1.0).contains(&r));
+            prev = r;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "core ratio")]
+    fn zero_tau_rejected() {
+        ball_radius(0.0);
+    }
+
+    /// Theorem 2 verified empirically: on a real database, any two τ-core
+    /// patterns of a pattern α lie within r(τ) of each other.
+    #[test]
+    fn theorem2_bound_holds_on_fig3_database() {
+        // Figure 3's database with 100 duplicates of each transaction.
+        let mut txns = Vec::new();
+        for _ in 0..100 {
+            txns.push(Itemset::from_items(&[0, 1, 3]));
+            txns.push(Itemset::from_items(&[1, 2, 4]));
+            txns.push(Itemset::from_items(&[0, 2, 4]));
+            txns.push(Itemset::from_items(&[0, 1, 2, 3, 4]));
+        }
+        let db = cfp_itemset::TransactionDb::from_dense(txns);
+        let idx = cfp_itemset::VerticalIndex::new(&db);
+        let tau = 0.5;
+        let alpha = Itemset::from_items(&[0, 1, 2, 3, 4]);
+        let cores = crate::core_pattern::core_patterns_of(&alpha, &idx, tau);
+        assert!(cores.len() >= 2);
+        let r = ball_radius(tau);
+        let patterns: Vec<Pattern> = cores
+            .iter()
+            .map(|c| Pattern::new(c.clone(), idx.tidset(c)))
+            .collect();
+        for (i, a) in patterns.iter().enumerate() {
+            for b in &patterns[..i] {
+                let d = pattern_distance(a, b);
+                assert!(
+                    d <= r + 1e-12,
+                    "cores {:?} and {:?} at distance {d} > r(τ) = {r}",
+                    a.items,
+                    b.items
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The fusion operator (paper §4, `Fusion(α.CoreList)`).
+//!
+//! Given a seed α and the patterns inside its distance ball, fusion
+//! agglomerates ball members into super-patterns β such that every fused
+//! member remains a τ-core pattern of β and β stays frequent. Because the
+//! reverse of Theorem 2 does not hold, the ball generally mixes core patterns
+//! of several colossal patterns; randomized agglomeration sorts them out —
+//! members whose support sets disagree with the growing fusion get rejected
+//! by the frequency or core-ratio test.
+//!
+//! When more candidates arise than the caller wants to keep, the paper
+//! prescribes sampling weighted by the size of the fused set ("βi with a
+//! larger core pattern set would retain with higher probability"), which
+//! keeps Pattern-Fusion on paths toward colossal patterns.
+
+use crate::core_pattern::is_core_pattern;
+use crate::pattern::Pattern;
+use cfp_itemset::Itemset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Tuning knobs for one fusion call (a sub-struct of
+/// [`crate::FusionConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FusionParams {
+    /// Core ratio τ.
+    pub tau: f64,
+    /// Minimum absolute support for fused patterns.
+    pub min_count: usize,
+    /// Randomized agglomeration attempts per seed.
+    pub attempts: usize,
+    /// Maximum distinct super-patterns retained per seed.
+    pub max_results: usize,
+}
+
+/// Fuses the seed with members of its ball (`core_list` are indices into
+/// `pool`), returning up to `params.max_results` distinct super-patterns.
+///
+/// Each attempt walks the ball in a fresh random order with a random
+/// acceptance quota (so both partial and maximal fusions arise — the paper's
+/// Fusion generates *sets* of candidate βᵢ, not a single union), accepting a
+/// member only if
+///
+/// 1. the fused support set stays ≥ `min_count` (frequency), and
+/// 2. every member fused so far remains a τ-core pattern of the running
+///    fusion, which reduces to `|D(fused)| ≥ τ · max_member_support`.
+pub fn fuse_ball<R: Rng>(
+    seed: &Pattern,
+    core_list: &[usize],
+    pool: &[Pattern],
+    params: &FusionParams,
+    rng: &mut R,
+) -> Vec<Pattern> {
+    // weight = number of fused members |t| for the sampling heuristic.
+    let mut candidates: HashMap<Itemset, (Pattern, usize)> = HashMap::new();
+    let mut order: Vec<usize> = core_list.to_vec();
+
+    for _ in 0..params.attempts.max(1) {
+        order.shuffle(rng);
+        // Random quota over accepted members: small quotas yield partial
+        // fusions (mid-sized core descendants), large quotas yield the
+        // maximal fusion the ball supports.
+        let quota = if order.is_empty() {
+            0
+        } else {
+            rng.gen_range(1..=order.len())
+        };
+
+        let mut fused = seed.clone();
+        let mut members = 1usize;
+        let mut max_member_support = seed.support();
+
+        for &idx in &order {
+            if members >= quota.max(1) {
+                break;
+            }
+            let beta = &pool[idx];
+            // Cheapest test first: a word-wise popcount over the tid-sets.
+            // Most foreign members die here without touching itemsets.
+            let new_support = fused.tids.intersection_count(&beta.tids);
+            if new_support < params.min_count {
+                continue;
+            }
+            let candidate_max = max_member_support.max(beta.support());
+            if !is_core_pattern(new_support, candidate_max, params.tau) {
+                continue;
+            }
+            if beta.items.is_subset_of(&fused.items) {
+                continue; // contributes no new item
+            }
+            fused.items.union_with(&beta.items);
+            fused.tids.intersect_with(&beta.tids);
+            members += 1;
+            max_member_support = candidate_max;
+        }
+
+        let entry = candidates.entry(fused.items.clone()).or_insert((fused, 0));
+        entry.1 = entry.1.max(members);
+    }
+
+    let mut all: Vec<(Pattern, usize)> = candidates.into_values().collect();
+    // Deterministic order before any sampling.
+    all.sort_by(|a, b| a.0.items.cmp(&b.0.items));
+    if all.len() <= params.max_results {
+        return all.into_iter().map(|(p, _)| p).collect();
+    }
+    weighted_sample(all, params.max_results, rng)
+}
+
+/// Size-weighted sampling without replacement (paper §4's retention
+/// heuristic).
+fn weighted_sample<R: Rng>(
+    mut candidates: Vec<(Pattern, usize)>,
+    take: usize,
+    rng: &mut R,
+) -> Vec<Pattern> {
+    let mut out = Vec::with_capacity(take);
+    for _ in 0..take {
+        let total: usize = candidates.iter().map(|(_, w)| *w).sum();
+        if total == 0 || candidates.is_empty() {
+            break;
+        }
+        let mut roll = rng.gen_range(0..total);
+        let mut chosen = 0usize;
+        for (i, (_, w)) in candidates.iter().enumerate() {
+            if roll < *w {
+                chosen = i;
+                break;
+            }
+            roll -= *w;
+        }
+        out.push(candidates.swap_remove(chosen).0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_itemset::{TidSet, VerticalIndex};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(min_count: usize) -> FusionParams {
+        FusionParams {
+            tau: 0.5,
+            min_count,
+            attempts: 16,
+            max_results: 8,
+        }
+    }
+
+    /// Pool = all pairs of a planted block: fusing any ball must recover the
+    /// full block.
+    #[test]
+    fn fusion_recovers_planted_block() {
+        let db = cfp_datagen::diag_plus(0, 10, 8); // 10 identical rows of items 1..=8
+        let idx = VerticalIndex::new(&db);
+        let pool_raw = cfp_miners::initial_pool(&db, 10, 2);
+        let pool: Vec<Pattern> = pool_raw.into_iter().map(Pattern::from).collect();
+        let seed = pool[0].clone();
+        let ball: Vec<usize> = (0..pool.len()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = fuse_ball(&seed, &ball, &pool, &params(10), &mut rng);
+        let max = out.iter().map(Pattern::len).max().unwrap();
+        assert_eq!(max, 8, "full block must be fused: {out:?}");
+        for p in &out {
+            assert_eq!(p.tids, idx.tidset(&p.items), "support sets stay exact");
+            assert!(p.support() >= 10);
+        }
+    }
+
+    /// Members from a foreign support-set region must be rejected: fusing
+    /// across them would drop support below the threshold.
+    #[test]
+    fn fusion_rejects_infrequent_mixtures() {
+        let data = cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+            n_rows: 40,
+            pattern_sizes: vec![10, 10],
+            pattern_support: 12,
+            max_row_overlap: 4,
+            row_len: 0,
+            filler_rows_lo: 2,
+            filler_rows_hi: 3,
+            seed: 9,
+        });
+        let pool_raw = cfp_miners::initial_pool(&data.db, 12, 2);
+        let pool: Vec<Pattern> = pool_raw.into_iter().map(Pattern::from).collect();
+        // Seed inside block 0.
+        let seed = pool
+            .iter()
+            .find(|p| p.items.is_subset_of(&data.patterns[0].items))
+            .unwrap()
+            .clone();
+        let ball: Vec<usize> = (0..pool.len()).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = fuse_ball(&seed, &ball, &pool, &params(12), &mut rng);
+        for p in &out {
+            assert!(p.support() >= 12, "fused pattern must stay frequent");
+            assert!(
+                p.items.is_subset_of(&data.patterns[0].items),
+                "cross-block items must never survive fusion: {p:?}"
+            );
+        }
+    }
+
+    /// Every fused member must remain a τ-core pattern of the result
+    /// (checked via the max-member-support invariant).
+    #[test]
+    fn fused_outputs_respect_core_ratio_vs_seed() {
+        let db = cfp_datagen::diag(20);
+        let pool_raw = cfp_miners::initial_pool(&db, 10, 2);
+        let pool: Vec<Pattern> = pool_raw.into_iter().map(Pattern::from).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let seed = pool[5].clone();
+        let ball: Vec<usize> = (0..pool.len()).collect();
+        let out = fuse_ball(
+            &seed,
+            &ball,
+            &pool,
+            &FusionParams {
+                tau: 0.5,
+                min_count: 10,
+                attempts: 8,
+                max_results: 4,
+            },
+            &mut rng,
+        );
+        for p in &out {
+            assert!(
+                is_core_pattern(p.support(), seed.support(), 0.5),
+                "seed must remain a 0.5-core of {p:?}"
+            );
+            assert!(seed.items.is_subset_of(&p.items));
+        }
+    }
+
+    #[test]
+    fn empty_ball_returns_seed_itself() {
+        let seed = Pattern::new(
+            Itemset::from_items(&[1, 2]),
+            TidSet::from_tids(10, [0, 1, 2]),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = fuse_ball(&seed, &[], &[], &params(2), &mut rng);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].items, seed.items);
+    }
+
+    #[test]
+    fn max_results_caps_output() {
+        let db = cfp_datagen::diag(16);
+        let pool_raw = cfp_miners::initial_pool(&db, 8, 2);
+        let pool: Vec<Pattern> = pool_raw.into_iter().map(Pattern::from).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ball: Vec<usize> = (0..pool.len()).collect();
+        let out = fuse_ball(
+            &pool[0],
+            &ball,
+            &pool,
+            &FusionParams {
+                tau: 0.5,
+                min_count: 8,
+                attempts: 32,
+                max_results: 3,
+            },
+            &mut rng,
+        );
+        assert!(out.len() <= 3);
+        assert!(!out.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use cfp_itemset::VerticalIndex;
+        use proptest::prelude::*;
+
+        /// Random feasible planted configurations.
+        fn arb_planted() -> impl Strategy<Value = cfp_datagen::PlantedData> {
+            (
+                2usize..4,  // number of blocks
+                4usize..12, // block size
+                6usize..14, // support
+                0u64..1000, // seed
+            )
+                .prop_map(|(blocks, size, support, seed)| {
+                    cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+                        n_rows: support * 3,
+                        pattern_sizes: vec![size; blocks],
+                        pattern_support: support,
+                        max_row_overlap: (support / 2).max(1),
+                        row_len: 0,
+                        filler_rows_lo: 2,
+                        filler_rows_hi: 3,
+                        seed,
+                    })
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Fusion invariants on arbitrary planted data: every output is
+            /// frequent, contains the seed, carries an exact tid-set, and
+            /// keeps the seed as a τ-core pattern.
+            #[test]
+            fn fusion_invariants(data in arb_planted(), seed_sel in any::<prop::sample::Index>(), rng_seed in 0u64..1000) {
+                let min_count = data.patterns[0].rows.count();
+                let pool: Vec<Pattern> = cfp_miners::initial_pool(&data.db, min_count, 2)
+                    .into_iter()
+                    .map(Pattern::from)
+                    .collect();
+                prop_assume!(!pool.is_empty());
+                let index = VerticalIndex::new(&data.db);
+                let seed = pool[seed_sel.index(pool.len())].clone();
+                let ball: Vec<usize> = (0..pool.len()).collect();
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                let out = fuse_ball(&seed, &ball, &pool, &params(min_count), &mut rng);
+                prop_assert!(!out.is_empty());
+                for p in &out {
+                    prop_assert!(p.support() >= min_count, "infrequent output");
+                    prop_assert!(seed.items.is_subset_of(&p.items), "seed dropped");
+                    prop_assert_eq!(&p.tids, &index.tidset(&p.items), "tid-set drift");
+                    prop_assert!(
+                        is_core_pattern(p.support(), seed.support(), 0.5),
+                        "seed not a τ-core of output"
+                    );
+                }
+            }
+
+            /// Determinism: the same RNG seed produces the same fusion.
+            #[test]
+            fn fusion_is_deterministic(data in arb_planted(), rng_seed in 0u64..1000) {
+                let min_count = data.patterns[0].rows.count();
+                let pool: Vec<Pattern> = cfp_miners::initial_pool(&data.db, min_count, 2)
+                    .into_iter()
+                    .map(Pattern::from)
+                    .collect();
+                prop_assume!(!pool.is_empty());
+                let ball: Vec<usize> = (0..pool.len()).collect();
+                let run = || {
+                    let mut rng = StdRng::seed_from_u64(rng_seed);
+                    fuse_ball(&pool[0], &ball, &pool, &params(min_count), &mut rng)
+                        .into_iter()
+                        .map(|p| p.items)
+                        .collect::<Vec<_>>()
+                };
+                prop_assert_eq!(run(), run());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavier_candidates() {
+        // Weight 50 vs 1: across many draws of a single winner, the heavy
+        // candidate must dominate.
+        let heavy = Pattern::new(Itemset::from_items(&[0]), TidSet::from_tids(4, [0]));
+        let light = Pattern::new(Itemset::from_items(&[1]), TidSet::from_tids(4, [1]));
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut heavy_wins = 0;
+        for _ in 0..200 {
+            let got = weighted_sample(vec![(heavy.clone(), 50), (light.clone(), 1)], 1, &mut rng);
+            if got[0].items == heavy.items {
+                heavy_wins += 1;
+            }
+        }
+        assert!(
+            heavy_wins > 170,
+            "heavy candidate won only {heavy_wins}/200"
+        );
+    }
+}

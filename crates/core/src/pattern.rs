@@ -1,0 +1,106 @@
+//! Patterns carrying their support sets.
+
+use cfp_itemset::{Itemset, TidSet};
+use cfp_miners::PoolPattern;
+use std::fmt;
+
+/// A frequent pattern together with its support set `D(α)`.
+///
+/// Pattern-Fusion is defined entirely in terms of support sets — distances,
+/// core-pattern checks, and fusion all intersect tid-sets — so the pool keeps
+/// them materialized. By Lemma 1, `D(α ∪ β) = D(α) ∩ D(β)`, which is how
+/// fused patterns get their support sets without touching the database.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// The itemset α.
+    pub items: Itemset,
+    /// Its support set `D(α)`.
+    pub tids: TidSet,
+}
+
+impl Pattern {
+    /// Creates a pattern from parts.
+    pub fn new(items: Itemset, tids: TidSet) -> Self {
+        Self { items, tids }
+    }
+
+    /// Absolute support `|D(α)|`.
+    pub fn support(&self) -> usize {
+        self.tids.count()
+    }
+
+    /// Pattern cardinality |α|.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the itemset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Fuses this pattern with another: itemset union, support-set
+    /// intersection (Lemma 1).
+    pub fn fuse(&self, other: &Pattern) -> Pattern {
+        Pattern {
+            items: self.items.union(&other.items),
+            tids: self.tids.intersection(&other.tids),
+        }
+    }
+}
+
+impl From<PoolPattern> for Pattern {
+    fn from(p: PoolPattern) -> Self {
+        Pattern {
+            items: p.items,
+            tids: p.tids,
+        }
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.items, self.support())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuse_unions_items_and_intersects_tids() {
+        let a = Pattern::new(
+            Itemset::from_items(&[0, 1]),
+            TidSet::from_tids(6, [0, 1, 2, 3]),
+        );
+        let b = Pattern::new(
+            Itemset::from_items(&[1, 2]),
+            TidSet::from_tids(6, [1, 2, 3, 4]),
+        );
+        let f = a.fuse(&b);
+        assert_eq!(f.items, Itemset::from_items(&[0, 1, 2]));
+        assert_eq!(f.tids.to_vec(), vec![1, 2, 3]);
+        assert_eq!(f.support(), 3);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn fusion_support_matches_database_semantics() {
+        // Against a real database: D(α ∪ β) = D(α) ∩ D(β).
+        let db = cfp_datagen::diag(10);
+        let idx = cfp_itemset::VerticalIndex::new(&db);
+        let a_items = Itemset::from_items(&[0, 3]);
+        let b_items = Itemset::from_items(&[3, 7]);
+        let a = Pattern::new(a_items.clone(), idx.tidset(&a_items));
+        let b = Pattern::new(b_items.clone(), idx.tidset(&b_items));
+        let f = a.fuse(&b);
+        assert_eq!(f.tids, idx.tidset(&f.items));
+    }
+
+    #[test]
+    fn debug_shows_support() {
+        let p = Pattern::new(Itemset::from_items(&[5]), TidSet::from_tids(4, [0, 2]));
+        assert_eq!(format!("{p:?}"), "(5)#2");
+    }
+}

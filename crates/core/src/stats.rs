@@ -1,0 +1,87 @@
+//! Per-iteration run statistics.
+
+use std::time::Duration;
+
+/// What one fusion iteration did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationStats {
+    /// Pool size entering the iteration.
+    pub pool_size: usize,
+    /// Seeds drawn (≤ K, and ≤ pool size).
+    pub seeds: usize,
+    /// Distinct super-patterns generated (the next pool's size).
+    pub generated: usize,
+    /// Smallest pattern size in the generated pool.
+    pub min_pattern_len: usize,
+    /// Largest pattern size in the generated pool.
+    pub max_pattern_len: usize,
+    /// Wall-clock time of the iteration.
+    pub elapsed: Duration,
+}
+
+/// Statistics for a whole Pattern-Fusion run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// One entry per fusion iteration, in order.
+    pub iterations: Vec<IterationStats>,
+    /// Whether the run ended because the pool shrank to ≤ K (`true`) or
+    /// because it hit the iteration cap / stagnated (`false`).
+    pub converged: bool,
+    /// Size of the initial pool.
+    pub initial_pool_size: usize,
+}
+
+impl RunStats {
+    /// Total patterns generated across iterations.
+    pub fn total_generated(&self) -> usize {
+        self.iterations.iter().map(|i| i.generated).sum()
+    }
+
+    /// Lemma 5 check: the minimum pattern size per iteration never shrinks.
+    pub fn min_sizes_non_decreasing(&self) -> bool {
+        self.iterations
+            .windows(2)
+            .all(|w| w[0].min_pattern_len <= w[1].min_pattern_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter(min: usize, generated: usize) -> IterationStats {
+        IterationStats {
+            pool_size: 10,
+            seeds: 5,
+            generated,
+            min_pattern_len: min,
+            max_pattern_len: min + 3,
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn totals_and_monotonicity() {
+        let stats = RunStats {
+            iterations: vec![iter(2, 7), iter(4, 5), iter(4, 3)],
+            converged: true,
+            initial_pool_size: 100,
+        };
+        assert_eq!(stats.total_generated(), 15);
+        assert!(stats.min_sizes_non_decreasing());
+
+        let bad = RunStats {
+            iterations: vec![iter(4, 7), iter(2, 5)],
+            converged: false,
+            initial_pool_size: 10,
+        };
+        assert!(!bad.min_sizes_non_decreasing());
+    }
+
+    #[test]
+    fn empty_run_is_vacuously_monotone() {
+        let stats = RunStats::default();
+        assert_eq!(stats.total_generated(), 0);
+        assert!(stats.min_sizes_non_decreasing());
+    }
+}

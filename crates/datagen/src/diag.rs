@@ -1,0 +1,138 @@
+//! The paper's `Diagn` synthetic family.
+//!
+//! `Diagn` is an *n × (n−1)* table whose *i*-th row holds the integers
+//! `1..=n` except *i*. At minimum support *n/2* it has an exponential number
+//! (`C(n, n/2)`) of mid-sized closed/maximal patterns but — in the intro's
+//! extended `Diag40` variant — exactly one colossal pattern, which traps any
+//! exhaustive miner. This is the workload of Figures 6 and 7.
+
+use cfp_itemset::{DbBuilder, TransactionDb};
+
+/// Builds `Diagn`: `n` transactions, transaction `i` (1-based) containing
+/// every integer in `1..=n` except `i`.
+///
+/// External item labels are the paper's integers `1..=n`; internal ids are
+/// dense. For `n = 0` the database is empty.
+///
+/// # Examples
+///
+/// ```
+/// let db = cfp_datagen::diag(5);
+/// assert_eq!(db.len(), 5);
+/// assert_eq!(db.num_items(), 5);
+/// // Row 3 misses integer 3.
+/// let internal = db.item_map().internal(3).unwrap();
+/// assert!(!db.transaction(2).contains(internal));
+/// ```
+pub fn diag(n: u32) -> TransactionDb {
+    diag_plus(n, 0, 0)
+}
+
+/// Builds the introduction's extended diagonal table: `Diagn` followed by
+/// `extra_rows` identical transactions containing the integers
+/// `n+1 ..= n+extra_items`.
+///
+/// The paper's motivating instance is `diag_plus(40, 20, 39)`: a 60 × 39
+/// table with `C(40,20)` mid-sized maximal patterns at support 20 but exactly
+/// one colossal pattern α = (41, 42, …, 79) of size 39.
+pub fn diag_plus(n: u32, extra_rows: u32, extra_items: u32) -> TransactionDb {
+    let mut builder = DbBuilder::new();
+    let mut row: Vec<u32> = Vec::with_capacity(n.max(extra_items) as usize);
+    for i in 1..=n {
+        row.clear();
+        row.extend((1..=n).filter(|&j| j != i));
+        builder.add_transaction(&row);
+    }
+    if extra_rows > 0 && extra_items > 0 {
+        let extra: Vec<u32> = (n + 1..=n + extra_items).collect();
+        for _ in 0..extra_rows {
+            builder.add_transaction(&extra);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_itemset::{Itemset, VerticalIndex};
+
+    #[test]
+    fn diag_shape_matches_paper() {
+        let db = diag(40);
+        assert_eq!(db.len(), 40);
+        assert_eq!(db.num_items(), 40);
+        for t in db.transactions() {
+            assert_eq!(t.len(), 39, "each row has n-1 integers");
+        }
+    }
+
+    #[test]
+    fn diag_row_i_misses_exactly_integer_i() {
+        let db = diag(10);
+        for i in 1..=10u32 {
+            let internal = db.item_map().internal(i).unwrap();
+            for (tid, t) in db.transactions().iter().enumerate() {
+                let expected = tid + 1 != i as usize;
+                assert_eq!(
+                    t.contains(internal),
+                    expected,
+                    "integer {i} in row {}",
+                    tid + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diag_item_supports_are_n_minus_1() {
+        let db = diag(12);
+        let idx = VerticalIndex::new(&db);
+        for s in idx.item_supports() {
+            assert_eq!(s, 11);
+        }
+    }
+
+    #[test]
+    fn diag_k_subset_support_is_n_minus_k() {
+        // Any k distinct integers are jointly missing from exactly k rows.
+        let db = diag(20);
+        let idx = VerticalIndex::new(&db);
+        let internal: Vec<u32> = [1u32, 5, 9, 14]
+            .iter()
+            .map(|&i| db.item_map().internal(i).unwrap())
+            .collect();
+        for k in 1..=4 {
+            let p = Itemset::from_items(&internal[..k]);
+            assert_eq!(idx.support(&p), 20 - k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn diag_plus_matches_intro_construction() {
+        let db = diag_plus(40, 20, 39);
+        assert_eq!(db.len(), 60);
+        assert_eq!(db.num_items(), 79);
+        // The colossal pattern (41..=79) has support exactly 20.
+        let colossal: Vec<u32> = (41..=79)
+            .map(|i| db.item_map().internal(i).unwrap())
+            .collect();
+        let idx = VerticalIndex::new(&db);
+        assert_eq!(idx.support(&Itemset::from_items(&colossal)), 20);
+        // No diagonal-side item co-occurs with the colossal block.
+        let one = db.item_map().internal(1).unwrap();
+        let mixed = Itemset::from_items(&[one, colossal[0]]);
+        assert_eq!(idx.support(&mixed), 0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(diag(0).is_empty());
+        let db = diag(1);
+        assert_eq!(db.len(), 1);
+        assert!(db.transaction(0).is_empty());
+        let only_extra = diag_plus(0, 3, 4);
+        assert_eq!(only_extra.len(), 3);
+        assert_eq!(only_extra.num_items(), 4);
+    }
+}

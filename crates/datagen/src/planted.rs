@@ -1,0 +1,258 @@
+//! Generic planted-colossal-pattern datasets.
+//!
+//! This is the reusable substrate behind the dataset simulators: plant a set
+//! of large patterns with *disjoint* item blocks on row sets whose pairwise
+//! intersections stay below the mining threshold, then pad rows with rare
+//! filler items. Under those constraints the closed frequent layer at the
+//! design threshold is **exactly** the planted patterns (every non-empty
+//! subset of a planted block has the block's support set and thus closes to
+//! the block; cross-block combinations fall under threshold), which gives
+//! tests and ablations an analyzable ground truth.
+
+use crate::rows::{RowSampler, SampleSpec};
+use cfp_itemset::{Itemset, TidSet, TransactionDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`planted`].
+#[derive(Debug, Clone)]
+pub struct PlantedConfig {
+    /// Number of transactions.
+    pub n_rows: usize,
+    /// Item count of each planted pattern (blocks are disjoint).
+    pub pattern_sizes: Vec<usize>,
+    /// Number of rows supporting each planted pattern.
+    pub pattern_support: usize,
+    /// Hard cap on pairwise row-set intersections. Must be strictly below
+    /// the support threshold the dataset is designed for.
+    pub max_row_overlap: usize,
+    /// Every row is padded with filler items up to this length (0 disables
+    /// padding). Fillers never become frequent at the design threshold.
+    pub row_len: usize,
+    /// Each filler item appears in `filler_rows_lo..=filler_rows_hi` rows.
+    pub filler_rows_lo: usize,
+    /// See `filler_rows_lo`.
+    pub filler_rows_hi: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 100,
+            pattern_sizes: vec![40, 30, 20],
+            pattern_support: 20,
+            max_row_overlap: 9,
+            row_len: 0,
+            filler_rows_lo: 2,
+            filler_rows_hi: 5,
+            seed: 42,
+        }
+    }
+}
+
+/// One planted pattern: its items (dense internal ids) and its intended
+/// support set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedPattern {
+    /// The pattern itself.
+    pub items: Itemset,
+    /// The rows that contain the full pattern.
+    pub rows: TidSet,
+}
+
+impl PlantedPattern {
+    /// The designed absolute support.
+    pub fn support(&self) -> usize {
+        self.rows.count()
+    }
+}
+
+/// A generated dataset together with its planted ground truth.
+#[derive(Debug, Clone)]
+pub struct PlantedData {
+    /// The transaction database.
+    pub db: TransactionDb,
+    /// The planted patterns, in the order of `pattern_sizes`.
+    pub patterns: Vec<PlantedPattern>,
+}
+
+/// Generates a planted-pattern dataset per `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration is infeasible (row sets cannot be placed
+/// under the overlap/capacity constraints, or the planted items exceed
+/// `row_len`). Generator misconfiguration is a programming error in an
+/// experiment definition, not a runtime condition to recover from.
+pub fn planted(config: &PlantedConfig) -> PlantedData {
+    assert!(
+        config.pattern_support <= config.n_rows,
+        "pattern support {} exceeds row count {}",
+        config.pattern_support,
+        config.n_rows
+    );
+    assert!(
+        config.max_row_overlap < config.pattern_support,
+        "overlap cap must stay below the designed support"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let capacity = if config.row_len == 0 {
+        usize::MAX / 2
+    } else {
+        config.row_len
+    };
+    let mut sampler = RowSampler::new(config.n_rows, capacity);
+
+    // Place larger patterns first: they are the most capacity-constrained.
+    let mut order: Vec<usize> = (0..config.pattern_sizes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(config.pattern_sizes[i]));
+
+    let mut patterns: Vec<Option<PlantedPattern>> = vec![None; config.pattern_sizes.len()];
+    let mut next_item: u32 = 0;
+    for &idx in &order {
+        let size = config.pattern_sizes[idx];
+        let spec = SampleSpec::new(config.pattern_support, size, config.max_row_overlap);
+        let rows = sampler
+            .sample(&mut rng, &spec, 10_000)
+            .unwrap_or_else(|| panic!("infeasible planted config: {config:?}"));
+        let items = Itemset::from_sorted((next_item..next_item + size as u32).collect());
+        next_item += size as u32;
+        patterns[idx] = Some(PlantedPattern { items, rows });
+    }
+    let patterns: Vec<PlantedPattern> = patterns.into_iter().map(Option::unwrap).collect();
+
+    // Materialize rows.
+    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); config.n_rows];
+    for p in &patterns {
+        for r in p.rows.iter() {
+            rows[r].extend(p.items.iter());
+        }
+    }
+
+    // Pad with filler items, each confined to few rows so that no filler can
+    // reach the design threshold.
+    if config.row_len > 0 {
+        let mut deficit: Vec<usize> = rows
+            .iter()
+            .map(|r| config.row_len.saturating_sub(r.len()))
+            .collect();
+        loop {
+            let open: Vec<usize> = (0..config.n_rows).filter(|&r| deficit[r] > 0).collect();
+            if open.is_empty() {
+                break;
+            }
+            let span = rng.gen_range(config.filler_rows_lo..=config.filler_rows_hi);
+            let k = span.min(open.len());
+            let filler = next_item;
+            next_item += 1;
+            // Prefer the rows with the largest deficit so loads equalize.
+            let mut by_deficit = open.clone();
+            by_deficit.sort_by_key(|&r| std::cmp::Reverse(deficit[r]));
+            for &r in by_deficit.iter().take(k) {
+                rows[r].push(filler);
+                deficit[r] -= 1;
+            }
+        }
+    }
+
+    let transactions: Vec<Itemset> = rows.iter().map(|r| Itemset::from_items(r)).collect();
+    PlantedData {
+        db: TransactionDb::from_dense(transactions),
+        patterns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_itemset::VerticalIndex;
+
+    #[test]
+    fn planted_patterns_have_designed_support() {
+        let cfg = PlantedConfig::default();
+        let data = planted(&cfg);
+        let idx = VerticalIndex::new(&data.db);
+        for p in &data.patterns {
+            assert_eq!(idx.tidset(&p.items), p.rows, "tid-set matches plan");
+            assert_eq!(idx.support(&p.items), cfg.pattern_support);
+        }
+    }
+
+    #[test]
+    fn pattern_blocks_are_disjoint_and_sized() {
+        let cfg = PlantedConfig::default();
+        let data = planted(&cfg);
+        for (i, p) in data.patterns.iter().enumerate() {
+            assert_eq!(p.items.len(), cfg.pattern_sizes[i]);
+            for q in &data.patterns[..i] {
+                assert_eq!(p.items.intersection_count(&q.items), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_union_support_is_below_threshold() {
+        let cfg = PlantedConfig::default();
+        let data = planted(&cfg);
+        let idx = VerticalIndex::new(&data.db);
+        for (i, p) in data.patterns.iter().enumerate() {
+            for q in &data.patterns[..i] {
+                let union = p.items.union(&q.items);
+                assert!(
+                    idx.support(&union) <= cfg.max_row_overlap,
+                    "union of planted blocks must be infrequent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fillers_respect_row_length_and_rarity() {
+        let cfg = PlantedConfig {
+            row_len: 60,
+            n_rows: 50,
+            pattern_sizes: vec![30, 25],
+            pattern_support: 12,
+            max_row_overlap: 5,
+            filler_rows_lo: 2,
+            filler_rows_hi: 6,
+            seed: 7,
+        };
+        let data = planted(&cfg);
+        for t in data.db.transactions() {
+            assert_eq!(t.len(), 60);
+        }
+        let idx = VerticalIndex::new(&data.db);
+        let planted_items: u32 = (30 + 25) as u32;
+        for item in planted_items..data.db.num_items() {
+            let s = idx.item_tidset(item).count();
+            assert!(s <= 6, "filler item {item} appears in {s} rows");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PlantedConfig::default();
+        let a = planted(&cfg);
+        let b = planted(&cfg);
+        assert_eq!(a.db, b.db);
+        assert_eq!(a.patterns, b.patterns);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed ^= 1;
+        let c = planted(&cfg2);
+        assert_ne!(a.db, c.db, "different seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap cap")]
+    fn overlap_cap_must_be_below_support() {
+        let cfg = PlantedConfig {
+            max_row_overlap: 20,
+            pattern_support: 20,
+            ..Default::default()
+        };
+        planted(&cfg);
+    }
+}

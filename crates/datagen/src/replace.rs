@@ -1,0 +1,398 @@
+//! Replace-like program-trace dataset (stand-in for the Siemens *Replace*
+//! traces).
+//!
+//! The paper's Replace data: 4 395 transactions over 57 frequent items (66
+//! total); at σ = 0.03 the complete closed set has 4 315 patterns, the three
+//! largest of size 44, and Pattern-Fusion always finds all three.
+//!
+//! The generator models program executions:
+//!
+//! * **Profiles** — three "execution profiles", each a 44-item subset of the
+//!   57 items (a mandatory core plus optional *segments* of 1–3 call sites
+//!   that individual executions skip independently). Profile transactions
+//!   therefore share a large common pattern, and the closed layer around each
+//!   profile is `{profile minus dropped-segment unions}` — a band of closed
+//!   patterns of sizes 39–44 matching Fig. 8's x-axis, topped by the full
+//!   profile at size 44.
+//! * **Background** — executions assembled from a library of small call
+//!   motifs, giving the thousands of small closed patterns the paper reports
+//!   without ever producing a pattern near size 39 (background transactions
+//!   are kept far shorter).
+//! * **Rare items** — the 9 infrequent call sites (66 − 57).
+//!
+//! Profile item windows overlap in 31 items (44 + 44 − 57 forces ≥ 31), which
+//! stays below 39, so no cross-profile transaction can support a size ≥ 39
+//! pattern and the ≥ 39 band is exactly the per-profile structure.
+
+use crate::planted::PlantedPattern;
+use cfp_itemset::{Itemset, TidSet, TransactionDb};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`replace_like`].
+#[derive(Debug, Clone)]
+pub struct ReplaceConfig {
+    /// Total transactions (paper: 4 395).
+    pub n_transactions: usize,
+    /// Frequent item universe (paper: 57).
+    pub n_items: usize,
+    /// Additional rare items (paper: 66 − 57 = 9).
+    pub n_rare_items: usize,
+    /// Number of execution profiles (paper: 3 colossal patterns).
+    pub n_profiles: usize,
+    /// Transactions drawn from each profile.
+    pub profile_transactions: usize,
+    /// Mandatory items per profile.
+    pub core_size: usize,
+    /// Optional segment sizes per profile; profile size =
+    /// `core_size + Σ segment_sizes` (paper: 44).
+    pub segment_sizes: Vec<usize>,
+    /// Probability a profile transaction keeps a given segment.
+    pub segment_keep_prob: f64,
+    /// Distinct background execution shapes. Program traces repeat a small
+    /// set of execution paths; every background transaction is a copy of one
+    /// of these shapes. This bounds the closed lattice: with unique
+    /// transactions, every small itemset gets a distinct support set and the
+    /// closed count explodes into the hundreds of thousands, whereas the
+    /// real Replace data has ~4 315 closed patterns.
+    pub distinct_backgrounds: usize,
+    /// Call-motif library size for background transactions.
+    pub motif_count: usize,
+    /// Motif sizes, uniform in `motif_size_lo..=motif_size_hi`.
+    pub motif_size_lo: usize,
+    /// See `motif_size_lo`.
+    pub motif_size_hi: usize,
+    /// Motifs per background transaction, uniform range.
+    pub motifs_per_txn_lo: usize,
+    /// See `motifs_per_txn_lo`.
+    pub motifs_per_txn_hi: usize,
+    /// Extra random single items per background transaction, uniform range.
+    pub extras_per_txn_lo: usize,
+    /// See `extras_per_txn_lo`.
+    pub extras_per_txn_hi: usize,
+    /// Transactions each rare item is sprinkled into (kept < σ·n).
+    pub rare_item_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReplaceConfig {
+    /// The paper-scale instance: 4 395 × (57 + 9) with three size-44
+    /// profiles, designed for σ = 0.03 (support count 132).
+    fn default() -> Self {
+        Self {
+            n_transactions: 4395,
+            n_items: 57,
+            n_rare_items: 9,
+            n_profiles: 3,
+            profile_transactions: 250,
+            // 30 mandatory + 7 optional segments (Σ 14) = 44. Segment count
+            // is the main closed-set-size knob: profile windows necessarily
+            // share ≥ 31 items (2·44 − 57), and every shared optional
+            // segment combination across two profiles can mint a distinct
+            // closed pattern, so the closed lattice grows roughly like the
+            // product of per-profile segment subsets. Seven segments keeps
+            // the complete closed set in the paper's ballpark (thousands).
+            core_size: 30,
+            segment_sizes: vec![1, 1, 2, 2, 2, 3, 3],
+            segment_keep_prob: 0.96,
+            distinct_backgrounds: 150,
+            motif_count: 60,
+            motif_size_lo: 2,
+            motif_size_hi: 6,
+            motifs_per_txn_lo: 2,
+            motifs_per_txn_hi: 3,
+            extras_per_txn_lo: 0,
+            extras_per_txn_hi: 1,
+            rare_item_rows: 50,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl ReplaceConfig {
+    /// Profile size `core + Σ segments`.
+    pub fn profile_size(&self) -> usize {
+        self.core_size + self.segment_sizes.iter().sum::<usize>()
+    }
+
+    /// A scaled-down instance for fast tests (600 transactions, designed for
+    /// an absolute threshold of 18 = 0.03 · 600).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            n_transactions: 600,
+            n_items: 26,
+            n_rare_items: 4,
+            n_profiles: 2,
+            profile_transactions: 100,
+            core_size: 12,
+            segment_sizes: vec![1, 1, 2, 2, 2],
+            segment_keep_prob: 0.95,
+            distinct_backgrounds: 60,
+            motif_count: 20,
+            motif_size_lo: 2,
+            motif_size_hi: 4,
+            motifs_per_txn_lo: 1,
+            motifs_per_txn_hi: 3,
+            extras_per_txn_lo: 0,
+            extras_per_txn_hi: 2,
+            rare_item_rows: 8,
+            seed,
+        }
+    }
+}
+
+/// A generated Replace-like dataset with its planted ground truth.
+#[derive(Debug, Clone)]
+pub struct ReplaceData {
+    /// The transaction database (dense item ids `0..n_items+n_rare_items`).
+    pub db: TransactionDb,
+    /// The full profiles (the intended colossal patterns) with the exact
+    /// rows containing them.
+    pub profiles: Vec<PlantedPattern>,
+}
+
+/// Generates a Replace-like dataset.
+///
+/// # Panics
+/// Panics if profile windows cannot overlap safely (needs
+/// `2·profile_size − n_items < profile_size`, i.e. `profile_size < n_items`)
+/// or the segment structure is inconsistent.
+pub fn replace_like(config: &ReplaceConfig) -> ReplaceData {
+    let psize = config.profile_size();
+    assert!(psize < config.n_items, "profile must not cover all items");
+    assert!(
+        config.n_profiles * config.profile_transactions <= config.n_transactions,
+        "profile transactions exceed total"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_total = config.n_transactions;
+
+    // Profile item windows: evenly offset circular windows over 0..n_items.
+    let offset = config.n_items / config.n_profiles.max(1);
+    let windows: Vec<Vec<u32>> = (0..config.n_profiles)
+        .map(|p| {
+            (0..psize)
+                .map(|j| ((p * offset + j) % config.n_items) as u32)
+                .collect()
+        })
+        .collect();
+
+    // Split each window into core + segments (in window order).
+    struct Profile {
+        core: Vec<u32>,
+        segments: Vec<Vec<u32>>,
+    }
+    let profiles_struct: Vec<Profile> = windows
+        .iter()
+        .map(|w| {
+            let core = w[..config.core_size].to_vec();
+            let mut segments = Vec::new();
+            let mut pos = config.core_size;
+            for &s in &config.segment_sizes {
+                segments.push(w[pos..pos + s].to_vec());
+                pos += s;
+            }
+            assert_eq!(pos, psize, "segments must partition the window");
+            Profile { core, segments }
+        })
+        .collect();
+
+    // Background motif library.
+    let motifs: Vec<Vec<u32>> = (0..config.motif_count)
+        .map(|_| {
+            let size = rng.gen_range(config.motif_size_lo..=config.motif_size_hi);
+            rand::seq::index::sample(&mut rng, config.n_items, size.min(config.n_items))
+                .into_iter()
+                .map(|i| i as u32)
+                .collect()
+        })
+        .collect();
+
+    // Emit transactions: profile blocks first, then background.
+    let mut transactions: Vec<Vec<u32>> = Vec::with_capacity(n_total);
+    let mut full_rows: Vec<Vec<usize>> = vec![Vec::new(); config.n_profiles];
+    for (pi, profile) in profiles_struct.iter().enumerate() {
+        for _ in 0..config.profile_transactions {
+            let tid = transactions.len();
+            let mut t = profile.core.clone();
+            let mut kept_all = true;
+            for seg in &profile.segments {
+                if rng.gen_bool(config.segment_keep_prob) {
+                    t.extend_from_slice(seg);
+                } else {
+                    kept_all = false;
+                }
+            }
+            if kept_all {
+                full_rows[pi].push(tid);
+            }
+            transactions.push(t);
+        }
+    }
+    // Background execution shapes: a bounded library of distinct paths,
+    // each assembled from motifs plus a few fixed extra call sites.
+    let shapes: Vec<Vec<u32>> = (0..config.distinct_backgrounds.max(1))
+        .map(|_| {
+            let m = rng.gen_range(config.motifs_per_txn_lo..=config.motifs_per_txn_hi);
+            let mut t: Vec<u32> = Vec::new();
+            for _ in 0..m {
+                t.extend_from_slice(motifs.choose(&mut rng).expect("motif library non-empty"));
+            }
+            let extras = rng.gen_range(config.extras_per_txn_lo..=config.extras_per_txn_hi);
+            for _ in 0..extras {
+                t.push(rng.gen_range(0..config.n_items) as u32);
+            }
+            t
+        })
+        .collect();
+    let n_background = n_total - transactions.len();
+    for _ in 0..n_background {
+        transactions.push(
+            shapes
+                .choose(&mut rng)
+                .expect("shape library non-empty")
+                .clone(),
+        );
+    }
+
+    // Sprinkle rare items.
+    for r in 0..config.n_rare_items {
+        let item = (config.n_items + r) as u32;
+        for tid in rand::seq::index::sample(&mut rng, n_total, config.rare_item_rows.min(n_total)) {
+            transactions[tid].push(item);
+        }
+    }
+
+    let db = TransactionDb::from_dense(
+        transactions
+            .iter()
+            .map(|t| Itemset::from_items(t))
+            .collect(),
+    );
+    let profiles = profiles_struct
+        .iter()
+        .zip(&full_rows)
+        .map(|(p, rows)| {
+            let mut items = p.core.clone();
+            for seg in &p.segments {
+                items.extend_from_slice(seg);
+            }
+            PlantedPattern {
+                items: Itemset::from_items(&items),
+                rows: TidSet::from_tids(n_total, rows.iter().copied()),
+            }
+        })
+        .collect();
+
+    ReplaceData { db, profiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_itemset::{ClosureOperator, VerticalIndex};
+
+    #[test]
+    fn tiny_shape_and_profiles() {
+        let cfg = ReplaceConfig::tiny(1);
+        let data = replace_like(&cfg);
+        assert_eq!(data.db.len(), 600);
+        assert_eq!(data.db.num_items(), 30); // 26 + 4 rare
+        assert_eq!(data.profiles.len(), 2);
+        for p in &data.profiles {
+            assert_eq!(p.items.len(), cfg.profile_size());
+        }
+    }
+
+    #[test]
+    fn profile_tidsets_are_exact() {
+        let cfg = ReplaceConfig::tiny(2);
+        let data = replace_like(&cfg);
+        let idx = VerticalIndex::new(&data.db);
+        for p in &data.profiles {
+            assert_eq!(idx.tidset(&p.items), p.rows, "recorded rows must match");
+        }
+    }
+
+    #[test]
+    fn profiles_clear_design_threshold() {
+        let cfg = ReplaceConfig::tiny(3);
+        let data = replace_like(&cfg);
+        // Design threshold: 0.03 · 600 = 18.
+        for p in &data.profiles {
+            assert!(
+                p.support() >= 18,
+                "profile support {} below design threshold",
+                p.support()
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_are_closed() {
+        let cfg = ReplaceConfig::tiny(4);
+        let data = replace_like(&cfg);
+        let idx = VerticalIndex::new(&data.db);
+        let cl = ClosureOperator::new(&idx);
+        for p in &data.profiles {
+            assert_eq!(cl.closure(&p.items), p.items);
+        }
+    }
+
+    #[test]
+    fn rare_items_stay_rare() {
+        let cfg = ReplaceConfig::tiny(5);
+        let data = replace_like(&cfg);
+        let idx = VerticalIndex::new(&data.db);
+        for r in 0..cfg.n_rare_items {
+            let item = (cfg.n_items + r) as u32;
+            assert!(idx.item_tidset(item).count() <= cfg.rare_item_rows);
+        }
+    }
+
+    #[test]
+    fn background_transactions_are_short() {
+        let cfg = ReplaceConfig::tiny(6);
+        let data = replace_like(&cfg);
+        let start = cfg.n_profiles * cfg.profile_transactions;
+        let band = cfg.core_size + 3; // deep inside the ≥-band guard
+        for t in &data.db.transactions()[start..] {
+            assert!(
+                t.len() < band,
+                "background transaction of length {} could pollute the profile band",
+                t.len()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_statistics() {
+        let data = replace_like(&ReplaceConfig::default());
+        assert_eq!(data.db.len(), 4395);
+        assert_eq!(data.db.num_items(), 66);
+        assert_eq!(data.profiles.len(), 3);
+        for p in &data.profiles {
+            assert_eq!(p.items.len(), 44, "paper: colossal size 44");
+            assert!(
+                p.support() >= 132,
+                "σ=0.03 → support ≥ 132, got {}",
+                p.support()
+            );
+        }
+        // Profile windows pairwise overlap must stay below the Fig. 8 band.
+        for (i, p) in data.profiles.iter().enumerate() {
+            for q in &data.profiles[..i] {
+                assert!(p.items.intersection_count(&q.items) < 39);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = replace_like(&ReplaceConfig::tiny(8));
+        let b = replace_like(&ReplaceConfig::tiny(8));
+        assert_eq!(a.db, b.db);
+    }
+}

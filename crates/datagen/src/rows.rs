@@ -1,0 +1,322 @@
+//! Constrained sampling of transaction-row subsets.
+//!
+//! The planted-pattern generators must choose, for every planted pattern, a
+//! set of rows (its intended support set) subject to hard constraints that
+//! keep the closed-pattern ground truth analyzable:
+//!
+//! * **pairwise caps** — two planted patterns' row sets may intersect in at
+//!   most `max_pairwise` rows, so their union never reaches the mining
+//!   threshold and the patterns stay separate closed sets;
+//! * **row capacities** — each row has an item budget (e.g. the ALL
+//!   microarray's 866 items per transaction) that planted items consume;
+//! * **required hits** — a row set may be required to intersect given row
+//!   groups (used to force a pattern's support set to leave another planted
+//!   family's union).
+//!
+//! Sampling is randomized greedy with restarts: rows are tried in random
+//! order and accepted only if no constraint breaks, which in practice
+//! succeeds within a few attempts whenever the instance is feasible.
+
+use cfp_itemset::TidSet;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Randomized sampler of row subsets under capacity and overlap constraints.
+#[derive(Debug, Clone)]
+pub struct RowSampler {
+    n_rows: usize,
+    /// Remaining item budget per row.
+    capacity: Vec<usize>,
+    /// Row sets committed so far (for pairwise-intersection caps).
+    committed: Vec<TidSet>,
+}
+
+/// Constraints for one [`RowSampler::sample`] call.
+#[derive(Debug, Clone)]
+pub struct SampleSpec {
+    /// Number of rows to pick.
+    pub size: usize,
+    /// Item budget consumed in every picked row.
+    pub cost: usize,
+    /// Maximum allowed intersection with each committed row set.
+    pub max_pairwise: usize,
+    /// Row groups the sample must intersect in at least one row each.
+    pub must_hit: Vec<TidSet>,
+    /// Row groups the sample must stay within `max_pairwise` of (in addition
+    /// to the committed sets), e.g. other families' row unions.
+    pub bounded_overlap: Vec<TidSet>,
+    /// If non-empty, rows are drawn only from this pool.
+    pub within: Option<TidSet>,
+}
+
+impl SampleSpec {
+    /// A spec with only a size, a per-row cost and a pairwise cap.
+    pub fn new(size: usize, cost: usize, max_pairwise: usize) -> Self {
+        Self {
+            size,
+            cost,
+            max_pairwise,
+            must_hit: Vec::new(),
+            bounded_overlap: Vec::new(),
+            within: None,
+        }
+    }
+}
+
+impl RowSampler {
+    /// Creates a sampler over `n_rows` rows, each with item budget
+    /// `capacity`.
+    pub fn new(n_rows: usize, capacity: usize) -> Self {
+        Self {
+            n_rows,
+            capacity: vec![capacity; n_rows],
+            committed: Vec::new(),
+        }
+    }
+
+    /// Number of rows in the universe.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Remaining budget of `row`.
+    pub fn remaining(&self, row: usize) -> usize {
+        self.capacity[row]
+    }
+
+    /// Manually deducts `cost` from `row`'s budget (used for structures like
+    /// the quasi-clique block that are placed outside the sampler).
+    ///
+    /// # Panics
+    /// Panics if the row lacks budget; generator parameters are then
+    /// infeasible and the caller should fail loudly rather than mis-generate.
+    pub fn deduct(&mut self, row: usize, cost: usize) {
+        assert!(
+            self.capacity[row] >= cost,
+            "row {row} over budget: {} < {cost}",
+            self.capacity[row]
+        );
+        self.capacity[row] -= cost;
+    }
+
+    /// Returns `cost` budget to `row` (e.g. when a provisional reservation
+    /// turns out unused).
+    pub fn refund(&mut self, row: usize, cost: usize) {
+        self.capacity[row] += cost;
+    }
+
+    /// Registers an externally chosen row set for future pairwise caps
+    /// without consuming capacity.
+    pub fn commit_external(&mut self, rows: TidSet) {
+        self.committed.push(rows);
+    }
+
+    /// Samples a row set satisfying `spec`, commits it (deducting capacity
+    /// and registering it for pairwise caps), and returns it.
+    ///
+    /// Returns `None` after `max_attempts` failed randomized attempts, which
+    /// signals an infeasible or nearly infeasible instance.
+    pub fn sample<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        spec: &SampleSpec,
+        max_attempts: usize,
+    ) -> Option<TidSet> {
+        for _ in 0..max_attempts {
+            if let Some(rows) = self.try_once(rng, spec) {
+                for r in rows.iter() {
+                    self.capacity[r] -= spec.cost;
+                }
+                self.committed.push(rows.clone());
+                return Some(rows);
+            }
+        }
+        None
+    }
+
+    /// One randomized greedy attempt.
+    fn try_once<R: Rng>(&self, rng: &mut R, spec: &SampleSpec) -> Option<TidSet> {
+        let mut candidates: Vec<usize> = (0..self.n_rows)
+            .filter(|&r| self.capacity[r] >= spec.cost)
+            .filter(|&r| spec.within.as_ref().is_none_or(|w| w.contains(r)))
+            .collect();
+        if candidates.len() < spec.size {
+            return None;
+        }
+        candidates.shuffle(rng);
+        // Prefer rows with more remaining budget (bucketed so the shuffle
+        // still diversifies within a bucket): this balances load and keeps
+        // tight occupancy instances feasible.
+        let bucket = spec.cost.max(1);
+        candidates.sort_by_key(|&r| std::cmp::Reverse(self.capacity[r] / bucket));
+
+        // Greedy pass 1: make sure every must-hit group gets a row early,
+        // otherwise the greedy fill can exhaust the quota first.
+        let mut picked = TidSet::empty(self.n_rows);
+        let mut count = 0usize;
+        let mut overlap_committed = vec![0usize; self.committed.len()];
+        let mut overlap_bounded = vec![0usize; spec.bounded_overlap.len()];
+
+        let admissible = |r: usize,
+                          overlap_committed: &mut Vec<usize>,
+                          overlap_bounded: &mut Vec<usize>|
+         -> bool {
+            for (j, set) in self.committed.iter().enumerate() {
+                if set.contains(r) && overlap_committed[j] + 1 > spec.max_pairwise {
+                    return false;
+                }
+            }
+            for (j, set) in spec.bounded_overlap.iter().enumerate() {
+                if set.contains(r) && overlap_bounded[j] + 1 > spec.max_pairwise {
+                    return false;
+                }
+            }
+            for (j, set) in self.committed.iter().enumerate() {
+                if set.contains(r) {
+                    overlap_committed[j] += 1;
+                }
+            }
+            for (j, set) in spec.bounded_overlap.iter().enumerate() {
+                if set.contains(r) {
+                    overlap_bounded[j] += 1;
+                }
+            }
+            true
+        };
+
+        for group in &spec.must_hit {
+            if picked.intersection_count(group) > 0 {
+                continue;
+            }
+            let hit = candidates
+                .iter()
+                .copied()
+                .find(|&r| !picked.contains(r) && group.contains(r));
+            let r = hit?;
+            if !admissible(r, &mut overlap_committed, &mut overlap_bounded) {
+                return None; // retry with a fresh shuffle
+            }
+            picked.insert(r);
+            count += 1;
+            if count > spec.size {
+                return None;
+            }
+        }
+
+        // Greedy pass 2: fill up to the requested size.
+        for &r in &candidates {
+            if count == spec.size {
+                break;
+            }
+            if picked.contains(r) {
+                continue;
+            }
+            if admissible(r, &mut overlap_committed, &mut overlap_bounded) {
+                picked.insert(r);
+                count += 1;
+            }
+        }
+        (count == spec.size).then_some(picked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_respects_size_and_capacity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = RowSampler::new(10, 100);
+        let spec = SampleSpec::new(4, 30, 10);
+        let a = s.sample(&mut rng, &spec, 100).unwrap();
+        assert_eq!(a.count(), 4);
+        for r in a.iter() {
+            assert_eq!(s.remaining(r), 70);
+        }
+        // After three draws a row could be at 100-90=10 < 30, so a fourth
+        // draw over the same rows must avoid exhausted rows.
+        let b = s.sample(&mut rng, &spec, 100).unwrap();
+        let c = s.sample(&mut rng, &spec, 100).unwrap();
+        for r in b.iter().chain(c.iter()) {
+            assert!(s.remaining(r) + 30 <= 100);
+        }
+    }
+
+    #[test]
+    fn pairwise_cap_is_enforced() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = RowSampler::new(12, 1000);
+        let spec = SampleSpec::new(6, 1, 3);
+        let mut sets = Vec::new();
+        for _ in 0..4 {
+            sets.push(s.sample(&mut rng, &spec, 1000).unwrap());
+        }
+        for i in 0..sets.len() {
+            for j in 0..i {
+                assert!(
+                    sets[i].intersection_count(&sets[j]) <= 3,
+                    "sets {i} and {j} overlap too much"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn must_hit_groups_are_hit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = RowSampler::new(20, 10);
+        let group = TidSet::from_tids(20, [17, 18, 19]);
+        let mut spec = SampleSpec::new(5, 1, 5);
+        spec.must_hit.push(group.clone());
+        for _ in 0..10 {
+            let set = s.clone().sample(&mut rng, &spec, 100).unwrap();
+            assert!(set.intersection_count(&group) >= 1);
+        }
+    }
+
+    #[test]
+    fn within_restricts_pool() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = RowSampler::new(30, 10);
+        let pool = TidSet::from_tids(30, 0..8);
+        let mut spec = SampleSpec::new(6, 1, 6);
+        spec.within = Some(pool.clone());
+        let set = s.sample(&mut rng, &spec, 100).unwrap();
+        assert!(set.is_subset(&pool));
+    }
+
+    #[test]
+    fn bounded_overlap_against_external_group() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = RowSampler::new(10, 10);
+        let family_union = TidSet::from_tids(10, 0..8); // complement {8, 9}
+        let mut spec = SampleSpec::new(7, 1, 6);
+        spec.bounded_overlap.push(family_union.clone());
+        for _ in 0..10 {
+            let set = s.clone().sample(&mut rng, &spec, 200).unwrap();
+            assert!(set.intersection_count(&family_union) <= 6);
+        }
+    }
+
+    #[test]
+    fn infeasible_spec_returns_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = RowSampler::new(4, 10);
+        // Asking for more rows than exist.
+        assert!(s.sample(&mut rng, &SampleSpec::new(5, 1, 4), 50).is_none());
+        // Asking for more budget than rows carry.
+        assert!(s.sample(&mut rng, &SampleSpec::new(2, 11, 4), 50).is_none());
+    }
+
+    #[test]
+    fn deduct_tracks_and_panics_on_overflow() {
+        let mut s = RowSampler::new(3, 5);
+        s.deduct(1, 5);
+        assert_eq!(s.remaining(1), 0);
+        let result = std::panic::catch_unwind(move || s.deduct(1, 1));
+        assert!(result.is_err());
+    }
+}

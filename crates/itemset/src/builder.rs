@@ -1,0 +1,138 @@
+//! Incremental database construction with item remapping.
+
+use crate::database::TransactionDb;
+use crate::item::{Item, ItemMap};
+use crate::itemset::Itemset;
+
+/// Builds a [`TransactionDb`] from transactions over arbitrary `u32` labels.
+///
+/// Labels are interned to dense internal ids in first-seen order. Call
+/// [`DbBuilder::build`] to finish, or
+/// [`DbBuilder::build_frequency_ordered`] to additionally renumber items in
+/// descending frequency order — the ordering FP-growth and the closed/maximal
+/// miners prefer, since it shrinks the FP-tree and tightens pruning.
+#[derive(Debug, Default, Clone)]
+pub struct DbBuilder {
+    map: ItemMap,
+    transactions: Vec<Itemset>,
+}
+
+impl DbBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one transaction given by external item labels (duplicates are
+    /// collapsed). Returns the transaction id it received.
+    pub fn add_transaction(&mut self, labels: &[u32]) -> usize {
+        let items: Vec<Item> = labels.iter().map(|&l| self.map.intern(l)).collect();
+        let tid = self.transactions.len();
+        self.transactions.push(Itemset::from_items(&items));
+        tid
+    }
+
+    /// Number of transactions added so far.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether no transactions were added.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Finishes with first-seen item numbering.
+    pub fn build(self) -> TransactionDb {
+        let n = self.map.len() as u32;
+        TransactionDb::from_parts(self.transactions, n, self.map)
+    }
+
+    /// Finishes, renumbering items so that item `0` is the most frequent.
+    ///
+    /// Ties are broken by the old internal id to keep the result
+    /// deterministic.
+    pub fn build_frequency_ordered(self) -> TransactionDb {
+        let n = self.map.len();
+        let mut counts = vec![0usize; n];
+        for t in &self.transactions {
+            for item in t.iter() {
+                counts[item as usize] += 1;
+            }
+        }
+        // order[k] = old id that should become new id k.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
+        let mut renumber = vec![0 as Item; n];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            renumber[old_id] = new_id as Item;
+        }
+
+        let transactions: Vec<Itemset> = self
+            .transactions
+            .iter()
+            .map(|t| t.iter().map(|i| renumber[i as usize]).collect())
+            .collect();
+
+        let mut map = ItemMap::new();
+        for &old_id in &order {
+            map.intern(self.map.external(old_id as Item));
+        }
+        TransactionDb::from_parts(transactions, n as u32, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_interns_in_first_seen_order() {
+        let mut b = DbBuilder::new();
+        b.add_transaction(&[100, 7]);
+        b.add_transaction(&[7, 3]);
+        let db = b.build();
+        assert_eq!(db.num_items(), 3);
+        assert_eq!(db.item_map().internal(100), Some(0));
+        assert_eq!(db.item_map().internal(7), Some(1));
+        assert_eq!(db.item_map().internal(3), Some(2));
+    }
+
+    #[test]
+    fn frequency_ordering_puts_hottest_item_first() {
+        let mut b = DbBuilder::new();
+        b.add_transaction(&[1, 2]);
+        b.add_transaction(&[2, 3]);
+        b.add_transaction(&[2]);
+        b.add_transaction(&[3]);
+        let db = b.build_frequency_ordered();
+        // Frequencies: 2 → 3 times, 3 → 2 times, 1 → once.
+        assert_eq!(db.item_map().internal(2), Some(0));
+        assert_eq!(db.item_map().internal(3), Some(1));
+        assert_eq!(db.item_map().internal(1), Some(2));
+        // Supports must be preserved under renumbering.
+        assert_eq!(db.support(&Itemset::singleton(0)), 3);
+        assert_eq!(db.support(&Itemset::singleton(1)), 2);
+        assert_eq!(db.support(&Itemset::singleton(2)), 1);
+    }
+
+    #[test]
+    fn frequency_ordering_is_deterministic_on_ties() {
+        let mut b = DbBuilder::new();
+        b.add_transaction(&[9, 4]);
+        b.add_transaction(&[4, 9]);
+        let db = b.build_frequency_ordered();
+        // Both items occur twice; the tie breaks by first-seen internal id.
+        assert_eq!(db.item_map().internal(9), Some(0));
+        assert_eq!(db.item_map().internal(4), Some(1));
+    }
+
+    #[test]
+    fn tids_are_insertion_ordered() {
+        let mut b = DbBuilder::new();
+        assert_eq!(b.add_transaction(&[1]), 0);
+        assert_eq!(b.add_transaction(&[2]), 1);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

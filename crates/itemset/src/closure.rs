@@ -1,0 +1,129 @@
+//! The closure operator of frequent-pattern mining.
+//!
+//! The closure of a pattern α is the set of all items common to every
+//! transaction in `D(α)`. A pattern is **closed** (Definition 2) iff it equals
+//! its closure. The closed miner, the maximal miner, and Pattern-Fusion's
+//! optional closure post-step all share this operator.
+
+use crate::itemset::Itemset;
+use crate::tidset::TidSet;
+use crate::vertical::VerticalIndex;
+
+/// Computes closures against a fixed vertical index.
+#[derive(Debug, Clone)]
+pub struct ClosureOperator<'a> {
+    index: &'a VerticalIndex,
+}
+
+impl<'a> ClosureOperator<'a> {
+    /// Creates a closure operator over `index`.
+    pub fn new(index: &'a VerticalIndex) -> Self {
+        Self { index }
+    }
+
+    /// The closure of the pattern whose support set is `tidset`:
+    /// `{ o | D(α) ⊆ D({o}) }`.
+    ///
+    /// An empty `tidset` closes to the set of **all** items (the top of the
+    /// concept lattice); callers mining frequent patterns never reach it
+    /// because frequent patterns have non-empty support.
+    pub fn closure_of_tidset(&self, tidset: &TidSet) -> Itemset {
+        let mut items = Vec::new();
+        for item in 0..self.index.num_items() {
+            if tidset.is_subset(self.index.item_tidset(item)) {
+                items.push(item);
+            }
+        }
+        Itemset::from_sorted(items)
+    }
+
+    /// The closure of `pattern` (computes its tid-set first).
+    pub fn closure(&self, pattern: &Itemset) -> Itemset {
+        self.closure_of_tidset(&self.index.tidset(pattern))
+    }
+
+    /// Whether `pattern` is closed: no super-pattern has the same support set.
+    pub fn is_closed(&self, pattern: &Itemset) -> bool {
+        &self.closure(pattern) == pattern
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::TransactionDb;
+
+    /// Figure 3's database with duplicate multiplicities collapsed to 1; the
+    /// closure structure is identical because closures depend only on which
+    /// transactions contain which items.
+    fn fig3_db() -> (TransactionDb, VerticalIndex) {
+        let db = TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 1, 3]),       // abe
+            Itemset::from_items(&[1, 2, 4]),       // bcf
+            Itemset::from_items(&[0, 2, 4]),       // acf
+            Itemset::from_items(&[0, 1, 2, 3, 4]), // abcef
+        ]);
+        let idx = VerticalIndex::new(&db);
+        (db, idx)
+    }
+
+    #[test]
+    fn closure_adds_implied_items() {
+        let (_db, idx) = fig3_db();
+        let cl = ClosureOperator::new(&idx);
+        // e (item 3) appears only in t0 and t3, both of which contain a and b:
+        // closure(e) = abe.
+        assert_eq!(
+            cl.closure(&Itemset::from_items(&[3])),
+            Itemset::from_items(&[0, 1, 3])
+        );
+        // a appears in t0,t2,t3 which share only a.
+        assert_eq!(
+            cl.closure(&Itemset::from_items(&[0])),
+            Itemset::from_items(&[0])
+        );
+    }
+
+    #[test]
+    fn closed_patterns_are_fixed_points() {
+        let (_db, idx) = fig3_db();
+        let cl = ClosureOperator::new(&idx);
+        assert!(cl.is_closed(&Itemset::from_items(&[0, 1, 3]))); // abe
+        assert!(!cl.is_closed(&Itemset::from_items(&[3]))); // e
+        assert!(cl.is_closed(&Itemset::from_items(&[0, 1, 2, 3, 4]))); // abcef
+    }
+
+    #[test]
+    fn closure_axioms_hold_exhaustively() {
+        // Extensive (α ⊆ cl(α)), monotone (α⊆β ⇒ cl(α)⊆cl(β)), idempotent.
+        let (db, idx) = fig3_db();
+        let cl = ClosureOperator::new(&idx);
+        let n = db.num_items();
+        let mut all = Vec::new();
+        for mask in 0u32..(1 << n) {
+            let items: Vec<u32> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+            all.push(Itemset::from_items(&items));
+        }
+        for a in &all {
+            let ca = cl.closure(a);
+            assert!(a.is_subset_of(&ca), "extensive: {a} ⊄ {ca}");
+            assert_eq!(cl.closure(&ca), ca, "idempotent at {a}");
+            for b in &all {
+                if a.is_subset_of(b) {
+                    assert!(
+                        ca.is_subset_of(&cl.closure(b)),
+                        "monotone: cl({a}) ⊄ cl({b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tidset_closes_to_all_items() {
+        let (db, idx) = fig3_db();
+        let cl = ClosureOperator::new(&idx);
+        let empty = TidSet::empty(db.len());
+        assert_eq!(cl.closure_of_tidset(&empty).len(), db.num_items() as usize);
+    }
+}

@@ -1,0 +1,204 @@
+//! Horizontal transaction database.
+
+use crate::error::{Error, Result};
+use crate::item::ItemMap;
+use crate::itemset::Itemset;
+
+/// A minimum-support threshold.
+///
+/// The paper defines support relatively (σ ∈ \[0,1\], Definition 1) but every
+/// algorithm works on absolute transaction counts; this type captures the
+/// conversion in one place so thresholds never get mixed up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MinSupport {
+    count: usize,
+}
+
+impl MinSupport {
+    /// An absolute threshold: a pattern is frequent iff `|D(α)| ≥ count`.
+    ///
+    /// A count of `0` is normalized to `1`: the empty support level is never a
+    /// meaningful frequency requirement.
+    pub fn absolute(count: usize) -> Self {
+        Self {
+            count: count.max(1),
+        }
+    }
+
+    /// A relative threshold σ over a database of `n` transactions:
+    /// `count = ⌈σ·n⌉` (so `support/n ≥ σ` exactly matches `support ≥ count`).
+    pub fn relative(sigma: f64, n: usize) -> Result<Self> {
+        if !(0.0..=1.0).contains(&sigma) || sigma.is_nan() {
+            return Err(Error::InvalidThreshold(sigma));
+        }
+        Ok(Self::absolute((sigma * n as f64).ceil() as usize))
+    }
+
+    /// The absolute transaction count required.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// A transaction database `D = {t1, …, tn}` in horizontal layout.
+///
+/// Transactions are [`Itemset`]s over dense internal item ids; the attached
+/// [`ItemMap`] translates back to external labels for presentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionDb {
+    transactions: Vec<Itemset>,
+    num_items: u32,
+    item_map: ItemMap,
+}
+
+impl TransactionDb {
+    /// Assembles a database from parts. Prefer [`crate::DbBuilder`].
+    pub(crate) fn from_parts(
+        transactions: Vec<Itemset>,
+        num_items: u32,
+        item_map: ItemMap,
+    ) -> Self {
+        Self {
+            transactions,
+            num_items,
+            item_map,
+        }
+    }
+
+    /// Builds a database whose items are already dense `0..num_items` ids.
+    ///
+    /// Used by the synthetic generators, which control their own id space.
+    pub fn from_dense(transactions: Vec<Itemset>) -> Self {
+        let num_items = transactions
+            .iter()
+            .flat_map(|t| t.items().last().copied())
+            .max()
+            .map_or(0, |m| m + 1);
+        Self {
+            transactions,
+            num_items,
+            item_map: ItemMap::identity(num_items),
+        }
+    }
+
+    /// Number of transactions `|D|`.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the database has no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Number of distinct items `d` (ids are `0..d`).
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// The transaction with id `tid`.
+    pub fn transaction(&self, tid: usize) -> &Itemset {
+        &self.transactions[tid]
+    }
+
+    /// All transactions, indexable by tid.
+    pub fn transactions(&self) -> &[Itemset] {
+        &self.transactions
+    }
+
+    /// The external ↔ internal item map.
+    pub fn item_map(&self) -> &ItemMap {
+        &self.item_map
+    }
+
+    /// Absolute support `|D(α)|` by scanning (O(n·|t|); use
+    /// [`crate::VerticalIndex`] on hot paths).
+    pub fn support(&self, pattern: &Itemset) -> usize {
+        self.transactions
+            .iter()
+            .filter(|t| pattern.is_subset_of(t))
+            .count()
+    }
+
+    /// Relative support `s(α) = |D(α)| / |D|` (Definition 1).
+    pub fn relative_support(&self, pattern: &Itemset) -> f64 {
+        if self.transactions.is_empty() {
+            0.0
+        } else {
+            self.support(pattern) as f64 / self.transactions.len() as f64
+        }
+    }
+
+    /// Converts a relative threshold for this database.
+    pub fn min_support(&self, sigma: f64) -> Result<MinSupport> {
+        MinSupport::relative(sigma, self.len())
+    }
+
+    /// Total number of item occurrences (Σ |tᵢ|), a size measure used by the
+    /// generators to respect occupancy budgets.
+    pub fn total_occurrences(&self) -> usize {
+        self.transactions.iter().map(Itemset::len).sum()
+    }
+
+    /// Average transaction length.
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.transactions.is_empty() {
+            0.0
+        } else {
+            self.total_occurrences() as f64 / self.transactions.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db() -> TransactionDb {
+        // Figure 3's database shape (one copy of each distinct transaction):
+        // (abe) (bcf) (acf) (abcef) with a=0 b=1 c=2 e=3 f=4.
+        TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 1, 3]),
+            Itemset::from_items(&[1, 2, 4]),
+            Itemset::from_items(&[0, 2, 4]),
+            Itemset::from_items(&[0, 1, 2, 3, 4]),
+        ])
+    }
+
+    #[test]
+    fn support_by_scan() {
+        let db = tiny_db();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.num_items(), 5);
+        assert_eq!(db.support(&Itemset::from_items(&[0, 1])), 2); // ab in t0,t3
+        assert_eq!(db.support(&Itemset::from_items(&[3])), 2); // e in t0,t3
+        assert_eq!(db.support(&Itemset::empty()), 4);
+        assert!((db.relative_support(&Itemset::from_items(&[0, 1])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_support_conversion() {
+        assert_eq!(MinSupport::relative(0.5, 4).unwrap().count(), 2);
+        assert_eq!(MinSupport::relative(0.26, 4).unwrap().count(), 2); // ceil(1.04)
+        assert_eq!(MinSupport::relative(0.0, 4).unwrap().count(), 1); // normalized
+        assert_eq!(MinSupport::absolute(0).count(), 1);
+        assert!(MinSupport::relative(1.5, 4).is_err());
+        assert!(MinSupport::relative(f64::NAN, 4).is_err());
+    }
+
+    #[test]
+    fn size_measures() {
+        let db = tiny_db();
+        assert_eq!(db.total_occurrences(), 3 + 3 + 3 + 5);
+        assert!((db.avg_transaction_len() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_dense_infers_item_count() {
+        let db = TransactionDb::from_dense(vec![Itemset::from_items(&[7])]);
+        assert_eq!(db.num_items(), 8);
+        let empty = TransactionDb::from_dense(vec![]);
+        assert_eq!(empty.num_items(), 0);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by the itemset engine.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building, parsing, or querying transaction data.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying I/O failure while reading or writing a dataset file.
+    Io(std::io::Error),
+    /// A dataset file contained a token that is not a non-negative integer.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the malformed token.
+        message: String,
+    },
+    /// An operation that requires a non-empty database received an empty one.
+    EmptyDatabase,
+    /// An item identifier outside the database's dense item range was used.
+    ItemOutOfRange {
+        /// The offending item identifier.
+        item: u32,
+        /// Number of items in the database (valid ids are `0..num_items`).
+        num_items: u32,
+    },
+    /// A relative minimum-support threshold was outside `[0, 1]`.
+    InvalidThreshold(f64),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            Error::EmptyDatabase => write!(f, "operation requires a non-empty database"),
+            Error::ItemOutOfRange { item, num_items } => {
+                write!(
+                    f,
+                    "item {item} out of range (database has {num_items} items)"
+                )
+            }
+            Error::InvalidThreshold(sigma) => {
+                write!(f, "relative support threshold {sigma} not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::Parse {
+            line: 3,
+            message: "bad token 'x'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error on line 3: bad token 'x'");
+        assert_eq!(
+            Error::ItemOutOfRange {
+                item: 9,
+                num_items: 4
+            }
+            .to_string(),
+            "item 9 out of range (database has 4 items)"
+        );
+        assert_eq!(
+            Error::InvalidThreshold(1.5).to_string(),
+            "relative support threshold 1.5 not in [0, 1]"
+        );
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = Error::from(inner);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

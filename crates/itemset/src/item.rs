@@ -1,0 +1,126 @@
+//! Items and the external ↔ internal identifier map.
+
+use std::collections::HashMap;
+
+/// An item identifier.
+///
+/// Items are dense: a database over *d* items uses exactly the identifiers
+/// `0..d`. Dense identifiers let the vertical index and the FP-tree use flat
+/// vectors instead of hash maps on the hot path.
+pub type Item = u32;
+
+/// Bidirectional map between external item labels and dense internal ids.
+///
+/// Datasets in the wild (FIMI files, generators) use arbitrary `u32` labels.
+/// [`crate::DbBuilder`] assigns each distinct label a dense internal id in
+/// first-seen order; miners work on internal ids and translate back through
+/// this map only when presenting results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ItemMap {
+    /// `external[i]` is the external label of internal item `i`.
+    external: Vec<u32>,
+    /// Reverse lookup from external label to internal id.
+    internal: HashMap<u32, Item>,
+}
+
+impl ItemMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an identity map over `n` items (`external == internal`).
+    ///
+    /// Generators that already produce dense ids use this to avoid paying for
+    /// remapping.
+    pub fn identity(n: u32) -> Self {
+        let external: Vec<u32> = (0..n).collect();
+        let internal = external.iter().map(|&x| (x, x)).collect();
+        Self { external, internal }
+    }
+
+    /// Returns the internal id for `label`, inserting a fresh one if needed.
+    pub fn intern(&mut self, label: u32) -> Item {
+        if let Some(&id) = self.internal.get(&label) {
+            return id;
+        }
+        let id = self.external.len() as Item;
+        self.external.push(label);
+        self.internal.insert(label, id);
+        id
+    }
+
+    /// Returns the internal id for `label`, if it has been interned.
+    pub fn internal(&self, label: u32) -> Option<Item> {
+        self.internal.get(&label).copied()
+    }
+
+    /// Returns the external label of internal item `item`.
+    ///
+    /// # Panics
+    /// Panics if `item` was never interned.
+    pub fn external(&self, item: Item) -> u32 {
+        self.external[item as usize]
+    }
+
+    /// Number of distinct items interned so far.
+    pub fn len(&self) -> usize {
+        self.external.len()
+    }
+
+    /// Whether no items have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.external.is_empty()
+    }
+
+    /// Translates a slice of internal items back to sorted external labels.
+    pub fn externalize(&self, items: &[Item]) -> Vec<u32> {
+        let mut out: Vec<u32> = items.iter().map(|&i| self.external(i)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut map = ItemMap::new();
+        assert_eq!(map.intern(100), 0);
+        assert_eq!(map.intern(7), 1);
+        assert_eq!(map.intern(100), 0);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.external(0), 100);
+        assert_eq!(map.external(1), 7);
+        assert_eq!(map.internal(7), Some(1));
+        assert_eq!(map.internal(8), None);
+    }
+
+    #[test]
+    fn identity_round_trips() {
+        let map = ItemMap::identity(5);
+        for i in 0..5 {
+            assert_eq!(map.internal(i), Some(i));
+            assert_eq!(map.external(i), i);
+        }
+        assert_eq!(map.len(), 5);
+    }
+
+    #[test]
+    fn externalize_sorts_labels() {
+        let mut map = ItemMap::new();
+        map.intern(50); // internal 0
+        map.intern(10); // internal 1
+        map.intern(30); // internal 2
+        assert_eq!(map.externalize(&[0, 1, 2]), vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn empty_map_reports_empty() {
+        let map = ItemMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Sorted, deduplicated itemsets.
+
+use crate::item::Item;
+use std::fmt;
+
+/// An itemset: a sorted, duplicate-free set of items.
+///
+/// The sorted-vector representation makes subset tests, unions, and
+/// intersections linear merges, keeps memory contiguous, and gives a total
+/// order (lexicographic) for free — which the miners use for prefix-based
+/// enumeration.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Itemset {
+    items: Vec<Item>,
+}
+
+impl Itemset {
+    /// The empty itemset.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds an itemset from a slice, sorting and deduplicating.
+    pub fn from_items(items: &[Item]) -> Self {
+        let mut v = items.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        Self { items: v }
+    }
+
+    /// Builds an itemset from a vector **already sorted and deduplicated**.
+    ///
+    /// # Panics
+    /// Panics (debug) if the invariant does not hold.
+    pub fn from_sorted(items: Vec<Item>) -> Self {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly ascending items"
+        );
+        Self { items }
+    }
+
+    /// A singleton itemset.
+    pub fn singleton(item: Item) -> Self {
+        Self { items: vec![item] }
+    }
+
+    /// Cardinality |α| (Definition: number of items).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the itemset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items, sorted ascending.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Whether `item` is a member (binary search).
+    pub fn contains(&self, item: Item) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Whether `self ⊆ other`.
+    ///
+    /// Dispatches between a linear merge and per-item binary search: fusion
+    /// constantly asks whether a 2–3 item pool pattern is inside a fused
+    /// pattern of hundreds of items, where the merge would walk the large
+    /// side end to end.
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        if self.items.len() > other.items.len() {
+            return false;
+        }
+        // Binary search wins when |self|·log|other| ≪ |self| + |other|.
+        if self.items.len() * 8 < other.items.len() {
+            return self
+                .items
+                .iter()
+                .all(|x| other.items.binary_search(x).is_ok());
+        }
+        let mut it = other.items.iter();
+        'outer: for &x in &self.items {
+            for &y in it.by_ref() {
+                match y.cmp(&x) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether `self ⊂ other` (proper subset).
+    pub fn is_proper_subset_of(&self, other: &Itemset) -> bool {
+        self.items.len() < other.items.len() && self.is_subset_of(other)
+    }
+
+    /// Union `self ∪ other` as a new itemset.
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        let mut out = Vec::with_capacity(self.items.len() + other.items.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.items[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[i..]);
+        out.extend_from_slice(&other.items[j..]);
+        Itemset { items: out }
+    }
+
+    /// Extends `self` in place with the items of `other` (union assign).
+    pub fn union_with(&mut self, other: &Itemset) {
+        // The merge result is built fresh; reuse would complicate the common
+        // case where `other` adds only a few items.
+        *self = self.union(other);
+    }
+
+    /// Intersection `self ∩ other` as a new itemset.
+    pub fn intersection(&self, other: &Itemset) -> Itemset {
+        let mut out = Vec::with_capacity(self.items.len().min(other.items.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Itemset { items: out }
+    }
+
+    /// Set difference `self \ other` as a new itemset.
+    pub fn difference(&self, other: &Itemset) -> Itemset {
+        let mut out = Vec::with_capacity(self.items.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() {
+            if j >= other.items.len() || self.items[i] < other.items[j] {
+                out.push(self.items[i]);
+                i += 1;
+            } else if self.items[i] == other.items[j] {
+                i += 1;
+                j += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Itemset { items: out }
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_count(&self, other: &Itemset) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// `|self ∪ other|` without allocating.
+    pub fn union_count(&self, other: &Itemset) -> usize {
+        self.items.len() + other.items.len() - self.intersection_count(other)
+    }
+
+    /// Returns a new itemset with `item` inserted.
+    pub fn with_item(&self, item: Item) -> Itemset {
+        match self.items.binary_search(&item) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut v = Vec::with_capacity(self.items.len() + 1);
+                v.extend_from_slice(&self.items[..pos]);
+                v.push(item);
+                v.extend_from_slice(&self.items[pos..]);
+                Itemset { items: v }
+            }
+        }
+    }
+
+    /// Returns a new itemset with `item` removed (if present).
+    pub fn without_item(&self, item: Item) -> Itemset {
+        match self.items.binary_search(&item) {
+            Err(_) => self.clone(),
+            Ok(pos) => {
+                let mut v = self.items.clone();
+                v.remove(pos);
+                Itemset { items: v }
+            }
+        }
+    }
+
+    /// Iterates over the items in ascending order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Item>> {
+        self.items.iter().copied()
+    }
+}
+
+impl FromIterator<Item> for Itemset {
+    fn from_iter<I: IntoIterator<Item = Item>>(iter: I) -> Self {
+        let v: Vec<Item> = iter.into_iter().collect();
+        Itemset::from_items(&v)
+    }
+}
+
+impl From<Vec<Item>> for Itemset {
+    fn from(v: Vec<Item>) -> Self {
+        Itemset::from_items(&v)
+    }
+}
+
+impl fmt::Debug for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Itemset {
+    /// Renders as `(o1 o2 ... ok)`, matching the paper's notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn from_items_sorts_and_dedups() {
+        let s = Itemset::from_items(&[3, 1, 3, 2, 1]);
+        assert_eq!(s.items(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let ab = Itemset::from_items(&[0, 1]);
+        let abc = Itemset::from_items(&[0, 1, 2]);
+        let bd = Itemset::from_items(&[1, 3]);
+        assert!(ab.is_subset_of(&abc));
+        assert!(ab.is_proper_subset_of(&abc));
+        assert!(!abc.is_subset_of(&ab));
+        assert!(!bd.is_subset_of(&abc));
+        assert!(abc.is_subset_of(&abc));
+        assert!(!abc.is_proper_subset_of(&abc));
+        assert!(Itemset::empty().is_subset_of(&ab));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = Itemset::from_items(&[1, 2, 5]);
+        let b = Itemset::from_items(&[2, 3]);
+        assert_eq!(a.union(&b).items(), &[1, 2, 3, 5]);
+        assert_eq!(a.intersection(&b).items(), &[2]);
+        assert_eq!(a.difference(&b).items(), &[1, 5]);
+        assert_eq!(a.union_count(&b), 4);
+        assert_eq!(a.intersection_count(&b), 1);
+    }
+
+    #[test]
+    fn with_and_without_item() {
+        let a = Itemset::from_items(&[1, 5]);
+        assert_eq!(a.with_item(3).items(), &[1, 3, 5]);
+        assert_eq!(a.with_item(5).items(), &[1, 5]);
+        assert_eq!(a.without_item(1).items(), &[5]);
+        assert_eq!(a.without_item(9).items(), &[1, 5]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let s = Itemset::from_items(&[41, 42, 79]);
+        assert_eq!(s.to_string(), "(41 42 79)");
+        assert_eq!(Itemset::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Itemset::from_items(&[1, 2]);
+        let b = Itemset::from_items(&[1, 3]);
+        let c = Itemset::from_items(&[1, 2, 3]);
+        assert!(a < b);
+        assert!(a < c); // prefix is smaller
+        assert!(c < b);
+    }
+
+    fn arb_items() -> impl Strategy<Value = Vec<Item>> {
+        proptest::collection::vec(0u32..40, 0..24)
+    }
+
+    proptest! {
+        /// All itemset operations agree with a `BTreeSet` model.
+        #[test]
+        fn ops_match_btreeset_model(xs in arb_items(), ys in arb_items()) {
+            let ma: BTreeSet<Item> = xs.iter().copied().collect();
+            let mb: BTreeSet<Item> = ys.iter().copied().collect();
+            let a = Itemset::from_items(&xs);
+            let b = Itemset::from_items(&ys);
+
+            prop_assert_eq!(a.len(), ma.len());
+            prop_assert_eq!(
+                a.union(&b).items().to_vec(),
+                ma.union(&mb).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                a.intersection(&b).items().to_vec(),
+                ma.intersection(&mb).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                a.difference(&b).items().to_vec(),
+                ma.difference(&mb).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(a.is_subset_of(&b), ma.is_subset(&mb));
+            prop_assert_eq!(a.union_count(&b), ma.union(&mb).count());
+            prop_assert_eq!(a.intersection_count(&b), ma.intersection(&mb).count());
+        }
+
+        /// `with_item`/`without_item` round-trip.
+        #[test]
+        fn with_without_round_trip(xs in arb_items(), item in 0u32..40) {
+            let a = Itemset::from_items(&xs);
+            let added = a.with_item(item);
+            prop_assert!(added.contains(item));
+            let removed = added.without_item(item);
+            prop_assert!(!removed.contains(item));
+            prop_assert_eq!(removed, a.without_item(item));
+        }
+    }
+}

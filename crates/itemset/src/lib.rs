@@ -1,0 +1,56 @@
+//! Itemset and transaction-database engine.
+//!
+//! This crate is the substrate shared by every miner in the workspace: it
+//! defines items, sorted itemsets, packed-bitset transaction-id sets
+//! ([`TidSet`]), the horizontal transaction database ([`TransactionDb`]), the
+//! vertical item → tid-set index ([`VerticalIndex`]), the closure operator of
+//! formal concept analysis, and FIMI `.dat` I/O.
+//!
+//! # Conventions
+//!
+//! * Items are dense `u32` identifiers, `0..db.num_items()`. External item
+//!   labels are remapped through [`DbBuilder`]/[`ItemMap`].
+//! * Transactions are identified by their index (tid) in insertion order.
+//! * Support is carried as an **absolute count** of transactions. Helpers on
+//!   [`TransactionDb`] convert relative thresholds (the paper's σ) into
+//!   counts.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cfp_itemset::{DbBuilder, Itemset, VerticalIndex};
+//!
+//! let mut builder = DbBuilder::new();
+//! builder.add_transaction(&[1, 2, 5]);
+//! builder.add_transaction(&[1, 2]);
+//! builder.add_transaction(&[2, 5]);
+//! let db = builder.build();
+//!
+//! let index = VerticalIndex::new(&db);
+//! let ab = Itemset::from_items(&[db.item_map().internal(1).unwrap(),
+//!                                db.item_map().internal(2).unwrap()]);
+//! assert_eq!(index.support(&ab), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod closure;
+mod database;
+mod error;
+mod io;
+mod item;
+mod itemset;
+mod tidset;
+mod vertical;
+
+pub use builder::DbBuilder;
+pub use closure::ClosureOperator;
+pub use database::{MinSupport, TransactionDb};
+pub use error::{Error, Result};
+pub use io::{parse_fimi, read_fimi, write_fimi};
+pub use item::{Item, ItemMap};
+pub use itemset::Itemset;
+pub use tidset::TidSet;
+pub use vertical::VerticalIndex;

@@ -1,0 +1,384 @@
+//! Packed-bitset transaction-id sets.
+//!
+//! A [`TidSet`] is the support set *D(α)* of a pattern: the set of transaction
+//! ids containing the pattern. The paper's datasets have between 38 and a few
+//! thousand transactions, so a tid-set is a handful of 64-bit words and the
+//! three operations Pattern-Fusion leans on — intersection size, union size,
+//! and Jaccard distance — are short word-wise loops with hardware popcounts.
+
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A fixed-universe bitset over transaction ids `0..universe`.
+///
+/// All binary operations require both operands to share the same universe;
+/// this is enforced with debug assertions (every tid-set in a mining run is
+/// derived from the same database).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TidSet {
+    blocks: Vec<u64>,
+    universe: usize,
+}
+
+impl TidSet {
+    /// Creates an empty tid-set over `universe` transactions.
+    pub fn empty(universe: usize) -> Self {
+        Self {
+            blocks: vec![0; universe.div_ceil(BITS)],
+            universe,
+        }
+    }
+
+    /// Creates a tid-set containing every transaction id in `0..universe`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for (i, block) in s.blocks.iter_mut().enumerate() {
+            let lo = i * BITS;
+            let hi = (lo + BITS).min(universe);
+            if hi - lo == BITS {
+                *block = u64::MAX;
+            } else {
+                *block = (1u64 << (hi - lo)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Builds a tid-set from an iterator of transaction ids.
+    ///
+    /// # Panics
+    /// Panics (debug) if an id is `>= universe`.
+    pub fn from_tids<I: IntoIterator<Item = usize>>(universe: usize, tids: I) -> Self {
+        let mut s = Self::empty(universe);
+        for tid in tids {
+            s.insert(tid);
+        }
+        s
+    }
+
+    /// Number of transactions in the universe (not the cardinality).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts transaction `tid`.
+    #[inline]
+    pub fn insert(&mut self, tid: usize) {
+        debug_assert!(
+            tid < self.universe,
+            "tid {tid} >= universe {}",
+            self.universe
+        );
+        self.blocks[tid / BITS] |= 1u64 << (tid % BITS);
+    }
+
+    /// Removes transaction `tid` if present.
+    #[inline]
+    pub fn remove(&mut self, tid: usize) {
+        debug_assert!(tid < self.universe);
+        self.blocks[tid / BITS] &= !(1u64 << (tid % BITS));
+    }
+
+    /// Whether transaction `tid` is in the set.
+    #[inline]
+    pub fn contains(&self, tid: usize) -> bool {
+        debug_assert!(tid < self.universe);
+        self.blocks[tid / BITS] & (1u64 << (tid % BITS)) != 0
+    }
+
+    /// Cardinality `|D|` — the pattern's absolute support.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// In-place intersection: `self ← self ∩ other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &TidSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union: `self ← self ∪ other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &TidSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= *b;
+        }
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &TidSet) -> TidSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    pub fn union(&self, other: &TidSet) -> TidSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// `|self ∩ other|` without allocating.
+    #[inline]
+    pub fn intersection_count(&self, other: &TidSet) -> usize {
+        debug_assert_eq!(self.universe, other.universe);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|` without allocating.
+    #[inline]
+    pub fn union_count(&self, other: &TidSet) -> usize {
+        debug_assert_eq!(self.universe, other.universe);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(&self, other: &TidSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Jaccard distance `1 − |self ∩ other| / |self ∪ other|`.
+    ///
+    /// This is the paper's pattern distance (Definition 6) applied to support
+    /// sets. The distance between two empty sets is defined as `0`.
+    #[inline]
+    pub fn jaccard_distance(&self, other: &TidSet) -> f64 {
+        debug_assert_eq!(self.universe, other.universe);
+        let mut inter = 0u64;
+        let mut uni = 0u64;
+        for (a, b) in self.blocks.iter().zip(&other.blocks) {
+            inter += (a & b).count_ones() as u64;
+            uni += (a | b).count_ones() as u64;
+        }
+        if uni == 0 {
+            0.0
+        } else {
+            1.0 - inter as f64 / uni as f64
+        }
+    }
+
+    /// Iterates over the transaction ids in ascending order.
+    pub fn iter(&self) -> TidIter<'_> {
+        TidIter {
+            set: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the transaction ids into a vector (ascending).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over set bits of a [`TidSet`], ascending.
+pub struct TidIter<'a> {
+    set: &'a TidSet,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for TidIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.block_idx * BITS + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.set.blocks.len() {
+                return None;
+            }
+            self.current = self.set.blocks[self.block_idx];
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining: usize = (self.current.count_ones() as usize)
+            + self.set.blocks[(self.block_idx + 1).min(self.set.blocks.len())..]
+                .iter()
+                .map(|b| b.count_ones() as usize)
+                .sum::<usize>();
+        (remaining, Some(remaining))
+    }
+}
+
+impl<'a> IntoIterator for &'a TidSet {
+    type Item = usize;
+    type IntoIter = TidIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for TidSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn empty_and_full() {
+        let e = TidSet::empty(70);
+        assert_eq!(e.count(), 0);
+        assert!(e.is_empty());
+        let f = TidSet::full(70);
+        assert_eq!(f.count(), 70);
+        assert!(f.contains(0));
+        assert!(f.contains(69));
+        // Bits beyond the universe must not be set.
+        assert_eq!(f.iter().max(), Some(69));
+    }
+
+    #[test]
+    fn full_at_exact_block_boundary() {
+        for n in [0, 1, 63, 64, 65, 128] {
+            let f = TidSet::full(n);
+            assert_eq!(f.count(), n, "universe {n}");
+            assert_eq!(f.iter().count(), n);
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = TidSet::empty(100);
+        s.insert(0);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(0) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        // Removing an absent element is a no-op.
+        s.remove(64);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn set_algebra_small() {
+        let a = TidSet::from_tids(10, [1, 2, 3, 7]);
+        let b = TidSet::from_tids(10, [2, 3, 4]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 3]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 4, 7]);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(a.union_count(&b), 5);
+        assert!(!a.is_subset(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn jaccard_matches_definition() {
+        let a = TidSet::from_tids(10, [1, 2, 3, 7]);
+        let b = TidSet::from_tids(10, [2, 3, 4]);
+        // |∩| = 2, |∪| = 5 → 1 - 2/5 = 0.6
+        assert!((a.jaccard_distance(&b) - 0.6).abs() < 1e-12);
+        assert_eq!(a.jaccard_distance(&a), 0.0);
+        let e = TidSet::empty(10);
+        assert_eq!(e.jaccard_distance(&e), 0.0);
+        assert_eq!(a.jaccard_distance(&e), 1.0);
+    }
+
+    #[test]
+    fn iter_ascending_across_blocks() {
+        let tids = [0usize, 63, 64, 65, 127, 128, 199];
+        let s = TidSet::from_tids(200, tids);
+        assert_eq!(s.to_vec(), tids.to_vec());
+        let (lo, hi) = s.iter().size_hint();
+        assert_eq!(lo, tids.len());
+        assert_eq!(hi, Some(tids.len()));
+    }
+
+    fn model_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, usize)> {
+        (1usize..260).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0..n, 0..n.min(64)),
+                proptest::collection::vec(0..n, 0..n.min(64)),
+                Just(n),
+            )
+        })
+    }
+
+    proptest! {
+        /// All set operations agree with a `BTreeSet` model.
+        #[test]
+        fn ops_match_btreeset_model((xs, ys, n) in model_pair()) {
+            let ma: BTreeSet<usize> = xs.iter().copied().collect();
+            let mb: BTreeSet<usize> = ys.iter().copied().collect();
+            let a = TidSet::from_tids(n, xs.iter().copied());
+            let b = TidSet::from_tids(n, ys.iter().copied());
+
+            prop_assert_eq!(a.count(), ma.len());
+            prop_assert_eq!(a.to_vec(), ma.iter().copied().collect::<Vec<_>>());
+            prop_assert_eq!(
+                a.intersection(&b).to_vec(),
+                ma.intersection(&mb).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                a.union(&b).to_vec(),
+                ma.union(&mb).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(a.intersection_count(&b), ma.intersection(&mb).count());
+            prop_assert_eq!(a.union_count(&b), ma.union(&mb).count());
+            prop_assert_eq!(a.is_subset(&b), ma.is_subset(&mb));
+        }
+
+        /// Jaccard distance is a metric on non-degenerate sets: symmetry,
+        /// identity, and the triangle inequality (Theorem 1 of the paper).
+        #[test]
+        fn jaccard_is_a_metric(
+            (xs, ys, n) in model_pair(),
+            zs in proptest::collection::vec(0usize..260, 0..64)
+        ) {
+            let a = TidSet::from_tids(n, xs.iter().copied());
+            let b = TidSet::from_tids(n, ys.iter().copied());
+            let c = TidSet::from_tids(n, zs.into_iter().filter(|&z| z < n));
+
+            let dab = a.jaccard_distance(&b);
+            let dba = b.jaccard_distance(&a);
+            prop_assert!((dab - dba).abs() < 1e-12, "symmetry");
+            prop_assert_eq!(a.jaccard_distance(&a), 0.0, "identity");
+            let dac = a.jaccard_distance(&c);
+            let dcb = c.jaccard_distance(&b);
+            prop_assert!(dab <= dac + dcb + 1e-12, "triangle: {} > {} + {}", dab, dac, dcb);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Mining budgets and capped outcomes.
+//!
+//! The paper's experiments hinge on exhaustive miners *not finishing* —
+//! FPClose and LCM ran for 10+ hours on `Diag40` before being killed. Rather
+//! than killing processes, every exhaustive miner in this workspace checks a
+//! [`Budget`] as it enumerates and stops cleanly, reporting a partial
+//! [`Outcome`]; harnesses then print "budget exceeded" rows exactly where the
+//! paper reports non-termination.
+
+use crate::types::MinedPattern;
+use std::time::{Duration, Instant};
+
+/// A cooperative resource budget for a mining run.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_patterns: Option<usize>,
+    max_nodes: Option<u64>,
+}
+
+impl Budget {
+    /// No limits: run to completion.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps wall-clock time.
+    pub fn with_time(mut self, limit: Duration) -> Self {
+        self.deadline = Some(Instant::now() + limit);
+        self
+    }
+
+    /// Caps the number of output patterns.
+    pub fn with_max_patterns(mut self, limit: usize) -> Self {
+        self.max_patterns = Some(limit);
+        self
+    }
+
+    /// Caps the number of search-tree nodes visited.
+    pub fn with_max_nodes(mut self, limit: u64) -> Self {
+        self.max_nodes = Some(limit);
+        self
+    }
+
+    /// Whether the run must stop now. Called by miners on every node.
+    pub(crate) fn exhausted(&self, patterns: usize, nodes: u64) -> bool {
+        if let Some(m) = self.max_patterns {
+            if patterns >= m {
+                return true;
+            }
+        }
+        if let Some(m) = self.max_nodes {
+            if nodes >= m {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            // Checking the clock on every node would dominate tiny workloads;
+            // miners amortize by checking every few hundred nodes.
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The result of a budgeted mining run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Patterns found before completion or cap.
+    pub patterns: Vec<MinedPattern>,
+    /// `true` iff the miner enumerated its entire search space.
+    pub complete: bool,
+    /// Search-tree nodes visited (a machine-independent work measure).
+    pub nodes_visited: u64,
+}
+
+impl Outcome {
+    pub(crate) fn complete(patterns: Vec<MinedPattern>, nodes_visited: u64) -> Self {
+        Self {
+            patterns,
+            complete: true,
+            nodes_visited,
+        }
+    }
+
+    pub(crate) fn capped(patterns: Vec<MinedPattern>, nodes_visited: u64) -> Self {
+        Self {
+            patterns,
+            complete: false,
+            nodes_visited,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted(usize::MAX - 1, u64::MAX - 1));
+    }
+
+    #[test]
+    fn pattern_cap_trips() {
+        let b = Budget::unlimited().with_max_patterns(10);
+        assert!(!b.exhausted(9, 0));
+        assert!(b.exhausted(10, 0));
+    }
+
+    #[test]
+    fn node_cap_trips() {
+        let b = Budget::unlimited().with_max_nodes(100);
+        assert!(!b.exhausted(0, 99));
+        assert!(b.exhausted(0, 100));
+    }
+
+    #[test]
+    fn deadline_trips_after_elapse() {
+        let b = Budget::unlimited().with_time(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.exhausted(0, 0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Closed-pattern mining with prefix-preserving closure extension.
+//!
+//! An LCM-style enumerator (Uno et al.; the same scheme underlies FPClose
+//! and CLOSET+): the closed frequent patterns form a tree under the
+//! "ppc-extension" parent relation, so each closed pattern is generated
+//! exactly once with no duplicate checks and no global result set. This is
+//! the workspace's ground-truth engine — Figures 7, 8 and 9 compare
+//! Pattern-Fusion against the complete closed sets it produces.
+
+use crate::budget::{Budget, Outcome};
+use crate::types::MinedPattern;
+use cfp_itemset::{ClosureOperator, Itemset, TidSet, TransactionDb, VerticalIndex};
+
+/// Mines all closed frequent patterns (Definition 2 of the paper).
+pub fn closed(db: &TransactionDb, min_count: usize, budget: &Budget) -> Outcome {
+    let min_count = min_count.max(1);
+    let mut results = Vec::new();
+    let mut nodes: u64 = 0;
+    if db.len() < min_count {
+        return Outcome::complete(results, nodes);
+    }
+    let index = VerticalIndex::new(db);
+    let cl = ClosureOperator::new(&index);
+
+    // Root: the closure of the empty set (items present in every
+    // transaction). It is the unique closed pattern of support |D|.
+    let root_tids = TidSet::full(db.len());
+    let root = cl.closure_of_tidset(&root_tids);
+    if !root.is_empty() {
+        results.push(MinedPattern::new(root.clone(), db.len()));
+    }
+
+    let mut ctx = Ctx {
+        min_count,
+        budget,
+        index: &index,
+        cl: &cl,
+        num_items: db.num_items(),
+        results,
+        nodes,
+        capped: false,
+    };
+    expand(&root, &root_tids, None, &mut ctx);
+    nodes = ctx.nodes;
+    if ctx.capped {
+        Outcome::capped(ctx.results, nodes)
+    } else {
+        Outcome::complete(ctx.results, nodes)
+    }
+}
+
+struct Ctx<'a> {
+    min_count: usize,
+    budget: &'a Budget,
+    index: &'a VerticalIndex,
+    cl: &'a ClosureOperator<'a>,
+    num_items: u32,
+    results: Vec<MinedPattern>,
+    nodes: u64,
+    capped: bool,
+}
+
+/// Expands closed pattern `p` (with support set `tids`) by every item above
+/// the core index, keeping only prefix-preserving closures.
+fn expand(p: &Itemset, tids: &TidSet, core: Option<u32>, ctx: &mut Ctx<'_>) {
+    let start = core.map_or(0, |c| c + 1);
+    for item in start..ctx.num_items {
+        if p.contains(item) {
+            continue;
+        }
+        ctx.nodes += 1;
+        if ctx.nodes.is_multiple_of(256) && ctx.budget.exhausted(ctx.results.len(), ctx.nodes) {
+            ctx.capped = true;
+            return;
+        }
+        let sub = ctx.index.extend_tidset(tids, item);
+        let support = sub.count();
+        if support < ctx.min_count {
+            continue;
+        }
+        let q = ctx.cl.closure_of_tidset(&sub);
+        // Prefix-preserving check: the closure must not introduce any item
+        // below `item` that `p` lacks, otherwise `q` belongs to another
+        // branch and would be generated twice.
+        if !prefix_preserved(p, &q, item) {
+            continue;
+        }
+        ctx.results.push(MinedPattern::new(q.clone(), support));
+        expand(&q, &sub, Some(item), ctx);
+        if ctx.capped {
+            return;
+        }
+    }
+}
+
+/// Whether `q ∩ [0, item) == p ∩ [0, item)`. Since `p ⊆ q` always holds, it
+/// suffices to check that `q` has no item `< item` missing from `p`.
+fn prefix_preserved(p: &Itemset, q: &Itemset, item: u32) -> bool {
+    let mut p_iter = p.iter().take_while(|&x| x < item);
+    for x in q.iter().take_while(|&x| x < item) {
+        if p_iter.next() != Some(x) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{arb_small_db, assert_same_patterns, brute_closed};
+    use crate::types::sort_canonical;
+    use proptest::prelude::*;
+
+    fn fig3_db() -> TransactionDb {
+        TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 1, 3]),
+            Itemset::from_items(&[1, 2, 4]),
+            Itemset::from_items(&[0, 2, 4]),
+            Itemset::from_items(&[0, 1, 2, 3, 4]),
+        ])
+    }
+
+    #[test]
+    fn matches_brute_force_closed_sets() {
+        let db = fig3_db();
+        for min in 1..=4 {
+            let mut got = closed(&db, min, &Budget::unlimited()).patterns;
+            sort_canonical(&mut got);
+            let want = brute_closed(&db, min);
+            assert_same_patterns(&format!("closed@{min}"), &got, &want);
+        }
+    }
+
+    #[test]
+    fn root_closure_is_reported_once() {
+        // Every transaction contains item 9: the root closed set is (9).
+        let db = TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 9]),
+            Itemset::from_items(&[1, 9]),
+            Itemset::from_items(&[0, 1, 9]),
+        ]);
+        let out = closed(&db, 1, &Budget::unlimited());
+        let roots: Vec<_> = out.patterns.iter().filter(|p| p.support == 3).collect();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].items, Itemset::from_items(&[9]));
+    }
+
+    #[test]
+    fn no_duplicates_ever() {
+        let db = cfp_datagen::quest(&cfp_datagen::QuestConfig {
+            n_transactions: 200,
+            n_items: 30,
+            ..Default::default()
+        });
+        let out = closed(&db, 4, &Budget::unlimited());
+        let mut seen = std::collections::HashSet::new();
+        for p in &out.patterns {
+            assert!(seen.insert(p.items.clone()), "duplicate {p:?}");
+        }
+    }
+
+    #[test]
+    fn diag_closed_layer_has_expected_structure() {
+        // In Diagn at support n−k, closed patterns of size k are exactly the
+        // k-subsets of integers: for n=8, min=6 → sizes ≤ 2, count
+        // C(8,1) + C(8,2) = 36.
+        let db = cfp_datagen::diag(8);
+        let out = closed(&db, 6, &Budget::unlimited());
+        assert!(out.complete);
+        assert_eq!(out.patterns.len(), 36);
+        for p in &out.patterns {
+            assert_eq!(p.support, 8 - p.items.len());
+        }
+    }
+
+    #[test]
+    fn budget_caps_closed_explosion() {
+        let db = cfp_datagen::diag(20);
+        let out = closed(&db, 10, &Budget::unlimited().with_max_patterns(2_000));
+        assert!(!out.complete);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The LCM-style enumeration equals brute-force closed sets.
+        #[test]
+        fn matches_brute_force_on_random_dbs((db, min) in arb_small_db()) {
+            let mut got = closed(&db, min, &Budget::unlimited()).patterns;
+            sort_canonical(&mut got);
+            let want = brute_closed(&db, min);
+            prop_assert_eq!(got.len(), want.len(), "count mismatch");
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(&g.items, &w.items);
+                prop_assert_eq!(g.support, w.support);
+            }
+        }
+    }
+}

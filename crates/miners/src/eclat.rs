@@ -1,0 +1,147 @@
+//! Eclat: depth-first vertical frequent-itemset mining.
+//!
+//! Zaki's equivalence-class enumeration: each search node carries its tid-set
+//! and extends with items greater than its last item, intersecting tid-sets.
+//! This is the workhorse complete miner in this workspace — on the paper's
+//! dataset sizes a tid-set is a few machine words, so intersection dominates
+//! nothing.
+
+use crate::budget::{Budget, Outcome};
+use crate::types::MinedPattern;
+use cfp_itemset::{Itemset, TidSet, TransactionDb, VerticalIndex};
+
+/// Mines the complete set of frequent patterns depth-first.
+pub fn eclat(db: &TransactionDb, min_count: usize, budget: &Budget) -> Outcome {
+    let min_count = min_count.max(1);
+    let index = VerticalIndex::new(db);
+    let frequent: Vec<(u32, &TidSet)> = (0..db.num_items())
+        .filter_map(|i| {
+            let t = index.item_tidset(i);
+            (t.count() >= min_count).then_some((i, t))
+        })
+        .collect();
+
+    let mut ctx = Ctx {
+        min_count,
+        budget,
+        results: Vec::new(),
+        nodes: 0,
+        capped: false,
+    };
+    let mut prefix: Vec<u32> = Vec::new();
+    // Each frequent item roots a subtree over the items after it.
+    for (pos, &(item, tids)) in frequent.iter().enumerate() {
+        prefix.push(item);
+        ctx.results.push(MinedPattern::new(
+            Itemset::from_items(&prefix),
+            tids.count(),
+        ));
+        dfs(&frequent, pos, tids, &mut prefix, &mut ctx);
+        prefix.pop();
+        if ctx.capped {
+            return Outcome::capped(ctx.results, ctx.nodes);
+        }
+    }
+    Outcome::complete(ctx.results, ctx.nodes)
+}
+
+struct Ctx<'a> {
+    min_count: usize,
+    budget: &'a Budget,
+    results: Vec<MinedPattern>,
+    nodes: u64,
+    capped: bool,
+}
+
+fn dfs(
+    frequent: &[(u32, &TidSet)],
+    pos: usize,
+    tids: &TidSet,
+    prefix: &mut Vec<u32>,
+    ctx: &mut Ctx<'_>,
+) {
+    for (next_pos, &(item, item_tids)) in frequent.iter().enumerate().skip(pos + 1) {
+        ctx.nodes += 1;
+        if ctx.nodes.is_multiple_of(512) && ctx.budget.exhausted(ctx.results.len(), ctx.nodes) {
+            ctx.capped = true;
+            return;
+        }
+        let support = tids.intersection_count(item_tids);
+        if support < ctx.min_count {
+            continue;
+        }
+        let sub = tids.intersection(item_tids);
+        prefix.push(item);
+        ctx.results
+            .push(MinedPattern::new(Itemset::from_items(prefix), support));
+        dfs(frequent, next_pos, &sub, prefix, ctx);
+        prefix.pop();
+        if ctx.capped {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::testutil::{arb_small_db, assert_same_patterns, brute_frequent};
+    use crate::types::sort_canonical;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_brute_force_on_fig3() {
+        let db = TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 1, 3]),
+            Itemset::from_items(&[1, 2, 4]),
+            Itemset::from_items(&[0, 2, 4]),
+            Itemset::from_items(&[0, 1, 2, 3, 4]),
+        ]);
+        for min in 1..=4 {
+            let mut got = eclat(&db, min, &Budget::unlimited()).patterns;
+            sort_canonical(&mut got);
+            let want = brute_frequent(&db, min);
+            assert_same_patterns(&format!("eclat@{min}"), &got, &want);
+        }
+    }
+
+    #[test]
+    fn budget_caps_diagonal_explosion() {
+        let db = cfp_datagen::diag(16);
+        let out = eclat(&db, 8, &Budget::unlimited().with_max_patterns(5_000));
+        assert!(!out.complete);
+        assert!(out.patterns.len() >= 5_000);
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_quest_data() {
+        let db = cfp_datagen::quest(&cfp_datagen::QuestConfig {
+            n_transactions: 300,
+            n_items: 40,
+            ..Default::default()
+        });
+        let mut a = apriori(&db, 6, &Budget::unlimited()).patterns;
+        let mut e = eclat(&db, 6, &Budget::unlimited()).patterns;
+        sort_canonical(&mut a);
+        sort_canonical(&mut e);
+        assert_same_patterns("apriori-vs-eclat", &e, &a);
+        assert!(!a.is_empty(), "workload should produce frequent patterns");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Eclat equals brute force on random databases.
+        #[test]
+        fn matches_brute_force_on_random_dbs((db, min) in arb_small_db()) {
+            let mut got = eclat(&db, min, &Budget::unlimited()).patterns;
+            sort_canonical(&mut got);
+            let want = brute_frequent(&db, min);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(&g.items, &w.items);
+                prop_assert_eq!(g.support, w.support);
+            }
+        }
+    }
+}

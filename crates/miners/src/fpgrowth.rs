@@ -1,0 +1,199 @@
+//! FP-growth: frequent-pattern mining without candidate generation.
+//!
+//! Recursively projects the FP-tree on each frequent item (ascending
+//! frequency, so conditional trees shrink fastest), mining the conditional
+//! tree for patterns ending in that item. Single-path conditional trees are
+//! closed form: every subset of the path is frequent with the minimum count
+//! along it.
+
+use crate::budget::{Budget, Outcome};
+use crate::fptree::FpTree;
+use crate::types::MinedPattern;
+use cfp_itemset::{Itemset, TransactionDb};
+
+/// Mines the complete set of frequent patterns with FP-growth.
+pub fn fp_growth(db: &TransactionDb, min_count: usize, budget: &Budget) -> Outcome {
+    let min_count = min_count.max(1);
+    let tree = FpTree::from_db(db, min_count);
+    let mut ctx = Ctx {
+        min_count,
+        budget,
+        results: Vec::new(),
+        nodes: 0,
+        capped: false,
+    };
+    let mut suffix: Vec<u32> = Vec::new();
+    mine(&tree, &mut suffix, &mut ctx);
+    if ctx.capped {
+        Outcome::capped(ctx.results, ctx.nodes)
+    } else {
+        Outcome::complete(ctx.results, ctx.nodes)
+    }
+}
+
+struct Ctx<'a> {
+    min_count: usize,
+    budget: &'a Budget,
+    results: Vec<MinedPattern>,
+    nodes: u64,
+    capped: bool,
+}
+
+impl Ctx<'_> {
+    fn emit(&mut self, items: &[u32], support: usize) {
+        self.results
+            .push(MinedPattern::new(Itemset::from_items(items), support));
+    }
+
+    fn tick(&mut self) -> bool {
+        self.nodes += 1;
+        if self.nodes.is_multiple_of(256) && self.budget.exhausted(self.results.len(), self.nodes) {
+            self.capped = true;
+        }
+        self.capped
+    }
+}
+
+fn mine(tree: &FpTree, suffix: &mut Vec<u32>, ctx: &mut Ctx<'_>) {
+    if tree.is_single_path() {
+        // Enumerate every non-empty subset of the path; the support of a
+        // subset is the count of its deepest (least frequent) node.
+        let path = tree.single_path();
+        enumerate_path_subsets(&path, suffix, ctx);
+        return;
+    }
+    // Bottom of the header table first (ascending support).
+    for idx in (0..tree.num_items()).rev() {
+        if ctx.tick() {
+            return;
+        }
+        let item = tree.item_at(idx);
+        let support = tree.support_at(idx);
+        suffix.push(item);
+        ctx.emit(suffix, support);
+
+        let (base, counts) = tree.conditional_base(idx);
+        if !base.is_empty() {
+            let conditional = FpTree::from_weighted(base, &counts, ctx.min_count);
+            if conditional.num_items() > 0 {
+                mine(&conditional, suffix, ctx);
+            }
+        }
+        suffix.pop();
+        if ctx.capped {
+            return;
+        }
+    }
+}
+
+/// Emits `suffix ∪ S` for every non-empty subset `S` of `path`, with support
+/// `min(count over S)`; iterative over a bitmask when the path is short,
+/// recursive otherwise (paths longer than 62 items are split recursively).
+fn enumerate_path_subsets(path: &[(u32, usize)], suffix: &mut Vec<u32>, ctx: &mut Ctx<'_>) {
+    // Recursive formulation: each element is either skipped or taken.
+    fn rec(
+        path: &[(u32, usize)],
+        pos: usize,
+        min_count_so_far: usize,
+        suffix: &mut Vec<u32>,
+        taken: usize,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if ctx.tick() {
+            return;
+        }
+        if pos == path.len() {
+            if taken > 0 {
+                ctx.emit(suffix, min_count_so_far);
+            }
+            return;
+        }
+        // Skip path[pos].
+        rec(path, pos + 1, min_count_so_far, suffix, taken, ctx);
+        if ctx.capped {
+            return;
+        }
+        // Take path[pos].
+        let (item, count) = path[pos];
+        suffix.push(item);
+        rec(
+            path,
+            pos + 1,
+            min_count_so_far.min(count),
+            suffix,
+            taken + 1,
+            ctx,
+        );
+        suffix.pop();
+    }
+    rec(path, 0, usize::MAX, suffix, 0, ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{arb_small_db, assert_same_patterns, brute_frequent};
+    use crate::types::sort_canonical;
+    use proptest::prelude::*;
+
+    fn fp_paper_db() -> TransactionDb {
+        TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 2, 1, 3, 4]),
+            Itemset::from_items(&[0, 1, 2, 4, 5]),
+            Itemset::from_items(&[0, 3]),
+            Itemset::from_items(&[1, 3, 5]),
+            Itemset::from_items(&[0, 1, 2, 4, 5]),
+        ])
+    }
+
+    #[test]
+    fn matches_brute_force_on_fp_paper_example() {
+        let db = fp_paper_db();
+        for min in 1..=5 {
+            let mut got = fp_growth(&db, min, &Budget::unlimited()).patterns;
+            sort_canonical(&mut got);
+            let want = brute_frequent(&db, min);
+            assert_same_patterns(&format!("fp@{min}"), &got, &want);
+        }
+    }
+
+    #[test]
+    fn single_path_shortcut_is_exact() {
+        let db = TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 1, 2, 3]),
+            Itemset::from_items(&[0, 1, 2]),
+            Itemset::from_items(&[0, 1]),
+            Itemset::from_items(&[0]),
+        ]);
+        let mut got = fp_growth(&db, 1, &Budget::unlimited()).patterns;
+        sort_canonical(&mut got);
+        let want = brute_frequent(&db, 1);
+        assert_same_patterns("single-path", &got, &want);
+    }
+
+    #[test]
+    fn budget_caps_subset_explosion() {
+        // One long transaction repeated: a single path of 24 items at
+        // min count 2 yields 2^24 subsets; the cap must trip long before.
+        let t: Vec<u32> = (0..24).collect();
+        let db = TransactionDb::from_dense(vec![Itemset::from_items(&t), Itemset::from_items(&t)]);
+        let out = fp_growth(&db, 2, &Budget::unlimited().with_max_nodes(10_000));
+        assert!(!out.complete);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// FP-growth equals brute force on random databases.
+        #[test]
+        fn matches_brute_force_on_random_dbs((db, min) in arb_small_db()) {
+            let mut got = fp_growth(&db, min, &Budget::unlimited()).patterns;
+            sort_canonical(&mut got);
+            let want = brute_frequent(&db, min);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(&g.items, &w.items);
+                prop_assert_eq!(g.support, w.support);
+            }
+        }
+    }
+}

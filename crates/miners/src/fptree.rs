@@ -1,0 +1,302 @@
+//! The FP-tree: a prefix-tree summary of a transaction database.
+//!
+//! Transactions are inserted with their items reordered by descending
+//! frequency so shared prefixes collapse; per-item node chains (the header
+//! table) let FP-growth extract conditional pattern bases without touching
+//! the original database.
+
+use cfp_itemset::TransactionDb;
+use std::collections::HashMap;
+
+/// Sentinel for "no node".
+const NONE: u32 = u32::MAX;
+
+/// One FP-tree node.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into [`FpTree::items`] (not a raw item id).
+    item_idx: u32,
+    count: usize,
+    parent: u32,
+    /// Next node carrying the same item (header chain).
+    next: u32,
+    children: Vec<u32>,
+}
+
+/// Header-table entry for one distinct item in the tree.
+#[derive(Debug, Clone)]
+struct ItemInfo {
+    /// The database item id.
+    item: u32,
+    /// Total support of the item within this (conditional) tree.
+    support: usize,
+    /// First node of the header chain.
+    head: u32,
+}
+
+/// A weighted prefix path with its multiplicity, as extracted from header
+/// chains.
+pub(crate) type WeightedPaths = Vec<(Vec<u32>, usize)>;
+
+/// A frequency-ordered prefix tree with header chains.
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    items: Vec<ItemInfo>,
+    nodes: Vec<Node>,
+}
+
+impl FpTree {
+    /// Builds the tree for a whole database at threshold `min_count`.
+    pub fn from_db(db: &TransactionDb, min_count: usize) -> Self {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for t in db.transactions() {
+            for item in t.iter() {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        let weighted = db
+            .transactions()
+            .iter()
+            .map(|t| (t.items().to_vec(), 1usize));
+        Self::from_weighted(weighted, &counts, min_count)
+    }
+
+    /// Builds a tree from weighted transactions (used for conditional trees,
+    /// where each prefix path carries the count of its originating node).
+    ///
+    /// `counts` must hold the support of every item appearing in the input.
+    pub(crate) fn from_weighted<I>(
+        transactions: I,
+        counts: &HashMap<u32, usize>,
+        min_count: usize,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (Vec<u32>, usize)>,
+    {
+        // Frequent items ordered by (desc support, asc id) — the canonical
+        // FP ordering; index in `items` is the tree-local item index.
+        let mut frequent: Vec<(u32, usize)> = counts
+            .iter()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let rank: HashMap<u32, u32> = frequent
+            .iter()
+            .enumerate()
+            .map(|(idx, &(item, _))| (item, idx as u32))
+            .collect();
+
+        let items: Vec<ItemInfo> = frequent
+            .iter()
+            .map(|&(item, support)| ItemInfo {
+                item,
+                support,
+                head: NONE,
+            })
+            .collect();
+
+        let mut tree = FpTree {
+            items,
+            nodes: vec![Node {
+                item_idx: NONE,
+                count: 0,
+                parent: NONE,
+                next: NONE,
+                children: Vec::new(),
+            }],
+        };
+
+        let mut path: Vec<u32> = Vec::new();
+        for (txn, weight) in transactions {
+            path.clear();
+            path.extend(txn.iter().filter_map(|i| rank.get(i).copied()));
+            path.sort_unstable();
+            path.dedup();
+            tree.insert(&path, weight);
+        }
+        tree
+    }
+
+    /// Inserts a frequency-ordered path of item indices with multiplicity
+    /// `count`.
+    fn insert(&mut self, path: &[u32], count: usize) {
+        let mut current = 0u32; // root
+        for &item_idx in path {
+            let found = self.nodes[current as usize]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c as usize].item_idx == item_idx);
+            current = match found {
+                Some(child) => {
+                    self.nodes[child as usize].count += count;
+                    child
+                }
+                None => {
+                    let id = self.nodes.len() as u32;
+                    let head = self.items[item_idx as usize].head;
+                    self.nodes.push(Node {
+                        item_idx,
+                        count,
+                        parent: current,
+                        next: head,
+                        children: Vec::new(),
+                    });
+                    self.items[item_idx as usize].head = id;
+                    self.nodes[current as usize].children.push(id);
+                    id
+                }
+            };
+        }
+    }
+
+    /// Number of distinct frequent items in this tree.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of tree nodes, excluding the root.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The database item id at tree-local index `idx`.
+    pub(crate) fn item_at(&self, idx: usize) -> u32 {
+        self.items[idx].item
+    }
+
+    /// Support of the item at tree-local index `idx`.
+    pub(crate) fn support_at(&self, idx: usize) -> usize {
+        self.items[idx].support
+    }
+
+    /// Whether the tree consists of a single root-to-leaf path.
+    pub(crate) fn is_single_path(&self) -> bool {
+        let mut current = 0usize;
+        loop {
+            match self.nodes[current].children.len() {
+                0 => return true,
+                1 => current = self.nodes[current].children[0] as usize,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The (item id, count) pairs along the single path, root first.
+    ///
+    /// Only meaningful when [`FpTree::is_single_path`] holds.
+    pub(crate) fn single_path(&self) -> Vec<(u32, usize)> {
+        let mut out = Vec::new();
+        let mut current = 0usize;
+        while let Some(&child) = self.nodes[current].children.first() {
+            let node = &self.nodes[child as usize];
+            out.push((self.items[node.item_idx as usize].item, node.count));
+            current = child as usize;
+        }
+        out
+    }
+
+    /// The conditional pattern base of the item at tree-local index `idx`:
+    /// for each node in its header chain, the path of **item ids** from just
+    /// below the root down to the node's parent, weighted by the node count.
+    pub(crate) fn conditional_base(&self, idx: usize) -> (WeightedPaths, HashMap<u32, usize>) {
+        let mut base = Vec::new();
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut node_id = self.items[idx].head;
+        while node_id != NONE {
+            let node = &self.nodes[node_id as usize];
+            let mut path = Vec::new();
+            let mut up = node.parent;
+            while up != 0 && up != NONE {
+                let n = &self.nodes[up as usize];
+                path.push(self.items[n.item_idx as usize].item);
+                up = n.parent;
+            }
+            if !path.is_empty() {
+                for &it in &path {
+                    *counts.entry(it).or_insert(0) += node.count;
+                }
+                path.reverse();
+                base.push((path, node.count));
+            }
+            node_id = node.next;
+        }
+        (base, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_itemset::Itemset;
+
+    fn db() -> TransactionDb {
+        // The FP-growth paper's running example (items renamed to 0..5):
+        // f=0 c=1 a=2 b=3 m=4 p=5 over 5 transactions.
+        TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 2, 1, 3, 4]), // f a c b m  (paper: f,a,c,d,g,i,m,p → frequent part)
+            Itemset::from_items(&[0, 1, 2, 4, 5]),
+            Itemset::from_items(&[0, 3]),
+            Itemset::from_items(&[1, 3, 5]),
+            Itemset::from_items(&[0, 1, 2, 4, 5]),
+        ])
+    }
+
+    #[test]
+    fn frequent_items_and_ordering() {
+        let tree = FpTree::from_db(&db(), 3);
+        // Supports: f=4 c=4 a=3 b=3 m=3 p=3 → all six frequent at 3.
+        assert_eq!(tree.num_items(), 6);
+        // Ordering: desc support, asc id ⇒ 0(f,4), 1(c,4), 2(a,3), 3(b,3)...
+        assert_eq!(tree.item_at(0), 0);
+        assert_eq!(tree.item_at(1), 1);
+        assert_eq!(tree.support_at(0), 4);
+        assert_eq!(tree.support_at(5), 3);
+    }
+
+    #[test]
+    fn shared_prefixes_collapse() {
+        let tree = FpTree::from_db(&db(), 3);
+        // Transactions 1, 2 and 5 share the prefix f-c-a; total nodes must be
+        // far fewer than total item occurrences (18).
+        assert!(tree.num_nodes() <= 12, "nodes = {}", tree.num_nodes());
+    }
+
+    #[test]
+    fn conditional_base_weights_sum_to_support() {
+        let tree = FpTree::from_db(&db(), 3);
+        // Item p (id 5, support 3): conditional base paths carry 3 total.
+        let p_idx = (0..tree.num_items())
+            .find(|&i| tree.item_at(i) == 5)
+            .unwrap();
+        let (base, counts) = tree.conditional_base(p_idx);
+        let total: usize = base.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 3);
+        // c co-occurs with p in all three of p's transactions.
+        assert_eq!(counts.get(&1).copied(), Some(3));
+    }
+
+    #[test]
+    fn single_path_detection() {
+        let linear = TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 1, 2]),
+            Itemset::from_items(&[0, 1]),
+            Itemset::from_items(&[0]),
+        ]);
+        let tree = FpTree::from_db(&linear, 1);
+        assert!(tree.is_single_path());
+        let path = tree.single_path();
+        assert_eq!(path, vec![(0, 3), (1, 2), (2, 1)]);
+
+        let branchy = FpTree::from_db(&db(), 3);
+        assert!(!branchy.is_single_path());
+    }
+
+    #[test]
+    fn infrequent_items_are_excluded() {
+        let tree = FpTree::from_db(&db(), 4);
+        // Only f (4) and c (4) survive.
+        assert_eq!(tree.num_items(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Pattern-Fusion's initial pool: the complete set of small frequent
+//! patterns, each carrying its support set.
+//!
+//! The paper (§2.3): "Pattern-Fusion assumes available an initial pool of
+//! small frequent patterns, which is the complete set of frequent patterns up
+//! to a small size, e.g., 3. This initial pool can be mined with any existing
+//! efficient mining algorithm." We use a depth-bounded Eclat so every pool
+//! entry keeps the tid-set Pattern-Fusion needs for distance computations and
+//! fusion.
+
+use cfp_itemset::{Itemset, TidSet, TransactionDb, VerticalIndex};
+
+/// A pool entry: a frequent pattern with its support set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolPattern {
+    /// The pattern.
+    pub items: Itemset,
+    /// Its support set `D(α)`.
+    pub tids: TidSet,
+}
+
+impl PoolPattern {
+    /// Absolute support.
+    pub fn support(&self) -> usize {
+        self.tids.count()
+    }
+}
+
+/// Mines all frequent patterns of size ≤ `max_len` with their tid-sets.
+///
+/// The result is sorted lexicographically by itemset and is deterministic.
+pub fn initial_pool(db: &TransactionDb, min_count: usize, max_len: usize) -> Vec<PoolPattern> {
+    let min_count = min_count.max(1);
+    let index = VerticalIndex::new(db);
+    let frequent: Vec<(u32, &TidSet)> = (0..db.num_items())
+        .filter_map(|i| {
+            let t = index.item_tidset(i);
+            (t.count() >= min_count).then_some((i, t))
+        })
+        .collect();
+
+    let mut pool = Vec::new();
+    if max_len == 0 {
+        return pool;
+    }
+    let mut prefix = Vec::new();
+    for (pos, &(item, tids)) in frequent.iter().enumerate() {
+        prefix.push(item);
+        pool.push(PoolPattern {
+            items: Itemset::from_items(&prefix),
+            tids: tids.clone(),
+        });
+        dfs(
+            &frequent,
+            pos,
+            tids,
+            &mut prefix,
+            max_len,
+            min_count,
+            &mut pool,
+        );
+        prefix.pop();
+    }
+    pool
+}
+
+fn dfs(
+    frequent: &[(u32, &TidSet)],
+    pos: usize,
+    tids: &TidSet,
+    prefix: &mut Vec<u32>,
+    max_len: usize,
+    min_count: usize,
+    pool: &mut Vec<PoolPattern>,
+) {
+    if prefix.len() >= max_len {
+        return;
+    }
+    for (next_pos, &(item, item_tids)) in frequent.iter().enumerate().skip(pos + 1) {
+        let sub = tids.intersection(item_tids);
+        if sub.count() < min_count {
+            continue;
+        }
+        prefix.push(item);
+        pool.push(PoolPattern {
+            items: Itemset::from_items(prefix),
+            tids: sub.clone(),
+        });
+        dfs(frequent, next_pos, &sub, prefix, max_len, min_count, pool);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::testutil::brute_frequent;
+
+    #[test]
+    fn pool_is_complete_up_to_max_len() {
+        let db = cfp_datagen::diag(10);
+        for max_len in 1..=3 {
+            let pool = initial_pool(&db, 5, max_len);
+            let want: Vec<_> = brute_frequent(&db, 5)
+                .into_iter()
+                .filter(|p| p.len() <= max_len)
+                .collect();
+            assert_eq!(pool.len(), want.len(), "max_len={max_len}");
+            for (g, w) in pool.iter().zip(&want) {
+                assert_eq!(g.items, w.items);
+                assert_eq!(g.support(), w.support);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_diag40_pool_has_820_patterns() {
+        // Figure 7: "Pattern-Fusion starts with an initial pool of 820
+        // patterns of size ≤ 2" on Diag40 at support 20: 40 + C(40,2).
+        let db = cfp_datagen::diag(40);
+        let pool = initial_pool(&db, 20, 2);
+        assert_eq!(pool.len(), 820);
+    }
+
+    #[test]
+    fn tidsets_are_exact() {
+        let db = cfp_datagen::quest(&cfp_datagen::QuestConfig {
+            n_transactions: 150,
+            n_items: 25,
+            ..Default::default()
+        });
+        let index = VerticalIndex::new(&db);
+        let pool = initial_pool(&db, 3, 3);
+        assert!(!pool.is_empty());
+        for p in &pool {
+            assert_eq!(p.tids, index.tidset(&p.items), "{}", p.items);
+        }
+    }
+
+    #[test]
+    fn agrees_with_bounded_apriori() {
+        let db = cfp_datagen::quest(&cfp_datagen::QuestConfig {
+            n_transactions: 150,
+            n_items: 25,
+            ..Default::default()
+        });
+        let pool = initial_pool(&db, 3, 2);
+        let mut apriori = crate::apriori_bounded(&db, 3, 2, &Budget::unlimited()).patterns;
+        crate::types::sort_canonical(&mut apriori);
+        assert_eq!(pool.len(), apriori.len());
+        for (g, w) in pool.iter().zip(&apriori) {
+            assert_eq!(g.items, w.items);
+            assert_eq!(g.support(), w.support);
+        }
+    }
+
+    #[test]
+    fn zero_max_len_gives_empty_pool() {
+        let db = cfp_datagen::diag(6);
+        assert!(initial_pool(&db, 2, 0).is_empty());
+    }
+}

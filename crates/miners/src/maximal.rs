@@ -1,0 +1,228 @@
+//! Maximal-pattern mining (LCM_maximal / MAFIA behavioural stand-in).
+//!
+//! Depth-first set enumeration with two classic accelerations:
+//!
+//! * **fail-first ordering** — items are explored in ascending global
+//!   support, shrinking tid-sets as early as possible;
+//! * **look-ahead (HUT) pruning** — if a node's pattern united with *all* of
+//!   its frequent tail extensions is itself frequent, that union is the only
+//!   maximal candidate in the subtree, so the subtree is skipped wholesale.
+//!
+//! A candidate is emitted only after the *full* maximality check (no single
+//! frequent extension over the whole item universe), which both guarantees
+//! correctness and deduplicates look-ahead emissions.
+//!
+//! On `Diagn` this miner exhibits exactly the paper's Figure 6 behaviour: the
+//! number of maximal patterns is `C(n, n/2)` and the run time grows
+//! exponentially, while Pattern-Fusion's stays flat.
+
+use crate::budget::{Budget, Outcome};
+use crate::types::MinedPattern;
+use cfp_itemset::{Itemset, TidSet, TransactionDb, VerticalIndex};
+
+/// Mines all maximal frequent patterns.
+pub fn maximal(db: &TransactionDb, min_count: usize, budget: &Budget) -> Outcome {
+    let min_count = min_count.max(1);
+    let index = VerticalIndex::new(db);
+    // Fail-first: ascending support, tie-broken by item id.
+    let mut order: Vec<u32> = (0..db.num_items())
+        .filter(|&i| index.item_tidset(i).count() >= min_count)
+        .collect();
+    order.sort_by_key(|&i| (index.item_tidset(i).count(), i));
+
+    let mut ctx = Ctx {
+        min_count,
+        budget,
+        index: &index,
+        results: Vec::new(),
+        nodes: 0,
+        capped: false,
+    };
+    let root_tail: Vec<u32> = order;
+    let root_tids = TidSet::full(db.len());
+    if db.len() >= min_count && !root_tail.is_empty() {
+        descend(&Itemset::empty(), &root_tids, &root_tail, &mut ctx);
+    }
+    if ctx.capped {
+        Outcome::capped(ctx.results, ctx.nodes)
+    } else {
+        Outcome::complete(ctx.results, ctx.nodes)
+    }
+}
+
+struct Ctx<'a> {
+    min_count: usize,
+    budget: &'a Budget,
+    index: &'a VerticalIndex,
+    results: Vec<MinedPattern>,
+    nodes: u64,
+    capped: bool,
+}
+
+impl Ctx<'_> {
+    /// Full maximality check: no item outside `p` extends it frequently.
+    fn is_maximal(&self, p: &Itemset, tids: &TidSet) -> bool {
+        for item in 0..self.index.num_items() {
+            if p.contains(item) {
+                continue;
+            }
+            if self.index.extended_support(tids, item) >= self.min_count {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn emit_if_maximal(&mut self, p: Itemset, tids: &TidSet) {
+        if !p.is_empty() && self.is_maximal(&p, tids) {
+            let support = tids.count();
+            self.results.push(MinedPattern::new(p, support));
+        }
+    }
+}
+
+fn descend(p: &Itemset, tids: &TidSet, tail: &[u32], ctx: &mut Ctx<'_>) {
+    ctx.nodes += 1;
+    if ctx.nodes.is_multiple_of(256) && ctx.budget.exhausted(ctx.results.len(), ctx.nodes) {
+        ctx.capped = true;
+        return;
+    }
+
+    // Frequent tail extensions with their tid-sets.
+    let exts: Vec<(u32, TidSet)> = tail
+        .iter()
+        .filter_map(|&item| {
+            let sub = ctx.index.extend_tidset(tids, item);
+            (sub.count() >= ctx.min_count).then_some((item, sub))
+        })
+        .collect();
+
+    if exts.is_empty() {
+        ctx.emit_if_maximal(p.clone(), tids);
+        return;
+    }
+
+    // Look-ahead: p ∪ all extensions frequent ⇒ unique candidate, prune.
+    let mut hut = tids.clone();
+    for (_, sub) in &exts {
+        hut.intersect_with(sub);
+    }
+    if hut.count() >= ctx.min_count {
+        let mut full = p.clone();
+        for (item, _) in &exts {
+            full = full.with_item(*item);
+        }
+        ctx.emit_if_maximal(full, &hut);
+        return;
+    }
+
+    for (i, (item, sub)) in exts.iter().enumerate() {
+        let child = p.with_item(*item);
+        let child_tail: Vec<u32> = exts[i + 1..].iter().map(|&(it, _)| it).collect();
+        descend(&child, sub, &child_tail, ctx);
+        if ctx.capped {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{arb_small_db, assert_same_patterns, brute_maximal};
+    use crate::types::sort_canonical;
+    use proptest::prelude::*;
+
+    fn fig3_db() -> TransactionDb {
+        TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 1, 3]),
+            Itemset::from_items(&[1, 2, 4]),
+            Itemset::from_items(&[0, 2, 4]),
+            Itemset::from_items(&[0, 1, 2, 3, 4]),
+        ])
+    }
+
+    #[test]
+    fn matches_brute_force_maximal_sets() {
+        let db = fig3_db();
+        for min in 1..=4 {
+            let mut got = maximal(&db, min, &Budget::unlimited()).patterns;
+            sort_canonical(&mut got);
+            let want = brute_maximal(&db, min);
+            assert_same_patterns(&format!("maximal@{min}"), &got, &want);
+        }
+    }
+
+    #[test]
+    fn diag_maximal_count_is_binomial() {
+        // Diagn at support n−k: maximal patterns are exactly the k-subsets,
+        // so their number is C(n, k). n=10, min support 7 → k=3 → 120.
+        let db = cfp_datagen::diag(10);
+        let out = maximal(&db, 7, &Budget::unlimited());
+        assert!(out.complete);
+        assert_eq!(out.patterns.len(), 120);
+        for p in &out.patterns {
+            assert_eq!(p.items.len(), 3);
+            assert_eq!(p.support, 7);
+        }
+    }
+
+    #[test]
+    fn diag_plus_finds_the_colossal_pattern() {
+        // The intro's construction: Diag12 + 6 rows of (13..=18); at support
+        // 6 the extra block (size 6, support 6) must be reported maximal.
+        let db = cfp_datagen::diag_plus(12, 6, 6);
+        let out = maximal(&db, 6, &Budget::unlimited());
+        assert!(out.complete);
+        let colossal: Vec<u32> = (13..=18)
+            .map(|i| db.item_map().internal(i).unwrap())
+            .collect();
+        let target = Itemset::from_items(&colossal);
+        assert!(
+            out.patterns.iter().any(|p| p.items == target),
+            "colossal block missing from maximal set"
+        );
+    }
+
+    #[test]
+    fn no_pattern_subsumes_another() {
+        let db = cfp_datagen::quest(&cfp_datagen::QuestConfig {
+            n_transactions: 250,
+            n_items: 30,
+            ..Default::default()
+        });
+        let out = maximal(&db, 5, &Budget::unlimited());
+        for (i, p) in out.patterns.iter().enumerate() {
+            for q in &out.patterns[..i] {
+                assert!(
+                    !p.items.is_proper_subset_of(&q.items)
+                        && !q.items.is_proper_subset_of(&p.items),
+                    "{p:?} vs {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_caps_diag_explosion() {
+        let db = cfp_datagen::diag(24);
+        let out = maximal(&db, 12, &Budget::unlimited().with_max_nodes(20_000));
+        assert!(!out.complete, "C(24,12) ≈ 2.7M must trip the cap");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The maximal miner equals brute force on random databases.
+        #[test]
+        fn matches_brute_force_on_random_dbs((db, min) in arb_small_db()) {
+            let mut got = maximal(&db, min, &Budget::unlimited()).patterns;
+            sort_canonical(&mut got);
+            let want = brute_maximal(&db, min);
+            prop_assert_eq!(got.len(), want.len(), "count mismatch");
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(&g.items, &w.items);
+                prop_assert_eq!(g.support, w.support);
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! TFP-style top-k closed-pattern mining with a length constraint.
+//!
+//! Wang et al.'s TFP returns the k closed patterns of highest support among
+//! those of length ≥ `min_len`, raising its internal support threshold as
+//! results accumulate. We realize the same semantics with a best-first
+//! traversal of the closed-pattern tree (the ppc-extension tree of the
+//! `closed` module): child support never exceeds parent support, so
+//! expanding nodes in descending support order lets the run stop the moment
+//! the frontier falls below the current k-th best support.
+
+use crate::budget::{Budget, Outcome};
+use crate::types::MinedPattern;
+use cfp_itemset::{ClosureOperator, Itemset, TidSet, TransactionDb, VerticalIndex};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Mines the top-`k` closed frequent patterns of length ≥ `min_len` with
+/// support ≥ `min_count`.
+///
+/// Pure TFP semantics take no support threshold (`min_count = 1`): the run
+/// raises its internal threshold only as results accumulate. A higher floor
+/// reproduces the paper's Figure 10 protocol, where TFP is swept across
+/// minimum-support values.
+///
+/// Patterns are returned in descending support order (ties broken by the
+/// itemset's lexicographic order for determinism). `Outcome::complete` is
+/// `true` when the search proved no better pattern exists.
+pub fn top_k_closed(
+    db: &TransactionDb,
+    k: usize,
+    min_len: usize,
+    min_count: usize,
+    budget: &Budget,
+) -> Outcome {
+    let min_count = min_count.max(1);
+    let mut nodes: u64 = 0;
+    if k == 0 || db.is_empty() || db.len() < min_count {
+        return Outcome::complete(Vec::new(), nodes);
+    }
+    let index = VerticalIndex::new(db);
+    let cl = ClosureOperator::new(&index);
+
+    // Frontier of unexpanded closed patterns, best support first.
+    let mut frontier: BinaryHeap<Node> = BinaryHeap::new();
+    let root_tids = TidSet::full(db.len());
+    let root = cl.closure_of_tidset(&root_tids);
+    frontier.push(Node {
+        support: db.len(),
+        items: root,
+        tids: root_tids,
+        core: None,
+    });
+
+    // Collected results: a min-heap of size ≤ k ordered by support.
+    let mut best: BinaryHeap<std::cmp::Reverse<Ranked>> = BinaryHeap::new();
+    let mut capped = false;
+
+    while let Some(node) = frontier.pop() {
+        nodes += 1;
+        if nodes.is_multiple_of(64) && budget.exhausted(best.len(), nodes) {
+            capped = true;
+            break;
+        }
+        // Dynamic threshold: the k-th best support seen so far, floored by
+        // the caller's minimum support.
+        let threshold = if best.len() >= k {
+            best.peek().map_or(min_count, |r| r.0 .0).max(min_count)
+        } else {
+            min_count
+        };
+        if node.support < threshold {
+            break; // no frontier node can beat collected results
+        }
+        if node.items.len() >= min_len && node.support >= threshold {
+            best.push(std::cmp::Reverse(Ranked(node.support, node.items.clone())));
+            if best.len() > k {
+                best.pop();
+            }
+        }
+        // Expand by prefix-preserving closure extension.
+        let start = node.core.map_or(0, |c| c + 1);
+        for item in start..db.num_items() {
+            if node.items.contains(item) {
+                continue;
+            }
+            let sub = index.extend_tidset(&node.tids, item);
+            let support = sub.count();
+            // Children below the dynamic threshold can never contribute.
+            let floor = if best.len() >= k {
+                best.peek().map_or(min_count, |r| r.0 .0).max(min_count)
+            } else {
+                min_count
+            };
+            if support < floor {
+                continue;
+            }
+            let q = cl.closure_of_tidset(&sub);
+            if !prefix_preserved(&node.items, &q, item) {
+                continue;
+            }
+            frontier.push(Node {
+                support,
+                items: q,
+                tids: sub,
+                core: Some(item),
+            });
+        }
+    }
+
+    let mut patterns: Vec<MinedPattern> = best
+        .into_iter()
+        .map(|r| MinedPattern::new(r.0 .1, r.0 .0))
+        .collect();
+    patterns.sort_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
+    if capped {
+        Outcome::capped(patterns, nodes)
+    } else {
+        Outcome::complete(patterns, nodes)
+    }
+}
+
+/// `q ∩ [0, item) == p ∩ [0, item)` given `p ⊆ q`.
+fn prefix_preserved(p: &Itemset, q: &Itemset, item: u32) -> bool {
+    let mut p_iter = p.iter().take_while(|&x| x < item);
+    for x in q.iter().take_while(|&x| x < item) {
+        if p_iter.next() != Some(x) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Frontier node ordered by support (then reverse-lexicographic itemset so
+/// ties expand deterministically).
+struct Node {
+    support: usize,
+    items: Itemset,
+    tids: TidSet,
+    core: Option<u32>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.support == other.support && self.items == other.items
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.support
+            .cmp(&other.support)
+            .then_with(|| other.items.cmp(&self.items))
+    }
+}
+
+/// Result entry ordered by (support, itemset).
+#[derive(PartialEq, Eq)]
+struct Ranked(usize, Itemset);
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0).then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed::closed;
+    use crate::testutil::arb_small_db;
+    use proptest::prelude::*;
+
+    /// Reference: full closed mining, filter by length, take top k.
+    fn reference_topk(db: &TransactionDb, k: usize, min_len: usize) -> Vec<MinedPattern> {
+        let mut all = closed(db, 1, &Budget::unlimited()).patterns;
+        all.retain(|p| p.items.len() >= min_len);
+        all.sort_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn topk_matches_reference_on_small_example() {
+        let db = TransactionDb::from_dense(vec![
+            Itemset::from_items(&[0, 1, 3]),
+            Itemset::from_items(&[1, 2, 4]),
+            Itemset::from_items(&[0, 2, 4]),
+            Itemset::from_items(&[0, 1, 2, 3, 4]),
+        ]);
+        for k in [1, 3, 5, 20] {
+            for min_len in [1, 2, 3] {
+                let got = top_k_closed(&db, k, min_len, 1, &Budget::unlimited()).patterns;
+                let want = reference_topk(&db, k, min_len);
+                assert_eq!(got.len(), want.len(), "k={k} len={min_len}");
+                // Supports must match positionally (itemsets may tie).
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.support, w.support, "k={k} len={min_len}");
+                    assert!(g.items.len() >= min_len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let db = cfp_datagen::diag(6);
+        let out = top_k_closed(&db, 0, 1, 1, &Budget::unlimited());
+        assert!(out.complete);
+        assert!(out.patterns.is_empty());
+    }
+
+    #[test]
+    fn min_len_filters_small_patterns() {
+        let db = cfp_datagen::diag(8);
+        let out = top_k_closed(&db, 10, 3, 1, &Budget::unlimited());
+        assert!(out.patterns.iter().all(|p| p.items.len() >= 3));
+        // In Diag8 the size-3 patterns have support 5 — the best possible
+        // at length ≥ 3.
+        assert!(out.patterns.iter().all(|p| p.support == 5));
+    }
+
+    #[test]
+    fn support_floor_prunes_low_support_closed_patterns() {
+        // Diag10 at floor 7: closed patterns of support < 7 (sizes > 3) are
+        // never visited, so the run is complete and every result clears the
+        // floor even though k is far larger than the qualifying set.
+        let db = cfp_datagen::diag(10);
+        let out = top_k_closed(&db, 1_000, 1, 7, &Budget::unlimited());
+        assert!(out.complete);
+        assert!(!out.patterns.is_empty());
+        assert!(out.patterns.iter().all(|p| p.support >= 7));
+        // Qualifying closed patterns: sizes 1..=3 → C(10,1)+C(10,2)+C(10,3).
+        assert_eq!(out.patterns.len(), 10 + 45 + 120);
+    }
+
+    #[test]
+    fn budget_caps_search() {
+        let db = cfp_datagen::diag(18);
+        let out = top_k_closed(&db, 500, 9, 1, &Budget::unlimited().with_max_nodes(1_000));
+        assert!(!out.complete);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Best-first top-k agrees with filter-then-truncate over the full
+        /// closed set (support multisets must match).
+        #[test]
+        fn matches_reference_on_random_dbs((db, _min) in arb_small_db(), k in 1usize..8, min_len in 1usize..4) {
+            let got = top_k_closed(&db, k, min_len, 1, &Budget::unlimited()).patterns;
+            let want = reference_topk(&db, k, min_len);
+            let gs: Vec<usize> = got.iter().map(|p| p.support).collect();
+            let ws: Vec<usize> = want.iter().map(|p| p.support).collect();
+            prop_assert_eq!(gs, ws);
+            for g in &got {
+                prop_assert!(g.items.len() >= min_len);
+            }
+        }
+    }
+}

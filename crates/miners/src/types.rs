@@ -1,0 +1,67 @@
+//! Shared miner output types.
+
+use cfp_itemset::Itemset;
+use std::fmt;
+
+/// A mined frequent pattern with its absolute support.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MinedPattern {
+    /// The pattern.
+    pub items: Itemset,
+    /// Absolute support `|D(α)|`.
+    pub support: usize,
+}
+
+impl MinedPattern {
+    /// Convenience constructor.
+    pub fn new(items: Itemset, support: usize) -> Self {
+        Self { items, support }
+    }
+
+    /// Pattern cardinality |α|.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pattern is empty (never produced by the miners).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl fmt::Debug for MinedPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.items, self.support)
+    }
+}
+
+/// Sorts patterns canonically (lexicographic by itemset) — used by tests and
+/// harnesses to compare miner outputs.
+pub fn sort_canonical(patterns: &mut [MinedPattern]) {
+    patterns.sort_by(|a, b| a.items.cmp(&b.items));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_format_is_compact() {
+        let p = MinedPattern::new(Itemset::from_items(&[2, 1]), 7);
+        assert_eq!(format!("{p:?}"), "(1 2):7");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn canonical_sort_is_lexicographic() {
+        let mut v = vec![
+            MinedPattern::new(Itemset::from_items(&[2]), 1),
+            MinedPattern::new(Itemset::from_items(&[1, 3]), 1),
+            MinedPattern::new(Itemset::from_items(&[1]), 1),
+        ];
+        sort_canonical(&mut v);
+        let names: Vec<String> = v.iter().map(|p| p.items.to_string()).collect();
+        assert_eq!(names, vec!["(1)", "(1 3)", "(2)"]);
+    }
+}

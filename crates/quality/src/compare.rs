@@ -1,0 +1,142 @@
+//! General pattern-set comparison (the paper's §5 closing remark: the
+//! evaluation model "provides a general mechanism to compare the difference
+//! between two sets of frequent patterns").
+//!
+//! Δ(AP_Q) is asymmetric — it measures how well P *represents* Q. This
+//! module packages both directions plus the Hausdorff distance of the edit
+//! metric, giving a symmetric dissimilarity usable to compare any two mining
+//! results (e.g. two Pattern-Fusion runs, or fusion vs sampling).
+
+use crate::approx::approximation_error;
+use crate::edit::edit_distance;
+use cfp_itemset::Itemset;
+
+/// A two-way comparison of pattern sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternSetComparison {
+    /// Δ(AP_Q): how well P represents Q (None if P is empty).
+    pub delta_p_to_q: Option<f64>,
+    /// Δ(AQ_P): how well Q represents P (None if Q is empty).
+    pub delta_q_to_p: Option<f64>,
+    /// Hausdorff distance of the edit metric: the largest edit distance from
+    /// any pattern in either set to its nearest neighbour in the other
+    /// (None if either set is empty).
+    pub hausdorff: Option<usize>,
+}
+
+impl PatternSetComparison {
+    /// The symmetric Δ: the maximum of the two directional errors (a
+    /// conservative dissimilarity), when both are defined.
+    pub fn symmetric_delta(&self) -> Option<f64> {
+        match (self.delta_p_to_q, self.delta_q_to_p) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        }
+    }
+}
+
+/// Directed Hausdorff: `max_{a∈from} min_{b∈to} Edit(a, b)`.
+fn directed_hausdorff(from: &[Itemset], to: &[Itemset]) -> Option<usize> {
+    if from.is_empty() || to.is_empty() {
+        return None;
+    }
+    from.iter()
+        .map(|a| to.iter().map(|b| edit_distance(a, b)).min().unwrap())
+        .max()
+}
+
+/// Compares two pattern sets in both directions.
+pub fn compare_pattern_sets(p: &[Itemset], q: &[Itemset]) -> PatternSetComparison {
+    let h = match (directed_hausdorff(p, q), directed_hausdorff(q, p)) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        _ => None,
+    };
+    PatternSetComparison {
+        delta_p_to_q: approximation_error(p, q),
+        delta_q_to_p: approximation_error(q, p),
+        hausdorff: h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(items: &[u32]) -> Itemset {
+        Itemset::from_items(items)
+    }
+
+    #[test]
+    fn identical_sets_have_zero_everything() {
+        let p = vec![set(&[0, 1, 2]), set(&[5, 6])];
+        let c = compare_pattern_sets(&p, &p);
+        assert_eq!(c.delta_p_to_q, Some(0.0));
+        assert_eq!(c.delta_q_to_p, Some(0.0));
+        assert_eq!(c.hausdorff, Some(0));
+        assert_eq!(c.symmetric_delta(), Some(0.0));
+    }
+
+    #[test]
+    fn asymmetry_shows_in_directional_deltas() {
+        // P = one center covering Q poorly; Q = rich set covering P well.
+        let p = vec![set(&[0, 1, 2, 3])];
+        let q = vec![set(&[0, 1, 2, 3]), set(&[10, 11, 12])];
+        let c = compare_pattern_sets(&p, &q);
+        // P→Q: the far (10 11 12) maps to P's only center: r = 7/4.
+        assert!(c.delta_p_to_q.unwrap() > 1.0);
+        // Q→P: P's pattern is in Q: perfect representation.
+        assert_eq!(c.delta_q_to_p, Some(0.0));
+        assert_eq!(c.hausdorff, Some(7));
+        assert_eq!(c.symmetric_delta(), c.delta_p_to_q);
+    }
+
+    #[test]
+    fn empty_sides_yield_none() {
+        let p = vec![set(&[0])];
+        let c = compare_pattern_sets(&p, &[]);
+        assert_eq!(c.delta_p_to_q, Some(0.0)); // empty Q is trivially covered
+        assert_eq!(c.delta_q_to_p, None); // no centers
+        assert_eq!(c.hausdorff, None);
+        assert_eq!(c.symmetric_delta(), None);
+    }
+
+    fn arb_sets() -> impl Strategy<Value = Vec<Itemset>> {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..16, 1..6).prop_map(|v| Itemset::from_items(&v)),
+            1..8,
+        )
+    }
+
+    proptest! {
+        /// Hausdorff is symmetric and zero iff the sets are equal as sets.
+        #[test]
+        fn hausdorff_symmetry(p in arb_sets(), q in arb_sets()) {
+            let c1 = compare_pattern_sets(&p, &q);
+            let c2 = compare_pattern_sets(&q, &p);
+            prop_assert_eq!(c1.hausdorff, c2.hausdorff);
+            prop_assert_eq!(c1.delta_p_to_q, c2.delta_q_to_p);
+            if c1.hausdorff == Some(0) {
+                let ps: std::collections::HashSet<_> = p.iter().collect();
+                let qs: std::collections::HashSet<_> = q.iter().collect();
+                prop_assert_eq!(ps, qs);
+            }
+        }
+
+        /// Hausdorff upper-bounds both directed max-min distances and the
+        /// unnormalized cluster radii.
+        #[test]
+        fn hausdorff_dominates(p in arb_sets(), q in arb_sets()) {
+            let c = compare_pattern_sets(&p, &q);
+            let h = c.hausdorff.unwrap();
+            for a in &p {
+                let d = q.iter().map(|b| edit_distance(a, b)).min().unwrap();
+                prop_assert!(d <= h);
+            }
+            for b in &q {
+                let d = p.iter().map(|a| edit_distance(a, b)).min().unwrap();
+                prop_assert!(d <= h);
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Itemset edit distance (Definition 8).
+
+use cfp_itemset::Itemset;
+
+/// `Edit(α, β) = |α ∪ β| − |α ∩ β|` — the number of single-item insertions
+/// and deletions transforming α into β (symmetric-difference cardinality).
+#[inline]
+pub fn edit_distance(a: &Itemset, b: &Itemset) -> usize {
+    a.union_count(b) - a.intersection_count(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(items: &[u32]) -> Itemset {
+        Itemset::from_items(items)
+    }
+
+    #[test]
+    fn paper_example() {
+        // "the edit distance between itemsets (abcd) and (acde) is 2."
+        let abcd = set(&[0, 1, 2, 3]);
+        let acde = set(&[0, 2, 3, 4]);
+        assert_eq!(edit_distance(&abcd, &acde), 2);
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[7, 8]);
+        assert_eq!(edit_distance(&a, &a), 0);
+        assert_eq!(edit_distance(&a, &b), 5);
+        assert_eq!(edit_distance(&a, &Itemset::empty()), 3);
+    }
+
+    fn arb_set() -> impl Strategy<Value = Itemset> {
+        proptest::collection::vec(0u32..30, 0..16).prop_map(|v| Itemset::from_items(&v))
+    }
+
+    proptest! {
+        /// Edit distance is a metric: identity, symmetry, triangle.
+        #[test]
+        fn is_a_metric(a in arb_set(), b in arb_set(), c in arb_set()) {
+            prop_assert_eq!(edit_distance(&a, &a), 0);
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+            prop_assert!(
+                edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c)
+            );
+            // Separation: zero distance ⇒ equal sets.
+            if edit_distance(&a, &b) == 0 {
+                prop_assert_eq!(&a, &b);
+            }
+        }
+
+        /// Edit distance equals the size of the symmetric difference.
+        #[test]
+        fn equals_symmetric_difference(a in arb_set(), b in arb_set()) {
+            let sym = a.difference(&b).len() + b.difference(&a).len();
+            prop_assert_eq!(edit_distance(&a, &b), sym);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Quality-evaluation model for approximate colossal-pattern mining
+//! (paper §5).
+//!
+//! When the complete mining result is too large to compute, recall/precision
+//! are meaningless; the paper instead measures how *representative* a result
+//! set P is of the complete set Q:
+//!
+//! * [`edit_distance`] — `Edit(α, β) = |α ∪ β| − |α ∩ β|` (Definition 8);
+//! * [`approximate`] — the clustering model (Definition 9): each β ∈ Q joins
+//!   its nearest center α ∈ P;
+//! * [`approximation_error`] — `Δ(AP_Q)` (Definition 10): the average over
+//!   clusters of the farthest member's relative edit distance;
+//! * [`uniform_sampling_error`] — the paper's Figure 7 comparator: K
+//!   patterns drawn uniformly from Q, scored with the same Δ;
+//! * [`error_by_min_size`] — the Figure 8 sweep: Δ restricted to patterns of
+//!   size ≥ x for a series of x;
+//! * [`compare_pattern_sets`] — the §5 closing remark generalized: a
+//!   symmetric two-way comparison (both directional Δs plus the Hausdorff
+//!   distance of the edit metric) for comparing any two mining results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod approx;
+mod compare;
+mod edit;
+mod sampling;
+mod sweep;
+
+pub use approx::{approximate, approximation_error, Approximation};
+pub use compare::{compare_pattern_sets, PatternSetComparison};
+pub use edit::edit_distance;
+pub use sampling::{uniform_sample, uniform_sampling_error};
+pub use sweep::{error_by_min_size, SizeSweepPoint};

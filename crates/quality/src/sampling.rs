@@ -1,0 +1,109 @@
+//! The uniform-sampling comparator (Figure 7's second curve).
+//!
+//! The paper compares Pattern-Fusion's approximation error against "a
+//! uniform sampling approach, which randomly picks up K patterns from the
+//! complete answer set" — the strongest baseline available when the complete
+//! set is known. Matching its error means Pattern-Fusion does not get stuck
+//! in a corner of the pattern space.
+
+use crate::approx::approximation_error;
+use cfp_itemset::Itemset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Draws `k` patterns uniformly without replacement from `q`
+/// (deterministic given `seed`). Returns all of `q` when `k ≥ |q|`.
+pub fn uniform_sample(q: &[Itemset], k: usize, seed: u64) -> Vec<Itemset> {
+    if k >= q.len() {
+        return q.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    rand::seq::index::sample(&mut rng, q.len(), k)
+        .into_iter()
+        .map(|i| q[i].clone())
+        .collect()
+}
+
+/// Δ(AP_Q) of a uniform K-sample of Q, averaged over `trials` independent
+/// draws (one draw is noisy; the paper plots single draws, we expose the
+/// trial count).
+///
+/// Returns `None` if `q` is empty or `k == 0`.
+pub fn uniform_sampling_error(q: &[Itemset], k: usize, trials: usize, seed: u64) -> Option<f64> {
+    if q.is_empty() || k == 0 || trials == 0 {
+        return None;
+    }
+    let mut total = 0.0;
+    for t in 0..trials {
+        let p = uniform_sample(q, k, seed.wrapping_add(t as u64));
+        total += approximation_error(&p, q)?;
+    }
+    Some(total / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets(n: usize) -> Vec<Itemset> {
+        (0..n)
+            .map(|i| Itemset::from_items(&[i as u32, (i + 1) as u32, 50]))
+            .collect()
+    }
+
+    #[test]
+    fn sample_is_subset_without_replacement() {
+        let q = sets(20);
+        let s = uniform_sample(&q, 8, 42);
+        assert_eq!(s.len(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for p in &s {
+            assert!(q.contains(p));
+            assert!(seen.insert(p.clone()), "duplicate draw");
+        }
+    }
+
+    #[test]
+    fn oversized_k_returns_everything() {
+        let q = sets(5);
+        assert_eq!(uniform_sample(&q, 10, 1).len(), 5);
+    }
+
+    #[test]
+    fn full_sample_has_zero_error() {
+        let q = sets(6);
+        let err = uniform_sampling_error(&q, 6, 3, 7).unwrap();
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn error_decreases_with_k_on_average() {
+        // More centers → each Q-pattern is closer to some center.
+        let q: Vec<Itemset> = (0..40u32)
+            .map(|i| Itemset::from_items(&[i, i + 1, i + 2, 100]))
+            .collect();
+        let e_small = uniform_sampling_error(&q, 2, 16, 9).unwrap();
+        let e_big = uniform_sampling_error(&q, 30, 16, 9).unwrap();
+        assert!(
+            e_big < e_small,
+            "expected error to fall with K: {e_big} vs {e_small}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(uniform_sampling_error(&[], 3, 2, 1).is_none());
+        assert!(uniform_sampling_error(&sets(3), 0, 2, 1).is_none());
+        assert!(uniform_sampling_error(&sets(3), 2, 0, 1).is_none());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let q = sets(15);
+        assert_eq!(uniform_sample(&q, 5, 3), uniform_sample(&q, 5, 3));
+        assert_eq!(
+            uniform_sampling_error(&q, 5, 4, 11),
+            uniform_sampling_error(&q, 5, 4, 11)
+        );
+    }
+}

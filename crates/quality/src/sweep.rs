@@ -1,0 +1,90 @@
+//! Size-threshold sweeps (the paper's Figure 8 presentation).
+//!
+//! Figure 8 plots, for each size threshold x, the approximation error of the
+//! mining result against the complete set restricted to patterns of size
+//! ≥ x. Both sides are restricted: the paper reads the plot as "when K=100,
+//! Pattern-Fusion returns 80 of the 98 closed patterns of size ≥ 42", i.e.
+//! the result set is also viewed through the ≥ x lens.
+
+use crate::approx::approximation_error;
+use cfp_itemset::Itemset;
+
+/// One point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeSweepPoint {
+    /// The size threshold x.
+    pub min_size: usize,
+    /// Patterns of size ≥ x in the complete set Q.
+    pub complete_count: usize,
+    /// Patterns of size ≥ x in the mining result P.
+    pub result_count: usize,
+    /// Δ(AP_Q) over the restricted sets; `None` when the restricted result
+    /// set is empty (nothing of that size was mined).
+    pub error: Option<f64>,
+}
+
+/// Computes Δ(AP_Q) for every threshold in `min_sizes`, restricting both
+/// the result `p` and the complete set `q` to patterns of size ≥ x.
+pub fn error_by_min_size(p: &[Itemset], q: &[Itemset], min_sizes: &[usize]) -> Vec<SizeSweepPoint> {
+    min_sizes
+        .iter()
+        .map(|&x| {
+            let pr: Vec<Itemset> = p.iter().filter(|s| s.len() >= x).cloned().collect();
+            let qr: Vec<Itemset> = q.iter().filter(|s| s.len() >= x).cloned().collect();
+            SizeSweepPoint {
+                min_size: x,
+                complete_count: qr.len(),
+                result_count: pr.len(),
+                error: approximation_error(&pr, &qr),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> Itemset {
+        Itemset::from_items(items)
+    }
+
+    #[test]
+    fn sweep_counts_and_errors() {
+        let q = vec![
+            set(&[0, 1, 2, 3, 4]),
+            set(&[0, 1, 2, 3]),
+            set(&[0, 1]),
+            set(&[5, 6, 7, 8, 9]),
+        ];
+        // Result holds one of the two big patterns exactly.
+        let p = vec![set(&[0, 1, 2, 3, 4]), set(&[9])];
+        let sweep = error_by_min_size(&p, &q, &[1, 4, 5, 6]);
+        assert_eq!(sweep[0].complete_count, 4);
+        assert_eq!(sweep[0].result_count, 2);
+
+        // x = 5: Q has two size-5 patterns, P has one of them; the missing
+        // one (56789) is at edit distance 10 from (01234) → r = 10/5 = 2.
+        let at5 = &sweep[2];
+        assert_eq!(at5.complete_count, 2);
+        assert_eq!(at5.result_count, 1);
+        assert!((at5.error.unwrap() - 2.0).abs() < 1e-12);
+
+        // x = 6: nothing qualifies on either side: error defined, zero Q.
+        let at6 = &sweep[3];
+        assert_eq!(at6.complete_count, 0);
+        assert_eq!(at6.result_count, 0);
+        assert!(at6.error.is_none(), "no centers → undefined");
+    }
+
+    #[test]
+    fn perfect_result_scores_zero_everywhere() {
+        let q = vec![set(&[0, 1, 2]), set(&[3, 4, 5, 6])];
+        let sweep = error_by_min_size(&q, &q, &[1, 3, 4]);
+        for pt in &sweep {
+            if pt.result_count > 0 {
+                assert_eq!(pt.error, Some(0.0), "x = {}", pt.min_size);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! `cfp` — command-line colossal-pattern mining on FIMI `.dat` files.
+//!
+//! ```text
+//! cfp mine <file.dat> [--minsup FRAC | --mincount N] [--k N] [--tau T]
+//!          [--pool-len L] [--seed S] [--closure] [--stats]
+//! cfp stats <file.dat>
+//! cfp generate <diag|diag-plus|replace|all|quest> [--out FILE] [--seed S]
+//! ```
+//!
+//! `mine` runs Pattern-Fusion and prints the mined patterns (external item
+//! labels) with sizes and supports. `stats` summarizes a dataset. `generate`
+//! writes one of the paper's workloads in FIMI format.
+
+use colossal::fusion::{FusionConfig, PatternFusion};
+use colossal::itemset::{read_fimi, write_fimi, TransactionDb};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "mine" => cmd_mine(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "cfp — colossal frequent pattern mining (Pattern-Fusion, ICDE 2007)
+
+usage:
+  cfp mine <file.dat> [options]      mine colossal patterns from a FIMI file
+      --minsup FRAC    relative minimum support in (0,1]   [default 0.05]
+      --mincount N     absolute minimum support (overrides --minsup)
+      --k N            maximum number of patterns          [default 50]
+      --tau T          core ratio τ in (0,1]               [default 0.5]
+      --pool-len L     initial pool size bound             [default 3]
+      --seed S         RNG seed                            [default 2007]
+      --closure        close fused patterns (report closed patterns)
+      --stats          print per-iteration statistics
+  cfp stats <file.dat>               dataset summary
+  cfp generate <kind> [--out FILE] [--seed S]
+      kinds: diag40, diag-plus (the intro's Diag40+20), replace, all, quest";
+
+fn parse_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_value<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    for w in args.windows(2) {
+        if w[0] == name {
+            return w[1]
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value '{}' for {name}", w[1]));
+        }
+    }
+    Ok(None)
+}
+
+fn load(path: &str) -> Result<TransactionDb, String> {
+    read_fimi(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("mine: missing <file.dat>".into());
+    };
+    let db = load(path)?;
+    if db.is_empty() {
+        return Err("dataset has no transactions".into());
+    }
+
+    let min_count = match parse_value::<usize>(args, "--mincount")? {
+        Some(c) => c,
+        None => {
+            let frac = parse_value::<f64>(args, "--minsup")?.unwrap_or(0.05);
+            db.min_support(frac).map_err(|e| e.to_string())?.count()
+        }
+    };
+    let k = parse_value::<usize>(args, "--k")?.unwrap_or(50);
+    let tau = parse_value::<f64>(args, "--tau")?.unwrap_or(0.5);
+    let pool_len = parse_value::<usize>(args, "--pool-len")?.unwrap_or(3);
+    let seed = parse_value::<u64>(args, "--seed")?.unwrap_or(2007);
+    if !(tau > 0.0 && tau <= 1.0) {
+        return Err(format!("--tau {tau} outside (0, 1]"));
+    }
+
+    eprintln!(
+        "mining {path}: {} transactions, {} items, min support {min_count}, K={k}, τ={tau}",
+        db.len(),
+        db.num_items()
+    );
+    let config = FusionConfig::new(k, min_count)
+        .with_tau(tau)
+        .with_pool_max_len(pool_len)
+        .with_seed(seed)
+        .with_closure_step(parse_flag(args, "--closure"));
+    let pf = PatternFusion::new(&db, config);
+    let t0 = std::time::Instant::now();
+    let result = pf.run();
+    eprintln!(
+        "mined {} patterns in {:.3}s (pool {}, {} iterations)",
+        result.patterns.len(),
+        t0.elapsed().as_secs_f64(),
+        result.stats.initial_pool_size,
+        result.stats.iterations.len()
+    );
+    if parse_flag(args, "--stats") {
+        for (i, it) in result.stats.iterations.iter().enumerate() {
+            eprintln!(
+                "  iter {i}: pool {} → {} patterns (sizes {}..{}) in {:.3}s",
+                it.pool_size,
+                it.generated,
+                it.min_pattern_len,
+                it.max_pattern_len,
+                it.elapsed.as_secs_f64()
+            );
+        }
+    }
+    for p in &result.patterns {
+        let labels = db.item_map().externalize(p.items.items());
+        let rendered: Vec<String> = labels.iter().map(u32::to_string).collect();
+        println!("{}\t{}\t{}", p.len(), p.support(), rendered.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("stats: missing <file.dat>".into());
+    };
+    let db = load(path)?;
+    println!("transactions:      {}", db.len());
+    println!("distinct items:    {}", db.num_items());
+    println!("item occurrences:  {}", db.total_occurrences());
+    println!("avg txn length:    {:.2}", db.avg_transaction_len());
+    let idx = colossal::itemset::VerticalIndex::new(&db);
+    let mut supports = idx.item_supports();
+    supports.sort_unstable_by(|a, b| b.cmp(a));
+    if !supports.is_empty() {
+        println!("max item support:  {}", supports[0]);
+        println!("median support:    {}", supports[supports.len() / 2]);
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let Some(kind) = args.first() else {
+        return Err("generate: missing <kind>".into());
+    };
+    let seed = parse_value::<u64>(args, "--seed")?.unwrap_or(1);
+    let db = match kind.as_str() {
+        "diag40" => colossal::datagen::diag(40),
+        "diag-plus" => colossal::datagen::diag_plus(40, 20, 39),
+        "replace" => {
+            let cfg = colossal::datagen::ReplaceConfig {
+                seed,
+                ..Default::default()
+            };
+            colossal::datagen::replace_like(&cfg).db
+        }
+        "all" => {
+            let cfg = colossal::datagen::AllLikeConfig {
+                seed,
+                ..Default::default()
+            };
+            colossal::datagen::all_like(&cfg).db
+        }
+        "quest" => {
+            let cfg = colossal::datagen::QuestConfig {
+                seed,
+                ..Default::default()
+            };
+            colossal::datagen::quest(&cfg)
+        }
+        other => return Err(format!("unknown kind '{other}' (see --help)")),
+    };
+    match parse_value::<String>(args, "--out")? {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+            write_fimi(&db, &mut f).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} transactions to {path}", db.len());
+        }
+        None => {
+            let mut out = std::io::stdout();
+            write_fimi(&db, &mut out).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! # colossal — Mining Colossal Frequent Patterns by Core Pattern Fusion
+//!
+//! Facade crate for the Pattern-Fusion reproduction (Zhu, Yan, Han, Yu,
+//! Cheng — ICDE 2007). It re-exports the workspace crates under stable paths
+//! and hosts the runnable examples and cross-crate integration tests.
+//!
+//! ```
+//! use colossal::prelude::*;
+//!
+//! // The paper's introductory pathological table: Diag40 plus 20 identical
+//! // rows hiding a single colossal pattern among C(40,20) mid-sized ones.
+//! let db = colossal::datagen::diag_plus(8, 4, 6);
+//! let pool = colossal::miners::initial_pool(&db, 4, 2);
+//! assert!(!pool.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Itemset and transaction-database engine.
+pub use cfp_itemset as itemset;
+
+/// Synthetic dataset generators for every experiment.
+pub use cfp_datagen as datagen;
+
+/// Baseline miners (Apriori, Eclat, FP-growth, closed, maximal, top-k).
+pub use cfp_miners as miners;
+
+/// Pattern-Fusion — the paper's contribution.
+pub use cfp_core as fusion;
+
+/// The quality-evaluation model (pattern-set approximation error).
+pub use cfp_quality as quality;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cfp_itemset::{DbBuilder, Itemset, MinSupport, TidSet, TransactionDb, VerticalIndex};
+    pub use cfp_miners::{Budget, MinedPattern};
+}

@@ -1,0 +1,129 @@
+//! End-to-end tests for the `cfp` command-line tool.
+
+use std::process::Command;
+
+fn cfp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cfp"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_stats_mine_pipeline() {
+    let data = temp_path("diag_plus.dat");
+    let out = cfp()
+        .args(["generate", "diag-plus", "--out", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cfp()
+        .args(["stats", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("transactions:      60"), "{text}");
+    assert!(text.contains("distinct items:    79"), "{text}");
+
+    let out = cfp()
+        .args([
+            "mine",
+            data.to_str().unwrap(),
+            "--mincount",
+            "20",
+            "--k",
+            "10",
+            "--pool-len",
+            "2",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The first (largest) line must be the size-39 colossal pattern with
+    // support 20, labeled with the paper's integers 41..=79.
+    let first = text.lines().next().expect("non-empty mining output");
+    let fields: Vec<&str> = first.split('\t').collect();
+    assert_eq!(fields[0], "39", "size column: {first}");
+    assert_eq!(fields[1], "20", "support column: {first}");
+    assert!(fields[2].starts_with("41 42 43"), "items column: {first}");
+    assert!(fields[2].ends_with("78 79"), "items column: {first}");
+
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn mine_respects_relative_minsup() {
+    let data = temp_path("quest.dat");
+    let out = cfp()
+        .args([
+            "generate",
+            "quest",
+            "--out",
+            data.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = cfp()
+        .args([
+            "mine",
+            data.to_str().unwrap(),
+            "--minsup",
+            "0.02",
+            "--k",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // 0.02 of 1000 transactions = support ≥ 20 on every output line.
+    for line in text.lines() {
+        let support: usize = line.split('\t').nth(1).unwrap().parse().unwrap();
+        assert!(support >= 20, "{line}");
+    }
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let out = cfp().args(["mine"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing"));
+
+    let out = cfp().args(["mine", "/nonexistent/x.dat"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = cfp().args(["generate", "bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown kind"));
+
+    let out = cfp().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = cfp().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}

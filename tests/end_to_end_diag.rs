@@ -1,0 +1,87 @@
+//! End-to-end reproduction of the introduction's scenario, scaled for test
+//! speed: exhaustive mining drowns in the diagonal table's mid-sized layer
+//! while Pattern-Fusion recovers the unique colossal pattern.
+
+use colossal::fusion::{FusionConfig, PatternFusion};
+use colossal::miners::{maximal, Budget};
+use colossal::prelude::*;
+
+/// Diag16 + 8 rows of a 12-item block, minsup 8 (the Diag40+20 analogue).
+fn intro_db() -> TransactionDb {
+    colossal::datagen::diag_plus(16, 8, 12)
+}
+
+fn colossal_target(db: &TransactionDb) -> Itemset {
+    let items: Vec<u32> = (17..=28)
+        .map(|i| db.item_map().internal(i).unwrap())
+        .collect();
+    Itemset::from_items(&items)
+}
+
+#[test]
+fn exhaustive_mining_drowns_but_fusion_succeeds() {
+    let db = intro_db();
+    let target = colossal_target(&db);
+
+    // The maximal layer at support 8 contains C(16,8) = 12 870 diagonal
+    // patterns; a node budget a fraction of that must cap the run.
+    let capped = maximal(&db, 8, &Budget::unlimited().with_max_nodes(3_000));
+    assert!(!capped.complete, "budget must trip before C(16,8)");
+
+    // Pattern-Fusion recovers the planted colossal pattern from a pool of
+    // 1- and 2-itemsets.
+    let config = FusionConfig::new(10, 8).with_pool_max_len(2).with_seed(1);
+    let result = PatternFusion::new(&db, config).run();
+    assert!(
+        result.patterns.iter().any(|p| p.items == target),
+        "colossal block missing"
+    );
+    // And its support set is exactly the 8 extra rows.
+    let found = result.patterns.iter().find(|p| p.items == target).unwrap();
+    assert_eq!(found.support(), 8);
+    assert_eq!(found.tids.to_vec(), (16..24).collect::<Vec<_>>());
+}
+
+#[test]
+fn fusion_result_is_within_k_and_frequent() {
+    let db = intro_db();
+    let index = VerticalIndex::new(&db);
+    for k in [5, 10, 20] {
+        let config = FusionConfig::new(k, 8).with_pool_max_len(2).with_seed(2);
+        let result = PatternFusion::new(&db, config).run();
+        assert!(result.patterns.len() <= k.max(1), "k={k}");
+        for p in &result.patterns {
+            assert!(p.support() >= 8, "infrequent pattern {:?}", p.items);
+            assert_eq!(p.tids, index.tidset(&p.items), "stale tid-set");
+        }
+    }
+}
+
+#[test]
+fn lemma5_holds_end_to_end() {
+    let db = intro_db();
+    for seed in 0..4 {
+        let config = FusionConfig::new(8, 8).with_pool_max_len(2).with_seed(seed);
+        let result = PatternFusion::new(&db, config).run();
+        assert!(
+            result.stats.min_sizes_non_decreasing(),
+            "Lemma 5 violated at seed {seed}: {:?}",
+            result.stats.iterations
+        );
+    }
+}
+
+#[test]
+fn pure_diagonal_behaves_like_uniform_sampling() {
+    // On Diag20 (no planted block) every fused pattern is a random mid-layer
+    // pattern of size minsup complement; sizes concentrate at 10.
+    let db = colossal::datagen::diag(20);
+    let config = FusionConfig::new(12, 10).with_pool_max_len(2).with_seed(3);
+    let result = PatternFusion::new(&db, config).run();
+    assert!(!result.patterns.is_empty());
+    for p in &result.patterns {
+        assert!(p.len() <= 10, "support 10 caps size at 10: {:?}", p.items);
+    }
+    let max = result.max_pattern_len();
+    assert!(max >= 9, "fusion should reach the mid layer, got {max}");
+}

@@ -1,0 +1,138 @@
+//! Cross-miner agreement on generated workloads: the three complete miners
+//! must return identical pattern sets, and the closed/maximal/top-k miners
+//! must be consistent projections of them.
+
+use colossal::miners::{
+    apriori, closed, eclat, fp_growth, maximal, sort_canonical, top_k_closed, Budget, MinedPattern,
+};
+use colossal::prelude::*;
+
+fn quest_db() -> TransactionDb {
+    colossal::datagen::quest(&colossal::datagen::QuestConfig {
+        n_transactions: 250,
+        n_items: 32,
+        avg_transaction_len: 8,
+        ..Default::default()
+    })
+}
+
+fn mine_all(db: &TransactionDb, min: usize) -> Vec<Vec<MinedPattern>> {
+    let unlimited = Budget::unlimited();
+    let mut sets = vec![
+        apriori(db, min, &unlimited).patterns,
+        eclat(db, min, &unlimited).patterns,
+        fp_growth(db, min, &unlimited).patterns,
+    ];
+    for s in &mut sets {
+        sort_canonical(s);
+    }
+    sets
+}
+
+#[test]
+fn complete_miners_agree_on_quest_workload() {
+    let db = quest_db();
+    for min in [4, 8, 16] {
+        let sets = mine_all(&db, min);
+        assert!(!sets[0].is_empty(), "workload empty at {min}");
+        assert_eq!(sets[0], sets[1], "apriori vs eclat at {min}");
+        assert_eq!(sets[1], sets[2], "eclat vs fp-growth at {min}");
+    }
+}
+
+#[test]
+fn closed_set_is_the_support_closed_projection() {
+    let db = quest_db();
+    let min = 6;
+    let complete = eclat(&db, min, &Budget::unlimited()).patterns;
+    let closed_set = closed(&db, min, &Budget::unlimited()).patterns;
+
+    // Every closed pattern is frequent with matching support.
+    let complete_map: std::collections::HashMap<_, _> = complete
+        .iter()
+        .map(|p| (p.items.clone(), p.support))
+        .collect();
+    for c in &closed_set {
+        assert_eq!(complete_map.get(&c.items), Some(&c.support), "{c:?}");
+    }
+    // Every frequent pattern's support is matched by some closed superset.
+    let closed_list: Vec<_> = closed_set.iter().collect();
+    for p in &complete {
+        assert!(
+            closed_list
+                .iter()
+                .any(|c| c.support == p.support && p.items.is_subset_of(&c.items)),
+            "no closed superset for {p:?}"
+        );
+    }
+}
+
+#[test]
+fn maximal_set_is_the_frontier_of_the_complete_set() {
+    let db = quest_db();
+    let min = 6;
+    let complete = eclat(&db, min, &Budget::unlimited()).patterns;
+    let maximal_set = maximal(&db, min, &Budget::unlimited()).patterns;
+
+    // Maximal patterns are frequent and pairwise incomparable.
+    for (i, m) in maximal_set.iter().enumerate() {
+        assert!(complete.iter().any(|p| p.items == m.items));
+        for other in &maximal_set[..i] {
+            assert!(!m.items.is_proper_subset_of(&other.items));
+            assert!(!other.items.is_proper_subset_of(&m.items));
+        }
+    }
+    // Every frequent pattern lies under some maximal one.
+    for p in &complete {
+        assert!(
+            maximal_set.iter().any(|m| p.items.is_subset_of(&m.items)),
+            "{p:?} not covered"
+        );
+    }
+}
+
+#[test]
+fn topk_is_the_head_of_the_closed_ranking() {
+    let db = quest_db();
+    let mut by_support = closed(&db, 1, &Budget::unlimited()).patterns;
+    by_support.sort_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
+
+    for (k, min_len) in [(5usize, 1usize), (10, 2), (25, 3)] {
+        let got = top_k_closed(&db, k, min_len, 1, &Budget::unlimited()).patterns;
+        let want: Vec<_> = by_support
+            .iter()
+            .filter(|p| p.items.len() >= min_len)
+            .take(k)
+            .collect();
+        assert_eq!(got.len(), want.len(), "k={k} len={min_len}");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.support, w.support, "k={k} len={min_len}");
+        }
+    }
+}
+
+#[test]
+fn budgets_cap_all_miners_consistently() {
+    // On Diag18 at support 9 (C(18,9) = 48 620 maximal patterns), every
+    // budgeted miner must terminate early yet return valid partial results.
+    let db = colossal::datagen::diag(18);
+    let budget = Budget::unlimited().with_max_nodes(1_000);
+    let index = VerticalIndex::new(&db);
+    let outcomes = [
+        apriori(&db, 9, &budget),
+        eclat(&db, 9, &budget),
+        fp_growth(&db, 9, &budget),
+        closed(&db, 9, &budget),
+        maximal(&db, 9, &budget),
+    ];
+    for (i, out) in outcomes.iter().enumerate() {
+        assert!(!out.complete, "miner {i} should be capped");
+        for p in out.patterns.iter().take(50) {
+            assert_eq!(
+                index.support(&p.items),
+                p.support,
+                "miner {i} support drift"
+            );
+        }
+    }
+}

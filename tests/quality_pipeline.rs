@@ -1,0 +1,135 @@
+//! The quality model applied to real mining output (the Figures 7/8
+//! pipeline at test scale).
+
+use colossal::fusion::{FusionConfig, PatternFusion};
+use colossal::itemset::Itemset;
+use colossal::miners::{closed, maximal, Budget};
+use colossal::quality::{
+    approximation_error, error_by_min_size, uniform_sample, uniform_sampling_error,
+};
+
+/// Diag14 at support 7: complete maximal layer = C(14,7) = 3 432 size-7
+/// patterns — enumerable, so Δ can be computed against exact ground truth.
+fn ground_truth() -> (colossal::prelude::TransactionDb, Vec<Itemset>) {
+    let db = colossal::datagen::diag(14);
+    let out = maximal(&db, 7, &Budget::unlimited());
+    assert!(out.complete);
+    let q: Vec<Itemset> = out.patterns.into_iter().map(|p| p.items).collect();
+    assert_eq!(q.len(), 3432);
+    (db, q)
+}
+
+#[test]
+fn fusion_error_tracks_uniform_sampling_on_diagonal_data() {
+    let (db, q) = ground_truth();
+    let k = 40;
+    let config = FusionConfig::new(k, 7).with_pool_max_len(2).with_seed(10);
+    let result = PatternFusion::new(&db, config).run();
+    let p: Vec<Itemset> = result.patterns.iter().map(|x| x.items.clone()).collect();
+    let pf_err = approximation_error(&p, &q).unwrap();
+    let uni_err = uniform_sampling_error(&q, k, 8, 11).unwrap();
+    // The paper's Figure 7 claim: comparable error, so fusion is not stuck
+    // locally. Allow a generous band.
+    assert!(
+        pf_err <= uni_err * 2.0 + 0.1,
+        "fusion error {pf_err:.3} far above uniform baseline {uni_err:.3}"
+    );
+    assert!(
+        pf_err > 0.0,
+        "a 40-pattern subset cannot cover 3 432 patterns"
+    );
+}
+
+#[test]
+fn error_decreases_with_k() {
+    let (db, q) = ground_truth();
+    let mut errors = Vec::new();
+    for k in [5usize, 20, 80] {
+        let config = FusionConfig::new(k, 7).with_pool_max_len(2).with_seed(12);
+        let result = PatternFusion::new(&db, config).run();
+        let p: Vec<Itemset> = result.patterns.iter().map(|x| x.items.clone()).collect();
+        errors.push(approximation_error(&p, &q).unwrap());
+    }
+    assert!(
+        errors[0] > errors[2],
+        "error should fall from K=5 to K=80: {errors:?}"
+    );
+}
+
+#[test]
+fn size_sweep_counts_are_consistent_with_closed_ground_truth() {
+    let cfg = colossal::datagen::ReplaceConfig::tiny(3);
+    let data = colossal::datagen::replace_like(&cfg);
+    let ground = closed(&data.db, 18, &Budget::unlimited());
+    assert!(ground.complete);
+    let q: Vec<Itemset> = ground.patterns.iter().map(|p| p.items.clone()).collect();
+
+    let config = FusionConfig::new(40, 18).with_pool_max_len(3).with_seed(4);
+    let result = PatternFusion::new(&data.db, config).run();
+    let p: Vec<Itemset> = result.patterns.iter().map(|x| x.items.clone()).collect();
+
+    let sizes: Vec<usize> = (15..=21).collect();
+    let sweep = error_by_min_size(&p, &q, &sizes);
+    for w in sweep.windows(2) {
+        assert!(
+            w[0].complete_count >= w[1].complete_count,
+            "complete counts must be non-increasing in x"
+        );
+        assert!(w[0].result_count >= w[1].result_count);
+    }
+    // At the profile size itself the profiles must be found exactly.
+    let at_top = sweep.iter().find(|pt| pt.min_size == 20).unwrap();
+    assert_eq!(at_top.complete_count, 2, "two tiny profiles");
+    assert_eq!(at_top.result_count, 2);
+    assert_eq!(at_top.error, Some(0.0));
+}
+
+#[test]
+fn uniform_sample_of_mining_results_is_valid_centerset() {
+    let (_db, q) = ground_truth();
+    let p = uniform_sample(&q, 25, 9);
+    let err = approximation_error(&p, &q).unwrap();
+    assert!(err > 0.0 && err < 2.0, "sane error range, got {err}");
+}
+
+#[test]
+fn two_fusion_runs_are_closer_to_each_other_than_to_random_noise() {
+    // The §5 comparison mechanism applied to real runs: two independent
+    // Pattern-Fusion results on the same planted data should be far more
+    // similar to each other than to an unrelated pattern set.
+    use colossal::quality::compare_pattern_sets;
+    let data = colossal::datagen::planted(&colossal::datagen::PlantedConfig {
+        n_rows: 50,
+        pattern_sizes: vec![18, 12],
+        pattern_support: 14,
+        max_row_overlap: 6,
+        row_len: 0,
+        filler_rows_lo: 2,
+        filler_rows_hi: 4,
+        seed: 77,
+    });
+    let run = |seed| {
+        let config = FusionConfig::new(10, 14)
+            .with_pool_max_len(2)
+            .with_seed(seed);
+        PatternFusion::new(&data.db, config)
+            .run()
+            .patterns
+            .into_iter()
+            .map(|p| p.items)
+            .collect::<Vec<Itemset>>()
+    };
+    let a = run(1);
+    let b = run(2);
+    let noise: Vec<Itemset> = (100..110u32)
+        .map(|i| Itemset::from_items(&[i, i + 1, i + 2]))
+        .collect();
+
+    let close = compare_pattern_sets(&a, &b);
+    let far = compare_pattern_sets(&a, &noise);
+    assert!(
+        close.symmetric_delta().unwrap() < far.symmetric_delta().unwrap(),
+        "runs should agree more with each other than with noise: {close:?} vs {far:?}"
+    );
+    assert!(close.hausdorff.unwrap() < far.hausdorff.unwrap());
+}
