@@ -16,17 +16,32 @@
 //! Seed processing is embarrassingly parallel; each seed's RNG is derived
 //! from the master seed and the seed's position, so results are bit-for-bit
 //! identical at any thread count.
+//!
+//! Ball queries go through the metric-pruned [`crate::ball::BallIndex`]
+//! (cardinality range + pivot triangle-inequality prunes over a
+//! structure-of-arrays tid-set arena) instead of a brute-force O(K·|Pool|)
+//! distance scan, and both the ball scans and the per-seed fusions are
+//! distributed over a work-stealing task queue ([`crate::parallel`]) rather
+//! than fixed per-thread chunks.
 
+use crate::ball::{BallIndex, BallQueryStats};
 use crate::config::FusionConfig;
-use crate::distance::{ball_radius, pattern_distance};
+use crate::distance::ball_radius;
 use crate::fusion::fuse_ball;
+use crate::parallel::run_tasks;
 use crate::pattern::Pattern;
 use crate::stats::{IterationStats, RunStats};
 use cfp_itemset::{ClosureOperator, Itemset, TransactionDb, VerticalIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
+
+/// Candidates per ball-scan task: small enough that one seed's oversized
+/// ball spreads across workers, large enough to amortize task claiming.
+const SCAN_TASK_CANDIDATES: usize = 2048;
 
 /// A configured Pattern-Fusion run over one database.
 pub struct PatternFusion<'a> {
@@ -107,6 +122,10 @@ impl<'a> PatternFusion<'a> {
         // `FusionConfig::archive`): protects already-found colossal patterns
         // from the seed-drawing survival lottery.
         let mut archive: Vec<Pattern> = Vec::new();
+        // Sorted itemset-hash fingerprint of `pool`, carried across
+        // iterations so the stagnation check hashes each pool once instead
+        // of rebuilding a HashSet of every itemset per iteration.
+        let mut pool_fp: Option<Vec<u64>> = None;
 
         for iteration in 0..cfg.max_iterations {
             let t0 = Instant::now();
@@ -114,18 +133,22 @@ impl<'a> PatternFusion<'a> {
             let seed_positions: Vec<usize> =
                 rand::seq::index::sample(&mut rng, pool.len(), n_seeds).into_vec();
 
-            let per_seed = self.process_seeds(&pool, &seed_positions, radius, iteration);
+            let (per_seed, ball_stats) =
+                self.process_seeds(&pool, &seed_positions, radius, iteration);
 
-            // Merge, deduplicating by itemset.
-            let mut seen: HashSet<Itemset> = HashSet::new();
-            let mut next: Vec<Pattern> = Vec::new();
-            for batch in per_seed {
-                for p in batch {
-                    if seen.insert(p.items.clone()) {
-                        next.push(p);
-                    }
-                }
+            // Merge, deduplicating by itemset without cloning any itemset:
+            // mark first occurrences through a borrowing set, then keep them.
+            let flat: Vec<Pattern> = per_seed.into_iter().flatten().collect();
+            let mut keep = Vec::with_capacity(flat.len());
+            {
+                let mut seen: HashSet<&Itemset> = HashSet::with_capacity(flat.len());
+                keep.extend(flat.iter().map(|p| seen.insert(&p.items)));
             }
+            let mut keep = keep.into_iter();
+            let next: Vec<Pattern> = flat
+                .into_iter()
+                .filter(|_| keep.next().unwrap_or(false))
+                .collect();
 
             if cfg.archive {
                 archive.extend(next.iter().cloned());
@@ -143,11 +166,26 @@ impl<'a> PatternFusion<'a> {
                 min_pattern_len: if next.is_empty() { 0 } else { min_len },
                 max_pattern_len: max_len,
                 elapsed: t0.elapsed(),
+                ball: ball_stats,
             });
 
-            let stagnated = next.len() == pool.len() && {
-                let old: HashSet<&Itemset> = pool.iter().map(|p| &p.items).collect();
-                next.iter().all(|p| old.contains(&p.items))
+            // Stagnation check: the pool reproduces itself exactly. Compare
+            // sorted 64-bit fingerprints (the previous pool's is cached from
+            // last iteration); only a fingerprint match — which outside of
+            // actual stagnation needs a hash collision across the whole pool
+            // — pays for an exact itemset-set comparison.
+            let stagnated = if next.len() == pool.len() {
+                let next_fp = itemset_fingerprint(&next);
+                let prev_fp = pool_fp.take().unwrap_or_else(|| itemset_fingerprint(&pool));
+                let same = prev_fp == next_fp && {
+                    let old: HashSet<&Itemset> = pool.iter().map(|p| &p.items).collect();
+                    next.iter().all(|p| old.contains(&p.items))
+                };
+                pool_fp = Some(next_fp);
+                same
+            } else {
+                pool_fp = None;
+                false
             };
             pool = next;
             if pool.len() <= cfg.k {
@@ -178,18 +216,71 @@ impl<'a> PatternFusion<'a> {
     /// Ball query + fusion for each seed, optionally in parallel. Every seed
     /// position gets an RNG derived from (master seed, iteration, position),
     /// making the output independent of the thread schedule.
+    ///
+    /// Two work-stealing phases per iteration:
+    ///
+    /// 1. **Ball scans** — one [`BallIndex`] is built over the pool, then
+    ///    every seed's pruned candidate window is cut into
+    ///    [`SCAN_TASK_CANDIDATES`]-sized segments that workers claim off a
+    ///    shared queue, so a single huge ball cannot serialize the phase.
+    ///    Segments merge in task order and each ball sorts ascending —
+    ///    exactly the brute-force scan's output.
+    /// 2. **Fusion** — seeds are claimed the same way; each runs with its
+    ///    position-derived RNG, so the schedule never leaks into results.
     fn process_seeds(
         &self,
         pool: &[Pattern],
         seed_positions: &[usize],
         radius: f64,
         iteration: usize,
-    ) -> Vec<Vec<Pattern>> {
-        let work = |order: usize, pool_idx: usize| -> Vec<Pattern> {
-            let seed = &pool[pool_idx];
-            let mut ball: Vec<usize> = (0..pool.len())
-                .filter(|&j| j != pool_idx && pattern_distance(seed, &pool[j]) <= radius)
-                .collect();
+    ) -> (Vec<Vec<Pattern>>, BallQueryStats) {
+        let threads = if self.config.parallel {
+            self.config.threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        } else {
+            1
+        };
+
+        // Phase 1: metric-pruned ball queries.
+        let index = BallIndex::new_with_threads(pool, radius, self.config.ball_pivots, threads);
+        let queries: Vec<_> = seed_positions.iter().map(|&q| index.query(q)).collect();
+        let mut tasks: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for (order, query) in queries.iter().enumerate() {
+            let mut start = 0;
+            let total = query.candidates();
+            while start < total {
+                let end = (start + SCAN_TASK_CANDIDATES).min(total);
+                tasks.push((order, start..end));
+                start = end;
+            }
+        }
+        let scanned = run_tasks(tasks.len(), threads, |t| {
+            let (order, ref seg) = tasks[t];
+            let mut members = Vec::new();
+            let mut stats = BallQueryStats::default();
+            queries[order].scan(seg.clone(), &mut members, &mut stats);
+            (members, stats)
+        });
+        let mut balls: Vec<Vec<usize>> = vec![Vec::new(); seed_positions.len()];
+        let mut ball_stats = BallQueryStats::default();
+        for query in &queries {
+            query.account(&mut ball_stats);
+        }
+        for ((order, _), (members, stats)) in tasks.iter().zip(scanned) {
+            balls[*order].extend(members);
+            ball_stats.merge(&stats);
+        }
+        for ball in &mut balls {
+            ball.sort_unstable();
+        }
+
+        // Phase 2: per-seed fusion.
+        let results = run_tasks(seed_positions.len(), threads, |order| {
+            let seed = &pool[seed_positions[order]];
+            let ball = &balls[order];
             let mut seed_rng = StdRng::seed_from_u64(splitmix64(
                 self.config
                     .seed
@@ -198,16 +289,20 @@ impl<'a> PatternFusion<'a> {
             ));
             // Bounded breadth: subsample oversized balls (see
             // `FusionConfig::max_ball_size`).
-            if ball.len() > self.config.max_ball_size {
-                ball =
+            let sampled: Vec<usize>;
+            let ball: &[usize] = if ball.len() > self.config.max_ball_size {
+                sampled =
                     rand::seq::index::sample(&mut seed_rng, ball.len(), self.config.max_ball_size)
                         .into_iter()
                         .map(|i| ball[i])
                         .collect();
-            }
+                &sampled
+            } else {
+                ball
+            };
             let mut out = fuse_ball(
                 seed,
-                &ball,
+                ball,
                 pool,
                 &self.config.fusion_params(),
                 &mut seed_rng,
@@ -219,48 +314,25 @@ impl<'a> PatternFusion<'a> {
                 }
             }
             out
-        };
-
-        let threads = if self.config.parallel {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(seed_positions.len().max(1))
-        } else {
-            1
-        };
-
-        if threads <= 1 {
-            return seed_positions
-                .iter()
-                .enumerate()
-                .map(|(order, &idx)| work(order, idx))
-                .collect();
-        }
-
-        let chunk = seed_positions.len().div_ceil(threads);
-        let mut results: Vec<Vec<Pattern>> = vec![Vec::new(); seed_positions.len()];
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (t, slice) in seed_positions.chunks(chunk).enumerate() {
-                let base = t * chunk;
-                let work = &work;
-                handles.push(scope.spawn(move || {
-                    slice
-                        .iter()
-                        .enumerate()
-                        .map(|(off, &idx)| (base + off, work(base + off, idx)))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                for (order, out) in h.join().expect("fusion worker panicked") {
-                    results[order] = out;
-                }
-            }
         });
-        results
+        (results, ball_stats)
     }
+}
+
+/// Sorted 64-bit itemset hashes — an order-insensitive pool fingerprint.
+/// Equal pools always produce equal fingerprints; unequal fingerprints
+/// therefore prove the pool changed without any set construction.
+fn itemset_fingerprint(patterns: &[Pattern]) -> Vec<u64> {
+    let mut hashes: Vec<u64> = patterns
+        .iter()
+        .map(|p| {
+            let mut h = DefaultHasher::new();
+            p.items.hash(&mut h);
+            h.finish()
+        })
+        .collect();
+    hashes.sort_unstable();
+    hashes
 }
 
 /// Sorts by (size desc, support desc, itemset) and removes itemset

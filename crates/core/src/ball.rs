@@ -1,0 +1,470 @@
+//! The metric-pruned ball-query engine.
+//!
+//! Every Pattern-Fusion iteration asks, for each of K seeds α, for the ball
+//! `{β ∈ Pool : Dist(α, β) ≤ r(τ)}`. The naive scan is O(K · |Pool|) full
+//! Jaccard computations; because `(S, Dist)` is a metric space (Theorem 1),
+//! almost all of those pairs can be rejected without touching a tid-set:
+//!
+//! 1. **Cardinality prune** — `1 − min(|A|,|B|) / max(|A|,|B|)` lower-bounds
+//!    the distance (the intersection can never beat the smaller set, the
+//!    union never undercut the larger), so with the pool sorted by support
+//!    the candidates for a seed of support `a` live in the contiguous range
+//!    `a·(1−r) ≤ |B| ≤ a/(1−r)`. Everything outside is skipped by two binary
+//!    searches, before any memory but the support array is touched.
+//! 2. **Pivot prune (triangle inequality)** — for P pivot patterns `p` with
+//!    precomputed distance columns, `|d(α,p) − d(β,p)| > r ⇒ Dist(α,β) > r`.
+//!    Seeds are pool members, so their pivot distances are table lookups.
+//! 3. **Bounded exact check** — survivors run the early-exit radius kernel
+//!    ([`cfp_itemset::kernels::jaccard_within_words`]) over the pool's
+//!    structure-of-arrays tid-set arena, which streams contiguous words
+//!    instead of chasing per-pattern heap pointers.
+//!
+//! The float prunes are slackened by [`SLACK`] so rounding can only cause a
+//! redundant exact check, never a false reject: the engine returns exactly
+//! the brute-force ball, in ascending pool order (a property test in
+//! `tests/ball_determinism.rs` enforces this).
+
+use crate::parallel::run_tasks;
+use crate::pattern::Pattern;
+use cfp_itemset::kernels;
+
+/// Absolute slack added to the pruning radii so floating-point rounding can
+/// only produce extra exact checks, never drop a true ball member.
+const SLACK: f64 = 1e-9;
+
+/// Extra slack for the pivot layer, whose distance table is stored as `f32`
+/// (one cache line covers a candidate's whole pivot row): covers the f32
+/// rounding of both table entries with two orders of magnitude to spare.
+const PIVOT_SLACK: f64 = 1e-5;
+
+/// Work counters proving what the pruning layers skipped. All counts are
+/// pairs (seed, candidate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BallQueryStats {
+    /// Pairs a brute-force scan would have evaluated (`|Pool| − 1` per seed).
+    pub pairs_total: u64,
+    /// Pairs skipped by the support-range (cardinality) prune.
+    pub cardinality_pruned: u64,
+    /// Pairs skipped by the pivot / triangle-inequality prune.
+    pub pivot_pruned: u64,
+    /// Pairs that reached the exact bounded-Jaccard kernel.
+    pub exact_checked: u64,
+    /// Pairs accepted into a ball.
+    pub ball_members: u64,
+}
+
+impl BallQueryStats {
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &BallQueryStats) {
+        self.pairs_total += other.pairs_total;
+        self.cardinality_pruned += other.cardinality_pruned;
+        self.pivot_pruned += other.pivot_pruned;
+        self.exact_checked += other.exact_checked;
+        self.ball_members += other.ball_members;
+    }
+
+    /// Fraction of pairs that never reached the exact kernel (0 when no
+    /// pairs were considered).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.pairs_total == 0 {
+            0.0
+        } else {
+            1.0 - self.exact_checked as f64 / self.pairs_total as f64
+        }
+    }
+}
+
+/// A per-iteration index over the pool for radius-`r` ball queries.
+///
+/// Construction copies every tid-set into a contiguous words arena (the pool
+/// is rebuilt each iteration anyway, and the arena is what lets the scan
+/// stream memory), sorts patterns by support, and computes the pivot
+/// distance table. Cost: O(|Pool| · words) plus O(P · |Pool|) Jaccards —
+/// amortized over K seed queries per iteration.
+pub struct BallIndex {
+    /// Words per tid-set (shared universe).
+    words_per_set: usize,
+    /// SoA arena in **support-sorted order**: the pattern at arena position
+    /// `pos` has its tid-set words at `pos*words_per_set ..`. A query's
+    /// candidate window is a contiguous arena slice, so the scan streams
+    /// words, suffix tables, and pivot rows with zero indirection.
+    words: Vec<u64>,
+    /// Cardinalities in arena (ascending) order — the binary-search key.
+    cards: Vec<u32>,
+    /// Suffix-popcount tables (see [`kernels::suffix_cards`]), `suf_stride`
+    /// entries per arena position, giving the exact scan its strong
+    /// early-exit bound at one popcount per word.
+    sufs: Vec<u32>,
+    /// Entries per suffix table.
+    suf_stride: usize,
+    /// Arena position → pool index.
+    to_pool: Vec<u32>,
+    /// Pool index → arena position (inverse of `to_pool`).
+    pos_of: Vec<u32>,
+    /// `pivot_dists[pos * n_pivots + p]` = Dist(pool[pivot_p], arena[pos]) —
+    /// candidate-major, so one candidate's whole pivot row is one cache
+    /// line.
+    pivot_dists: Vec<f32>,
+    /// Number of pivots in use.
+    n_pivots: usize,
+    /// Query radius r(τ).
+    radius: f64,
+}
+
+impl BallIndex {
+    /// Builds the index for one iteration's pool on the calling thread.
+    ///
+    /// `n_pivots` is clamped to the pool size and to [`MAX_PIVOTS`]; 0
+    /// disables the pivot layer.
+    pub fn new(pool: &[Pattern], radius: f64, n_pivots: usize) -> Self {
+        Self::new_with_threads(pool, radius, n_pivots, 1)
+    }
+
+    /// [`BallIndex::new`] with the pivot-table build — the dominant index
+    /// cost, P·|Pool| full Jaccards — distributed over the work-stealing
+    /// queue. The table is identical for every thread count.
+    pub fn new_with_threads(
+        pool: &[Pattern],
+        radius: f64,
+        n_pivots: usize,
+        threads: usize,
+    ) -> Self {
+        let n = pool.len();
+        let words_per_set = pool
+            .first()
+            .map(|p| p.tids.blocks().len())
+            .unwrap_or_default();
+        let suf_stride = words_per_set.div_ceil(kernels::SUFFIX_STRIDE) + 1;
+
+        let mut to_pool: Vec<u32> = (0..n as u32).collect();
+        to_pool.sort_unstable_by_key(|&i| (pool[i as usize].tids.count(), i));
+        let mut pos_of = vec![0u32; n];
+        for (pos, &i) in to_pool.iter().enumerate() {
+            pos_of[i as usize] = pos as u32;
+        }
+
+        let mut words = Vec::with_capacity(n * words_per_set);
+        let mut cards = Vec::with_capacity(n);
+        let mut sufs = Vec::with_capacity(n * suf_stride);
+        for &i in &to_pool {
+            let tids = &pool[i as usize].tids;
+            debug_assert_eq!(tids.blocks().len(), words_per_set, "mixed universes");
+            words.extend_from_slice(tids.blocks());
+            cards.push(tids.count() as u32);
+            kernels::suffix_cards_into(tids.blocks(), &mut sufs);
+        }
+
+        // Pivots: spread across the support-sorted arena so each support
+        // stratum has a nearby pivot. Deterministic by construction. The
+        // MAX_PIVOTS clamp keeps `query`'s fixed-size seed row in bounds.
+        let n_pivots = n_pivots.min(n).min(MAX_PIVOTS);
+        let pivot_dists = if n_pivots == 0 {
+            Vec::new()
+        } else {
+            let pivots: Vec<(usize, usize)> = (0..n_pivots)
+                .map(|p| {
+                    let pivot = p * n / n_pivots + n / (2 * n_pivots);
+                    (pivot * words_per_set, cards[pivot] as usize)
+                })
+                .collect();
+            // Candidate-major rows; contiguous position chunks concatenate
+            // in task order straight into the final layout.
+            const PIVOT_CHUNK: usize = 1024;
+            run_tasks(n.div_ceil(PIVOT_CHUNK), threads, |t| {
+                let start = t * PIVOT_CHUNK;
+                let end = (start + PIVOT_CHUNK).min(n);
+                let mut rows = Vec::with_capacity((end - start) * n_pivots);
+                for pos in start..end {
+                    let iw = &words[pos * words_per_set..(pos + 1) * words_per_set];
+                    let ic = cards[pos] as usize;
+                    for &(pw_start, pc) in &pivots {
+                        let pw = &words[pw_start..pw_start + words_per_set];
+                        rows.push(kernels::jaccard_words(pw, pc, iw, ic) as f32);
+                    }
+                }
+                rows
+            })
+            .concat()
+        };
+
+        Self {
+            words_per_set,
+            words,
+            cards,
+            sufs,
+            suf_stride,
+            to_pool,
+            pos_of,
+            pivot_dists,
+            n_pivots,
+            radius,
+        }
+    }
+
+    /// Number of patterns indexed.
+    pub fn len(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cards.is_empty()
+    }
+
+    /// The query radius the index was built for.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Prepares the ball query for pool member `q`: resolves the candidate
+    /// support range and the seed's pivot distances. O(log |Pool| + P).
+    pub fn query(&self, q: usize) -> BallQuery<'_> {
+        let q_pos = self.pos_of[q] as usize;
+        let a = self.cards[q_pos] as f64;
+        // Keep |B| with min/max ratio ≥ 1−r: a·(1−r) ≤ |B| ≤ a/(1−r).
+        let keep = 1.0 - self.radius;
+        let (lo_card, hi_card) = if keep <= SLACK {
+            (0u32, u32::MAX) // r(τ) ≈ 1: the cardinality prune is vacuous.
+        } else {
+            let lo = (a * keep - SLACK).ceil().max(0.0) as u32;
+            let hi = (a / keep + SLACK).floor().min(u32::MAX as f64) as u32;
+            (lo, hi)
+        };
+        let lo = self.cards.partition_point(|&c| c < lo_card);
+        let hi = self.cards.partition_point(|&c| c <= hi_card);
+        let mut seed_pivot_dists = [0.0f32; MAX_PIVOTS];
+        seed_pivot_dists[..self.n_pivots]
+            .copy_from_slice(&self.pivot_dists[q_pos * self.n_pivots..(q_pos + 1) * self.n_pivots]);
+        BallQuery {
+            index: self,
+            q_pos,
+            lo,
+            hi,
+            seed_pivot_dists,
+        }
+    }
+
+    /// Convenience: the full ball of pool member `q`, ascending pool order,
+    /// with counters accumulated into `stats`. Exactly the brute-force ball.
+    pub fn ball(&self, q: usize, stats: &mut BallQueryStats) -> Vec<usize> {
+        let query = self.query(q);
+        let mut out = Vec::new();
+        query.account(stats);
+        query.scan(0..query.candidates(), &mut out, stats);
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Upper bound on pivots (fixed-size seed row, no per-query allocation).
+pub const MAX_PIVOTS: usize = 16;
+
+/// A prepared ball query: a candidate window into the support-sorted pool
+/// plus the seed's pivot-distance row. Scanning is split into ranges so the
+/// parallel pipeline can hand segments of one seed's scan to idle workers.
+pub struct BallQuery<'a> {
+    index: &'a BallIndex,
+    /// The seed's arena position.
+    q_pos: usize,
+    lo: usize,
+    hi: usize,
+    seed_pivot_dists: [f32; MAX_PIVOTS],
+}
+
+impl BallQuery<'_> {
+    /// Number of candidates surviving the cardinality prune (including the
+    /// seed itself, which the scan skips).
+    pub fn candidates(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Books the pairs this query considers and the cardinality-pruned bulk
+    /// into `stats`. Call once per query.
+    pub fn account(&self, stats: &mut BallQueryStats) {
+        let n = self.index.len() as u64;
+        let in_range = self.candidates() as u64;
+        stats.pairs_total += n - 1;
+        // The seed sits inside its own range; it is neither a pair nor
+        // pruned.
+        stats.cardinality_pruned += n - in_range;
+    }
+
+    /// Scans candidate positions `seg` (relative to this query's window),
+    /// appending accepted pool indices to `out` and counting into `stats`.
+    ///
+    /// Disjoint segments cover disjoint candidates, so segments can run on
+    /// different workers and be concatenated; the final ball only needs one
+    /// ascending sort to match the brute-force order.
+    pub fn scan(
+        &self,
+        seg: std::ops::Range<usize>,
+        out: &mut Vec<usize>,
+        stats: &mut BallQueryStats,
+    ) {
+        let ix = self.index;
+        let w = ix.words_per_set;
+        let s = ix.suf_stride;
+        let np = ix.n_pivots;
+        let qw = &ix.words[self.q_pos * w..(self.q_pos + 1) * w];
+        let qs = &ix.sufs[self.q_pos * s..(self.q_pos + 1) * s];
+        let pivot_radius = (ix.radius + PIVOT_SLACK) as f32;
+        'cand: for pos in self.lo + seg.start..(self.lo + seg.end).min(self.hi) {
+            if pos == self.q_pos {
+                continue;
+            }
+            // Everything below indexes by arena position: pivot rows, suffix
+            // tables, and tid-set words of consecutive candidates are
+            // consecutive in memory.
+            let row = &ix.pivot_dists[pos * np..(pos + 1) * np];
+            for (p, &pd) in row.iter().enumerate() {
+                if (self.seed_pivot_dists[p] - pd).abs() > pivot_radius {
+                    stats.pivot_pruned += 1;
+                    continue 'cand;
+                }
+            }
+            stats.exact_checked += 1;
+            let jw = &ix.words[pos * w..(pos + 1) * w];
+            let js = &ix.sufs[pos * s..(pos + 1) * s];
+            // The acceptance test inside the kernel is the exact float
+            // comparison `jaccard ≤ ix.radius` — identical to brute force.
+            if kernels::jaccard_within_suffix(qw, qs, jw, js, ix.radius).is_some() {
+                stats.ball_members += 1;
+                out.push(ix.to_pool[pos] as usize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::pattern_distance;
+    use cfp_itemset::{Itemset, TidSet};
+
+    fn pat(universe: usize, id: u32, tids: &[usize]) -> Pattern {
+        Pattern::new(
+            Itemset::from_items(&[id]),
+            TidSet::from_tids(universe, tids.iter().copied()),
+        )
+    }
+
+    fn brute_ball(pool: &[Pattern], q: usize, radius: f64) -> Vec<usize> {
+        (0..pool.len())
+            .filter(|&j| j != q && pattern_distance(&pool[q], &pool[j]) <= radius)
+            .collect()
+    }
+
+    fn fixture_pool() -> Vec<Pattern> {
+        let u = 256;
+        let mut pool = Vec::new();
+        // Three support-set clusters plus singleton outliers.
+        for c in 0..3usize {
+            let base: Vec<usize> = (c * 60..c * 60 + 40).collect();
+            for v in 0..12usize {
+                let mut tids = base.clone();
+                tids.truncate(40 - v % 5);
+                tids.push(200 + (c * 12 + v) % 50);
+                pool.push(pat(u, (c * 12 + v) as u32, &tids));
+            }
+        }
+        for o in 0..8usize {
+            pool.push(pat(u, (100 + o) as u32, &[240 + o]));
+        }
+        pool
+    }
+
+    #[test]
+    fn engine_ball_equals_brute_force_on_fixture() {
+        let pool = fixture_pool();
+        for radius in [0.0, 0.2, 0.5, 2.0 / 3.0, 1.0] {
+            let index = BallIndex::new(&pool, radius, 4);
+            for q in 0..pool.len() {
+                let mut stats = BallQueryStats::default();
+                let got = index.ball(q, &mut stats);
+                let want = brute_ball(&pool, q, radius);
+                assert_eq!(got, want, "q={q} radius={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_add_up_and_prune() {
+        let pool = fixture_pool();
+        let index = BallIndex::new(&pool, 0.5, 4);
+        let mut stats = BallQueryStats::default();
+        for q in 0..pool.len() {
+            index.ball(q, &mut stats);
+        }
+        let n = pool.len() as u64;
+        assert_eq!(stats.pairs_total, n * (n - 1));
+        assert_eq!(
+            stats.pairs_total,
+            stats.cardinality_pruned + stats.pivot_pruned + stats.exact_checked
+        );
+        assert!(stats.ball_members <= stats.exact_checked);
+        // The clustered fixture must show real pruning.
+        assert!(
+            stats.pruned_fraction() > 0.5,
+            "only {:.2} pruned: {stats:?}",
+            stats.pruned_fraction()
+        );
+    }
+
+    #[test]
+    fn segmented_scans_cover_exactly_once() {
+        let pool = fixture_pool();
+        let index = BallIndex::new(&pool, 0.5, 2);
+        for q in [0usize, 7, 20, 35] {
+            let query = index.query(q);
+            let total = query.candidates();
+            let mut whole = Vec::new();
+            let mut stats = BallQueryStats::default();
+            query.scan(0..total, &mut whole, &mut stats);
+            let mut pieces = Vec::new();
+            let step = (total / 3).max(1);
+            let mut start = 0;
+            while start < total {
+                query.scan(start..(start + step).min(total), &mut pieces, &mut stats);
+                start += step;
+            }
+            whole.sort_unstable();
+            pieces.sort_unstable();
+            assert_eq!(whole, pieces, "q={q}");
+        }
+    }
+
+    #[test]
+    fn zero_pivots_and_tiny_pools() {
+        let pool = fixture_pool();
+        let index = BallIndex::new(&pool, 0.4, 0);
+        let mut stats = BallQueryStats::default();
+        let got = index.ball(3, &mut stats);
+        assert_eq!(got, brute_ball(&pool, 3, 0.4));
+        assert_eq!(stats.pivot_pruned, 0);
+
+        let one = vec![pat(64, 1, &[1, 2, 3])];
+        let index = BallIndex::new(&one, 0.5, 8);
+        let mut stats = BallQueryStats::default();
+        assert!(index.ball(0, &mut stats).is_empty());
+        assert_eq!(stats.pairs_total, 0);
+
+        let empty: Vec<Pattern> = Vec::new();
+        assert!(BallIndex::new(&empty, 0.5, 4).is_empty());
+    }
+
+    #[test]
+    fn pivot_counts_beyond_max_are_clamped() {
+        // Regression: MAX_PIVOTS + n used to panic in query()'s fixed-size
+        // seed-row copy.
+        let pool = fixture_pool();
+        let index = BallIndex::new(&pool, 0.5, MAX_PIVOTS + 24);
+        let mut stats = BallQueryStats::default();
+        for q in 0..pool.len() {
+            assert_eq!(
+                index.ball(q, &mut stats),
+                brute_ball(&pool, q, 0.5),
+                "q={q}"
+            );
+        }
+    }
+}

@@ -55,6 +55,16 @@ pub struct FusionConfig {
     /// thread count: every seed gets an RNG derived from `seed` and its
     /// position).
     pub parallel: bool,
+    /// Worker threads when `parallel` is on. `None` uses the machine's
+    /// available parallelism. Results are bit-for-bit identical for every
+    /// value — this knob exists for benchmarking and the determinism tests.
+    pub threads: Option<usize>,
+    /// Pivots in the ball-query index's triangle-inequality prune (see
+    /// [`crate::ball::BallIndex`]); clamped to
+    /// [`crate::ball::MAX_PIVOTS`]. 0 disables the pivot layer. Pruning
+    /// decisions never change results, only how many exact distance kernels
+    /// run.
+    pub ball_pivots: usize,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -75,6 +85,8 @@ impl FusionConfig {
             closure_step: false,
             archive: true,
             parallel: true,
+            threads: None,
+            ball_pivots: 4,
             seed: 0xC0FFEE,
         }
     }
@@ -119,6 +131,20 @@ impl FusionConfig {
     /// Enables or disables parallel seed processing.
     pub fn with_parallel(mut self, on: bool) -> Self {
         self.parallel = on;
+        self
+    }
+
+    /// Pins the worker-thread count (`parallel` runs only). Results are
+    /// identical at any setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets the pivot count of the ball-query index (0 disables the
+    /// triangle-inequality prune).
+    pub fn with_ball_pivots(mut self, pivots: usize) -> Self {
+        self.ball_pivots = pivots.min(crate::ball::MAX_PIVOTS);
         self
     }
 

@@ -55,6 +55,10 @@ pub fn fuse_ball<R: Rng>(
     // weight = number of fused members |t| for the sampling heuristic.
     let mut candidates: HashMap<Itemset, (Pattern, usize)> = HashMap::new();
     let mut order: Vec<usize> = core_list.to_vec();
+    // One scratch pattern reused across attempts: `clone_from` resets it to
+    // the seed while keeping both allocations. A full clone is only paid
+    // when an attempt produces a candidate not seen before.
+    let mut fused = seed.clone();
 
     for _ in 0..params.attempts.max(1) {
         order.shuffle(rng);
@@ -67,7 +71,7 @@ pub fn fuse_ball<R: Rng>(
             rng.gen_range(1..=order.len())
         };
 
-        let mut fused = seed.clone();
+        fused.clone_from(seed);
         let mut members = 1usize;
         let mut max_member_support = seed.support();
 
@@ -76,12 +80,16 @@ pub fn fuse_ball<R: Rng>(
                 break;
             }
             let beta = &pool[idx];
-            // Cheapest test first: a word-wise popcount over the tid-sets.
-            // Most foreign members die here without touching itemsets.
-            let new_support = fused.tids.intersection_count(&beta.tids);
-            if new_support < params.min_count {
+            // Cheapest test first: a bounded word-wise popcount over the
+            // tid-sets that aborts as soon as the remaining words cannot
+            // reach the frequency threshold. Most foreign members die here
+            // without touching itemsets.
+            let Some(new_support) = fused
+                .tids
+                .intersection_count_at_least(&beta.tids, params.min_count)
+            else {
                 continue;
-            }
+            };
             let candidate_max = max_member_support.max(beta.support());
             if !is_core_pattern(new_support, candidate_max, params.tau) {
                 continue;
@@ -95,8 +103,12 @@ pub fn fuse_ball<R: Rng>(
             max_member_support = candidate_max;
         }
 
-        let entry = candidates.entry(fused.items.clone()).or_insert((fused, 0));
-        entry.1 = entry.1.max(members);
+        match candidates.get_mut(&fused.items) {
+            Some(entry) => entry.1 = entry.1.max(members),
+            None => {
+                candidates.insert(fused.items.clone(), (fused.clone(), members));
+            }
+        }
     }
 
     let mut all: Vec<(Pattern, usize)> = candidates.into_values().collect();

@@ -21,6 +21,26 @@
 //! * the main iterative algorithm ([`algorithm`], Algorithms 1–2);
 //! * per-iteration statistics ([`stats`]).
 //!
+//! # The ball-query engine
+//!
+//! Because `(S, Dist)` is a metric space (Theorem 1), the per-seed ball
+//! query — the hottest loop of the algorithm — does not need to evaluate a
+//! Jaccard distance against every pool member. The [`ball`] module provides
+//! a per-iteration [`BallIndex`]: tid-sets live in one contiguous
+//! structure-of-arrays arena, a support-sorted order turns the free
+//! cardinality bound `Dist ≥ 1 − min(|A|,|B|)/max(|A|,|B|)` into a
+//! binary-searched candidate window, and a table of pivot distances prunes
+//! survivors through the triangle inequality before the bounded early-exit
+//! Jaccard kernel ([`cfp_itemset::kernels`]) runs. The engine returns
+//! exactly the brute-force ball; [`RunStats::ball`] reports how many pairs
+//! each pruning layer skipped.
+//!
+//! Seed processing distributes both ball-scan segments and per-seed fusions
+//! over a work-stealing task queue ([`parallel`]); every task's RNG is
+//! derived from the master seed and the task's position, so results are
+//! bit-for-bit identical at any thread count (`FusionConfig::with_threads`
+//! pins the worker count for tests and benchmarks).
+//!
 //! # Quick start
 //!
 //! ```
@@ -40,10 +60,12 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod ball;
 pub mod complementary;
 pub mod core_pattern;
 pub mod distance;
 pub mod fusion;
+pub mod parallel;
 pub mod pattern;
 pub mod robustness;
 pub mod stats;
@@ -51,6 +73,7 @@ pub mod stats;
 mod config;
 
 pub use algorithm::{FusionResult, PatternFusion};
+pub use ball::{BallIndex, BallQuery, BallQueryStats};
 pub use complementary::{count_complementary_sets, find_complementary_set, is_complementary_set};
 pub use config::FusionConfig;
 pub use core_pattern::{core_patterns_of, is_core_pattern, is_core_pattern_of};

@@ -10,12 +10,28 @@ use std::fmt;
 /// core-pattern checks, and fusion all intersect tid-sets — so the pool keeps
 /// them materialized. By Lemma 1, `D(α ∪ β) = D(α) ∩ D(β)`, which is how
 /// fused patterns get their support sets without touching the database.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct Pattern {
     /// The itemset α.
     pub items: Itemset,
     /// Its support set `D(α)`.
     pub tids: TidSet,
+}
+
+impl Clone for Pattern {
+    fn clone(&self) -> Self {
+        Self {
+            items: self.items.clone(),
+            tids: self.tids.clone(),
+        }
+    }
+
+    /// Reuses both underlying allocations — the fusion loop resets its
+    /// scratch pattern to the seed once per attempt through this.
+    fn clone_from(&mut self, source: &Self) {
+        self.items.clone_from(&source.items);
+        self.tids.clone_from(&source.tids);
+    }
 }
 
 impl Pattern {

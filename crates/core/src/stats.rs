@@ -1,5 +1,6 @@
 //! Per-iteration run statistics.
 
+use crate::ball::BallQueryStats;
 use std::time::Duration;
 
 /// What one fusion iteration did.
@@ -17,6 +18,8 @@ pub struct IterationStats {
     pub max_pattern_len: usize,
     /// Wall-clock time of the iteration.
     pub elapsed: Duration,
+    /// Ball-query pruning counters for this iteration's seed queries.
+    pub ball: BallQueryStats,
 }
 
 /// Statistics for a whole Pattern-Fusion run.
@@ -35,6 +38,18 @@ impl RunStats {
     /// Total patterns generated across iterations.
     pub fn total_generated(&self) -> usize {
         self.iterations.iter().map(|i| i.generated).sum()
+    }
+
+    /// Ball-query pruning counters aggregated over the whole run — the
+    /// evidence for how much of the O(K·|Pool|) distance work the
+    /// cardinality and pivot prunes skipped. Derived from the
+    /// per-iteration records, which stay the single source of truth.
+    pub fn ball(&self) -> BallQueryStats {
+        let mut total = BallQueryStats::default();
+        for it in &self.iterations {
+            total.merge(&it.ball);
+        }
+        total
     }
 
     /// Lemma 5 check: the minimum pattern size per iteration never shrinks.
@@ -57,6 +72,7 @@ mod tests {
             min_pattern_len: min,
             max_pattern_len: min + 3,
             elapsed: Duration::from_millis(1),
+            ball: BallQueryStats::default(),
         }
     }
 

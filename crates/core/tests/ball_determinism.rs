@@ -1,0 +1,224 @@
+//! Determinism of the parallel fusion pipeline and exactness of the
+//! metric-pruned ball-query engine.
+//!
+//! The two load-bearing guarantees of this PR's engine:
+//!
+//! 1. thread count (and parallel on/off) never changes any result bit;
+//! 2. `BallIndex` returns exactly the brute-force ball on arbitrary pools.
+
+use cfp_core::{
+    ball_radius, pattern_distance, BallIndex, BallQueryStats, FusionConfig, Pattern, PatternFusion,
+};
+use cfp_itemset::{Itemset, TidSet};
+use proptest::prelude::*;
+
+/// Full bit-identity of two results: itemsets AND support sets, in order.
+fn assert_identical_results(a: &[Pattern], b: &[Pattern], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: result sizes differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.items, y.items, "{label}: itemset drift");
+        assert_eq!(x.tids, y.tids, "{label}: support-set drift");
+    }
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    let db = cfp_datagen::diag_plus(14, 7, 10);
+    let run = |parallel: bool, threads: Option<usize>| {
+        let mut config = FusionConfig::new(8, 7).with_pool_max_len(2).with_seed(41);
+        config = config.with_parallel(parallel);
+        if let Some(t) = threads {
+            config = config.with_threads(t);
+        }
+        PatternFusion::new(&db, config).run()
+    };
+    let serial = run(false, None);
+    for threads in [1usize, 2, 8] {
+        let parallel = run(true, Some(threads));
+        assert_identical_results(
+            &serial.patterns,
+            &parallel.patterns,
+            &format!("threads={threads}"),
+        );
+        // The pruning counters are part of the deterministic contract too.
+        assert_eq!(
+            serial.stats.ball(),
+            parallel.stats.ball(),
+            "ball counters differ at threads={threads}"
+        );
+    }
+    let auto = run(true, None);
+    assert_identical_results(&serial.patterns, &auto.patterns, "auto threads");
+}
+
+#[test]
+fn thread_count_never_changes_results_with_closure_and_planted_data() {
+    let data = cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+        n_rows: 40,
+        pattern_sizes: vec![9, 7],
+        pattern_support: 12,
+        max_row_overlap: 4,
+        row_len: 0,
+        filler_rows_lo: 2,
+        filler_rows_hi: 3,
+        seed: 5,
+    });
+    let run = |threads: usize| {
+        let config = FusionConfig::new(10, 12)
+            .with_pool_max_len(2)
+            .with_seed(99)
+            .with_closure_step(true)
+            .with_parallel(true)
+            .with_threads(threads);
+        PatternFusion::new(&data.db, config).run()
+    };
+    let one = run(1);
+    for threads in [2usize, 8] {
+        let many = run(threads);
+        assert_identical_results(&one.patterns, &many.patterns, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn pivot_count_never_changes_results() {
+    // Pruning layers must be invisible in the output: 0 pivots (cardinality
+    // prune only) through MAX pivot pressure give identical runs.
+    let db = cfp_datagen::diag_plus(12, 6, 8);
+    let run = |pivots: usize| {
+        let config = FusionConfig::new(6, 6)
+            .with_pool_max_len(2)
+            .with_seed(17)
+            .with_ball_pivots(pivots);
+        PatternFusion::new(&db, config).run()
+    };
+    let base = run(0);
+    for pivots in [1usize, 4, 16] {
+        let other = run(pivots);
+        assert_identical_results(&base.patterns, &other.patterns, &format!("pivots={pivots}"));
+    }
+}
+
+#[test]
+fn run_reports_pruning_on_real_workload() {
+    // Diag40's 820-pattern pool: the engine must prove it skipped a majority
+    // of pairwise distance evaluations across the run.
+    let db = cfp_datagen::diag_plus(40, 20, 39);
+    let config = FusionConfig::new(20, 20).with_pool_max_len(2).with_seed(7);
+    let result = PatternFusion::new(&db, config).run();
+    let ball = result.stats.ball();
+    assert!(ball.pairs_total > 0, "no ball queries recorded");
+    assert_eq!(
+        ball.pairs_total,
+        ball.cardinality_pruned + ball.pivot_pruned + ball.exact_checked,
+        "counters must partition the pair universe: {ball:?}"
+    );
+    // At τ = 0.5 the radius is 2/3 and half of this pool genuinely sits in
+    // each ball — members must be exact-checked, so the honest yardstick is
+    // the fraction of *non-members* rejected without a distance kernel.
+    let non_members = ball.pairs_total - ball.ball_members;
+    let skipped = ball.cardinality_pruned + ball.pivot_pruned;
+    assert!(
+        non_members == 0 || skipped as f64 / non_members as f64 > 0.9,
+        "prunes skipped only {skipped}/{non_members} non-members: {ball:?}"
+    );
+    // Every iteration contributed counters.
+    assert!(result
+        .stats
+        .iterations
+        .iter()
+        .all(|it| it.ball.pairs_total > 0 || it.pool_size <= 1));
+}
+
+/// Strategy: a random pool over a shared universe, with clusters (patterns
+/// derived from a few base tid-sets) plus independent noise patterns —
+/// adversarial for both pruning layers.
+fn arb_pool() -> impl Strategy<Value = Vec<Pattern>> {
+    (
+        32usize..200,                                   // universe
+        proptest::collection::vec(0u64..1 << 60, 2..6), // cluster base seeds
+        2usize..10,                                     // patterns per cluster
+        proptest::collection::vec(0u64..1 << 60, 0..8), // noise seeds
+    )
+        .prop_map(|(universe, bases, per_cluster, noise)| {
+            let mut pool = Vec::new();
+            let stamp = |seed: u64, density_num: u64, out: &mut Vec<usize>| {
+                // Cheap deterministic bit spray.
+                let mut x = seed | 1;
+                for tid in 0..universe {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if (x >> 33) % 8 < density_num {
+                        out.push(tid);
+                    }
+                }
+            };
+            for (c, &base) in bases.iter().enumerate() {
+                let mut base_tids = Vec::new();
+                stamp(base, 3, &mut base_tids);
+                for v in 0..per_cluster {
+                    // Variants: drop a deterministic slice of the base.
+                    let tids: Vec<usize> = base_tids
+                        .iter()
+                        .copied()
+                        .filter(|&t| (t + v) % (v + 2) != 0)
+                        .collect();
+                    pool.push(Pattern::new(
+                        Itemset::from_items(&[(c * 64 + v) as u32]),
+                        TidSet::from_tids(universe, tids),
+                    ));
+                }
+            }
+            for (i, &seed) in noise.iter().enumerate() {
+                let mut tids = Vec::new();
+                stamp(seed, 1 + (i as u64 % 6), &mut tids);
+                pool.push(Pattern::new(
+                    Itemset::from_items(&[(1000 + i) as u32]),
+                    TidSet::from_tids(universe, tids),
+                ));
+            }
+            pool
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine's ball is exactly the brute-force ball, for every seed and
+    /// across the radius spectrum (including r = 0 and r = 1).
+    #[test]
+    fn ball_index_matches_brute_force(pool in arb_pool(), raw_r in 0u32..=10, pivots in 0usize..6) {
+        let radius = raw_r as f64 / 10.0;
+        let index = BallIndex::new(&pool, radius, pivots);
+        let mut stats = BallQueryStats::default();
+        for q in 0..pool.len() {
+            let got = index.ball(q, &mut stats);
+            let want: Vec<usize> = (0..pool.len())
+                .filter(|&j| j != q && pattern_distance(&pool[q], &pool[j]) <= radius)
+                .collect();
+            prop_assert_eq!(&got, &want, "q={} radius={} pivots={}", q, radius, pivots);
+        }
+        // Counter bookkeeping must partition all pairs.
+        let n = pool.len() as u64;
+        prop_assert_eq!(stats.pairs_total, n * (n - 1));
+        prop_assert_eq!(
+            stats.pairs_total,
+            stats.cardinality_pruned + stats.pivot_pruned + stats.exact_checked
+        );
+    }
+
+    /// The theorem-2 radius used by the algorithm is covered explicitly.
+    #[test]
+    fn ball_index_matches_brute_force_at_algorithm_radii(pool in arb_pool(), tau_pct in 10u32..=100) {
+        let radius = ball_radius(tau_pct as f64 / 100.0);
+        let index = BallIndex::new(&pool, radius, 4);
+        let mut stats = BallQueryStats::default();
+        for q in 0..pool.len() {
+            let got = index.ball(q, &mut stats);
+            let want: Vec<usize> = (0..pool.len())
+                .filter(|&j| j != q && pattern_distance(&pool[q], &pool[j]) <= radius)
+                .collect();
+            prop_assert_eq!(&got, &want, "q={} tau%={}", q, tau_pct);
+        }
+    }
+}

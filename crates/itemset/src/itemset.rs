@@ -9,9 +9,22 @@ use std::fmt;
 /// intersections linear merges, keeps memory contiguous, and gives a total
 /// order (lexicographic) for free — which the miners use for prefix-based
 /// enumeration.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Itemset {
     items: Vec<Item>,
+}
+
+impl Clone for Itemset {
+    fn clone(&self) -> Self {
+        Self {
+            items: self.items.clone(),
+        }
+    }
+
+    /// Reuses the existing allocation (scratch-buffer friendly).
+    fn clone_from(&mut self, source: &Self) {
+        self.items.clone_from(&source.items);
+    }
 }
 
 impl Itemset {

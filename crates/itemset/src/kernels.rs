@@ -1,0 +1,317 @@
+//! Word-level tid-set kernels shared by [`crate::TidSet`] and external
+//! structure-of-arrays pools.
+//!
+//! The ball-query engine in `cfp-core` keeps tid-sets as contiguous `u64`
+//! word slabs (one slab per pool) instead of `Vec<TidSet>`, so the hot
+//! distance kernels are exposed here over raw word slices plus cached
+//! cardinalities. With `|A|` and `|B|` known up front, a Jaccard distance
+//! needs a single intersection popcount (`|A ∪ B| = |A| + |B| − |A ∩ B|`)
+//! instead of the two popcounts per word the naive formulation pays, and a
+//! radius test can abort the word loop as soon as the remaining words cannot
+//! lift the intersection above the required threshold.
+
+/// `|a ∩ b|` over word slices.
+#[inline]
+pub fn intersection_count_words(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// `|a ∩ b|` if it reaches `threshold`, else `None` — aborting the word loop
+/// once the bits not yet scanned cannot close the gap.
+///
+/// `card_a` / `card_b` are the cached cardinalities of `a` / `b`; the running
+/// upper bound is `seen ∩ + min(unseen a-bits, unseen b-bits)`, which only
+/// shrinks, so the first violation is final.
+#[inline]
+pub fn intersection_count_at_least_words(
+    a: &[u64],
+    card_a: usize,
+    b: &[u64],
+    card_b: usize,
+    threshold: usize,
+) -> Option<usize> {
+    debug_assert_eq!(a.len(), b.len());
+    if card_a.min(card_b) < threshold {
+        return None;
+    }
+    let mut inter = 0usize;
+    let mut seen_a = 0usize;
+    let mut seen_b = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        inter += (x & y).count_ones() as usize;
+        seen_a += x.count_ones() as usize;
+        seen_b += y.count_ones() as usize;
+        if inter + (card_a - seen_a).min(card_b - seen_b) < threshold {
+            return None;
+        }
+    }
+    (inter >= threshold).then_some(inter)
+}
+
+/// Jaccard distance `1 − |a ∩ b| / |a ∪ b|` from one intersection popcount
+/// and the cached cardinalities. Distance between two empty sets is `0`.
+#[inline]
+pub fn jaccard_words(a: &[u64], card_a: usize, b: &[u64], card_b: usize) -> f64 {
+    let inter = intersection_count_words(a, b);
+    jaccard_from_counts(inter, card_a, card_b)
+}
+
+/// Jaccard distance given `|a ∩ b|` and the two cardinalities.
+#[inline]
+pub fn jaccard_from_counts(inter: usize, card_a: usize, card_b: usize) -> f64 {
+    let union = card_a + card_b - inter;
+    if union == 0 {
+        0.0
+    } else {
+        1.0 - inter as f64 / union as f64
+    }
+}
+
+/// Shared shell of the radius-bounded Jaccard kernels: empty-set
+/// convention, the abort-threshold derivation, and the exact acceptance
+/// test, with the bounded intersection count injected by the caller.
+///
+/// The acceptance test is **exactly** `jaccard_from_counts(..) <= radius` —
+/// the same float expression a brute-force scan evaluates — so callers
+/// pruning with these kernels return bit-identical balls. The integer abort
+/// threshold is derived from `d ≤ r ⟺ |∩| ≥ (1−r)(|A|+|B|)/(2−r)` and
+/// slackened by one to absorb float rounding, which can only cause a
+/// harmless extra exact check, never a false reject. For `radius ≥ 1` the
+/// threshold degenerates to 0 (Jaccard never exceeds 1, and the derivation's
+/// denominator changes sign at 2).
+#[inline]
+fn jaccard_within_via(
+    card_a: usize,
+    card_b: usize,
+    radius: f64,
+    intersection_at_least: impl FnOnce(usize) -> Option<usize>,
+) -> Option<f64> {
+    if card_a == 0 && card_b == 0 {
+        // Both empty: distance is 0 by convention.
+        return (radius >= 0.0).then_some(0.0);
+    }
+    let threshold = if radius >= 1.0 {
+        0
+    } else {
+        let needed = ((1.0 - radius) * (card_a + card_b) as f64) / (2.0 - radius);
+        (needed.floor() as usize).saturating_sub(1)
+    };
+    let inter = intersection_at_least(threshold)?;
+    let d = jaccard_from_counts(inter, card_a, card_b);
+    (d <= radius).then_some(d)
+}
+
+/// `Some(distance)` when `jaccard(a, b) ≤ radius`, else `None`, with the
+/// bounded early-exit intersection kernel doing the heavy lifting (see
+/// [`jaccard_within_via`] for the threshold contract).
+#[inline]
+pub fn jaccard_within_words(
+    a: &[u64],
+    card_a: usize,
+    b: &[u64],
+    card_b: usize,
+    radius: f64,
+) -> Option<f64> {
+    jaccard_within_via(card_a, card_b, radius, |threshold| {
+        intersection_count_at_least_words(a, card_a, b, card_b, threshold)
+    })
+}
+
+/// Superblock width, in words, of the suffix-cardinality tables used by the
+/// arena kernels below.
+pub const SUFFIX_STRIDE: usize = 8;
+
+/// Suffix popcounts at [`SUFFIX_STRIDE`] granularity:
+/// `out[k] = popcount(words[k·STRIDE ..])`, with a trailing `0` sentinel.
+///
+/// A pool precomputes one table per pattern (a few bytes each); the scan
+/// kernel then gets a *strong* early-exit bound — remaining intersection ≤
+/// `min` of both sets' unscanned bits — for one array lookup per superblock
+/// instead of popcounting both operands at every word.
+pub fn suffix_cards(words: &[u64]) -> Vec<u32> {
+    let mut out = Vec::new();
+    suffix_cards_into(words, &mut out);
+    out
+}
+
+/// [`suffix_cards`] appending into an existing buffer — the arena build path
+/// computes one table per pool pattern per iteration and must not allocate
+/// per pattern.
+pub fn suffix_cards_into(words: &[u64], out: &mut Vec<u32>) {
+    let blocks = words.len().div_ceil(SUFFIX_STRIDE);
+    let base = out.len();
+    out.resize(base + blocks + 1, 0);
+    for k in (0..blocks).rev() {
+        let start = k * SUFFIX_STRIDE;
+        let end = (start + SUFFIX_STRIDE).min(words.len());
+        out[base + k] = out[base + k + 1]
+            + words[start..end]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum::<u32>();
+    }
+}
+
+/// [`intersection_count_at_least_words`] with the bound coming from
+/// precomputed [`suffix_cards`] tables: one AND + one popcount per word
+/// (half the popcounts of a naive two-popcount Jaccard) plus one bound check
+/// per [`SUFFIX_STRIDE`] words.
+#[inline]
+pub fn intersection_count_at_least_suffix(
+    a: &[u64],
+    suffix_a: &[u32],
+    b: &[u64],
+    suffix_b: &[u32],
+    threshold: usize,
+) -> Option<usize> {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(suffix_a.len(), suffix_b.len());
+    if (suffix_a[0].min(suffix_b[0]) as usize) < threshold {
+        return None;
+    }
+    let blocks = suffix_a.len() - 1;
+    let mut inter = 0usize;
+    for k in 0..blocks {
+        let start = k * SUFFIX_STRIDE;
+        let end = (start + SUFFIX_STRIDE).min(a.len());
+        for i in start..end {
+            inter += (a[i] & b[i]).count_ones() as usize;
+        }
+        if inter + (suffix_a[k + 1].min(suffix_b[k + 1]) as usize) < threshold {
+            return None;
+        }
+    }
+    (inter >= threshold).then_some(inter)
+}
+
+/// [`jaccard_within_words`] driven by the suffix-table kernel — the ball
+/// scan's hot path. Acceptance is the same exact float comparison.
+#[inline]
+pub fn jaccard_within_suffix(
+    a: &[u64],
+    suffix_a: &[u32],
+    b: &[u64],
+    suffix_b: &[u32],
+    radius: f64,
+) -> Option<f64> {
+    jaccard_within_via(
+        suffix_a[0] as usize,
+        suffix_b[0] as usize,
+        radius,
+        |threshold| intersection_count_at_least_suffix(a, suffix_a, b, suffix_b, threshold),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(bits: &[usize], universe: usize) -> (Vec<u64>, usize) {
+        let mut w = vec![0u64; universe.div_ceil(64)];
+        for &b in bits {
+            w[b / 64] |= 1 << (b % 64);
+        }
+        (w, bits.len())
+    }
+
+    #[test]
+    fn intersection_count_matches_naive() {
+        let (a, _) = words(&[1, 2, 3, 64, 130], 200);
+        let (b, _) = words(&[2, 3, 64, 131], 200);
+        assert_eq!(intersection_count_words(&a, &b), 3);
+    }
+
+    #[test]
+    fn at_least_kernel_is_exact_when_it_returns() {
+        let (a, ca) = words(&[0, 1, 2, 3, 70, 71], 160);
+        let (b, cb) = words(&[2, 3, 70, 100], 160);
+        assert_eq!(
+            intersection_count_at_least_words(&a, ca, &b, cb, 0),
+            Some(3)
+        );
+        assert_eq!(
+            intersection_count_at_least_words(&a, ca, &b, cb, 3),
+            Some(3)
+        );
+        assert_eq!(intersection_count_at_least_words(&a, ca, &b, cb, 4), None);
+        // Cardinality precheck: min(|A|,|B|) < threshold without scanning.
+        assert_eq!(intersection_count_at_least_words(&a, ca, &b, cb, 5), None);
+    }
+
+    #[test]
+    fn jaccard_within_agrees_with_direct_formula() {
+        let (a, ca) = words(&[1, 2, 3, 7], 10);
+        let (b, cb) = words(&[2, 3, 4], 10);
+        // d = 1 - 2/5 = 0.6
+        let d = jaccard_words(&a, ca, &b, cb);
+        assert!((d - 0.6).abs() < 1e-12);
+        assert_eq!(jaccard_within_words(&a, ca, &b, cb, 0.6), Some(d));
+        assert_eq!(jaccard_within_words(&a, ca, &b, cb, 0.59), None);
+        assert_eq!(jaccard_within_words(&a, ca, &b, cb, 1.0), Some(d));
+    }
+
+    #[test]
+    fn empty_sets_have_zero_distance() {
+        let (a, ca) = words(&[], 100);
+        let (b, cb) = words(&[], 100);
+        assert_eq!(jaccard_within_words(&a, ca, &b, cb, 0.0), Some(0.0));
+        let (c, cc) = words(&[5], 100);
+        assert_eq!(jaccard_words(&a, ca, &c, cc), 1.0);
+    }
+
+    #[test]
+    fn suffix_tables_and_kernel_match_plain_kernels() {
+        // Multi-superblock universe so aborts can fire mid-scan.
+        let universe = 64 * 24;
+        let a_bits: Vec<usize> = (0..universe).filter(|i| i % 3 == 0).collect();
+        let b_bits: Vec<usize> = (0..universe).filter(|i| i % 5 == 0 && *i < 700).collect();
+        let (a, ca) = words(&a_bits, universe);
+        let (b, cb) = words(&b_bits, universe);
+        let sa = suffix_cards(&a);
+        let sb = suffix_cards(&b);
+        assert_eq!(sa[0] as usize, ca);
+        assert_eq!(*sa.last().unwrap(), 0);
+        let inter = intersection_count_words(&a, &b);
+        for t in [0, 1, inter, inter + 1, inter + 50] {
+            assert_eq!(
+                intersection_count_at_least_suffix(&a, &sa, &b, &sb, t),
+                intersection_count_at_least_words(&a, ca, &b, cb, t),
+                "threshold {t}"
+            );
+        }
+        for r in [0.0, 0.3, 0.5, 0.8, 0.95, 1.0] {
+            assert_eq!(
+                jaccard_within_suffix(&a, &sa, &b, &sb, r),
+                jaccard_within_words(&a, ca, &b, cb, r),
+                "radius {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_radii_match_brute_force_over_small_universe() {
+        // Every pair of subsets of a 6-bit universe, every rational radius
+        // i/u: the kernel must agree with the direct float comparison.
+        for ma in 0u64..64 {
+            for mb in 0u64..64 {
+                let a = [ma];
+                let b = [mb];
+                let ca = ma.count_ones() as usize;
+                let cb = mb.count_ones() as usize;
+                let d = jaccard_words(&a, ca, &b, cb);
+                for num in 0..=6usize {
+                    for den in 1..=6usize {
+                        let r = num as f64 / den as f64;
+                        let want = d <= r;
+                        let got = jaccard_within_words(&a, ca, &b, cb, r).is_some();
+                        assert_eq!(got, want, "ma={ma:b} mb={mb:b} r={r}");
+                    }
+                }
+            }
+        }
+    }
+}

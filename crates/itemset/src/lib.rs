@@ -42,6 +42,7 @@ mod error;
 mod io;
 mod item;
 mod itemset;
+pub mod kernels;
 mod tidset;
 mod vertical;
 

@@ -5,20 +5,49 @@
 //! thousand transactions, so a tid-set is a handful of 64-bit words and the
 //! three operations Pattern-Fusion leans on — intersection size, union size,
 //! and Jaccard distance — are short word-wise loops with hardware popcounts.
+//!
+//! Every set carries its cardinality `|D|` as a cached field maintained by
+//! all mutating operations, so [`TidSet::count`] is O(1) and Jaccard needs a
+//! single intersection popcount (`|A ∪ B| = |A| + |B| − |A ∩ B|`). The
+//! radius-bounded kernels ([`TidSet::jaccard_within`],
+//! [`TidSet::intersection_count_at_least`]) additionally abort the word loop
+//! once the unscanned blocks cannot bring the distance under the radius —
+//! see [`crate::kernels`] for the word-level implementations.
 
+use crate::kernels;
 use std::fmt;
 
 const BITS: usize = 64;
 
-/// A fixed-universe bitset over transaction ids `0..universe`.
+/// A fixed-universe bitset over transaction ids `0..universe`, with a cached
+/// cardinality.
 ///
 /// All binary operations require both operands to share the same universe;
 /// this is enforced with debug assertions (every tid-set in a mining run is
 /// derived from the same database).
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct TidSet {
     blocks: Vec<u64>,
     universe: usize,
+    /// Cached `|D|`; invariant: always equals the popcount of `blocks`.
+    count: usize,
+}
+
+impl Clone for TidSet {
+    fn clone(&self) -> Self {
+        Self {
+            blocks: self.blocks.clone(),
+            universe: self.universe,
+            count: self.count,
+        }
+    }
+
+    /// Reuses the existing block allocation (scratch-buffer friendly).
+    fn clone_from(&mut self, source: &Self) {
+        self.blocks.clone_from(&source.blocks);
+        self.universe = source.universe;
+        self.count = source.count;
+    }
 }
 
 impl TidSet {
@@ -27,6 +56,7 @@ impl TidSet {
         Self {
             blocks: vec![0; universe.div_ceil(BITS)],
             universe,
+            count: 0,
         }
     }
 
@@ -42,6 +72,7 @@ impl TidSet {
                 *block = (1u64 << (hi - lo)) - 1;
             }
         }
+        s.count = universe;
         s
     }
 
@@ -70,14 +101,20 @@ impl TidSet {
             "tid {tid} >= universe {}",
             self.universe
         );
-        self.blocks[tid / BITS] |= 1u64 << (tid % BITS);
+        let block = &mut self.blocks[tid / BITS];
+        let bit = 1u64 << (tid % BITS);
+        self.count += (*block & bit == 0) as usize;
+        *block |= bit;
     }
 
     /// Removes transaction `tid` if present.
     #[inline]
     pub fn remove(&mut self, tid: usize) {
         debug_assert!(tid < self.universe);
-        self.blocks[tid / BITS] &= !(1u64 << (tid % BITS));
+        let block = &mut self.blocks[tid / BITS];
+        let bit = 1u64 << (tid % BITS);
+        self.count -= (*block & bit != 0) as usize;
+        *block &= !bit;
     }
 
     /// Whether transaction `tid` is in the set.
@@ -87,33 +124,49 @@ impl TidSet {
         self.blocks[tid / BITS] & (1u64 << (tid % BITS)) != 0
     }
 
-    /// Cardinality `|D|` — the pattern's absolute support.
+    /// Cardinality `|D|` — the pattern's absolute support. O(1): the count is
+    /// cached and maintained by every mutating operation.
     #[inline]
     pub fn count(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        self.count
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.blocks.iter().all(|&b| b == 0)
+        self.count == 0
     }
 
-    /// In-place intersection: `self ← self ∩ other`.
+    /// The underlying words, low tid first (for structure-of-arrays pools;
+    /// see [`crate::kernels`]).
+    #[inline]
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// In-place intersection: `self ← self ∩ other`. The cardinality cache is
+    /// refreshed in the same word pass.
     #[inline]
     pub fn intersect_with(&mut self, other: &TidSet) {
         debug_assert_eq!(self.universe, other.universe);
+        let mut count = 0usize;
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
             *a &= *b;
+            count += a.count_ones() as usize;
         }
+        self.count = count;
     }
 
-    /// In-place union: `self ← self ∪ other`.
+    /// In-place union: `self ← self ∪ other`. The cardinality cache is
+    /// refreshed in the same word pass.
     #[inline]
     pub fn union_with(&mut self, other: &TidSet) {
         debug_assert_eq!(self.universe, other.universe);
+        let mut count = 0usize;
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
             *a |= *b;
+            count += a.count_ones() as usize;
         }
+        self.count = count;
     }
 
     /// Returns `self ∩ other` as a new set.
@@ -134,22 +187,29 @@ impl TidSet {
     #[inline]
     pub fn intersection_count(&self, other: &TidSet) -> usize {
         debug_assert_eq!(self.universe, other.universe);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernels::intersection_count_words(&self.blocks, &other.blocks)
     }
 
-    /// `|self ∪ other|` without allocating.
+    /// `|self ∩ other|` if it reaches `threshold`, else `None`, aborting the
+    /// word loop once the unscanned blocks cannot close the gap (see
+    /// [`kernels::intersection_count_at_least_words`]).
+    #[inline]
+    pub fn intersection_count_at_least(&self, other: &TidSet, threshold: usize) -> Option<usize> {
+        debug_assert_eq!(self.universe, other.universe);
+        kernels::intersection_count_at_least_words(
+            &self.blocks,
+            self.count,
+            &other.blocks,
+            other.count,
+            threshold,
+        )
+    }
+
+    /// `|self ∪ other|` without allocating: one intersection popcount plus
+    /// the cached cardinalities.
     #[inline]
     pub fn union_count(&self, other: &TidSet) -> usize {
-        debug_assert_eq!(self.universe, other.universe);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        self.count + other.count - self.intersection_count(other)
     }
 
     /// Whether `self ⊆ other`.
@@ -165,21 +225,23 @@ impl TidSet {
     /// Jaccard distance `1 − |self ∩ other| / |self ∪ other|`.
     ///
     /// This is the paper's pattern distance (Definition 6) applied to support
-    /// sets. The distance between two empty sets is defined as `0`.
+    /// sets. The distance between two empty sets is defined as `0`. Costs one
+    /// intersection popcount per word — the union size comes from the cached
+    /// cardinalities.
     #[inline]
     pub fn jaccard_distance(&self, other: &TidSet) -> f64 {
         debug_assert_eq!(self.universe, other.universe);
-        let mut inter = 0u64;
-        let mut uni = 0u64;
-        for (a, b) in self.blocks.iter().zip(&other.blocks) {
-            inter += (a & b).count_ones() as u64;
-            uni += (a | b).count_ones() as u64;
-        }
-        if uni == 0 {
-            0.0
-        } else {
-            1.0 - inter as f64 / uni as f64
-        }
+        kernels::jaccard_words(&self.blocks, self.count, &other.blocks, other.count)
+    }
+
+    /// `Some(distance)` when `jaccard_distance(other) ≤ radius`, else `None`
+    /// — with a bounded early-exit word loop (see
+    /// [`kernels::jaccard_within_words`]). Exactly equivalent to computing
+    /// the full distance and comparing, but cheaper on misses.
+    #[inline]
+    pub fn jaccard_within(&self, other: &TidSet, radius: f64) -> Option<f64> {
+        debug_assert_eq!(self.universe, other.universe);
+        kernels::jaccard_within_words(&self.blocks, self.count, &other.blocks, other.count, radius)
     }
 
     /// Iterates over the transaction ids in ascending order.
@@ -327,6 +389,41 @@ mod tests {
         assert_eq!(hi, Some(tids.len()));
     }
 
+    #[test]
+    fn cached_count_survives_mixed_mutation() {
+        let mut s = TidSet::empty(300);
+        for i in (0..300).step_by(3) {
+            s.insert(i);
+        }
+        s.insert(0); // double insert is a no-op
+        assert_eq!(s.count(), 100);
+        s.remove(0);
+        s.remove(0); // double remove is a no-op
+        assert_eq!(s.count(), 99);
+        let other = TidSet::from_tids(300, (0..300).step_by(6));
+        s.intersect_with(&other);
+        assert_eq!(s.count(), s.iter().count());
+        s.union_with(&other);
+        assert_eq!(s.count(), s.iter().count());
+        let mut scratch = TidSet::empty(300);
+        scratch.clone_from(&s);
+        assert_eq!(scratch.count(), s.count());
+        assert_eq!(scratch, s);
+    }
+
+    #[test]
+    fn bounded_kernels_agree_with_exact_ops() {
+        let a = TidSet::from_tids(200, [1, 2, 3, 64, 65, 130, 199]);
+        let b = TidSet::from_tids(200, [2, 3, 64, 131, 198]);
+        let inter = a.intersection_count(&b);
+        assert_eq!(a.intersection_count_at_least(&b, inter), Some(inter));
+        assert_eq!(a.intersection_count_at_least(&b, inter + 1), None);
+        let d = a.jaccard_distance(&b);
+        assert_eq!(a.jaccard_within(&b, d), Some(d));
+        assert_eq!(a.jaccard_within(&b, d - 1e-9), None);
+        assert_eq!(a.union_count(&b), a.count() + b.count() - inter);
+    }
+
     fn model_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, usize)> {
         (1usize..260).prop_flat_map(|n| {
             (
@@ -359,6 +456,26 @@ mod tests {
             prop_assert_eq!(a.intersection_count(&b), ma.intersection(&mb).count());
             prop_assert_eq!(a.union_count(&b), ma.union(&mb).count());
             prop_assert_eq!(a.is_subset(&b), ma.is_subset(&mb));
+            // Cached cardinalities match a fresh popcount after every op.
+            prop_assert_eq!(a.count(), a.iter().count());
+            prop_assert_eq!(a.intersection(&b).count(), ma.intersection(&mb).count());
+            prop_assert_eq!(a.union(&b).count(), ma.union(&mb).count());
+        }
+
+        /// The bounded kernels agree exactly with the unbounded operations at
+        /// every threshold / radius, including the boundaries.
+        #[test]
+        fn bounded_kernels_match_exact((xs, ys, n) in model_pair(), raw_r in 0u32..=40) {
+            let a = TidSet::from_tids(n, xs.iter().copied());
+            let b = TidSet::from_tids(n, ys.iter().copied());
+            let inter = a.intersection_count(&b);
+            for t in 0..=(inter + 2) {
+                let got = a.intersection_count_at_least(&b, t);
+                prop_assert_eq!(got, (inter >= t).then_some(inter), "threshold {}", t);
+            }
+            let r = raw_r as f64 / 40.0;
+            let d = a.jaccard_distance(&b);
+            prop_assert_eq!(a.jaccard_within(&b, r), (d <= r).then_some(d));
         }
 
         /// Jaccard distance is a metric on non-degenerate sets: symmetry,

@@ -7,6 +7,10 @@
 //! efficient mining algorithm." We use a depth-bounded Eclat so every pool
 //! entry keeps the tid-set Pattern-Fusion needs for distance computations and
 //! fusion.
+//!
+//! Pool entries are *counted* patterns: every emitted [`TidSet`] carries its
+//! cached cardinality, so downstream support reads (`PoolPattern::support`,
+//! the ball-query engine's cardinality prune) are O(1) and never re-popcount.
 
 use cfp_itemset::{Itemset, TidSet, TransactionDb, VerticalIndex};
 
@@ -77,10 +81,15 @@ fn dfs(
         return;
     }
     for (next_pos, &(item, item_tids)) in frequent.iter().enumerate().skip(pos + 1) {
-        let sub = tids.intersection(item_tids);
-        if sub.count() < min_count {
+        // Bounded counting first: the majority of extensions are infrequent
+        // and die here without allocating an intersection.
+        if tids
+            .intersection_count_at_least(item_tids, min_count)
+            .is_none()
+        {
             continue;
         }
+        let sub = tids.intersection(item_tids);
         prefix.push(item);
         pool.push(PoolPattern {
             items: Itemset::from_items(prefix),
