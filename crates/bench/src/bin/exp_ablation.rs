@@ -26,6 +26,7 @@ struct Outcome {
     avg_iters: f64,
     avg_secs: f64,
     avg_max_size: f64,
+    avg_pruned_pct: f64,
 }
 
 fn run_trials(
@@ -38,6 +39,7 @@ fn run_trials(
     let mut iters = 0usize;
     let mut total = 0.0;
     let mut max_size = 0usize;
+    let mut pruned = 0.0;
     for t in 0..trials {
         let config = make(t);
         let (result, d) = time(|| PatternFusion::new(db, config).run());
@@ -47,12 +49,14 @@ fn run_trials(
         iters += result.stats.iterations.len();
         max_size += result.max_pattern_len();
         total += d.as_secs_f64();
+        pruned += result.stats.ball().pruned_fraction() * 100.0;
     }
     Outcome {
         recovered: recovered as f64 / trials as f64,
         avg_iters: iters as f64 / trials as f64,
         avg_secs: total / trials as f64,
         avg_max_size: max_size as f64 / trials as f64,
+        avg_pruned_pct: pruned / trials as f64,
     }
 }
 
@@ -72,12 +76,15 @@ fn main() {
     let k = 20usize;
 
     // --- τ sweep -----------------------------------------------------------
+    // τ sets the ball radius, which drives how much the engine's cardinality
+    // + pivot layers can prune — hence the avg_pruned_pct column here.
     let mut t1 = Table::new(vec![
         "tau",
         "recovery_rate",
         "avg_iters",
         "avg_secs",
         "avg_max_size",
+        "avg_pruned_pct",
     ]);
     for tau in [0.3, 0.5, 0.7, 0.9] {
         let o = run_trials(
@@ -97,6 +104,7 @@ fn main() {
             format!("{:.1}", o.avg_iters),
             format!("{:.3}", o.avg_secs),
             format!("{:.1}", o.avg_max_size),
+            format!("{:.1}", o.avg_pruned_pct),
         ]);
     }
     t1.print("Ablation 1: core ratio tau");

@@ -57,6 +57,7 @@ fn main() {
         "pattern_fusion_secs",
         "pf_patterns",
         "pf_max_size",
+        "pf_pruned_pct",
     ]);
 
     for &minsup in &supports {
@@ -80,6 +81,7 @@ fn main() {
             secs(d_pf),
             pf.patterns.len().to_string(),
             pf.max_pattern_len().to_string(),
+            format!("{:.1}", pf.stats.ball().pruned_fraction() * 100.0),
         ]);
         eprintln!(
             "minsup={minsup} done (lcm {}, tfp {}, pf {})",

@@ -35,6 +35,8 @@ fn main() {
         "pattern_fusion_secs",
         "pf_patterns",
         "pf_max_size",
+        "pf_iters",
+        "pf_pruned_pct",
     ]);
 
     for &n in sizes {
@@ -58,12 +60,16 @@ fn main() {
             secs(d_pf),
             result.patterns.len().to_string(),
             result.max_pattern_len().to_string(),
+            result.stats.iterations.len().to_string(),
+            format!("{:.1}", result.stats.ball().pruned_fraction() * 100.0),
         ]);
         eprintln!("n={n} done (lcm {}, pf {})", secs(d_lcm), secs(d_pf));
     }
     table.print("Figure 6: run time on Diagn (seconds)");
     println!(
         "shape check: lcm_maximal grows exponentially with n (C(n, n/2) maximal\n\
-         patterns) and hits the budget; Pattern-Fusion stays near-flat."
+         patterns) and hits the budget; Pattern-Fusion stays near-flat.\n\
+         pf_pruned_pct = pairwise distance evaluations skipped by the ball\n\
+         engine's cardinality + pivot prunes (RunStats::ball)."
     );
 }

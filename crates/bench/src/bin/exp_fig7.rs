@@ -51,6 +51,7 @@ fn main() {
         "pf_mined",
         "pf_error",
         "uniform_sampling_error",
+        "pf_pruned_pct",
     ]);
 
     for &k in ks {
@@ -76,6 +77,7 @@ fn main() {
             result.patterns.len().to_string(),
             format!("{pf_err:.4}"),
             format!("{ue:.4}"),
+            format!("{:.1}", result.stats.ball().pruned_fraction() * 100.0),
         ]);
         eprintln!("K={k} done (pf {pf_err:.4}, uniform {ue:.4})");
     }

@@ -71,12 +71,18 @@ fn main() {
             .with_seed(0xF180 + k as u64);
         let pf = PatternFusion::new(db, config);
         let (result, d_pf) = time(|| pf.run());
+        let ball = result.stats.ball();
         eprintln!(
-            "K={k}: mined {} patterns in {} s (pool {}, {} iterations)",
+            "K={k}: mined {} patterns in {} s (pool {}, {} iterations; ball \
+             pruned {:.1}%, index: {} tombstoned, {} inserted, {} compactions)",
             result.patterns.len(),
             secs(d_pf),
             result.stats.initial_pool_size,
-            result.stats.iterations.len()
+            result.stats.iterations.len(),
+            ball.pruned_fraction() * 100.0,
+            result.stats.tombstoned(),
+            result.stats.inserted(),
+            result.stats.compactions(),
         );
         let p: Vec<Itemset> = result.patterns.iter().map(|pt| pt.items.clone()).collect();
         sweeps.push(error_by_min_size(&p, &q, &thresholds));

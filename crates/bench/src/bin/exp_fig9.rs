@@ -63,6 +63,19 @@ fn main() {
         secs(d_pf),
         result.stats.iterations.len()
     );
+    let ball = result.stats.ball();
+    println!(
+        "ball engine: {:.1}% of {} pairs pruned ({} cardinality, {} pivot); \
+         persistent index: {} tombstoned, {} inserted, {} side hits, {} compactions",
+        ball.pruned_fraction() * 100.0,
+        ball.pairs_total,
+        ball.cardinality_pruned,
+        ball.pivot_pruned,
+        result.stats.tombstoned(),
+        result.stats.inserted(),
+        ball.side_hits,
+        result.stats.compactions(),
+    );
 
     // Count by size, sizes > floor only (the paper's table).
     let mut complete_by_size: BTreeMap<usize, usize> = BTreeMap::new();

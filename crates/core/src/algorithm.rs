@@ -23,14 +23,26 @@
 //! distance scan, and both the ball scans and the per-seed fusions are
 //! distributed over a work-stealing task queue ([`crate::parallel`]) rather
 //! than fixed per-thread chunks.
+//!
+//! The index is **persistent across iterations**: it is built once from the
+//! initial pool and then carried forward through
+//! [`BallIndex::apply_delta`] — survivors keep their arena slots, departures
+//! are tombstoned, new fused patterns enter a sorted side buffer, and a
+//! deterministic compaction policy rebuilds only when the arena decays (see
+//! the lifecycle notes in [`crate::ball`]). The loop computes the
+//! [`PoolDelta`] between consecutive pools by itemset identity (pools are
+//! itemset-deduplicated, and itemsets determine support sets), so the index
+//! never has to store itemsets itself. None of this changes results — balls
+//! stay exactly brute-force over the live pool — it only removes the
+//! per-iteration rebuild, the dominant index cost.
 
-use crate::ball::{BallIndex, BallQueryStats};
+use crate::ball::{BallIndex, BallQueryStats, PoolDelta};
 use crate::config::FusionConfig;
 use crate::distance::ball_radius;
 use crate::fusion::fuse_ball;
 use crate::parallel::run_tasks;
 use crate::pattern::Pattern;
-use crate::stats::{IterationStats, RunStats};
+use crate::stats::{IndexMaintenance, IterationStats, RunStats};
 use cfp_itemset::{ClosureOperator, Itemset, TransactionDb, VerticalIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,8 +51,11 @@ use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
-/// Candidates per ball-scan task: small enough that one seed's oversized
-/// ball spreads across workers, large enough to amortize task claiming.
+/// Live candidates per ball-scan task: small enough that one seed's
+/// oversized ball spreads across workers, large enough to amortize task
+/// claiming. Segmentation counts *live* candidates
+/// ([`crate::ball::BallQuery::segments`]) so tombstone-riddled windows don't
+/// produce skewed tasks.
 const SCAN_TASK_CANDIDATES: usize = 2048;
 
 /// A configured Pattern-Fusion run over one database.
@@ -118,6 +133,7 @@ impl<'a> PatternFusion<'a> {
         }
         let radius = ball_radius(cfg.tau);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let threads = self.thread_count();
         // Cross-iteration archive of the largest patterns seen (see
         // `FusionConfig::archive`): protects already-found colossal patterns
         // from the seed-drawing survival lottery.
@@ -127,6 +143,19 @@ impl<'a> PatternFusion<'a> {
         // of rebuilding a HashSet of every itemset per iteration.
         let mut pool_fp: Option<Vec<u64>> = None;
 
+        // The long-lived ball index: built once here, then advanced by
+        // pool deltas (tombstones + side-buffer inserts) at the end of each
+        // iteration instead of being rebuilt from scratch.
+        let t_build = Instant::now();
+        let mut index = BallIndex::new_with_threads(&pool, radius, cfg.ball_pivots, threads);
+        let mut maintenance = IndexMaintenance {
+            rebuilt: true,
+            live: index.len(),
+            arena: index.arena_slots(),
+            elapsed: t_build.elapsed(),
+            ..Default::default()
+        };
+
         for iteration in 0..cfg.max_iterations {
             let t0 = Instant::now();
             let n_seeds = cfg.k.min(pool.len()).max(1);
@@ -134,7 +163,7 @@ impl<'a> PatternFusion<'a> {
                 rand::seq::index::sample(&mut rng, pool.len(), n_seeds).into_vec();
 
             let (per_seed, ball_stats) =
-                self.process_seeds(&pool, &seed_positions, radius, iteration);
+                self.process_seeds(&pool, &index, &seed_positions, iteration, threads);
 
             // Merge, deduplicating by itemset without cloning any itemset:
             // mark first occurrences through a borrowing set, then keep them.
@@ -167,6 +196,7 @@ impl<'a> PatternFusion<'a> {
                 max_pattern_len: max_len,
                 elapsed: t0.elapsed(),
                 ball: ball_stats,
+                index: maintenance,
             });
 
             // Stagnation check: the pool reproduces itself exactly. Compare
@@ -187,6 +217,16 @@ impl<'a> PatternFusion<'a> {
                 pool_fp = None;
                 false
             };
+            let continuing = next.len() > cfg.k && !stagnated && iteration + 1 < cfg.max_iterations;
+            if continuing {
+                // Advance the index to the next pool while both pools are
+                // still alive: survivors keep their slots, departures are
+                // tombstoned, fresh fusions enter the side buffer.
+                let t_update = Instant::now();
+                let delta = PoolDelta::compute(&pool, &next);
+                maintenance = index.apply_delta(&next, &delta, threads);
+                maintenance.elapsed = t_update.elapsed();
+            }
             pool = next;
             if pool.len() <= cfg.k {
                 stats.converged = true;
@@ -213,15 +253,28 @@ impl<'a> PatternFusion<'a> {
         }
     }
 
+    /// Worker threads this run may use (1 when `parallel` is off).
+    fn thread_count(&self) -> usize {
+        if self.config.parallel {
+            self.config.threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        } else {
+            1
+        }
+    }
+
     /// Ball query + fusion for each seed, optionally in parallel. Every seed
     /// position gets an RNG derived from (master seed, iteration, position),
     /// making the output independent of the thread schedule.
     ///
     /// Two work-stealing phases per iteration:
     ///
-    /// 1. **Ball scans** — one [`BallIndex`] is built over the pool, then
-    ///    every seed's pruned candidate window is cut into
-    ///    [`SCAN_TASK_CANDIDATES`]-sized segments that workers claim off a
+    /// 1. **Ball scans** — against the caller's long-lived [`BallIndex`],
+    ///    every seed's pruned candidate window is cut into segments holding
+    ///    ≈[`SCAN_TASK_CANDIDATES`] live candidates that workers claim off a
     ///    shared queue, so a single huge ball cannot serialize the phase.
     ///    Segments merge in task order and each ball sorts ascending —
     ///    exactly the brute-force scan's output.
@@ -230,31 +283,17 @@ impl<'a> PatternFusion<'a> {
     fn process_seeds(
         &self,
         pool: &[Pattern],
+        index: &BallIndex,
         seed_positions: &[usize],
-        radius: f64,
         iteration: usize,
+        threads: usize,
     ) -> (Vec<Vec<Pattern>>, BallQueryStats) {
-        let threads = if self.config.parallel {
-            self.config.threads.unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-        } else {
-            1
-        };
-
         // Phase 1: metric-pruned ball queries.
-        let index = BallIndex::new_with_threads(pool, radius, self.config.ball_pivots, threads);
         let queries: Vec<_> = seed_positions.iter().map(|&q| index.query(q)).collect();
         let mut tasks: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
         for (order, query) in queries.iter().enumerate() {
-            let mut start = 0;
-            let total = query.candidates();
-            while start < total {
-                let end = (start + SCAN_TASK_CANDIDATES).min(total);
-                tasks.push((order, start..end));
-                start = end;
+            for seg in query.segments(SCAN_TASK_CANDIDATES) {
+                tasks.push((order, seg));
             }
         }
         let scanned = run_tasks(tasks.len(), threads, |t| {

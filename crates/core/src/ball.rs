@@ -1,4 +1,5 @@
-//! The metric-pruned ball-query engine.
+//! The metric-pruned ball-query engine, maintained incrementally across
+//! fusion iterations.
 //!
 //! Every Pattern-Fusion iteration asks, for each of K seeds α, for the ball
 //! `{β ∈ Pool : Dist(α, β) ≤ r(τ)}`. The naive scan is O(K · |Pool|) full
@@ -23,10 +24,61 @@
 //! redundant exact check, never a false reject: the engine returns exactly
 //! the brute-force ball, in ascending pool order (a property test in
 //! `tests/ball_determinism.rs` enforces this).
+//!
+//! # Lifecycle: the persistent index
+//!
+//! The fusion loop replaces its pool every iteration, but most of each new
+//! pool is carried over from the old one (fused patterns reproduce
+//! themselves once they saturate), so rebuilding the arena from scratch per
+//! iteration — PR 1's design — wasted the dominant index cost. The index is
+//! therefore a long-lived structure updated through [`BallIndex::apply_delta`]
+//! with a [`PoolDelta`] (computed by the caller, which owns pattern
+//! identity). Its state is two regions sharing one global position space:
+//!
+//! * **Main arena** — positions `0..arena_slots()`, support-sorted at the
+//!   last full (re)build. Slots are *frozen*: a pattern that leaves the pool
+//!   is tombstoned (its `live` bit cleared) but its words stay in place, so
+//!   pivot reference data and every live slot's address remain valid. A
+//!   prefix-sum of live bits (`live_prefix`) prices any window's live
+//!   population in O(1), which keeps stats accounting exact and lets
+//!   [`BallQuery::segments`] hand workers near-equal *live* work.
+//! * **Side buffer** — positions `arena_slots()..`, the patterns inserted
+//!   since the last rebuild. Rebuilt (filtered, merged, re-sorted by
+//!   support) on every `apply_delta`, which is cheap because compaction
+//!   bounds its size; every side entry is live, and its pivot row is
+//!   computed once at insert time against the arena's pivot words.
+//!
+//! Invariants maintained by every update:
+//!
+//! * `live_main + side_len() == |pool|`, and `pos_of` / `pool_of` are exact
+//!   inverses over live entries — a query for any pool member resolves.
+//! * Both regions are support-sorted, so a ball query is two binary-searched
+//!   windows; their concatenation is the candidate set.
+//! * Tombstoned slots are never reported, never counted as pairs, and never
+//!   consulted except as pivot reference words (a pivot need not be a live
+//!   pool member for the triangle inequality to hold).
+//!
+//! **Compaction** is lazy and deterministic (a pure function of index
+//! state): when live density falls below [`MIN_LIVE_DENSITY`] or the side
+//! buffer outgrows [`MAX_SIDE_RATIO`] of the arena, the whole index is
+//! rebuilt from the current pool (fresh sort, fresh pivots, empty side).
+//! Because the live set shrinks geometrically across iterations, the total
+//! rebuild work over a run is bounded by a constant multiple of the initial
+//! build — the amortization `crates/bench/benches/ball.rs` measures.
+//!
+//! None of this machinery is visible in results: balls are exact over the
+//! live set, so fusion output is bit-identical to the rebuild-per-iteration
+//! engine at any thread count. Only the maintenance counters
+//! ([`IndexMaintenance`], [`BallQueryStats::side_hits`],
+//! [`BallQueryStats::tombstone_skips`]) reveal the difference.
 
 use crate::parallel::run_tasks;
 use crate::pattern::Pattern;
+use crate::stats::IndexMaintenance;
 use cfp_itemset::kernels;
+use cfp_itemset::Itemset;
+use std::collections::HashMap;
+use std::time::Instant;
 
 /// Absolute slack added to the pruning radii so floating-point rounding can
 /// only produce extra exact checks, never drop a true ball member.
@@ -37,8 +89,25 @@ const SLACK: f64 = 1e-9;
 /// rounding of both table entries with two orders of magnitude to spare.
 const PIVOT_SLACK: f64 = 1e-5;
 
+/// Compact when fewer than this fraction of main-arena slots are live:
+/// below it, tombstone hops and the dead share of every binary-searched
+/// window cost more than a (now much smaller) rebuild.
+pub const MIN_LIVE_DENSITY: f64 = 0.5;
+
+/// Compact when the side buffer exceeds this fraction of the main arena
+/// (plus [`SIDE_COMPACT_SLACK`]): the side is rebuilt on every update, so it
+/// must stay small relative to the frozen arena.
+pub const MAX_SIDE_RATIO: f64 = 0.25;
+
+/// Absolute side-buffer allowance before the ratio test bites, so tiny
+/// pools don't thrash on rebuilds that cost less than the bookkeeping.
+const SIDE_COMPACT_SLACK: usize = 32;
+
+/// Sentinel in `pool_of` marking a tombstoned arena slot.
+const DEAD: u32 = u32::MAX;
+
 /// Work counters proving what the pruning layers skipped. All counts are
-/// pairs (seed, candidate).
+/// pairs (seed, candidate) over the *live* pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BallQueryStats {
     /// Pairs a brute-force scan would have evaluated (`|Pool| − 1` per seed).
@@ -51,6 +120,13 @@ pub struct BallQueryStats {
     pub exact_checked: u64,
     /// Pairs accepted into a ball.
     pub ball_members: u64,
+    /// Exact-checked pairs whose candidate lived in the side buffer —
+    /// queries served (in part) by incrementally inserted patterns.
+    pub side_hits: u64,
+    /// Tombstoned arena slots hopped over during scans. Not pairs (dead
+    /// slots are not pool members), so excluded from `pairs_total` and the
+    /// partition identity below.
+    pub tombstone_skips: u64,
 }
 
 impl BallQueryStats {
@@ -61,6 +137,8 @@ impl BallQueryStats {
         self.pivot_pruned += other.pivot_pruned;
         self.exact_checked += other.exact_checked;
         self.ball_members += other.ball_members;
+        self.side_hits += other.side_hits;
+        self.tombstone_skips += other.tombstone_skips;
     }
 
     /// Fraction of pairs that never reached the exact kernel (0 when no
@@ -74,22 +152,62 @@ impl BallQueryStats {
     }
 }
 
-/// A per-iteration index over the pool for radius-`r` ball queries.
+/// The difference between one iteration's pool and the next, in the
+/// vocabulary the index understands: which old entries survive (and under
+/// which new pool index) and which new pool entries need insertion.
 ///
-/// Construction copies every tid-set into a contiguous words arena (the pool
-/// is rebuilt each iteration anyway, and the arena is what lets the scan
-/// stream memory), sorts patterns by support, and computes the pivot
-/// distance table. Cost: O(|Pool| · words) plus O(P · |Pool|) Jaccards —
-/// amortized over K seed queries per iteration.
+/// Old pool indices absent from `survivors` are implicit deaths.
+#[derive(Debug, Clone, Default)]
+pub struct PoolDelta {
+    /// `(old pool index, new pool index)` for every pattern present in both
+    /// pools (matched by itemset — itemsets determine support sets, and
+    /// pools are itemset-deduplicated).
+    pub survivors: Vec<(u32, u32)>,
+    /// New pool indices with no counterpart in the old pool.
+    pub inserts: Vec<u32>,
+}
+
+impl PoolDelta {
+    /// Computes the delta between two pools by itemset identity.
+    pub fn compute(old: &[Pattern], new: &[Pattern]) -> Self {
+        let by_itemset: HashMap<&Itemset, u32> = old
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (&p.items, i as u32))
+            .collect();
+        let mut survivors = Vec::new();
+        let mut inserts = Vec::new();
+        for (j, p) in new.iter().enumerate() {
+            match by_itemset.get(&p.items) {
+                Some(&i) => survivors.push((i, j as u32)),
+                None => inserts.push(j as u32),
+            }
+        }
+        Self { survivors, inserts }
+    }
+}
+
+/// A persistent index over the pool for radius-`r` ball queries.
+///
+/// Construction copies every tid-set into a contiguous words arena, sorts
+/// patterns by support, and computes the pivot distance table — O(|Pool| ·
+/// words) plus O(P · |Pool|) Jaccards, amortized over K seed queries per
+/// iteration *and* over subsequent iterations via [`BallIndex::apply_delta`]
+/// (see the module docs for the tombstone / side-buffer / compaction
+/// lifecycle).
 pub struct BallIndex {
     /// Words per tid-set (shared universe).
     words_per_set: usize,
-    /// SoA arena in **support-sorted order**: the pattern at arena position
-    /// `pos` has its tid-set words at `pos*words_per_set ..`. A query's
-    /// candidate window is a contiguous arena slice, so the scan streams
-    /// words, suffix tables, and pivot rows with zero indirection.
+    /// Main-arena SoA in **support-sorted order** as of the last rebuild:
+    /// the pattern at arena position `pos` has its tid-set words at
+    /// `pos*words_per_set ..`. A query's candidate window is a contiguous
+    /// arena slice, so the scan streams words, suffix tables, and pivot rows
+    /// with zero indirection. Slots are frozen: tombstoned entries keep
+    /// their words (pivot reference data must not move).
     words: Vec<u64>,
     /// Cardinalities in arena (ascending) order — the binary-search key.
+    /// Retains tombstoned entries' cards; windows may include dead slots,
+    /// which the scan hops.
     cards: Vec<u32>,
     /// Suffix-popcount tables (see [`kernels::suffix_cards`]), `suf_stride`
     /// entries per arena position, giving the exact scan its strong
@@ -97,22 +215,46 @@ pub struct BallIndex {
     sufs: Vec<u32>,
     /// Entries per suffix table.
     suf_stride: usize,
-    /// Arena position → pool index.
-    to_pool: Vec<u32>,
-    /// Pool index → arena position (inverse of `to_pool`).
-    pos_of: Vec<u32>,
-    /// `pivot_dists[pos * n_pivots + p]` = Dist(pool[pivot_p], arena[pos]) —
+    /// `pivot_dists[pos * n_pivots + p]` = Dist(pivot_p, arena[pos]) —
     /// candidate-major, so one candidate's whole pivot row is one cache
     /// line.
     pivot_dists: Vec<f32>,
-    /// Number of pivots in use.
+    /// The pivots' reference data: (word offset into `words`, cardinality).
+    /// Valid as long as arena slots are frozen; refreshed on rebuild.
+    pivots: Vec<(usize, usize)>,
+    /// Number of pivots in use (≤ [`MAX_PIVOTS`], ≤ arena size at rebuild).
     n_pivots: usize,
+    /// The caller-requested pivot count, before clamping — compaction
+    /// rebuilds re-clamp against the new pool size.
+    pivot_target: usize,
+    /// Live bit per arena position (`false` = tombstoned).
+    live: Vec<bool>,
+    /// `live_prefix[pos]` = live slots in `0..pos`; length `arena + 1`.
+    live_prefix: Vec<u32>,
+    /// Live arena entries (`== live_prefix[arena]`).
+    live_main: usize,
+    /// Side-buffer SoA, support-sorted, rebuilt on every update. All side
+    /// entries are live. Global position of side entry `s` is
+    /// `cards.len() + s`.
+    side_words: Vec<u64>,
+    /// Side-buffer cardinalities (ascending).
+    side_cards: Vec<u32>,
+    /// Side-buffer suffix tables.
+    side_sufs: Vec<u32>,
+    /// Side-buffer pivot rows (computed at insert against `pivots`).
+    side_pivot_dists: Vec<f32>,
+    /// Global position → pool index ([`DEAD`] for tombstones).
+    pool_of: Vec<u32>,
+    /// Pool index → global position (inverse of `pool_of` on live entries).
+    pos_of: Vec<u32>,
+    /// Full rebuilds triggered by the compaction policy since construction.
+    compactions: u64,
     /// Query radius r(τ).
     radius: f64,
 }
 
 impl BallIndex {
-    /// Builds the index for one iteration's pool on the calling thread.
+    /// Builds the index for a pool on the calling thread.
     ///
     /// `n_pivots` is clamped to the pool size and to [`MAX_PIVOTS`]; 0
     /// disables the pivot layer.
@@ -136,17 +278,17 @@ impl BallIndex {
             .unwrap_or_default();
         let suf_stride = words_per_set.div_ceil(kernels::SUFFIX_STRIDE) + 1;
 
-        let mut to_pool: Vec<u32> = (0..n as u32).collect();
-        to_pool.sort_unstable_by_key(|&i| (pool[i as usize].tids.count(), i));
+        let mut pool_of: Vec<u32> = (0..n as u32).collect();
+        pool_of.sort_unstable_by_key(|&i| (pool[i as usize].tids.count(), i));
         let mut pos_of = vec![0u32; n];
-        for (pos, &i) in to_pool.iter().enumerate() {
+        for (pos, &i) in pool_of.iter().enumerate() {
             pos_of[i as usize] = pos as u32;
         }
 
         let mut words = Vec::with_capacity(n * words_per_set);
         let mut cards = Vec::with_capacity(n);
         let mut sufs = Vec::with_capacity(n * suf_stride);
-        for &i in &to_pool {
+        for &i in &pool_of {
             let tids = &pool[i as usize].tids;
             debug_assert_eq!(tids.blocks().len(), words_per_set, "mixed universes");
             words.extend_from_slice(tids.blocks());
@@ -157,28 +299,32 @@ impl BallIndex {
         // Pivots: spread across the support-sorted arena so each support
         // stratum has a nearby pivot. Deterministic by construction. The
         // MAX_PIVOTS clamp keeps `query`'s fixed-size seed row in bounds.
+        let pivot_target = n_pivots;
         let n_pivots = n_pivots.min(n).min(MAX_PIVOTS);
+        let pivots: Vec<(usize, usize)> = (0..n_pivots)
+            .map(|p| {
+                let pivot = p * n / n_pivots.max(1) + n / (2 * n_pivots.max(1));
+                (pivot * words_per_set, cards[pivot] as usize)
+            })
+            .collect();
         let pivot_dists = if n_pivots == 0 {
             Vec::new()
         } else {
-            let pivots: Vec<(usize, usize)> = (0..n_pivots)
-                .map(|p| {
-                    let pivot = p * n / n_pivots + n / (2 * n_pivots);
-                    (pivot * words_per_set, cards[pivot] as usize)
-                })
-                .collect();
             // Candidate-major rows; contiguous position chunks concatenate
             // in task order straight into the final layout.
             const PIVOT_CHUNK: usize = 1024;
+            let pivots = &pivots;
+            let words_ref = &words;
+            let cards_ref = &cards;
             run_tasks(n.div_ceil(PIVOT_CHUNK), threads, |t| {
                 let start = t * PIVOT_CHUNK;
                 let end = (start + PIVOT_CHUNK).min(n);
                 let mut rows = Vec::with_capacity((end - start) * n_pivots);
                 for pos in start..end {
-                    let iw = &words[pos * words_per_set..(pos + 1) * words_per_set];
-                    let ic = cards[pos] as usize;
-                    for &(pw_start, pc) in &pivots {
-                        let pw = &words[pw_start..pw_start + words_per_set];
+                    let iw = &words_ref[pos * words_per_set..(pos + 1) * words_per_set];
+                    let ic = cards_ref[pos] as usize;
+                    for &(pw_start, pc) in pivots {
+                        let pw = &words_ref[pw_start..pw_start + words_per_set];
                         rows.push(kernels::jaccard_words(pw, pc, iw, ic) as f32);
                     }
                 }
@@ -187,28 +333,39 @@ impl BallIndex {
             .concat()
         };
 
+        let live_prefix: Vec<u32> = (0..=n as u32).collect();
         Self {
             words_per_set,
             words,
             cards,
             sufs,
             suf_stride,
-            to_pool,
-            pos_of,
             pivot_dists,
+            pivots,
             n_pivots,
+            pivot_target,
+            live: vec![true; n],
+            live_prefix,
+            live_main: n,
+            side_words: Vec::new(),
+            side_cards: Vec::new(),
+            side_sufs: Vec::new(),
+            side_pivot_dists: Vec::new(),
+            pool_of,
+            pos_of,
+            compactions: 0,
             radius,
         }
     }
 
-    /// Number of patterns indexed.
+    /// Number of live patterns indexed (the current pool size).
     pub fn len(&self) -> usize {
-        self.cards.len()
+        self.live_main + self.side_cards.len()
     }
 
-    /// Whether the index is empty.
+    /// Whether no live patterns are indexed.
     pub fn is_empty(&self) -> bool {
-        self.cards.is_empty()
+        self.len() == 0
     }
 
     /// The query radius the index was built for.
@@ -216,36 +373,321 @@ impl BallIndex {
         self.radius
     }
 
+    /// Main-arena slots, tombstones included.
+    pub fn arena_slots(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Patterns currently in the side buffer.
+    pub fn side_len(&self) -> usize {
+        self.side_cards.len()
+    }
+
+    /// Fraction of main-arena slots still live (1.0 for an empty arena).
+    pub fn live_density(&self) -> f64 {
+        if self.cards.is_empty() {
+            1.0
+        } else {
+            self.live_main as f64 / self.cards.len() as f64
+        }
+    }
+
+    /// Full rebuilds triggered by the compaction policy so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Advances the index from the pool it currently mirrors to `new_pool`,
+    /// as described by `delta` (see [`PoolDelta::compute`]): arena survivors
+    /// keep their slots, arena deaths are tombstoned, side survivors and
+    /// inserts are merged into a freshly sorted side buffer. When the
+    /// compaction policy fires (see module docs), the whole index is rebuilt
+    /// from `new_pool` instead — `threads` parallelizes that rebuild's pivot
+    /// table exactly like [`BallIndex::new_with_threads`].
+    ///
+    /// After return, queries answer for `new_pool` (exactly as a fresh index
+    /// over `new_pool` would, up to counter internals).
+    pub fn apply_delta(
+        &mut self,
+        new_pool: &[Pattern],
+        delta: &PoolDelta,
+        threads: usize,
+    ) -> IndexMaintenance {
+        let t0 = Instant::now();
+        let inserted_hint = delta.inserts.len() as u64;
+        let arena_n = self.cards.len();
+        // An index built over an empty pool has no arena (and possibly a
+        // zero word width) to host inserts — rebuild unconditionally.
+        if arena_n == 0 && !new_pool.is_empty() {
+            return self.rebuild(new_pool, threads, t0, 0, inserted_hint);
+        }
+
+        let old_pos_of = std::mem::take(&mut self.pos_of);
+        let live_before = self.live_main;
+
+        // Partition survivors: arena entries keep their frozen slot, side
+        // entries re-enter the (rebuilt) side buffer.
+        struct SideEntry {
+            card: u32,
+            pool: u32,
+            /// `Ok(old side position)` to copy, `Err(pool index)` to build.
+            src: Result<usize, usize>,
+        }
+        let mut arena_live = vec![false; arena_n];
+        let mut arena_pool = vec![DEAD; arena_n];
+        let mut pending: Vec<SideEntry> = Vec::new();
+        let mut arena_survivors = 0usize;
+        for &(old, new) in &delta.survivors {
+            let g = old_pos_of[old as usize] as usize;
+            if g < arena_n {
+                // A slot claimed twice means the pools violated the
+                // itemset-dedup contract (two pool entries matched one old
+                // pattern); catching it here beats a DEAD `pos_of` entry
+                // blowing up in a later query.
+                debug_assert!(
+                    !arena_live[g],
+                    "duplicate survivor for arena slot {g}: pools must be \
+                     itemset-deduplicated"
+                );
+                arena_live[g] = true;
+                arena_pool[g] = new;
+                arena_survivors += 1;
+            } else {
+                pending.push(SideEntry {
+                    card: self.side_cards[g - arena_n],
+                    pool: new,
+                    src: Ok(g - arena_n),
+                });
+            }
+        }
+        for &new in &delta.inserts {
+            pending.push(SideEntry {
+                card: new_pool[new as usize].tids.count() as u32,
+                pool: new,
+                src: Err(new as usize),
+            });
+        }
+        // Support-sorted side buffer; pool index breaks card ties
+        // deterministically.
+        pending.sort_unstable_by_key(|e| (e.card, e.pool));
+
+        let w = self.words_per_set;
+        let s = self.suf_stride;
+        let np = self.n_pivots;
+        let mut side_words = Vec::with_capacity(pending.len() * w);
+        let mut side_cards = Vec::with_capacity(pending.len());
+        let mut side_sufs = Vec::with_capacity(pending.len() * s);
+        let mut side_pivot_dists = Vec::with_capacity(pending.len() * np);
+        let mut side_pool = Vec::with_capacity(pending.len());
+        let mut pos_of = vec![DEAD; new_pool.len()];
+        for (rank, e) in pending.iter().enumerate() {
+            match e.src {
+                Ok(sp) => {
+                    side_words.extend_from_slice(&self.side_words[sp * w..(sp + 1) * w]);
+                    side_sufs.extend_from_slice(&self.side_sufs[sp * s..(sp + 1) * s]);
+                    side_pivot_dists
+                        .extend_from_slice(&self.side_pivot_dists[sp * np..(sp + 1) * np]);
+                }
+                Err(i) => {
+                    let tids = &new_pool[i].tids;
+                    debug_assert_eq!(tids.blocks().len(), w, "mixed universes");
+                    side_words.extend_from_slice(tids.blocks());
+                    kernels::suffix_cards_into(tids.blocks(), &mut side_sufs);
+                    let ic = tids.count();
+                    for &(pw_start, pc) in &self.pivots {
+                        let pw = &self.words[pw_start..pw_start + w];
+                        side_pivot_dists
+                            .push(kernels::jaccard_words(pw, pc, tids.blocks(), ic) as f32);
+                    }
+                }
+            }
+            side_cards.push(e.card);
+            side_pool.push(e.pool);
+            pos_of[e.pool as usize] = (arena_n + rank) as u32;
+        }
+        for (g, &pidx) in arena_pool.iter().enumerate() {
+            if pidx != DEAD {
+                pos_of[pidx as usize] = g as u32;
+            }
+        }
+
+        let tombstoned = (live_before - arena_survivors) as u64;
+        let inserted = delta.inserts.len() as u64;
+        self.live = arena_live;
+        self.live_main = arena_survivors;
+        let mut prefix = Vec::with_capacity(arena_n + 1);
+        prefix.push(0u32);
+        for &l in &self.live {
+            prefix.push(prefix.last().copied().unwrap_or(0) + l as u32);
+        }
+        self.live_prefix = prefix;
+        self.side_words = side_words;
+        self.side_cards = side_cards;
+        self.side_sufs = side_sufs;
+        self.side_pivot_dists = side_pivot_dists;
+        let mut pool_of = arena_pool;
+        pool_of.extend(side_pool);
+        self.pool_of = pool_of;
+        self.pos_of = pos_of;
+        debug_assert_eq!(self.len(), new_pool.len(), "index out of sync with pool");
+        debug_assert!(
+            self.pos_of.iter().all(|&g| g != DEAD),
+            "some pool member has no index position (duplicate itemsets?)"
+        );
+
+        if self.needs_compaction() {
+            return self.rebuild(new_pool, threads, t0, tombstoned, inserted);
+        }
+        IndexMaintenance {
+            rebuilt: false,
+            tombstoned,
+            inserted,
+            live: self.len(),
+            arena: arena_n,
+            side: self.side_cards.len(),
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// The deterministic compaction policy: a pure function of index state,
+    /// so thread count and timing never influence when a rebuild happens.
+    fn needs_compaction(&self) -> bool {
+        let n = self.cards.len();
+        n > 0
+            && ((self.live_main as f64) < MIN_LIVE_DENSITY * n as f64
+                || self.side_cards.len()
+                    > (MAX_SIDE_RATIO * n as f64) as usize + SIDE_COMPACT_SLACK)
+    }
+
+    /// Replaces the whole index with a fresh build over `new_pool`, keeping
+    /// the compaction counter.
+    fn rebuild(
+        &mut self,
+        new_pool: &[Pattern],
+        threads: usize,
+        t0: Instant,
+        tombstoned: u64,
+        inserted: u64,
+    ) -> IndexMaintenance {
+        let compactions = self.compactions + 1;
+        *self = Self::new_with_threads(new_pool, self.radius, self.pivot_target, threads);
+        self.compactions = compactions;
+        IndexMaintenance {
+            rebuilt: true,
+            tombstoned,
+            inserted,
+            live: self.len(),
+            arena: self.cards.len(),
+            side: 0,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// The candidate cardinality window `[lo, hi]` for a seed of support
+    /// `a`: keep `|B|` with `min/max` ratio ≥ `1−r`, i.e. `a·(1−r) ≤ |B| ≤
+    /// a/(1−r)`, slackened by [`SLACK`].
+    ///
+    /// Degenerate regimes are handled explicitly rather than left to float
+    /// rounding:
+    ///
+    /// * `r(τ) ≈ 1` (`keep ≤ SLACK`): the prune is vacuous — every
+    ///   cardinality qualifies.
+    /// * `a = 0` (empty support set): the distance to any non-empty set is
+    ///   exactly 1 (> r here) and to another empty set exactly 0, so the
+    ///   window is precisely the empty-support stratum `[0, 0]`.
+    /// * Huge `a / keep`: when `keep` is tiny but above `SLACK`, `a/keep`
+    ///   overflows `u32`; the bound is clamped to `u32::MAX` explicitly (see
+    ///   the `keep ≈ SLACK` boundary test) instead of relying on the
+    ///   saturating `f64 → u32` cast.
+    fn card_window(&self, a: f64) -> (u32, u32) {
+        let keep = 1.0 - self.radius;
+        if keep <= SLACK {
+            return (0, u32::MAX);
+        }
+        if a == 0.0 {
+            return (0, 0);
+        }
+        let lo = (a * keep - SLACK).ceil().max(0.0) as u32;
+        let hi_f = (a / keep + SLACK).floor();
+        let hi = if hi_f >= u32::MAX as f64 {
+            u32::MAX
+        } else {
+            hi_f as u32
+        };
+        (lo, hi)
+    }
+
+    /// Tid-set words of the pattern at global position `g`.
+    fn words_at(&self, g: usize) -> &[u64] {
+        let w = self.words_per_set;
+        let n = self.cards.len();
+        if g < n {
+            &self.words[g * w..(g + 1) * w]
+        } else {
+            let sp = g - n;
+            &self.side_words[sp * w..(sp + 1) * w]
+        }
+    }
+
+    /// Suffix table of the pattern at global position `g`.
+    fn sufs_at(&self, g: usize) -> &[u32] {
+        let s = self.suf_stride;
+        let n = self.cards.len();
+        if g < n {
+            &self.sufs[g * s..(g + 1) * s]
+        } else {
+            let sp = g - n;
+            &self.side_sufs[sp * s..(sp + 1) * s]
+        }
+    }
+
+    /// Pivot row of the pattern at global position `g`.
+    fn pivot_row(&self, g: usize) -> &[f32] {
+        let np = self.n_pivots;
+        let n = self.cards.len();
+        if g < n {
+            &self.pivot_dists[g * np..(g + 1) * np]
+        } else {
+            let sp = g - n;
+            &self.side_pivot_dists[sp * np..(sp + 1) * np]
+        }
+    }
+
     /// Prepares the ball query for pool member `q`: resolves the candidate
-    /// support range and the seed's pivot distances. O(log |Pool| + P).
+    /// support windows (one per region) and the seed's pivot distances.
+    /// O(log |Pool| + P).
     pub fn query(&self, q: usize) -> BallQuery<'_> {
         let q_pos = self.pos_of[q] as usize;
-        let a = self.cards[q_pos] as f64;
-        // Keep |B| with min/max ratio ≥ 1−r: a·(1−r) ≤ |B| ≤ a/(1−r).
-        let keep = 1.0 - self.radius;
-        let (lo_card, hi_card) = if keep <= SLACK {
-            (0u32, u32::MAX) // r(τ) ≈ 1: the cardinality prune is vacuous.
+        debug_assert!(
+            q_pos < self.cards.len() + self.side_cards.len(),
+            "query for a pattern the index does not hold"
+        );
+        let a = if q_pos < self.cards.len() {
+            self.cards[q_pos]
         } else {
-            let lo = (a * keep - SLACK).ceil().max(0.0) as u32;
-            let hi = (a / keep + SLACK).floor().min(u32::MAX as f64) as u32;
-            (lo, hi)
-        };
-        let lo = self.cards.partition_point(|&c| c < lo_card);
-        let hi = self.cards.partition_point(|&c| c <= hi_card);
+            self.side_cards[q_pos - self.cards.len()]
+        } as f64;
+        let (lo_card, hi_card) = self.card_window(a);
+        let alo = self.cards.partition_point(|&c| c < lo_card);
+        let ahi = self.cards.partition_point(|&c| c <= hi_card);
+        let slo = self.side_cards.partition_point(|&c| c < lo_card);
+        let shi = self.side_cards.partition_point(|&c| c <= hi_card);
         let mut seed_pivot_dists = [0.0f32; MAX_PIVOTS];
-        seed_pivot_dists[..self.n_pivots]
-            .copy_from_slice(&self.pivot_dists[q_pos * self.n_pivots..(q_pos + 1) * self.n_pivots]);
+        seed_pivot_dists[..self.n_pivots].copy_from_slice(self.pivot_row(q_pos));
         BallQuery {
             index: self,
             q_pos,
-            lo,
-            hi,
+            alo,
+            ahi,
+            slo,
+            shi,
             seed_pivot_dists,
         }
     }
 
     /// Convenience: the full ball of pool member `q`, ascending pool order,
-    /// with counters accumulated into `stats`. Exactly the brute-force ball.
+    /// with counters accumulated into `stats`. Exactly the brute-force ball
+    /// over the live pool.
     pub fn ball(&self, q: usize, stats: &mut BallQueryStats) -> Vec<usize> {
         let query = self.query(q);
         let mut out = Vec::new();
@@ -259,38 +701,82 @@ impl BallIndex {
 /// Upper bound on pivots (fixed-size seed row, no per-query allocation).
 pub const MAX_PIVOTS: usize = 16;
 
-/// A prepared ball query: a candidate window into the support-sorted pool
-/// plus the seed's pivot-distance row. Scanning is split into ranges so the
-/// parallel pipeline can hand segments of one seed's scan to idle workers.
+/// A prepared ball query: candidate windows into the support-sorted arena
+/// and side buffer, plus the seed's pivot-distance row. Scanning is split
+/// into ranges so the parallel pipeline can hand segments of one seed's scan
+/// to idle workers.
 pub struct BallQuery<'a> {
     index: &'a BallIndex,
-    /// The seed's arena position.
+    /// The seed's global position.
     q_pos: usize,
-    lo: usize,
-    hi: usize,
+    /// Arena candidate window (may include tombstoned slots).
+    alo: usize,
+    ahi: usize,
+    /// Side-buffer candidate window (all live).
+    slo: usize,
+    shi: usize,
     seed_pivot_dists: [f32; MAX_PIVOTS],
 }
 
 impl BallQuery<'_> {
-    /// Number of candidates surviving the cardinality prune (including the
-    /// seed itself, which the scan skips).
+    /// Number of candidate *slots* surviving the cardinality prune — the
+    /// arena window (tombstones included) concatenated with the side window,
+    /// and the coordinate space [`BallQuery::scan`] segments address. The
+    /// seed itself is included; the scan skips it.
     pub fn candidates(&self) -> usize {
-        self.hi - self.lo
+        (self.ahi - self.alo) + (self.shi - self.slo)
+    }
+
+    /// Number of *live* candidates in the window (including the seed), via
+    /// the arena's live prefix sums. What [`BallQuery::account`] prices.
+    pub fn live_candidates(&self) -> usize {
+        let arena_live =
+            (self.index.live_prefix[self.ahi] - self.index.live_prefix[self.alo]) as usize;
+        arena_live + (self.shi - self.slo)
     }
 
     /// Books the pairs this query considers and the cardinality-pruned bulk
     /// into `stats`. Call once per query.
     pub fn account(&self, stats: &mut BallQueryStats) {
         let n = self.index.len() as u64;
-        let in_range = self.candidates() as u64;
+        let in_range = self.live_candidates() as u64;
         stats.pairs_total += n - 1;
         // The seed sits inside its own range; it is neither a pair nor
         // pruned.
         stats.cardinality_pruned += n - in_range;
     }
 
-    /// Scans candidate positions `seg` (relative to this query's window),
-    /// appending accepted pool indices to `out` and counting into `stats`.
+    /// Cuts `0..candidates()` into ranges holding ≈`target_live` live
+    /// candidates each (tombstone hops are near-free, so live candidates are
+    /// the work unit). Deterministic — a pure function of index state — so
+    /// the parallel pipeline's task split never depends on thread count.
+    pub fn segments(&self, target_live: usize) -> Vec<std::ops::Range<usize>> {
+        let target = target_live.max(1) as u32;
+        let mut out = Vec::new();
+        let arena_span = self.ahi - self.alo;
+        let lp = &self.index.live_prefix;
+        let mut start = self.alo;
+        while start < self.ahi {
+            let want = lp[start] + target;
+            // Smallest end in (start, ahi] reaching `want` live slots.
+            let rel = lp[start + 1..=self.ahi].partition_point(|&v| v < want);
+            let end = (start + 1 + rel).min(self.ahi);
+            out.push(start - self.alo..end - self.alo);
+            start = end;
+        }
+        let side_span = self.shi - self.slo;
+        let mut s = 0;
+        while s < side_span {
+            let e = (s + target as usize).min(side_span);
+            out.push(arena_span + s..arena_span + e);
+            s = e;
+        }
+        out
+    }
+
+    /// Scans candidate positions `seg` (relative to this query's
+    /// concatenated window, arena part first), appending accepted pool
+    /// indices to `out` and counting into `stats`.
     ///
     /// Disjoint segments cover disjoint candidates, so segments can run on
     /// different workers and be concatenated; the final ball only needs one
@@ -302,20 +788,29 @@ impl BallQuery<'_> {
         stats: &mut BallQueryStats,
     ) {
         let ix = self.index;
-        let w = ix.words_per_set;
-        let s = ix.suf_stride;
-        let np = ix.n_pivots;
-        let qw = &ix.words[self.q_pos * w..(self.q_pos + 1) * w];
-        let qs = &ix.sufs[self.q_pos * s..(self.q_pos + 1) * s];
+        let arena_span = self.ahi - self.alo;
+        let qw = ix.words_at(self.q_pos);
+        let qs = ix.sufs_at(self.q_pos);
         let pivot_radius = (ix.radius + PIVOT_SLACK) as f32;
-        'cand: for pos in self.lo + seg.start..(self.lo + seg.end).min(self.hi) {
-            if pos == self.q_pos {
+        let end = seg.end.min(self.candidates());
+        'cand: for off in seg.start..end {
+            // Map the window offset to a global position: arena offsets
+            // first (hopping tombstones), then side offsets. All per-region
+            // data of consecutive candidates is consecutive in memory.
+            let (g, in_side) = if off < arena_span {
+                let pos = self.alo + off;
+                if !ix.live[pos] {
+                    stats.tombstone_skips += 1;
+                    continue;
+                }
+                (pos, false)
+            } else {
+                (ix.cards.len() + self.slo + (off - arena_span), true)
+            };
+            if g == self.q_pos {
                 continue;
             }
-            // Everything below indexes by arena position: pivot rows, suffix
-            // tables, and tid-set words of consecutive candidates are
-            // consecutive in memory.
-            let row = &ix.pivot_dists[pos * np..(pos + 1) * np];
+            let row = ix.pivot_row(g);
             for (p, &pd) in row.iter().enumerate() {
                 if (self.seed_pivot_dists[p] - pd).abs() > pivot_radius {
                     stats.pivot_pruned += 1;
@@ -323,13 +818,16 @@ impl BallQuery<'_> {
                 }
             }
             stats.exact_checked += 1;
-            let jw = &ix.words[pos * w..(pos + 1) * w];
-            let js = &ix.sufs[pos * s..(pos + 1) * s];
+            if in_side {
+                stats.side_hits += 1;
+            }
+            let jw = ix.words_at(g);
+            let js = ix.sufs_at(g);
             // The acceptance test inside the kernel is the exact float
             // comparison `jaccard ≤ ix.radius` — identical to brute force.
             if kernels::jaccard_within_suffix(qw, qs, jw, js, ix.radius).is_some() {
                 stats.ball_members += 1;
-                out.push(ix.to_pool[pos] as usize);
+                out.push(ix.pool_of[g] as usize);
             }
         }
     }
@@ -373,17 +871,22 @@ mod tests {
         pool
     }
 
+    /// Checks every live pattern's engine ball against brute force.
+    fn assert_matches_brute(index: &BallIndex, pool: &[Pattern], radius: f64, label: &str) {
+        for q in 0..pool.len() {
+            let mut stats = BallQueryStats::default();
+            let got = index.ball(q, &mut stats);
+            let want = brute_ball(pool, q, radius);
+            assert_eq!(got, want, "{label}: q={q} radius={radius}");
+        }
+    }
+
     #[test]
     fn engine_ball_equals_brute_force_on_fixture() {
         let pool = fixture_pool();
         for radius in [0.0, 0.2, 0.5, 2.0 / 3.0, 1.0] {
             let index = BallIndex::new(&pool, radius, 4);
-            for q in 0..pool.len() {
-                let mut stats = BallQueryStats::default();
-                let got = index.ball(q, &mut stats);
-                let want = brute_ball(&pool, q, radius);
-                assert_eq!(got, want, "q={q} radius={radius}");
-            }
+            assert_matches_brute(&index, &pool, radius, "fresh");
         }
     }
 
@@ -402,6 +905,9 @@ mod tests {
             stats.cardinality_pruned + stats.pivot_pruned + stats.exact_checked
         );
         assert!(stats.ball_members <= stats.exact_checked);
+        // A fresh index has no tombstones and no side buffer.
+        assert_eq!(stats.tombstone_skips, 0);
+        assert_eq!(stats.side_hits, 0);
         // The clustered fixture must show real pruning.
         assert!(
             stats.pruned_fraction() > 0.5,
@@ -426,6 +932,44 @@ mod tests {
             while start < total {
                 query.scan(start..(start + step).min(total), &mut pieces, &mut stats);
                 start += step;
+            }
+            whole.sort_unstable();
+            pieces.sort_unstable();
+            assert_eq!(whole, pieces, "q={q}");
+        }
+    }
+
+    #[test]
+    fn segments_partition_the_window_and_balance_live_work() {
+        let pool = fixture_pool();
+        let mut index = BallIndex::new(&pool, 0.5, 2);
+        // Tombstone a slice of the pool so segmentation sees dead slots.
+        let next: Vec<Pattern> = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let delta = PoolDelta::compute(&pool, &next);
+        index.apply_delta(&next, &delta, 1);
+        for q in [0usize, 5, 17] {
+            let query = index.query(q);
+            let segs = query.segments(4);
+            // Partition: consecutive, disjoint, covering 0..candidates().
+            let mut covered = 0usize;
+            for seg in &segs {
+                assert_eq!(seg.start, covered, "q={q}");
+                assert!(seg.end > seg.start, "q={q}");
+                covered = seg.end;
+            }
+            assert_eq!(covered, query.candidates(), "q={q}");
+            // Scanning by segments equals scanning the whole window.
+            let mut whole = Vec::new();
+            let mut stats = BallQueryStats::default();
+            query.scan(0..query.candidates(), &mut whole, &mut stats);
+            let mut pieces = Vec::new();
+            for seg in segs {
+                query.scan(seg, &mut pieces, &mut stats);
             }
             whole.sort_unstable();
             pieces.sort_unstable();
@@ -466,5 +1010,202 @@ mod tests {
                 "q={q}"
             );
         }
+    }
+
+    #[test]
+    fn empty_support_patterns_are_guarded() {
+        // Patterns with empty tid-sets: distance to any non-empty set is 1,
+        // between two empty sets 0 (the kernels' convention). The engine
+        // must reproduce brute force without NaNs or degenerate windows
+        // admitting non-empty sets.
+        let u = 128;
+        let mut pool = fixture_pool_small(u);
+        pool.push(pat(u, 90, &[]));
+        pool.push(pat(u, 91, &[]));
+        for radius in [0.0, 0.4, 0.9999, 1.0] {
+            let index = BallIndex::new(&pool, radius, 3);
+            assert_matches_brute(&index, &pool, radius, "empty supports");
+        }
+        // An all-empty pool: every pattern is in every other's ball.
+        let empties: Vec<Pattern> = (0..4).map(|i| pat(u, 200 + i, &[])).collect();
+        let index = BallIndex::new(&empties, 0.5, 2);
+        assert_matches_brute(&index, &empties, 0.5, "all empty");
+    }
+
+    fn fixture_pool_small(u: usize) -> Vec<Pattern> {
+        vec![
+            pat(u, 0, &[0, 1, 2, 3]),
+            pat(u, 1, &[0, 1, 2]),
+            pat(u, 2, &[50, 51, 52]),
+            pat(u, 3, &[50, 51]),
+            pat(u, 4, &[100]),
+        ]
+    }
+
+    #[test]
+    fn cardinality_window_clamps_at_the_keep_slack_boundary() {
+        // keep = 1 − radius just above SLACK: a/keep overflows u32 and must
+        // clamp to an all-inclusive upper bound, not wrap or drop members.
+        let u = 128;
+        let pool = fixture_pool_small(u);
+        for keep in [2e-9, 1e-8, 1e-6] {
+            let radius = 1.0 - keep;
+            let index = BallIndex::new(&pool, radius, 2);
+            // `1e6 / keep` exceeds u32::MAX for every keep here: the upper
+            // bound must clamp to u32::MAX, not wrap or saturate by accident
+            // of the cast. Empty sets sit at distance exactly 1 > radius, so
+            // a lower bound of 1 is admissible.
+            let (lo, hi) = index.card_window(1e6);
+            assert!(lo <= 1, "keep={keep}: lo={lo}");
+            assert_eq!(hi, u32::MAX, "keep={keep}: hi must clamp, not wrap");
+            // At a cardinality where the quotient stays in range, the bound
+            // stays finite.
+            let (_, hi_small) = index.card_window(1.0);
+            assert!(hi_small < u32::MAX, "keep={keep}");
+            assert_matches_brute(&index, &pool, radius, "keep boundary");
+        }
+        // Just below SLACK: the vacuous-window branch.
+        let index = BallIndex::new(&pool, 1.0 - 1e-10, 2);
+        let (lo, hi) = index.card_window(4.0);
+        assert_eq!((lo, hi), (0, u32::MAX));
+        // A large-support seed at a plain radius stays finite.
+        let index = BallIndex::new(&pool, 0.5, 2);
+        let (lo, hi) = index.card_window(1e9);
+        assert!(lo >= 1 && hi < u32::MAX);
+    }
+
+    /// Drives `apply_delta` through several generations and checks every
+    /// generation against a fresh index and brute force.
+    #[test]
+    fn incremental_updates_match_fresh_rebuild() {
+        let u = 256;
+        let mut pool = fixture_pool();
+        let mut index = BallIndex::new(&pool, 0.5, 4);
+        let mut next_id = 1000u32;
+        for step in 0..5usize {
+            // Keep a deterministic ~70%, insert a few new patterns (some
+            // resembling cluster members, one empty).
+            let mut next: Vec<Pattern> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i * 7 + step) % 10 < 7)
+                .map(|(_, p)| p.clone())
+                .collect();
+            for v in 0..3usize {
+                let tids: Vec<usize> = (step * 11..step * 11 + 20 + v).map(|t| t % u).collect();
+                next.push(pat(u, next_id, &tids));
+                next_id += 1;
+            }
+            if step == 2 {
+                next.push(pat(u, next_id, &[]));
+                next_id += 1;
+            }
+            let delta = PoolDelta::compute(&pool, &next);
+            let m = index.apply_delta(&next, &delta, 1);
+            assert_eq!(m.live, next.len());
+            assert_eq!(index.len(), next.len());
+            assert_matches_brute(&index, &next, 0.5, &format!("step {step}"));
+            // And equality with a fresh index, member for member.
+            let fresh = BallIndex::new(&next, 0.5, 4);
+            for q in 0..next.len() {
+                let mut a = BallQueryStats::default();
+                let mut b = BallQueryStats::default();
+                assert_eq!(
+                    index.ball(q, &mut a),
+                    fresh.ball(q, &mut b),
+                    "step {step} q={q}"
+                );
+            }
+            pool = next;
+        }
+    }
+
+    #[test]
+    fn side_buffer_queries_hit_and_count() {
+        let pool = fixture_pool();
+        let mut index = BallIndex::new(&pool, 0.5, 4);
+        // Insert a clone-like neighbour of pattern 0 (same cluster shape).
+        let mut next = pool.clone();
+        let mut tids: Vec<usize> = (0..38).collect();
+        tids.push(210);
+        next.push(pat(256, 999, &tids));
+        let delta = PoolDelta::compute(&pool, &next);
+        let m = index.apply_delta(&next, &delta, 1);
+        assert!(!m.rebuilt);
+        assert_eq!(m.inserted, 1);
+        assert_eq!(index.side_len(), 1);
+        // Query the inserted pattern itself (seed in the side buffer).
+        let q = next.len() - 1;
+        let mut stats = BallQueryStats::default();
+        assert_eq!(index.ball(q, &mut stats), brute_ball(&next, q, 0.5));
+        // Query an arena pattern whose ball contains the insert.
+        let mut stats = BallQueryStats::default();
+        let ball0 = index.ball(0, &mut stats);
+        assert_eq!(ball0, brute_ball(&next, 0, 0.5));
+        assert!(ball0.contains(&q), "insert must be found from the arena");
+        assert!(stats.side_hits > 0, "side-buffer hit must be counted");
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_exactness() {
+        let mut pool = fixture_pool();
+        let mut index = BallIndex::new(&pool, 0.5, 4);
+        let arena_before = index.arena_slots();
+        // Shrink hard until the live-density policy must fire.
+        let mut rebuilt = false;
+        for step in 0..6usize {
+            let next: Vec<Pattern> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + step) % 2 == 0)
+                .map(|(_, p)| p.clone())
+                .collect();
+            if next.is_empty() {
+                break;
+            }
+            let delta = PoolDelta::compute(&pool, &next);
+            let m = index.apply_delta(&next, &delta, 1);
+            rebuilt |= m.rebuilt;
+            assert_matches_brute(&index, &next, 0.5, &format!("compact step {step}"));
+            pool = next;
+        }
+        assert!(rebuilt, "halving the pool repeatedly must compact");
+        assert!(index.compactions() >= 1);
+        assert!(index.arena_slots() < arena_before);
+        assert_eq!(index.side_len(), 0, "compaction empties the side buffer");
+        assert_eq!(index.live_density(), 1.0);
+    }
+
+    #[test]
+    fn side_buffer_growth_triggers_compaction() {
+        let u = 256;
+        let pool = fixture_pool_small(u);
+        let mut index = BallIndex::new(&pool, 0.5, 2);
+        // Insert far more than MAX_SIDE_RATIO · arena + slack new patterns.
+        let mut next = pool.clone();
+        for v in 0..64u32 {
+            let tids: Vec<usize> = (v as usize..v as usize + 10).collect();
+            next.push(pat(u, 500 + v, &tids));
+        }
+        let delta = PoolDelta::compute(&pool, &next);
+        let m = index.apply_delta(&next, &delta, 1);
+        assert!(m.rebuilt, "side-buffer overflow must rebuild");
+        assert_eq!(index.side_len(), 0);
+        assert_eq!(index.len(), next.len());
+        assert_matches_brute(&index, &next, 0.5, "after side overflow");
+    }
+
+    #[test]
+    fn pool_delta_partitions_old_and_new() {
+        let pool = fixture_pool();
+        let next: Vec<Pattern> = pool[..20].to_vec();
+        let delta = PoolDelta::compute(&pool, &next);
+        assert_eq!(delta.survivors.len(), 20);
+        assert!(delta.inserts.is_empty());
+        let mut grown = next.clone();
+        grown.push(pat(256, 777, &[1, 2, 3]));
+        let delta = PoolDelta::compute(&next, &grown);
+        assert_eq!(delta.survivors.len(), 20);
+        assert_eq!(delta.inserts, vec![20]);
     }
 }

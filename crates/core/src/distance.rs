@@ -8,6 +8,16 @@ use crate::pattern::Pattern;
 ///
 /// `(S, Dist)` is a metric space (Theorem 1), so distances obey the triangle
 /// inequality; that is what makes the ball query sound.
+///
+/// **Empty supports** make Definition 6's quotient 0/0; the distance is
+/// *defined* here (and enforced in the shared kernels,
+/// [`cfp_itemset::kernels::jaccard_from_counts`]) as `0` between two empty
+/// support sets and `1` between an empty and a non-empty one — the unique
+/// extension that keeps `Dist` a pseudometric and never yields NaN. The
+/// ball engine's cardinality window mirrors the same convention (an
+/// empty-support seed admits exactly the empty-support stratum), so
+/// zero-support patterns flow through every pruning layer without
+/// divisions by zero.
 #[inline]
 pub fn pattern_distance(a: &Pattern, b: &Pattern) -> f64 {
     a.tids.jaccard_distance(&b.tids)
@@ -43,6 +53,27 @@ mod tests {
         // |∩| = 2, |∪| = 5.
         assert!((pattern_distance(&a, &b) - 0.6).abs() < 1e-12);
         assert_eq!(pattern_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_supports_have_defined_distances() {
+        // Definition 6's quotient is 0/0 on empty supports; the convention
+        // (see `pattern_distance`'s docs) must hold exactly — no NaN ever.
+        let e1 = pat(10, &[0], &[]);
+        let e2 = pat(10, &[1], &[]);
+        let full = pat(10, &[2], &[0, 1, 2]);
+        assert_eq!(pattern_distance(&e1, &e2), 0.0);
+        assert_eq!(pattern_distance(&e1, &e1), 0.0);
+        assert_eq!(pattern_distance(&e1, &full), 1.0);
+        assert_eq!(pattern_distance(&full, &e1), 1.0);
+        for d in [pattern_distance(&e1, &e2), pattern_distance(&e1, &full)] {
+            assert!(!d.is_nan());
+        }
+        // The convention preserves the triangle inequality through an empty
+        // intermediate: d(a, b) ≤ d(a, ∅) + d(∅, b) = 2.
+        let a = pat(10, &[3], &[0, 1]);
+        let b = pat(10, &[4], &[5, 6]);
+        assert!(pattern_distance(&a, &b) <= pattern_distance(&a, &e1) + pattern_distance(&e1, &b));
     }
 
     #[test]

@@ -35,6 +35,15 @@
 //! exactly the brute-force ball; [`RunStats::ball`] reports how many pairs
 //! each pruning layer skipped.
 //!
+//! The index is **persistent**: built once from the initial pool, it is
+//! carried across iterations through [`BallIndex::apply_delta`] — pool
+//! departures are tombstoned in place, newly fused patterns enter a sorted
+//! side buffer, and a deterministic compaction policy rebuilds only when
+//! the arena decays (see [`ball`]'s lifecycle notes). Per-iteration
+//! [`IndexMaintenance`] records and [`RunStats::compactions`] /
+//! [`RunStats::tombstoned`] / [`RunStats::inserted`] expose what the
+//! incremental maintenance did.
+//!
 //! Seed processing distributes both ball-scan segments and per-seed fusions
 //! over a work-stealing task queue ([`parallel`]); every task's RNG is
 //! derived from the master seed and the task's position, so results are
@@ -73,11 +82,11 @@ pub mod stats;
 mod config;
 
 pub use algorithm::{FusionResult, PatternFusion};
-pub use ball::{BallIndex, BallQuery, BallQueryStats};
+pub use ball::{BallIndex, BallQuery, BallQueryStats, PoolDelta};
 pub use complementary::{count_complementary_sets, find_complementary_set, is_complementary_set};
 pub use config::FusionConfig;
 pub use core_pattern::{core_patterns_of, is_core_pattern, is_core_pattern_of};
 pub use distance::{ball_radius, pattern_distance};
 pub use pattern::Pattern;
 pub use robustness::robustness;
-pub use stats::{IterationStats, RunStats};
+pub use stats::{IndexMaintenance, IterationStats, RunStats};

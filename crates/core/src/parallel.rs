@@ -12,6 +12,13 @@
 //! the output is identical for any thread count — the scheduler only decides
 //! *who* runs a task, never *what* the task computes (per-task RNGs are
 //! derived from the task index upstream).
+//!
+//! The persistent ball index keeps this contract under tombstoning: scan
+//! tasks are cut by [`crate::ball::BallQuery::segments`], a pure function of
+//! index state (live prefix sums), so the task list — and therefore every
+//! task's identity and output slot — is the same at any thread count even
+//! when segments hop dead arena slots. Workers that draw tombstone-dense
+//! segments simply finish sooner and steal the next index.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -3,6 +3,30 @@
 use crate::ball::BallQueryStats;
 use std::time::Duration;
 
+/// What one index-maintenance step did: either the full (re)build that
+/// produced the iteration's [`crate::ball::BallIndex`], or the incremental
+/// tombstone/insert update that carried it over from the previous
+/// iteration. See the lifecycle notes in [`crate::ball`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexMaintenance {
+    /// Whether this step was a full build (the initial construction or a
+    /// compaction rebuild) rather than an incremental update.
+    pub rebuilt: bool,
+    /// Main-arena patterns newly tombstoned by this step.
+    pub tombstoned: u64,
+    /// Patterns inserted (into the side buffer, or carried into the rebuild)
+    /// by this step.
+    pub inserted: u64,
+    /// Live patterns indexed after the step (= the pool size).
+    pub live: usize,
+    /// Main-arena slots after the step, tombstones included.
+    pub arena: usize,
+    /// Side-buffer length after the step (0 right after a rebuild).
+    pub side: usize,
+    /// Wall-clock time of the step (delta computation + index update).
+    pub elapsed: Duration,
+}
+
 /// What one fusion iteration did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IterationStats {
@@ -20,6 +44,10 @@ pub struct IterationStats {
     pub elapsed: Duration,
     /// Ball-query pruning counters for this iteration's seed queries.
     pub ball: BallQueryStats,
+    /// The maintenance step that produced this iteration's ball index
+    /// (initial build for iteration 0, otherwise the update or compaction
+    /// performed at the end of the previous iteration).
+    pub index: IndexMaintenance,
 }
 
 /// Statistics for a whole Pattern-Fusion run.
@@ -52,6 +80,45 @@ impl RunStats {
         total
     }
 
+    /// Full index builds across the run: the initial construction plus
+    /// every compaction rebuild.
+    pub fn index_rebuilds(&self) -> usize {
+        self.iterations.iter().filter(|i| i.index.rebuilt).count()
+    }
+
+    /// Compaction rebuilds only (full builds beyond the initial one).
+    pub fn compactions(&self) -> usize {
+        self.index_rebuilds().saturating_sub(1)
+    }
+
+    /// Patterns tombstoned across the run's incremental updates.
+    pub fn tombstoned(&self) -> u64 {
+        self.iterations.iter().map(|i| i.index.tombstoned).sum()
+    }
+
+    /// Patterns inserted into the side buffer across the run.
+    pub fn inserted(&self) -> u64 {
+        self.iterations.iter().map(|i| i.index.inserted).sum()
+    }
+
+    /// Wall-clock time spent in full index (re)builds.
+    pub fn index_time_rebuild(&self) -> Duration {
+        self.iterations
+            .iter()
+            .filter(|i| i.index.rebuilt)
+            .map(|i| i.index.elapsed)
+            .sum()
+    }
+
+    /// Wall-clock time spent in incremental index updates.
+    pub fn index_time_incremental(&self) -> Duration {
+        self.iterations
+            .iter()
+            .filter(|i| !i.index.rebuilt)
+            .map(|i| i.index.elapsed)
+            .sum()
+    }
+
     /// Lemma 5 check: the minimum pattern size per iteration never shrinks.
     pub fn min_sizes_non_decreasing(&self) -> bool {
         self.iterations
@@ -73,6 +140,7 @@ mod tests {
             max_pattern_len: min + 3,
             elapsed: Duration::from_millis(1),
             ball: BallQueryStats::default(),
+            index: IndexMaintenance::default(),
         }
     }
 
@@ -95,9 +163,54 @@ mod tests {
     }
 
     #[test]
+    fn maintenance_aggregates() {
+        let mut a = iter(2, 7);
+        a.index = IndexMaintenance {
+            rebuilt: true,
+            live: 100,
+            arena: 100,
+            elapsed: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let mut b = iter(3, 5);
+        b.index = IndexMaintenance {
+            rebuilt: false,
+            tombstoned: 40,
+            inserted: 6,
+            live: 66,
+            arena: 100,
+            side: 6,
+            elapsed: Duration::from_millis(2),
+        };
+        let mut c = iter(3, 4);
+        c.index = IndexMaintenance {
+            rebuilt: true,
+            tombstoned: 30,
+            inserted: 2,
+            live: 38,
+            arena: 38,
+            side: 0,
+            elapsed: Duration::from_millis(4),
+        };
+        let stats = RunStats {
+            iterations: vec![a, b, c],
+            converged: true,
+            initial_pool_size: 100,
+        };
+        assert_eq!(stats.index_rebuilds(), 2);
+        assert_eq!(stats.compactions(), 1);
+        assert_eq!(stats.tombstoned(), 70);
+        assert_eq!(stats.inserted(), 8);
+        assert_eq!(stats.index_time_rebuild(), Duration::from_millis(14));
+        assert_eq!(stats.index_time_incremental(), Duration::from_millis(2));
+    }
+
+    #[test]
     fn empty_run_is_vacuously_monotone() {
         let stats = RunStats::default();
         assert_eq!(stats.total_generated(), 0);
         assert!(stats.min_sizes_non_decreasing());
+        assert_eq!(stats.index_rebuilds(), 0);
+        assert_eq!(stats.compactions(), 0);
     }
 }

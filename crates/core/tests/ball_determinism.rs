@@ -127,6 +127,21 @@ fn run_reports_pruning_on_real_workload() {
         .iterations
         .iter()
         .all(|it| it.ball.pairs_total > 0 || it.pool_size <= 1));
+    // The persistent index must report its maintenance trajectory: exactly
+    // one initial build plus the compactions, and when the run had more than
+    // one iteration the incremental path (tombstones/inserts or side-buffer
+    // activity) must have been exercised.
+    assert!(result.stats.iterations[0].index.rebuilt);
+    assert_eq!(
+        result.stats.index_rebuilds(),
+        result.stats.compactions() + 1
+    );
+    if result.stats.iterations.len() > 1 {
+        assert!(
+            result.stats.tombstoned() + result.stats.inserted() > 0,
+            "multi-iteration run recorded no index maintenance"
+        );
+    }
 }
 
 /// Strategy: a random pool over a shared universe, with clusters (patterns

@@ -1,0 +1,301 @@
+//! The persistent ball index's load-bearing guarantee: an arbitrary
+//! tombstone / insert / compaction history is invisible in query results.
+//!
+//! Property: after any sequence of [`PoolDelta`] updates, every live
+//! pattern's ball equals (a) the ball from a fresh [`BallIndex`] over the
+//! live pool and (b) the brute-force scan. Plus end-to-end determinism of
+//! multi-iteration fusion runs — patterns, ball counters, and maintenance
+//! records — at threads 1, 2, and 8.
+
+use cfp_core::{
+    pattern_distance, BallIndex, BallQueryStats, FusionConfig, Pattern, PatternFusion, PoolDelta,
+};
+use cfp_itemset::{Itemset, TidSet};
+use proptest::prelude::*;
+
+fn pat(universe: usize, id: u32, tids: &[usize]) -> Pattern {
+    Pattern::new(
+        Itemset::from_items(&[id]),
+        TidSet::from_tids(universe, tids.iter().copied()),
+    )
+}
+
+fn brute_ball(pool: &[Pattern], q: usize, radius: f64) -> Vec<usize> {
+    (0..pool.len())
+        .filter(|&j| j != q && pattern_distance(&pool[q], &pool[j]) <= radius)
+        .collect()
+}
+
+/// Deterministic bit spray for building tid-sets from a seed.
+fn stamp(seed: u64, density_num: u64, universe: usize, out: &mut Vec<usize>) {
+    let mut x = seed | 1;
+    for tid in 0..universe {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if (x >> 33) % 8 < density_num {
+            out.push(tid);
+        }
+    }
+}
+
+/// A clustered pool (variants of a few base tid-sets plus noise), the same
+/// adversarial shape as the fresh-index exactness proptest.
+fn build_pool(universe: usize, bases: &[u64], per_cluster: usize, noise: &[u64]) -> Vec<Pattern> {
+    let mut pool = Vec::new();
+    let mut id = 0u32;
+    for &base in bases {
+        let mut base_tids = Vec::new();
+        stamp(base, 3, universe, &mut base_tids);
+        for v in 0..per_cluster {
+            let tids: Vec<usize> = base_tids
+                .iter()
+                .copied()
+                .filter(|&t| (t + v) % (v + 2) != 0)
+                .collect();
+            pool.push(pat(universe, id, &tids));
+            id += 1;
+        }
+    }
+    for (i, &seed) in noise.iter().enumerate() {
+        let mut tids = Vec::new();
+        stamp(seed, 1 + (i as u64 % 6), universe, &mut tids);
+        pool.push(pat(universe, 100_000 + i as u32, &tids));
+    }
+    pool
+}
+
+/// One generation step: keep a pseudo-random subset of the pool and insert
+/// fresh patterns (unique itemset ids), sometimes including an empty one.
+fn evolve(pool: &[Pattern], universe: usize, step_seed: u64, next_id: &mut u32) -> Vec<Pattern> {
+    let keep_mod = 3 + (step_seed % 5) as usize; // drop 1-in-3 … 1-in-7
+    let mut next: Vec<Pattern> = pool
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            !(*i as u64)
+                .wrapping_add(step_seed)
+                .is_multiple_of(keep_mod as u64)
+        })
+        .map(|(_, p)| p.clone())
+        .collect();
+    let inserts = 1 + (step_seed % 4) as usize;
+    for v in 0..inserts {
+        let mut tids = Vec::new();
+        stamp(
+            step_seed.wrapping_mul(31).wrapping_add(v as u64),
+            2,
+            universe,
+            &mut tids,
+        );
+        if step_seed.is_multiple_of(7) && v == 0 {
+            tids.clear(); // exercise the empty-support path
+        }
+        next.push(pat(universe, *next_id, &tids));
+        *next_id += 1;
+    }
+    next
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tombstone + insert + compact histories answer queries identically to
+    /// a fresh index over the live set (and to brute force), at every step.
+    #[test]
+    fn incremental_history_matches_fresh_index(
+        universe in 32usize..160,
+        bases in proptest::collection::vec(0u64..1 << 60, 2..5),
+        per_cluster in 2usize..8,
+        noise in proptest::collection::vec(0u64..1 << 60, 0..6),
+        steps in proptest::collection::vec(0u64..1 << 60, 1..6),
+        raw_r in 0u32..=10,
+        pivots in 0usize..6,
+    ) {
+        let radius = raw_r as f64 / 10.0;
+        let mut pool = build_pool(universe, &bases, per_cluster, &noise);
+        prop_assume!(!pool.is_empty());
+        let mut index = BallIndex::new(&pool, radius, pivots);
+        let mut next_id = 500_000u32;
+        for (gen, &step_seed) in steps.iter().enumerate() {
+            let next = evolve(&pool, universe, step_seed, &mut next_id);
+            prop_assume!(!next.is_empty());
+            let delta = PoolDelta::compute(&pool, &next);
+            let m = index.apply_delta(&next, &delta, 1);
+            prop_assert_eq!(m.live, next.len(), "gen {}: index out of sync", gen);
+            let fresh = BallIndex::new(&next, radius, pivots);
+            let mut inc_stats = BallQueryStats::default();
+            let mut fresh_stats = BallQueryStats::default();
+            for q in 0..next.len() {
+                let got = index.ball(q, &mut inc_stats);
+                let fresh_got = fresh.ball(q, &mut fresh_stats);
+                let want = brute_ball(&next, q, radius);
+                prop_assert_eq!(&got, &want, "gen {} q={} vs brute", gen, q);
+                prop_assert_eq!(&got, &fresh_got, "gen {} q={} vs fresh", gen, q);
+            }
+            // Counter bookkeeping still partitions the live pair universe.
+            let n = next.len() as u64;
+            prop_assert_eq!(inc_stats.pairs_total, n * (n - 1));
+            prop_assert_eq!(
+                inc_stats.pairs_total,
+                inc_stats.cardinality_pruned + inc_stats.pivot_pruned + inc_stats.exact_checked
+            );
+            pool = next;
+        }
+    }
+
+    /// Segment-sliced scans over an updated index cover each live candidate
+    /// exactly once, matching the whole-window scan.
+    #[test]
+    fn segmented_scans_match_whole_scans_after_updates(
+        universe in 32usize..128,
+        bases in proptest::collection::vec(0u64..1 << 60, 2..4),
+        per_cluster in 3usize..8,
+        step_seed in 0u64..1 << 60,
+        target in 1usize..9,
+    ) {
+        let pool = build_pool(universe, &bases, per_cluster, &[]);
+        prop_assume!(pool.len() > 2);
+        let mut index = BallIndex::new(&pool, 0.5, 3);
+        let mut next_id = 900_000u32;
+        let next = evolve(&pool, universe, step_seed, &mut next_id);
+        prop_assume!(!next.is_empty());
+        let delta = PoolDelta::compute(&pool, &next);
+        index.apply_delta(&next, &delta, 1);
+        for q in 0..next.len() {
+            let query = index.query(q);
+            let mut whole = Vec::new();
+            let mut stats = BallQueryStats::default();
+            query.scan(0..query.candidates(), &mut whole, &mut stats);
+            let mut pieces = Vec::new();
+            let mut covered = 0usize;
+            for seg in query.segments(target) {
+                prop_assert_eq!(seg.start, covered, "q={}: segments must abut", q);
+                covered = seg.end;
+                query.scan(seg, &mut pieces, &mut stats);
+            }
+            prop_assert_eq!(covered, query.candidates(), "q={}", q);
+            whole.sort_unstable();
+            pieces.sort_unstable();
+            prop_assert_eq!(whole, pieces, "q={}", q);
+        }
+    }
+}
+
+/// Multi-iteration fusion runs — where the index lives through several
+/// tombstone/insert/compaction cycles — are bit-identical at threads 1, 2,
+/// and 8: patterns, ball counters, and the maintenance trajectory.
+#[test]
+fn multi_iteration_runs_are_identical_across_thread_counts() {
+    // Diag40+20 runs several iterations before converging at K = 20.
+    let db = cfp_datagen::diag_plus(40, 20, 39);
+    let run = |threads: usize| {
+        let config = FusionConfig::new(20, 20)
+            .with_pool_max_len(2)
+            .with_seed(7)
+            .with_parallel(true)
+            .with_threads(threads);
+        PatternFusion::new(&db, config).run()
+    };
+    let base = run(1);
+    assert!(
+        base.stats.iterations.len() >= 2,
+        "workload must exercise cross-iteration maintenance: {} iterations",
+        base.stats.iterations.len()
+    );
+    // The incremental machinery must actually have run: patterns tombstoned
+    // or inserted at some point, with at most a few compaction rebuilds.
+    assert!(
+        base.stats.tombstoned() + base.stats.inserted() > 0,
+        "no incremental maintenance recorded: {:?}",
+        base.stats
+            .iterations
+            .iter()
+            .map(|i| i.index)
+            .collect::<Vec<_>>()
+    );
+    for threads in [2usize, 8] {
+        let other = run(threads);
+        assert_eq!(
+            base.patterns.len(),
+            other.patterns.len(),
+            "threads={threads}"
+        );
+        for (x, y) in base.patterns.iter().zip(&other.patterns) {
+            assert_eq!(x.items, y.items, "threads={threads}: itemset drift");
+            assert_eq!(x.tids, y.tids, "threads={threads}: support drift");
+        }
+        assert_eq!(
+            base.stats.ball(),
+            other.stats.ball(),
+            "ball counters differ at threads={threads}"
+        );
+        // The maintenance trajectory (rebuild decisions, tombstone/insert
+        // counts, arena/side shapes) is part of the deterministic contract;
+        // only wall-clock may differ.
+        assert_eq!(
+            base.stats.iterations.len(),
+            other.stats.iterations.len(),
+            "threads={threads}"
+        );
+        for (i, (a, b)) in base
+            .stats
+            .iterations
+            .iter()
+            .zip(&other.stats.iterations)
+            .enumerate()
+        {
+            assert_eq!(
+                a.index.rebuilt, b.index.rebuilt,
+                "iter {i} threads={threads}"
+            );
+            assert_eq!(
+                a.index.tombstoned, b.index.tombstoned,
+                "iter {i} threads={threads}"
+            );
+            assert_eq!(
+                a.index.inserted, b.index.inserted,
+                "iter {i} threads={threads}"
+            );
+            assert_eq!(a.index.live, b.index.live, "iter {i} threads={threads}");
+            assert_eq!(a.index.arena, b.index.arena, "iter {i} threads={threads}");
+            assert_eq!(a.index.side, b.index.side, "iter {i} threads={threads}");
+        }
+    }
+}
+
+/// The per-iteration maintenance records tell a coherent story on a real
+/// workload: exactly one initial build, every incremental update keeps
+/// `live` equal to the iteration's pool size, and side/tombstone bookkeeping
+/// stays within the compaction policy's bounds.
+#[test]
+fn maintenance_records_are_coherent_on_real_workload() {
+    let db = cfp_datagen::diag_plus(40, 20, 39);
+    let config = FusionConfig::new(20, 20).with_pool_max_len(2).with_seed(11);
+    let result = PatternFusion::new(&db, config).run();
+    let iters = &result.stats.iterations;
+    assert!(!iters.is_empty());
+    assert!(iters[0].index.rebuilt, "iteration 0 must record the build");
+    assert_eq!(
+        iters[0].index.live, result.stats.initial_pool_size,
+        "initial build must index the whole pool"
+    );
+    for (i, it) in iters.iter().enumerate() {
+        assert_eq!(
+            it.index.live, it.pool_size,
+            "iter {i}: index live count must equal pool size"
+        );
+        assert!(
+            it.index.live <= it.index.arena + it.index.side,
+            "iter {i}: live cannot exceed slots"
+        );
+        if it.index.rebuilt {
+            assert_eq!(it.index.side, 0, "iter {i}: rebuilds empty the side");
+        }
+    }
+    assert_eq!(
+        result.stats.index_rebuilds(),
+        result.stats.compactions() + 1,
+        "rebuilds = initial build + compactions"
+    );
+}
