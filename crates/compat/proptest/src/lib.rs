@@ -10,14 +10,20 @@
 //!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
 //! * [`ProptestConfig::with_cases`].
 //!
-//! Differences from upstream: no shrinking (a failing case panics with its
-//! case number and the fixed per-test seed, which reproduces it exactly), and
-//! value generation uses the workspace's deterministic `rand` stand-in.
+//! Differences from upstream: value generation uses the workspace's
+//! deterministic `rand` stand-in, and shrinking is *minimal* rather than
+//! integrated: integer strategies shrink toward their lower bound,
+//! collection strategies shrink to prefixes, and tuples shrink one component
+//! at a time ([`Strategy::shrink`]). `prop_map` / `prop_flat_map` outputs do
+//! not shrink (there is no inverse mapping), but a failing case still panics
+//! with its case number and the fixed per-test seed, which reproduces it
+//! exactly.
 
 #![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use std::fmt::Debug;
 
 /// The generator handed to strategies while running a property.
 pub struct TestRunner {
@@ -50,6 +56,15 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, runner: &mut TestRunner) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, simplest first. An
+    /// empty vector (the default) means this strategy cannot shrink. The
+    /// runner re-tests candidates and descends into the first one that
+    /// still fails, so failures are reported at (a local) minimum.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -71,6 +86,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, runner: &mut TestRunner) -> Self::Value {
         (**self).generate(runner)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -118,11 +136,41 @@ macro_rules! impl_range_strategy {
             fn generate(&self, runner: &mut TestRunner) -> $t {
                 runner.rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (v, lo) = (*value, self.start);
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, runner: &mut TestRunner) -> $t {
                 runner.rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (v, lo) = (*value, *self.start());
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo {
+                        out.push(v - 1);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -131,24 +179,71 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(usize, u64, u32, u16, u8);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn generate(&self, runner: &mut TestRunner) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(runner),)+)
+                ($(self.$idx.generate(runner),)+)
+            }
+            /// One component shrinks at a time, the others held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8),
+    (J, 9)
+);
 
 /// Types with a canonical strategy, for [`any`].
 pub trait Arbitrary: Sized {
@@ -283,12 +378,29 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, runner: &mut TestRunner) -> Self::Value {
             let span = self.size.hi_inclusive - self.size.lo + 1;
             let len = self.size.lo + runner.below(span.max(1));
             (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+        /// Prefix shrinking: the shortest admissible prefix, the half-length
+        /// prefix, and the drop-last prefix — simplest first, strictly
+        /// shorter, never below the size range's lower bound.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let len = value.len();
+            let lo = self.size.lo;
+            let mut lens = Vec::new();
+            for cand in [lo, (lo + len) / 2, len.saturating_sub(1)] {
+                if cand < len && cand >= lo && !lens.contains(&cand) {
+                    lens.push(cand);
+                }
+            }
+            lens.into_iter().map(|l| value[..l].to_vec()).collect()
         }
     }
 }
@@ -322,13 +434,23 @@ pub enum TestError {
     Reject,
 }
 
-/// Drives `case` for `config.cases` successful runs (rejections retried, with
-/// a cap). Called by the [`proptest!`] macro expansion — not public API.
-pub fn run_cases(
+/// Shrink-step budget per failure; whatever minimum was reached by then is
+/// reported.
+const MAX_SHRINK_STEPS: usize = 512;
+
+/// Drives `case` for `config.cases` successful runs (rejections retried,
+/// with a cap), generating inputs from `strategy`. On failure, greedily
+/// shrinks the failing input through [`Strategy::shrink`] before panicking
+/// with the smallest input that still fails. Called by the [`proptest!`]
+/// macro expansion — not public API.
+pub fn run_cases<S: Strategy>(
     config: ProptestConfig,
     test_name: &str,
-    mut case: impl FnMut(&mut TestRunner) -> Result<(), TestError>,
-) {
+    strategy: S,
+    mut case: impl FnMut(S::Value) -> Result<(), TestError>,
+) where
+    S::Value: Clone + Debug,
+{
     // Per-test deterministic base seed, so failures reproduce exactly.
     let base = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
         (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
@@ -345,15 +467,52 @@ pub fn run_cases(
             config.cases
         );
         let mut runner = TestRunner::new(base.wrapping_add(attempts));
-        match case(&mut runner) {
+        let value = strategy.generate(&mut runner);
+        match case(value) {
             Ok(()) => passed += 1,
             Err(TestError::Reject) => continue,
-            Err(TestError::Fail(msg)) => panic!(
-                "proptest '{test_name}' failed at attempt {attempts} \
-                 (seed base {base:#x}): {msg}"
-            ),
+            Err(TestError::Fail(msg)) => {
+                // Regenerate the failing input from its (deterministic)
+                // seed instead of cloning every successful case's input
+                // just in case it fails.
+                let mut runner = TestRunner::new(base.wrapping_add(attempts));
+                let value = strategy.generate(&mut runner);
+                let (value, msg, steps) = shrink_failure(&strategy, value, msg, &mut case);
+                panic!(
+                    "proptest '{test_name}' failed at attempt {attempts} \
+                     (seed base {base:#x}): {msg}\n\
+                     minimal failing input (after {steps} shrink steps): {value:?}"
+                );
+            }
         }
     }
+}
+
+/// Greedy descent: re-test each shrink candidate of the failing value and
+/// move to the first that still fails, until none do (or the step budget
+/// runs out). Candidates that pass or reject are discarded.
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    case: &mut impl FnMut(S::Value) -> Result<(), TestError>,
+) -> (S::Value, String, usize)
+where
+    S::Value: Clone,
+{
+    let mut steps = 0usize;
+    'descend: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrink(&value) {
+            if let Err(TestError::Fail(m)) = case(candidate.clone()) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
 }
 
 /// Everything the tests import.
@@ -438,8 +597,11 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
-                $crate::run_cases(__config, stringify!($name), |__runner| {
-                    $(let $pat = $crate::Strategy::generate(&($strat), __runner);)+
+                // All inputs become one tuple strategy so a failure can
+                // shrink each component while holding the others fixed.
+                let __strategy = ($($strat,)+);
+                $crate::run_cases(__config, stringify!($name), __strategy, |__vals| {
+                    let ($($pat,)+) = __vals;
                     let __outcome: ::core::result::Result<(), $crate::TestError> =
                         (|| { $body ::core::result::Result::Ok(()) })();
                     __outcome
@@ -499,5 +661,63 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn integer_strategies_shrink_toward_the_lower_bound() {
+        let s = 3usize..100;
+        // Candidates are simplest-first, strictly smaller, within range.
+        assert_eq!(s.shrink(&3), Vec::<usize>::new());
+        assert_eq!(s.shrink(&4), vec![3]);
+        assert_eq!(s.shrink(&90), vec![3, 46, 89]);
+        let si = 2u32..=9;
+        assert_eq!(si.shrink(&9), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn vec_strategies_shrink_to_prefixes() {
+        let s = collection::vec(0u32..10, 2..=8);
+        let v = vec![9, 8, 7, 6, 5];
+        let shrunk = s.shrink(&v);
+        assert_eq!(shrunk, vec![vec![9, 8], vec![9, 8, 7], vec![9, 8, 7, 6]]);
+        assert!(s.shrink(&vec![1, 2]).is_empty(), "at the lower bound");
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (1usize..10, 0u32..5);
+        let shrunk = s.shrink(&(6, 3));
+        assert!(shrunk.contains(&(1, 3)));
+        assert!(shrunk.contains(&(6, 0)));
+        assert!(shrunk.iter().all(|&(a, b)| (a, b) != (6, 3)));
+    }
+
+    /// End to end: a property failing for all `x ≥ 10` must be reported at
+    /// exactly the minimal counterexample `x = 10`.
+    #[test]
+    #[should_panic(expected = "minimal failing input (after")]
+    fn failures_are_reported_at_the_minimal_counterexample() {
+        proptest! {
+            fn fails_at_ten_and_up(x in 0usize..1000) {
+                prop_assert!(x < 10, "x = {} too big", x);
+            }
+        }
+        fails_at_ten_and_up();
+    }
+
+    #[test]
+    fn shrink_descends_to_the_boundary() {
+        // Drive the shrink loop directly to check the minimum it reaches.
+        let strategy = (0usize..1000,);
+        let mut case = |v: (usize,)| {
+            if v.0 >= 10 {
+                Err(TestError::Fail(format!("{} too big", v.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _msg, steps) = super::shrink_failure(&strategy, (997,), "seed".into(), &mut case);
+        assert_eq!(min, (10,), "greedy descent must reach the boundary");
+        assert!(steps > 0);
     }
 }

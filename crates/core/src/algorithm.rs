@@ -123,6 +123,9 @@ impl<'a> PatternFusion<'a> {
         let cfg = &self.config;
         let mut stats = RunStats {
             initial_pool_size: pool.len(),
+            // Resolved once here (first kernel call of the process detects
+            // it); recorded so perf numbers can be attributed to a backend.
+            kernel_backend: cfp_itemset::kernels::Backend::active(),
             ..Default::default()
         };
         if pool.is_empty() {

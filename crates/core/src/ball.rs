@@ -15,10 +15,13 @@
 //! 2. **Pivot prune (triangle inequality)** — for P pivot patterns `p` with
 //!    precomputed distance columns, `|d(α,p) − d(β,p)| > r ⇒ Dist(α,β) > r`.
 //!    Seeds are pool members, so their pivot distances are table lookups.
-//! 3. **Bounded exact check** — survivors run the early-exit radius kernel
-//!    ([`cfp_itemset::kernels::jaccard_within_words`]) over the pool's
-//!    structure-of-arrays tid-set arena, which streams contiguous words
-//!    instead of chasing per-pattern heap pointers.
+//! 3. **Bounded exact check** — survivors run the batched early-exit radius
+//!    kernel ([`cfp_itemset::kernels::jaccard_within_rows`]) over the pool's
+//!    structure-of-arrays tid-set arena: one query streamed against
+//!    32-byte-aligned slab rows on whatever SIMD backend the process
+//!    detected ([`cfp_itemset::kernels::Backend`]), instead of chasing
+//!    per-pattern heap pointers. Backends are bit-identical in results, so
+//!    none of this is visible in output.
 //!
 //! The float prunes are slackened by [`SLACK`] so rounding can only cause a
 //! redundant exact check, never a false reject: the engine returns exactly
@@ -76,8 +79,7 @@ use crate::parallel::run_tasks;
 use crate::pattern::Pattern;
 use crate::stats::IndexMaintenance;
 use cfp_itemset::kernels;
-use cfp_itemset::Itemset;
-use std::collections::HashMap;
+use cfp_itemset::{AlignedWords, Itemset};
 use std::time::Instant;
 
 /// Absolute slack added to the pruning radii so floating-point rounding can
@@ -127,6 +129,13 @@ pub struct BallQueryStats {
     /// slots are not pool members), so excluded from `pairs_total` and the
     /// partition identity below.
     pub tombstone_skips: u64,
+    /// `pivot_pruned` broken down by pivot index: a pruned pair is
+    /// attributed to the *first* pivot whose triangle-inequality bound
+    /// rejected it (the scan checks pivots in order). Entries beyond the
+    /// index's pivot count stay 0; the entries sum to `pivot_pruned`.
+    /// Evidence for how much each farthest-point pivot earns its table
+    /// column.
+    pub pivot_prune_counts: [u64; MAX_PIVOTS],
 }
 
 impl BallQueryStats {
@@ -139,6 +148,13 @@ impl BallQueryStats {
         self.ball_members += other.ball_members;
         self.side_hits += other.side_hits;
         self.tombstone_skips += other.tombstone_skips;
+        for (mine, theirs) in self
+            .pivot_prune_counts
+            .iter_mut()
+            .zip(&other.pivot_prune_counts)
+        {
+            *mine += *theirs;
+        }
     }
 
     /// Fraction of pairs that never reached the exact kernel (0 when no
@@ -167,20 +183,56 @@ pub struct PoolDelta {
     pub inserts: Vec<u32>,
 }
 
+/// Fast deterministic itemset hash for [`PoolDelta::compute`]'s matching
+/// table: an FxHash-style multiply-rotate fold over the sorted items. The
+/// delta runs every fusion iteration over the whole pool, where `SipHash` +
+/// `HashMap` probing used to be a measurable slice of the persistent-index
+/// path; collisions are handled exactly (equal-hash candidates are verified
+/// by itemset equality), so only speed depends on hash quality.
+fn itemset_hash(items: &Itemset) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = 0u64;
+    for &item in items.items() {
+        h = (h.rotate_left(5) ^ item as u64).wrapping_mul(SEED);
+    }
+    // Finalize so short itemsets spread across the high bits too.
+    h ^ (h >> 32)
+}
+
 impl PoolDelta {
     /// Computes the delta between two pools by itemset identity.
     pub fn compute(old: &[Pattern], new: &[Pattern]) -> Self {
-        let by_itemset: HashMap<&Itemset, u32> = old
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (&p.items, i as u32))
-            .collect();
+        // Open-addressed index table with linear probing: exact itemset
+        // matching (occupied slots are verified by itemset equality, so hash
+        // quality only affects speed) without per-probe `SipHash` or map
+        // (re)allocation. Slots hold bare `u32` indices — half the footprint
+        // of storing hashes alongside, which keeps the table cache-resident
+        // for the pool sizes the fusion loop sees.
+        const EMPTY: u32 = u32::MAX;
+        let mask = (old.len() * 2).next_power_of_two().max(2) - 1;
+        let mut slots: Vec<u32> = vec![EMPTY; mask + 1];
+        for (i, p) in old.iter().enumerate() {
+            let mut s = itemset_hash(&p.items) as usize & mask;
+            while slots[s] != EMPTY {
+                s = (s + 1) & mask;
+            }
+            slots[s] = i as u32;
+        }
         let mut survivors = Vec::new();
         let mut inserts = Vec::new();
         for (j, p) in new.iter().enumerate() {
-            match by_itemset.get(&p.items) {
-                Some(&i) => survivors.push((i, j as u32)),
-                None => inserts.push(j as u32),
+            let mut s = itemset_hash(&p.items) as usize & mask;
+            loop {
+                let si = slots[s];
+                if si == EMPTY {
+                    inserts.push(j as u32);
+                    break;
+                }
+                if old[si as usize].items == p.items {
+                    survivors.push((si, j as u32));
+                    break;
+                }
+                s = (s + 1) & mask;
             }
         }
         Self { survivors, inserts }
@@ -203,8 +255,11 @@ pub struct BallIndex {
     /// `pos*words_per_set ..`. A query's candidate window is a contiguous
     /// arena slice, so the scan streams words, suffix tables, and pivot rows
     /// with zero indirection. Slots are frozen: tombstoned entries keep
-    /// their words (pivot reference data must not move).
-    words: Vec<u64>,
+    /// their words (pivot reference data must not move). Stored 32-byte
+    /// aligned ([`AlignedWords`]); `words_per_set` is a lane multiple
+    /// (tid-set blocks are lane-padded), so every row is aligned too — the
+    /// layout the SIMD kernel backends stream fastest.
+    words: AlignedWords,
     /// Cardinalities in arena (ascending) order — the binary-search key.
     /// Retains tombstoned entries' cards; windows may include dead slots,
     /// which the scan hops.
@@ -235,8 +290,8 @@ pub struct BallIndex {
     live_main: usize,
     /// Side-buffer SoA, support-sorted, rebuilt on every update. All side
     /// entries are live. Global position of side entry `s` is
-    /// `cards.len() + s`.
-    side_words: Vec<u64>,
+    /// `cards.len() + s`. Aligned like the main arena.
+    side_words: AlignedWords,
     /// Side-buffer cardinalities (ascending).
     side_cards: Vec<u32>,
     /// Side-buffer suffix tables.
@@ -285,7 +340,7 @@ impl BallIndex {
             pos_of[i as usize] = pos as u32;
         }
 
-        let mut words = Vec::with_capacity(n * words_per_set);
+        let mut words = AlignedWords::with_capacity(n * words_per_set);
         let mut cards = Vec::with_capacity(n);
         let mut sufs = Vec::with_capacity(n * suf_stride);
         for &i in &pool_of {
@@ -296,22 +351,27 @@ impl BallIndex {
             kernels::suffix_cards_into(tids.blocks(), &mut sufs);
         }
 
-        // Pivots: spread across the support-sorted arena so each support
-        // stratum has a nearby pivot. Deterministic by construction. The
-        // MAX_PIVOTS clamp keeps `query`'s fixed-size seed row in bounds.
+        // Pivots: deterministic farthest-point (max-min) selection over a
+        // support-stratified sample — pivots end up spread across the
+        // pool's metric extremes, so each one's triangle-inequality band is
+        // narrow for most candidates. The MAX_PIVOTS clamp keeps `query`'s
+        // fixed-size seed row in bounds.
         let pivot_target = n_pivots;
         let n_pivots = n_pivots.min(n).min(MAX_PIVOTS);
-        let pivots: Vec<(usize, usize)> = (0..n_pivots)
-            .map(|p| {
-                let pivot = p * n / n_pivots.max(1) + n / (2 * n_pivots.max(1));
-                (pivot * words_per_set, cards[pivot] as usize)
-            })
-            .collect();
+        let pivots: Vec<(usize, usize)> =
+            select_pivots(&words, &cards, words_per_set, n_pivots, radius)
+                .into_iter()
+                .map(|pos| (pos * words_per_set, cards[pos] as usize))
+                .collect();
+        let n_pivots = pivots.len();
         let pivot_dists = if n_pivots == 0 {
             Vec::new()
         } else {
             // Candidate-major rows; contiguous position chunks concatenate
-            // in task order straight into the final layout.
+            // in task order straight into the final layout. Within a chunk
+            // the table is built pivot-major — one batched kernel sweep per
+            // pivot over the chunk's contiguous arena rows — then
+            // transposed into the candidate-major rows the scan wants.
             const PIVOT_CHUNK: usize = 1024;
             let pivots = &pivots;
             let words_ref = &words;
@@ -319,13 +379,22 @@ impl BallIndex {
             run_tasks(n.div_ceil(PIVOT_CHUNK), threads, |t| {
                 let start = t * PIVOT_CHUNK;
                 let end = (start + PIVOT_CHUNK).min(n);
-                let mut rows = Vec::with_capacity((end - start) * n_pivots);
-                for pos in start..end {
-                    let iw = &words_ref[pos * words_per_set..(pos + 1) * words_per_set];
-                    let ic = cards_ref[pos] as usize;
-                    for &(pw_start, pc) in pivots {
-                        let pw = &words_ref[pw_start..pw_start + words_per_set];
-                        rows.push(kernels::jaccard_words(pw, pc, iw, ic) as f32);
+                let mut rows = vec![0.0f32; (end - start) * n_pivots];
+                let mut col: Vec<f64> = Vec::with_capacity(end - start);
+                for (p, &(pw_start, pc)) in pivots.iter().enumerate() {
+                    let pw = &words_ref[pw_start..pw_start + words_per_set];
+                    col.clear();
+                    kernels::jaccard_batch(
+                        pw,
+                        pc,
+                        words_ref,
+                        cards_ref,
+                        words_per_set,
+                        start..end,
+                        &mut col,
+                    );
+                    for (i, &d) in col.iter().enumerate() {
+                        rows[i * n_pivots + p] = d as f32;
                     }
                 }
                 rows
@@ -347,7 +416,7 @@ impl BallIndex {
             live: vec![true; n],
             live_prefix,
             live_main: n,
-            side_words: Vec::new(),
+            side_words: AlignedWords::default(),
             side_cards: Vec::new(),
             side_sufs: Vec::new(),
             side_pivot_dists: Vec::new(),
@@ -474,36 +543,55 @@ impl BallIndex {
         let w = self.words_per_set;
         let s = self.suf_stride;
         let np = self.n_pivots;
-        let mut side_words = Vec::with_capacity(pending.len() * w);
+        let mut side_words = AlignedWords::with_capacity(pending.len() * w);
         let mut side_cards = Vec::with_capacity(pending.len());
         let mut side_sufs = Vec::with_capacity(pending.len() * s);
-        let mut side_pivot_dists = Vec::with_capacity(pending.len() * np);
+        let mut side_pivot_dists = vec![0.0f32; pending.len() * np];
         let mut side_pool = Vec::with_capacity(pending.len());
         let mut pos_of = vec![DEAD; new_pool.len()];
+        // Side ranks of the freshly inserted patterns: their pivot rows are
+        // computed in one batched sweep per pivot after the slab is laid
+        // out, instead of one pivot-row walk per inserted pattern.
+        let mut insert_ranks: Vec<u32> = Vec::with_capacity(delta.inserts.len());
         for (rank, e) in pending.iter().enumerate() {
             match e.src {
                 Ok(sp) => {
                     side_words.extend_from_slice(&self.side_words[sp * w..(sp + 1) * w]);
                     side_sufs.extend_from_slice(&self.side_sufs[sp * s..(sp + 1) * s]);
-                    side_pivot_dists
-                        .extend_from_slice(&self.side_pivot_dists[sp * np..(sp + 1) * np]);
+                    side_pivot_dists[rank * np..(rank + 1) * np]
+                        .copy_from_slice(&self.side_pivot_dists[sp * np..(sp + 1) * np]);
                 }
                 Err(i) => {
                     let tids = &new_pool[i].tids;
                     debug_assert_eq!(tids.blocks().len(), w, "mixed universes");
                     side_words.extend_from_slice(tids.blocks());
                     kernels::suffix_cards_into(tids.blocks(), &mut side_sufs);
-                    let ic = tids.count();
-                    for &(pw_start, pc) in &self.pivots {
-                        let pw = &self.words[pw_start..pw_start + w];
-                        side_pivot_dists
-                            .push(kernels::jaccard_words(pw, pc, tids.blocks(), ic) as f32);
-                    }
+                    insert_ranks.push(rank as u32);
                 }
             }
             side_cards.push(e.card);
             side_pool.push(e.pool);
             pos_of[e.pool as usize] = (arena_n + rank) as u32;
+        }
+        // Pivot rows for the inserts: each pivot's arena words stream once
+        // against all inserted side rows (gather batch); `dist_col` is the
+        // one scratch buffer, reused across pivots.
+        let mut dist_col: Vec<f64> = Vec::with_capacity(insert_ranks.len());
+        for (p, &(pw_start, pc)) in self.pivots.iter().enumerate() {
+            let pw = &self.words[pw_start..pw_start + w];
+            dist_col.clear();
+            kernels::jaccard_rows(
+                pw,
+                pc,
+                &side_words,
+                &side_cards,
+                w,
+                &insert_ranks,
+                &mut dist_col,
+            );
+            for (k, &rank) in insert_ranks.iter().enumerate() {
+                side_pivot_dists[rank as usize * np + p] = dist_col[k] as f32;
+            }
         }
         for (g, &pidx) in arena_pool.iter().enumerate() {
             if pidx != DEAD {
@@ -516,9 +604,11 @@ impl BallIndex {
         self.live = arena_live;
         self.live_main = arena_survivors;
         let mut prefix = Vec::with_capacity(arena_n + 1);
-        prefix.push(0u32);
+        let mut acc = 0u32;
+        prefix.push(acc);
         for &l in &self.live {
-            prefix.push(prefix.last().copied().unwrap_or(0) + l as u32);
+            acc += l as u32;
+            prefix.push(acc);
         }
         self.live_prefix = prefix;
         self.side_words = side_words;
@@ -701,6 +791,112 @@ impl BallIndex {
 /// Upper bound on pivots (fixed-size seed row, no per-query allocation).
 pub const MAX_PIVOTS: usize = 16;
 
+/// Sample-size floor for farthest-point pivot selection.
+const PIVOT_SAMPLE_MIN: usize = 64;
+
+/// Sample points considered per requested pivot (beyond the floor).
+const PIVOT_SAMPLE_PER_PIVOT: usize = 8;
+
+/// Deterministic farthest-point (max-min) pivot selection over a
+/// support-stratified sample of the support-sorted arena.
+///
+/// The sample takes evenly spaced positions in support order (one per
+/// stratum, so every support band can contribute a pivot); one batched
+/// kernel sweep per sample point fills the sample's distance matrix. The
+/// selection is the classic k-center heuristic — repeatedly take the sample
+/// point maximizing the minimum distance to everything chosen so far,
+/// seeded by the distances from the median-support sample point — with one
+/// guard: a candidate whose distance column over the rest of the sample is
+/// flat to within `radius` is **deprioritized**, because a pivot `p` only
+/// ever prunes a pair through `|d(α,p) − d(β,p)| > r`, so a flat column
+/// (e.g. a singleton outlier at distance ≈ 1 from every cluster — exactly
+/// what unguarded max-min picks first) provably prunes nothing. Flat
+/// candidates are used only when the spread ones run out.
+///
+/// Spread-out, discriminating pivots reject far more candidates per table
+/// column than the evenly-spaced-by-support pivots they replace;
+/// [`BallQueryStats::pivot_prune_counts`] tracks what each pivot earns.
+/// Deterministic — a pure function of the arena and radius — and cheap:
+/// O(sample²) batched Jaccards, vanishing next to the O(|Pool| · pivots)
+/// table build it steers. Ties break toward the lower sample position; a
+/// degenerate all-equal pool falls back to the earliest unchosen sample
+/// points.
+fn select_pivots(
+    words: &[u64],
+    cards: &[u32],
+    words_per_set: usize,
+    n_pivots: usize,
+    radius: f64,
+) -> Vec<usize> {
+    let n = cards.len();
+    if n_pivots == 0 || n == 0 {
+        return Vec::new();
+    }
+    let s = n.min(PIVOT_SAMPLE_MIN.max(n_pivots * PIVOT_SAMPLE_PER_PIVOT));
+    let sample: Vec<u32> = (0..s)
+        .map(|i| ((i * n / s + n / (2 * s)).min(n - 1)) as u32)
+        .collect();
+    let row = |p: usize| &words[p * words_per_set..(p + 1) * words_per_set];
+    // Sample × sample distance matrix, one batched sweep per row.
+    let mut matrix: Vec<f64> = Vec::with_capacity(s * s);
+    for &p in &sample {
+        let p = p as usize;
+        kernels::jaccard_rows(
+            row(p),
+            cards[p] as usize,
+            words,
+            cards,
+            words_per_set,
+            &sample,
+            &mut matrix,
+        );
+    }
+    let m = |i: usize, j: usize| matrix[i * s + j];
+    // Discrimination guard (self-distance excluded from the spread).
+    let discriminating: Vec<bool> = (0..s)
+        .map(|i| {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for j in 0..s {
+                if j != i {
+                    lo = lo.min(m(i, j));
+                    hi = hi.max(m(i, j));
+                }
+            }
+            s == 1 || hi - lo > radius
+        })
+        .collect();
+    let mut min_dist: Vec<f64> = (0..s).map(|i| m(s / 2, i)).collect();
+    let mut chosen_idx: Vec<usize> = Vec::with_capacity(n_pivots);
+    let mut chosen: Vec<usize> = Vec::with_capacity(n_pivots);
+    while chosen.len() < n_pivots {
+        // Tier 1: discriminating candidates; tier 2: the rest.
+        let mut best = usize::MAX;
+        for tier in [true, false] {
+            let mut best_d = -1.0f64;
+            for i in 0..s {
+                if discriminating[i] == tier && !chosen_idx.contains(&i) && min_dist[i] > best_d {
+                    best_d = min_dist[i];
+                    best = i;
+                }
+            }
+            if best != usize::MAX {
+                break;
+            }
+        }
+        if best == usize::MAX {
+            break; // fewer sample points than requested pivots
+        }
+        chosen_idx.push(best);
+        chosen.push(sample[best] as usize);
+        for (i, md) in min_dist.iter_mut().enumerate() {
+            if m(best, i) < *md {
+                *md = m(best, i);
+            }
+        }
+    }
+    chosen
+}
+
 /// A prepared ball query: candidate windows into the support-sorted arena
 /// and side buffer, plus the seed's pivot-distance row. Scanning is split
 /// into ranges so the parallel pipeline can hand segments of one seed's scan
@@ -778,6 +974,15 @@ impl BallQuery<'_> {
     /// concatenated window, arena part first), appending accepted pool
     /// indices to `out` and counting into `stats`.
     ///
+    /// Two passes: the cheap prunes (tombstone hop, seed skip, pivot
+    /// triangle inequality — float compares over the candidate-major pivot
+    /// rows) gather the surviving positions per region, then each region's
+    /// survivors run through the **batched** suffix-Jaccard kernel
+    /// ([`kernels::jaccard_within_rows`]): the seed's words stay hot while
+    /// the backend streams the arena slab's 32-byte-aligned rows. The
+    /// acceptance test inside the kernel is the exact float comparison
+    /// `jaccard ≤ radius` — identical to brute force.
+    ///
     /// Disjoint segments cover disjoint candidates, so segments can run on
     /// different workers and be concatenated; the final ball only needs one
     /// ascending sort to match the brute-force order.
@@ -793,7 +998,12 @@ impl BallQuery<'_> {
         let qs = ix.sufs_at(self.q_pos);
         let pivot_radius = (ix.radius + PIVOT_SLACK) as f32;
         let end = seg.end.min(self.candidates());
-        'cand: for off in seg.start..end {
+        // Pass 1: prune. Survivors are arena positions / side indices; the
+        // segment length bounds both, so neither buffer ever reallocates.
+        let mut arena_rows: Vec<u32> = Vec::with_capacity(end.saturating_sub(seg.start));
+        let mut side_rows: Vec<u32> =
+            Vec::with_capacity((end.saturating_sub(seg.start)).min(self.shi - self.slo));
+        for off in seg.start..end {
             // Map the window offset to a global position: arena offsets
             // first (hopping tombstones), then side offsets. All per-region
             // data of consecutive candidates is consecutive in memory.
@@ -810,26 +1020,61 @@ impl BallQuery<'_> {
             if g == self.q_pos {
                 continue;
             }
+            // Branchless triangle-inequality band test over the whole pivot
+            // row (auto-vectorizes; a per-pivot early-exit loop pays a
+            // mispredicted branch per pivot instead). The mask's lowest set
+            // bit is the first violating pivot — the same attribution the
+            // ordered loop produced.
             let row = ix.pivot_row(g);
+            let mut mask = 0u32;
             for (p, &pd) in row.iter().enumerate() {
-                if (self.seed_pivot_dists[p] - pd).abs() > pivot_radius {
-                    stats.pivot_pruned += 1;
-                    continue 'cand;
-                }
+                mask |= u32::from((self.seed_pivot_dists[p] - pd).abs() > pivot_radius) << p;
+            }
+            if mask != 0 {
+                stats.pivot_pruned += 1;
+                stats.pivot_prune_counts[mask.trailing_zeros() as usize] += 1;
+                continue;
             }
             stats.exact_checked += 1;
             if in_side {
                 stats.side_hits += 1;
-            }
-            let jw = ix.words_at(g);
-            let js = ix.sufs_at(g);
-            // The acceptance test inside the kernel is the exact float
-            // comparison `jaccard ≤ ix.radius` — identical to brute force.
-            if kernels::jaccard_within_suffix(qw, qs, jw, js, ix.radius).is_some() {
-                stats.ball_members += 1;
-                out.push(ix.pool_of[g] as usize);
+                side_rows.push((g - ix.cards.len()) as u32);
+            } else {
+                arena_rows.push(g as u32);
             }
         }
+        // Pass 2: batched exact checks, arena region then side region —
+        // the same ascending-position order the pruning pass walked.
+        let w = ix.words_per_set;
+        let s = ix.suf_stride;
+        kernels::jaccard_within_rows(
+            qw,
+            qs,
+            &ix.words,
+            &ix.sufs,
+            s,
+            w,
+            &arena_rows,
+            ix.radius,
+            &mut |k, _d| {
+                stats.ball_members += 1;
+                out.push(ix.pool_of[arena_rows[k] as usize] as usize);
+            },
+        );
+        kernels::jaccard_within_rows(
+            qw,
+            qs,
+            &ix.side_words,
+            &ix.side_sufs,
+            s,
+            w,
+            &side_rows,
+            ix.radius,
+            &mut |k, _d| {
+                stats.ball_members += 1;
+                out.push(ix.pool_of[ix.cards.len() + side_rows[k] as usize] as usize);
+            },
+        );
     }
 }
 
@@ -905,6 +1150,13 @@ mod tests {
             stats.cardinality_pruned + stats.pivot_pruned + stats.exact_checked
         );
         assert!(stats.ball_members <= stats.exact_checked);
+        // Per-pivot attribution partitions the pivot prune exactly, and only
+        // the index's pivots (here 4) ever get credit.
+        assert_eq!(
+            stats.pivot_prune_counts.iter().sum::<u64>(),
+            stats.pivot_pruned
+        );
+        assert!(stats.pivot_prune_counts[4..].iter().all(|&c| c == 0));
         // A fresh index has no tombstones and no side buffer.
         assert_eq!(stats.tombstone_skips, 0);
         assert_eq!(stats.side_hits, 0);

@@ -29,11 +29,16 @@
 //! a per-iteration [`BallIndex`]: tid-sets live in one contiguous
 //! structure-of-arrays arena, a support-sorted order turns the free
 //! cardinality bound `Dist ≥ 1 − min(|A|,|B|)/max(|A|,|B|)` into a
-//! binary-searched candidate window, and a table of pivot distances prunes
+//! binary-searched candidate window, and a table of pivot distances
+//! (farthest-point pivots over a support-stratified sample) prunes
 //! survivors through the triangle inequality before the bounded early-exit
-//! Jaccard kernel ([`cfp_itemset::kernels`]) runs. The engine returns
-//! exactly the brute-force ball; [`RunStats::ball`] reports how many pairs
-//! each pruning layer skipped.
+//! Jaccard kernel ([`cfp_itemset::kernels`]) runs — batched over the
+//! arena's 32-byte-aligned rows on the best runtime-detected SIMD backend
+//! ([`KernelBackend`]; scalar / SSE2+POPCNT / AVX2, overridable with
+//! `CFP_KERNEL_BACKEND`, bit-identical results on all of them). The engine
+//! returns exactly the brute-force ball; [`RunStats::ball`] reports how
+//! many pairs each pruning layer skipped and [`RunStats::kernel_backend`]
+//! which backend computed them.
 //!
 //! The index is **persistent**: built once from the initial pool, it is
 //! carried across iterations through [`BallIndex::apply_delta`] — pool
@@ -83,6 +88,7 @@ mod config;
 
 pub use algorithm::{FusionResult, PatternFusion};
 pub use ball::{BallIndex, BallQuery, BallQueryStats, PoolDelta};
+pub use cfp_itemset::kernels::Backend as KernelBackend;
 pub use complementary::{count_complementary_sets, find_complementary_set, is_complementary_set};
 pub use config::FusionConfig;
 pub use core_pattern::{core_patterns_of, is_core_pattern, is_core_pattern_of};

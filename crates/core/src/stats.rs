@@ -1,6 +1,7 @@
 //! Per-iteration run statistics.
 
 use crate::ball::BallQueryStats;
+use cfp_itemset::kernels::Backend;
 use std::time::Duration;
 
 /// What one index-maintenance step did: either the full (re)build that
@@ -60,6 +61,11 @@ pub struct RunStats {
     pub converged: bool,
     /// Size of the initial pool.
     pub initial_pool_size: usize,
+    /// The tid-set kernel backend active when the run started (see
+    /// [`cfp_itemset::kernels::Backend`]). Informational only: all backends
+    /// produce bit-identical results, so this never explains an output
+    /// difference — it explains a timing difference.
+    pub kernel_backend: Backend,
 }
 
 impl RunStats {
@@ -150,6 +156,7 @@ mod tests {
             iterations: vec![iter(2, 7), iter(4, 5), iter(4, 3)],
             converged: true,
             initial_pool_size: 100,
+            kernel_backend: Backend::default(),
         };
         assert_eq!(stats.total_generated(), 15);
         assert!(stats.min_sizes_non_decreasing());
@@ -158,6 +165,7 @@ mod tests {
             iterations: vec![iter(4, 7), iter(2, 5)],
             converged: false,
             initial_pool_size: 10,
+            kernel_backend: Backend::default(),
         };
         assert!(!bad.min_sizes_non_decreasing());
     }
@@ -196,6 +204,7 @@ mod tests {
             iterations: vec![a, b, c],
             converged: true,
             initial_pool_size: 100,
+            kernel_backend: Backend::default(),
         };
         assert_eq!(stats.index_rebuilds(), 2);
         assert_eq!(stats.compactions(), 1);

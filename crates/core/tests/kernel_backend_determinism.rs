@@ -1,0 +1,62 @@
+//! End-to-end proof that the SIMD kernel layer never leaks into results: a
+//! full Pattern-Fusion run (initial pool mining → persistent ball index →
+//! fusion iterations → archive) produces **bit-identical** output under the
+//! forced-scalar backend and under every detected backend, at 1, 2, and 8
+//! worker threads.
+//!
+//! This is a test, not an assertion-by-construction: each configuration
+//! really re-runs the whole algorithm through `Backend::set`-switched
+//! kernels and compares itemsets *and* tid-sets member by member. The file
+//! contains a single `#[test]` on purpose — the backend override is
+//! process-global, and a lone test per binary cannot race another test's
+//! kernel calls. (CI additionally runs the entire suite under
+//! `CFP_KERNEL_BACKEND=scalar`, covering the env-var path.)
+
+use cfp_core::{FusionConfig, KernelBackend, PatternFusion};
+use cfp_itemset::TransactionDb;
+
+/// One full run under `backend`/`threads`, flattened to comparable output.
+fn run(db: &TransactionDb, backend: KernelBackend, threads: usize) -> Vec<(String, Vec<usize>)> {
+    let installed = KernelBackend::set(backend);
+    assert_eq!(installed, backend, "backend must be available to be tested");
+    let config = FusionConfig::new(12, 10)
+        .with_pool_max_len(2)
+        .with_seed(2026_0730)
+        .with_parallel(true)
+        .with_threads(threads);
+    let result = PatternFusion::new(db, config).run();
+    assert_eq!(
+        result.stats.kernel_backend, backend,
+        "RunStats must record the backend the run started under"
+    );
+    result
+        .patterns
+        .iter()
+        .map(|p| (format!("{:?}", p.items), p.tids.to_vec()))
+        .collect()
+}
+
+#[test]
+fn fusion_output_is_bit_identical_across_backends_and_thread_counts() {
+    // Diag20 + 10 rows of a 15-item block: large enough that every layer
+    // (cardinality windows, pivot prunes, suffix early exits, batched
+    // exact checks, side-buffer inserts) does real work.
+    let db = cfp_datagen::diag_plus(20, 10, 15);
+    let detected = KernelBackend::detect();
+
+    let reference = run(&db, KernelBackend::Scalar, 1);
+    assert!(!reference.is_empty(), "reference run must mine something");
+
+    for backend in KernelBackend::available() {
+        for threads in [1usize, 2, 8] {
+            let got = run(&db, backend, threads);
+            assert_eq!(
+                got, reference,
+                "fusion output diverged: backend {backend:?}, {threads} threads"
+            );
+        }
+    }
+
+    // Leave the process on the backend it would have auto-detected.
+    KernelBackend::set(detected);
+}

@@ -1,0 +1,84 @@
+//! Portable scalar kernels — the reference implementations every other
+//! backend must match bit for bit.
+//!
+//! These are plain `u64` word loops using `count_ones()`, which compiles to
+//! the SWAR popcount sequence on baseline x86-64 (the `POPCNT` instruction
+//! is not in the x86-64 v1 envelope) and to whatever the target offers
+//! elsewhere. The [`super::Backend::Sse2`] backend re-enters these exact
+//! loops inside a `#[target_feature(enable = "popcnt")]` context, so the
+//! bodies here are kept `#[inline]` and free of per-target tricks.
+
+use super::SUFFIX_STRIDE;
+
+/// `|a ∩ b|` over word slices.
+#[inline]
+pub(super) fn intersection_count(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// `|a ∩ b|` if it reaches `threshold`, else `None` — aborting the word loop
+/// once the bits not yet scanned cannot close the gap. The running upper
+/// bound is `seen ∩ + min(unseen a-bits, unseen b-bits)`, which only
+/// shrinks, so the first violation is final; abort granularity therefore
+/// never changes the returned value, only how early a miss is detected.
+#[inline]
+pub(super) fn intersection_count_at_least(
+    a: &[u64],
+    card_a: usize,
+    b: &[u64],
+    card_b: usize,
+    threshold: usize,
+) -> Option<usize> {
+    debug_assert_eq!(a.len(), b.len());
+    if card_a.min(card_b) < threshold {
+        return None;
+    }
+    let mut inter = 0usize;
+    let mut seen_a = 0usize;
+    let mut seen_b = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        inter += (x & y).count_ones() as usize;
+        seen_a += x.count_ones() as usize;
+        seen_b += y.count_ones() as usize;
+        if inter + (card_a - seen_a).min(card_b - seen_b) < threshold {
+            return None;
+        }
+    }
+    (inter >= threshold).then_some(inter)
+}
+
+/// [`intersection_count_at_least`] with the abort bound coming from
+/// precomputed suffix-cardinality tables (see [`super::suffix_cards`]): one
+/// AND + one popcount per word plus one bound check per [`SUFFIX_STRIDE`]
+/// words.
+#[inline]
+pub(super) fn intersection_count_at_least_suffix(
+    a: &[u64],
+    suffix_a: &[u32],
+    b: &[u64],
+    suffix_b: &[u32],
+    threshold: usize,
+) -> Option<usize> {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(suffix_a.len(), suffix_b.len());
+    if (suffix_a[0].min(suffix_b[0]) as usize) < threshold {
+        return None;
+    }
+    let blocks = suffix_a.len() - 1;
+    let mut inter = 0usize;
+    for k in 0..blocks {
+        let start = k * SUFFIX_STRIDE;
+        let end = (start + SUFFIX_STRIDE).min(a.len());
+        for i in start..end {
+            inter += (a[i] & b[i]).count_ones() as usize;
+        }
+        if inter + (suffix_a[k + 1].min(suffix_b[k + 1]) as usize) < threshold {
+            return None;
+        }
+    }
+    (inter >= threshold).then_some(inter)
+}

@@ -32,9 +32,14 @@
 //! assert_eq!(index.support(&ab), 2);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back in exactly two leaf modules:
+// `aligned` (reinterpreting 32-byte lanes as word slices) and `kernels::x86`
+// (SIMD intrinsics behind runtime feature detection). Everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aligned;
 mod builder;
 mod closure;
 mod database;
@@ -46,6 +51,7 @@ pub mod kernels;
 mod tidset;
 mod vertical;
 
+pub use aligned::AlignedWords;
 pub use builder::DbBuilder;
 pub use closure::ClosureOperator;
 pub use database::{MinSupport, TransactionDb};

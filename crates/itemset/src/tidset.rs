@@ -14,6 +14,7 @@
 //! once the unscanned blocks cannot bring the distance under the radius —
 //! see [`crate::kernels`] for the word-level implementations.
 
+use crate::aligned::AlignedWords;
 use crate::kernels;
 use std::fmt;
 
@@ -25,9 +26,15 @@ const BITS: usize = 64;
 /// All binary operations require both operands to share the same universe;
 /// this is enforced with debug assertions (every tid-set in a mining run is
 /// derived from the same database).
+///
+/// Blocks live in an [`AlignedWords`] buffer: 32-byte-aligned and zero-padded
+/// to a whole number of 4-word lanes, the layout the SIMD kernel backends
+/// stream fastest (see [`crate::kernels`]'s alignment contract). The padding
+/// is invisible to set semantics — padded bits are always zero and both
+/// operands of any binary operation share a universe, hence a padded length.
 #[derive(PartialEq, Eq, Hash)]
 pub struct TidSet {
-    blocks: Vec<u64>,
+    blocks: AlignedWords,
     universe: usize,
     /// Cached `|D|`; invariant: always equals the popcount of `blocks`.
     count: usize,
@@ -54,7 +61,7 @@ impl TidSet {
     /// Creates an empty tid-set over `universe` transactions.
     pub fn empty(universe: usize) -> Self {
         Self {
-            blocks: vec![0; universe.div_ceil(BITS)],
+            blocks: AlignedWords::zeroed(universe.div_ceil(BITS)),
             universe,
             count: 0,
         }
@@ -63,14 +70,16 @@ impl TidSet {
     /// Creates a tid-set containing every transaction id in `0..universe`.
     pub fn full(universe: usize) -> Self {
         let mut s = Self::empty(universe);
-        for (i, block) in s.blocks.iter_mut().enumerate() {
+        // Only the blocks covering the universe get bits; lane padding
+        // beyond `universe.div_ceil(BITS)` stays zero.
+        for i in 0..universe.div_ceil(BITS) {
             let lo = i * BITS;
             let hi = (lo + BITS).min(universe);
-            if hi - lo == BITS {
-                *block = u64::MAX;
+            s.blocks[i] = if hi - lo == BITS {
+                u64::MAX
             } else {
-                *block = (1u64 << (hi - lo)) - 1;
-            }
+                (1u64 << (hi - lo)) - 1
+            };
         }
         s.count = universe;
         s
@@ -138,6 +147,10 @@ impl TidSet {
 
     /// The underlying words, low tid first (for structure-of-arrays pools;
     /// see [`crate::kernels`]).
+    ///
+    /// The slice is zero-padded to a whole number of 32-byte lanes — its
+    /// length is `universe.div_ceil(64)` rounded up to a multiple of 4 — so
+    /// arenas built by concatenating blocks keep every row lane-aligned.
     #[inline]
     pub fn blocks(&self) -> &[u64] {
         &self.blocks
@@ -149,7 +162,7 @@ impl TidSet {
     pub fn intersect_with(&mut self, other: &TidSet) {
         debug_assert_eq!(self.universe, other.universe);
         let mut count = 0usize;
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
             *a &= *b;
             count += a.count_ones() as usize;
         }
@@ -162,7 +175,7 @@ impl TidSet {
     pub fn union_with(&mut self, other: &TidSet) {
         debug_assert_eq!(self.universe, other.universe);
         let mut count = 0usize;
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
             *a |= *b;
             count += a.count_ones() as usize;
         }
@@ -218,7 +231,7 @@ impl TidSet {
         debug_assert_eq!(self.universe, other.universe);
         self.blocks
             .iter()
-            .zip(&other.blocks)
+            .zip(other.blocks.iter())
             .all(|(a, b)| a & !b == 0)
     }
 
