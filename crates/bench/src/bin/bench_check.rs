@@ -1,0 +1,155 @@
+//! Benchmark-regression gate: parses the `BENCH_*.json` summaries the
+//! criterion benches export at the workspace root and fails (exit 1) when a
+//! speedup drops below its documented target.
+//!
+//! Targets (documented in ROADMAP.md):
+//!
+//! | file                  | field               | target |
+//! |-----------------------|---------------------|--------|
+//! | `BENCH_ball.json`     | `speedup`           | 4.5×   |
+//! | `BENCH_ball_iter.json`| `speedup`           | 1.25×  |
+//! | `BENCH_kernels.json`  | `batched_hot_speedup` | 2×   |
+//! | `BENCH_shard.json`    | `speedup_k4`        | 1.3×   |
+//!
+//! A 10% measurement-noise allowance is applied (the gate trips below
+//! 0.9 × target): these are *regression* gates for shared CI boxes, not
+//! benchmark attestations — a real regression (a lost SIMD path, a broken
+//! prune, a serialized shard pipeline) lands far below the allowance, while
+//! run-to-run noise on a busy runner does not. The kernels gate is skipped
+//! when the box detected no SIMD backend (`best_backend == "scalar"`), where
+//! a 1.0× "speedup" is the expected truth, not a regression.
+//!
+//! Run: `cargo run --release -p cfp-bench --bin bench_check -- --check`
+//! (without `--check` it reports without failing; `--root DIR` overrides
+//! the workspace root).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Fractional allowance under the documented target before the gate trips.
+const NOISE_ALLOWANCE: f64 = 0.9;
+
+struct Gate {
+    file: &'static str,
+    field: &'static str,
+    target: f64,
+    what: &'static str,
+}
+
+const GATES: [Gate; 4] = [
+    Gate {
+        file: "BENCH_ball.json",
+        field: "speedup",
+        target: 4.5,
+        what: "ball-query engine vs brute-force scan",
+    },
+    Gate {
+        file: "BENCH_ball_iter.json",
+        field: "speedup",
+        target: 1.25,
+        what: "persistent BallIndex vs rebuild-per-iteration",
+    },
+    Gate {
+        file: "BENCH_kernels.json",
+        field: "batched_hot_speedup",
+        target: 2.0,
+        what: "SIMD kernel backend vs scalar (cache-hot batched Jaccard)",
+    },
+    Gate {
+        file: "BENCH_shard.json",
+        field: "speedup_k4",
+        target: 1.3,
+        what: "sharded fusion engine, K=4 vs K=1",
+    },
+];
+
+/// Pulls `"field": <number>` out of our own benches' JSON (flat objects
+/// with numeric and string fields only — no general JSON parser needed,
+/// and the container has no serde).
+fn field_f64(json: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str<'a>(json: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+fn workspace_root() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--root") {
+        return PathBuf::from(&w[1]);
+    }
+    // The binary lives in crates/bench; the summaries live two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let enforce = std::env::args().any(|a| a == "--check");
+    let root = workspace_root();
+    let mut failures = 0usize;
+    println!(
+        "bench gate over {} (allowance {:.0}% of target{})",
+        root.display(),
+        NOISE_ALLOWANCE * 100.0,
+        if enforce {
+            ", enforcing"
+        } else {
+            ", report only"
+        }
+    );
+    for gate in &GATES {
+        let path = root.join(gate.file);
+        let json = match std::fs::read_to_string(&path) {
+            Ok(j) => j,
+            Err(e) => {
+                println!("FAIL {:<22} missing ({e})", gate.file);
+                failures += 1;
+                continue;
+            }
+        };
+        if gate.file == "BENCH_kernels.json" && field_str(&json, "best_backend") == Some("scalar") {
+            println!(
+                "SKIP {:<22} no SIMD backend detected on this box (scalar vs scalar is 1x by definition)",
+                gate.file
+            );
+            continue;
+        }
+        let Some(value) = field_f64(&json, gate.field) else {
+            println!("FAIL {:<22} field \"{}\" not found", gate.file, gate.field);
+            failures += 1;
+            continue;
+        };
+        let floor = gate.target * NOISE_ALLOWANCE;
+        let ok = value >= floor;
+        println!(
+            "{} {:<22} {} = {value:.2} (target {:.2}, floor {floor:.2}) — {}",
+            if ok { "ok  " } else { "FAIL" },
+            gate.file,
+            gate.field,
+            gate.target,
+            gate.what
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        println!("{failures} bench gate(s) failed");
+        if enforce {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("all bench gates passed");
+    }
+    ExitCode::SUCCESS
+}

@@ -17,7 +17,7 @@
 //!
 //! Run: `cargo run --release -p cfp-bench --bin exp_ablation [--fast]`
 
-use cfp_bench::{flag, time, Table};
+use cfp_bench::{engine_line, flag, time, Table};
 use cfp_core::{FusionConfig, PatternFusion};
 use cfp_itemset::{Itemset, TransactionDb};
 
@@ -27,6 +27,32 @@ struct Outcome {
     avg_secs: f64,
     avg_max_size: f64,
     avg_pruned_pct: f64,
+    avg_tombstoned: f64,
+    avg_inserted: f64,
+    avg_compactions: f64,
+}
+
+impl Outcome {
+    /// The engine columns every ablation table reports — the same
+    /// pruning/maintenance schema the fig8/fig9 binaries print, so all
+    /// engine-running binaries share one stats vocabulary.
+    fn engine_cells(&self) -> Vec<String> {
+        vec![
+            format!("{:.1}", self.avg_pruned_pct),
+            format!("{:.0}", self.avg_tombstoned),
+            format!("{:.0}", self.avg_inserted),
+            format!("{:.1}", self.avg_compactions),
+        ]
+    }
+
+    fn engine_headers() -> [&'static str; 4] {
+        [
+            "avg_pruned_pct",
+            "avg_tombstoned",
+            "avg_inserted",
+            "avg_compactions",
+        ]
+    }
 }
 
 fn run_trials(
@@ -40,24 +66,63 @@ fn run_trials(
     let mut total = 0.0;
     let mut max_size = 0usize;
     let mut pruned = 0.0;
+    let mut tombstoned = 0u64;
+    let mut inserted = 0u64;
+    let mut compactions = 0usize;
+    let mut last_line = String::new();
     for t in 0..trials {
         let config = make(t);
         let (result, d) = time(|| PatternFusion::new(db, config).run());
         if result.patterns.iter().any(|p| &p.items == target) {
             recovered += 1;
         }
-        iters += result.stats.iterations.len();
+        iters += result.stats.total_iterations();
         max_size += result.max_pattern_len();
         total += d.as_secs_f64();
         pruned += result.stats.ball().pruned_fraction() * 100.0;
+        tombstoned += result.stats.tombstoned();
+        inserted += result.stats.inserted();
+        compactions += result.stats.compactions();
+        last_line = engine_line(&result.stats);
     }
+    eprintln!("{last_line}");
     Outcome {
         recovered: recovered as f64 / trials as f64,
         avg_iters: iters as f64 / trials as f64,
         avg_secs: total / trials as f64,
         avg_max_size: max_size as f64 / trials as f64,
         avg_pruned_pct: pruned / trials as f64,
+        avg_tombstoned: tombstoned as f64 / trials as f64,
+        avg_inserted: inserted as f64 / trials as f64,
+        avg_compactions: compactions as f64 / trials as f64,
     }
+}
+
+/// One ablation-table schema for every sweep: the varied knob first, then
+/// the outcome columns, then the engine pruning/maintenance columns shared
+/// with the fig8/fig9 binaries.
+fn ablation_headers(knob: &'static str) -> Vec<String> {
+    let mut h = vec![
+        knob.to_string(),
+        "recovery_rate".to_string(),
+        "avg_iters".to_string(),
+        "avg_secs".to_string(),
+        "avg_max_size".to_string(),
+    ];
+    h.extend(Outcome::engine_headers().map(String::from));
+    h
+}
+
+fn ablation_row(knob: String, o: &Outcome) -> Vec<String> {
+    let mut r = vec![
+        knob,
+        format!("{:.2}", o.recovered),
+        format!("{:.1}", o.avg_iters),
+        format!("{:.3}", o.avg_secs),
+        format!("{:.1}", o.avg_max_size),
+    ];
+    r.extend(o.engine_cells());
+    r
 }
 
 fn main() {
@@ -78,14 +143,7 @@ fn main() {
     // --- τ sweep -----------------------------------------------------------
     // τ sets the ball radius, which drives how much the engine's cardinality
     // + pivot layers can prune — hence the avg_pruned_pct column here.
-    let mut t1 = Table::new(vec![
-        "tau",
-        "recovery_rate",
-        "avg_iters",
-        "avg_secs",
-        "avg_max_size",
-        "avg_pruned_pct",
-    ]);
+    let mut t1 = Table::new(ablation_headers("tau"));
     for tau in [0.3, 0.5, 0.7, 0.9] {
         let o = run_trials(
             &db,
@@ -98,25 +156,12 @@ fn main() {
             },
             trials,
         );
-        t1.row(vec![
-            format!("{tau:.1}"),
-            format!("{:.2}", o.recovered),
-            format!("{:.1}", o.avg_iters),
-            format!("{:.3}", o.avg_secs),
-            format!("{:.1}", o.avg_max_size),
-            format!("{:.1}", o.avg_pruned_pct),
-        ]);
+        t1.row(ablation_row(format!("{tau:.1}"), &o));
     }
     t1.print("Ablation 1: core ratio tau");
 
     // --- attempts per seed --------------------------------------------------
-    let mut t2 = Table::new(vec![
-        "attempts",
-        "recovery_rate",
-        "avg_iters",
-        "avg_secs",
-        "avg_max_size",
-    ]);
+    let mut t2 = Table::new(ablation_headers("attempts"));
     for attempts in [1usize, 2, 4, 8, 16] {
         let o = run_trials(
             &db,
@@ -129,24 +174,12 @@ fn main() {
             },
             trials,
         );
-        t2.row(vec![
-            attempts.to_string(),
-            format!("{:.2}", o.recovered),
-            format!("{:.1}", o.avg_iters),
-            format!("{:.3}", o.avg_secs),
-            format!("{:.1}", o.avg_max_size),
-        ]);
+        t2.row(ablation_row(attempts.to_string(), &o));
     }
     t2.print("Ablation 2: agglomeration attempts per seed");
 
     // --- closure post-step ---------------------------------------------------
-    let mut t3 = Table::new(vec![
-        "closure_step",
-        "recovery_rate",
-        "avg_iters",
-        "avg_secs",
-        "avg_max_size",
-    ]);
+    let mut t3 = Table::new(ablation_headers("closure_step"));
     for on in [false, true] {
         let o = run_trials(
             &db,
@@ -159,13 +192,7 @@ fn main() {
             },
             trials,
         );
-        t3.row(vec![
-            on.to_string(),
-            format!("{:.2}", o.recovered),
-            format!("{:.1}", o.avg_iters),
-            format!("{:.3}", o.avg_secs),
-            format!("{:.1}", o.avg_max_size),
-        ]);
+        t3.row(ablation_row(on.to_string(), &o));
     }
     t3.print("Ablation 3: closure post-step");
 
@@ -173,13 +200,7 @@ fn main() {
     // Without the archive, the final answer is the last pool only (the
     // paper's literal Algorithm 1); a colossal pattern found in iteration 0
     // can die later merely by never being drawn as a seed.
-    let mut t5 = Table::new(vec![
-        "archive",
-        "recovery_rate",
-        "avg_iters",
-        "avg_secs",
-        "avg_max_size",
-    ]);
+    let mut t5 = Table::new(ablation_headers("archive"));
     let lottery_trials = trials * 4; // the effect is probabilistic; more trials
     for on in [true, false] {
         let o = run_trials(
@@ -193,24 +214,12 @@ fn main() {
             },
             lottery_trials,
         );
-        t5.row(vec![
-            on.to_string(),
-            format!("{:.2}", o.recovered),
-            format!("{:.1}", o.avg_iters),
-            format!("{:.3}", o.avg_secs),
-            format!("{:.1}", o.avg_max_size),
-        ]);
+        t5.row(ablation_row(on.to_string(), &o));
     }
     t5.print("Ablation 5: cross-iteration result archive");
 
     // --- initial pool bound ---------------------------------------------------
-    let mut t4 = Table::new(vec![
-        "pool_max_len",
-        "pool_size",
-        "recovery_rate",
-        "avg_secs",
-        "avg_max_size",
-    ]);
+    let mut t4 = Table::new(ablation_headers("pool_max_len/pool_size"));
     for len in [1usize, 2, 3] {
         let probe = PatternFusion::new(&db, FusionConfig::new(k, minsup).with_pool_max_len(len));
         let pool_size = probe.mine_initial_pool().len();
@@ -224,13 +233,7 @@ fn main() {
             },
             trials,
         );
-        t4.row(vec![
-            len.to_string(),
-            pool_size.to_string(),
-            format!("{:.2}", o.recovered),
-            format!("{:.3}", o.avg_secs),
-            format!("{:.1}", o.avg_max_size),
-        ]);
+        t4.row(ablation_row(format!("{len}/{pool_size}"), &o));
     }
     t4.print("Ablation 4: initial pool size bound");
 }

@@ -15,7 +15,7 @@
 //! Run: `cargo run --release -p cfp-bench --bin exp_fig10 [--fast]
 //!       [--budget-secs N] [--k N]`
 
-use cfp_bench::{arg_usize, flag, secs, secs_capped, time, Table};
+use cfp_bench::{arg_usize, engine_line, flag, secs, secs_capped, time, Table};
 use cfp_core::{FusionConfig, PatternFusion};
 use cfp_miners::{maximal, top_k_closed, Budget};
 use std::time::Duration;
@@ -89,6 +89,7 @@ fn main() {
             secs(d_tfp),
             secs(d_pf)
         );
+        eprintln!("minsup={minsup} {}", engine_line(&pf.stats));
     }
     table.print("Figure 10: run time on ALL vs minimum support (seconds)");
     println!(

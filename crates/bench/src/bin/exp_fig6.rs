@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p cfp-bench --bin exp_fig6 [--fast]
 //!       [--budget-secs N] [--k N]`
 
-use cfp_bench::{arg_usize, flag, secs, secs_capped, time, Table};
+use cfp_bench::{arg_usize, engine_line, flag, secs, secs_capped, time, Table};
 use cfp_core::{FusionConfig, PatternFusion};
 use cfp_miners::{maximal, Budget};
 use std::time::Duration;
@@ -64,6 +64,7 @@ fn main() {
             format!("{:.1}", result.stats.ball().pruned_fraction() * 100.0),
         ]);
         eprintln!("n={n} done (lcm {}, pf {})", secs(d_lcm), secs(d_pf));
+        eprintln!("n={n} {}", engine_line(&result.stats));
     }
     table.print("Figure 6: run time on Diagn (seconds)");
     println!(

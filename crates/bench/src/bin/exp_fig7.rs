@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p cfp-bench --bin exp_fig7 [--fast]
 //!       [--sample N]`
 
-use cfp_bench::{arg_usize, flag, Table};
+use cfp_bench::{arg_usize, engine_line, flag, Table};
 use cfp_core::{FusionConfig, PatternFusion};
 use cfp_itemset::Itemset;
 use cfp_quality::{approximation_error, uniform_sampling_error};
@@ -80,6 +80,7 @@ fn main() {
             format!("{:.1}", result.stats.ball().pruned_fraction() * 100.0),
         ]);
         eprintln!("K={k} done (pf {pf_err:.4}, uniform {ue:.4})");
+        eprintln!("K={k} {}", engine_line(&result.stats));
     }
     table.print("Figure 7: approximation error on Diag40 (minsup 20)");
     println!(

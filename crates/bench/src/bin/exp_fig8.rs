@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p cfp-bench --bin exp_fig8 [--fast]`
 
-use cfp_bench::{flag, secs, time, Table};
+use cfp_bench::{engine_line, flag, secs, time, Table};
 use cfp_core::{FusionConfig, PatternFusion};
 use cfp_itemset::Itemset;
 use cfp_miners::{closed, Budget};
@@ -84,6 +84,7 @@ fn main() {
             result.stats.inserted(),
             result.stats.compactions(),
         );
+        eprintln!("K={k} {}", engine_line(&result.stats));
         let p: Vec<Itemset> = result.patterns.iter().map(|pt| pt.items.clone()).collect();
         sweeps.push(error_by_min_size(&p, &q, &thresholds));
     }

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p cfp-bench --bin exp_fig9 [--fast] [--k N]`
 
-use cfp_bench::{arg_usize, flag, secs, time, Table};
+use cfp_bench::{arg_usize, engine_line, flag, secs, time, Table};
 use cfp_core::{FusionConfig, PatternFusion};
 use cfp_miners::{closed, Budget};
 use std::collections::BTreeMap;
@@ -76,6 +76,7 @@ fn main() {
         ball.side_hits,
         result.stats.compactions(),
     );
+    println!("{}", engine_line(&result.stats));
 
     // Count by size, sizes > floor only (the paper's table).
     let mut complete_by_size: BTreeMap<usize, usize> = BTreeMap::new();

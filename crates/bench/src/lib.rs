@@ -10,6 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use cfp_core::{Pattern, RunStats};
+use cfp_itemset::{Itemset, TidSet};
+use rand::rngs::StdRng;
+use rand::Rng;
 use std::time::{Duration, Instant};
 
 /// Runs `f`, returning its result and wall-clock duration.
@@ -106,6 +110,67 @@ impl Table {
         print!("{}", self.to_csv());
         println!("--- end csv ---");
     }
+}
+
+/// The clustered benchmark pool shared by the ball and shard benches: each
+/// cluster derives its members from one base support set (the "core
+/// patterns of a shared colossal pattern" shape Theorem 2 predicts), with
+/// base densities spanning a wide support spectrum so the cardinality
+/// prune has real range structure. Members keep 85–100% of their base, so
+/// inside-cluster distances stay under r(0.75) = 0.4 and cross-cluster
+/// distances stay far outside it.
+///
+/// Deterministic for a given `rng` state; callers share one seeded `StdRng`
+/// stream so a bench's pool is reproducible run to run.
+pub fn clustered_pool(
+    rng: &mut StdRng,
+    clusters: usize,
+    per_cluster: usize,
+    universe: usize,
+) -> Vec<Pattern> {
+    let mut pool = Vec::with_capacity(clusters * per_cluster);
+    for c in 0..clusters {
+        let density = 0.02 + 0.28 * (c as f64 / clusters as f64);
+        let base: Vec<usize> = (0..universe).filter(|_| rng.gen_bool(density)).collect();
+        for v in 0..per_cluster {
+            let keep = 0.85 + 0.15 * rng.gen::<f64>();
+            let tids: Vec<usize> = base
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(keep))
+                .collect();
+            pool.push(Pattern::new(
+                Itemset::from_items(&[(c * per_cluster + v) as u32]),
+                TidSet::from_tids(universe, tids),
+            ));
+        }
+    }
+    pool
+}
+
+/// The uniform engine-statistics line every `exp_*` binary prints: kernel
+/// backend, iteration count, ball-prune percentage, and the persistent-
+/// index maintenance aggregates — one schema across all binaries, for
+/// sharded and unsharded runs alike.
+pub fn engine_line(stats: &RunStats) -> String {
+    let ball = stats.ball();
+    let mut line = format!(
+        "engine: backend={} iters={} pruned_pct={:.1} tombstoned={} inserted={} compactions={}",
+        stats.kernel_backend.name(),
+        stats.total_iterations(),
+        ball.pruned_fraction() * 100.0,
+        stats.tombstoned(),
+        stats.inserted(),
+        stats.compactions(),
+    );
+    if stats.sharded() {
+        line.push_str(&format!(
+            " shards={} repair_iters={}",
+            stats.shards.len(),
+            stats.repair_iterations
+        ));
+    }
+    line
 }
 
 /// Whether a bare `--flag` is present in the process arguments.

@@ -104,11 +104,23 @@ impl<'a> PatternFusion<'a> {
 
     /// Mines the initial pool: the complete set of frequent patterns of size
     /// ≤ `pool_max_len` with their support sets (paper §2.3, phase 1).
+    ///
+    /// Sharded runs mine the pool in support-stratified emit order
+    /// ([`cfp_miners::initial_pool_stratified`]): shard assignment is keyed
+    /// on pattern content either way, but the stratified order keeps each
+    /// shard's sub-pool support-contiguous, which is what its private ball
+    /// index sorts by anyway.
     pub fn mine_initial_pool(&self) -> Vec<Pattern> {
-        cfp_miners::initial_pool(self.db, self.config.min_count, self.config.pool_max_len)
-            .into_iter()
-            .map(Pattern::from)
-            .collect()
+        let mined = if self.config.sharding.shards > 1 {
+            cfp_miners::initial_pool_stratified(
+                self.db,
+                self.config.min_count,
+                self.config.pool_max_len,
+            )
+        } else {
+            cfp_miners::initial_pool(self.db, self.config.min_count, self.config.pool_max_len)
+        };
+        mined.into_iter().map(Pattern::from).collect()
     }
 
     /// Runs the full algorithm: mines the initial pool, then iterates
@@ -119,8 +131,25 @@ impl<'a> PatternFusion<'a> {
     }
 
     /// Runs iterative fusion from a caller-supplied pool (phase 2 only).
-    pub fn run_with_pool(&self, mut pool: Vec<Pattern>) -> FusionResult {
-        let cfg = &self.config;
+    /// Routes through the sharded engine ([`crate::shard`]) when
+    /// `FusionConfig::sharding` asks for more than one shard.
+    pub fn run_with_pool(&self, pool: Vec<Pattern>) -> FusionResult {
+        if self.config.sharding.shards > 1 {
+            self.run_sharded_with_pool(pool)
+        } else {
+            self.run_pool_with(pool, &self.config)
+        }
+    }
+
+    /// The database's vertical index (shared by the closure post-step).
+    pub(crate) fn vertical_index(&self) -> &VerticalIndex {
+        &self.index
+    }
+
+    /// The unsharded fusion loop under an explicit configuration — the
+    /// sharded engine calls this once per shard with a per-shard K, seed,
+    /// and thread budget.
+    pub(crate) fn run_pool_with(&self, mut pool: Vec<Pattern>, cfg: &FusionConfig) -> FusionResult {
         let mut stats = RunStats {
             initial_pool_size: pool.len(),
             // Resolved once here (first kernel call of the process detects
@@ -136,7 +165,7 @@ impl<'a> PatternFusion<'a> {
         }
         let radius = ball_radius(cfg.tau);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let threads = self.thread_count();
+        let threads = threads_for(cfg);
         // Cross-iteration archive of the largest patterns seen (see
         // `FusionConfig::archive`): protects already-found colossal patterns
         // from the seed-drawing survival lottery.
@@ -166,7 +195,7 @@ impl<'a> PatternFusion<'a> {
                 rand::seq::index::sample(&mut rng, pool.len(), n_seeds).into_vec();
 
             let (per_seed, ball_stats) =
-                self.process_seeds(&pool, &index, &seed_positions, iteration, threads);
+                self.process_seeds(cfg, &pool, &index, &seed_positions, iteration, threads);
 
             // Merge, deduplicating by itemset without cloning any itemset:
             // mark first occurrences through a borrowing set, then keep them.
@@ -185,7 +214,7 @@ impl<'a> PatternFusion<'a> {
             if cfg.archive {
                 archive.extend(next.iter().cloned());
                 dedup_sorted(&mut archive);
-                archive.truncate(cfg.k);
+                archive.truncate(cfg.archive_cap.unwrap_or(cfg.k));
             }
 
             let (min_len, max_len) = next.iter().fold((usize::MAX, 0), |(lo, hi), p| {
@@ -243,7 +272,7 @@ impl<'a> PatternFusion<'a> {
         }
 
         if cfg.archive {
-            let cap = pool.len().max(cfg.k);
+            let cap = pool.len().max(cfg.archive_cap.unwrap_or(cfg.k));
             pool.extend(archive);
             dedup_sorted(&mut pool);
             pool.truncate(cap);
@@ -253,19 +282,6 @@ impl<'a> PatternFusion<'a> {
         FusionResult {
             patterns: pool,
             stats,
-        }
-    }
-
-    /// Worker threads this run may use (1 when `parallel` is off).
-    fn thread_count(&self) -> usize {
-        if self.config.parallel {
-            self.config.threads.unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
-        } else {
-            1
         }
     }
 
@@ -285,6 +301,7 @@ impl<'a> PatternFusion<'a> {
     ///    position-derived RNG, so the schedule never leaks into results.
     fn process_seeds(
         &self,
+        cfg: &FusionConfig,
         pool: &[Pattern],
         index: &BallIndex,
         seed_positions: &[usize],
@@ -324,32 +341,24 @@ impl<'a> PatternFusion<'a> {
             let seed = &pool[seed_positions[order]];
             let ball = &balls[order];
             let mut seed_rng = StdRng::seed_from_u64(splitmix64(
-                self.config
-                    .seed
+                cfg.seed
                     .wrapping_add((iteration as u64) << 32)
                     .wrapping_add(order as u64),
             ));
             // Bounded breadth: subsample oversized balls (see
             // `FusionConfig::max_ball_size`).
             let sampled: Vec<usize>;
-            let ball: &[usize] = if ball.len() > self.config.max_ball_size {
-                sampled =
-                    rand::seq::index::sample(&mut seed_rng, ball.len(), self.config.max_ball_size)
-                        .into_iter()
-                        .map(|i| ball[i])
-                        .collect();
+            let ball: &[usize] = if ball.len() > cfg.max_ball_size {
+                sampled = rand::seq::index::sample(&mut seed_rng, ball.len(), cfg.max_ball_size)
+                    .into_iter()
+                    .map(|i| ball[i])
+                    .collect();
                 &sampled
             } else {
                 ball
             };
-            let mut out = fuse_ball(
-                seed,
-                ball,
-                pool,
-                &self.config.fusion_params(),
-                &mut seed_rng,
-            );
-            if self.config.closure_step {
+            let mut out = fuse_ball(seed, ball, pool, &cfg.fusion_params(), &mut seed_rng);
+            if cfg.closure_step {
                 let cl = ClosureOperator::new(&self.index);
                 for p in &mut out {
                     p.items = cl.closure_of_tidset(&p.tids);
@@ -377,9 +386,23 @@ fn itemset_fingerprint(patterns: &[Pattern]) -> Vec<u64> {
     hashes
 }
 
+/// Worker threads a run under `cfg` may use (1 when `parallel` is off).
+pub(crate) fn threads_for(cfg: &FusionConfig) -> usize {
+    if cfg.parallel {
+        cfg.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    } else {
+        1
+    }
+}
+
 /// Sorts by (size desc, support desc, itemset) and removes itemset
-/// duplicates.
-fn dedup_sorted(patterns: &mut Vec<Pattern>) {
+/// duplicates — the global result ranking (shared with the shard-archive
+/// merge in [`crate::shard`]).
+pub(crate) fn dedup_sorted(patterns: &mut Vec<Pattern>) {
     patterns.sort_by(|a, b| {
         b.len()
             .cmp(&a.len())
@@ -390,7 +413,7 @@ fn dedup_sorted(patterns: &mut Vec<Pattern>) {
 }
 
 /// SplitMix64 finalizer: decorrelates derived RNG seeds.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

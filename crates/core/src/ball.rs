@@ -199,40 +199,86 @@ fn itemset_hash(items: &Itemset) -> u64 {
     h ^ (h >> 32)
 }
 
+/// Open-addressed itemset→index table with linear probing: exact itemset
+/// matching (occupied slots are verified by itemset equality, so hash
+/// quality only affects speed) without per-probe `SipHash` or map
+/// (re)allocation. Slots hold bare `u32` indices — half the footprint of
+/// storing hashes alongside, which keeps the table cache-resident for the
+/// pool sizes the fusion loop sees.
+///
+/// The table does not own the itemsets; every operation takes an `at`
+/// resolver mapping a stored index back to its itemset. Used by
+/// [`PoolDelta::compute`] every fusion iteration and by the shard-archive
+/// merge in [`crate::shard`].
+pub(crate) struct ItemsetTable {
+    mask: usize,
+    slots: Vec<u32>,
+}
+
+impl ItemsetTable {
+    const EMPTY: u32 = u32::MAX;
+
+    /// A table sized for `n` insertions at ≤ 50% load.
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        let mask = (n * 2).next_power_of_two().max(2) - 1;
+        Self {
+            mask,
+            slots: vec![Self::EMPTY; mask + 1],
+        }
+    }
+
+    /// Looks `items` up among the inserted entries; when absent, inserts
+    /// `idx` and returns `None`, otherwise returns the existing index.
+    pub(crate) fn insert_or_get<'a>(
+        &mut self,
+        items: &Itemset,
+        idx: u32,
+        at: impl Fn(u32) -> &'a Itemset,
+    ) -> Option<u32> {
+        let mut s = itemset_hash(items) as usize & self.mask;
+        loop {
+            let si = self.slots[s];
+            if si == Self::EMPTY {
+                self.slots[s] = idx;
+                return None;
+            }
+            if at(si) == items {
+                return Some(si);
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Looks `items` up without inserting.
+    pub(crate) fn get<'a>(&self, items: &Itemset, at: impl Fn(u32) -> &'a Itemset) -> Option<u32> {
+        let mut s = itemset_hash(items) as usize & self.mask;
+        loop {
+            let si = self.slots[s];
+            if si == Self::EMPTY {
+                return None;
+            }
+            if at(si) == items {
+                return Some(si);
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+}
+
 impl PoolDelta {
     /// Computes the delta between two pools by itemset identity.
     pub fn compute(old: &[Pattern], new: &[Pattern]) -> Self {
-        // Open-addressed index table with linear probing: exact itemset
-        // matching (occupied slots are verified by itemset equality, so hash
-        // quality only affects speed) without per-probe `SipHash` or map
-        // (re)allocation. Slots hold bare `u32` indices — half the footprint
-        // of storing hashes alongside, which keeps the table cache-resident
-        // for the pool sizes the fusion loop sees.
-        const EMPTY: u32 = u32::MAX;
-        let mask = (old.len() * 2).next_power_of_two().max(2) - 1;
-        let mut slots: Vec<u32> = vec![EMPTY; mask + 1];
+        let mut table = ItemsetTable::with_capacity(old.len());
         for (i, p) in old.iter().enumerate() {
-            let mut s = itemset_hash(&p.items) as usize & mask;
-            while slots[s] != EMPTY {
-                s = (s + 1) & mask;
-            }
-            slots[s] = i as u32;
+            let prior = table.insert_or_get(&p.items, i as u32, |si| &old[si as usize].items);
+            debug_assert!(prior.is_none(), "old pool not itemset-deduplicated");
         }
         let mut survivors = Vec::new();
         let mut inserts = Vec::new();
         for (j, p) in new.iter().enumerate() {
-            let mut s = itemset_hash(&p.items) as usize & mask;
-            loop {
-                let si = slots[s];
-                if si == EMPTY {
-                    inserts.push(j as u32);
-                    break;
-                }
-                if old[si as usize].items == p.items {
-                    survivors.push((si, j as u32));
-                    break;
-                }
-                s = (s + 1) & mask;
+            match table.get(&p.items, |si| &old[si as usize].items) {
+                Some(si) => survivors.push((si, j as u32)),
+                None => inserts.push(j as u32),
             }
         }
         Self { survivors, inserts }

@@ -1,6 +1,7 @@
 //! Pattern-Fusion configuration.
 
 use crate::fusion::FusionParams;
+use crate::shard::{ShardStrategy, Sharding};
 
 /// Configuration for a [`crate::PatternFusion`] run.
 ///
@@ -41,8 +42,16 @@ pub struct FusionConfig {
     /// possibly more items). Off by default — the paper fuses unions only —
     /// and explored in the ablation bench.
     pub closure_step: bool,
+    /// Archive size override: how many of the largest patterns the
+    /// cross-iteration archive retains (and the result may return). `None`
+    /// — the default — uses K, the paper's coupling. The sharded engine
+    /// sets each shard's K to ⌈K/shards⌉ (its share of the global seed
+    /// budget) while keeping the archive at the full K, so shards with
+    /// many local colossal patterns don't silently drop the smaller ones
+    /// before the merge re-ranks globally.
+    pub archive_cap: Option<usize>,
     /// Keep an archive of the largest patterns seen across iterations and
-    /// merge it into the final answer (capped at K).
+    /// merge it into the final answer (capped at the archive size).
     ///
     /// The paper returns the last pool only; because each iteration's pool is
     /// rebuilt exclusively from the K drawn seeds, a colossal pattern that
@@ -65,6 +74,13 @@ pub struct FusionConfig {
     /// decisions never change results, only how many exact distance kernels
     /// run.
     pub ball_pivots: usize,
+    /// Sharded execution (see [`crate::shard`]): the pool is partitioned
+    /// into `sharding.shards` shards by `sharding.strategy`, fused per
+    /// shard, and the archives merged deterministically. 1 shard (the
+    /// default) runs the plain engine. Defaults honor the `CFP_SHARDS` /
+    /// `CFP_SHARD_STRATEGY` environment variables so CI can push the whole
+    /// suite through the sharded engine.
+    pub sharding: Sharding,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -82,11 +98,13 @@ impl FusionConfig {
             max_results_per_seed: 3,
             max_iterations: 64,
             max_ball_size: 20_000,
+            archive_cap: None,
             closure_step: false,
             archive: true,
             parallel: true,
             threads: None,
             ball_pivots: 4,
+            sharding: Sharding::from_env(),
             seed: 0xC0FFEE,
         }
     }
@@ -122,6 +140,12 @@ impl FusionConfig {
         self
     }
 
+    /// Overrides the archive size (defaults to K when unset).
+    pub fn with_archive_cap(mut self, cap: usize) -> Self {
+        self.archive_cap = Some(cap.max(1));
+        self
+    }
+
     /// Sets the per-seed ball cap.
     pub fn with_max_ball_size(mut self, n: usize) -> Self {
         self.max_ball_size = n.max(1);
@@ -145,6 +169,18 @@ impl FusionConfig {
     /// triangle-inequality prune).
     pub fn with_ball_pivots(mut self, pivots: usize) -> Self {
         self.ball_pivots = pivots.min(crate::ball::MAX_PIVOTS);
+        self
+    }
+
+    /// Sets the shard count (1 disables sharding; 0 normalizes to 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.sharding.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the shard partition strategy.
+    pub fn with_shard_strategy(mut self, strategy: ShardStrategy) -> Self {
+        self.sharding.strategy = strategy;
         self
     }
 

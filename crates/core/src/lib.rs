@@ -82,6 +82,7 @@ pub mod fusion;
 pub mod parallel;
 pub mod pattern;
 pub mod robustness;
+pub mod shard;
 pub mod stats;
 
 mod config;
@@ -95,4 +96,5 @@ pub use core_pattern::{core_patterns_of, is_core_pattern, is_core_pattern_of};
 pub use distance::{ball_radius, pattern_distance};
 pub use pattern::Pattern;
 pub use robustness::robustness;
-pub use stats::{IndexMaintenance, IterationStats, RunStats};
+pub use shard::{ShardStrategy, Sharding};
+pub use stats::{IndexMaintenance, IterationStats, RunStats, ShardStats};

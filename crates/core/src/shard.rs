@@ -1,0 +1,746 @@
+//! Sharded Pattern-Fusion: partition the pool, fuse per shard, merge
+//! deterministically.
+//!
+//! The paper's design bounds every fusion step to a local ball, which makes
+//! the pool naturally partitionable: a shard that holds all core patterns of
+//! a colossal pattern can assemble it without ever seeing the other shards
+//! (Theorem 2 puts those core patterns inside one ball, and balls are local).
+//! This module is the first architectural seam toward multi-process /
+//! multi-node deployment: each shard runs the existing persistent-
+//! [`crate::ball::BallIndex`] fusion loop over its private sub-pool, shards
+//! are scheduled on the work-stealing pool in [`crate::parallel`], and the
+//! per-shard archives are merged through a deterministic dedup / re-rank
+//! pass followed by a cross-shard **boundary repair** step.
+//!
+//! # Partition strategies
+//!
+//! * [`ShardStrategy::SupportStratum`] — patterns are ranked by
+//!   `(support, itemset)` and dealt round-robin, so every shard sees the
+//!   whole support spectrum (each shard's cardinality-prune windows stay
+//!   balanced). Content-keyed: the assignment depends only on what is in the
+//!   pool, never on its emit order.
+//! * [`ShardStrategy::MinhashBucket`] — each pattern is bucketed by the
+//!   minhash of its support set. Two patterns share a bucket with
+//!   probability equal to their Jaccard *similarity*, so the core patterns
+//!   of one colossal pattern (near-identical support sets, Lemma 2)
+//!   co-locate with high probability and most balls survive partitioning
+//!   intact — the locality strategy.
+//!
+//! # The merge contract
+//!
+//! Each shard mines its local top-⌈K/n⌉ with a seed derived from
+//! `(master seed, shard index)`; the union of shard archives is deduplicated
+//! by itemset (reusing the [`PoolDelta`](crate::ball::PoolDelta)
+//! open-addressed itemset table), re-ranked by the global
+//! `(size desc, support desc, itemset)` order, and truncated to K. Because a
+//! partition can split a colossal pattern's core patterns across shards
+//! (always possible under `SupportStratum`, with probability `1 − J` per
+//! pattern pair under `MinhashBucket`), a **boundary-repair** pass then
+//! re-balls the merged survivors and fuses, retaining the archive between
+//! delta-seeded rounds until fixpoint (see
+//! [`PatternFusion::run_sharded_with_pool`]'s repair notes), so partial
+//! assemblies from different shards fuse into their common core descendant
+//! — and the resulting subsumed fragments are pruned — before the final
+//! re-rank.
+//!
+//! # Determinism contracts (proven in `tests/shard_merge.rs`)
+//!
+//! * **K = 1 bit-identity** — one shard holds the whole pool in its original
+//!   order with the master seed, the merge pass is an identity re-rank, and
+//!   boundary repair is skipped: the output is bit-for-bit the unsharded
+//!   engine's (itemsets *and* support sets).
+//! * **K > 1 determinism** — shard assignment is a pure function of pool
+//!   content, every shard's RNG derives from `(seed, shard)`, shards return
+//!   results in shard order regardless of which worker ran them, and the
+//!   merge/repair passes are order-keyed — so output is identical at any
+//!   thread count (and on any machine) for a fixed partition strategy.
+
+use crate::algorithm::{dedup_sorted, splitmix64, threads_for, FusionResult, PatternFusion};
+use crate::ball::ItemsetTable;
+use crate::config::FusionConfig;
+use crate::fusion::fuse_ball;
+use crate::parallel::run_tasks;
+use crate::pattern::Pattern;
+use crate::stats::{RunStats, ShardStats};
+use cfp_itemset::{Itemset, TidSet};
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// How the initial pool is partitioned across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Round-robin over the `(support, itemset)` ranking: every shard gets
+    /// an even slice of each support stratum. The default.
+    #[default]
+    SupportStratum,
+    /// Locality bucketing by support-set minhash: patterns with similar
+    /// support sets (the core patterns of a common colossal ancestor)
+    /// co-locate with probability equal to their Jaccard similarity.
+    MinhashBucket,
+}
+
+impl ShardStrategy {
+    /// Stable lowercase name (used in stats output and env parsing).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardStrategy::SupportStratum => "stratum",
+            ShardStrategy::MinhashBucket => "minhash",
+        }
+    }
+
+    /// Parses a strategy name (`stratum` / `minhash`, as produced by
+    /// [`ShardStrategy::name`]).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "stratum" | "support" | "support-stratum" => Some(ShardStrategy::SupportStratum),
+            "minhash" | "minhash-bucket" | "locality" => Some(ShardStrategy::MinhashBucket),
+            _ => None,
+        }
+    }
+
+    /// Both strategies, for sweeps and tests.
+    pub const ALL: [ShardStrategy; 2] =
+        [ShardStrategy::SupportStratum, ShardStrategy::MinhashBucket];
+}
+
+/// Sharding configuration (see [`FusionConfig::sharding`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sharding {
+    /// Number of shards. 1 disables sharding (the plain engine runs).
+    pub shards: usize,
+    /// Partition strategy for `shards > 1`.
+    pub strategy: ShardStrategy,
+}
+
+impl Default for Sharding {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            strategy: ShardStrategy::default(),
+        }
+    }
+}
+
+impl Sharding {
+    /// The unsharded configuration.
+    pub fn single() -> Self {
+        Self::default()
+    }
+
+    /// Reads the process-wide default from the environment: `CFP_SHARDS`
+    /// (shard count; absent, empty, unparsable, or 0 → 1) and
+    /// `CFP_SHARD_STRATEGY` (`stratum` / `minhash`; default `stratum`).
+    /// This is how CI's determinism matrix runs the whole test suite
+    /// through the sharded engine without touching any call site.
+    pub fn from_env() -> Self {
+        let shards = std::env::var("CFP_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
+        let strategy = std::env::var("CFP_SHARD_STRATEGY")
+            .ok()
+            .and_then(|v| ShardStrategy::parse(&v))
+            .unwrap_or_default();
+        Self { shards, strategy }
+    }
+}
+
+/// Splits the paper's K seed budget across shards **proportionally to
+/// shard size** (largest-remainder apportionment, ties to the lower shard
+/// index), with a floor of 1 seed for every non-empty shard. The unsharded
+/// engine draws K seeds uniformly over the pool; proportional budgets keep
+/// that coverage under skewed partitions (minhash buckets are rarely
+/// balanced), so a large shard's strata are as likely to be seeded as they
+/// were in the unsharded pool. A single shard gets the whole K — required
+/// for the K = 1 bit-identity contract.
+pub fn apportion_seeds(k: usize, shard_sizes: &[usize]) -> Vec<usize> {
+    let k = k.max(1);
+    let total: usize = shard_sizes.iter().sum();
+    if total == 0 {
+        return vec![0; shard_sizes.len()];
+    }
+    let mut budget: Vec<usize> = Vec::with_capacity(shard_sizes.len());
+    // (remainder, shard) pairs for the leftover seats.
+    let mut rema: Vec<(usize, usize)> = Vec::new();
+    let mut assigned = 0usize;
+    for (s, &size) in shard_sizes.iter().enumerate() {
+        let exact = k * size;
+        let q = exact / total;
+        budget.push(q);
+        assigned += q;
+        rema.push((exact % total, s));
+    }
+    rema.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    for &(r, s) in rema.iter() {
+        if assigned >= k || r == 0 {
+            break;
+        }
+        budget[s] += 1;
+        assigned += 1;
+    }
+    for (s, &size) in shard_sizes.iter().enumerate() {
+        if size > 0 {
+            budget[s] = budget[s].max(1);
+        }
+    }
+    budget
+}
+
+/// The RNG seed of shard `shard` of `shards`: the master seed itself for a
+/// single shard (bit-identity with the unsharded engine), otherwise a
+/// SplitMix64-decorrelated derivation.
+pub fn shard_seed(seed: u64, shard: usize, shards: usize) -> u64 {
+    if shards <= 1 {
+        seed
+    } else {
+        splitmix64(seed ^ 0x5AD5_0000_0000_0000 ^ (shard as u64))
+    }
+}
+
+/// Salt decorrelating boundary-repair RNGs from shard and iteration RNGs.
+const REPAIR_SALT: u64 = 0xB00D_412E_9A10_77EE;
+
+/// Minhash of a support set: the minimum of a SplitMix64 hash over the tids.
+/// Two sets collide with probability equal to their Jaccard similarity —
+/// the locality property `MinhashBucket` relies on. Empty sets share a
+/// sentinel bucket.
+fn minhash(tids: &TidSet) -> u64 {
+    let mut m = u64::MAX;
+    for t in tids.iter() {
+        m = m.min(splitmix64(t as u64 ^ 0x15EA_5EED));
+    }
+    m
+}
+
+/// Partitions pool positions into `shards` shard member lists. Each shard's
+/// list preserves the original pool order (so a single shard reproduces the
+/// pool exactly), every position appears in exactly one list, and the
+/// assignment is a pure function of pool *content* — emit order never
+/// changes which shard a pattern lands in.
+pub fn partition(pool: &[Pattern], shards: usize, strategy: ShardStrategy) -> Vec<Vec<u32>> {
+    let n = shards.max(1);
+    let mut out = vec![Vec::new(); n];
+    if pool.is_empty() {
+        return out;
+    }
+    if n == 1 {
+        out[0] = (0..pool.len() as u32).collect();
+        return out;
+    }
+    match strategy {
+        ShardStrategy::SupportStratum => {
+            let mut order: Vec<u32> = (0..pool.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                let (pa, pb) = (&pool[a as usize], &pool[b as usize]);
+                pa.support()
+                    .cmp(&pb.support())
+                    .then_with(|| pa.items.cmp(&pb.items))
+            });
+            let mut assign = vec![0u32; pool.len()];
+            for (rank, &i) in order.iter().enumerate() {
+                assign[i as usize] = (rank % n) as u32;
+            }
+            for (i, &s) in assign.iter().enumerate() {
+                out[s as usize].push(i as u32);
+            }
+        }
+        ShardStrategy::MinhashBucket => {
+            for (i, p) in pool.iter().enumerate() {
+                let s = (splitmix64(minhash(&p.tids)) % n as u64) as usize;
+                out[s].push(i as u32);
+            }
+        }
+    }
+    out
+}
+
+impl PatternFusion<'_> {
+    /// Runs iterative fusion from a caller-supplied pool through the
+    /// sharded engine, regardless of `FusionConfig::sharding` — the config
+    /// only chooses shard count and strategy. [`PatternFusion::run_with_pool`]
+    /// routes here automatically when `sharding.shards > 1`.
+    pub fn run_sharded_with_pool(&self, pool: Vec<Pattern>) -> FusionResult {
+        let cfg = self.config();
+        let n = cfg.sharding.shards.max(1);
+        let threads = threads_for(cfg);
+        let mut stats = RunStats {
+            initial_pool_size: pool.len(),
+            kernel_backend: cfp_itemset::kernels::Backend::active(),
+            ..Default::default()
+        };
+        if pool.is_empty() {
+            return FusionResult {
+                patterns: Vec::new(),
+                stats,
+            };
+        }
+
+        let assignment = partition(&pool, n, cfg.sharding.strategy);
+        let sizes: Vec<usize> = assignment.iter().map(Vec::len).collect();
+        let seed_budget = apportion_seeds(cfg.k, &sizes);
+        // Shards on the work-stealing pool; each shard's private fusion loop
+        // runs single-threaded when there is more than one shard (the
+        // coarse-grained split replaces the fine-grained one), and with the
+        // caller's full thread budget when there is only one.
+        let assignment_ref = &assignment;
+        let pool_ref = &pool;
+        let seed_budget_ref = &seed_budget;
+        let shard_runs = run_tasks(n, threads, |s| {
+            let t0 = Instant::now();
+            let positions = &assignment_ref[s];
+            let sub: Vec<Pattern> = positions
+                .iter()
+                .map(|&i| pool_ref[i as usize].clone())
+                .collect();
+            let pool_size = sub.len();
+            if sub.is_empty() {
+                // An empty shard trivially converged on an empty archive.
+                let empty = FusionResult {
+                    patterns: Vec::new(),
+                    stats: RunStats {
+                        converged: true,
+                        ..Default::default()
+                    },
+                };
+                return (empty, t0.elapsed(), pool_size);
+            }
+            let mut scfg = cfg.clone();
+            scfg.sharding = Sharding::single();
+            scfg.k = seed_budget_ref[s];
+            scfg.seed = shard_seed(cfg.seed, s, n);
+            if n > 1 {
+                // The per-shard K is this shard's share of the global seed
+                // budget; the archive keeps the full K so local top-K
+                // truncation cannot drop a smaller colossal pattern that
+                // the global re-rank would have kept.
+                scfg.archive_cap = Some(cfg.archive_cap.unwrap_or(cfg.k).max(scfg.k));
+                scfg.threads = Some(1);
+            }
+            let r = self.run_pool_with(sub, &scfg);
+            (r, t0.elapsed(), pool_size)
+        });
+
+        // Deterministic merge: shard results concatenate in shard order (not
+        // completion order), dedup by itemset through the open-addressed
+        // table, then re-rank globally.
+        let mut merged: Vec<Pattern> = Vec::new();
+        for (s, (result, elapsed, pool_size)) in shard_runs.into_iter().enumerate() {
+            stats.shards.push(ShardStats {
+                shard: s,
+                pool_size,
+                patterns: result.patterns.len(),
+                iterations: result.stats.iterations.len(),
+                converged: result.stats.converged,
+                ball: result.stats.ball(),
+                tombstoned: result.stats.tombstoned(),
+                inserted: result.stats.inserted(),
+                compactions: result.stats.compactions(),
+                elapsed,
+            });
+            merged.extend(result.patterns);
+        }
+        {
+            let mut table = ItemsetTable::with_capacity(merged.len());
+            let mut first = Vec::with_capacity(merged.len());
+            for (i, p) in merged.iter().enumerate() {
+                first.push(
+                    table
+                        .insert_or_get(&p.items, i as u32, |si| &merged[si as usize].items)
+                        .is_none(),
+                );
+            }
+            let mut keep = first.into_iter();
+            merged.retain(|_| keep.next().unwrap_or(false));
+        }
+        dedup_sorted(&mut merged);
+
+        if n > 1 {
+            // Repair sees the *whole* merged archive (bounded by the
+            // per-shard caps, so ≤ ~n·K patterns): truncating to K first
+            // would pre-judge the ranking before cross-shard partial
+            // assemblies had a chance to fuse into something larger.
+            merged = self.boundary_repair(merged, &pool, cfg, &mut stats);
+            dedup_sorted(&mut merged);
+            prune_subsumed(&mut merged);
+            merged.truncate(cfg.k.max(1));
+        }
+
+        stats.converged = stats.shards.iter().all(|s| s.converged) && merged.len() <= cfg.k.max(1);
+        FusionResult {
+            patterns: merged,
+            stats,
+        }
+    }
+
+    /// Cross-shard boundary repair: re-balls every merged survivor and
+    /// fuses, **retaining** the archive between rounds (no pool replacement
+    /// — a survivor can never be lost to the seed-drawing lottery here),
+    /// until a round contributes no new itemset or [`REPAIR_MAX_ROUNDS`] is
+    /// hit. Partial assemblies of the same colossal pattern that grew in
+    /// different shards sit within distance `r(τ)` of each other, so
+    /// successive rounds fuse them into their common core descendant.
+    ///
+    /// **Round 0 re-balls the survivors over the original pool** (when the
+    /// pool is within [`FULL_REPAIR_POOL_LIMIT`]): a shard only ever saw
+    /// its slice of each ball, and pool members its seed lottery never drew
+    /// are in no shard's output — the full-pool ball makes every
+    /// survivor's core-pattern neighborhood whole again. Beyond the limit
+    /// that pass would cost a whole unsharded iteration, and per-shard
+    /// sampling coverage already matches the unsharded engine's seed
+    /// lottery (proportional seed budgets), so repair stays within the
+    /// merged archive.
+    ///
+    /// Every round's RNGs derive from `(master seed, round, survivor
+    /// index)` and results merge in survivor order, so the pass is
+    /// deterministic at any thread count. The working set is capped at
+    /// twice the archive size (largest-first), keeping later rounds
+    /// O(rounds · K²) with the usual metric pruning.
+    fn boundary_repair(
+        &self,
+        mut merged: Vec<Pattern>,
+        pool: &[Pattern],
+        cfg: &FusionConfig,
+        stats: &mut RunStats,
+    ) -> Vec<Pattern> {
+        if merged.len() < 2 {
+            return merged;
+        }
+        let radius = crate::distance::ball_radius(cfg.tau);
+        let params = cfg.fusion_params();
+        let threads = threads_for(cfg);
+        let window = cfg.archive_cap.unwrap_or(cfg.k).max(cfg.k).max(1) * 2;
+        dedup_sorted(&mut merged);
+        merged.truncate(window);
+        // Itemsets of the patterns added by the previous round — the only
+        // seeds later rounds need (delta seeding): a round can only create
+        // new fusions around what the previous round changed, so re-seeding
+        // every unchanged survivor each round would rediscover the same
+        // candidates at full cost.
+        let mut last_fresh: Option<Vec<Itemset>> = None;
+        for round in 0..REPAIR_MAX_ROUNDS {
+            // Candidate space: the working set, plus — in the small-pool
+            // round 0 — every original pool member not already in it. Only
+            // that extended round needs an owned copy; later rounds borrow
+            // the working set as is.
+            let space_extended: Vec<Pattern>;
+            let space: &[Pattern] = if round == 0 && pool.len() <= FULL_REPAIR_POOL_LIMIT {
+                let mut ext = merged.clone();
+                let mut table = ItemsetTable::with_capacity(ext.len() + pool.len());
+                for (i, p) in ext.iter().enumerate() {
+                    table.insert_or_get(&p.items, i as u32, |si| &ext[si as usize].items);
+                }
+                for p in pool {
+                    let idx = ext.len() as u32;
+                    if table
+                        .insert_or_get(&p.items, idx, |si| &ext[si as usize].items)
+                        .is_none()
+                    {
+                        ext.push(p.clone());
+                    }
+                }
+                space_extended = ext;
+                &space_extended
+            } else {
+                &merged
+            };
+            // Seed positions. Round 0: every survivor, plus — in the
+            // full-pool round — K fresh pool draws, restoring one unsharded
+            // iteration's worth of pool exploration (a stratum no shard's
+            // lottery drew gets the same second chance the unsharded loop's
+            // later iterations would have given it). Later rounds: only the
+            // patterns the previous round added.
+            let seed_positions: Vec<usize> = match &last_fresh {
+                None => {
+                    let mut seeds: Vec<usize> = (0..merged.len()).collect();
+                    if space.len() > merged.len() {
+                        let extra = cfg.k.min(space.len() - merged.len());
+                        let mut draw_rng = rand::rngs::StdRng::seed_from_u64(splitmix64(
+                            cfg.seed ^ REPAIR_SALT ^ ((round as u64) << 32) ^ 0xD1AA,
+                        ));
+                        seeds.extend(
+                            rand::seq::index::sample(
+                                &mut draw_rng,
+                                space.len() - merged.len(),
+                                extra,
+                            )
+                            .into_iter()
+                            .map(|j| merged.len() + j),
+                        );
+                    }
+                    seeds
+                }
+                Some(items) => {
+                    // Survivors of the pruning/window pass only.
+                    let set: std::collections::HashSet<&Itemset> = items.iter().collect();
+                    (0..merged.len())
+                        .filter(|&i| set.contains(&merged[i].items))
+                        .collect()
+                }
+            };
+            if seed_positions.is_empty() {
+                break;
+            }
+            let index =
+                crate::ball::BallIndex::new_with_threads(space, radius, cfg.ball_pivots, threads);
+            let merged_ref = space;
+            let seed_positions_ref = &seed_positions;
+            let outputs = run_tasks(seed_positions.len(), threads, |t| {
+                let i = seed_positions_ref[t];
+                let mut ball_stats = crate::ball::BallQueryStats::default();
+                let ball = index.ball(i, &mut ball_stats);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(
+                    cfg.seed ^ REPAIR_SALT ^ ((round as u64) << 32) ^ i as u64,
+                ));
+                let sampled: Vec<usize>;
+                let ball: &[usize] = if ball.len() > cfg.max_ball_size {
+                    sampled = rand::seq::index::sample(&mut rng, ball.len(), cfg.max_ball_size)
+                        .into_iter()
+                        .map(|j| ball[j])
+                        .collect();
+                    &sampled
+                } else {
+                    &ball
+                };
+                let mut out = fuse_ball(&merged_ref[i], ball, merged_ref, &params, &mut rng);
+                if cfg.closure_step {
+                    let cl = cfp_itemset::ClosureOperator::new(self.vertical_index());
+                    for p in &mut out {
+                        p.items = cl.closure_of_tidset(&p.tids);
+                    }
+                }
+                (out, ball_stats)
+            });
+            // Sized for the worst case — every fused output distinct — so
+            // the fixed-capacity open-addressed table can never fill up
+            // (a full table would make its probe loops spin forever).
+            let fused_total: usize = outputs.iter().map(|(out, _)| out.len()).sum();
+            let mut table = ItemsetTable::with_capacity(merged.len() + fused_total);
+            for (i, p) in merged.iter().enumerate() {
+                table.insert_or_get(&p.items, i as u32, |si| &merged[si as usize].items);
+            }
+            let mut fresh: Vec<Pattern> = Vec::new();
+            for (out, ball_stats) in outputs {
+                stats.repair_ball.merge(&ball_stats);
+                for p in out {
+                    let idx = (merged.len() + fresh.len()) as u32;
+                    let absent = table
+                        .insert_or_get(&p.items, idx, |si| {
+                            let si = si as usize;
+                            if si < merged.len() {
+                                &merged[si].items
+                            } else {
+                                &fresh[si - merged.len()].items
+                            }
+                        })
+                        .is_none();
+                    if absent {
+                        fresh.push(p);
+                    }
+                }
+            }
+            stats.repair_iterations = round + 1;
+            if fresh.is_empty() {
+                break; // fixpoint: the archive is fusion-closed
+            }
+            last_fresh = Some(fresh.iter().map(|p| p.items.clone()).collect());
+            merged.extend(fresh);
+            // Drop subsumed fragments *before* the window truncation:
+            // otherwise the debris of one large pattern can evict another
+            // pattern's fresh assemblies from the working set.
+            dedup_sorted(&mut merged);
+            prune_subsumed(&mut merged);
+            merged.truncate(window);
+        }
+        merged
+    }
+}
+
+/// Boundary-repair round cap: each round is one full re-ball + fusion pass
+/// over the (≤ 2·K-pattern) merged archive, so this bounds a worst case
+/// that fixpoint detection almost always cuts short.
+const REPAIR_MAX_ROUNDS: usize = 8;
+
+/// Pool-size bound for the full-pool round of boundary repair (see
+/// [`PatternFusion::run_sharded_with_pool`]'s repair notes): below it, one
+/// extra bounded re-ball pass over the original pool is cheap insurance
+/// against shard-split balls; above it, that pass would cost as much as an
+/// unsharded iteration and the proportional per-shard seed budgets already
+/// give every stratum unsharded-equivalent coverage.
+pub const FULL_REPAIR_POOL_LIMIT: usize = 4096;
+
+/// Redundancy elimination after boundary repair: a survivor whose itemset
+/// is a **proper subset** of another survivor with an **identical support
+/// set** is a partial assembly of that same pattern (sharding manufactures
+/// these — each shard grows its own fragment of a split colossal pattern,
+/// and repair then fuses them into the whole). Keeping the fragments would
+/// let them crowd smaller genuine patterns out of the final top-K, so they
+/// are dropped before the rank. Patterns whose support sets differ are
+/// never touched: a sub-pattern with strictly larger support is real
+/// information, exactly as in the unsharded result.
+///
+/// Expects the input in [`dedup_sorted`]'s (size desc, support desc,
+/// itemset) order — size-descending means any subsumer of `p` precedes it
+/// (a proper subset is strictly smaller) — and preserves that order, so
+/// callers sort once through `dedup_sorted` and never re-sort here.
+fn prune_subsumed(patterns: &mut Vec<Pattern>) {
+    debug_assert!(
+        patterns.windows(2).all(|w| w[0].len() >= w[1].len()),
+        "prune_subsumed expects dedup_sorted (size-descending) input"
+    );
+    let mut keep: Vec<Pattern> = Vec::with_capacity(patterns.len());
+    for p in patterns.drain(..) {
+        let subsumed = keep
+            .iter()
+            .any(|q| q.len() > p.len() && p.tids == q.tids && p.items.is_subset_of(&q.items));
+        if !subsumed {
+            keep.push(p);
+        }
+    }
+    *patterns = keep;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_itemset::Itemset;
+
+    fn pat(universe: usize, id: u32, tids: &[usize]) -> Pattern {
+        Pattern::new(
+            Itemset::from_items(&[id]),
+            TidSet::from_tids(universe, tids.iter().copied()),
+        )
+    }
+
+    fn small_pool() -> Vec<Pattern> {
+        let u = 128;
+        let mut pool = Vec::new();
+        for c in 0..3usize {
+            let base: Vec<usize> = (c * 40..c * 40 + 30).collect();
+            for v in 0..7usize {
+                let mut tids = base.clone();
+                tids.truncate(30 - v);
+                pool.push(pat(u, (c * 7 + v) as u32, &tids));
+            }
+        }
+        pool
+    }
+
+    #[test]
+    fn partition_covers_every_position_exactly_once() {
+        let pool = small_pool();
+        for strategy in ShardStrategy::ALL {
+            for n in [1usize, 2, 4, 8, 64] {
+                let parts = partition(&pool, n, strategy);
+                assert_eq!(parts.len(), n);
+                let mut seen = vec![0u8; pool.len()];
+                for part in &parts {
+                    // Each shard list preserves original pool order.
+                    assert!(part.windows(2).all(|w| w[0] < w[1]), "{strategy:?} n={n}");
+                    for &i in part {
+                        seen[i as usize] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "{strategy:?} n={n}: not a partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_identity_partition() {
+        let pool = small_pool();
+        for strategy in ShardStrategy::ALL {
+            let parts = partition(&pool, 1, strategy);
+            assert_eq!(parts[0], (0..pool.len() as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn support_stratum_deals_evenly() {
+        let pool = small_pool();
+        let parts = partition(&pool, 4, ShardStrategy::SupportStratum);
+        let (lo, hi) = parts.iter().fold((usize::MAX, 0), |(lo, hi), p| {
+            (lo.min(p.len()), hi.max(p.len()))
+        });
+        assert!(hi - lo <= 1, "round-robin must balance: {lo}..{hi}");
+    }
+
+    #[test]
+    fn minhash_colocates_identical_support_sets() {
+        let u = 64;
+        // Four groups of identical tid-sets; members of a group must land in
+        // the same shard at any shard count.
+        let mut pool = Vec::new();
+        for g in 0..4usize {
+            let tids: Vec<usize> = (g * 12..g * 12 + 10).collect();
+            for v in 0..5u32 {
+                pool.push(pat(u, (g as u32) * 10 + v, &tids));
+            }
+        }
+        for n in [2usize, 3, 8] {
+            let parts = partition(&pool, n, ShardStrategy::MinhashBucket);
+            let mut shard_of = vec![usize::MAX; pool.len()];
+            for (s, part) in parts.iter().enumerate() {
+                for &i in part {
+                    shard_of[i as usize] = s;
+                }
+            }
+            for g in 0..4 {
+                let first = shard_of[g * 5];
+                assert!(
+                    (0..5).all(|v| shard_of[g * 5 + v] == first),
+                    "group {g} split at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_seed_honors_the_single_shard_identity() {
+        assert_eq!(shard_seed(42, 0, 1), 42);
+        // Derived shard seeds are decorrelated and distinct.
+        let seeds: Vec<u64> = (0..8).map(|s| shard_seed(42, s, 8)).collect();
+        for i in 0..8 {
+            assert_ne!(seeds[i], 42);
+            for j in i + 1..8 {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_apportionment_is_proportional_with_floors() {
+        // A single shard keeps the whole budget (the K = 1 identity).
+        assert_eq!(apportion_seeds(20, &[123]), vec![20]);
+        // Even sizes split evenly.
+        assert_eq!(apportion_seeds(20, &[50, 50, 50, 50]), vec![5, 5, 5, 5]);
+        // Skewed sizes get proportional budgets (largest remainder takes
+        // the leftover seat; the floor tops up the smallest shards).
+        assert_eq!(apportion_seeds(12, &[900, 50, 50]), vec![11, 1, 1]);
+        // Non-empty shards always get at least one seed; empty shards none.
+        assert_eq!(apportion_seeds(2, &[10, 10, 10, 0]), vec![1, 1, 1, 0]);
+        // The budget sums to ~K (floors may add a little).
+        let b = apportion_seeds(16, &[7, 1, 300, 40]);
+        assert!(b.iter().sum::<usize>() >= 16);
+        assert!(b[2] > b[3] && b[3] > b[0]);
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in ShardStrategy::ALL {
+            assert_eq!(ShardStrategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(ShardStrategy::parse("nope"), None);
+    }
+
+    #[test]
+    fn sharding_env_parsing_defaults() {
+        // Can't mutate the process env safely in a parallel test binary;
+        // exercise the parse path and the default.
+        assert_eq!(Sharding::single().shards, 1);
+        assert_eq!(Sharding::default().strategy, ShardStrategy::SupportStratum);
+    }
+}

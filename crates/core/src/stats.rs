@@ -51,13 +51,42 @@ pub struct IterationStats {
     pub index: IndexMaintenance,
 }
 
+/// What one shard of a sharded run did (see [`crate::shard`]): the summary
+/// of its private fusion loop, recorded in shard-index order so the roll-up
+/// is deterministic at any thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index (0-based, stable for a given pool + strategy).
+    pub shard: usize,
+    /// Initial-pool patterns assigned to this shard.
+    pub pool_size: usize,
+    /// Patterns the shard's fusion run returned (pre-merge).
+    pub patterns: usize,
+    /// Fusion iterations the shard ran.
+    pub iterations: usize,
+    /// Whether the shard's loop converged to ≤ its per-shard K.
+    pub converged: bool,
+    /// Ball-query pruning counters aggregated over the shard's run.
+    pub ball: BallQueryStats,
+    /// Patterns tombstoned by the shard's persistent index.
+    pub tombstoned: u64,
+    /// Patterns inserted into the shard index's side buffer.
+    pub inserted: u64,
+    /// Compaction rebuilds of the shard's index.
+    pub compactions: usize,
+    /// Wall-clock time of the shard task (sub-pool copy + fusion run).
+    pub elapsed: Duration,
+}
+
 /// Statistics for a whole Pattern-Fusion run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
-    /// One entry per fusion iteration, in order.
+    /// One entry per fusion iteration, in order. Empty for a sharded run
+    /// (each shard's loop is summarized in [`RunStats::shards`] instead).
     pub iterations: Vec<IterationStats>,
     /// Whether the run ended because the pool shrank to ≤ K (`true`) or
-    /// because it hit the iteration cap / stagnated (`false`).
+    /// because it hit the iteration cap / stagnated (`false`). For a sharded
+    /// run: every shard converged and the merged archive fit in K.
     pub converged: bool,
     /// Size of the initial pool.
     pub initial_pool_size: usize,
@@ -66,6 +95,15 @@ pub struct RunStats {
     /// produce bit-identical results, so this never explains an output
     /// difference — it explains a timing difference.
     pub kernel_backend: Backend,
+    /// Per-shard summaries of a sharded run, in shard order. Empty for an
+    /// unsharded run. The aggregate accessors below ([`RunStats::ball`],
+    /// [`RunStats::tombstoned`], …) roll these into the run totals.
+    pub shards: Vec<ShardStats>,
+    /// Ball-query counters of the cross-shard boundary-repair pass (zeroed
+    /// for unsharded and single-shard runs).
+    pub repair_ball: BallQueryStats,
+    /// Fusion iterations the boundary-repair pass ran (0 when no repair).
+    pub repair_iterations: usize,
 }
 
 impl RunStats {
@@ -77,13 +115,33 @@ impl RunStats {
     /// Ball-query pruning counters aggregated over the whole run — the
     /// evidence for how much of the O(K·|Pool|) distance work the
     /// cardinality and pivot prunes skipped. Derived from the
-    /// per-iteration records, which stay the single source of truth.
+    /// per-iteration records (plus, for sharded runs, the per-shard
+    /// summaries and the boundary-repair pass), which stay the single
+    /// source of truth.
     pub fn ball(&self) -> BallQueryStats {
         let mut total = BallQueryStats::default();
         for it in &self.iterations {
             total.merge(&it.ball);
         }
+        for s in &self.shards {
+            total.merge(&s.ball);
+        }
+        total.merge(&self.repair_ball);
         total
+    }
+
+    /// Whether this run went through the sharded engine.
+    pub fn sharded(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
+    /// Fusion iterations across the run: the unsharded loop's iteration
+    /// count, or the per-shard total plus the boundary-repair iterations
+    /// for a sharded run.
+    pub fn total_iterations(&self) -> usize {
+        self.iterations.len()
+            + self.shards.iter().map(|s| s.iterations).sum::<usize>()
+            + self.repair_iterations
     }
 
     /// Full index builds across the run: the initial construction plus
@@ -92,19 +150,31 @@ impl RunStats {
         self.iterations.iter().filter(|i| i.index.rebuilt).count()
     }
 
-    /// Compaction rebuilds only (full builds beyond the initial one).
+    /// Compaction rebuilds only (full builds beyond the initial one),
+    /// including every shard's compactions for a sharded run.
     pub fn compactions(&self) -> usize {
         self.index_rebuilds().saturating_sub(1)
+            + self.shards.iter().map(|s| s.compactions).sum::<usize>()
     }
 
-    /// Patterns tombstoned across the run's incremental updates.
+    /// Patterns tombstoned across the run's incremental updates (all shards
+    /// for a sharded run).
     pub fn tombstoned(&self) -> u64 {
-        self.iterations.iter().map(|i| i.index.tombstoned).sum()
+        self.iterations
+            .iter()
+            .map(|i| i.index.tombstoned)
+            .sum::<u64>()
+            + self.shards.iter().map(|s| s.tombstoned).sum::<u64>()
     }
 
-    /// Patterns inserted into the side buffer across the run.
+    /// Patterns inserted into the side buffer across the run (all shards
+    /// for a sharded run).
     pub fn inserted(&self) -> u64 {
-        self.iterations.iter().map(|i| i.index.inserted).sum()
+        self.iterations
+            .iter()
+            .map(|i| i.index.inserted)
+            .sum::<u64>()
+            + self.shards.iter().map(|s| s.inserted).sum::<u64>()
     }
 
     /// Wall-clock time spent in full index (re)builds.
@@ -156,7 +226,7 @@ mod tests {
             iterations: vec![iter(2, 7), iter(4, 5), iter(4, 3)],
             converged: true,
             initial_pool_size: 100,
-            kernel_backend: Backend::default(),
+            ..RunStats::default()
         };
         assert_eq!(stats.total_generated(), 15);
         assert!(stats.min_sizes_non_decreasing());
@@ -165,7 +235,7 @@ mod tests {
             iterations: vec![iter(4, 7), iter(2, 5)],
             converged: false,
             initial_pool_size: 10,
-            kernel_backend: Backend::default(),
+            ..RunStats::default()
         };
         assert!(!bad.min_sizes_non_decreasing());
     }
@@ -204,7 +274,7 @@ mod tests {
             iterations: vec![a, b, c],
             converged: true,
             initial_pool_size: 100,
-            kernel_backend: Backend::default(),
+            ..RunStats::default()
         };
         assert_eq!(stats.index_rebuilds(), 2);
         assert_eq!(stats.compactions(), 1);

@@ -121,6 +121,19 @@ fn run_reports_pruning_on_real_workload() {
         non_members == 0 || skipped as f64 / non_members as f64 > 0.9,
         "prunes skipped only {skipped}/{non_members} non-members: {ball:?}"
     );
+    if result.stats.sharded() {
+        // Under a CFP_SHARDS>1 environment this run goes through the
+        // sharded engine: the per-iteration trajectory lives in the shard
+        // summaries instead. Check the analogous roll-up invariants.
+        let assigned: usize = result.stats.shards.iter().map(|s| s.pool_size).sum();
+        assert_eq!(assigned, result.stats.initial_pool_size);
+        assert!(result
+            .stats
+            .shards
+            .iter()
+            .all(|s| s.pool_size == 0 || s.iterations > 0));
+        return;
+    }
     // Every iteration contributed counters.
     assert!(result
         .stats

@@ -190,11 +190,15 @@ fn multi_iteration_runs_are_identical_across_thread_counts() {
     // Diag40+20 runs several iterations before converging at K = 20.
     let db = cfp_datagen::diag_plus(40, 20, 39);
     let run = |threads: usize| {
+        // Pinned to the unsharded engine: this test inspects the
+        // per-iteration maintenance trajectory, which a CFP_SHARDS>1
+        // environment would move into the per-shard summaries.
         let config = FusionConfig::new(20, 20)
             .with_pool_max_len(2)
             .with_seed(7)
             .with_parallel(true)
-            .with_threads(threads);
+            .with_threads(threads)
+            .with_shards(1);
         PatternFusion::new(&db, config).run()
     };
     let base = run(1);
@@ -271,7 +275,11 @@ fn multi_iteration_runs_are_identical_across_thread_counts() {
 #[test]
 fn maintenance_records_are_coherent_on_real_workload() {
     let db = cfp_datagen::diag_plus(40, 20, 39);
-    let config = FusionConfig::new(20, 20).with_pool_max_len(2).with_seed(11);
+    // Unsharded engine pinned: the test reads the per-iteration records.
+    let config = FusionConfig::new(20, 20)
+        .with_pool_max_len(2)
+        .with_seed(11)
+        .with_shards(1);
     let result = PatternFusion::new(&db, config).run();
     let iters = &result.stats.iterations;
     assert!(!iters.is_empty());

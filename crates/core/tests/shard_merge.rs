@@ -1,0 +1,405 @@
+//! Contracts of the sharded fusion engine (`cfp_core::shard`):
+//!
+//! 1. **K = 1 bit-identity** — the sharded machinery at one shard
+//!    (partition → per-shard fusion → merge) returns bit-for-bit the
+//!    unsharded engine's output;
+//! 2. **K > 1 determinism** — sharded output is identical at any thread
+//!    count, for both partition strategies;
+//! 3. **recovery parity on planted data** — sharded and unsharded runs
+//!    recover the same planted colossal patterns (the par_eclat-style
+//!    partition-and-merge contract: support-complete partitions preserve
+//!    the result set);
+//! 4. **edge cases** — empty shards, single-pattern shards, and duplicate
+//!    cross-shard fusions.
+
+use cfp_core::{FusionConfig, Pattern, PatternFusion, ShardStrategy};
+use cfp_itemset::{Itemset, TidSet};
+use proptest::prelude::*;
+
+/// Full bit-identity of two results: itemsets AND support sets, in order.
+fn assert_identical(a: &[Pattern], b: &[Pattern], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: result sizes differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.items, y.items, "{label}: itemset drift");
+        assert_eq!(x.tids, y.tids, "{label}: support-set drift");
+    }
+}
+
+fn assert_no_duplicate_itemsets(patterns: &[Pattern], label: &str) {
+    let mut seen = std::collections::HashSet::new();
+    for p in patterns {
+        assert!(
+            seen.insert(&p.items),
+            "{label}: duplicate itemset {:?}",
+            p.items
+        );
+    }
+}
+
+fn pat(universe: usize, items: &[u32], tids: &[usize]) -> Pattern {
+    Pattern::new(
+        Itemset::from_items(items),
+        TidSet::from_tids(universe, tids.iter().copied()),
+    )
+}
+
+#[test]
+fn single_shard_engine_is_bit_identical_to_unsharded() {
+    let db = cfp_datagen::diag_plus(14, 7, 10);
+    for seed in [3u64, 17, 41] {
+        let config = FusionConfig::new(8, 7)
+            .with_pool_max_len(2)
+            .with_seed(seed)
+            .with_shards(1);
+        let pf = PatternFusion::new(&db, config);
+        let pool = pf.mine_initial_pool();
+        let unsharded = pf.run_with_pool(pool.clone());
+        // Force the full sharded machinery (partition + merge) at one shard.
+        let sharded = pf.run_sharded_with_pool(pool);
+        assert_identical(
+            &unsharded.patterns,
+            &sharded.patterns,
+            &format!("seed {seed}"),
+        );
+        assert_eq!(sharded.stats.shards.len(), 1);
+        assert_eq!(
+            sharded.stats.shards[0].pool_size,
+            unsharded.stats.initial_pool_size
+        );
+        // No boundary repair ran for a single shard.
+        assert_eq!(sharded.stats.repair_ball.pairs_total, 0);
+    }
+}
+
+#[test]
+fn sharded_output_is_deterministic_across_thread_counts() {
+    let data = cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+        n_rows: 40,
+        pattern_sizes: vec![9, 7, 6],
+        pattern_support: 12,
+        max_row_overlap: 4,
+        row_len: 0,
+        filler_rows_lo: 2,
+        filler_rows_hi: 3,
+        seed: 5,
+    });
+    for strategy in ShardStrategy::ALL {
+        for shards in [2usize, 4, 8] {
+            let run = |threads: usize| {
+                let config = FusionConfig::new(12, 12)
+                    .with_pool_max_len(2)
+                    .with_seed(99)
+                    .with_shards(shards)
+                    .with_shard_strategy(strategy)
+                    .with_threads(threads);
+                PatternFusion::new(&data.db, config).run()
+            };
+            let one = run(1);
+            assert_eq!(one.stats.shards.len(), shards);
+            let assigned: usize = one.stats.shards.iter().map(|s| s.pool_size).sum();
+            assert_eq!(
+                assigned, one.stats.initial_pool_size,
+                "partition must cover the pool"
+            );
+            assert_no_duplicate_itemsets(&one.patterns, "sharded result");
+            for threads in [2usize, 8] {
+                let many = run(threads);
+                assert_identical(
+                    &one.patterns,
+                    &many.patterns,
+                    &format!("{strategy:?} shards={shards} threads={threads}"),
+                );
+                // The rolled-up counters are part of the deterministic
+                // contract too.
+                assert_eq!(one.stats.ball(), many.stats.ball());
+                assert_eq!(
+                    one.stats.shards_without_time(),
+                    many.stats.shards_without_time()
+                );
+            }
+        }
+    }
+}
+
+/// Compares everything but wall-clock times, which legitimately vary.
+trait ShardStatsNoTime {
+    fn shards_without_time(&self) -> Vec<cfp_core::ShardStats>;
+}
+impl ShardStatsNoTime for cfp_core::RunStats {
+    fn shards_without_time(&self) -> Vec<cfp_core::ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                s.elapsed = std::time::Duration::default();
+                s
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn empty_shards_are_tolerated() {
+    // 3 patterns over 8 shards: at least 5 shards are empty under either
+    // strategy; with minhash and identical support sets, 7 are.
+    let u = 64;
+    let tids: Vec<usize> = (0..20).collect();
+    let pool = vec![
+        pat(u, &[1], &tids),
+        pat(u, &[2], &tids),
+        pat(u, &[3], &tids),
+    ];
+    for strategy in ShardStrategy::ALL {
+        let db = cfp_datagen::diag(4); // only the vertical index's universe matters
+        let config = FusionConfig::new(4, 1)
+            .with_tau(1.0)
+            .with_seed(7)
+            .with_shards(8)
+            .with_shard_strategy(strategy);
+        let pf = PatternFusion::new(&db, config);
+        let result = pf.run_sharded_with_pool(pool.clone());
+        assert_eq!(result.stats.shards.len(), 8, "{strategy:?}");
+        assert!(
+            result
+                .stats
+                .shards
+                .iter()
+                .filter(|s| s.pool_size == 0)
+                .count()
+                >= 5,
+            "{strategy:?}: expected mostly-empty shards"
+        );
+        assert!(!result.patterns.is_empty(), "{strategy:?}");
+        assert_no_duplicate_itemsets(&result.patterns, "empty-shard run");
+        // Identical support sets fuse at τ=1; the boundary repair (or a
+        // lucky co-location) must assemble the full union {1,2,3}.
+        let union = Itemset::from_items(&[1, 2, 3]);
+        assert!(
+            result.patterns.iter().any(|p| p.items == union),
+            "{strategy:?}: union not assembled: {:?}",
+            result.patterns
+        );
+    }
+}
+
+#[test]
+fn single_pattern_shards_fuse_through_boundary_repair() {
+    // Four patterns with identical support sets, one per shard under
+    // round-robin: no shard can fuse anything locally, so only the
+    // cross-shard boundary repair can assemble the 4-item union.
+    let u = 64;
+    let tids: Vec<usize> = (5..25).collect();
+    let pool = vec![
+        pat(u, &[10], &tids),
+        pat(u, &[11], &tids),
+        pat(u, &[12], &tids),
+        pat(u, &[13], &tids),
+    ];
+    let db = cfp_datagen::diag(4);
+    let config = FusionConfig::new(4, 1)
+        .with_tau(1.0)
+        .with_seed(11)
+        .with_shards(4)
+        .with_shard_strategy(ShardStrategy::SupportStratum);
+    let pf = PatternFusion::new(&db, config);
+    let result = pf.run_sharded_with_pool(pool);
+    for s in &result.stats.shards {
+        assert_eq!(
+            s.pool_size, 1,
+            "round-robin must deal one pattern per shard"
+        );
+    }
+    assert!(
+        result.stats.repair_ball.pairs_total > 0,
+        "repair must have run"
+    );
+    let union = Itemset::from_items(&[10, 11, 12, 13]);
+    assert!(
+        result.patterns.iter().any(|p| p.items == union),
+        "boundary repair failed to fuse the split ball: {:?}",
+        result.patterns
+    );
+}
+
+#[test]
+fn duplicate_cross_shard_fusions_are_deduplicated() {
+    // Two shards each hold enough of the same identical-tid-set family to
+    // fuse the same union independently; the merge must keep exactly one
+    // copy of every itemset.
+    let u = 64;
+    let tids: Vec<usize> = (0..16).collect();
+    let pool: Vec<Pattern> = (0..8u32).map(|i| pat(u, &[i], &tids)).collect();
+    let db = cfp_datagen::diag(4);
+    for strategy in ShardStrategy::ALL {
+        let config = FusionConfig::new(6, 1)
+            .with_tau(1.0)
+            .with_seed(23)
+            .with_attempts_per_seed(16)
+            .with_shards(2)
+            .with_shard_strategy(strategy);
+        let pf = PatternFusion::new(&db, config);
+        let result = pf.run_sharded_with_pool(pool.clone());
+        assert_no_duplicate_itemsets(&result.patterns, "duplicate-fusion run");
+        assert!(result.patterns.len() <= 6, "result capped at K");
+    }
+}
+
+#[test]
+fn sharded_runs_recover_the_diag_colossal_pattern() {
+    // The archive test's scenario (Diag40+20 scaled down) through the
+    // sharded engine: the colossal block must survive partitioning, per-
+    // shard archives, the merge, and the boundary repair, for every
+    // strategy and shard count.
+    let db = cfp_datagen::diag_plus(20, 10, 16);
+    let colossal: Vec<u32> = (21..=36)
+        .map(|i| db.item_map().internal(i).unwrap())
+        .collect();
+    let target = Itemset::from_items(&colossal);
+    for strategy in ShardStrategy::ALL {
+        for shards in [2usize, 4, 8] {
+            for seed in [7u64, 8, 9, 10] {
+                let config = FusionConfig::new(10, 10)
+                    .with_pool_max_len(2)
+                    .with_seed(seed)
+                    .with_shards(shards)
+                    .with_shard_strategy(strategy);
+                let result = PatternFusion::new(&db, config).run();
+                assert!(
+                    result.patterns.iter().any(|p| p.items == target),
+                    "{strategy:?} shards={shards} seed={seed}: colossal lost"
+                );
+                assert!(result.patterns.len() <= 10, "result capped at K");
+            }
+        }
+    }
+}
+
+#[test]
+fn k1_sharded_converges_to_a_single_pattern() {
+    let db = cfp_datagen::diag_plus(10, 5, 7);
+    for strategy in ShardStrategy::ALL {
+        let config = FusionConfig::new(1, 5)
+            .with_pool_max_len(2)
+            .with_seed(9)
+            .with_shards(4)
+            .with_shard_strategy(strategy);
+        let result = PatternFusion::new(&db, config).run();
+        assert_eq!(result.patterns.len(), 1, "{strategy:?}");
+        assert!(result.patterns[0].support() >= 5);
+    }
+}
+
+/// The planted instances the recovery-parity property runs on: a handful of
+/// colossal blocks over a small universe, mined at exactly the planting
+/// support.
+fn planted_case(sizes: Vec<usize>, support: usize, seed: u64) -> (cfp_datagen::PlantedData, usize) {
+    let data = cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+        n_rows: 36,
+        pattern_sizes: sizes,
+        pattern_support: support,
+        max_row_overlap: 2,
+        row_len: 0,
+        filler_rows_lo: 2,
+        filler_rows_hi: 4,
+        seed,
+    });
+    (data, support)
+}
+
+/// The planted blocks present in a result, as indices into `planted`.
+fn recovered_blocks(result: &[Pattern], planted: &[cfp_datagen::PlantedPattern]) -> Vec<usize> {
+    planted
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| result.iter().any(|p| p.items == b.items))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The partition-and-merge contract on planted datasets at τ = 1 (the
+    /// forced-answer regime: only identical-support-set patterns fuse, so
+    /// every result is a subset of a planted block): the sharded engine
+    /// recovers every planted block the unsharded engine recovers — for
+    /// both partition strategies, at 2 and 4 shards — never mixes blocks,
+    /// and is bit-identical at any thread count.
+    #[test]
+    fn sharded_output_matches_unsharded_on_planted_datasets(
+        sizes in proptest::collection::vec(6usize..11, 2..4),
+        support in 9usize..13,
+        data_seed in 0u64..1 << 40,
+        run_seed in 0u64..1 << 40,
+    ) {
+        let (data, minsup) = planted_case(sizes, support, data_seed);
+        let base = || {
+            FusionConfig::new(16, minsup)
+                .with_pool_max_len(2)
+                .with_tau(1.0)
+                .with_seed(run_seed)
+        };
+
+        let unsharded = PatternFusion::new(&data.db, base().with_shards(1)).run();
+        let want = recovered_blocks(&unsharded.patterns, &data.patterns);
+
+        for strategy in ShardStrategy::ALL {
+            for shards in [2usize, 4] {
+                let run = |threads: usize| {
+                    let config = base()
+                        .with_shards(shards)
+                        .with_shard_strategy(strategy)
+                        .with_threads(threads);
+                    PatternFusion::new(&data.db, config).run()
+                };
+                let a = run(1);
+                let got = recovered_blocks(&a.patterns, &data.patterns);
+                for block in &want {
+                    assert!(
+                        got.contains(block),
+                        "{strategy:?} shards={shards}: planted block {block} \
+                         (size {}) recovered unsharded but lost to sharding",
+                        data.patterns[*block].items.len()
+                    );
+                }
+                // τ = 1 purity: sharding must not introduce cross-block
+                // mixing the unsharded engine cannot produce.
+                for p in &a.patterns {
+                    assert!(
+                        data.patterns.iter().any(|b| p.items.is_subset_of(&b.items)),
+                        "{strategy:?} shards={shards}: mixed pattern {:?}",
+                        p.items
+                    );
+                }
+                assert_no_duplicate_itemsets(&a.patterns, "sharded planted run");
+                let b = run(3);
+                assert_identical(
+                    &a.patterns,
+                    &b.patterns,
+                    &format!("{strategy:?} shards={shards} thread determinism"),
+                );
+            }
+        }
+    }
+
+    /// K = 1 bit-identity on arbitrary planted instances: the sharded
+    /// machinery with one shard reproduces the unsharded engine bit for bit.
+    #[test]
+    fn single_shard_bit_identity_on_planted_datasets(
+        sizes in proptest::collection::vec(5usize..10, 1..4),
+        support in 8usize..13,
+        data_seed in 0u64..1 << 40,
+        run_seed in 0u64..1 << 40,
+    ) {
+        let (data, minsup) = planted_case(sizes, support, data_seed);
+        let config = FusionConfig::new(8, minsup)
+            .with_pool_max_len(2)
+            .with_seed(run_seed)
+            .with_shards(1);
+        let pf = PatternFusion::new(&data.db, config);
+        let pool = pf.mine_initial_pool();
+        let unsharded = pf.run_with_pool(pool.clone());
+        let sharded = pf.run_sharded_with_pool(pool);
+        assert_identical(&unsharded.patterns, &sharded.patterns, "K=1 identity");
+    }
+}

@@ -68,6 +68,31 @@ pub fn initial_pool(db: &TransactionDb, min_count: usize, max_len: usize) -> Vec
     pool
 }
 
+/// [`initial_pool`] in **support-stratified emit order**: ascending support,
+/// itemset as the tie-break. The sharded fusion engine
+/// (`cfp_core::shard`) consumes this order — shard assignment is keyed on
+/// pattern content either way, but a stratified emission keeps every
+/// shard's sub-pool support-contiguous (the order its ball index sorts by),
+/// and makes round-robin stratum assignment independent of miner internals.
+pub fn initial_pool_stratified(
+    db: &TransactionDb,
+    min_count: usize,
+    max_len: usize,
+) -> Vec<PoolPattern> {
+    let mut pool = initial_pool(db, min_count, max_len);
+    sort_stratified(&mut pool);
+    pool
+}
+
+/// Sorts a pool into the stratified `(support asc, itemset)` order.
+pub fn sort_stratified(pool: &mut [PoolPattern]) {
+    pool.sort_by(|a, b| {
+        a.support()
+            .cmp(&b.support())
+            .then_with(|| a.items.cmp(&b.items))
+    });
+}
+
 fn dfs(
     frequent: &[(u32, &TidSet)],
     pos: usize,

@@ -43,7 +43,7 @@ pub use closed::closed;
 pub use eclat::eclat;
 pub use fpgrowth::fp_growth;
 pub use fptree::FpTree;
-pub use initial_pool::{initial_pool, PoolPattern};
+pub use initial_pool::{initial_pool, initial_pool_stratified, sort_stratified, PoolPattern};
 pub use maximal::maximal;
 pub use topk::top_k_closed;
 pub use types::{sort_canonical, MinedPattern};

@@ -3,6 +3,7 @@
 //! ```text
 //! cfp mine <file.dat> [--minsup FRAC | --mincount N] [--k N] [--tau T]
 //!          [--pool-len L] [--seed S] [--closure] [--stats]
+//!          [--shards N] [--shard-strategy stratum|minhash]
 //! cfp stats <file.dat>
 //! cfp generate <diag|diag-plus|replace|all|quest> [--out FILE] [--seed S]
 //! ```
@@ -51,7 +52,11 @@ usage:
       --pool-len L     initial pool size bound             [default 3]
       --seed S         RNG seed                            [default 2007]
       --closure        close fused patterns (report closed patterns)
-      --stats          print per-iteration statistics
+      --shards N       sharded engine: partition the pool into N shards
+                       (overrides CFP_SHARDS; 1 = unsharded)  [default 1]
+      --shard-strategy stratum|minhash
+                       partition strategy (overrides CFP_SHARD_STRATEGY)
+      --stats          print per-iteration (and per-shard) statistics
   cfp stats <file.dat>               dataset summary
   cfp generate <kind> [--out FILE] [--seed S]
       kinds: diag40, diag-plus (the intro's Diag40+20), replace, all, quest";
@@ -105,11 +110,21 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         db.len(),
         db.num_items()
     );
-    let config = FusionConfig::new(k, min_count)
+    // `--shards N` / `--shard-strategy stratum|minhash` override the
+    // CFP_SHARDS / CFP_SHARD_STRATEGY environment defaults.
+    let mut config = FusionConfig::new(k, min_count)
         .with_tau(tau)
         .with_pool_max_len(pool_len)
         .with_seed(seed)
         .with_closure_step(parse_flag(args, "--closure"));
+    if let Some(shards) = parse_value::<usize>(args, "--shards")? {
+        config = config.with_shards(shards);
+    }
+    if let Some(name) = parse_value::<String>(args, "--shard-strategy")? {
+        let strategy = colossal::fusion::ShardStrategy::parse(&name)
+            .ok_or_else(|| format!("unknown --shard-strategy '{name}' (stratum|minhash)"))?;
+        config = config.with_shard_strategy(strategy);
+    }
     let pf = PatternFusion::new(&db, config);
     let t0 = std::time::Instant::now();
     let result = pf.run();
@@ -118,7 +133,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         result.patterns.len(),
         t0.elapsed().as_secs_f64(),
         result.stats.initial_pool_size,
-        result.stats.iterations.len()
+        result.stats.total_iterations()
     );
     if parse_flag(args, "--stats") {
         for (i, it) in result.stats.iterations.iter().enumerate() {
@@ -129,6 +144,23 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
                 it.min_pattern_len,
                 it.max_pattern_len,
                 it.elapsed.as_secs_f64()
+            );
+        }
+        for s in &result.stats.shards {
+            eprintln!(
+                "  shard {}: pool {} → {} patterns, {} iterations{} in {:.3}s",
+                s.shard,
+                s.pool_size,
+                s.patterns,
+                s.iterations,
+                if s.converged { "" } else { " (cap)" },
+                s.elapsed.as_secs_f64()
+            );
+        }
+        if result.stats.sharded() {
+            eprintln!(
+                "  merge: {} boundary-repair iterations",
+                result.stats.repair_iterations
             );
         }
     }
