@@ -15,7 +15,7 @@
 //! fusion loop evolves it — a shrinking survivor majority plus a trickle of
 //! freshly fused patterns — and each measured unit is the whole
 //! multi-iteration run: per-iteration queries plus either a fresh
-//! [`BallIndex::new`] (rebuild strategy) or one initial build followed by
+//! [`BallIndex::build`] (rebuild strategy) or one initial build followed by
 //! [`BallIndex::apply_delta`] tombstone/insert updates with the
 //! deterministic compaction policy (persistent strategy). Both strategies
 //! return identical balls (gated before timing); the persistent one
@@ -26,9 +26,9 @@
 //! the pruning counters, and (for the iteration bench) the maintenance
 //! counters — tombstones, inserts, side-buffer hits, compactions.
 
-use cfp_core::{ball_radius, BallIndex, BallQueryStats, Pattern, PoolDelta};
-use cfp_itemset::kernels::{self, Backend};
-use cfp_itemset::{Itemset, TidSet};
+use cfp_core::{ball_radius, BallIndex, BallQueryStats, Pattern, PoolDelta, PoolStore};
+use cfp_itemset::kernels::Backend;
+use cfp_itemset::{Itemset, PatternPool, TidSet};
 use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -79,13 +79,18 @@ fn bench_ball(c: &mut Criterion) {
     let radius = ball_radius(TAU);
     let seeds: Vec<usize> = rand::seq::index::sample(&mut rng, pool.len(), SEEDS).into_vec();
 
+    // The slab store is built once (at mine time in the real engine); the
+    // per-iteration index build over it is what the timed region pays.
+    let store = PoolStore::from_patterns(&pool);
+    let rows: Vec<u32> = (0..pool.len() as u32).collect();
+
     // Correctness gate before timing anything: the engine must return the
     // brute-force balls exactly.
-    let index = BallIndex::new(&pool, radius, PIVOTS);
+    let index = BallIndex::build(&store, &rows, radius, PIVOTS);
     let mut gate_stats = BallQueryStats::default();
     for &q in &seeds {
         assert_eq!(
-            index.ball(q, &mut gate_stats),
+            index.ball(&store, q, &mut gate_stats),
             brute_ball(&pool, q, radius),
             "engine diverged from brute force at seed {q}"
         );
@@ -110,11 +115,11 @@ fn bench_ball(c: &mut Criterion) {
 
     group.bench_function("engine_index_plus_queries", |b| {
         b.iter(|| {
-            let index = BallIndex::new(black_box(&pool), radius, PIVOTS);
+            let index = BallIndex::build(black_box(&store), &rows, radius, PIVOTS);
             let mut stats = BallQueryStats::default();
             let mut members = 0usize;
             for &q in &seeds {
-                members += index.ball(q, &mut stats).len();
+                members += index.ball(&store, q, &mut stats).len();
             }
             (members, stats)
         })
@@ -195,8 +200,23 @@ fn bench_ball_iter(c: &mut Criterion) {
         let next = evolve_pool(&pools[g - 1], g as u64, &mut next_id);
         pools.push(next);
     }
+    // One shared slab store for the whole trajectory (the fusion loop
+    // interns each generation's fresh patterns the same way).
+    let mut store = PoolStore::from_patterns(&pools[0]);
+    let gen_rows: Vec<Vec<u32>> = pools
+        .iter()
+        .enumerate()
+        .map(|(g, pool)| {
+            if g == 0 {
+                (0..pool.len() as u32).collect()
+            } else {
+                pool.iter().map(|p| store.intern(p)).collect()
+            }
+        })
+        .collect();
+    let store = store;
     let deltas: Vec<PoolDelta> = (1..=ITERATIONS)
-        .map(|g| PoolDelta::compute(&pools[g - 1], &pools[g]))
+        .map(|g| PoolDelta::compute(&gen_rows[g - 1], &gen_rows[g], store.len_rows()))
         .collect();
     let seeds: Vec<Vec<usize>> = pools
         .iter()
@@ -209,17 +229,17 @@ fn bench_ball_iter(c: &mut Criterion) {
     let mut gate_stats = BallQueryStats::default();
     let mut maintenance = Vec::new();
     {
-        let mut index = BallIndex::new(&pools[0], radius, PIVOTS_ITER);
+        let mut index = BallIndex::build(&store, &gen_rows[0], radius, PIVOTS_ITER);
         for g in 0..=ITERATIONS {
             if g > 0 {
-                maintenance.push(index.apply_delta(&pools[g], &deltas[g - 1], 1));
+                maintenance.push(index.apply_delta(&store, &gen_rows[g], &deltas[g - 1], 1));
             }
-            let fresh = BallIndex::new(&pools[g], radius, PIVOTS_ITER);
+            let fresh = BallIndex::build(&store, &gen_rows[g], radius, PIVOTS_ITER);
             let mut fresh_stats = BallQueryStats::default();
             for &q in &seeds[g] {
                 assert_eq!(
-                    index.ball(q, &mut gate_stats),
-                    fresh.ball(q, &mut fresh_stats),
+                    index.ball(&store, q, &mut gate_stats),
+                    fresh.ball(&store, q, &mut fresh_stats),
                     "persistent index diverged at generation {g}, seed {q}"
                 );
             }
@@ -242,9 +262,9 @@ fn bench_ball_iter(c: &mut Criterion) {
             let mut members = 0usize;
             let mut stats = BallQueryStats::default();
             for g in 0..=ITERATIONS {
-                let index = BallIndex::new(black_box(&pools[g]), radius, PIVOTS_ITER);
+                let index = BallIndex::build(black_box(&store), &gen_rows[g], radius, PIVOTS_ITER);
                 for &q in &seeds[g] {
-                    members += index.ball(q, &mut stats).len();
+                    members += index.ball(&store, q, &mut stats).len();
                 }
             }
             (members, stats)
@@ -255,15 +275,16 @@ fn bench_ball_iter(c: &mut Criterion) {
         b.iter(|| {
             let mut members = 0usize;
             let mut stats = BallQueryStats::default();
-            let mut index = BallIndex::new(black_box(&pools[0]), radius, PIVOTS_ITER);
+            let mut index = BallIndex::build(black_box(&store), &gen_rows[0], radius, PIVOTS_ITER);
             for g in 0..=ITERATIONS {
                 if g > 0 {
                     // Delta computation is part of this strategy's cost.
-                    let delta = PoolDelta::compute(&pools[g - 1], &pools[g]);
-                    black_box(index.apply_delta(&pools[g], &delta, 1));
+                    let delta =
+                        PoolDelta::compute(&gen_rows[g - 1], &gen_rows[g], store.len_rows());
+                    black_box(index.apply_delta(&store, &gen_rows[g], &delta, 1));
                 }
                 for &q in &seeds[g] {
-                    members += index.ball(q, &mut stats).len();
+                    members += index.ball(&store, q, &mut stats).len();
                 }
             }
             (members, stats)
@@ -421,16 +442,15 @@ fn bench_kernels(c: &mut Criterion) {
     let pool = build_pool(&mut rng);
     let radius = ball_radius(TAU);
     let n_rows = pool.len();
-    let words_per_row = pool[0].tids.blocks().len();
-    let suf_stride = words_per_row.div_ceil(kernels::SUFFIX_STRIDE) + 1;
-    let mut slab: Vec<u64> = Vec::with_capacity(n_rows * words_per_row);
-    let mut sufs: Vec<u32> = Vec::with_capacity(n_rows * suf_stride);
-    let mut cards: Vec<u32> = Vec::with_capacity(n_rows);
+    // The slab layout under test is exactly the engine's: one PatternPool
+    // holding tid words, suffix tables, and supports in parallel columns.
+    let mut slab_pool = PatternPool::with_capacity(UNIVERSE, n_rows);
     for p in &pool {
-        slab.extend_from_slice(p.tids.blocks());
-        kernels::suffix_cards_into(p.tids.blocks(), &mut sufs);
-        cards.push(p.tids.count() as u32);
+        slab_pool.push_tidset(p.items.items(), &p.tids);
     }
+    let words_per_row = slab_pool.words_per_row();
+    let suf_stride = slab_pool.suf_stride();
+    let (slab, sufs, cards) = (slab_pool.words(), slab_pool.sufs(), slab_pool.supports());
     // A mid-support query row: its cardinality window covers a healthy
     // share of the slab, so both hit and early-exit paths run.
     let q_row = n_rows / 2;
@@ -468,8 +488,8 @@ fn bench_kernels(c: &mut Criterion) {
                 backend.jaccard_batch(
                     black_box(&q),
                     qc,
-                    &slab,
-                    &cards,
+                    slab,
+                    cards,
                     words_per_row,
                     0..n_rows,
                     &mut out,
@@ -490,8 +510,8 @@ fn bench_kernels(c: &mut Criterion) {
                     backend.jaccard_batch(
                         black_box(&q),
                         qc,
-                        &slab,
-                        &cards,
+                        slab,
+                        cards,
                         words_per_row,
                         0..HOT_WINDOW,
                         &mut out,
@@ -507,8 +527,8 @@ fn bench_kernels(c: &mut Criterion) {
                 backend.jaccard_within_batch(
                     black_box(&q),
                     &qs,
-                    &slab,
-                    &sufs,
+                    slab,
+                    sufs,
                     suf_stride,
                     words_per_row,
                     0..n_rows,

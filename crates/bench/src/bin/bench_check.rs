@@ -10,6 +10,7 @@
 //! | `BENCH_ball_iter.json`| `speedup`           | 1.25×  |
 //! | `BENCH_kernels.json`  | `batched_hot_speedup` | 2×   |
 //! | `BENCH_shard.json`    | `speedup_k4`        | 1.3×   |
+//! | `BENCH_pool.json`     | `mine_speedup`      | 2×     |
 //!
 //! A 10% measurement-noise allowance is applied (the gate trips below
 //! 0.9 × target): these are *regression* gates for shared CI boxes, not
@@ -17,7 +18,10 @@
 //! prune, a serialized shard pipeline) lands far below the allowance, while
 //! run-to-run noise on a busy runner does not. The kernels gate is skipped
 //! when the box detected no SIMD backend (`best_backend == "scalar"`), where
-//! a 1.0× "speedup" is the expected truth, not a regression.
+//! a 1.0× "speedup" is the expected truth, not a regression; the pool gate
+//! (parallel mine at 4 threads) is likewise skipped when the box has fewer
+//! than 4 cores (`threads_available`), where the queue cannot scale by
+//! definition.
 //!
 //! Run: `cargo run --release -p cfp-bench --bin bench_check -- --check`
 //! (without `--check` it reports without failing; `--root DIR` overrides
@@ -36,7 +40,7 @@ struct Gate {
     what: &'static str,
 }
 
-const GATES: [Gate; 4] = [
+const GATES: [Gate; 5] = [
     Gate {
         file: "BENCH_ball.json",
         field: "speedup",
@@ -60,6 +64,12 @@ const GATES: [Gate; 4] = [
         field: "speedup_k4",
         target: 1.3,
         what: "sharded fusion engine, K=4 vs K=1",
+    },
+    Gate {
+        file: "BENCH_pool.json",
+        field: "mine_speedup",
+        target: 2.0,
+        what: "parallel initial-pool slab mine, 4 threads vs serial",
     },
 ];
 
@@ -120,6 +130,15 @@ fn main() -> ExitCode {
         if gate.file == "BENCH_kernels.json" && field_str(&json, "best_backend") == Some("scalar") {
             println!(
                 "SKIP {:<22} no SIMD backend detected on this box (scalar vs scalar is 1x by definition)",
+                gate.file
+            );
+            continue;
+        }
+        if gate.file == "BENCH_pool.json"
+            && field_f64(&json, "threads_available").is_some_and(|t| t < 4.0)
+        {
+            println!(
+                "SKIP {:<22} fewer than 4 cores on this box (a 4-thread mine cannot scale here)",
                 gate.file
             );
             continue;

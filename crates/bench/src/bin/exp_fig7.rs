@@ -59,9 +59,9 @@ fn main() {
             .with_pool_max_len(2)
             .with_seed(0xF170 + k as u64);
         let pf = PatternFusion::new(&db, config);
-        let pool = pf.mine_initial_pool();
-        let pool_size = pool.len();
-        let result = pf.run_with_pool(pool);
+        // One mine + run over the slab store; no Vec<Pattern> round-trip.
+        let result = pf.run();
+        let pool_size = result.stats.initial_pool_size;
 
         // Compare against the sampled complete set; internal item ids equal
         // the integers 1..=40 minus 1, and the sample uses ids 0..40 — the

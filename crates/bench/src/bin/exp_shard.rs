@@ -59,13 +59,15 @@ fn main() {
             .with_shard_strategy(strategy)
     };
     let pf_ref = PatternFusion::new(&data.db, base_cfg(1, ShardStrategy::SupportStratum));
-    let pool = pf_ref.mine_initial_pool();
-    let unsharded = pf_ref.run_with_pool(pool.clone());
+    // One slab mined for the whole sweep: every run enters zero-copy, and
+    // the K = 1 identity check compares over the identical pool.
+    let pool = pf_ref.mine_initial_slab();
+    let unsharded = pf_ref.run_with_slab(pool.clone());
 
     for strategy in ShardStrategy::ALL {
         for shards in [1usize, 2, 4, 8] {
             let pf = PatternFusion::new(&data.db, base_cfg(shards, strategy));
-            let (result, d) = time(|| pf.run_sharded_with_pool(pool.clone()));
+            let (result, d) = time(|| pf.run_sharded_with_slab(pool.clone()));
             if shards == 1 {
                 // The bit-identity contract, live: the sharded machinery at
                 // one shard must reproduce the unsharded engine exactly.

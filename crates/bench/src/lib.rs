@@ -149,20 +149,26 @@ pub fn clustered_pool(
 }
 
 /// The uniform engine-statistics line every `exp_*` binary prints: kernel
-/// backend, iteration count, ball-prune percentage, and the persistent-
-/// index maintenance aggregates — one schema across all binaries, for
-/// sharded and unsharded runs alike.
+/// backend, iteration count, ball-prune percentage, the persistent-index
+/// maintenance aggregates, and the slab pool-store footprint — one schema
+/// across all binaries, for sharded and unsharded runs alike.
 pub fn engine_line(stats: &RunStats) -> String {
     let ball = stats.ball();
     let mut line = format!(
-        "engine: backend={} iters={} pruned_pct={:.1} tombstoned={} inserted={} compactions={}",
+        "engine: backend={} iters={} pruned_pct={:.1} tombstoned={} inserted={} compactions={} \
+         pool_rows={} pool_kib={}",
         stats.kernel_backend.name(),
         stats.total_iterations(),
         ball.pruned_fraction() * 100.0,
         stats.tombstoned(),
         stats.inserted(),
         stats.compactions(),
+        stats.pool.rows,
+        stats.pool.peak_bytes / 1024,
     );
+    if stats.pool.mine_workers > 0 {
+        line.push_str(&format!(" mine_workers={}", stats.pool.mine_workers));
+    }
     if stats.sharded() {
         line.push_str(&format!(
             " shards={} repair_iters={}",

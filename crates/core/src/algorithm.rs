@@ -13,28 +13,39 @@
 //! Lemma 5 (the minimum pattern size in the pool is non-decreasing); a
 //! stagnation check and an iteration cap guard degenerate configurations.
 //!
+//! # The slab data plane
+//!
+//! The pool is not a `Vec<Pattern>`: the engine mines the initial pool **in
+//! parallel straight into a columnar slab**
+//! ([`cfp_miners::initial_pool_slab`] → [`cfp_itemset::PatternPool`]) and
+//! from then on every pool, archive, and delta is a `Vec<u32>` of row ids
+//! into one [`PoolStore`] (frozen base slab + append-only overlay; see
+//! [`crate::pool`]). Fused patterns are interned — one row per distinct
+//! itemset, ever — so pool-identity questions (dedup, survivorship,
+//! stagnation) are row-id comparisons instead of itemset hashing, and the
+//! ball index borrows slab rows instead of copying tid-sets.
+//! [`Pattern`] remains the public view type: results materialize once, at
+//! the end of the run.
+//!
 //! Seed processing is embarrassingly parallel; each seed's RNG is derived
 //! from the master seed and the seed's position, so results are bit-for-bit
 //! identical at any thread count.
 //!
 //! Ball queries go through the metric-pruned [`crate::ball::BallIndex`]
-//! (cardinality range + pivot triangle-inequality prunes over a
-//! structure-of-arrays tid-set arena) instead of a brute-force O(K·|Pool|)
-//! distance scan, and both the ball scans and the per-seed fusions are
-//! distributed over a work-stealing task queue ([`crate::parallel`]) rather
-//! than fixed per-thread chunks.
+//! (cardinality range + pivot triangle-inequality prunes over the shared
+//! slab) instead of a brute-force O(K·|Pool|) distance scan, and both the
+//! ball scans and the per-seed fusions are distributed over a work-stealing
+//! task queue ([`crate::parallel`]) rather than fixed per-thread chunks.
 //!
 //! The index is **persistent across iterations**: it is built once from the
-//! initial pool and then carried forward through
-//! [`BallIndex::apply_delta`] — survivors keep their arena slots, departures
-//! are tombstoned, new fused patterns enter a sorted side buffer, and a
-//! deterministic compaction policy rebuilds only when the arena decays (see
-//! the lifecycle notes in [`crate::ball`]). The loop computes the
-//! [`PoolDelta`] between consecutive pools by itemset identity (pools are
-//! itemset-deduplicated, and itemsets determine support sets), so the index
-//! never has to store itemsets itself. None of this changes results — balls
-//! stay exactly brute-force over the live pool — it only removes the
-//! per-iteration rebuild, the dominant index cost.
+//! initial pool and then advanced via [`BallIndex::apply_delta`] —
+//! survivors keep their arena slots, departures are tombstoned, new fused
+//! patterns enter a sorted side buffer (row ids only), and a deterministic
+//! compaction policy rebuilds only when the arena decays (see the lifecycle
+//! notes in [`crate::ball`]). The [`PoolDelta`] between consecutive pools
+//! is plain row membership — interning makes row equality itemset equality.
+//! None of this changes results — balls stay exactly brute-force over the
+//! live pool.
 
 use crate::ball::{BallIndex, BallQueryStats, PoolDelta};
 use crate::config::FusionConfig;
@@ -42,13 +53,13 @@ use crate::distance::ball_radius;
 use crate::fusion::fuse_ball;
 use crate::parallel::run_tasks;
 use crate::pattern::Pattern;
-use crate::stats::{IndexMaintenance, IterationStats, RunStats};
-use cfp_itemset::{ClosureOperator, Itemset, TransactionDb, VerticalIndex};
+use crate::pool::{materialize, rank_rows, PoolStore};
+use crate::stats::{IndexMaintenance, IterationStats, PoolStats, RunStats};
+use cfp_itemset::{ClosureOperator, TransactionDb, VerticalIndex};
+use cfp_miners::PoolMineStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 /// Live candidates per ball-scan task: small enough that one seed's
@@ -102,42 +113,102 @@ impl<'a> PatternFusion<'a> {
         &self.config
     }
 
-    /// Mines the initial pool: the complete set of frequent patterns of size
-    /// ≤ `pool_max_len` with their support sets (paper §2.3, phase 1).
+    /// Mines the initial pool straight into the slab store: the complete
+    /// set of frequent patterns of size ≤ `pool_max_len` with their support
+    /// sets (paper §2.3, phase 1), fanned out over the run's thread budget.
     ///
     /// Sharded runs mine the pool in support-stratified emit order
-    /// ([`cfp_miners::initial_pool_stratified`]): shard assignment is keyed
-    /// on pattern content either way, but the stratified order keeps each
-    /// shard's sub-pool support-contiguous, which is what its private ball
-    /// index sorts by anyway.
-    pub fn mine_initial_pool(&self) -> Vec<Pattern> {
-        let mined = if self.config.sharding.shards > 1 {
-            cfp_miners::initial_pool_stratified(
+    /// ([`cfp_miners::initial_pool_slab_stratified`]): shard assignment is
+    /// keyed on pattern content either way, but the stratified order keeps
+    /// each shard's sub-pool support-contiguous, which is what its private
+    /// ball index sorts by anyway.
+    pub(crate) fn mine_store(&self) -> (PoolStore, PoolMineStats) {
+        let threads = threads_for(&self.config);
+        let (slab, mine) = if self.config.sharding.shards > 1 {
+            cfp_miners::initial_pool_slab_stratified(
                 self.db,
                 self.config.min_count,
                 self.config.pool_max_len,
+                threads,
             )
         } else {
-            cfp_miners::initial_pool(self.db, self.config.min_count, self.config.pool_max_len)
+            cfp_miners::initial_pool_slab(
+                self.db,
+                self.config.min_count,
+                self.config.pool_max_len,
+                threads,
+            )
         };
-        mined.into_iter().map(Pattern::from).collect()
+        (PoolStore::new(slab), mine)
     }
 
-    /// Runs the full algorithm: mines the initial pool, then iterates
-    /// fusion until at most K patterns remain.
+    /// The initial pool as a columnar slab — what the engine mines and
+    /// runs on. Pair with [`PatternFusion::run_with_slab`] to sweep many
+    /// configurations over one mined pool without ever materializing
+    /// `Vec<Pattern>`.
+    pub fn mine_initial_slab(&self) -> cfp_itemset::PatternPool {
+        let (store, _) = self.mine_store();
+        store.into_base()
+    }
+
+    /// The initial pool as owned patterns — a materialized view of
+    /// [`PatternFusion::mine_initial_slab`], for harnesses and tests. The
+    /// engine itself never takes this copy.
+    pub fn mine_initial_pool(&self) -> Vec<Pattern> {
+        let (store, _) = self.mine_store();
+        let rows: Vec<u32> = (0..store.base_len() as u32).collect();
+        materialize(&store, &rows)
+    }
+
+    /// Runs the full algorithm: mines the initial pool into the slab, then
+    /// iterates fusion until at most K patterns remain.
     pub fn run(&self) -> FusionResult {
-        let pool = self.mine_initial_pool();
-        self.run_with_pool(pool)
+        let (store, mine) = self.mine_store();
+        self.run_from_store(store, mine)
     }
 
     /// Runs iterative fusion from a caller-supplied pool (phase 2 only).
-    /// Routes through the sharded engine ([`crate::shard`]) when
-    /// `FusionConfig::sharding` asks for more than one shard.
+    /// The patterns are copied once into a fresh base slab — the
+    /// compatibility entry for harnesses holding `Vec<Pattern>`; in-engine
+    /// pools never round-trip through owned patterns. Routes through the
+    /// sharded engine ([`crate::shard`]) when `FusionConfig::sharding` asks
+    /// for more than one shard.
     pub fn run_with_pool(&self, pool: Vec<Pattern>) -> FusionResult {
-        if self.config.sharding.shards > 1 {
-            self.run_sharded_with_pool(pool)
+        let store = PoolStore::from_patterns(&pool);
+        self.run_from_store(store, PoolMineStats::default())
+    }
+
+    /// Runs iterative fusion from a caller-supplied **slab** (phase 2
+    /// only): the zero-copy entry — the slab becomes the store's frozen
+    /// base as is. This is what [`PatternFusion::run`] does with the slab
+    /// it mines; external producers (e.g. [`cfp_miners::initial_pool_slab`]
+    /// called ahead of time, or a deserialized pool) use it to skip the
+    /// `Vec<Pattern>` materialization round-trip entirely.
+    pub fn run_with_slab(&self, slab: cfp_itemset::PatternPool) -> FusionResult {
+        self.run_from_store(PoolStore::new(slab), PoolMineStats::default())
+    }
+
+    /// Shared tail of [`PatternFusion::run`] / [`PatternFusion::run_with_pool`]:
+    /// routes sharded vs plain, stamps pool statistics, materializes.
+    fn run_from_store(&self, mut store: PoolStore, mine: PoolMineStats) -> FusionResult {
+        let rows: Vec<u32> = (0..store.base_len() as u32).collect();
+        let (final_rows, mut stats) = if self.config.sharding.shards > 1 {
+            self.run_sharded_rows(&mut store, rows)
         } else {
-            self.run_pool_with(pool, &self.config)
+            self.run_rows_with(&mut store, rows, &self.config)
+        };
+        stats.pool = PoolStats {
+            rows: store.len_rows(),
+            initial_rows: store.base_len(),
+            tid_bytes: store.tid_bytes(),
+            peak_bytes: store.resident_bytes(),
+            mine_workers: mine.workers,
+            mine_time: mine.mine_time,
+            splice_time: mine.splice_time,
+        };
+        FusionResult {
+            patterns: materialize(&store, &final_rows),
+            stats,
         }
     }
 
@@ -146,40 +217,40 @@ impl<'a> PatternFusion<'a> {
         &self.index
     }
 
-    /// The unsharded fusion loop under an explicit configuration — the
-    /// sharded engine calls this once per shard with a per-shard K, seed,
-    /// and thread budget.
-    pub(crate) fn run_pool_with(&self, mut pool: Vec<Pattern>, cfg: &FusionConfig) -> FusionResult {
+    /// The unsharded fusion loop over row-id pools, under an explicit
+    /// configuration — the sharded engine calls this once per shard with a
+    /// per-shard K, seed, and thread budget (and a forked store).
+    pub(crate) fn run_rows_with(
+        &self,
+        store: &mut PoolStore,
+        mut rows: Vec<u32>,
+        cfg: &FusionConfig,
+    ) -> (Vec<u32>, RunStats) {
         let mut stats = RunStats {
-            initial_pool_size: pool.len(),
+            initial_pool_size: rows.len(),
             // Resolved once here (first kernel call of the process detects
             // it); recorded so perf numbers can be attributed to a backend.
             kernel_backend: cfp_itemset::kernels::Backend::active(),
             ..Default::default()
         };
-        if pool.is_empty() {
-            return FusionResult {
-                patterns: Vec::new(),
-                stats,
-            };
+        if rows.is_empty() {
+            return (rows, stats);
         }
         let radius = ball_radius(cfg.tau);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let threads = threads_for(cfg);
         // Cross-iteration archive of the largest patterns seen (see
         // `FusionConfig::archive`): protects already-found colossal patterns
-        // from the seed-drawing survival lottery.
-        let mut archive: Vec<Pattern> = Vec::new();
-        // Sorted itemset-hash fingerprint of `pool`, carried across
-        // iterations so the stagnation check hashes each pool once instead
-        // of rebuilding a HashSet of every itemset per iteration.
-        let mut pool_fp: Option<Vec<u64>> = None;
+        // from the seed-drawing survival lottery. Row ids — archiving a
+        // pattern costs 4 bytes, not a clone.
+        let mut archive: Vec<u32> = Vec::new();
 
         // The long-lived ball index: built once here, then advanced by
         // pool deltas (tombstones + side-buffer inserts) at the end of each
         // iteration instead of being rebuilt from scratch.
         let t_build = Instant::now();
-        let mut index = BallIndex::new_with_threads(&pool, radius, cfg.ball_pivots, threads);
+        let mut index =
+            BallIndex::build_with_threads(store, &rows, radius, cfg.ball_pivots, threads);
         let mut maintenance = IndexMaintenance {
             rebuilt: true,
             live: index.len(),
@@ -190,38 +261,48 @@ impl<'a> PatternFusion<'a> {
 
         for iteration in 0..cfg.max_iterations {
             let t0 = Instant::now();
-            let n_seeds = cfg.k.min(pool.len()).max(1);
+            let n_seeds = cfg.k.min(rows.len()).max(1);
             let seed_positions: Vec<usize> =
-                rand::seq::index::sample(&mut rng, pool.len(), n_seeds).into_vec();
+                rand::seq::index::sample(&mut rng, rows.len(), n_seeds).into_vec();
 
-            let (per_seed, ball_stats) =
-                self.process_seeds(cfg, &pool, &index, &seed_positions, iteration, threads);
+            let (per_seed, ball_stats) = self.process_seeds(
+                cfg,
+                store,
+                &rows,
+                &index,
+                &seed_positions,
+                iteration,
+                threads,
+            );
 
-            // Merge, deduplicating by itemset without cloning any itemset:
-            // mark first occurrences through a borrowing set, then keep them.
-            let flat: Vec<Pattern> = per_seed.into_iter().flatten().collect();
-            let mut keep = Vec::with_capacity(flat.len());
+            // Merge, deduplicating through the store's interner: every
+            // fused pattern resolves to its row (appending the overlay's
+            // first sighting), and first row occurrence wins — the same
+            // first-itemset-occurrence rule as before, without building a
+            // borrow set.
+            let mut next: Vec<u32> = Vec::new();
             {
-                let mut seen: HashSet<&Itemset> = HashSet::with_capacity(flat.len());
-                keep.extend(flat.iter().map(|p| seen.insert(&p.items)));
+                let mut seen: HashSet<u32> = HashSet::new();
+                for p in per_seed.into_iter().flatten() {
+                    let row = store.intern(&p);
+                    if seen.insert(row) {
+                        next.push(row);
+                    }
+                }
             }
-            let mut keep = keep.into_iter();
-            let next: Vec<Pattern> = flat
-                .into_iter()
-                .filter(|_| keep.next().unwrap_or(false))
-                .collect();
 
             if cfg.archive {
-                archive.extend(next.iter().cloned());
-                dedup_sorted(&mut archive);
+                archive.extend(next.iter().copied());
+                rank_rows(store, &mut archive);
                 archive.truncate(cfg.archive_cap.unwrap_or(cfg.k));
             }
 
-            let (min_len, max_len) = next.iter().fold((usize::MAX, 0), |(lo, hi), p| {
-                (lo.min(p.len()), hi.max(p.len()))
+            let (min_len, max_len) = next.iter().fold((usize::MAX, 0), |(lo, hi), &r| {
+                let l = store.items_of(r).len();
+                (lo.min(l), hi.max(l))
             });
             stats.iterations.push(IterationStats {
-                pool_size: pool.len(),
+                pool_size: rows.len(),
                 seeds: n_seeds,
                 generated: next.len(),
                 min_pattern_len: if next.is_empty() { 0 } else { min_len },
@@ -231,23 +312,16 @@ impl<'a> PatternFusion<'a> {
                 index: maintenance,
             });
 
-            // Stagnation check: the pool reproduces itself exactly. Compare
-            // sorted 64-bit fingerprints (the previous pool's is cached from
-            // last iteration); only a fingerprint match — which outside of
-            // actual stagnation needs a hash collision across the whole pool
-            // — pays for an exact itemset-set comparison.
-            let stagnated = if next.len() == pool.len() {
-                let next_fp = itemset_fingerprint(&next);
-                let prev_fp = pool_fp.take().unwrap_or_else(|| itemset_fingerprint(&pool));
-                let same = prev_fp == next_fp && {
-                    let old: HashSet<&Itemset> = pool.iter().map(|p| &p.items).collect();
-                    next.iter().all(|p| old.contains(&p.items))
-                };
-                pool_fp = Some(next_fp);
-                same
-            } else {
-                pool_fp = None;
-                false
+            // Stagnation check: the pool reproduces itself exactly. Row ids
+            // are itemset identity, so this is a sorted-id comparison — the
+            // fingerprint/hash-set machinery the `Vec<Pattern>` pipeline
+            // needed is gone.
+            let stagnated = next.len() == rows.len() && {
+                let mut a = rows.clone();
+                let mut b = next.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                a == b
             };
             let continuing = next.len() > cfg.k && !stagnated && iteration + 1 < cfg.max_iterations;
             if continuing {
@@ -255,12 +329,12 @@ impl<'a> PatternFusion<'a> {
                 // still alive: survivors keep their slots, departures are
                 // tombstoned, fresh fusions enter the side buffer.
                 let t_update = Instant::now();
-                let delta = PoolDelta::compute(&pool, &next);
-                maintenance = index.apply_delta(&next, &delta, threads);
+                let delta = PoolDelta::compute(&rows, &next, store.len_rows());
+                maintenance = index.apply_delta(store, &next, &delta, threads);
                 maintenance.elapsed = t_update.elapsed();
             }
-            pool = next;
-            if pool.len() <= cfg.k {
+            rows = next;
+            if rows.len() <= cfg.k {
                 stats.converged = true;
                 break;
             }
@@ -272,17 +346,14 @@ impl<'a> PatternFusion<'a> {
         }
 
         if cfg.archive {
-            let cap = pool.len().max(cfg.archive_cap.unwrap_or(cfg.k));
-            pool.extend(archive);
-            dedup_sorted(&mut pool);
-            pool.truncate(cap);
+            let cap = rows.len().max(cfg.archive_cap.unwrap_or(cfg.k));
+            rows.extend(archive);
+            rank_rows(store, &mut rows);
+            rows.truncate(cap);
         } else {
-            dedup_sorted(&mut pool);
+            rank_rows(store, &mut rows);
         }
-        FusionResult {
-            patterns: pool,
-            stats,
-        }
+        (rows, stats)
     }
 
     /// Ball query + fusion for each seed, optionally in parallel. Every seed
@@ -299,10 +370,14 @@ impl<'a> PatternFusion<'a> {
     ///    exactly the brute-force scan's output.
     /// 2. **Fusion** — seeds are claimed the same way; each runs with its
     ///    position-derived RNG, so the schedule never leaks into results.
+    ///    Outputs are owned patterns; the caller interns them into the
+    ///    store between the parallel phases.
+    #[allow(clippy::too_many_arguments)]
     fn process_seeds(
         &self,
         cfg: &FusionConfig,
-        pool: &[Pattern],
+        store: &PoolStore,
+        rows: &[u32],
         index: &BallIndex,
         seed_positions: &[usize],
         iteration: usize,
@@ -320,7 +395,7 @@ impl<'a> PatternFusion<'a> {
             let (order, ref seg) = tasks[t];
             let mut members = Vec::new();
             let mut stats = BallQueryStats::default();
-            queries[order].scan(seg.clone(), &mut members, &mut stats);
+            queries[order].scan(store, seg.clone(), &mut members, &mut stats);
             (members, stats)
         });
         let mut balls: Vec<Vec<usize>> = vec![Vec::new(); seed_positions.len()];
@@ -338,7 +413,6 @@ impl<'a> PatternFusion<'a> {
 
         // Phase 2: per-seed fusion.
         let results = run_tasks(seed_positions.len(), threads, |order| {
-            let seed = &pool[seed_positions[order]];
             let ball = &balls[order];
             let mut seed_rng = StdRng::seed_from_u64(splitmix64(
                 cfg.seed
@@ -357,7 +431,14 @@ impl<'a> PatternFusion<'a> {
             } else {
                 ball
             };
-            let mut out = fuse_ball(seed, ball, pool, &cfg.fusion_params(), &mut seed_rng);
+            let mut out = fuse_ball(
+                store,
+                rows,
+                seed_positions[order],
+                ball,
+                &cfg.fusion_params(),
+                &mut seed_rng,
+            );
             if cfg.closure_step {
                 let cl = ClosureOperator::new(&self.index);
                 for p in &mut out {
@@ -368,22 +449,6 @@ impl<'a> PatternFusion<'a> {
         });
         (results, ball_stats)
     }
-}
-
-/// Sorted 64-bit itemset hashes — an order-insensitive pool fingerprint.
-/// Equal pools always produce equal fingerprints; unequal fingerprints
-/// therefore prove the pool changed without any set construction.
-fn itemset_fingerprint(patterns: &[Pattern]) -> Vec<u64> {
-    let mut hashes: Vec<u64> = patterns
-        .iter()
-        .map(|p| {
-            let mut h = DefaultHasher::new();
-            p.items.hash(&mut h);
-            h.finish()
-        })
-        .collect();
-    hashes.sort_unstable();
-    hashes
 }
 
 /// Worker threads a run under `cfg` may use (1 when `parallel` is off).
@@ -399,19 +464,6 @@ pub(crate) fn threads_for(cfg: &FusionConfig) -> usize {
     }
 }
 
-/// Sorts by (size desc, support desc, itemset) and removes itemset
-/// duplicates — the global result ranking (shared with the shard-archive
-/// merge in [`crate::shard`]).
-pub(crate) fn dedup_sorted(patterns: &mut Vec<Pattern>) {
-    patterns.sort_by(|a, b| {
-        b.len()
-            .cmp(&a.len())
-            .then_with(|| b.support().cmp(&a.support()))
-            .then_with(|| a.items.cmp(&b.items))
-    });
-    patterns.dedup_by(|a, b| a.items == b.items);
-}
-
 /// SplitMix64 finalizer: decorrelates derived RNG seeds.
 pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -424,6 +476,7 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::FusionConfig;
+    use cfp_itemset::Itemset;
 
     /// The introduction's flagship scenario, scaled down: Diag16 plus 8 rows
     /// of a 12-item block. Exhaustive miners face C(16,8) = 12 870 mid-sized

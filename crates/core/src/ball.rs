@@ -1,5 +1,5 @@
 //! The metric-pruned ball-query engine, maintained incrementally across
-//! fusion iterations.
+//! fusion iterations, over **borrowed pool-slab rows**.
 //!
 //! Every Pattern-Fusion iteration asks, for each of K seeds α, for the ball
 //! `{β ∈ Pool : Dist(α, β) ≤ r(τ)}`. The naive scan is O(K · |Pool|) full
@@ -16,40 +16,52 @@
 //!    precomputed distance columns, `|d(α,p) − d(β,p)| > r ⇒ Dist(α,β) > r`.
 //!    Seeds are pool members, so their pivot distances are table lookups.
 //! 3. **Bounded exact check** — survivors run the batched early-exit radius
-//!    kernel ([`cfp_itemset::kernels::jaccard_within_rows`]) over the pool's
-//!    structure-of-arrays tid-set arena: one query streamed against
-//!    32-byte-aligned slab rows on whatever SIMD backend the process
-//!    detected ([`cfp_itemset::kernels::Backend`]), instead of chasing
-//!    per-pattern heap pointers. Backends are bit-identical in results, so
-//!    none of this is visible in output.
+//!    kernel ([`cfp_itemset::kernels::jaccard_within_rows`]) gathered
+//!    straight over the pool slab's 32-byte-aligned rows on whatever SIMD
+//!    backend the process detected ([`cfp_itemset::kernels::Backend`]).
+//!    Backends are bit-identical in results, so none of this is visible in
+//!    output.
 //!
 //! The float prunes are slackened by [`SLACK`] so rounding can only cause a
 //! redundant exact check, never a false reject: the engine returns exactly
 //! the brute-force ball, in ascending pool order (a property test in
 //! `tests/ball_determinism.rs` enforces this).
 //!
+//! # Zero-copy arenas
+//!
+//! The index used to copy every tid-set (and its suffix table) into private
+//! arenas on every build. It now **borrows** the [`PoolStore`] slab instead:
+//! the "arena" is a support-sorted list of global row ids plus the small
+//! derived columns the prunes need (cards, pivot-distance rows). Tid words
+//! and suffix tables are gathered from the slab at scan time through the
+//! kernels' gather entry points — slab rows are frozen and row ids stable
+//! (see [`cfp_itemset::store`]'s ownership contract), so the index can
+//! persist across iterations while the overlay slab grows. Every query
+//! method therefore takes the store it indexes; passing a different store
+//! than the one the index was built over is a logic error.
+//!
 //! # Lifecycle: the persistent index
 //!
 //! The fusion loop replaces its pool every iteration, but most of each new
 //! pool is carried over from the old one (fused patterns reproduce
-//! themselves once they saturate), so rebuilding the arena from scratch per
-//! iteration — PR 1's design — wasted the dominant index cost. The index is
-//! therefore a long-lived structure updated through [`BallIndex::apply_delta`]
-//! with a [`PoolDelta`] (computed by the caller, which owns pattern
-//! identity). Its state is two regions sharing one global position space:
+//! themselves once they saturate), so rebuilding per iteration would waste
+//! the dominant index cost. The index is a long-lived structure updated
+//! through [`BallIndex::apply_delta`] with a [`PoolDelta`] (computed by the
+//! caller, which owns pool identity). Its state is two regions sharing one
+//! global position space:
 //!
 //! * **Main arena** — positions `0..arena_slots()`, support-sorted at the
 //!   last full (re)build. Slots are *frozen*: a pattern that leaves the pool
-//!   is tombstoned (its `live` bit cleared) but its words stay in place, so
-//!   pivot reference data and every live slot's address remain valid. A
+//!   is tombstoned (its `live` bit cleared) but its row binding stays, so
+//!   pivot reference data and every live slot's binding remain valid. A
 //!   prefix-sum of live bits (`live_prefix`) prices any window's live
 //!   population in O(1), which keeps stats accounting exact and lets
 //!   [`BallQuery::segments`] hand workers near-equal *live* work.
 //! * **Side buffer** — positions `arena_slots()..`, the patterns inserted
 //!   since the last rebuild. Rebuilt (filtered, merged, re-sorted by
 //!   support) on every `apply_delta`, which is cheap because compaction
-//!   bounds its size; every side entry is live, and its pivot row is
-//!   computed once at insert time against the arena's pivot words.
+//!   bounds its size and entries are row ids, not words; every side entry
+//!   is live, and its pivot row is computed once at insert time.
 //!
 //! Invariants maintained by every update:
 //!
@@ -58,16 +70,13 @@
 //! * Both regions are support-sorted, so a ball query is two binary-searched
 //!   windows; their concatenation is the candidate set.
 //! * Tombstoned slots are never reported, never counted as pairs, and never
-//!   consulted except as pivot reference words (a pivot need not be a live
+//!   consulted except as pivot reference rows (a pivot need not be a live
 //!   pool member for the triangle inequality to hold).
 //!
 //! **Compaction** is lazy and deterministic (a pure function of index
 //! state): when live density falls below [`MIN_LIVE_DENSITY`] or the side
 //! buffer outgrows [`MAX_SIDE_RATIO`] of the arena, the whole index is
 //! rebuilt from the current pool (fresh sort, fresh pivots, empty side).
-//! Because the live set shrinks geometrically across iterations, the total
-//! rebuild work over a run is bounded by a constant multiple of the initial
-//! build — the amortization `crates/bench/benches/ball.rs` measures.
 //!
 //! None of this machinery is visible in results: balls are exact over the
 //! live set, so fusion output is bit-identical to the rebuild-per-iteration
@@ -76,10 +85,9 @@
 //! [`BallQueryStats::tombstone_skips`]) reveal the difference.
 
 use crate::parallel::run_tasks;
-use crate::pattern::Pattern;
+use crate::pool::PoolStore;
 use crate::stats::IndexMaintenance;
 use cfp_itemset::kernels;
-use cfp_itemset::{AlignedWords, Itemset};
 use std::time::Instant;
 
 /// Absolute slack added to the pruning radii so floating-point rounding can
@@ -176,153 +184,114 @@ impl BallQueryStats {
 #[derive(Debug, Clone, Default)]
 pub struct PoolDelta {
     /// `(old pool index, new pool index)` for every pattern present in both
-    /// pools (matched by itemset — itemsets determine support sets, and
-    /// pools are itemset-deduplicated).
+    /// pools. Pools are row-id lists over one interning [`PoolStore`], so
+    /// "present in both" is plain row-id equality — the itemset-hashing
+    /// matching pass the `Vec<Pattern>` pipeline paid every iteration is
+    /// gone.
     pub survivors: Vec<(u32, u32)>,
     /// New pool indices with no counterpart in the old pool.
     pub inserts: Vec<u32>,
 }
 
-/// Fast deterministic itemset hash for [`PoolDelta::compute`]'s matching
-/// table: an FxHash-style multiply-rotate fold over the sorted items. The
-/// delta runs every fusion iteration over the whole pool, where `SipHash` +
-/// `HashMap` probing used to be a measurable slice of the persistent-index
-/// path; collisions are handled exactly (equal-hash candidates are verified
-/// by itemset equality), so only speed depends on hash quality.
-fn itemset_hash(items: &Itemset) -> u64 {
-    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-    let mut h = 0u64;
-    for &item in items.items() {
-        h = (h.rotate_left(5) ^ item as u64).wrapping_mul(SEED);
-    }
-    // Finalize so short itemsets spread across the high bits too.
-    h ^ (h >> 32)
-}
-
-/// Open-addressed itemset→index table with linear probing: exact itemset
-/// matching (occupied slots are verified by itemset equality, so hash
-/// quality only affects speed) without per-probe `SipHash` or map
-/// (re)allocation. Slots hold bare `u32` indices — half the footprint of
-/// storing hashes alongside, which keeps the table cache-resident for the
-/// pool sizes the fusion loop sees.
-///
-/// The table does not own the itemsets; every operation takes an `at`
-/// resolver mapping a stored index back to its itemset. Used by
-/// [`PoolDelta::compute`] every fusion iteration and by the shard-archive
-/// merge in [`crate::shard`].
-pub(crate) struct ItemsetTable {
-    mask: usize,
-    slots: Vec<u32>,
-}
-
-impl ItemsetTable {
-    const EMPTY: u32 = u32::MAX;
-
-    /// A table sized for `n` insertions at ≤ 50% load.
-    pub(crate) fn with_capacity(n: usize) -> Self {
-        let mask = (n * 2).next_power_of_two().max(2) - 1;
-        Self {
-            mask,
-            slots: vec![Self::EMPTY; mask + 1],
-        }
-    }
-
-    /// Looks `items` up among the inserted entries; when absent, inserts
-    /// `idx` and returns `None`, otherwise returns the existing index.
-    pub(crate) fn insert_or_get<'a>(
-        &mut self,
-        items: &Itemset,
-        idx: u32,
-        at: impl Fn(u32) -> &'a Itemset,
-    ) -> Option<u32> {
-        let mut s = itemset_hash(items) as usize & self.mask;
-        loop {
-            let si = self.slots[s];
-            if si == Self::EMPTY {
-                self.slots[s] = idx;
-                return None;
-            }
-            if at(si) == items {
-                return Some(si);
-            }
-            s = (s + 1) & self.mask;
-        }
-    }
-
-    /// Looks `items` up without inserting.
-    pub(crate) fn get<'a>(&self, items: &Itemset, at: impl Fn(u32) -> &'a Itemset) -> Option<u32> {
-        let mut s = itemset_hash(items) as usize & self.mask;
-        loop {
-            let si = self.slots[s];
-            if si == Self::EMPTY {
-                return None;
-            }
-            if at(si) == items {
-                return Some(si);
-            }
-            s = (s + 1) & self.mask;
-        }
-    }
-}
-
 impl PoolDelta {
-    /// Computes the delta between two pools by itemset identity.
-    pub fn compute(old: &[Pattern], new: &[Pattern]) -> Self {
-        let mut table = ItemsetTable::with_capacity(old.len());
-        for (i, p) in old.iter().enumerate() {
-            let prior = table.insert_or_get(&p.items, i as u32, |si| &old[si as usize].items);
-            debug_assert!(prior.is_none(), "old pool not itemset-deduplicated");
+    /// Computes the delta between two row-id pools sharing one store
+    /// (`total_rows` = [`PoolStore::len_rows`], the row-id space bound).
+    /// O(|old| + |new|) array writes — no hashing, no itemset reads.
+    pub fn compute(old: &[u32], new: &[u32], total_rows: usize) -> Self {
+        let mut old_pos = vec![DEAD; total_rows];
+        for (i, &r) in old.iter().enumerate() {
+            debug_assert_eq!(old_pos[r as usize], DEAD, "old pool has duplicate rows");
+            old_pos[r as usize] = i as u32;
         }
         let mut survivors = Vec::new();
         let mut inserts = Vec::new();
-        for (j, p) in new.iter().enumerate() {
-            match table.get(&p.items, |si| &old[si as usize].items) {
-                Some(si) => survivors.push((si, j as u32)),
-                None => inserts.push(j as u32),
+        for (j, &r) in new.iter().enumerate() {
+            match old_pos[r as usize] {
+                DEAD => inserts.push(j as u32),
+                i => survivors.push((i, j as u32)),
             }
         }
         Self { survivors, inserts }
     }
 }
 
+/// A gather plan over the store's two slabs: row lists per slab plus the
+/// destination offsets their kernel outputs scatter back to. The batched
+/// kernels stream one contiguous slab at a time, so every mixed-row batch
+/// splits into at most two gathers.
+#[derive(Default)]
+struct SlabGather {
+    base_rows: Vec<u32>,
+    base_dst: Vec<u32>,
+    local_rows: Vec<u32>,
+    local_dst: Vec<u32>,
+}
+
+impl SlabGather {
+    fn plan(store: &PoolStore, entries: impl Iterator<Item = (u32, u32)>) -> Self {
+        let mut g = SlabGather::default();
+        for (dst, row) in entries {
+            let (local, idx) = store.split(row);
+            if local {
+                g.local_rows.push(idx);
+                g.local_dst.push(dst);
+            } else {
+                g.base_rows.push(idx);
+                g.base_dst.push(dst);
+            }
+        }
+        g
+    }
+
+    /// Distances from one query row to every planned row, scattered into
+    /// `out` (indexed by the plan's destination offsets) via `col` scratch.
+    fn jaccard_from(
+        &self,
+        store: &PoolStore,
+        q_row: u32,
+        q_card: usize,
+        out: &mut [f64],
+        col: &mut Vec<f64>,
+    ) {
+        let w = store.words_per_row();
+        let qw = store.words_of(q_row);
+        for (slab, rows, dst) in [
+            (store.base_pool(), &self.base_rows, &self.base_dst),
+            (store.local_pool(), &self.local_rows, &self.local_dst),
+        ] {
+            col.clear();
+            kernels::jaccard_rows(qw, q_card, slab.words(), slab.supports(), w, rows, col);
+            for (k, &d) in dst.iter().zip(col.iter()) {
+                out[*k as usize] = d;
+            }
+        }
+    }
+}
+
 /// A persistent index over the pool for radius-`r` ball queries.
 ///
-/// Construction copies every tid-set into a contiguous words arena, sorts
-/// patterns by support, and computes the pivot distance table — O(|Pool| ·
-/// words) plus O(P · |Pool|) Jaccards, amortized over K seed queries per
-/// iteration *and* over subsequent iterations via [`BallIndex::apply_delta`]
-/// (see the module docs for the tombstone / side-buffer / compaction
-/// lifecycle).
+/// Construction sorts the pool's row ids by support and computes the pivot
+/// distance table — O(P · |Pool|) batched Jaccards over the slab, amortized
+/// over K seed queries per iteration *and* over subsequent iterations via
+/// [`BallIndex::apply_delta`]. No tid words are copied: the arena holds row
+/// ids and derived prune columns only (see the module docs).
 pub struct BallIndex {
-    /// Words per tid-set (shared universe).
-    words_per_set: usize,
-    /// Main-arena SoA in **support-sorted order** as of the last rebuild:
-    /// the pattern at arena position `pos` has its tid-set words at
-    /// `pos*words_per_set ..`. A query's candidate window is a contiguous
-    /// arena slice, so the scan streams words, suffix tables, and pivot rows
-    /// with zero indirection. Slots are frozen: tombstoned entries keep
-    /// their words (pivot reference data must not move). Stored 32-byte
-    /// aligned ([`AlignedWords`]); `words_per_set` is a lane multiple
-    /// (tid-set blocks are lane-padded), so every row is aligned too — the
-    /// layout the SIMD kernel backends stream fastest.
-    words: AlignedWords,
+    /// Arena position → global store row, in **support-sorted order** as of
+    /// the last rebuild. Slots are frozen: tombstoned entries keep their
+    /// binding (pivot reference data must not move).
+    arena_rows: Vec<u32>,
     /// Cardinalities in arena (ascending) order — the binary-search key.
     /// Retains tombstoned entries' cards; windows may include dead slots,
     /// which the scan hops.
     cards: Vec<u32>,
-    /// Suffix-popcount tables (see [`kernels::suffix_cards`]), `suf_stride`
-    /// entries per arena position, giving the exact scan its strong
-    /// early-exit bound at one popcount per word.
-    sufs: Vec<u32>,
-    /// Entries per suffix table.
-    suf_stride: usize,
     /// `pivot_dists[pos * n_pivots + p]` = Dist(pivot_p, arena[pos]) —
     /// candidate-major, so one candidate's whole pivot row is one cache
     /// line.
     pivot_dists: Vec<f32>,
-    /// The pivots' reference data: (word offset into `words`, cardinality).
-    /// Valid as long as arena slots are frozen; refreshed on rebuild.
-    pivots: Vec<(usize, usize)>,
+    /// The pivots' reference data: (global store row, cardinality). Row ids
+    /// are stable for the store's lifetime, so pivots survive overlay
+    /// growth; refreshed on rebuild.
+    pivots: Vec<(u32, usize)>,
     /// Number of pivots in use (≤ [`MAX_PIVOTS`], ≤ arena size at rebuild).
     n_pivots: usize,
     /// The caller-requested pivot count, before clamping — compaction
@@ -334,15 +303,13 @@ pub struct BallIndex {
     live_prefix: Vec<u32>,
     /// Live arena entries (`== live_prefix[arena]`).
     live_main: usize,
-    /// Side-buffer SoA, support-sorted, rebuilt on every update. All side
-    /// entries are live. Global position of side entry `s` is
-    /// `cards.len() + s`. Aligned like the main arena.
-    side_words: AlignedWords,
+    /// Side-buffer rows (global store ids), support-sorted, rebuilt on every
+    /// update. All side entries are live. Global position of side entry `s`
+    /// is `cards.len() + s`.
+    side_rows: Vec<u32>,
     /// Side-buffer cardinalities (ascending).
     side_cards: Vec<u32>,
-    /// Side-buffer suffix tables.
-    side_sufs: Vec<u32>,
-    /// Side-buffer pivot rows (computed at insert against `pivots`).
+    /// Side-buffer pivot rows (computed at insert).
     side_pivot_dists: Vec<f32>,
     /// Global position → pool index ([`DEAD`] for tombstones).
     pool_of: Vec<u32>,
@@ -355,47 +322,37 @@ pub struct BallIndex {
 }
 
 impl BallIndex {
-    /// Builds the index for a pool on the calling thread.
+    /// Builds the index for the pool `rows` (a row-id list into `store`) on
+    /// the calling thread.
     ///
     /// `n_pivots` is clamped to the pool size and to [`MAX_PIVOTS`]; 0
     /// disables the pivot layer.
-    pub fn new(pool: &[Pattern], radius: f64, n_pivots: usize) -> Self {
-        Self::new_with_threads(pool, radius, n_pivots, 1)
+    pub fn build(store: &PoolStore, rows: &[u32], radius: f64, n_pivots: usize) -> Self {
+        Self::build_with_threads(store, rows, radius, n_pivots, 1)
     }
 
-    /// [`BallIndex::new`] with the pivot-table build — the dominant index
-    /// cost, P·|Pool| full Jaccards — distributed over the work-stealing
-    /// queue. The table is identical for every thread count.
-    pub fn new_with_threads(
-        pool: &[Pattern],
+    /// [`BallIndex::build`] with the pivot-table build — the dominant index
+    /// cost, P·|Pool| Jaccards — distributed over the work-stealing queue.
+    /// The table is identical for every thread count.
+    pub fn build_with_threads(
+        store: &PoolStore,
+        rows: &[u32],
         radius: f64,
         n_pivots: usize,
         threads: usize,
     ) -> Self {
-        let n = pool.len();
-        let words_per_set = pool
-            .first()
-            .map(|p| p.tids.blocks().len())
-            .unwrap_or_default();
-        let suf_stride = words_per_set.div_ceil(kernels::SUFFIX_STRIDE) + 1;
-
+        let n = rows.len();
         let mut pool_of: Vec<u32> = (0..n as u32).collect();
-        pool_of.sort_unstable_by_key(|&i| (pool[i as usize].tids.count(), i));
+        pool_of.sort_unstable_by_key(|&i| (store.support(rows[i as usize]), i));
         let mut pos_of = vec![0u32; n];
         for (pos, &i) in pool_of.iter().enumerate() {
             pos_of[i as usize] = pos as u32;
         }
-
-        let mut words = AlignedWords::with_capacity(n * words_per_set);
-        let mut cards = Vec::with_capacity(n);
-        let mut sufs = Vec::with_capacity(n * suf_stride);
-        for &i in &pool_of {
-            let tids = &pool[i as usize].tids;
-            debug_assert_eq!(tids.blocks().len(), words_per_set, "mixed universes");
-            words.extend_from_slice(tids.blocks());
-            cards.push(tids.count() as u32);
-            kernels::suffix_cards_into(tids.blocks(), &mut sufs);
-        }
+        let arena_rows: Vec<u32> = pool_of.iter().map(|&i| rows[i as usize]).collect();
+        let cards: Vec<u32> = arena_rows
+            .iter()
+            .map(|&r| store.support(r) as u32)
+            .collect();
 
         // Pivots: deterministic farthest-point (max-min) selection over a
         // support-stratified sample — pivots end up spread across the
@@ -404,57 +361,47 @@ impl BallIndex {
         // fixed-size seed row in bounds.
         let pivot_target = n_pivots;
         let n_pivots = n_pivots.min(n).min(MAX_PIVOTS);
-        let pivots: Vec<(usize, usize)> =
-            select_pivots(&words, &cards, words_per_set, n_pivots, radius)
-                .into_iter()
-                .map(|pos| (pos * words_per_set, cards[pos] as usize))
-                .collect();
+        let pivots: Vec<(u32, usize)> = select_pivots(store, &arena_rows, &cards, n_pivots, radius)
+            .into_iter()
+            .map(|pos| (arena_rows[pos], cards[pos] as usize))
+            .collect();
         let n_pivots = pivots.len();
         let pivot_dists = if n_pivots == 0 {
             Vec::new()
         } else {
             // Candidate-major rows; contiguous position chunks concatenate
             // in task order straight into the final layout. Within a chunk
-            // the table is built pivot-major — one batched kernel sweep per
-            // pivot over the chunk's contiguous arena rows — then
-            // transposed into the candidate-major rows the scan wants.
+            // the table is built pivot-major — one batched gather per pivot
+            // per slab over the chunk's rows — then scattered into the
+            // candidate-major rows the scan wants.
             const PIVOT_CHUNK: usize = 1024;
             let pivots = &pivots;
-            let words_ref = &words;
-            let cards_ref = &cards;
+            let arena_rows_ref = &arena_rows;
             run_tasks(n.div_ceil(PIVOT_CHUNK), threads, |t| {
                 let start = t * PIVOT_CHUNK;
                 let end = (start + PIVOT_CHUNK).min(n);
-                let mut rows = vec![0.0f32; (end - start) * n_pivots];
+                let gather = SlabGather::plan(
+                    store,
+                    (start..end).map(|pos| ((pos - start) as u32, arena_rows_ref[pos])),
+                );
+                let mut rows_mat = vec![0.0f32; (end - start) * n_pivots];
+                let mut dists = vec![0.0f64; end - start];
                 let mut col: Vec<f64> = Vec::with_capacity(end - start);
-                for (p, &(pw_start, pc)) in pivots.iter().enumerate() {
-                    let pw = &words_ref[pw_start..pw_start + words_per_set];
-                    col.clear();
-                    kernels::jaccard_batch(
-                        pw,
-                        pc,
-                        words_ref,
-                        cards_ref,
-                        words_per_set,
-                        start..end,
-                        &mut col,
-                    );
-                    for (i, &d) in col.iter().enumerate() {
-                        rows[i * n_pivots + p] = d as f32;
+                for (p, &(prow, pc)) in pivots.iter().enumerate() {
+                    gather.jaccard_from(store, prow, pc, &mut dists, &mut col);
+                    for (i, &d) in dists.iter().enumerate() {
+                        rows_mat[i * n_pivots + p] = d as f32;
                     }
                 }
-                rows
+                rows_mat
             })
             .concat()
         };
 
         let live_prefix: Vec<u32> = (0..=n as u32).collect();
         Self {
-            words_per_set,
-            words,
+            arena_rows,
             cards,
-            sufs,
-            suf_stride,
             pivot_dists,
             pivots,
             n_pivots,
@@ -462,9 +409,8 @@ impl BallIndex {
             live: vec![true; n],
             live_prefix,
             live_main: n,
-            side_words: AlignedWords::default(),
+            side_rows: Vec::new(),
             side_cards: Vec::new(),
-            side_sufs: Vec::new(),
             side_pivot_dists: Vec::new(),
             pool_of,
             pos_of,
@@ -512,29 +458,31 @@ impl BallIndex {
         self.compactions
     }
 
-    /// Advances the index from the pool it currently mirrors to `new_pool`,
+    /// Advances the index from the pool it currently mirrors to `new_rows`,
     /// as described by `delta` (see [`PoolDelta::compute`]): arena survivors
     /// keep their slots, arena deaths are tombstoned, side survivors and
-    /// inserts are merged into a freshly sorted side buffer. When the
-    /// compaction policy fires (see module docs), the whole index is rebuilt
-    /// from `new_pool` instead — `threads` parallelizes that rebuild's pivot
-    /// table exactly like [`BallIndex::new_with_threads`].
+    /// inserts are merged into a freshly sorted side buffer (row ids only —
+    /// nothing is copied out of the slab). When the compaction policy fires
+    /// (see module docs), the whole index is rebuilt from `new_rows` instead
+    /// — `threads` parallelizes that rebuild's pivot table exactly like
+    /// [`BallIndex::build_with_threads`].
     ///
-    /// After return, queries answer for `new_pool` (exactly as a fresh index
-    /// over `new_pool` would, up to counter internals).
+    /// After return, queries answer for `new_rows` (exactly as a fresh index
+    /// over `new_rows` would, up to counter internals).
     pub fn apply_delta(
         &mut self,
-        new_pool: &[Pattern],
+        store: &PoolStore,
+        new_rows: &[u32],
         delta: &PoolDelta,
         threads: usize,
     ) -> IndexMaintenance {
         let t0 = Instant::now();
         let inserted_hint = delta.inserts.len() as u64;
         let arena_n = self.cards.len();
-        // An index built over an empty pool has no arena (and possibly a
-        // zero word width) to host inserts — rebuild unconditionally.
-        if arena_n == 0 && !new_pool.is_empty() {
-            return self.rebuild(new_pool, threads, t0, 0, inserted_hint);
+        // An index built over an empty pool has no arena to host inserts —
+        // rebuild unconditionally.
+        if arena_n == 0 && !new_rows.is_empty() {
+            return self.rebuild(store, new_rows, threads, t0, 0, inserted_hint);
         }
 
         let old_pos_of = std::mem::take(&mut self.pos_of);
@@ -545,8 +493,9 @@ impl BallIndex {
         struct SideEntry {
             card: u32,
             pool: u32,
-            /// `Ok(old side position)` to copy, `Err(pool index)` to build.
-            src: Result<usize, usize>,
+            row: u32,
+            /// `Some(old side position)` to copy the pivot row from.
+            old_side: Option<usize>,
         }
         let mut arena_live = vec![false; arena_n];
         let mut arena_pool = vec![DEAD; arena_n];
@@ -556,87 +505,80 @@ impl BallIndex {
             let g = old_pos_of[old as usize] as usize;
             if g < arena_n {
                 // A slot claimed twice means the pools violated the
-                // itemset-dedup contract (two pool entries matched one old
-                // pattern); catching it here beats a DEAD `pos_of` entry
-                // blowing up in a later query.
+                // row-dedup contract (two pool entries shared one row);
+                // catching it here beats a DEAD `pos_of` entry blowing up
+                // in a later query.
                 debug_assert!(
                     !arena_live[g],
-                    "duplicate survivor for arena slot {g}: pools must be \
-                     itemset-deduplicated"
+                    "duplicate survivor for arena slot {g}: pools must be row-deduplicated"
                 );
                 arena_live[g] = true;
                 arena_pool[g] = new;
                 arena_survivors += 1;
             } else {
+                let sp = g - arena_n;
                 pending.push(SideEntry {
-                    card: self.side_cards[g - arena_n],
+                    card: self.side_cards[sp],
                     pool: new,
-                    src: Ok(g - arena_n),
+                    row: self.side_rows[sp],
+                    old_side: Some(sp),
                 });
             }
         }
         for &new in &delta.inserts {
+            let row = new_rows[new as usize];
             pending.push(SideEntry {
-                card: new_pool[new as usize].tids.count() as u32,
+                card: store.support(row) as u32,
                 pool: new,
-                src: Err(new as usize),
+                row,
+                old_side: None,
             });
         }
         // Support-sorted side buffer; pool index breaks card ties
         // deterministically.
         pending.sort_unstable_by_key(|e| (e.card, e.pool));
 
-        let w = self.words_per_set;
-        let s = self.suf_stride;
         let np = self.n_pivots;
-        let mut side_words = AlignedWords::with_capacity(pending.len() * w);
+        let mut side_rows = Vec::with_capacity(pending.len());
         let mut side_cards = Vec::with_capacity(pending.len());
-        let mut side_sufs = Vec::with_capacity(pending.len() * s);
         let mut side_pivot_dists = vec![0.0f32; pending.len() * np];
         let mut side_pool = Vec::with_capacity(pending.len());
-        let mut pos_of = vec![DEAD; new_pool.len()];
+        let mut pos_of = vec![DEAD; new_rows.len()];
         // Side ranks of the freshly inserted patterns: their pivot rows are
-        // computed in one batched sweep per pivot after the slab is laid
+        // computed in one batched gather per pivot after the buffer is laid
         // out, instead of one pivot-row walk per inserted pattern.
         let mut insert_ranks: Vec<u32> = Vec::with_capacity(delta.inserts.len());
         for (rank, e) in pending.iter().enumerate() {
-            match e.src {
-                Ok(sp) => {
-                    side_words.extend_from_slice(&self.side_words[sp * w..(sp + 1) * w]);
-                    side_sufs.extend_from_slice(&self.side_sufs[sp * s..(sp + 1) * s]);
+            match e.old_side {
+                Some(sp) => {
                     side_pivot_dists[rank * np..(rank + 1) * np]
                         .copy_from_slice(&self.side_pivot_dists[sp * np..(sp + 1) * np]);
                 }
-                Err(i) => {
-                    let tids = &new_pool[i].tids;
-                    debug_assert_eq!(tids.blocks().len(), w, "mixed universes");
-                    side_words.extend_from_slice(tids.blocks());
-                    kernels::suffix_cards_into(tids.blocks(), &mut side_sufs);
-                    insert_ranks.push(rank as u32);
-                }
+                None => insert_ranks.push(rank as u32),
             }
+            side_rows.push(e.row);
             side_cards.push(e.card);
             side_pool.push(e.pool);
             pos_of[e.pool as usize] = (arena_n + rank) as u32;
         }
-        // Pivot rows for the inserts: each pivot's arena words stream once
-        // against all inserted side rows (gather batch); `dist_col` is the
-        // one scratch buffer, reused across pivots.
-        let mut dist_col: Vec<f64> = Vec::with_capacity(insert_ranks.len());
-        for (p, &(pw_start, pc)) in self.pivots.iter().enumerate() {
-            let pw = &self.words[pw_start..pw_start + w];
-            dist_col.clear();
-            kernels::jaccard_rows(
-                pw,
-                pc,
-                &side_words,
-                &side_cards,
-                w,
-                &insert_ranks,
-                &mut dist_col,
+        // Pivot rows for the inserts: each pivot's slab row streams once
+        // against all inserted rows (two gathers, one per slab); `dists` /
+        // `col` are the only scratch buffers, reused across pivots.
+        if !insert_ranks.is_empty() && np > 0 {
+            let gather = SlabGather::plan(
+                store,
+                insert_ranks
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &rank)| (k as u32, side_rows[rank as usize])),
             );
-            for (k, &rank) in insert_ranks.iter().enumerate() {
-                side_pivot_dists[rank as usize * np + p] = dist_col[k] as f32;
+            let mut dists = vec![0.0f64; insert_ranks.len()];
+            let mut col: Vec<f64> = Vec::with_capacity(insert_ranks.len());
+            for (p, &(prow, pc)) in self.pivots.iter().enumerate() {
+                gather.jaccard_from(store, prow, pc, &mut dists, &mut col);
+                for (k, &rank) in insert_ranks.iter().enumerate() {
+                    side_pivot_dists[rank as usize * np + p] = dists[k] as f32;
+                }
             }
         }
         for (g, &pidx) in arena_pool.iter().enumerate() {
@@ -657,22 +599,21 @@ impl BallIndex {
             prefix.push(acc);
         }
         self.live_prefix = prefix;
-        self.side_words = side_words;
+        self.side_rows = side_rows;
         self.side_cards = side_cards;
-        self.side_sufs = side_sufs;
         self.side_pivot_dists = side_pivot_dists;
         let mut pool_of = arena_pool;
         pool_of.extend(side_pool);
         self.pool_of = pool_of;
         self.pos_of = pos_of;
-        debug_assert_eq!(self.len(), new_pool.len(), "index out of sync with pool");
+        debug_assert_eq!(self.len(), new_rows.len(), "index out of sync with pool");
         debug_assert!(
             self.pos_of.iter().all(|&g| g != DEAD),
-            "some pool member has no index position (duplicate itemsets?)"
+            "some pool member has no index position (duplicate rows?)"
         );
 
         if self.needs_compaction() {
-            return self.rebuild(new_pool, threads, t0, tombstoned, inserted);
+            return self.rebuild(store, new_rows, threads, t0, tombstoned, inserted);
         }
         IndexMaintenance {
             rebuilt: false,
@@ -695,18 +636,19 @@ impl BallIndex {
                     > (MAX_SIDE_RATIO * n as f64) as usize + SIDE_COMPACT_SLACK)
     }
 
-    /// Replaces the whole index with a fresh build over `new_pool`, keeping
+    /// Replaces the whole index with a fresh build over `new_rows`, keeping
     /// the compaction counter.
     fn rebuild(
         &mut self,
-        new_pool: &[Pattern],
+        store: &PoolStore,
+        new_rows: &[u32],
         threads: usize,
         t0: Instant,
         tombstoned: u64,
         inserted: u64,
     ) -> IndexMaintenance {
         let compactions = self.compactions + 1;
-        *self = Self::new_with_threads(new_pool, self.radius, self.pivot_target, threads);
+        *self = Self::build_with_threads(store, new_rows, self.radius, self.pivot_target, threads);
         self.compactions = compactions;
         IndexMaintenance {
             rebuilt: true,
@@ -753,27 +695,13 @@ impl BallIndex {
         (lo, hi)
     }
 
-    /// Tid-set words of the pattern at global position `g`.
-    fn words_at(&self, g: usize) -> &[u64] {
-        let w = self.words_per_set;
+    /// Global store row of the pattern at global position `g`.
+    fn row_at(&self, g: usize) -> u32 {
         let n = self.cards.len();
         if g < n {
-            &self.words[g * w..(g + 1) * w]
+            self.arena_rows[g]
         } else {
-            let sp = g - n;
-            &self.side_words[sp * w..(sp + 1) * w]
-        }
-    }
-
-    /// Suffix table of the pattern at global position `g`.
-    fn sufs_at(&self, g: usize) -> &[u32] {
-        let s = self.suf_stride;
-        let n = self.cards.len();
-        if g < n {
-            &self.sufs[g * s..(g + 1) * s]
-        } else {
-            let sp = g - n;
-            &self.side_sufs[sp * s..(sp + 1) * s]
+            self.side_rows[g - n]
         }
     }
 
@@ -824,11 +752,11 @@ impl BallIndex {
     /// Convenience: the full ball of pool member `q`, ascending pool order,
     /// with counters accumulated into `stats`. Exactly the brute-force ball
     /// over the live pool.
-    pub fn ball(&self, q: usize, stats: &mut BallQueryStats) -> Vec<usize> {
+    pub fn ball(&self, store: &PoolStore, q: usize, stats: &mut BallQueryStats) -> Vec<usize> {
         let query = self.query(q);
         let mut out = Vec::new();
         query.account(stats);
-        query.scan(0..query.candidates(), &mut out, stats);
+        query.scan(store, 0..query.candidates(), &mut out, stats);
         out.sort_unstable();
         out
     }
@@ -848,29 +776,27 @@ const PIVOT_SAMPLE_PER_PIVOT: usize = 8;
 ///
 /// The sample takes evenly spaced positions in support order (one per
 /// stratum, so every support band can contribute a pivot); one batched
-/// kernel sweep per sample point fills the sample's distance matrix. The
-/// selection is the classic k-center heuristic — repeatedly take the sample
-/// point maximizing the minimum distance to everything chosen so far,
-/// seeded by the distances from the median-support sample point — with one
-/// guard: a candidate whose distance column over the rest of the sample is
-/// flat to within `radius` is **deprioritized**, because a pivot `p` only
-/// ever prunes a pair through `|d(α,p) − d(β,p)| > r`, so a flat column
-/// (e.g. a singleton outlier at distance ≈ 1 from every cluster — exactly
-/// what unguarded max-min picks first) provably prunes nothing. Flat
-/// candidates are used only when the spread ones run out.
+/// gather per sample point fills the sample's distance matrix straight from
+/// the pool slab. The selection is the classic k-center heuristic —
+/// repeatedly take the sample point maximizing the minimum distance to
+/// everything chosen so far, seeded by the distances from the
+/// median-support sample point — with one guard: a candidate whose distance
+/// column over the rest of the sample is flat to within `radius` is
+/// **deprioritized**, because a pivot `p` only ever prunes a pair through
+/// `|d(α,p) − d(β,p)| > r`, so a flat column (e.g. a singleton outlier at
+/// distance ≈ 1 from every cluster — exactly what unguarded max-min picks
+/// first) provably prunes nothing. Flat candidates are used only when the
+/// spread ones run out.
 ///
-/// Spread-out, discriminating pivots reject far more candidates per table
-/// column than the evenly-spaced-by-support pivots they replace;
-/// [`BallQueryStats::pivot_prune_counts`] tracks what each pivot earns.
-/// Deterministic — a pure function of the arena and radius — and cheap:
-/// O(sample²) batched Jaccards, vanishing next to the O(|Pool| · pivots)
-/// table build it steers. Ties break toward the lower sample position; a
-/// degenerate all-equal pool falls back to the earliest unchosen sample
-/// points.
+/// Returns chosen **arena positions**. Deterministic — a pure function of
+/// the arena and radius — and cheap: O(sample²) batched Jaccards, vanishing
+/// next to the O(|Pool| · pivots) table build it steers. Ties break toward
+/// the lower sample position; a degenerate all-equal pool falls back to the
+/// earliest unchosen sample points.
 fn select_pivots(
-    words: &[u64],
+    store: &PoolStore,
+    arena_rows: &[u32],
     cards: &[u32],
-    words_per_set: usize,
     n_pivots: usize,
     radius: f64,
 ) -> Vec<usize> {
@@ -882,20 +808,20 @@ fn select_pivots(
     let sample: Vec<u32> = (0..s)
         .map(|i| ((i * n / s + n / (2 * s)).min(n - 1)) as u32)
         .collect();
-    let row = |p: usize| &words[p * words_per_set..(p + 1) * words_per_set];
-    // Sample × sample distance matrix, one batched sweep per row.
-    let mut matrix: Vec<f64> = Vec::with_capacity(s * s);
-    for &p in &sample {
-        let p = p as usize;
-        kernels::jaccard_rows(
-            row(p),
-            cards[p] as usize,
-            words,
-            cards,
-            words_per_set,
-            &sample,
-            &mut matrix,
-        );
+    // Sample × sample distance matrix, one batched gather per row.
+    let gather = SlabGather::plan(
+        store,
+        sample
+            .iter()
+            .enumerate()
+            .map(|(j, &pos)| (j as u32, arena_rows[pos as usize])),
+    );
+    let mut matrix: Vec<f64> = vec![0.0; s * s];
+    let mut col: Vec<f64> = Vec::with_capacity(s);
+    for (i, &pos) in sample.iter().enumerate() {
+        let row = arena_rows[pos as usize];
+        let card = cards[pos as usize] as usize;
+        gather.jaccard_from(store, row, card, &mut matrix[i * s..(i + 1) * s], &mut col);
     }
     let m = |i: usize, j: usize| matrix[i * s + j];
     // Discrimination guard (self-distance excluded from the spread).
@@ -1018,109 +944,125 @@ impl BallQuery<'_> {
 
     /// Scans candidate positions `seg` (relative to this query's
     /// concatenated window, arena part first), appending accepted pool
-    /// indices to `out` and counting into `stats`.
+    /// indices to `out` and counting into `stats`. `store` must be the
+    /// store the index was built over.
     ///
     /// Two passes: the cheap prunes (tombstone hop, seed skip, pivot
     /// triangle inequality — float compares over the candidate-major pivot
-    /// rows) gather the surviving positions per region, then each region's
-    /// survivors run through the **batched** suffix-Jaccard kernel
-    /// ([`kernels::jaccard_within_rows`]): the seed's words stay hot while
-    /// the backend streams the arena slab's 32-byte-aligned rows. The
-    /// acceptance test inside the kernel is the exact float comparison
-    /// `jaccard ≤ radius` — identical to brute force.
+    /// rows) gather the surviving *slab rows* per region and slab, then
+    /// each surviving batch runs through the **batched** suffix-Jaccard
+    /// gather kernel ([`kernels::jaccard_within_rows`]): the seed's words
+    /// stay hot while the backend streams the pool slab's 32-byte-aligned
+    /// rows — no per-candidate heap pointers, no copies. The acceptance
+    /// test inside the kernel is the exact float comparison `jaccard ≤
+    /// radius` — identical to brute force.
     ///
     /// Disjoint segments cover disjoint candidates, so segments can run on
     /// different workers and be concatenated; the final ball only needs one
-    /// ascending sort to match the brute-force order.
+    /// ascending sort to match the brute-force order. (Within a segment,
+    /// hits are reported region-major and slab-major, not in window order —
+    /// every caller sorts the assembled ball.)
     pub fn scan(
         &self,
+        store: &PoolStore,
         seg: std::ops::Range<usize>,
         out: &mut Vec<usize>,
         stats: &mut BallQueryStats,
     ) {
         let ix = self.index;
         let arena_span = self.ahi - self.alo;
-        let qw = ix.words_at(self.q_pos);
-        let qs = ix.sufs_at(self.q_pos);
+        let q_row = ix.row_at(self.q_pos);
+        let qw = store.words_of(q_row);
+        let qs = store.sufs_of(q_row);
         let pivot_radius = (ix.radius + PIVOT_SLACK) as f32;
         let end = seg.end.min(self.candidates());
-        // Pass 1: prune. Survivors are arena positions / side indices; the
-        // segment length bounds both, so neither buffer ever reallocates.
-        let mut arena_rows: Vec<u32> = Vec::with_capacity(end.saturating_sub(seg.start));
-        let mut side_rows: Vec<u32> =
-            Vec::with_capacity((end.saturating_sub(seg.start)).min(self.shi - self.slo));
-        for off in seg.start..end {
-            // Map the window offset to a global position: arena offsets
-            // first (hopping tombstones), then side offsets. All per-region
-            // data of consecutive candidates is consecutive in memory.
-            let (g, in_side) = if off < arena_span {
-                let pos = self.alo + off;
-                if !ix.live[pos] {
-                    stats.tombstone_skips += 1;
+        // Pass 1: prune. Survivors are (slab row, pool index) pairs split
+        // per slab; the segment length bounds all four buffers.
+        let cap = end.saturating_sub(seg.start);
+        let mut base_rows: Vec<u32> = Vec::with_capacity(cap);
+        let mut base_pool: Vec<u32> = Vec::with_capacity(cap);
+        let mut local_rows: Vec<u32> = Vec::new();
+        let mut local_pool: Vec<u32> = Vec::new();
+        let flush = |rows: &[u32],
+                     pools: &[u32],
+                     slab: &cfp_itemset::PatternPool,
+                     out: &mut Vec<usize>,
+                     stats: &mut BallQueryStats| {
+            kernels::jaccard_within_rows(
+                qw,
+                qs,
+                slab.words(),
+                slab.sufs(),
+                store.suf_stride(),
+                store.words_per_row(),
+                rows,
+                ix.radius,
+                &mut |k, _d| {
+                    stats.ball_members += 1;
+                    out.push(pools[k] as usize);
+                },
+            );
+        };
+        for region in [0usize, 1] {
+            let (lo, hi) = if region == 0 {
+                (seg.start.min(arena_span), end.min(arena_span))
+            } else {
+                (seg.start.max(arena_span), end)
+            };
+            for off in lo..hi {
+                // Map the window offset to a global position: arena offsets
+                // first (hopping tombstones), then side offsets.
+                let (g, in_side) = if off < arena_span {
+                    let pos = self.alo + off;
+                    if !ix.live[pos] {
+                        stats.tombstone_skips += 1;
+                        continue;
+                    }
+                    (pos, false)
+                } else {
+                    (ix.cards.len() + self.slo + (off - arena_span), true)
+                };
+                if g == self.q_pos {
                     continue;
                 }
-                (pos, false)
-            } else {
-                (ix.cards.len() + self.slo + (off - arena_span), true)
-            };
-            if g == self.q_pos {
-                continue;
+                // Branchless triangle-inequality band test over the whole
+                // pivot row (auto-vectorizes; a per-pivot early-exit loop
+                // pays a mispredicted branch per pivot instead). The mask's
+                // lowest set bit is the first violating pivot — the same
+                // attribution the ordered loop produced.
+                let row = ix.pivot_row(g);
+                let mut mask = 0u32;
+                for (p, &pd) in row.iter().enumerate() {
+                    mask |= u32::from((self.seed_pivot_dists[p] - pd).abs() > pivot_radius) << p;
+                }
+                if mask != 0 {
+                    stats.pivot_pruned += 1;
+                    stats.pivot_prune_counts[mask.trailing_zeros() as usize] += 1;
+                    continue;
+                }
+                stats.exact_checked += 1;
+                if in_side {
+                    stats.side_hits += 1;
+                }
+                let srow = ix.row_at(g);
+                let (is_local, idx) = store.split(srow);
+                if is_local {
+                    local_rows.push(idx);
+                    local_pool.push(ix.pool_of[g]);
+                } else {
+                    base_rows.push(idx);
+                    base_pool.push(ix.pool_of[g]);
+                }
             }
-            // Branchless triangle-inequality band test over the whole pivot
-            // row (auto-vectorizes; a per-pivot early-exit loop pays a
-            // mispredicted branch per pivot instead). The mask's lowest set
-            // bit is the first violating pivot — the same attribution the
-            // ordered loop produced.
-            let row = ix.pivot_row(g);
-            let mut mask = 0u32;
-            for (p, &pd) in row.iter().enumerate() {
-                mask |= u32::from((self.seed_pivot_dists[p] - pd).abs() > pivot_radius) << p;
-            }
-            if mask != 0 {
-                stats.pivot_pruned += 1;
-                stats.pivot_prune_counts[mask.trailing_zeros() as usize] += 1;
-                continue;
-            }
-            stats.exact_checked += 1;
-            if in_side {
-                stats.side_hits += 1;
-                side_rows.push((g - ix.cards.len()) as u32);
-            } else {
-                arena_rows.push(g as u32);
-            }
+            // Pass 2 (per region): batched exact checks, base slab then
+            // overlay slab.
+            flush(&base_rows, &base_pool, store.base_pool(), out, stats);
+            flush(&local_rows, &local_pool, store.local_pool(), out, stats);
+            base_rows.clear();
+            base_pool.clear();
+            local_rows.clear();
+            local_pool.clear();
         }
-        // Pass 2: batched exact checks, arena region then side region —
-        // the same ascending-position order the pruning pass walked.
-        let w = ix.words_per_set;
-        let s = ix.suf_stride;
-        kernels::jaccard_within_rows(
-            qw,
-            qs,
-            &ix.words,
-            &ix.sufs,
-            s,
-            w,
-            &arena_rows,
-            ix.radius,
-            &mut |k, _d| {
-                stats.ball_members += 1;
-                out.push(ix.pool_of[arena_rows[k] as usize] as usize);
-            },
-        );
-        kernels::jaccard_within_rows(
-            qw,
-            qs,
-            &ix.side_words,
-            &ix.side_sufs,
-            s,
-            w,
-            &side_rows,
-            ix.radius,
-            &mut |k, _d| {
-                stats.ball_members += 1;
-                out.push(ix.pool_of[ix.cards.len() + side_rows[k] as usize] as usize);
-            },
-        );
     }
 }
 
@@ -1128,6 +1070,7 @@ impl BallQuery<'_> {
 mod tests {
     use super::*;
     use crate::distance::pattern_distance;
+    use crate::pattern::Pattern;
     use cfp_itemset::{Itemset, TidSet};
 
     fn pat(universe: usize, id: u32, tids: &[usize]) -> Pattern {
@@ -1141,6 +1084,19 @@ mod tests {
         (0..pool.len())
             .filter(|&j| j != q && pattern_distance(&pool[q], &pool[j]) <= radius)
             .collect()
+    }
+
+    /// A store + identity row list over owned patterns — the test harness's
+    /// bridge between `Vec<Pattern>` fixtures and the slab world.
+    fn store_of(pool: &[Pattern]) -> (PoolStore, Vec<u32>) {
+        let store = PoolStore::from_patterns(pool);
+        let rows = (0..pool.len() as u32).collect();
+        (store, rows)
+    }
+
+    /// Interns `next` into `store`, returning its row list.
+    fn intern_all(store: &mut PoolStore, next: &[Pattern]) -> Vec<u32> {
+        next.iter().map(|p| store.intern(p)).collect()
     }
 
     fn fixture_pool() -> Vec<Pattern> {
@@ -1163,10 +1119,16 @@ mod tests {
     }
 
     /// Checks every live pattern's engine ball against brute force.
-    fn assert_matches_brute(index: &BallIndex, pool: &[Pattern], radius: f64, label: &str) {
+    fn assert_matches_brute(
+        index: &BallIndex,
+        store: &PoolStore,
+        pool: &[Pattern],
+        radius: f64,
+        label: &str,
+    ) {
         for q in 0..pool.len() {
             let mut stats = BallQueryStats::default();
-            let got = index.ball(q, &mut stats);
+            let got = index.ball(store, q, &mut stats);
             let want = brute_ball(pool, q, radius);
             assert_eq!(got, want, "{label}: q={q} radius={radius}");
         }
@@ -1175,19 +1137,21 @@ mod tests {
     #[test]
     fn engine_ball_equals_brute_force_on_fixture() {
         let pool = fixture_pool();
+        let (store, rows) = store_of(&pool);
         for radius in [0.0, 0.2, 0.5, 2.0 / 3.0, 1.0] {
-            let index = BallIndex::new(&pool, radius, 4);
-            assert_matches_brute(&index, &pool, radius, "fresh");
+            let index = BallIndex::build(&store, &rows, radius, 4);
+            assert_matches_brute(&index, &store, &pool, radius, "fresh");
         }
     }
 
     #[test]
     fn counters_add_up_and_prune() {
         let pool = fixture_pool();
-        let index = BallIndex::new(&pool, 0.5, 4);
+        let (store, rows) = store_of(&pool);
+        let index = BallIndex::build(&store, &rows, 0.5, 4);
         let mut stats = BallQueryStats::default();
         for q in 0..pool.len() {
-            index.ball(q, &mut stats);
+            index.ball(&store, q, &mut stats);
         }
         let n = pool.len() as u64;
         assert_eq!(stats.pairs_total, n * (n - 1));
@@ -1217,18 +1181,24 @@ mod tests {
     #[test]
     fn segmented_scans_cover_exactly_once() {
         let pool = fixture_pool();
-        let index = BallIndex::new(&pool, 0.5, 2);
+        let (store, rows) = store_of(&pool);
+        let index = BallIndex::build(&store, &rows, 0.5, 2);
         for q in [0usize, 7, 20, 35] {
             let query = index.query(q);
             let total = query.candidates();
             let mut whole = Vec::new();
             let mut stats = BallQueryStats::default();
-            query.scan(0..total, &mut whole, &mut stats);
+            query.scan(&store, 0..total, &mut whole, &mut stats);
             let mut pieces = Vec::new();
             let step = (total / 3).max(1);
             let mut start = 0;
             while start < total {
-                query.scan(start..(start + step).min(total), &mut pieces, &mut stats);
+                query.scan(
+                    &store,
+                    start..(start + step).min(total),
+                    &mut pieces,
+                    &mut stats,
+                );
                 start += step;
             }
             whole.sort_unstable();
@@ -1240,7 +1210,8 @@ mod tests {
     #[test]
     fn segments_partition_the_window_and_balance_live_work() {
         let pool = fixture_pool();
-        let mut index = BallIndex::new(&pool, 0.5, 2);
+        let (mut store, rows) = store_of(&pool);
+        let mut index = BallIndex::build(&store, &rows, 0.5, 2);
         // Tombstone a slice of the pool so segmentation sees dead slots.
         let next: Vec<Pattern> = pool
             .iter()
@@ -1248,8 +1219,9 @@ mod tests {
             .filter(|(i, _)| i % 3 != 0)
             .map(|(_, p)| p.clone())
             .collect();
-        let delta = PoolDelta::compute(&pool, &next);
-        index.apply_delta(&next, &delta, 1);
+        let next_rows = intern_all(&mut store, &next);
+        let delta = PoolDelta::compute(&rows, &next_rows, store.len_rows());
+        index.apply_delta(&store, &next_rows, &delta, 1);
         for q in [0usize, 5, 17] {
             let query = index.query(q);
             let segs = query.segments(4);
@@ -1264,10 +1236,10 @@ mod tests {
             // Scanning by segments equals scanning the whole window.
             let mut whole = Vec::new();
             let mut stats = BallQueryStats::default();
-            query.scan(0..query.candidates(), &mut whole, &mut stats);
+            query.scan(&store, 0..query.candidates(), &mut whole, &mut stats);
             let mut pieces = Vec::new();
             for seg in segs {
-                query.scan(seg, &mut pieces, &mut stats);
+                query.scan(&store, seg, &mut pieces, &mut stats);
             }
             whole.sort_unstable();
             pieces.sort_unstable();
@@ -1278,20 +1250,22 @@ mod tests {
     #[test]
     fn zero_pivots_and_tiny_pools() {
         let pool = fixture_pool();
-        let index = BallIndex::new(&pool, 0.4, 0);
+        let (store, rows) = store_of(&pool);
+        let index = BallIndex::build(&store, &rows, 0.4, 0);
         let mut stats = BallQueryStats::default();
-        let got = index.ball(3, &mut stats);
+        let got = index.ball(&store, 3, &mut stats);
         assert_eq!(got, brute_ball(&pool, 3, 0.4));
         assert_eq!(stats.pivot_pruned, 0);
 
         let one = vec![pat(64, 1, &[1, 2, 3])];
-        let index = BallIndex::new(&one, 0.5, 8);
+        let (store, rows) = store_of(&one);
+        let index = BallIndex::build(&store, &rows, 0.5, 8);
         let mut stats = BallQueryStats::default();
-        assert!(index.ball(0, &mut stats).is_empty());
+        assert!(index.ball(&store, 0, &mut stats).is_empty());
         assert_eq!(stats.pairs_total, 0);
 
-        let empty: Vec<Pattern> = Vec::new();
-        assert!(BallIndex::new(&empty, 0.5, 4).is_empty());
+        let (store, rows) = store_of(&[]);
+        assert!(BallIndex::build(&store, &rows, 0.5, 4).is_empty());
     }
 
     #[test]
@@ -1299,11 +1273,12 @@ mod tests {
         // Regression: MAX_PIVOTS + n used to panic in query()'s fixed-size
         // seed-row copy.
         let pool = fixture_pool();
-        let index = BallIndex::new(&pool, 0.5, MAX_PIVOTS + 24);
+        let (store, rows) = store_of(&pool);
+        let index = BallIndex::build(&store, &rows, 0.5, MAX_PIVOTS + 24);
         let mut stats = BallQueryStats::default();
         for q in 0..pool.len() {
             assert_eq!(
-                index.ball(q, &mut stats),
+                index.ball(&store, q, &mut stats),
                 brute_ball(&pool, q, 0.5),
                 "q={q}"
             );
@@ -1321,13 +1296,15 @@ mod tests {
         pool.push(pat(u, 90, &[]));
         pool.push(pat(u, 91, &[]));
         for radius in [0.0, 0.4, 0.9999, 1.0] {
-            let index = BallIndex::new(&pool, radius, 3);
-            assert_matches_brute(&index, &pool, radius, "empty supports");
+            let (store, rows) = store_of(&pool);
+            let index = BallIndex::build(&store, &rows, radius, 3);
+            assert_matches_brute(&index, &store, &pool, radius, "empty supports");
         }
         // An all-empty pool: every pattern is in every other's ball.
         let empties: Vec<Pattern> = (0..4).map(|i| pat(u, 200 + i, &[])).collect();
-        let index = BallIndex::new(&empties, 0.5, 2);
-        assert_matches_brute(&index, &empties, 0.5, "all empty");
+        let (store, rows) = store_of(&empties);
+        let index = BallIndex::build(&store, &rows, 0.5, 2);
+        assert_matches_brute(&index, &store, &empties, 0.5, "all empty");
     }
 
     fn fixture_pool_small(u: usize) -> Vec<Pattern> {
@@ -1346,9 +1323,10 @@ mod tests {
         // clamp to an all-inclusive upper bound, not wrap or drop members.
         let u = 128;
         let pool = fixture_pool_small(u);
+        let (store, rows) = store_of(&pool);
         for keep in [2e-9, 1e-8, 1e-6] {
             let radius = 1.0 - keep;
-            let index = BallIndex::new(&pool, radius, 2);
+            let index = BallIndex::build(&store, &rows, radius, 2);
             // `1e6 / keep` exceeds u32::MAX for every keep here: the upper
             // bound must clamp to u32::MAX, not wrap or saturate by accident
             // of the cast. Empty sets sit at distance exactly 1 > radius, so
@@ -1360,14 +1338,14 @@ mod tests {
             // stays finite.
             let (_, hi_small) = index.card_window(1.0);
             assert!(hi_small < u32::MAX, "keep={keep}");
-            assert_matches_brute(&index, &pool, radius, "keep boundary");
+            assert_matches_brute(&index, &store, &pool, radius, "keep boundary");
         }
         // Just below SLACK: the vacuous-window branch.
-        let index = BallIndex::new(&pool, 1.0 - 1e-10, 2);
+        let index = BallIndex::build(&store, &rows, 1.0 - 1e-10, 2);
         let (lo, hi) = index.card_window(4.0);
         assert_eq!((lo, hi), (0, u32::MAX));
         // A large-support seed at a plain radius stays finite.
-        let index = BallIndex::new(&pool, 0.5, 2);
+        let index = BallIndex::build(&store, &rows, 0.5, 2);
         let (lo, hi) = index.card_window(1e9);
         assert!(lo >= 1 && hi < u32::MAX);
     }
@@ -1378,7 +1356,8 @@ mod tests {
     fn incremental_updates_match_fresh_rebuild() {
         let u = 256;
         let mut pool = fixture_pool();
-        let mut index = BallIndex::new(&pool, 0.5, 4);
+        let (mut store, mut rows) = store_of(&pool);
+        let mut index = BallIndex::build(&store, &rows, 0.5, 4);
         let mut next_id = 1000u32;
         for step in 0..5usize {
             // Keep a deterministic ~70%, insert a few new patterns (some
@@ -1398,47 +1377,51 @@ mod tests {
                 next.push(pat(u, next_id, &[]));
                 next_id += 1;
             }
-            let delta = PoolDelta::compute(&pool, &next);
-            let m = index.apply_delta(&next, &delta, 1);
+            let next_rows = intern_all(&mut store, &next);
+            let delta = PoolDelta::compute(&rows, &next_rows, store.len_rows());
+            let m = index.apply_delta(&store, &next_rows, &delta, 1);
             assert_eq!(m.live, next.len());
             assert_eq!(index.len(), next.len());
-            assert_matches_brute(&index, &next, 0.5, &format!("step {step}"));
+            assert_matches_brute(&index, &store, &next, 0.5, &format!("step {step}"));
             // And equality with a fresh index, member for member.
-            let fresh = BallIndex::new(&next, 0.5, 4);
+            let fresh = BallIndex::build(&store, &next_rows, 0.5, 4);
             for q in 0..next.len() {
                 let mut a = BallQueryStats::default();
                 let mut b = BallQueryStats::default();
                 assert_eq!(
-                    index.ball(q, &mut a),
-                    fresh.ball(q, &mut b),
+                    index.ball(&store, q, &mut a),
+                    fresh.ball(&store, q, &mut b),
                     "step {step} q={q}"
                 );
             }
             pool = next;
+            rows = next_rows;
         }
     }
 
     #[test]
     fn side_buffer_queries_hit_and_count() {
         let pool = fixture_pool();
-        let mut index = BallIndex::new(&pool, 0.5, 4);
+        let (mut store, rows) = store_of(&pool);
+        let mut index = BallIndex::build(&store, &rows, 0.5, 4);
         // Insert a clone-like neighbour of pattern 0 (same cluster shape).
         let mut next = pool.clone();
         let mut tids: Vec<usize> = (0..38).collect();
         tids.push(210);
         next.push(pat(256, 999, &tids));
-        let delta = PoolDelta::compute(&pool, &next);
-        let m = index.apply_delta(&next, &delta, 1);
+        let next_rows = intern_all(&mut store, &next);
+        let delta = PoolDelta::compute(&rows, &next_rows, store.len_rows());
+        let m = index.apply_delta(&store, &next_rows, &delta, 1);
         assert!(!m.rebuilt);
         assert_eq!(m.inserted, 1);
         assert_eq!(index.side_len(), 1);
         // Query the inserted pattern itself (seed in the side buffer).
         let q = next.len() - 1;
         let mut stats = BallQueryStats::default();
-        assert_eq!(index.ball(q, &mut stats), brute_ball(&next, q, 0.5));
+        assert_eq!(index.ball(&store, q, &mut stats), brute_ball(&next, q, 0.5));
         // Query an arena pattern whose ball contains the insert.
         let mut stats = BallQueryStats::default();
-        let ball0 = index.ball(0, &mut stats);
+        let ball0 = index.ball(&store, 0, &mut stats);
         assert_eq!(ball0, brute_ball(&next, 0, 0.5));
         assert!(ball0.contains(&q), "insert must be found from the arena");
         assert!(stats.side_hits > 0, "side-buffer hit must be counted");
@@ -1447,7 +1430,8 @@ mod tests {
     #[test]
     fn compaction_triggers_and_preserves_exactness() {
         let mut pool = fixture_pool();
-        let mut index = BallIndex::new(&pool, 0.5, 4);
+        let (mut store, mut rows) = store_of(&pool);
+        let mut index = BallIndex::build(&store, &rows, 0.5, 4);
         let arena_before = index.arena_slots();
         // Shrink hard until the live-density policy must fire.
         let mut rebuilt = false;
@@ -1461,11 +1445,13 @@ mod tests {
             if next.is_empty() {
                 break;
             }
-            let delta = PoolDelta::compute(&pool, &next);
-            let m = index.apply_delta(&next, &delta, 1);
+            let next_rows = intern_all(&mut store, &next);
+            let delta = PoolDelta::compute(&rows, &next_rows, store.len_rows());
+            let m = index.apply_delta(&store, &next_rows, &delta, 1);
             rebuilt |= m.rebuilt;
-            assert_matches_brute(&index, &next, 0.5, &format!("compact step {step}"));
+            assert_matches_brute(&index, &store, &next, 0.5, &format!("compact step {step}"));
             pool = next;
+            rows = next_rows;
         }
         assert!(rebuilt, "halving the pool repeatedly must compact");
         assert!(index.compactions() >= 1);
@@ -1478,31 +1464,36 @@ mod tests {
     fn side_buffer_growth_triggers_compaction() {
         let u = 256;
         let pool = fixture_pool_small(u);
-        let mut index = BallIndex::new(&pool, 0.5, 2);
+        let (mut store, rows) = store_of(&pool);
+        let mut index = BallIndex::build(&store, &rows, 0.5, 2);
         // Insert far more than MAX_SIDE_RATIO · arena + slack new patterns.
         let mut next = pool.clone();
         for v in 0..64u32 {
             let tids: Vec<usize> = (v as usize..v as usize + 10).collect();
             next.push(pat(u, 500 + v, &tids));
         }
-        let delta = PoolDelta::compute(&pool, &next);
-        let m = index.apply_delta(&next, &delta, 1);
+        let next_rows = intern_all(&mut store, &next);
+        let delta = PoolDelta::compute(&rows, &next_rows, store.len_rows());
+        let m = index.apply_delta(&store, &next_rows, &delta, 1);
         assert!(m.rebuilt, "side-buffer overflow must rebuild");
         assert_eq!(index.side_len(), 0);
         assert_eq!(index.len(), next.len());
-        assert_matches_brute(&index, &next, 0.5, "after side overflow");
+        assert_matches_brute(&index, &store, &next, 0.5, "after side overflow");
     }
 
     #[test]
     fn pool_delta_partitions_old_and_new() {
         let pool = fixture_pool();
+        let (mut store, rows) = store_of(&pool);
         let next: Vec<Pattern> = pool[..20].to_vec();
-        let delta = PoolDelta::compute(&pool, &next);
+        let next_rows = intern_all(&mut store, &next);
+        let delta = PoolDelta::compute(&rows, &next_rows, store.len_rows());
         assert_eq!(delta.survivors.len(), 20);
         assert!(delta.inserts.is_empty());
         let mut grown = next.clone();
         grown.push(pat(256, 777, &[1, 2, 3]));
-        let delta = PoolDelta::compute(&next, &grown);
+        let grown_rows = intern_all(&mut store, &grown);
+        let delta = PoolDelta::compute(&next_rows, &grown_rows, store.len_rows());
         assert_eq!(delta.survivors.len(), 20);
         assert_eq!(delta.inserts, vec![20]);
     }

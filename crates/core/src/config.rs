@@ -65,8 +65,12 @@ pub struct FusionConfig {
     /// position).
     pub parallel: bool,
     /// Worker threads when `parallel` is on. `None` uses the machine's
-    /// available parallelism. Results are bit-for-bit identical for every
-    /// value — this knob exists for benchmarking and the determinism tests.
+    /// available parallelism. The same budget drives the **parallel
+    /// initial-pool mine** ([`cfp_miners::initial_pool_slab`]: per-item DFS
+    /// subtrees on the work-stealing queue, spliced in subtree order) and
+    /// the fusion loop's ball scans / per-seed fusions / shard runs.
+    /// Results are bit-for-bit identical for every value — this knob exists
+    /// for benchmarking and the determinism tests.
     pub threads: Option<usize>,
     /// Pivots in the ball-query index's triangle-inequality prune (see
     /// [`crate::ball::BallIndex`]); clamped to

@@ -15,6 +15,8 @@
 
 use crate::core_pattern::is_core_pattern;
 use crate::pattern::Pattern;
+use crate::pool::PoolStore;
+use cfp_itemset::store::sorted_subset;
 use cfp_itemset::Itemset;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -34,8 +36,13 @@ pub struct FusionParams {
     pub max_results: usize,
 }
 
-/// Fuses the seed with members of its ball (`core_list` are indices into
-/// `pool`), returning up to `params.max_results` distinct super-patterns.
+/// Fuses the seed (a pool member at position `seed_pos` of the row list
+/// `rows`) with members of its ball (`core_list` are positions into `rows`),
+/// returning up to `params.max_results` distinct super-patterns.
+///
+/// Ball members are read **in place** from the store's slab — tid words,
+/// supports, and item spans are borrowed per test, so no pool pattern is
+/// cloned on this path; only the growing fusion itself is owned.
 ///
 /// Each attempt walks the ball in a fresh random order with a random
 /// acceptance quota (so both partial and maximal fusions arise — the paper's
@@ -46,12 +53,14 @@ pub struct FusionParams {
 /// 2. every member fused so far remains a τ-core pattern of the running
 ///    fusion, which reduces to `|D(fused)| ≥ τ · max_member_support`.
 pub fn fuse_ball<R: Rng>(
-    seed: &Pattern,
+    store: &PoolStore,
+    rows: &[u32],
+    seed_pos: usize,
     core_list: &[usize],
-    pool: &[Pattern],
     params: &FusionParams,
     rng: &mut R,
 ) -> Vec<Pattern> {
+    let seed = store.pattern(rows[seed_pos]);
     // weight = number of fused members |t| for the sampling heuristic.
     let mut candidates: HashMap<Itemset, (Pattern, usize)> = HashMap::new();
     let mut order: Vec<usize> = core_list.to_vec();
@@ -71,7 +80,7 @@ pub fn fuse_ball<R: Rng>(
             rng.gen_range(1..=order.len())
         };
 
-        fused.clone_from(seed);
+        fused.clone_from(&seed);
         let mut members = 1usize;
         let mut max_member_support = seed.support();
 
@@ -79,26 +88,30 @@ pub fn fuse_ball<R: Rng>(
             if members >= quota.max(1) {
                 break;
             }
-            let beta = &pool[idx];
+            let beta = rows[idx];
+            let beta_words = store.words_of(beta);
+            let beta_support = store.support(beta);
             // Cheapest test first: a bounded word-wise popcount over the
             // tid-sets that aborts as soon as the remaining words cannot
             // reach the frequency threshold. Most foreign members die here
             // without touching itemsets.
-            let Some(new_support) = fused
-                .tids
-                .intersection_count_at_least(&beta.tids, params.min_count)
-            else {
+            let Some(new_support) = fused.tids.intersection_count_at_least_words(
+                beta_words,
+                beta_support,
+                params.min_count,
+            ) else {
                 continue;
             };
-            let candidate_max = max_member_support.max(beta.support());
+            let candidate_max = max_member_support.max(beta_support);
             if !is_core_pattern(new_support, candidate_max, params.tau) {
                 continue;
             }
-            if beta.items.is_subset_of(&fused.items) {
+            let beta_items = store.items_of(beta);
+            if sorted_subset(beta_items, fused.items.items()) {
                 continue; // contributes no new item
             }
-            fused.items.union_with(&beta.items);
-            fused.tids.intersect_with(&beta.tids);
+            fused.items.union_with_sorted(beta_items);
+            fused.tids.intersect_with_words(beta_words);
             members += 1;
             max_member_support = candidate_max;
         }
@@ -163,6 +176,13 @@ mod tests {
         }
     }
 
+    /// A store + identity row list over owned patterns.
+    fn store_of(pool: &[Pattern]) -> (PoolStore, Vec<u32>) {
+        let store = PoolStore::from_patterns(pool);
+        let rows = (0..pool.len() as u32).collect();
+        (store, rows)
+    }
+
     /// Pool = all pairs of a planted block: fusing any ball must recover the
     /// full block.
     #[test]
@@ -171,10 +191,10 @@ mod tests {
         let idx = VerticalIndex::new(&db);
         let pool_raw = cfp_miners::initial_pool(&db, 10, 2);
         let pool: Vec<Pattern> = pool_raw.into_iter().map(Pattern::from).collect();
-        let seed = pool[0].clone();
+        let (store, rows) = store_of(&pool);
         let ball: Vec<usize> = (0..pool.len()).collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let out = fuse_ball(&seed, &ball, &pool, &params(10), &mut rng);
+        let out = fuse_ball(&store, &rows, 0, &ball, &params(10), &mut rng);
         let max = out.iter().map(Pattern::len).max().unwrap();
         assert_eq!(max, 8, "full block must be fused: {out:?}");
         for p in &out {
@@ -200,14 +220,14 @@ mod tests {
         let pool_raw = cfp_miners::initial_pool(&data.db, 12, 2);
         let pool: Vec<Pattern> = pool_raw.into_iter().map(Pattern::from).collect();
         // Seed inside block 0.
-        let seed = pool
+        let seed_pos = pool
             .iter()
-            .find(|p| p.items.is_subset_of(&data.patterns[0].items))
-            .unwrap()
-            .clone();
+            .position(|p| p.items.is_subset_of(&data.patterns[0].items))
+            .unwrap();
+        let (store, rows) = store_of(&pool);
         let ball: Vec<usize> = (0..pool.len()).collect();
         let mut rng = StdRng::seed_from_u64(2);
-        let out = fuse_ball(&seed, &ball, &pool, &params(12), &mut rng);
+        let out = fuse_ball(&store, &rows, seed_pos, &ball, &params(12), &mut rng);
         for p in &out {
             assert!(p.support() >= 12, "fused pattern must stay frequent");
             assert!(
@@ -226,11 +246,13 @@ mod tests {
         let pool: Vec<Pattern> = pool_raw.into_iter().map(Pattern::from).collect();
         let mut rng = StdRng::seed_from_u64(3);
         let seed = pool[5].clone();
+        let (store, rows) = store_of(&pool);
         let ball: Vec<usize> = (0..pool.len()).collect();
         let out = fuse_ball(
-            &seed,
+            &store,
+            &rows,
+            5,
             &ball,
-            &pool,
             &FusionParams {
                 tau: 0.5,
                 min_count: 10,
@@ -254,8 +276,9 @@ mod tests {
             Itemset::from_items(&[1, 2]),
             TidSet::from_tids(10, [0, 1, 2]),
         );
+        let (store, rows) = store_of(std::slice::from_ref(&seed));
         let mut rng = StdRng::seed_from_u64(4);
-        let out = fuse_ball(&seed, &[], &[], &params(2), &mut rng);
+        let out = fuse_ball(&store, &rows, 0, &[], &params(2), &mut rng);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].items, seed.items);
     }
@@ -266,11 +289,13 @@ mod tests {
         let pool_raw = cfp_miners::initial_pool(&db, 8, 2);
         let pool: Vec<Pattern> = pool_raw.into_iter().map(Pattern::from).collect();
         let mut rng = StdRng::seed_from_u64(5);
+        let (store, rows) = store_of(&pool);
         let ball: Vec<usize> = (0..pool.len()).collect();
         let out = fuse_ball(
-            &pool[0],
+            &store,
+            &rows,
+            0,
             &ball,
-            &pool,
             &FusionParams {
                 tau: 0.5,
                 min_count: 8,
@@ -325,10 +350,12 @@ mod tests {
                     .collect();
                 prop_assume!(!pool.is_empty());
                 let index = VerticalIndex::new(&data.db);
-                let seed = pool[seed_sel.index(pool.len())].clone();
+                let seed_pos = seed_sel.index(pool.len());
+                let seed = pool[seed_pos].clone();
+                let (store, rows) = store_of(&pool);
                 let ball: Vec<usize> = (0..pool.len()).collect();
                 let mut rng = StdRng::seed_from_u64(rng_seed);
-                let out = fuse_ball(&seed, &ball, &pool, &params(min_count), &mut rng);
+                let out = fuse_ball(&store, &rows, seed_pos, &ball, &params(min_count), &mut rng);
                 prop_assert!(!out.is_empty());
                 for p in &out {
                     prop_assert!(p.support() >= min_count, "infrequent output");
@@ -350,10 +377,11 @@ mod tests {
                     .map(Pattern::from)
                     .collect();
                 prop_assume!(!pool.is_empty());
+                let (store, rows) = store_of(&pool);
                 let ball: Vec<usize> = (0..pool.len()).collect();
                 let run = || {
                     let mut rng = StdRng::seed_from_u64(rng_seed);
-                    fuse_ball(&pool[0], &ball, &pool, &params(min_count), &mut rng)
+                    fuse_ball(&store, &rows, 0, &ball, &params(min_count), &mut rng)
                         .into_iter()
                         .map(|p| p.items)
                         .collect::<Vec<_>>()

@@ -10,7 +10,9 @@
 //!
 //! The crate is organized around the paper's concepts:
 //!
-//! * [`Pattern`] — an itemset with its support set ([`pattern`]);
+//! * [`Pattern`] — an itemset with its support set ([`pattern`]); the thin
+//!   **public view** type — inside the engine, patterns live as rows of a
+//!   columnar slab (below) and materialize only at the result boundary;
 //! * pattern distance and the ball radius `r(τ)` ([`distance`], Definition 6
 //!   and Theorem 2);
 //! * τ-core patterns and core descendants ([`core_pattern`], Definition 3);
@@ -20,6 +22,20 @@
 //!   ([`fusion`], §4);
 //! * the main iterative algorithm ([`algorithm`], Algorithms 1–2);
 //! * per-iteration statistics ([`stats`]).
+//!
+//! # The slab data plane
+//!
+//! The pool — the paper's hot data structure — is stored **columnar**: the
+//! parallel initial-pool miner ([`cfp_miners::initial_pool_slab`]) emits
+//! straight into a lane-aligned [`PatternPool`] slab (one shared tid-word
+//! region + suffix tables + itemset spans + cached supports), and every
+//! layer above speaks dense `u32` **row ids** over a [`pool::PoolStore`]
+//! (frozen base slab shared by `Arc`, plus a private append-only overlay
+//! for fused patterns, deduplicated by interning). Pools, archives, shard
+//! sub-pools, and [`PoolDelta`]s are plain row-id lists; the ball index
+//! borrows slab rows instead of copying tid-sets; shard workers read the
+//! same base slab without cloning sub-pools. The ownership contract (who
+//! may append, when rows freeze) is documented in [`cfp_itemset::store`].
 //!
 //! # The ball-query engine
 //!
@@ -79,22 +95,33 @@ pub mod complementary;
 pub mod core_pattern;
 pub mod distance;
 pub mod fusion;
-pub mod parallel;
 pub mod pattern;
+pub mod pool;
 pub mod robustness;
 pub mod shard;
 pub mod stats;
 
 mod config;
 
+/// Deterministic work-stealing task distribution — re-exported from
+/// [`cfp_miners::parallel`], where the queue now lives so the parallel
+/// initial-pool miner (below `cfp-core` in the crate graph) can schedule
+/// its DFS subtrees on the same primitive as the fusion engine's ball
+/// scans, per-seed fusions, shard runs, and pivot-table builds.
+pub mod parallel {
+    pub use cfp_miners::parallel::run_tasks;
+}
+
 pub use algorithm::{FusionResult, PatternFusion};
 pub use ball::{BallIndex, BallQuery, BallQueryStats, PoolDelta};
 pub use cfp_itemset::kernels::Backend as KernelBackend;
+pub use cfp_itemset::PatternPool;
 pub use complementary::{count_complementary_sets, find_complementary_set, is_complementary_set};
 pub use config::FusionConfig;
 pub use core_pattern::{core_patterns_of, is_core_pattern, is_core_pattern_of};
 pub use distance::{ball_radius, pattern_distance};
 pub use pattern::Pattern;
+pub use pool::PoolStore;
 pub use robustness::robustness;
 pub use shard::{ShardStrategy, Sharding};
-pub use stats::{IndexMaintenance, IterationStats, RunStats, ShardStats};
+pub use stats::{IndexMaintenance, IterationStats, PoolStats, RunStats, ShardStats};

@@ -10,6 +10,12 @@ use std::fmt;
 /// core-pattern checks, and fusion all intersect tid-sets — so the pool keeps
 /// them materialized. By Lemma 1, `D(α ∪ β) = D(α) ∩ D(β)`, which is how
 /// fused patterns get their support sets without touching the database.
+///
+/// This is the engine's **view type**: inside a run, patterns are rows of
+/// the columnar pool slab ([`crate::pool::PoolStore`]) addressed by id, and
+/// an owned `Pattern` exists only at the boundaries — fusion outputs before
+/// interning, and results at the end of a run
+/// ([`crate::pool::PoolStore::pattern`] materializes a row).
 #[derive(PartialEq, Eq)]
 pub struct Pattern {
     /// The itemset α.

@@ -1,0 +1,366 @@
+//! The engine's two-level pattern store: a frozen, shareable base slab plus
+//! a private append-only overlay.
+//!
+//! Every layer of the fusion pipeline — miners, the iteration loop, the
+//! ball index, the shard runner — speaks **row ids** into one
+//! [`PatternPool`] slab pair instead of passing `Vec<Pattern>` around:
+//!
+//! * the **base** slab is the mined initial pool, frozen at construction
+//!   and shared by reference counting, so K shard workers read the same
+//!   tid words without cloning a single sub-pool;
+//! * the **local** slab is this engine instance's appendix: every distinct
+//!   pattern fused during the run is appended exactly once and then frozen
+//!   (see the ownership contract in [`cfp_itemset::store`]).
+//!
+//! A global row id addresses `base` for `row < base_len` and `local`
+//! otherwise. Row ids are stable for the store's lifetime, which is what
+//! lets pools, archives, shard sub-pools, deltas, and index arenas all be
+//! plain `Vec<u32>` lists — and what makes the pool-identity delta
+//! ([`crate::ball::PoolDelta`]) a constant-time membership test instead of
+//! an itemset-hashing pass.
+//!
+//! Appending is **interning**: [`PoolStore::intern`] resolves an itemset to
+//! its existing row (base or local) or appends a new local row. Itemsets
+//! determine support sets (Lemma 1 — every pattern in a run is derived from
+//! the same database), so one row per itemset is exact, and row equality
+//! *is* itemset equality everywhere downstream.
+
+use crate::pattern::Pattern;
+use cfp_itemset::store::RowTable;
+use cfp_itemset::{Item, PatternPool};
+use std::sync::Arc;
+
+/// A frozen base slab + private overlay, addressed by global row ids. See
+/// the module docs.
+#[derive(Debug, Clone)]
+pub struct PoolStore {
+    base: Arc<PatternPool>,
+    base_table: Arc<RowTable>,
+    local: PatternPool,
+    local_table: RowTable,
+}
+
+impl PoolStore {
+    /// Wraps a mined base slab (building its interning table).
+    pub fn new(base: PatternPool) -> Self {
+        let base_table = RowTable::build(&base);
+        Self::from_shared(Arc::new(base), Arc::new(base_table))
+    }
+
+    /// Wraps an already-shared base slab and table (the shard fork path).
+    pub fn from_shared(base: Arc<PatternPool>, base_table: Arc<RowTable>) -> Self {
+        let local = PatternPool::new(base.universe());
+        Self {
+            base,
+            base_table,
+            local,
+            local_table: RowTable::default(),
+        }
+    }
+
+    /// Legacy construction from owned patterns: copies each pattern into a
+    /// fresh base slab (in order). The compatibility entry for callers that
+    /// assembled a `Vec<Pattern>` themselves; the engine's own path mines
+    /// straight into the slab and never takes this copy.
+    pub fn from_patterns(patterns: &[Pattern]) -> Self {
+        let universe = patterns
+            .first()
+            .map(|p| p.tids.universe())
+            .unwrap_or_default();
+        let mut base = PatternPool::with_capacity(universe, patterns.len());
+        for p in patterns {
+            base.push_tidset(p.items.items(), &p.tids);
+        }
+        Self::new(base)
+    }
+
+    /// A sibling store over the same frozen base with an empty overlay —
+    /// what each shard worker runs on. The parent's overlay must still be
+    /// empty (shards fork before any fusion appends).
+    pub fn fork(&self) -> Self {
+        debug_assert!(
+            self.local.is_empty(),
+            "fork after appends would hide overlay rows from the sibling"
+        );
+        Self::from_shared(Arc::clone(&self.base), Arc::clone(&self.base_table))
+    }
+
+    /// Rows in the frozen base slab (the global-id split point).
+    #[inline]
+    pub fn base_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Total rows addressable (base + overlay).
+    #[inline]
+    pub fn len_rows(&self) -> usize {
+        self.base.len() + self.local.len()
+    }
+
+    /// The transaction universe.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.base.universe()
+    }
+
+    /// Tid words per row (lane-aligned; identical in both slabs).
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.base.words_per_row()
+    }
+
+    /// Suffix-table entries per row.
+    #[inline]
+    pub fn suf_stride(&self) -> usize {
+        self.base.suf_stride()
+    }
+
+    /// The frozen base slab (for batched kernel gathers over base rows).
+    #[inline]
+    pub fn base_pool(&self) -> &PatternPool {
+        &self.base
+    }
+
+    /// The overlay slab (for batched kernel gathers over overlay rows; its
+    /// row `i` has global id `base_len() + i`).
+    #[inline]
+    pub fn local_pool(&self) -> &PatternPool {
+        &self.local
+    }
+
+    /// Splits a global row id into (is_overlay, index within that slab).
+    #[inline]
+    pub fn split(&self, row: u32) -> (bool, u32) {
+        let b = self.base.len() as u32;
+        if row < b {
+            (false, row)
+        } else {
+            (true, row - b)
+        }
+    }
+
+    /// Tid-set words of `row`.
+    #[inline]
+    pub fn words_of(&self, row: u32) -> &[u64] {
+        let (local, idx) = self.split(row);
+        if local {
+            self.local.tid_words(idx)
+        } else {
+            self.base.tid_words(idx)
+        }
+    }
+
+    /// Suffix table of `row`.
+    #[inline]
+    pub fn sufs_of(&self, row: u32) -> &[u32] {
+        let (local, idx) = self.split(row);
+        if local {
+            self.local.row_sufs(idx)
+        } else {
+            self.base.row_sufs(idx)
+        }
+    }
+
+    /// Itemset items of `row`, sorted ascending.
+    #[inline]
+    pub fn items_of(&self, row: u32) -> &[Item] {
+        let (local, idx) = self.split(row);
+        if local {
+            self.local.items(idx)
+        } else {
+            self.base.items(idx)
+        }
+    }
+
+    /// Cached support of `row`.
+    #[inline]
+    pub fn support(&self, row: u32) -> usize {
+        let (local, idx) = self.split(row);
+        if local {
+            self.local.support(idx)
+        } else {
+            self.base.support(idx)
+        }
+    }
+
+    /// Materializes `row` as an owned [`Pattern`] (the thin public view).
+    pub fn pattern(&self, row: u32) -> Pattern {
+        let (local, idx) = self.split(row);
+        let pool = if local { &self.local } else { &self.base };
+        Pattern::new(pool.itemset(idx), pool.tidset(idx))
+    }
+
+    /// The row holding `items`, if any (base first, then overlay).
+    pub fn lookup(&self, items: &[Item]) -> Option<u32> {
+        if let Some(r) = self.base_table.get(items, |r| self.base.items(r)) {
+            return Some(r);
+        }
+        let b = self.base.len() as u32;
+        self.local_table
+            .get(items, |r| self.local.items(r))
+            .map(|r| b + r)
+    }
+
+    /// Resolves a fused pattern to its global row: the existing row when the
+    /// itemset is already stored, else a fresh overlay append. The single
+    /// write path of the store.
+    pub fn intern(&mut self, p: &Pattern) -> u32 {
+        let items = p.items.items();
+        if let Some(r) = self.base_table.get(items, |r| self.base.items(r)) {
+            return r;
+        }
+        let b = self.base.len() as u32;
+        let next = self.local.len() as u32;
+        match self
+            .local_table
+            .insert_or_get(items, next, |r| self.local.items(r))
+        {
+            Some(r) => b + r,
+            None => {
+                let r = self.local.push_tidset(items, &p.tids);
+                debug_assert_eq!(r, next);
+                b + r
+            }
+        }
+    }
+
+    /// Unwraps the base slab (cloning only when other forks still share
+    /// it). Meaningful for a store that never appended — the overlay is
+    /// discarded.
+    pub fn into_base(self) -> PatternPool {
+        Arc::try_unwrap(self.base).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Total tid-region bytes across both slabs.
+    pub fn tid_bytes(&self) -> usize {
+        self.base.tid_bytes() + self.local.tid_bytes()
+    }
+
+    /// Approximate resident bytes across both slabs' columns. The store is
+    /// append-only, so the end-of-run value is also the peak.
+    pub fn resident_bytes(&self) -> usize {
+        self.base.resident_bytes() + self.local.resident_bytes()
+    }
+}
+
+/// Materializes a row list as owned patterns, in list order.
+pub fn materialize(store: &PoolStore, rows: &[u32]) -> Vec<Pattern> {
+    rows.iter().map(|&r| store.pattern(r)).collect()
+}
+
+/// Sorts a row list by the global result ranking — (size desc, support
+/// desc, itemset) — and removes duplicate rows (row equality is itemset
+/// equality under interning). The row form of the old `Vec<Pattern>` rank +
+/// itemset dedup, shared by the iteration archive and the shard-archive
+/// merge.
+pub fn rank_rows(store: &PoolStore, rows: &mut Vec<u32>) {
+    rows.sort_by(|&a, &b| {
+        let (ia, ib) = (store.items_of(a), store.items_of(b));
+        ib.len()
+            .cmp(&ia.len())
+            .then_with(|| store.support(b).cmp(&store.support(a)))
+            .then_with(|| ia.cmp(ib))
+    });
+    rows.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_itemset::{Itemset, TidSet};
+
+    fn pat(universe: usize, items: &[u32], tids: &[usize]) -> Pattern {
+        Pattern::new(
+            Itemset::from_items(items),
+            TidSet::from_tids(universe, tids.iter().copied()),
+        )
+    }
+
+    #[test]
+    fn from_patterns_round_trips() {
+        let pats = vec![
+            pat(100, &[1, 2], &[0, 5, 64]),
+            pat(100, &[3], &[2]),
+            pat(100, &[0, 4, 9], &[]),
+        ];
+        let store = PoolStore::from_patterns(&pats);
+        assert_eq!(store.base_len(), 3);
+        assert_eq!(store.len_rows(), 3);
+        for (i, p) in pats.iter().enumerate() {
+            let row = i as u32;
+            assert_eq!(&store.pattern(row), p);
+            assert_eq!(store.items_of(row), p.items.items());
+            assert_eq!(store.support(row), p.support());
+            assert_eq!(store.words_of(row), p.tids.blocks());
+        }
+    }
+
+    #[test]
+    fn intern_resolves_and_appends() {
+        let pats = vec![pat(64, &[1], &[0, 1]), pat(64, &[2], &[1, 2])];
+        let mut store = PoolStore::from_patterns(&pats);
+        // Existing base itemset resolves without appending.
+        assert_eq!(store.intern(&pats[1]), 1);
+        assert_eq!(store.len_rows(), 2);
+        // A fresh pattern appends to the overlay.
+        let fused = pat(64, &[1, 2], &[1]);
+        let row = store.intern(&fused);
+        assert_eq!(row, 2);
+        assert_eq!(store.len_rows(), 3);
+        assert_eq!(store.pattern(row), fused);
+        let (is_local, idx) = store.split(row);
+        assert!(is_local);
+        assert_eq!(idx, 0);
+        // Interning the same fusion again resolves to the overlay row.
+        assert_eq!(store.intern(&fused), 2);
+        assert_eq!(store.len_rows(), 3);
+        assert_eq!(store.lookup(&[1, 2]), Some(2));
+        assert_eq!(store.lookup(&[9]), None);
+    }
+
+    #[test]
+    fn fork_shares_base_and_isolates_overlays() {
+        let pats = vec![pat(32, &[1], &[0]), pat(32, &[2], &[1])];
+        let store = PoolStore::from_patterns(&pats);
+        let mut a = store.fork();
+        let mut b = store.fork();
+        let fa = pat(32, &[1, 2], &[0, 1]);
+        let fb = pat(32, &[1, 3], &[0]);
+        assert_eq!(a.intern(&fa), 2);
+        assert_eq!(b.intern(&fb), 2); // same global id space, private overlay
+        assert_eq!(a.pattern(2), fa);
+        assert_eq!(b.pattern(2), fb);
+        // Base reads agree everywhere, with no copies made.
+        assert_eq!(a.words_of(0), b.words_of(0));
+        assert!(std::ptr::eq(
+            a.base_pool() as *const _,
+            b.base_pool() as *const _
+        ));
+    }
+
+    #[test]
+    fn rank_rows_matches_legacy_ranking() {
+        let pats = vec![
+            pat(64, &[5], &[0, 1, 2]),
+            pat(64, &[1, 2, 3], &[0]),
+            pat(64, &[1, 2], &[0, 1]),
+            pat(64, &[0, 9], &[0, 1]),
+        ];
+        let store = PoolStore::from_patterns(&pats);
+        let mut rows = vec![0u32, 1, 2, 3, 1, 0];
+        rank_rows(&store, &mut rows);
+        // (size desc, support desc, itemset): (1 2 3) > (0 9) > (1 2) > (5),
+        // with duplicates collapsed.
+        assert_eq!(rows, vec![1, 3, 2, 0]);
+        let pats = materialize(&store, &rows);
+        assert_eq!(pats[0].items, Itemset::from_items(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = PoolStore::from_patterns(&[]);
+        assert_eq!(store.len_rows(), 0);
+        assert_eq!(store.universe(), 0);
+        assert_eq!(store.words_per_row(), 0);
+    }
+}

@@ -1,5 +1,5 @@
 //! Sharded Pattern-Fusion: partition the pool, fuse per shard, merge
-//! deterministically.
+//! deterministically — all over **one shared slab**.
 //!
 //! The paper's design bounds every fusion step to a local ball, which makes
 //! the pool naturally partitionable: a shard that holds all core patterns of
@@ -11,6 +11,15 @@
 //! are scheduled on the work-stealing pool in [`crate::parallel`], and the
 //! per-shard archives are merged through a deterministic dedup / re-rank
 //! pass followed by a cross-shard **boundary repair** step.
+//!
+//! # Zero-copy sub-pools
+//!
+//! A shard's sub-pool is a **row-id list over the shared frozen base slab**
+//! ([`crate::pool::PoolStore::fork`]): shard workers read the same tid
+//! words the miner emitted, so partitioning clones nothing. Each shard
+//! appends its own fusions to a private overlay slab; at merge time only
+//! the archived patterns (≤ archive-cap many per shard) are interned into
+//! the parent store — the single cross-shard copy in the pipeline.
 //!
 //! # Partition strategies
 //!
@@ -30,15 +39,14 @@
 //!
 //! Each shard mines its local top-⌈K/n⌉ with a seed derived from
 //! `(master seed, shard index)`; the union of shard archives is deduplicated
-//! by itemset (reusing the [`PoolDelta`](crate::ball::PoolDelta)
-//! open-addressed itemset table), re-ranked by the global
-//! `(size desc, support desc, itemset)` order, and truncated to K. Because a
-//! partition can split a colossal pattern's core patterns across shards
-//! (always possible under `SupportStratum`, with probability `1 − J` per
-//! pattern pair under `MinhashBucket`), a **boundary-repair** pass then
-//! re-balls the merged survivors and fuses, retaining the archive between
-//! delta-seeded rounds until fixpoint (see
-//! [`PatternFusion::run_sharded_with_pool`]'s repair notes), so partial
+//! by row id (interning makes row identity itemset identity), re-ranked by
+//! the global `(size desc, support desc, itemset)` order, and truncated to
+//! K. Because a partition can split a colossal pattern's core patterns
+//! across shards (always possible under `SupportStratum`, with probability
+//! `1 − J` per pattern pair under `MinhashBucket`), a **boundary-repair**
+//! pass then re-balls the merged survivors and fuses, retaining the archive
+//! between delta-seeded rounds until fixpoint (see
+//! [`PatternFusion::run_sharded_rows`]'s repair notes), so partial
 //! assemblies from different shards fuse into their common core descendant
 //! — and the resulting subsumed fragments are pruned — before the final
 //! re-rank.
@@ -55,15 +63,13 @@
 //!   merge/repair passes are order-keyed — so output is identical at any
 //!   thread count (and on any machine) for a fixed partition strategy.
 
-use crate::algorithm::{dedup_sorted, splitmix64, threads_for, FusionResult, PatternFusion};
-use crate::ball::ItemsetTable;
-use crate::config::FusionConfig;
-use crate::fusion::fuse_ball;
+use crate::algorithm::{splitmix64, threads_for, FusionResult, PatternFusion};
 use crate::parallel::run_tasks;
-use crate::pattern::Pattern;
+use crate::pool::{materialize, rank_rows, PoolStore};
 use crate::stats::{RunStats, ShardStats};
-use cfp_itemset::{Itemset, TidSet};
+use cfp_itemset::store::sorted_subset;
 use rand::SeedableRng;
+use std::collections::HashSet;
 use std::time::Instant;
 
 /// How the initial pool is partitioned across shards.
@@ -103,7 +109,7 @@ impl ShardStrategy {
         [ShardStrategy::SupportStratum, ShardStrategy::MinhashBucket];
 }
 
-/// Sharding configuration (see [`FusionConfig::sharding`]).
+/// Sharding configuration (see [`crate::FusionConfig::sharding`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sharding {
     /// Number of shards. 1 disables sharding (the plain engine runs).
@@ -201,43 +207,58 @@ pub fn shard_seed(seed: u64, shard: usize, shards: usize) -> u64 {
 /// Salt decorrelating boundary-repair RNGs from shard and iteration RNGs.
 const REPAIR_SALT: u64 = 0xB00D_412E_9A10_77EE;
 
-/// Minhash of a support set: the minimum of a SplitMix64 hash over the tids.
-/// Two sets collide with probability equal to their Jaccard similarity —
-/// the locality property `MinhashBucket` relies on. Empty sets share a
-/// sentinel bucket.
-fn minhash(tids: &TidSet) -> u64 {
+/// Minhash of a support set given its slab-row words: the minimum of a
+/// SplitMix64 hash over the tids. Two sets collide with probability equal
+/// to their Jaccard similarity — the locality property `MinhashBucket`
+/// relies on. Empty sets share a sentinel bucket.
+fn minhash_words(words: &[u64]) -> u64 {
     let mut m = u64::MAX;
-    for t in tids.iter() {
-        m = m.min(splitmix64(t as u64 ^ 0x15EA_5EED));
+    for (block, &w) in words.iter().enumerate() {
+        let mut w = w;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            let tid = block * 64 + bit;
+            m = m.min(splitmix64(tid as u64 ^ 0x15EA_5EED));
+        }
     }
     m
 }
 
-/// Partitions pool positions into `shards` shard member lists. Each shard's
-/// list preserves the original pool order (so a single shard reproduces the
-/// pool exactly), every position appears in exactly one list, and the
-/// assignment is a pure function of pool *content* — emit order never
-/// changes which shard a pattern lands in.
-pub fn partition(pool: &[Pattern], shards: usize, strategy: ShardStrategy) -> Vec<Vec<u32>> {
+/// Partitions pool positions into `shards` shard member lists. `rows` is
+/// the pool (a row-id list into `store`); the returned lists hold
+/// **positions into `rows`**. Each shard's list preserves the original pool
+/// order (so a single shard reproduces the pool exactly), every position
+/// appears in exactly one list, and the assignment is a pure function of
+/// pool *content* — emit order never changes which shard a pattern lands
+/// in. Nothing is copied: a shard's sub-pool is its positions mapped
+/// through `rows`, over the shared slab.
+pub fn partition(
+    store: &PoolStore,
+    rows: &[u32],
+    shards: usize,
+    strategy: ShardStrategy,
+) -> Vec<Vec<u32>> {
     let n = shards.max(1);
     let mut out = vec![Vec::new(); n];
-    if pool.is_empty() {
+    if rows.is_empty() {
         return out;
     }
     if n == 1 {
-        out[0] = (0..pool.len() as u32).collect();
+        out[0] = (0..rows.len() as u32).collect();
         return out;
     }
     match strategy {
         ShardStrategy::SupportStratum => {
-            let mut order: Vec<u32> = (0..pool.len() as u32).collect();
+            let mut order: Vec<u32> = (0..rows.len() as u32).collect();
             order.sort_unstable_by(|&a, &b| {
-                let (pa, pb) = (&pool[a as usize], &pool[b as usize]);
-                pa.support()
-                    .cmp(&pb.support())
-                    .then_with(|| pa.items.cmp(&pb.items))
+                let (ra, rb) = (rows[a as usize], rows[b as usize]);
+                store
+                    .support(ra)
+                    .cmp(&store.support(rb))
+                    .then_with(|| store.items_of(ra).cmp(store.items_of(rb)))
             });
-            let mut assign = vec![0u32; pool.len()];
+            let mut assign = vec![0u32; rows.len()];
             for (rank, &i) in order.iter().enumerate() {
                 assign[i as usize] = (rank % n) as u32;
             }
@@ -246,8 +267,8 @@ pub fn partition(pool: &[Pattern], shards: usize, strategy: ShardStrategy) -> Ve
             }
         }
         ShardStrategy::MinhashBucket => {
-            for (i, p) in pool.iter().enumerate() {
-                let s = (splitmix64(minhash(&p.tids)) % n as u64) as usize;
+            for (i, &row) in rows.iter().enumerate() {
+                let s = (splitmix64(minhash_words(store.words_of(row))) % n as u64) as usize;
                 out[s].push(i as u32);
             }
         }
@@ -260,123 +281,155 @@ impl PatternFusion<'_> {
     /// sharded engine, regardless of `FusionConfig::sharding` — the config
     /// only chooses shard count and strategy. [`PatternFusion::run_with_pool`]
     /// routes here automatically when `sharding.shards > 1`.
-    pub fn run_sharded_with_pool(&self, pool: Vec<Pattern>) -> FusionResult {
+    pub fn run_sharded_with_pool(&self, pool: Vec<crate::Pattern>) -> FusionResult {
+        self.run_sharded_with_slab_store(PoolStore::from_patterns(&pool))
+    }
+
+    /// [`PatternFusion::run_sharded_with_pool`] over a columnar slab — the
+    /// zero-copy entry (see [`PatternFusion::run_with_slab`]).
+    pub fn run_sharded_with_slab(&self, slab: cfp_itemset::PatternPool) -> FusionResult {
+        self.run_sharded_with_slab_store(PoolStore::new(slab))
+    }
+
+    fn run_sharded_with_slab_store(&self, mut store: PoolStore) -> FusionResult {
+        let rows: Vec<u32> = (0..store.base_len() as u32).collect();
+        let (final_rows, mut stats) = self.run_sharded_rows(&mut store, rows);
+        // Pool supplied pre-mined: no mine evidence, but the slab footprint
+        // is real — stamp it like `run_from_store` does.
+        stats.pool = crate::stats::PoolStats {
+            rows: store.len_rows(),
+            initial_rows: store.base_len(),
+            tid_bytes: store.tid_bytes(),
+            peak_bytes: store.resident_bytes(),
+            ..Default::default()
+        };
+        FusionResult {
+            patterns: materialize(&store, &final_rows),
+            stats,
+        }
+    }
+
+    /// The sharded fusion loop over row-id pools: partition positions, fork
+    /// the store per shard (shared base slab, private overlays), run the
+    /// plain loop per shard on the work-stealing pool, then merge + repair
+    /// in the parent store.
+    pub(crate) fn run_sharded_rows(
+        &self,
+        store: &mut PoolStore,
+        rows: Vec<u32>,
+    ) -> (Vec<u32>, RunStats) {
         let cfg = self.config();
         let n = cfg.sharding.shards.max(1);
         let threads = threads_for(cfg);
         let mut stats = RunStats {
-            initial_pool_size: pool.len(),
+            initial_pool_size: rows.len(),
             kernel_backend: cfp_itemset::kernels::Backend::active(),
             ..Default::default()
         };
-        if pool.is_empty() {
-            return FusionResult {
-                patterns: Vec::new(),
-                stats,
-            };
+        if rows.is_empty() {
+            return (rows, stats);
         }
 
-        let assignment = partition(&pool, n, cfg.sharding.strategy);
+        let assignment = partition(store, &rows, n, cfg.sharding.strategy);
         let sizes: Vec<usize> = assignment.iter().map(Vec::len).collect();
         let seed_budget = apportion_seeds(cfg.k, &sizes);
         // Shards on the work-stealing pool; each shard's private fusion loop
         // runs single-threaded when there is more than one shard (the
         // coarse-grained split replaces the fine-grained one), and with the
-        // caller's full thread budget when there is only one.
-        let assignment_ref = &assignment;
-        let pool_ref = &pool;
-        let seed_budget_ref = &seed_budget;
-        let shard_runs = run_tasks(n, threads, |s| {
-            let t0 = Instant::now();
-            let positions = &assignment_ref[s];
-            let sub: Vec<Pattern> = positions
-                .iter()
-                .map(|&i| pool_ref[i as usize].clone())
-                .collect();
-            let pool_size = sub.len();
-            if sub.is_empty() {
-                // An empty shard trivially converged on an empty archive.
-                let empty = FusionResult {
-                    patterns: Vec::new(),
-                    stats: RunStats {
+        // caller's full thread budget when there is only one. Every worker
+        // reads the shared base slab through its fork; sub-pools are
+        // position lists, not clones.
+        let shard_runs = {
+            let parent: &PoolStore = store;
+            let assignment_ref = &assignment;
+            let rows_ref = &rows;
+            let seed_budget_ref = &seed_budget;
+            run_tasks(n, threads, |s| {
+                let t0 = Instant::now();
+                let positions = &assignment_ref[s];
+                let sub_rows: Vec<u32> = positions.iter().map(|&i| rows_ref[i as usize]).collect();
+                let pool_size = sub_rows.len();
+                let mut shard_store = parent.fork();
+                if sub_rows.is_empty() {
+                    // An empty shard trivially converged on an empty archive.
+                    let empty = RunStats {
                         converged: true,
                         ..Default::default()
-                    },
-                };
-                return (empty, t0.elapsed(), pool_size);
-            }
-            let mut scfg = cfg.clone();
-            scfg.sharding = Sharding::single();
-            scfg.k = seed_budget_ref[s];
-            scfg.seed = shard_seed(cfg.seed, s, n);
-            if n > 1 {
-                // The per-shard K is this shard's share of the global seed
-                // budget; the archive keeps the full K so local top-K
-                // truncation cannot drop a smaller colossal pattern that
-                // the global re-rank would have kept.
-                scfg.archive_cap = Some(cfg.archive_cap.unwrap_or(cfg.k).max(scfg.k));
-                scfg.threads = Some(1);
-            }
-            let r = self.run_pool_with(sub, &scfg);
-            (r, t0.elapsed(), pool_size)
-        });
+                    };
+                    return (shard_store, Vec::new(), empty, t0.elapsed(), pool_size);
+                }
+                let mut scfg = cfg.clone();
+                scfg.sharding = Sharding::single();
+                scfg.k = seed_budget_ref[s];
+                scfg.seed = shard_seed(cfg.seed, s, n);
+                if n > 1 {
+                    // The per-shard K is this shard's share of the global seed
+                    // budget; the archive keeps the full K so local top-K
+                    // truncation cannot drop a smaller colossal pattern that
+                    // the global re-rank would have kept.
+                    scfg.archive_cap = Some(cfg.archive_cap.unwrap_or(cfg.k).max(scfg.k));
+                    scfg.threads = Some(1);
+                }
+                let (out_rows, rstats) = self.run_rows_with(&mut shard_store, sub_rows, &scfg);
+                (shard_store, out_rows, rstats, t0.elapsed(), pool_size)
+            })
+        };
 
         // Deterministic merge: shard results concatenate in shard order (not
-        // completion order), dedup by itemset through the open-addressed
-        // table, then re-rank globally.
-        let mut merged: Vec<Pattern> = Vec::new();
-        for (s, (result, elapsed, pool_size)) in shard_runs.into_iter().enumerate() {
+        // completion order). Base-slab rows carry over as-is; each shard's
+        // overlay rows — the only patterns that exist nowhere else — are
+        // interned into the parent store. Row identity is itemset identity,
+        // so first-occurrence dedup is a set of ids.
+        let mut merged: Vec<u32> = Vec::new();
+        let mut seen: HashSet<u32> = HashSet::new();
+        let base_len = store.base_len() as u32;
+        for (s, (shard_store, out_rows, rstats, elapsed, pool_size)) in
+            shard_runs.into_iter().enumerate()
+        {
             stats.shards.push(ShardStats {
                 shard: s,
                 pool_size,
-                patterns: result.patterns.len(),
-                iterations: result.stats.iterations.len(),
-                converged: result.stats.converged,
-                ball: result.stats.ball(),
-                tombstoned: result.stats.tombstoned(),
-                inserted: result.stats.inserted(),
-                compactions: result.stats.compactions(),
+                patterns: out_rows.len(),
+                iterations: rstats.iterations.len(),
+                converged: rstats.converged,
+                ball: rstats.ball(),
+                tombstoned: rstats.tombstoned(),
+                inserted: rstats.inserted(),
+                compactions: rstats.compactions(),
                 elapsed,
             });
-            merged.extend(result.patterns);
-        }
-        {
-            let mut table = ItemsetTable::with_capacity(merged.len());
-            let mut first = Vec::with_capacity(merged.len());
-            for (i, p) in merged.iter().enumerate() {
-                first.push(
-                    table
-                        .insert_or_get(&p.items, i as u32, |si| &merged[si as usize].items)
-                        .is_none(),
-                );
+            for r in out_rows {
+                let row = if r < base_len {
+                    r
+                } else {
+                    store.intern(&shard_store.pattern(r))
+                };
+                if seen.insert(row) {
+                    merged.push(row);
+                }
             }
-            let mut keep = first.into_iter();
-            merged.retain(|_| keep.next().unwrap_or(false));
         }
-        dedup_sorted(&mut merged);
+        rank_rows(store, &mut merged);
 
         if n > 1 {
             // Repair sees the *whole* merged archive (bounded by the
             // per-shard caps, so ≤ ~n·K patterns): truncating to K first
             // would pre-judge the ranking before cross-shard partial
             // assemblies had a chance to fuse into something larger.
-            merged = self.boundary_repair(merged, &pool, cfg, &mut stats);
-            dedup_sorted(&mut merged);
-            prune_subsumed(&mut merged);
+            merged = self.boundary_repair_rows(store, merged, &rows, &mut stats);
+            rank_rows(store, &mut merged);
+            prune_subsumed_rows(store, &mut merged);
             merged.truncate(cfg.k.max(1));
         }
 
         stats.converged = stats.shards.iter().all(|s| s.converged) && merged.len() <= cfg.k.max(1);
-        FusionResult {
-            patterns: merged,
-            stats,
-        }
+        (merged, stats)
     }
 
     /// Cross-shard boundary repair: re-balls every merged survivor and
     /// fuses, **retaining** the archive between rounds (no pool replacement
     /// — a survivor can never be lost to the seed-drawing lottery here),
-    /// until a round contributes no new itemset or [`REPAIR_MAX_ROUNDS`] is
+    /// until a round contributes no new row or [`REPAIR_MAX_ROUNDS`] is
     /// hit. Partial assemblies of the same colossal pattern that grew in
     /// different shards sit within distance `r(τ)` of each other, so
     /// successive rounds fuse them into their common core descendant.
@@ -385,24 +438,26 @@ impl PatternFusion<'_> {
     /// pool is within [`FULL_REPAIR_POOL_LIMIT`]): a shard only ever saw
     /// its slice of each ball, and pool members its seed lottery never drew
     /// are in no shard's output — the full-pool ball makes every
-    /// survivor's core-pattern neighborhood whole again. Beyond the limit
-    /// that pass would cost a whole unsharded iteration, and per-shard
-    /// sampling coverage already matches the unsharded engine's seed
-    /// lottery (proportional seed budgets), so repair stays within the
-    /// merged archive.
+    /// survivor's core-pattern neighborhood whole again. Extending the
+    /// candidate space is a row-id union over the shared slab, not a pool
+    /// copy. Beyond the limit that pass would cost a whole unsharded
+    /// iteration, and per-shard sampling coverage already matches the
+    /// unsharded engine's seed lottery (proportional seed budgets), so
+    /// repair stays within the merged archive.
     ///
     /// Every round's RNGs derive from `(master seed, round, survivor
     /// index)` and results merge in survivor order, so the pass is
     /// deterministic at any thread count. The working set is capped at
     /// twice the archive size (largest-first), keeping later rounds
     /// O(rounds · K²) with the usual metric pruning.
-    fn boundary_repair(
+    fn boundary_repair_rows(
         &self,
-        mut merged: Vec<Pattern>,
-        pool: &[Pattern],
-        cfg: &FusionConfig,
+        store: &mut PoolStore,
+        mut merged: Vec<u32>,
+        pool_rows: &[u32],
         stats: &mut RunStats,
-    ) -> Vec<Pattern> {
+    ) -> Vec<u32> {
+        let cfg = self.config();
         if merged.len() < 2 {
             return merged;
         }
@@ -410,46 +465,36 @@ impl PatternFusion<'_> {
         let params = cfg.fusion_params();
         let threads = threads_for(cfg);
         let window = cfg.archive_cap.unwrap_or(cfg.k).max(cfg.k).max(1) * 2;
-        dedup_sorted(&mut merged);
+        rank_rows(store, &mut merged);
         merged.truncate(window);
-        // Itemsets of the patterns added by the previous round — the only
-        // seeds later rounds need (delta seeding): a round can only create
-        // new fusions around what the previous round changed, so re-seeding
-        // every unchanged survivor each round would rediscover the same
-        // candidates at full cost.
-        let mut last_fresh: Option<Vec<Itemset>> = None;
+        // Rows added by the previous round — the only seeds later rounds
+        // need (delta seeding): a round can only create new fusions around
+        // what the previous round changed, so re-seeding every unchanged
+        // survivor each round would rediscover the same candidates at full
+        // cost.
+        let mut last_fresh: Option<Vec<u32>> = None;
         for round in 0..REPAIR_MAX_ROUNDS {
             // Candidate space: the working set, plus — in the small-pool
-            // round 0 — every original pool member not already in it. Only
-            // that extended round needs an owned copy; later rounds borrow
-            // the working set as is.
-            let space_extended: Vec<Pattern>;
-            let space: &[Pattern] = if round == 0 && pool.len() <= FULL_REPAIR_POOL_LIMIT {
+            // round 0 — every original pool row not already in it. A row-id
+            // union: no patterns are copied to extend the space.
+            let space: Vec<u32> = if round == 0 && pool_rows.len() <= FULL_REPAIR_POOL_LIMIT {
                 let mut ext = merged.clone();
-                let mut table = ItemsetTable::with_capacity(ext.len() + pool.len());
-                for (i, p) in ext.iter().enumerate() {
-                    table.insert_or_get(&p.items, i as u32, |si| &ext[si as usize].items);
-                }
-                for p in pool {
-                    let idx = ext.len() as u32;
-                    if table
-                        .insert_or_get(&p.items, idx, |si| &ext[si as usize].items)
-                        .is_none()
-                    {
-                        ext.push(p.clone());
+                let mut in_ext: HashSet<u32> = merged.iter().copied().collect();
+                for &r in pool_rows {
+                    if in_ext.insert(r) {
+                        ext.push(r);
                     }
                 }
-                space_extended = ext;
-                &space_extended
+                ext
             } else {
-                &merged
+                merged.clone()
             };
             // Seed positions. Round 0: every survivor, plus — in the
             // full-pool round — K fresh pool draws, restoring one unsharded
             // iteration's worth of pool exploration (a stratum no shard's
             // lottery drew gets the same second chance the unsharded loop's
             // later iterations would have given it). Later rounds: only the
-            // patterns the previous round added.
+            // rows the previous round added.
             let seed_positions: Vec<usize> = match &last_fresh {
                 None => {
                     let mut seeds: Vec<usize> = (0..merged.len()).collect();
@@ -470,72 +515,66 @@ impl PatternFusion<'_> {
                     }
                     seeds
                 }
-                Some(items) => {
+                Some(fresh_rows) => {
                     // Survivors of the pruning/window pass only.
-                    let set: std::collections::HashSet<&Itemset> = items.iter().collect();
+                    let set: HashSet<u32> = fresh_rows.iter().copied().collect();
                     (0..merged.len())
-                        .filter(|&i| set.contains(&merged[i].items))
+                        .filter(|&i| set.contains(&merged[i]))
                         .collect()
                 }
             };
             if seed_positions.is_empty() {
                 break;
             }
-            let index =
-                crate::ball::BallIndex::new_with_threads(space, radius, cfg.ball_pivots, threads);
-            let merged_ref = space;
-            let seed_positions_ref = &seed_positions;
-            let outputs = run_tasks(seed_positions.len(), threads, |t| {
-                let i = seed_positions_ref[t];
-                let mut ball_stats = crate::ball::BallQueryStats::default();
-                let ball = index.ball(i, &mut ball_stats);
-                let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(
-                    cfg.seed ^ REPAIR_SALT ^ ((round as u64) << 32) ^ i as u64,
-                ));
-                let sampled: Vec<usize>;
-                let ball: &[usize] = if ball.len() > cfg.max_ball_size {
-                    sampled = rand::seq::index::sample(&mut rng, ball.len(), cfg.max_ball_size)
-                        .into_iter()
-                        .map(|j| ball[j])
-                        .collect();
-                    &sampled
-                } else {
-                    &ball
-                };
-                let mut out = fuse_ball(&merged_ref[i], ball, merged_ref, &params, &mut rng);
-                if cfg.closure_step {
-                    let cl = cfp_itemset::ClosureOperator::new(self.vertical_index());
-                    for p in &mut out {
-                        p.items = cl.closure_of_tidset(&p.tids);
+            let index = crate::ball::BallIndex::build_with_threads(
+                store,
+                &space,
+                radius,
+                cfg.ball_pivots,
+                threads,
+            );
+            let outputs = {
+                let store_ref: &PoolStore = store;
+                let space_ref = &space;
+                let seed_positions_ref = &seed_positions;
+                run_tasks(seed_positions.len(), threads, |t| {
+                    let i = seed_positions_ref[t];
+                    let mut ball_stats = crate::ball::BallQueryStats::default();
+                    let ball = index.ball(store_ref, i, &mut ball_stats);
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(
+                        cfg.seed ^ REPAIR_SALT ^ ((round as u64) << 32) ^ i as u64,
+                    ));
+                    let sampled: Vec<usize>;
+                    let ball: &[usize] = if ball.len() > cfg.max_ball_size {
+                        sampled = rand::seq::index::sample(&mut rng, ball.len(), cfg.max_ball_size)
+                            .into_iter()
+                            .map(|j| ball[j])
+                            .collect();
+                        &sampled
+                    } else {
+                        &ball
+                    };
+                    let mut out =
+                        crate::fusion::fuse_ball(store_ref, space_ref, i, ball, &params, &mut rng);
+                    if cfg.closure_step {
+                        let cl = cfp_itemset::ClosureOperator::new(self.vertical_index());
+                        for p in &mut out {
+                            p.items = cl.closure_of_tidset(&p.tids);
+                        }
                     }
-                }
-                (out, ball_stats)
-            });
-            // Sized for the worst case — every fused output distinct — so
-            // the fixed-capacity open-addressed table can never fill up
-            // (a full table would make its probe loops spin forever).
-            let fused_total: usize = outputs.iter().map(|(out, _)| out.len()).sum();
-            let mut table = ItemsetTable::with_capacity(merged.len() + fused_total);
-            for (i, p) in merged.iter().enumerate() {
-                table.insert_or_get(&p.items, i as u32, |si| &merged[si as usize].items);
-            }
-            let mut fresh: Vec<Pattern> = Vec::new();
+                    (out, ball_stats)
+                })
+            };
+            // Fresh = rows not already in the working set, interned in
+            // survivor order.
+            let mut current: HashSet<u32> = merged.iter().copied().collect();
+            let mut fresh: Vec<u32> = Vec::new();
             for (out, ball_stats) in outputs {
                 stats.repair_ball.merge(&ball_stats);
                 for p in out {
-                    let idx = (merged.len() + fresh.len()) as u32;
-                    let absent = table
-                        .insert_or_get(&p.items, idx, |si| {
-                            let si = si as usize;
-                            if si < merged.len() {
-                                &merged[si].items
-                            } else {
-                                &fresh[si - merged.len()].items
-                            }
-                        })
-                        .is_none();
-                    if absent {
-                        fresh.push(p);
+                    let row = store.intern(&p);
+                    if current.insert(row) {
+                        fresh.push(row);
                     }
                 }
             }
@@ -543,13 +582,13 @@ impl PatternFusion<'_> {
             if fresh.is_empty() {
                 break; // fixpoint: the archive is fusion-closed
             }
-            last_fresh = Some(fresh.iter().map(|p| p.items.clone()).collect());
+            last_fresh = Some(fresh.clone());
             merged.extend(fresh);
             // Drop subsumed fragments *before* the window truncation:
             // otherwise the debris of one large pattern can evict another
             // pattern's fresh assemblies from the working set.
-            dedup_sorted(&mut merged);
-            prune_subsumed(&mut merged);
+            rank_rows(store, &mut merged);
+            prune_subsumed_rows(store, &mut merged);
             merged.truncate(window);
         }
         merged
@@ -562,7 +601,7 @@ impl PatternFusion<'_> {
 const REPAIR_MAX_ROUNDS: usize = 8;
 
 /// Pool-size bound for the full-pool round of boundary repair (see
-/// [`PatternFusion::run_sharded_with_pool`]'s repair notes): below it, one
+/// [`PatternFusion::run_sharded_rows`]'s repair notes): below it, one
 /// extra bounded re-ball pass over the original pool is cheap insurance
 /// against shard-split balls; above it, that pass would cost as much as an
 /// unsharded iteration and the proportional per-shard seed budgets already
@@ -575,35 +614,43 @@ pub const FULL_REPAIR_POOL_LIMIT: usize = 4096;
 /// these — each shard grows its own fragment of a split colossal pattern,
 /// and repair then fuses them into the whole). Keeping the fragments would
 /// let them crowd smaller genuine patterns out of the final top-K, so they
-/// are dropped before the rank. Patterns whose support sets differ are
-/// never touched: a sub-pattern with strictly larger support is real
-/// information, exactly as in the unsharded result.
+/// are dropped before the rank. Rows whose support sets differ are never
+/// touched: a sub-pattern with strictly larger support is real information,
+/// exactly as in the unsharded result. Support sets compare as slab-row
+/// word slices — no materialization.
 ///
-/// Expects the input in [`dedup_sorted`]'s (size desc, support desc,
-/// itemset) order — size-descending means any subsumer of `p` precedes it
-/// (a proper subset is strictly smaller) — and preserves that order, so
-/// callers sort once through `dedup_sorted` and never re-sort here.
-fn prune_subsumed(patterns: &mut Vec<Pattern>) {
+/// Expects the input in [`rank_rows`]'s (size desc, support desc, itemset)
+/// order — size-descending means any subsumer of `p` precedes it (a proper
+/// subset is strictly smaller) — and preserves that order, so callers sort
+/// once through `rank_rows` and never re-sort here.
+fn prune_subsumed_rows(store: &PoolStore, rows: &mut Vec<u32>) {
     debug_assert!(
-        patterns.windows(2).all(|w| w[0].len() >= w[1].len()),
-        "prune_subsumed expects dedup_sorted (size-descending) input"
+        rows.windows(2)
+            .all(|w| store.items_of(w[0]).len() >= store.items_of(w[1]).len()),
+        "prune_subsumed_rows expects rank_rows (size-descending) input"
     );
-    let mut keep: Vec<Pattern> = Vec::with_capacity(patterns.len());
-    for p in patterns.drain(..) {
-        let subsumed = keep
-            .iter()
-            .any(|q| q.len() > p.len() && p.tids == q.tids && p.items.is_subset_of(&q.items));
+    let mut keep: Vec<u32> = Vec::with_capacity(rows.len());
+    for &p in rows.iter() {
+        let p_items = store.items_of(p);
+        let p_support = store.support(p);
+        let subsumed = keep.iter().any(|&q| {
+            store.items_of(q).len() > p_items.len()
+                && store.support(q) == p_support
+                && store.words_of(q) == store.words_of(p)
+                && sorted_subset(p_items, store.items_of(q))
+        });
         if !subsumed {
             keep.push(p);
         }
     }
-    *patterns = keep;
+    *rows = keep;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfp_itemset::Itemset;
+    use crate::pattern::Pattern;
+    use cfp_itemset::{Itemset, TidSet};
 
     fn pat(universe: usize, id: u32, tids: &[usize]) -> Pattern {
         Pattern::new(
@@ -626,12 +673,19 @@ mod tests {
         pool
     }
 
+    fn store_of(pool: &[Pattern]) -> (PoolStore, Vec<u32>) {
+        let store = PoolStore::from_patterns(pool);
+        let rows = (0..pool.len() as u32).collect();
+        (store, rows)
+    }
+
     #[test]
     fn partition_covers_every_position_exactly_once() {
         let pool = small_pool();
+        let (store, rows) = store_of(&pool);
         for strategy in ShardStrategy::ALL {
             for n in [1usize, 2, 4, 8, 64] {
-                let parts = partition(&pool, n, strategy);
+                let parts = partition(&store, &rows, n, strategy);
                 assert_eq!(parts.len(), n);
                 let mut seen = vec![0u8; pool.len()];
                 for part in &parts {
@@ -652,8 +706,9 @@ mod tests {
     #[test]
     fn single_shard_is_the_identity_partition() {
         let pool = small_pool();
+        let (store, rows) = store_of(&pool);
         for strategy in ShardStrategy::ALL {
-            let parts = partition(&pool, 1, strategy);
+            let parts = partition(&store, &rows, 1, strategy);
             assert_eq!(parts[0], (0..pool.len() as u32).collect::<Vec<_>>());
         }
     }
@@ -661,7 +716,8 @@ mod tests {
     #[test]
     fn support_stratum_deals_evenly() {
         let pool = small_pool();
-        let parts = partition(&pool, 4, ShardStrategy::SupportStratum);
+        let (store, rows) = store_of(&pool);
+        let parts = partition(&store, &rows, 4, ShardStrategy::SupportStratum);
         let (lo, hi) = parts.iter().fold((usize::MAX, 0), |(lo, hi), p| {
             (lo.min(p.len()), hi.max(p.len()))
         });
@@ -680,8 +736,9 @@ mod tests {
                 pool.push(pat(u, (g as u32) * 10 + v, &tids));
             }
         }
+        let (store, rows) = store_of(&pool);
         for n in [2usize, 3, 8] {
-            let parts = partition(&pool, n, ShardStrategy::MinhashBucket);
+            let parts = partition(&store, &rows, n, ShardStrategy::MinhashBucket);
             let mut shard_of = vec![usize::MAX; pool.len()];
             for (s, part) in parts.iter().enumerate() {
                 for &i in part {
@@ -695,6 +752,21 @@ mod tests {
                     "group {g} split at n={n}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn minhash_words_matches_tidset_iteration() {
+        // The slab-words minhash must agree with hashing the tid iterator —
+        // the locality bucketing is keyed on it.
+        let sets: &[&[usize]] = &[&[], &[0], &[63, 64, 65], &[5, 70, 127, 200]];
+        for tids in sets {
+            let t = TidSet::from_tids(256, tids.iter().copied());
+            let mut want = u64::MAX;
+            for tid in t.iter() {
+                want = want.min(splitmix64(tid as u64 ^ 0x15EA_5EED));
+            }
+            assert_eq!(minhash_words(t.blocks()), want, "{tids:?}");
         }
     }
 

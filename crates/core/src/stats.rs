@@ -78,6 +78,32 @@ pub struct ShardStats {
     pub elapsed: Duration,
 }
 
+/// What the slab pattern store held and how it was mined (see
+/// [`crate::pool::PoolStore`] and [`cfp_miners::initial_pool_slab`]): the
+/// pool's resident footprint and the parallel initial-pool mine's
+/// evidence. The store is append-only, so end-of-run sizes are peaks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total slab rows at the end of the run (initial pool + every distinct
+    /// pattern fused; rows are never dropped, only pools shrink).
+    pub rows: usize,
+    /// Rows mined into the initial pool (the frozen base slab).
+    pub initial_rows: usize,
+    /// Bytes of the shared tid-set region (the dominant column).
+    pub tid_bytes: usize,
+    /// Peak resident slab bytes across all columns (tids + suffix tables +
+    /// itemset spans + supports).
+    pub peak_bytes: usize,
+    /// Worker threads the parallel initial-pool DFS used (0 when the pool
+    /// was supplied pre-mined).
+    pub mine_workers: usize,
+    /// Wall-clock time of the parallel subtree mining phase.
+    pub mine_time: Duration,
+    /// Wall-clock time splicing worker segments (plus the stratified
+    /// permutation for sharded runs).
+    pub splice_time: Duration,
+}
+
 /// Statistics for a whole Pattern-Fusion run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -104,6 +130,8 @@ pub struct RunStats {
     pub repair_ball: BallQueryStats,
     /// Fusion iterations the boundary-repair pass ran (0 when no repair).
     pub repair_iterations: usize,
+    /// Slab pattern-store sizes and parallel-mine evidence.
+    pub pool: PoolStats,
 }
 
 impl RunStats {

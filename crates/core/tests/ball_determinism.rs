@@ -8,6 +8,7 @@
 
 use cfp_core::{
     ball_radius, pattern_distance, BallIndex, BallQueryStats, FusionConfig, Pattern, PatternFusion,
+    PoolStore,
 };
 use cfp_itemset::{Itemset, TidSet};
 use proptest::prelude::*;
@@ -217,10 +218,12 @@ proptest! {
     #[test]
     fn ball_index_matches_brute_force(pool in arb_pool(), raw_r in 0u32..=10, pivots in 0usize..6) {
         let radius = raw_r as f64 / 10.0;
-        let index = BallIndex::new(&pool, radius, pivots);
+        let store = PoolStore::from_patterns(&pool);
+        let rows: Vec<u32> = (0..pool.len() as u32).collect();
+        let index = BallIndex::build(&store, &rows, radius, pivots);
         let mut stats = BallQueryStats::default();
         for q in 0..pool.len() {
-            let got = index.ball(q, &mut stats);
+            let got = index.ball(&store, q, &mut stats);
             let want: Vec<usize> = (0..pool.len())
                 .filter(|&j| j != q && pattern_distance(&pool[q], &pool[j]) <= radius)
                 .collect();
@@ -239,10 +242,12 @@ proptest! {
     #[test]
     fn ball_index_matches_brute_force_at_algorithm_radii(pool in arb_pool(), tau_pct in 10u32..=100) {
         let radius = ball_radius(tau_pct as f64 / 100.0);
-        let index = BallIndex::new(&pool, radius, 4);
+        let store = PoolStore::from_patterns(&pool);
+        let rows: Vec<u32> = (0..pool.len() as u32).collect();
+        let index = BallIndex::build(&store, &rows, radius, 4);
         let mut stats = BallQueryStats::default();
         for q in 0..pool.len() {
-            let got = index.ball(q, &mut stats);
+            let got = index.ball(&store, q, &mut stats);
             let want: Vec<usize> = (0..pool.len())
                 .filter(|&j| j != q && pattern_distance(&pool[q], &pool[j]) <= radius)
                 .collect();

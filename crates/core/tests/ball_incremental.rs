@@ -9,6 +9,7 @@
 
 use cfp_core::{
     pattern_distance, BallIndex, BallQueryStats, FusionConfig, Pattern, PatternFusion, PoolDelta,
+    PoolStore,
 };
 use cfp_itemset::{Itemset, TidSet};
 use proptest::prelude::*;
@@ -115,20 +116,23 @@ proptest! {
         let radius = raw_r as f64 / 10.0;
         let mut pool = build_pool(universe, &bases, per_cluster, &noise);
         prop_assume!(!pool.is_empty());
-        let mut index = BallIndex::new(&pool, radius, pivots);
+        let mut store = PoolStore::from_patterns(&pool);
+        let mut rows: Vec<u32> = (0..pool.len() as u32).collect();
+        let mut index = BallIndex::build(&store, &rows, radius, pivots);
         let mut next_id = 500_000u32;
         for (gen, &step_seed) in steps.iter().enumerate() {
             let next = evolve(&pool, universe, step_seed, &mut next_id);
             prop_assume!(!next.is_empty());
-            let delta = PoolDelta::compute(&pool, &next);
-            let m = index.apply_delta(&next, &delta, 1);
+            let next_rows: Vec<u32> = next.iter().map(|p| store.intern(p)).collect();
+            let delta = PoolDelta::compute(&rows, &next_rows, store.len_rows());
+            let m = index.apply_delta(&store, &next_rows, &delta, 1);
             prop_assert_eq!(m.live, next.len(), "gen {}: index out of sync", gen);
-            let fresh = BallIndex::new(&next, radius, pivots);
+            let fresh = BallIndex::build(&store, &next_rows, radius, pivots);
             let mut inc_stats = BallQueryStats::default();
             let mut fresh_stats = BallQueryStats::default();
             for q in 0..next.len() {
-                let got = index.ball(q, &mut inc_stats);
-                let fresh_got = fresh.ball(q, &mut fresh_stats);
+                let got = index.ball(&store, q, &mut inc_stats);
+                let fresh_got = fresh.ball(&store, q, &mut fresh_stats);
                 let want = brute_ball(&next, q, radius);
                 prop_assert_eq!(&got, &want, "gen {} q={} vs brute", gen, q);
                 prop_assert_eq!(&got, &fresh_got, "gen {} q={} vs fresh", gen, q);
@@ -141,6 +145,7 @@ proptest! {
                 inc_stats.cardinality_pruned + inc_stats.pivot_pruned + inc_stats.exact_checked
             );
             pool = next;
+            rows = next_rows;
         }
     }
 
@@ -156,23 +161,26 @@ proptest! {
     ) {
         let pool = build_pool(universe, &bases, per_cluster, &[]);
         prop_assume!(pool.len() > 2);
-        let mut index = BallIndex::new(&pool, 0.5, 3);
+        let mut store = PoolStore::from_patterns(&pool);
+        let rows: Vec<u32> = (0..pool.len() as u32).collect();
+        let mut index = BallIndex::build(&store, &rows, 0.5, 3);
         let mut next_id = 900_000u32;
         let next = evolve(&pool, universe, step_seed, &mut next_id);
         prop_assume!(!next.is_empty());
-        let delta = PoolDelta::compute(&pool, &next);
-        index.apply_delta(&next, &delta, 1);
+        let next_rows: Vec<u32> = next.iter().map(|p| store.intern(p)).collect();
+        let delta = PoolDelta::compute(&rows, &next_rows, store.len_rows());
+        index.apply_delta(&store, &next_rows, &delta, 1);
         for q in 0..next.len() {
             let query = index.query(q);
             let mut whole = Vec::new();
             let mut stats = BallQueryStats::default();
-            query.scan(0..query.candidates(), &mut whole, &mut stats);
+            query.scan(&store, 0..query.candidates(), &mut whole, &mut stats);
             let mut pieces = Vec::new();
             let mut covered = 0usize;
             for seg in query.segments(target) {
                 prop_assert_eq!(seg.start, covered, "q={}: segments must abut", q);
                 covered = seg.end;
-                query.scan(seg, &mut pieces, &mut stats);
+                query.scan(&store, seg, &mut pieces, &mut stats);
             }
             prop_assert_eq!(covered, query.candidates(), "q={}", q);
             whole.sort_unstable();

@@ -1,0 +1,147 @@
+//! The slab data plane's load-bearing contract: the zero-copy pipeline —
+//! parallel slab mine → interned row-id pools → borrowed-row ball index →
+//! row-list shards — produces **bit-for-bit** the same runs as the legacy
+//! `Vec<Pattern>` construction (owned patterns copied into a fresh base
+//! slab at entry), across thread counts, shard counts, and kernel
+//! backends.
+//!
+//! "Bit-for-bit" covers itemsets, support sets, *and* the rolled-up
+//! counters (ball-prune totals, tombstones, inserts, compactions,
+//! iteration counts): the two entries must drive the identical search
+//! trajectory, not merely reach the same answer.
+//!
+//! The forced-scalar leg runs through `KernelBackend::set` here; CI's
+//! `CFP_KERNEL_BACKEND=scalar` matrix leg additionally pushes this whole
+//! suite through the env-var path.
+
+use cfp_core::{FusionConfig, FusionResult, KernelBackend, PatternFusion};
+use cfp_itemset::TransactionDb;
+use proptest::prelude::*;
+
+/// Both entries of the same configured engine: the slab path mines into
+/// the columnar store directly; the legacy path materializes the identical
+/// initial pool as owned patterns and re-enters through
+/// [`PatternFusion::run_with_pool`].
+fn run_both(db: &TransactionDb, config: FusionConfig) -> (FusionResult, FusionResult) {
+    let pf = PatternFusion::new(db, config);
+    let slab = pf.run();
+    let legacy = pf.run_with_pool(pf.mine_initial_pool());
+    (slab, legacy)
+}
+
+/// Full-trajectory equality: patterns (itemsets + support sets, in order)
+/// and every rolled-up counter.
+fn assert_equivalent(a: &FusionResult, b: &FusionResult, label: &str) {
+    assert_eq!(a.patterns.len(), b.patterns.len(), "{label}: sizes");
+    for (x, y) in a.patterns.iter().zip(&b.patterns) {
+        assert_eq!(x.items, y.items, "{label}: itemset drift");
+        assert_eq!(x.tids, y.tids, "{label}: support-set drift");
+    }
+    assert_eq!(a.stats.ball(), b.stats.ball(), "{label}: ball counters");
+    assert_eq!(
+        a.stats.initial_pool_size, b.stats.initial_pool_size,
+        "{label}: pool size"
+    );
+    assert_eq!(
+        a.stats.total_iterations(),
+        b.stats.total_iterations(),
+        "{label}: iterations"
+    );
+    assert_eq!(
+        a.stats.tombstoned(),
+        b.stats.tombstoned(),
+        "{label}: tombstones"
+    );
+    assert_eq!(a.stats.inserted(), b.stats.inserted(), "{label}: inserts");
+    assert_eq!(
+        a.stats.compactions(),
+        b.stats.compactions(),
+        "{label}: compactions"
+    );
+    assert_eq!(a.stats.converged, b.stats.converged, "{label}: convergence");
+    assert_eq!(
+        a.stats.repair_iterations, b.stats.repair_iterations,
+        "{label}: repair rounds"
+    );
+}
+
+fn config(k: usize, min_count: usize, seed: u64, threads: usize, shards: usize) -> FusionConfig {
+    FusionConfig::new(k, min_count)
+        .with_pool_max_len(2)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_shards(shards)
+}
+
+#[test]
+fn slab_equals_legacy_across_threads_and_shards() {
+    let db = cfp_datagen::diag_plus(24, 12, 18);
+    for shards in [1usize, 4] {
+        for threads in [1usize, 2, 8] {
+            let (slab, legacy) = run_both(&db, config(12, 12, 7, threads, shards));
+            assert_equivalent(
+                &slab,
+                &legacy,
+                &format!("threads={threads} shards={shards}"),
+            );
+            // The slab run must report its mine evidence; the legacy entry
+            // reports a supplied pool.
+            assert_eq!(slab.stats.pool.initial_rows, slab.stats.initial_pool_size);
+            assert!(slab.stats.pool.mine_workers >= 1);
+            assert_eq!(legacy.stats.pool.mine_workers, 0);
+        }
+    }
+}
+
+#[test]
+fn slab_equals_legacy_under_forced_scalar_kernels() {
+    // Pin the scalar backend for both entries, then restore the detected
+    // one (the backend is process-global; results are backend-invariant by
+    // the kernel contract, so only this test's own comparison needs the
+    // pin).
+    let detected = KernelBackend::detect();
+    KernelBackend::set(KernelBackend::Scalar);
+    let db = cfp_datagen::diag_plus(20, 10, 15);
+    for shards in [1usize, 4] {
+        let (slab, legacy) = run_both(&db, config(10, 10, 13, 2, shards));
+        assert_equivalent(&slab, &legacy, &format!("scalar shards={shards}"));
+    }
+    KernelBackend::set(detected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random planted databases: the two entries stay bit-identical across
+    /// the (threads × shards) grid with randomized block structure, support,
+    /// and engine seed.
+    #[test]
+    fn slab_equals_legacy_on_planted_data(
+        blocks in 2usize..4,
+        size in 5usize..10,
+        support in 8usize..14,
+        data_seed in 0u64..500,
+        run_seed in 0u64..500,
+        threads_sel in 0usize..3,
+        shards_sel in 0usize..2,
+    ) {
+        let threads = [1usize, 2, 8][threads_sel];
+        let shards = [1usize, 4][shards_sel];
+        let data = cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+            n_rows: support * 3,
+            pattern_sizes: vec![size; blocks],
+            pattern_support: support,
+            max_row_overlap: (support / 2).max(1),
+            row_len: 0,
+            filler_rows_lo: 2,
+            filler_rows_hi: 3,
+            seed: data_seed,
+        });
+        let (slab, legacy) = run_both(&data.db, config(8, support, run_seed, threads, shards));
+        assert_equivalent(
+            &slab,
+            &legacy,
+            &format!("planted threads={threads} shards={shards} seed={run_seed}"),
+        );
+    }
+}

@@ -144,7 +144,35 @@ impl Itemset {
     pub fn union_with(&mut self, other: &Itemset) {
         // The merge result is built fresh; reuse would complicate the common
         // case where `other` adds only a few items.
-        *self = self.union(other);
+        self.union_with_sorted(&other.items);
+    }
+
+    /// [`Itemset::union_with`] against a sorted, deduplicated item slice —
+    /// the form pool-slab rows hand out ([`crate::store::PatternPool`]).
+    pub fn union_with_sorted(&mut self, other: &[Item]) {
+        debug_assert!(other.windows(2).all(|w| w[0] < w[1]));
+        let mut out = Vec::with_capacity(self.items.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.len() {
+            match self.items[i].cmp(&other[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[i..]);
+        out.extend_from_slice(&other[j..]);
+        self.items = out;
     }
 
     /// Intersection `self ∩ other` as a new itemset.

@@ -48,6 +48,7 @@ mod io;
 mod item;
 mod itemset;
 pub mod kernels;
+pub mod store;
 mod tidset;
 mod vertical;
 
@@ -59,5 +60,6 @@ pub use error::{Error, Result};
 pub use io::{parse_fimi, read_fimi, write_fimi};
 pub use item::{Item, ItemMap};
 pub use itemset::Itemset;
+pub use store::{PatternPool, RowTable};
 pub use tidset::TidSet;
 pub use vertical::VerticalIndex;

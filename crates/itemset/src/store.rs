@@ -1,0 +1,581 @@
+//! The columnar pattern slab: one lane-aligned tid-set region shared by
+//! every layer of the mining pipeline.
+//!
+//! Pattern-Fusion's cost model assumes the pool is the hot data structure,
+//! yet a `Vec<Pattern>`-shaped pool scatters every support set behind its
+//! own heap pointer and forces each downstream layer (ball index, shard
+//! runner) to re-materialize the tid-sets in its own layout. A
+//! [`PatternPool`] stores patterns **columnar and append-only** instead:
+//!
+//! * one shared [`AlignedWords`] tid region — row `r`'s support-set words at
+//!   `r * words_per_row ..`, every row lane-aligned per the kernel layout
+//!   contract ([`crate::kernels`]);
+//! * a parallel suffix-table column ([`kernels::suffix_cards`]) computed
+//!   once at append time, so every consumer of the bounded-Jaccard kernels
+//!   (ball index arenas, shard scans) reuses it instead of re-deriving it
+//!   per rebuild;
+//! * itemset spans (offsets into one `u32` item column) and cached supports.
+//!
+//! Rows are addressed by dense `u32` ids that stay valid for the slab's
+//! lifetime, so pools, shard sub-pools, archives, and index arenas are all
+//! plain row-id lists over the same storage — no tid-set is ever copied
+//! between layers.
+//!
+//! # Ownership and freezing contract
+//!
+//! The slab is **append-only**: a row, once pushed, is frozen — its words,
+//! items, and support never change, and its id never moves. Appending may
+//! reallocate the backing buffers, so borrowed row *slices* must not be held
+//! across an append; row *ids* may. Exactly one owner may append at a time
+//! (the engine appends only between parallel phases); concurrent readers
+//! share the slab freely through `&PatternPool` (or `Arc<PatternPool>` for
+//! a frozen base slab shared across shard workers).
+
+use crate::aligned::AlignedWords;
+use crate::kernels;
+use crate::{Item, Itemset, TidSet};
+
+const BITS: usize = 64;
+
+/// A columnar, append-only slab of patterns: lane-aligned tid-set rows,
+/// suffix tables, itemset spans, and cached supports. See the module docs
+/// for the layout and the ownership contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternPool {
+    universe: usize,
+    words_per_row: usize,
+    suf_stride: usize,
+    /// Tid-set words, `words_per_row` per row, 32-byte-aligned rows.
+    words: AlignedWords,
+    /// Suffix-popcount tables, `suf_stride` entries per row.
+    sufs: Vec<u32>,
+    /// Itemset span starts into `item_data`; `len() + 1` entries.
+    item_offsets: Vec<u32>,
+    /// Concatenated itemset items (each span sorted ascending).
+    item_data: Vec<Item>,
+    /// Cached supports (`|D(α)|`), one per row.
+    supports: Vec<u32>,
+}
+
+/// Tid-words per row for a transaction universe: the tid-set block count,
+/// zero-padded to whole SIMD lanes (matches [`TidSet::blocks`]'s length).
+pub fn words_per_row_for(universe: usize) -> usize {
+    universe.div_ceil(BITS).div_ceil(crate::aligned::LANE_WORDS) * crate::aligned::LANE_WORDS
+}
+
+impl PatternPool {
+    /// An empty slab over `universe` transactions.
+    pub fn new(universe: usize) -> Self {
+        let words_per_row = words_per_row_for(universe);
+        Self {
+            universe,
+            words_per_row,
+            suf_stride: words_per_row.div_ceil(kernels::SUFFIX_STRIDE) + 1,
+            words: AlignedWords::default(),
+            sufs: Vec::new(),
+            item_offsets: vec![0],
+            item_data: Vec::new(),
+            supports: Vec::new(),
+        }
+    }
+
+    /// [`PatternPool::new`] with row capacity reserved up front.
+    pub fn with_capacity(universe: usize, rows: usize) -> Self {
+        let mut pool = Self::new(universe);
+        pool.reserve(rows);
+        pool
+    }
+
+    /// Reserves capacity for `rows` additional rows.
+    pub fn reserve(&mut self, rows: usize) {
+        self.words = {
+            let mut w = AlignedWords::with_capacity((self.len() + rows) * self.words_per_row);
+            w.extend_from_slice(&self.words);
+            w
+        };
+        self.sufs.reserve(rows * self.suf_stride);
+        self.item_offsets.reserve(rows);
+        self.supports.reserve(rows);
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// Whether the slab holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.supports.is_empty()
+    }
+
+    /// The transaction universe every row's tid-set ranges over.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Words per tid-set row (a lane multiple; see [`words_per_row_for`]).
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Suffix-table entries per row.
+    #[inline]
+    pub fn suf_stride(&self) -> usize {
+        self.suf_stride
+    }
+
+    /// The whole tid region — the slab the batched kernels stream. Row `r`
+    /// occupies `r * words_per_row() ..`.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The whole suffix-table column (same row indexing as [`Self::words`]).
+    #[inline]
+    pub fn sufs(&self) -> &[u32] {
+        &self.sufs
+    }
+
+    /// Cached supports, indexed by row — the gather key the batched Jaccard
+    /// kernels take alongside [`Self::words`].
+    #[inline]
+    pub fn supports(&self) -> &[u32] {
+        &self.supports
+    }
+
+    /// Tid-set words of row `row`.
+    #[inline]
+    pub fn tid_words(&self, row: u32) -> &[u64] {
+        let w = self.words_per_row;
+        &self.words[row as usize * w..(row as usize + 1) * w]
+    }
+
+    /// Suffix table of row `row`.
+    #[inline]
+    pub fn row_sufs(&self, row: u32) -> &[u32] {
+        let s = self.suf_stride;
+        &self.sufs[row as usize * s..(row as usize + 1) * s]
+    }
+
+    /// Itemset items of row `row`, sorted ascending.
+    #[inline]
+    pub fn items(&self, row: u32) -> &[Item] {
+        let (lo, hi) = (
+            self.item_offsets[row as usize] as usize,
+            self.item_offsets[row as usize + 1] as usize,
+        );
+        &self.item_data[lo..hi]
+    }
+
+    /// Cached support `|D(α)|` of row `row`.
+    #[inline]
+    pub fn support(&self, row: u32) -> usize {
+        self.supports[row as usize] as usize
+    }
+
+    /// Materializes row `row`'s itemset (owned).
+    pub fn itemset(&self, row: u32) -> Itemset {
+        Itemset::from_sorted(self.items(row).to_vec())
+    }
+
+    /// Materializes row `row`'s support set (owned).
+    pub fn tidset(&self, row: u32) -> TidSet {
+        TidSet::from_words(self.universe, self.tid_words(row), self.support(row))
+    }
+
+    /// Appends a row from raw parts: `items` sorted ascending, `blocks`
+    /// exactly [`Self::words_per_row`] tid words whose popcount is `count`.
+    /// Returns the new row id.
+    pub fn push(&mut self, items: &[Item], blocks: &[u64], count: usize) -> u32 {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "row items must be strictly ascending"
+        );
+        debug_assert_eq!(blocks.len(), self.words_per_row, "row width mismatch");
+        debug_assert_eq!(
+            blocks
+                .iter()
+                .map(|b| b.count_ones() as usize)
+                .sum::<usize>(),
+            count,
+            "cached support out of sync with blocks"
+        );
+        let row = self.len() as u32;
+        self.words.extend_from_slice(blocks);
+        kernels::suffix_cards_into(blocks, &mut self.sufs);
+        self.item_data.extend_from_slice(items);
+        self.item_offsets.push(self.item_data.len() as u32);
+        self.supports.push(count as u32);
+        row
+    }
+
+    /// Appends a row from an itemset slice and a counted tid-set.
+    pub fn push_tidset(&mut self, items: &[Item], tids: &TidSet) -> u32 {
+        debug_assert_eq!(tids.universe(), self.universe, "mixed universes");
+        self.push(items, tids.blocks(), tids.count())
+    }
+
+    /// Splices every row of `other` onto the end of `self`, preserving row
+    /// order — the deterministic merge step for per-worker slab segments.
+    ///
+    /// # Panics
+    /// Panics when the universes differ.
+    pub fn append_pool(&mut self, other: &PatternPool) {
+        assert_eq!(self.universe, other.universe, "mixed universes");
+        self.words.extend_from_slice(&other.words);
+        self.sufs.extend_from_slice(&other.sufs);
+        let base = self.item_data.len() as u32;
+        self.item_data.extend_from_slice(&other.item_data);
+        self.item_offsets
+            .extend(other.item_offsets[1..].iter().map(|&o| base + o));
+        self.supports.extend_from_slice(&other.supports);
+    }
+
+    /// Row ids in the stratified `(support asc, itemset)` rank — the order
+    /// the sharded engine consumes.
+    pub fn stratified_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.supports[a as usize]
+                .cmp(&self.supports[b as usize])
+                .then_with(|| self.items(a).cmp(self.items(b)))
+        });
+        order
+    }
+
+    /// A new slab holding `order`'s rows in `order`'s sequence.
+    pub fn permuted(&self, order: &[u32]) -> PatternPool {
+        let mut out = PatternPool::with_capacity(self.universe, order.len());
+        for &row in order {
+            out.push(self.items(row), self.tid_words(row), self.support(row));
+        }
+        out
+    }
+
+    /// Bytes held by the tid region (the dominant column).
+    pub fn tid_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Approximate resident bytes across all columns.
+    pub fn resident_bytes(&self) -> usize {
+        self.tid_bytes()
+            + self.sufs.len() * 4
+            + self.item_data.len() * 4
+            + self.item_offsets.len() * 4
+            + self.supports.len() * 4
+    }
+}
+
+/// Whether sorted slice `sub` is a subset of sorted slice `sup`. The slice
+/// form of [`Itemset::is_subset_of`], with the same merge/binary-search
+/// dispatch (fusion constantly asks whether a 2–3 item pool pattern sits
+/// inside a fused pattern of hundreds of items).
+pub fn sorted_subset(sub: &[Item], sup: &[Item]) -> bool {
+    if sub.len() > sup.len() {
+        return false;
+    }
+    if sub.len() * 8 < sup.len() {
+        return sub.iter().all(|x| sup.binary_search(x).is_ok());
+    }
+    let mut it = sup.iter();
+    'outer: for &x in sub {
+        for &y in it.by_ref() {
+            match y.cmp(&x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// FxHash-style fold over a sorted item slice — the row-interning hash.
+/// Collisions are handled exactly by the callers (equal-hash candidates are
+/// verified by item equality), so only speed depends on hash quality.
+fn items_hash(items: &[Item]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = 0u64;
+    for &item in items {
+        h = (h.rotate_left(5) ^ item as u64).wrapping_mul(SEED);
+    }
+    h ^ (h >> 32)
+}
+
+/// Growable open-addressed itemset→row table with linear probing: the slab's
+/// interner. Slots hold bare `u32` row ids; the table never owns item data —
+/// every operation takes an `at` resolver mapping a stored row id back to
+/// its sorted item slice. Grows by doubling at 50% load, so unlike the
+/// fixed-capacity delta table it can track an append-only slab across a
+/// whole run.
+#[derive(Debug, Clone, Default)]
+pub struct RowTable {
+    mask: usize,
+    len: usize,
+    slots: Vec<u32>,
+}
+
+impl RowTable {
+    const EMPTY: u32 = u32::MAX;
+
+    /// A table sized for `n` insertions at ≤ 50% load.
+    pub fn with_capacity(n: usize) -> Self {
+        let mask = (n * 2).next_power_of_two().max(4) - 1;
+        Self {
+            mask,
+            len: 0,
+            slots: vec![Self::EMPTY; mask + 1],
+        }
+    }
+
+    /// A table pre-populated with every row of `pool` (first occurrence of
+    /// each itemset wins, matching pool dedup semantics).
+    pub fn build(pool: &PatternPool) -> Self {
+        let mut table = Self::with_capacity(pool.len());
+        for row in 0..pool.len() as u32 {
+            table.insert_or_get(pool.items(row), row, |r| pool.items(r));
+        }
+        table
+    }
+
+    /// Entries stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks `items` up among the inserted entries; when absent, inserts
+    /// `row` and returns `None`, otherwise returns the existing row id.
+    pub fn insert_or_get<'a>(
+        &mut self,
+        items: &[Item],
+        row: u32,
+        at: impl Fn(u32) -> &'a [Item],
+    ) -> Option<u32> {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow(&at);
+        }
+        let mut s = items_hash(items) as usize & self.mask;
+        loop {
+            let si = self.slots[s];
+            if si == Self::EMPTY {
+                self.slots[s] = row;
+                self.len += 1;
+                return None;
+            }
+            if at(si) == items {
+                return Some(si);
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Looks `items` up without inserting.
+    pub fn get<'a>(&self, items: &[Item], at: impl Fn(u32) -> &'a [Item]) -> Option<u32> {
+        // A default-constructed table has no slots until the first insert
+        // grows it — nothing can be stored, so nothing can match.
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut s = items_hash(items) as usize & self.mask;
+        loop {
+            let si = self.slots[s];
+            if si == Self::EMPTY {
+                return None;
+            }
+            if at(si) == items {
+                return Some(si);
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    fn grow<'a>(&mut self, at: &impl Fn(u32) -> &'a [Item]) {
+        let mask = ((self.slots.len()) * 2).max(8) - 1;
+        let mut slots = vec![Self::EMPTY; mask + 1];
+        for &si in self.slots.iter().filter(|&&si| si != Self::EMPTY) {
+            let mut s = items_hash(at(si)) as usize & mask;
+            while slots[s] != Self::EMPTY {
+                s = (s + 1) & mask;
+            }
+            slots[s] = si;
+        }
+        self.mask = mask;
+        self.slots = slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with(universe: usize, rows: &[(&[Item], &[usize])]) -> PatternPool {
+        let mut pool = PatternPool::new(universe);
+        for (items, tids) in rows {
+            let t = TidSet::from_tids(universe, tids.iter().copied());
+            pool.push_tidset(items, &t);
+        }
+        pool
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let pool = pool_with(
+            130,
+            &[(&[1, 3], &[0, 64, 129]), (&[2], &[5]), (&[0, 1, 2], &[])],
+        );
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.items(0), &[1, 3]);
+        assert_eq!(pool.support(0), 3);
+        assert_eq!(pool.tidset(0).to_vec(), vec![0, 64, 129]);
+        assert_eq!(pool.itemset(2), Itemset::from_items(&[0, 1, 2]));
+        assert_eq!(pool.support(2), 0);
+        // Row width honors the lane-padding contract.
+        assert_eq!(pool.words_per_row(), words_per_row_for(130));
+        assert_eq!(pool.words_per_row() % crate::aligned::LANE_WORDS, 0);
+        assert_eq!(pool.tid_words(1).len(), pool.words_per_row());
+        // Suffix tables match the kernel helper.
+        assert_eq!(
+            pool.row_sufs(0),
+            &kernels::suffix_cards(pool.tid_words(0))[..]
+        );
+    }
+
+    #[test]
+    fn words_match_tidset_blocks() {
+        for universe in [0usize, 1, 63, 64, 65, 256, 1000] {
+            assert_eq!(
+                words_per_row_for(universe),
+                TidSet::empty(universe).blocks().len(),
+                "universe {universe}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_pool_splices_in_order() {
+        let a = pool_with(64, &[(&[1], &[0, 1]), (&[2], &[2])]);
+        let b = pool_with(64, &[(&[3, 4], &[1, 3]), (&[5], &[])]);
+        let mut spliced = a.clone();
+        spliced.append_pool(&b);
+        assert_eq!(spliced.len(), 4);
+        for (row, want) in [(0, &a), (1, &a)] {
+            assert_eq!(spliced.items(row), want.items(row));
+            assert_eq!(spliced.tid_words(row), want.tid_words(row));
+        }
+        assert_eq!(spliced.items(2), b.items(0));
+        assert_eq!(spliced.tid_words(3), b.tid_words(1));
+        assert_eq!(spliced.row_sufs(2), b.row_sufs(0));
+        assert_eq!(spliced.support(2), 2);
+    }
+
+    #[test]
+    fn stratified_order_and_permuted() {
+        let pool = pool_with(
+            64,
+            &[
+                (&[5], &[0, 1, 2]),
+                (&[1], &[0]),
+                (&[2], &[0]),
+                (&[0, 9], &[1, 2]),
+            ],
+        );
+        let order = pool.stratified_order();
+        // (support, itemset): (1,(1)) < (1,(2)) < (2,(0 9)) < (3,(5)).
+        assert_eq!(order, vec![1, 2, 3, 0]);
+        let sorted = pool.permuted(&order);
+        assert_eq!(sorted.items(0), &[1]);
+        assert_eq!(sorted.items(3), &[5]);
+        assert_eq!(sorted.tidset(2).to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn sorted_subset_matches_itemset() {
+        let cases: &[(&[Item], &[Item])] = &[
+            (&[], &[1, 2]),
+            (&[1], &[1, 2]),
+            (&[1, 2], &[1, 2]),
+            (&[1, 3], &[1, 2]),
+            (
+                &[2],
+                &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17],
+            ),
+            (
+                &[0],
+                &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17],
+            ),
+        ];
+        for &(sub, sup) in cases {
+            assert_eq!(
+                sorted_subset(sub, sup),
+                Itemset::from_items(sub).is_subset_of(&Itemset::from_items(sup)),
+                "{sub:?} ⊆ {sup:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_table_interns_and_grows() {
+        let mut pool = PatternPool::new(32);
+        let mut table = RowTable::with_capacity(2);
+        // Push 100 distinct rows through the interner; duplicates resolve.
+        for i in 0..100u32 {
+            let items = [i, i + 200];
+            let t = TidSet::from_tids(32, [i as usize % 32]);
+            let row = pool.len() as u32;
+            let existing = table.insert_or_get(&items, row, |r| pool.items(r));
+            assert_eq!(existing, None, "i={i}");
+            pool.push_tidset(&items, &t);
+        }
+        assert_eq!(table.len(), 100);
+        for i in 0..100u32 {
+            let items = [i, i + 200];
+            assert_eq!(table.get(&items, |r| pool.items(r)), Some(i));
+            assert_eq!(table.insert_or_get(&items, 999, |r| pool.items(r)), Some(i));
+        }
+        assert_eq!(table.get(&[7], |r| pool.items(r)), None);
+    }
+
+    #[test]
+    fn default_row_table_misses_without_panicking() {
+        // Regression: a default-constructed table has no slots until the
+        // first insert grows it; `get` must miss, not index into nothing.
+        let pool = pool_with(32, &[(&[1], &[0])]);
+        let table = RowTable::default();
+        assert_eq!(table.get(&[1], |r| pool.items(r)), None);
+        assert!(table.is_empty());
+        let mut table = table;
+        assert_eq!(table.insert_or_get(&[1], 0, |r| pool.items(r)), None);
+        assert_eq!(table.get(&[1], |r| pool.items(r)), Some(0));
+    }
+
+    #[test]
+    fn row_table_build_covers_pool() {
+        let pool = pool_with(64, &[(&[1], &[0]), (&[2, 3], &[1]), (&[4], &[2])]);
+        let table = RowTable::build(&pool);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.get(&[2, 3], |r| pool.items(r)), Some(1));
+    }
+
+    #[test]
+    fn empty_universe_slab() {
+        let mut pool = PatternPool::new(0);
+        assert_eq!(pool.words_per_row(), 0);
+        let t = TidSet::empty(0);
+        let r = pool.push_tidset(&[3], &t);
+        assert_eq!(pool.support(r), 0);
+        assert_eq!(pool.tid_words(r), &[] as &[u64]);
+        assert_eq!(pool.row_sufs(r).len(), pool.suf_stride());
+    }
+}

@@ -97,6 +97,31 @@ impl TidSet {
         s
     }
 
+    /// Builds a tid-set from raw slab-row words and a cached cardinality —
+    /// the materialization path out of a [`crate::store::PatternPool`] row.
+    ///
+    /// `words` may be exactly the padded block count
+    /// ([`crate::store::words_per_row_for`]) or any prefix of it; missing
+    /// trailing words are zero.
+    ///
+    /// # Panics
+    /// Panics (debug) when `count` disagrees with the popcount of `words`.
+    pub fn from_words(universe: usize, words: &[u64], count: usize) -> Self {
+        debug_assert!(words.len() <= universe.div_ceil(BITS).div_ceil(4) * 4);
+        debug_assert_eq!(
+            words.iter().map(|w| w.count_ones() as usize).sum::<usize>(),
+            count,
+            "cached cardinality out of sync with words"
+        );
+        let mut blocks = AlignedWords::zeroed(universe.div_ceil(BITS));
+        blocks[..words.len()].copy_from_slice(words);
+        Self {
+            blocks,
+            universe,
+            count,
+        }
+    }
+
     /// Number of transactions in the universe (not the cardinality).
     pub fn universe(&self) -> usize {
         self.universe
@@ -180,6 +205,39 @@ impl TidSet {
             count += a.count_ones() as usize;
         }
         self.count = count;
+    }
+
+    /// In-place intersection with a raw slab row: `self ← self ∩ words`.
+    /// The word-slice form of [`TidSet::intersect_with`] — the fusion loop
+    /// intersects its scratch pattern directly against pool-slab rows.
+    #[inline]
+    pub fn intersect_with_words(&mut self, words: &[u64]) {
+        debug_assert_eq!(self.blocks.len(), words.len(), "mixed universes");
+        let mut count = 0usize;
+        for (a, b) in self.blocks.iter_mut().zip(words.iter()) {
+            *a &= *b;
+            count += a.count_ones() as usize;
+        }
+        self.count = count;
+    }
+
+    /// [`TidSet::intersection_count_at_least`] against a raw slab row with
+    /// its cached cardinality.
+    #[inline]
+    pub fn intersection_count_at_least_words(
+        &self,
+        words: &[u64],
+        count: usize,
+        threshold: usize,
+    ) -> Option<usize> {
+        debug_assert_eq!(self.blocks.len(), words.len(), "mixed universes");
+        kernels::intersection_count_at_least_words(
+            &self.blocks,
+            self.count,
+            words,
+            count,
+            threshold,
+        )
     }
 
     /// Returns `self ∩ other` as a new set.

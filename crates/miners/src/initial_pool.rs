@@ -8,11 +8,27 @@
 //! entry keeps the tid-set Pattern-Fusion needs for distance computations and
 //! fusion.
 //!
-//! Pool entries are *counted* patterns: every emitted [`TidSet`] carries its
-//! cached cardinality, so downstream support reads (`PoolPattern::support`,
-//! the ball-query engine's cardinality prune) are O(1) and never re-popcount.
+//! Two entry points share one DFS:
+//!
+//! * [`initial_pool_slab`] — the engine's path: mines **in parallel**
+//!   directly into a columnar [`PatternPool`] slab. The per-item DFS
+//!   subtrees are independent, so they are distributed over the
+//!   work-stealing queue ([`crate::parallel`]); each worker emits into a
+//!   private slab segment and the segments are spliced in subtree order, so
+//!   the row sequence is bit-for-bit the serial DFS emit order at any
+//!   thread count.
+//! * [`initial_pool`] — the `Vec<PoolPattern>` reference form, kept for
+//!   miners-agreement tests and harnesses that want owned patterns. Same
+//!   order, same tid-sets.
+//!
+//! Pool entries are *counted* patterns: every emitted row carries its cached
+//! cardinality, so downstream support reads (the ball-query engine's
+//! cardinality prune, the stratified rank) are O(1) and never re-popcount.
 
-use cfp_itemset::{Itemset, TidSet, TransactionDb, VerticalIndex};
+use crate::parallel::run_tasks;
+use cfp_itemset::{Itemset, PatternPool, TidSet, TransactionDb, VerticalIndex};
+use std::time::Duration;
+use std::time::Instant;
 
 /// A pool entry: a frequent pattern with its support set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,11 +46,37 @@ impl PoolPattern {
     }
 }
 
-/// Mines all frequent patterns of size ≤ `max_len` with their tid-sets.
+/// What [`initial_pool_slab`] did: evidence for the parallel mine that the
+/// engine rolls into its run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolMineStats {
+    /// Worker threads the DFS fan-out used.
+    pub workers: usize,
+    /// Per-item subtree tasks mined.
+    pub subtrees: usize,
+    /// Wall-clock time of the parallel subtree mining phase.
+    pub mine_time: Duration,
+    /// Wall-clock time splicing worker segments into the final slab (plus
+    /// the stratified permutation when requested).
+    pub splice_time: Duration,
+}
+
+/// Mines all frequent patterns of size ≤ `max_len` with their tid-sets into
+/// a columnar [`PatternPool`], fanning the per-item DFS subtrees out over
+/// `threads` workers.
 ///
-/// The result is sorted lexicographically by itemset and is deterministic.
-pub fn initial_pool(db: &TransactionDb, min_count: usize, max_len: usize) -> Vec<PoolPattern> {
+/// Rows are emitted in lexicographic itemset order — exactly the serial DFS
+/// order, at any thread count: subtree `i` (all patterns whose smallest item
+/// is frequent item `i`) is mined into its own slab segment, and segments
+/// are spliced in subtree order.
+pub fn initial_pool_slab(
+    db: &TransactionDb,
+    min_count: usize,
+    max_len: usize,
+    threads: usize,
+) -> (PatternPool, PoolMineStats) {
     let min_count = min_count.max(1);
+    let universe = db.len();
     let index = VerticalIndex::new(db);
     let frequent: Vec<(u32, &TidSet)> = (0..db.num_items())
         .filter_map(|i| {
@@ -43,37 +85,79 @@ pub fn initial_pool(db: &TransactionDb, min_count: usize, max_len: usize) -> Vec
         })
         .collect();
 
-    let mut pool = Vec::new();
-    if max_len == 0 {
-        return pool;
+    let mut stats = PoolMineStats {
+        workers: threads.max(1),
+        subtrees: frequent.len(),
+        ..Default::default()
+    };
+    if max_len == 0 || frequent.is_empty() {
+        return (PatternPool::new(universe), stats);
     }
-    let mut prefix = Vec::new();
-    for (pos, &(item, tids)) in frequent.iter().enumerate() {
-        prefix.push(item);
-        pool.push(PoolPattern {
-            items: Itemset::from_items(&prefix),
-            tids: tids.clone(),
-        });
-        dfs(
-            &frequent,
+
+    // One task per frequent first item: the subtree of every pattern whose
+    // smallest item is that item. Subtrees shrink with the item position
+    // (extensions only look rightward), so the work-stealing queue keeps
+    // workers busy on the long early subtrees.
+    let t_mine = Instant::now();
+    let frequent_ref = &frequent;
+    let segments = run_tasks(frequent.len(), threads, |pos| {
+        let (item, tids) = frequent_ref[pos];
+        let mut seg = PatternPool::new(universe);
+        let mut prefix = vec![item];
+        seg.push_tidset(&prefix, tids);
+        dfs_slab(
+            frequent_ref,
             pos,
             tids,
             &mut prefix,
             max_len,
             min_count,
-            &mut pool,
+            &mut seg,
         );
-        prefix.pop();
+        seg
+    });
+    stats.mine_time = t_mine.elapsed();
+
+    let t_splice = Instant::now();
+    let rows = segments.iter().map(PatternPool::len).sum();
+    let mut pool = PatternPool::with_capacity(universe, rows);
+    for seg in &segments {
+        pool.append_pool(seg);
     }
-    pool
+    stats.splice_time = t_splice.elapsed();
+    (pool, stats)
 }
 
-/// [`initial_pool`] in **support-stratified emit order**: ascending support,
-/// itemset as the tie-break. The sharded fusion engine
+/// [`initial_pool_slab`] in **support-stratified emit order**: ascending
+/// support, itemset as the tie-break. The sharded fusion engine
 /// (`cfp_core::shard`) consumes this order — shard assignment is keyed on
 /// pattern content either way, but a stratified emission keeps every
 /// shard's sub-pool support-contiguous (the order its ball index sorts by),
 /// and makes round-robin stratum assignment independent of miner internals.
+pub fn initial_pool_slab_stratified(
+    db: &TransactionDb,
+    min_count: usize,
+    max_len: usize,
+    threads: usize,
+) -> (PatternPool, PoolMineStats) {
+    let (pool, mut stats) = initial_pool_slab(db, min_count, max_len, threads);
+    let t = Instant::now();
+    let pool = pool.permuted(&pool.stratified_order());
+    stats.splice_time += t.elapsed();
+    (pool, stats)
+}
+
+/// Mines all frequent patterns of size ≤ `max_len` with their tid-sets.
+///
+/// The result is sorted lexicographically by itemset and is deterministic —
+/// the owned-`Vec` view of [`initial_pool_slab`]'s rows (single-threaded;
+/// the engine mines the slab directly).
+pub fn initial_pool(db: &TransactionDb, min_count: usize, max_len: usize) -> Vec<PoolPattern> {
+    let (pool, _) = initial_pool_slab(db, min_count, max_len, 1);
+    materialize(&pool)
+}
+
+/// [`initial_pool`] in the stratified `(support asc, itemset)` order.
 pub fn initial_pool_stratified(
     db: &TransactionDb,
     min_count: usize,
@@ -93,14 +177,23 @@ pub fn sort_stratified(pool: &mut [PoolPattern]) {
     });
 }
 
-fn dfs(
+fn materialize(pool: &PatternPool) -> Vec<PoolPattern> {
+    (0..pool.len() as u32)
+        .map(|r| PoolPattern {
+            items: pool.itemset(r),
+            tids: pool.tidset(r),
+        })
+        .collect()
+}
+
+fn dfs_slab(
     frequent: &[(u32, &TidSet)],
     pos: usize,
     tids: &TidSet,
     prefix: &mut Vec<u32>,
     max_len: usize,
     min_count: usize,
-    pool: &mut Vec<PoolPattern>,
+    seg: &mut PatternPool,
 ) {
     if prefix.len() >= max_len {
         return;
@@ -116,11 +209,8 @@ fn dfs(
         }
         let sub = tids.intersection(item_tids);
         prefix.push(item);
-        pool.push(PoolPattern {
-            items: Itemset::from_items(prefix),
-            tids: sub.clone(),
-        });
-        dfs(frequent, next_pos, &sub, prefix, max_len, min_count, pool);
+        seg.push_tidset(prefix, &sub);
+        dfs_slab(frequent, next_pos, &sub, prefix, max_len, min_count, seg);
         prefix.pop();
     }
 }
@@ -193,5 +283,50 @@ mod tests {
     fn zero_max_len_gives_empty_pool() {
         let db = cfp_datagen::diag(6);
         assert!(initial_pool(&db, 2, 0).is_empty());
+        let (slab, _) = initial_pool_slab(&db, 2, 0, 4);
+        assert!(slab.is_empty());
+    }
+
+    /// The tentpole contract: the parallel slab mine emits bit-for-bit the
+    /// serial DFS sequence at every thread count.
+    #[test]
+    fn parallel_slab_matches_serial_at_any_thread_count() {
+        let db = cfp_datagen::quest(&cfp_datagen::QuestConfig {
+            n_transactions: 200,
+            n_items: 30,
+            ..Default::default()
+        });
+        for max_len in [1usize, 2, 3] {
+            let (serial, _) = initial_pool_slab(&db, 3, max_len, 1);
+            for threads in [2usize, 4, 8] {
+                let (par, stats) = initial_pool_slab(&db, 3, max_len, threads);
+                assert_eq!(par, serial, "threads={threads} max_len={max_len}");
+                assert_eq!(stats.workers, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_slab_matches_stratified_vec() {
+        let db = cfp_datagen::diag(14);
+        let want = initial_pool_stratified(&db, 5, 2);
+        for threads in [1usize, 4] {
+            let (slab, _) = initial_pool_slab_stratified(&db, 5, 2, threads);
+            assert_eq!(slab.len(), want.len());
+            for (r, w) in want.iter().enumerate() {
+                let r = r as u32;
+                assert_eq!(slab.itemset(r), w.items, "row {r}");
+                assert_eq!(slab.tidset(r), w.tids, "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn mine_stats_are_populated() {
+        let db = cfp_datagen::diag(12);
+        let (pool, stats) = initial_pool_slab(&db, 4, 2, 2);
+        assert!(!pool.is_empty());
+        assert_eq!(stats.subtrees, 12);
+        assert_eq!(stats.workers, 2);
     }
 }

@@ -15,8 +15,13 @@
 //!   ordering (behavioural stand-in for LCM_maximal/MAFIA);
 //! * [`top_k_closed`] — TFP-style top-k closed mining with a minimum-length
 //!   constraint and dynamic threshold raising;
-//! * [`initial_pool`] — the complete set of frequent patterns up to a small
-//!   size, with support sets, as Pattern-Fusion's starting pool.
+//! * [`initial_pool_slab`] / [`initial_pool`] — the complete set of frequent
+//!   patterns up to a small size, with support sets, as Pattern-Fusion's
+//!   starting pool: a parallel DFS emitting straight into a columnar
+//!   [`cfp_itemset::PatternPool`] slab (per-item subtrees on the
+//!   work-stealing queue in [`parallel`], segments spliced in subtree order
+//!   so the row sequence is thread-count-independent), with a `Vec` view
+//!   for harnesses.
 //!
 //! The exhaustive miners deliberately explode on pathological inputs (that is
 //! the paper's point); every one of them therefore accepts a [`Budget`] and
@@ -34,6 +39,7 @@ mod fpgrowth;
 mod fptree;
 mod initial_pool;
 mod maximal;
+pub mod parallel;
 mod topk;
 mod types;
 
@@ -43,7 +49,10 @@ pub use closed::closed;
 pub use eclat::eclat;
 pub use fpgrowth::fp_growth;
 pub use fptree::FpTree;
-pub use initial_pool::{initial_pool, initial_pool_stratified, sort_stratified, PoolPattern};
+pub use initial_pool::{
+    initial_pool, initial_pool_slab, initial_pool_slab_stratified, initial_pool_stratified,
+    sort_stratified, PoolMineStats, PoolPattern,
+};
 pub use maximal::maximal;
 pub use topk::top_k_closed;
 pub use types::{sort_canonical, MinedPattern};

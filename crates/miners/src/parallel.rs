@@ -1,12 +1,20 @@
 //! Deterministic dynamic work distribution.
 //!
-//! The fusion pipeline's work items are wildly uneven: one seed's ball can
-//! hold half the pool while another's is empty. The seed's previous
-//! fixed-chunk `std::thread::scope` split therefore idled most workers on
-//! stragglers. This module replaces it with work stealing off a shared
-//! queue: workers claim the next unclaimed task index from an atomic
-//! counter, so a worker that finishes early immediately takes over work that
-//! would otherwise queue behind a long task on a static schedule.
+//! The mining pipeline's work items are wildly uneven: one seed's ball can
+//! hold half the pool while another's is empty, and one item's DFS subtree
+//! can dwarf its siblings'. A fixed-chunk `std::thread::scope` split
+//! therefore idles most workers on stragglers. This module provides work
+//! stealing off a shared queue instead: workers claim the next unclaimed
+//! task index from an atomic counter, so a worker that finishes early
+//! immediately takes over work that would otherwise queue behind a long
+//! task on a static schedule.
+//!
+//! The queue lives in `cfp_miners` (the lowest crate that schedules work)
+//! and is shared upward: the parallel initial-pool miner
+//! ([`crate::initial_pool_slab`]) distributes per-item DFS subtrees over it,
+//! and `cfp_core` re-exports it as `cfp_core::parallel` for the fusion
+//! engine's ball scans, per-seed fusions, shard runs, and pivot-table
+//! builds.
 //!
 //! Determinism: results are keyed by task index, not by completion order, so
 //! the output is identical for any thread count — the scheduler only decides
@@ -14,11 +22,11 @@
 //! derived from the task index upstream).
 //!
 //! The persistent ball index keeps this contract under tombstoning: scan
-//! tasks are cut by [`crate::ball::BallQuery::segments`], a pure function of
-//! index state (live prefix sums), so the task list — and therefore every
-//! task's identity and output slot — is the same at any thread count even
-//! when segments hop dead arena slots. Workers that draw tombstone-dense
-//! segments simply finish sooner and steal the next index.
+//! tasks are cut by `BallQuery::segments` (in `cfp_core::ball`), a pure
+//! function of index state (live prefix sums), so the task list — and
+//! therefore every task's identity and output slot — is the same at any
+//! thread count even when segments hop dead arena slots. Workers that draw
+//! tombstone-dense segments simply finish sooner and steal the next index.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,0 +1,89 @@
+//! Dumps deterministic engine outputs for a battery of configurations —
+//! used to diff refactors against the previous engine bit for bit.
+
+use cfp_core::{FusionConfig, PatternFusion, ShardStrategy};
+
+fn dump(label: &str, db: &cfp_itemset::TransactionDb, config: FusionConfig) {
+    let result = PatternFusion::new(db, config).run();
+    println!("== {label} ==");
+    for p in &result.patterns {
+        let tids: Vec<usize> = p.tids.iter().collect();
+        println!("{} | {:?}", p.items, tids);
+    }
+    println!(
+        "converged={} initial_pool={} iters={}",
+        result.stats.converged,
+        result.stats.initial_pool_size,
+        result.stats.total_iterations()
+    );
+}
+
+fn main() {
+    let diag = cfp_datagen::diag_plus(40, 20, 39);
+    let planted = cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+        n_rows: 60,
+        pattern_sizes: vec![12, 10, 8],
+        pattern_support: 14,
+        max_row_overlap: 5,
+        row_len: 0,
+        filler_rows_lo: 2,
+        filler_rows_hi: 4,
+        seed: 5,
+    });
+    for seed in [7u64, 8, 9] {
+        for threads in [1usize, 2, 8] {
+            dump(
+                &format!("diag40 seed={seed} threads={threads}"),
+                &diag,
+                FusionConfig::new(20, 20)
+                    .with_pool_max_len(2)
+                    .with_seed(seed)
+                    .with_threads(threads)
+                    .with_shards(1),
+            );
+        }
+        for shards in [2usize, 4] {
+            for strategy in ShardStrategy::ALL {
+                dump(
+                    &format!("diag40 seed={seed} shards={shards} {}", strategy.name()),
+                    &diag,
+                    FusionConfig::new(20, 20)
+                        .with_pool_max_len(2)
+                        .with_seed(seed)
+                        .with_shards(shards)
+                        .with_shard_strategy(strategy)
+                        .with_threads(2),
+                );
+            }
+        }
+    }
+    for tau in [0.5f64, 0.75, 1.0] {
+        dump(
+            &format!("planted tau={tau}"),
+            &planted.db,
+            FusionConfig::new(10, 14)
+                .with_pool_max_len(2)
+                .with_tau(tau)
+                .with_seed(3)
+                .with_shards(1),
+        );
+    }
+    dump(
+        "planted closure shards=4",
+        &planted.db,
+        FusionConfig::new(10, 14)
+            .with_pool_max_len(3)
+            .with_closure_step(true)
+            .with_seed(11)
+            .with_shards(4),
+    );
+    dump(
+        "diag pool_max_len=1 serial",
+        &cfp_datagen::diag_plus(8, 6, 9),
+        FusionConfig::new(5, 6)
+            .with_pool_max_len(1)
+            .with_seed(13)
+            .with_parallel(false)
+            .with_shards(1),
+    );
+}

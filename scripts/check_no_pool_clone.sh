@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Slab-data-plane grep gate: the mine → fuse hot path must stay on the
+# columnar PatternPool slab — no layer may reintroduce the legacy
+# Vec<Pattern> copying idioms (per-pattern tid-set clones into index
+# arenas, cloned shard sub-pools, pattern clones into the archive).
+#
+# Non-test source only (everything above `#[cfg(test)]`), line comments
+# stripped. Run from the workspace root; CI runs it in the build-test job.
+set -eu
+
+fail=0
+
+# Non-test, non-comment source of a file.
+strip() {
+    awk '/#\[cfg\(test\)\]/{exit} {print}' "$1" | sed 's://.*$::'
+}
+
+check_absent() { # file, pattern, message
+    local file="$1" pattern="$2" message="$3"
+    if strip "$file" | grep -En "$pattern" >/dev/null; then
+        echo "FAIL $file: $message"
+        echo "  offending lines:"
+        strip "$file" | grep -En "$pattern" | sed 's/^/    /'
+        fail=1
+    else
+        echo "ok   $file: $message"
+    fi
+}
+
+# 1. The ball index borrows slab rows: it must never touch an owned
+#    tid-set (no `.tids`, no `blocks()` copying into private arenas).
+check_absent crates/core/src/ball.rs \
+    '\.tids|blocks\(\)|AlignedWords' \
+    'no owned tid-sets / word arenas (index borrows slab rows)'
+
+# 2. The shard runner partitions by row-id lists over one shared slab: no
+#    cloned Vec<Pattern> sub-pools, no per-pattern tid clones.
+check_absent crates/core/src/shard.rs \
+    'sub(_pool)?\s*:\s*Vec<Pattern>|\.tids\.clone|patterns\.clone\(\)' \
+    'no cloned sub-pools (shards are row-id lists)'
+
+# 3. The iteration loop interns rows: the archive must be row ids, never
+#    cloned patterns.
+check_absent crates/core/src/algorithm.rs \
+    'archive\s*:\s*Vec<Pattern>|iter\(\)\.cloned\(\)' \
+    'archive holds row ids, not cloned patterns'
+
+# 4. The initial-pool miner emits straight into the slab: the engine's
+#    mine path must not materialize PoolPattern vectors.
+check_absent crates/core/src/algorithm.rs \
+    'cfp_miners::initial_pool(_stratified)?\(' \
+    'engine mines through initial_pool_slab, not the Vec materialization'
+
+if [ "$fail" -ne 0 ]; then
+    echo "slab hot-path gate failed: a Vec<Pattern> copying idiom is back on the mine->fuse path"
+    exit 1
+fi
+echo "slab hot-path gate passed"

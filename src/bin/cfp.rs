@@ -136,6 +136,18 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         result.stats.total_iterations()
     );
     if parse_flag(args, "--stats") {
+        let pool = &result.stats.pool;
+        eprintln!(
+            "  pool: {} rows ({} mined), {:.1} KiB tids / {:.1} KiB peak slab, \
+             mined on {} worker(s) in {:.3}s (+{:.3}s splice)",
+            pool.rows,
+            pool.initial_rows,
+            pool.tid_bytes as f64 / 1024.0,
+            pool.peak_bytes as f64 / 1024.0,
+            pool.mine_workers,
+            pool.mine_time.as_secs_f64(),
+            pool.splice_time.as_secs_f64()
+        );
         for (i, it) in result.stats.iterations.iter().enumerate() {
             eprintln!(
                 "  iter {i}: pool {} → {} patterns (sizes {}..{}) in {:.3}s",
