@@ -151,7 +151,9 @@ pub fn clustered_pool(
 /// The uniform engine-statistics line every `exp_*` binary prints: kernel
 /// backend, iteration count, ball-prune percentage, the persistent-index
 /// maintenance aggregates, and the slab pool-store footprint — one schema
-/// across all binaries, for sharded and unsharded runs alike.
+/// across all binaries, for sharded and unsharded runs alike. Sharded runs
+/// append `shards=`/`repair_iters=`, and out-of-core runs append the
+/// `oocore_*` spill/load counters ([`cfp_core::stats::OocoreStats`]).
 pub fn engine_line(stats: &RunStats) -> String {
     let ball = stats.ball();
     let mut line = format!(
@@ -176,8 +178,22 @@ pub fn engine_line(stats: &RunStats) -> String {
             stats.repair_iterations
         ));
     }
+    if stats.oocore.active() {
+        let oo = &stats.oocore;
+        line.push_str(&format!(
+            " oocore_passes={} spill_mib={:.2} load_mib={:.2} peak_resident_mib={:.2} \
+             bytes_touched_ratio={:.2}",
+            oo.passes,
+            oo.spill_bytes as f64 / MIB,
+            oo.load_bytes as f64 / MIB,
+            oo.peak_resident_bytes as f64 / MIB,
+            oo.bytes_touched_ratio(),
+        ));
+    }
     line
 }
+
+const MIB: f64 = (1u64 << 20) as f64;
 
 /// Whether a bare `--flag` is present in the process arguments.
 pub fn flag(name: &str) -> bool {

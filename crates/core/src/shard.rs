@@ -207,6 +207,19 @@ pub fn shard_seed(seed: u64, shard: usize, shards: usize) -> u64 {
 /// Salt decorrelating boundary-repair RNGs from shard and iteration RNGs.
 const REPAIR_SALT: u64 = 0xB00D_412E_9A10_77EE;
 
+/// One shard's contribution to the deterministic merge: either a row the
+/// merge store already holds (an in-memory shard's base-slab carry-over) or
+/// an owned pattern mined elsewhere to be interned (a shard overlay row, or
+/// an out-of-core shard's archived pattern). Interning makes both forms
+/// converge on the same row ids, so the merge path is literally shared
+/// between the in-memory and out-of-core engines.
+pub(crate) enum MergePattern {
+    /// A row of the merge store (carried over as-is).
+    Row(u32),
+    /// An owned pattern to intern into the merge store.
+    Owned(crate::Pattern),
+}
+
 /// Minhash of a support set given its slab-row words: the minimum of a
 /// SplitMix64 hash over the tids. Two sets collide with probability equal
 /// to their Jaccard similarity — the locality property `MinhashBucket`
@@ -375,14 +388,12 @@ impl PatternFusion<'_> {
             })
         };
 
-        // Deterministic merge: shard results concatenate in shard order (not
-        // completion order). Base-slab rows carry over as-is; each shard's
-        // overlay rows — the only patterns that exist nowhere else — are
-        // interned into the parent store. Row identity is itemset identity,
-        // so first-occurrence dedup is a set of ids.
-        let mut merged: Vec<u32> = Vec::new();
-        let mut seen: HashSet<u32> = HashSet::new();
+        // Shard results concatenate in shard order (not completion order).
+        // Base-slab rows carry over as-is; each shard's overlay rows — the
+        // only patterns that exist nowhere else — are handed to the shared
+        // merge as owned patterns to intern.
         let base_len = store.base_len() as u32;
+        let mut per_shard: Vec<Vec<MergePattern>> = Vec::with_capacity(n);
         for (s, (shard_store, out_rows, rstats, elapsed, pool_size)) in
             shard_runs.into_iter().enumerate()
         {
@@ -398,11 +409,54 @@ impl PatternFusion<'_> {
                 compactions: rstats.compactions(),
                 elapsed,
             });
-            for r in out_rows {
-                let row = if r < base_len {
-                    r
-                } else {
-                    store.intern(&shard_store.pattern(r))
+            per_shard.push(
+                out_rows
+                    .into_iter()
+                    .map(|r| {
+                        if r < base_len {
+                            MergePattern::Row(r)
+                        } else {
+                            MergePattern::Owned(shard_store.pattern(r))
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        let merged = self.merge_shard_outputs(store, &rows, per_shard, &mut stats);
+
+        stats.converged = stats.shards.iter().all(|s| s.converged) && merged.len() <= cfg.k.max(1);
+        (merged, stats)
+    }
+
+    /// The deterministic merge tail shared by the in-memory sharded engine
+    /// and the out-of-core driver ([`crate::oocore`]): first-occurrence
+    /// dedup in shard order (row identity is itemset identity, so interning
+    /// owned patterns makes dedup a set of ids), global re-rank, and — for
+    /// more than one shard — boundary repair, subsumption pruning, and the
+    /// K-truncation.
+    ///
+    /// `pool_rows` is the original pool for repair's full-pool round 0;
+    /// only its *length* is read beyond [`FULL_REPAIR_POOL_LIMIT`], and an
+    /// empty slice is behaviorally identical to an over-limit pool (the
+    /// space extension is a no-op either way) — which is how the
+    /// out-of-core driver avoids re-interning an evicted pool it would
+    /// never draw from.
+    pub(crate) fn merge_shard_outputs(
+        &self,
+        store: &mut PoolStore,
+        pool_rows: &[u32],
+        per_shard: Vec<Vec<MergePattern>>,
+        stats: &mut RunStats,
+    ) -> Vec<u32> {
+        let cfg = self.config();
+        let n = per_shard.len().max(1);
+        let mut merged: Vec<u32> = Vec::new();
+        let mut seen: HashSet<u32> = HashSet::new();
+        for outputs in per_shard {
+            for out in outputs {
+                let row = match out {
+                    MergePattern::Row(r) => r,
+                    MergePattern::Owned(p) => store.intern(&p),
                 };
                 if seen.insert(row) {
                     merged.push(row);
@@ -416,14 +470,12 @@ impl PatternFusion<'_> {
             // per-shard caps, so ≤ ~n·K patterns): truncating to K first
             // would pre-judge the ranking before cross-shard partial
             // assemblies had a chance to fuse into something larger.
-            merged = self.boundary_repair_rows(store, merged, &rows, &mut stats);
+            merged = self.boundary_repair_rows(store, merged, pool_rows, stats);
             rank_rows(store, &mut merged);
             prune_subsumed_rows(store, &mut merged);
             merged.truncate(cfg.k.max(1));
         }
-
-        stats.converged = stats.shards.iter().all(|s| s.converged) && merged.len() <= cfg.k.max(1);
-        (merged, stats)
+        merged
     }
 
     /// Cross-shard boundary repair: re-balls every merged survivor and

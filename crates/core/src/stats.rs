@@ -104,6 +104,52 @@ pub struct PoolStats {
     pub splice_time: Duration,
 }
 
+/// What an out-of-core run did (see [`crate::oocore`]): how the memory
+/// budget translated into spill/load traffic and batched fusion passes.
+/// All-zero (`passes == 0`) for in-memory runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OocoreStats {
+    /// Fusion passes (shard batches mined between evictions). ≥ 2 means the
+    /// budget actually forced the pool out of core.
+    pub passes: usize,
+    /// Shard slabs spilled to disk.
+    pub shards_spilled: usize,
+    /// Bytes written to spill files (shard slabs + the repair pool slab).
+    pub spill_bytes: u64,
+    /// Bytes read back from spill files across all passes.
+    pub load_bytes: u64,
+    /// The configured resident-bytes budget (0 = unlimited: one pass).
+    pub budget_bytes: u64,
+    /// Peak resident slab bytes in any single fusion pass (the loaded shard
+    /// batch) — the number the budget actually bounds.
+    pub peak_resident_bytes: u64,
+    /// What the full pool's slab would have kept resident in memory — the
+    /// denominator of [`OocoreStats::bytes_touched_ratio`].
+    pub in_memory_resident_bytes: u64,
+    /// Wall-clock time writing spill files.
+    pub spill_time: Duration,
+    /// Wall-clock time reading spill files back.
+    pub load_time: Duration,
+}
+
+impl OocoreStats {
+    /// Whether this run actually went through the out-of-core driver.
+    pub fn active(&self) -> bool {
+        self.passes > 0
+    }
+
+    /// Total disk bytes touched (spilled + loaded) relative to the pool's
+    /// in-memory resident footprint: how much I/O the partitioned passes
+    /// cost per byte of memory saved. 1.0 would mean the pool crossed the
+    /// disk boundary exactly once in each direction combined.
+    pub fn bytes_touched_ratio(&self) -> f64 {
+        if self.in_memory_resident_bytes == 0 {
+            return 0.0;
+        }
+        (self.spill_bytes + self.load_bytes) as f64 / self.in_memory_resident_bytes as f64
+    }
+}
+
 /// Statistics for a whole Pattern-Fusion run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -132,6 +178,9 @@ pub struct RunStats {
     pub repair_iterations: usize,
     /// Slab pattern-store sizes and parallel-mine evidence.
     pub pool: PoolStats,
+    /// Out-of-core spill/load evidence (all-zero for in-memory runs; see
+    /// [`crate::oocore`]).
+    pub oocore: OocoreStats,
 }
 
 impl RunStats {

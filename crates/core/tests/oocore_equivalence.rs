@@ -1,0 +1,218 @@
+//! Contracts of the out-of-core driver (`cfp_core::oocore`):
+//!
+//! 1. **bit-identity under memory pressure** — at a budget of one quarter
+//!    of the pool's resident tid bytes (forcing multiple eviction passes),
+//!    the out-of-core engine returns bit-for-bit the in-memory sharded
+//!    engine's output, for both partition strategies and at any thread
+//!    count — itemsets AND support sets, plus the per-shard counters;
+//! 2. **pass accounting** — a tiny budget degenerates to one shard per
+//!    pass, budget 0 to a single pass, and [`cfp_core::OocoreStats`]
+//!    reports spill/load traffic consistent with both;
+//! 3. **edge cases** — one shard ≡ the plain engine, empty pools, spill
+//!    directory lifecycle (`keep_spill` on and off).
+
+use cfp_core::{FusionConfig, OocoreConfig, Pattern, PatternFusion, ShardStrategy};
+
+/// Full bit-identity of two results: itemsets AND support sets, in order.
+fn assert_identical(a: &[Pattern], b: &[Pattern], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: result sizes differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.items, y.items, "{label}: itemset drift");
+        assert_eq!(x.tids, y.tids, "{label}: support-set drift");
+    }
+}
+
+/// Per-shard counters with wall-clock times (which legitimately vary)
+/// zeroed out.
+fn shards_without_time(stats: &cfp_core::RunStats) -> Vec<cfp_core::ShardStats> {
+    stats
+        .shards
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            s.elapsed = std::time::Duration::default();
+            s
+        })
+        .collect()
+}
+
+fn planted_db() -> cfp_datagen::PlantedData {
+    cfp_datagen::planted(&cfp_datagen::PlantedConfig {
+        n_rows: 40,
+        pattern_sizes: vec![9, 7, 6],
+        pattern_support: 12,
+        max_row_overlap: 4,
+        row_len: 0,
+        filler_rows_lo: 2,
+        filler_rows_hi: 3,
+        seed: 5,
+    })
+}
+
+fn config(shards: usize, strategy: ShardStrategy, threads: usize) -> FusionConfig {
+    FusionConfig::new(12, 12)
+        .with_pool_max_len(2)
+        .with_seed(99)
+        .with_shards(shards)
+        .with_shard_strategy(strategy)
+        .with_threads(threads)
+}
+
+#[test]
+fn out_of_core_is_bit_identical_to_in_memory_at_quarter_budget() {
+    let data = planted_db();
+    for strategy in ShardStrategy::ALL {
+        for shards in [2usize, 4] {
+            let inm = PatternFusion::new(&data.db, config(shards, strategy, 1)).run();
+            // Budget the fusion passes at a quarter of the pool's resident
+            // tid bytes — well under the full slab, forcing real eviction.
+            let budget = (inm.stats.pool.tid_bytes as u64 / 4).max(1);
+            for threads in [1usize, 2, 8] {
+                let pf = PatternFusion::new(&data.db, config(shards, strategy, threads));
+                let oo = pf
+                    .run_out_of_core(&OocoreConfig::new(budget))
+                    .expect("out-of-core run");
+                let label = format!("{strategy:?} shards={shards} threads={threads}");
+                assert_identical(&inm.patterns, &oo.patterns, &label);
+                assert_eq!(
+                    shards_without_time(&inm.stats),
+                    shards_without_time(&oo.stats),
+                    "{label}: per-shard counters drifted"
+                );
+                assert_eq!(inm.stats.converged, oo.stats.converged, "{label}");
+                let oos = &oo.stats.oocore;
+                assert!(oos.active(), "{label}: oocore stats not stamped");
+                assert!(oos.passes >= 2, "{label}: budget did not force eviction");
+                assert_eq!(oos.shards_spilled, shards, "{label}");
+                assert!(oos.spill_bytes > 0 && oos.load_bytes > 0, "{label}");
+                assert!(
+                    oos.peak_resident_bytes <= oos.in_memory_resident_bytes,
+                    "{label}: out-of-core resided above the in-memory slab"
+                );
+                assert!(oos.bytes_touched_ratio() > 0.0, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tiny_budget_degenerates_to_one_shard_per_pass() {
+    let data = planted_db();
+    let inm = PatternFusion::new(&data.db, config(4, ShardStrategy::MinhashBucket, 1)).run();
+    let pf = PatternFusion::new(&data.db, config(4, ShardStrategy::MinhashBucket, 2));
+    let oo = pf
+        .run_out_of_core(&OocoreConfig::new(1))
+        .expect("out-of-core run");
+    assert_identical(&inm.patterns, &oo.patterns, "budget=1");
+    assert_eq!(oo.stats.oocore.passes, 4, "one pass per shard");
+}
+
+#[test]
+fn unlimited_budget_runs_a_single_pass_and_still_round_trips_disk() {
+    let data = planted_db();
+    let inm = PatternFusion::new(&data.db, config(4, ShardStrategy::SupportStratum, 1)).run();
+    let pf = PatternFusion::new(&data.db, config(4, ShardStrategy::SupportStratum, 8));
+    let oo = pf
+        .run_out_of_core(&OocoreConfig::new(0))
+        .expect("out-of-core run");
+    assert_identical(&inm.patterns, &oo.patterns, "budget=0");
+    let oos = &oo.stats.oocore;
+    assert_eq!(oos.passes, 1);
+    // Even the unlimited run spills and reloads every shard byte.
+    assert!(oos.spill_bytes > 0 && oos.load_bytes > 0);
+}
+
+#[test]
+fn single_shard_out_of_core_matches_the_plain_engine() {
+    let db = cfp_datagen::diag_plus(14, 7, 10);
+    for seed in [3u64, 17, 41] {
+        // Pin one shard explicitly so a CFP_SHARDS env default (the CI
+        // shards4 leg) doesn't widen this single-shard contract.
+        let cfg = FusionConfig::new(8, 7)
+            .with_pool_max_len(2)
+            .with_seed(seed)
+            .with_shards(1);
+        let pf = PatternFusion::new(&db, cfg);
+        let plain = pf.run();
+        let oo = pf
+            .run_out_of_core(&OocoreConfig::new(1))
+            .expect("out-of-core run");
+        assert_identical(&plain.patterns, &oo.patterns, &format!("seed {seed}"));
+        assert_eq!(oo.stats.oocore.passes, 1);
+        // No pool slab is spilled for a single shard (no boundary repair).
+        assert_eq!(oo.stats.oocore.load_bytes, oo.stats.oocore.spill_bytes);
+    }
+}
+
+#[test]
+fn with_slab_entry_matches_in_memory_sharded_with_slab() {
+    let db = cfp_datagen::diag_plus(12, 6, 9);
+    let cfg = FusionConfig::new(8, 6)
+        .with_seed(7)
+        .with_shards(3)
+        .with_shard_strategy(ShardStrategy::MinhashBucket);
+    let pf = PatternFusion::new(&db, cfg);
+    let slab = pf.mine_initial_slab();
+    let inm = pf.run_sharded_with_slab(slab.clone());
+    let oo = pf
+        .run_out_of_core_with_slab(slab, &OocoreConfig::new(1))
+        .expect("out-of-core run");
+    assert_identical(&inm.patterns, &oo.patterns, "with_slab");
+    assert_eq!(
+        shards_without_time(&inm.stats),
+        shards_without_time(&oo.stats)
+    );
+}
+
+#[test]
+fn empty_pool_is_tolerated() {
+    let db = cfp_datagen::diag(4);
+    let cfg = FusionConfig::new(4, 2).with_shards(2);
+    let pf = PatternFusion::new(&db, cfg);
+    let oo = pf
+        .run_out_of_core_with_slab(cfp_core::PatternPool::new(4), &OocoreConfig::new(64))
+        .expect("out-of-core run");
+    assert!(oo.patterns.is_empty());
+    assert_eq!(oo.stats.oocore.passes, 0);
+    assert!(!oo.stats.oocore.active());
+}
+
+#[test]
+fn spill_directory_lifecycle() {
+    let db = cfp_datagen::diag_plus(12, 6, 9);
+    let cfg = FusionConfig::new(8, 6).with_seed(7).with_shards(2);
+    let pf = PatternFusion::new(&db, cfg);
+
+    let base = std::env::temp_dir().join(format!("cfp-oocore-test-{}", std::process::id()));
+    let kept = base.join("kept");
+    let removed = base.join("removed");
+
+    let oo_keep = OocoreConfig::new(0)
+        .with_spill_dir(&kept)
+        .with_keep_spill(true);
+    pf.run_out_of_core(&oo_keep).expect("keep-spill run");
+    assert!(
+        kept.join("shard-0.slab").is_file() && kept.join("shard-1.slab").is_file(),
+        "keep_spill must leave the shard slabs behind"
+    );
+    // The kept slabs are valid CFPSLAB images.
+    let reloaded = cfp_itemset::slab_io::load_slab_path(kept.join("shard-0.slab")).unwrap();
+    assert!(!reloaded.is_empty());
+
+    let oo_drop = OocoreConfig::new(0).with_spill_dir(&removed);
+    pf.run_out_of_core(&oo_drop).expect("auto-clean run");
+    assert!(
+        !removed.exists(),
+        "spill dir must be removed when keep_spill is off"
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn budget_env_knob_parses() {
+    // `from_env` reads the live environment; exercise only the pure parser
+    // here to stay hermetic under parallel test execution.
+    assert_eq!(cfp_core::oocore::parse_budget("256k"), Some(256 << 10));
+    assert_eq!(cfp_core::oocore::parse_budget("nope"), None);
+}

@@ -125,6 +125,52 @@ impl AlignedWords {
     }
 }
 
+/// A word slice viewed as raw bytes (native byte order). The slab I/O
+/// layer ([`crate::slab_io`]) streams whole tid columns through this view;
+/// on little-endian targets the native bytes *are* the on-disk encoding.
+#[inline]
+pub fn words_as_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: `u64` has no padding and alignment 8 ≥ 1; the byte view
+    // covers exactly the slice's memory and inherits its borrow.
+    #[allow(unsafe_code)]
+    unsafe {
+        std::slice::from_raw_parts(words.as_ptr().cast(), std::mem::size_of_val(words))
+    }
+}
+
+/// Mutable byte view over a word slice — the zero-copy load target: a
+/// reader fills the final 32-byte-aligned buffer directly, no staging copy.
+#[inline]
+pub fn words_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as in `words_as_bytes`; every bit pattern is a valid `u64`,
+    // so arbitrary byte writes cannot break validity.
+    #[allow(unsafe_code)]
+    unsafe {
+        std::slice::from_raw_parts_mut(words.as_mut_ptr().cast(), std::mem::size_of_val(words))
+    }
+}
+
+/// A `u32` slice viewed as raw bytes (native byte order) — for streaming
+/// the slab's POD columns (suffix tables, spans, supports).
+#[inline]
+pub fn u32s_as_bytes(vals: &[u32]) -> &[u8] {
+    // SAFETY: `u32` has no padding; see `words_as_bytes`.
+    #[allow(unsafe_code)]
+    unsafe {
+        std::slice::from_raw_parts(vals.as_ptr().cast(), std::mem::size_of_val(vals))
+    }
+}
+
+/// Mutable byte view over a `u32` slice (the column-load target).
+#[inline]
+pub fn u32s_as_bytes_mut(vals: &mut [u32]) -> &mut [u8] {
+    // SAFETY: every bit pattern is a valid `u32`; see `words_as_bytes_mut`.
+    #[allow(unsafe_code)]
+    unsafe {
+        std::slice::from_raw_parts_mut(vals.as_mut_ptr().cast(), std::mem::size_of_val(vals))
+    }
+}
+
 impl Clone for AlignedWords {
     fn clone(&self) -> Self {
         Self {

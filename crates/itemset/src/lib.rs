@@ -48,6 +48,7 @@ mod io;
 mod item;
 mod itemset;
 pub mod kernels;
+pub mod slab_io;
 pub mod store;
 mod tidset;
 mod vertical;
@@ -60,6 +61,7 @@ pub use error::{Error, Result};
 pub use io::{parse_fimi, read_fimi, write_fimi};
 pub use item::{Item, ItemMap};
 pub use itemset::Itemset;
+pub use slab_io::SlabIoError;
 pub use store::{PatternPool, RowTable};
 pub use tidset::TidSet;
 pub use vertical::VerticalIndex;

@@ -21,6 +21,45 @@
 //! plain row-id lists over the same storage — no tid-set is ever copied
 //! between layers.
 //!
+//! # On-disk slab format (`CFPSLAB`, version 1)
+//!
+//! Because the slab is already columnar POD, its persistent form
+//! ([`crate::slab_io`]) is a direct image of the columns — dump streams
+//! them, load reads them straight back into their final buffers:
+//!
+//! ```text
+//! offset  size             field
+//! ------  ---------------  ------------------------------------------
+//!      0  8                magic "CFPSLAB\0"
+//!      8  4                format version (u32, = 1)
+//!     12  4                endianness tag (u32, = 0x0A0BC0DE)
+//!     16  5 × 8            header: universe, words_per_row, suf_stride,
+//!                          rows, item_data_len (u64 each)
+//!     56  5 × 8            section table: byte length of each section
+//!                          below, in order (u64 each)
+//!     96  rows·wpr·8       section 1: tid words   (u64 column)
+//!      …  rows·ss·4        section 2: suffix tables (u32 column)
+//!      …  (rows+1)·4       section 3: item offsets  (u32 column)
+//!      …  item_data_len·4  section 4: item data     (u32 column)
+//!      …  rows·4           section 5: supports      (u32 column)
+//!   last  4                CRC-32 (IEEE) over every preceding byte
+//! ------  ---------------  ------------------------------------------
+//! ```
+//!
+//! **Versioning**: the major format version is a hard gate — a reader
+//! rejects any version it does not know (`SlabIoError::UnsupportedVersion`);
+//! there are no minor/feature bits. **Endianness**: every field and every
+//! column element is little-endian on disk, regardless of host order; the
+//! tag at offset 12 is a fixed LE constant, so a byte-swapped file is
+//! detected before any column is read. **Alignment**: the derived widths
+//! (`words_per_row`, `suf_stride`) are *recomputed* from `universe` on load
+//! and must match the header — so a loaded tid column always lands in a
+//! fresh 32-byte-aligned, lane-padded [`AlignedWords`] buffer, and loaded
+//! slabs satisfy the kernel layout contract ([`crate::kernels`]) verbatim.
+//! **Integrity**: the trailing CRC covers header and sections; truncation,
+//! bit-flips, and mismatched section tables each surface as a typed
+//! [`crate::slab_io::SlabIoError`], never a panic.
+//!
 //! # Ownership and freezing contract
 //!
 //! The slab is **append-only**: a row, once pushed, is frozen — its words,
@@ -146,6 +185,48 @@ impl PatternPool {
     #[inline]
     pub fn supports(&self) -> &[u32] {
         &self.supports
+    }
+
+    /// Itemset span starts into [`Self::item_data`]; `len() + 1` entries
+    /// (row `r` spans `item_offsets[r]..item_offsets[r + 1]`).
+    #[inline]
+    pub fn item_offsets(&self) -> &[u32] {
+        &self.item_offsets
+    }
+
+    /// The concatenated item column (each row's span sorted ascending).
+    #[inline]
+    pub fn item_data(&self) -> &[Item] {
+        &self.item_data
+    }
+
+    /// Assembles a slab directly from validated whole columns — the
+    /// zero-copy load path ([`crate::slab_io`]) hands buffers it filled from
+    /// disk straight to the pool without re-pushing rows.
+    ///
+    /// The caller must have verified the structural invariants (widths
+    /// derived from `universe`, offsets monotonic and spanning `item_data`,
+    /// column lengths consistent with the row count); this constructor only
+    /// re-derives the geometry.
+    pub(crate) fn from_raw_columns(
+        universe: usize,
+        words: AlignedWords,
+        sufs: Vec<u32>,
+        item_offsets: Vec<u32>,
+        item_data: Vec<Item>,
+        supports: Vec<u32>,
+    ) -> Self {
+        let words_per_row = words_per_row_for(universe);
+        Self {
+            universe,
+            words_per_row,
+            suf_stride: words_per_row.div_ceil(kernels::SUFFIX_STRIDE) + 1,
+            words,
+            sufs,
+            item_offsets,
+            item_data,
+            supports,
+        }
     }
 
     /// Tid-set words of row `row`.

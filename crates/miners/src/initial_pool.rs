@@ -54,6 +54,9 @@ pub struct PoolMineStats {
     pub workers: usize,
     /// Per-item subtree tasks mined.
     pub subtrees: usize,
+    /// First-item subtrees that were split one level deeper (depth-2
+    /// head/sub tasks) to balance a skewed fan-out.
+    pub split_subtrees: usize,
     /// Wall-clock time of the parallel subtree mining phase.
     pub mine_time: Duration,
     /// Wall-clock time splicing worker segments into the final slab (plus
@@ -97,23 +100,79 @@ pub fn initial_pool_slab(
     // One task per frequent first item: the subtree of every pattern whose
     // smallest item is that item. Subtrees shrink with the item position
     // (extensions only look rightward), so the work-stealing queue keeps
-    // workers busy on the long early subtrees.
+    // workers busy on the long early subtrees — except when one subtree
+    // dominates outright. A deterministic work estimate (support × rightward
+    // fan-out) spots that skew, and any subtree estimated above a quarter of
+    // the total is split one level deeper: a head task emitting just `{i}`
+    // plus one task per depth-2 branch `{i, j}`. The task list and each
+    // task's emit sequence are functions of pool content alone, and splicing
+    // head + branches in order reproduces the whole-subtree emit sequence
+    // byte for byte, so the row order stays the serial DFS order no matter
+    // how (or whether) the split decision fires.
+    let split_eligible = threads > 1 && max_len >= 2 && frequent.len() > 1;
+    let estimate: Vec<u64> = frequent
+        .iter()
+        .enumerate()
+        .map(|(pos, (_, t))| t.count() as u64 * (frequent.len() - pos - 1) as u64)
+        .collect();
+    let total_estimate: u64 = estimate.iter().sum();
+    let mut tasks: Vec<SubtreeTask> = Vec::with_capacity(frequent.len());
+    for (pos, est) in estimate.iter().enumerate() {
+        if split_eligible && est.saturating_mul(4) > total_estimate {
+            stats.split_subtrees += 1;
+            tasks.push(SubtreeTask::Head(pos));
+            tasks.extend((pos + 1..frequent.len()).map(|next| SubtreeTask::Sub(pos, next)));
+        } else {
+            tasks.push(SubtreeTask::Whole(pos));
+        }
+    }
+
     let t_mine = Instant::now();
     let frequent_ref = &frequent;
-    let segments = run_tasks(frequent.len(), threads, |pos| {
-        let (item, tids) = frequent_ref[pos];
+    let tasks_ref = &tasks;
+    let segments = run_tasks(tasks.len(), threads, |ti| {
         let mut seg = PatternPool::new(universe);
-        let mut prefix = vec![item];
-        seg.push_tidset(&prefix, tids);
-        dfs_slab(
-            frequent_ref,
-            pos,
-            tids,
-            &mut prefix,
-            max_len,
-            min_count,
-            &mut seg,
-        );
+        match tasks_ref[ti] {
+            SubtreeTask::Whole(pos) => {
+                let (item, tids) = frequent_ref[pos];
+                let mut prefix = vec![item];
+                seg.push_tidset(&prefix, tids);
+                dfs_slab(
+                    frequent_ref,
+                    pos,
+                    tids,
+                    &mut prefix,
+                    max_len,
+                    min_count,
+                    &mut seg,
+                );
+            }
+            SubtreeTask::Head(pos) => {
+                let (item, tids) = frequent_ref[pos];
+                seg.push_tidset(&[item], tids);
+            }
+            SubtreeTask::Sub(pos, next_pos) => {
+                let (item, tids) = frequent_ref[pos];
+                let (next_item, next_tids) = frequent_ref[next_pos];
+                if tids
+                    .intersection_count_at_least(next_tids, min_count)
+                    .is_some()
+                {
+                    let sub = tids.intersection(next_tids);
+                    let mut prefix = vec![item, next_item];
+                    seg.push_tidset(&prefix, &sub);
+                    dfs_slab(
+                        frequent_ref,
+                        next_pos,
+                        &sub,
+                        &mut prefix,
+                        max_len,
+                        min_count,
+                        &mut seg,
+                    );
+                }
+            }
+        }
         seg
     });
     stats.mine_time = t_mine.elapsed();
@@ -184,6 +243,19 @@ fn materialize(pool: &PatternPool) -> Vec<PoolPattern> {
             tids: pool.tidset(r),
         })
         .collect()
+}
+
+/// One unit of the parallel mine. `Whole(i)` is first-item subtree `i`
+/// (prefix `{i}` plus everything below). When a subtree's work estimate
+/// dominates, it ships as `Head(i)` (the `{i}` row alone) followed by
+/// `Sub(i, j)` for every rightward `j` (the `{i, j}` row plus its subtree —
+/// empty when the depth-2 extension is infrequent). Spliced in task order,
+/// both encodings produce the identical row sequence.
+#[derive(Debug, Clone, Copy)]
+enum SubtreeTask {
+    Whole(usize),
+    Head(usize),
+    Sub(usize, usize),
 }
 
 fn dfs_slab(
@@ -328,5 +400,59 @@ mod tests {
         assert!(!pool.is_empty());
         assert_eq!(stats.subtrees, 12);
         assert_eq!(stats.workers, 2);
+        // Diagonal supports are uniform: no subtree dominates, no split.
+        assert_eq!(stats.split_subtrees, 0);
+    }
+
+    /// A database whose first item appears everywhere while the rest are
+    /// sparse: subtree 0 dominates the work estimate.
+    fn skewed_db() -> cfp_itemset::TransactionDb {
+        let mut rows = Vec::new();
+        for t in 0..60u32 {
+            // Item 0 in every transaction; items 1..=12 in staggered
+            // sparse bands so plenty of depth-2 and depth-3 patterns
+            // survive under item 0 but each sibling subtree stays small.
+            let mut items = vec![0u32];
+            for j in 1..=12u32 {
+                if (t + j) % 3 == 0 || t % (j + 2) == 0 {
+                    items.push(j);
+                }
+            }
+            rows.push(Itemset::from_items(&items));
+        }
+        cfp_itemset::TransactionDb::from_dense(rows)
+    }
+
+    /// The satellite contract: a skew-dominated first subtree is split one
+    /// level deeper, and the split run still emits bit-for-bit the serial
+    /// whole-subtree sequence at every thread count.
+    #[test]
+    fn skewed_subtree_is_split_and_stays_bit_identical() {
+        let db = skewed_db();
+        for max_len in [2usize, 3] {
+            let (serial, serial_stats) = initial_pool_slab(&db, 4, max_len, 1);
+            // Serial mining never splits (nothing to balance).
+            assert_eq!(serial_stats.split_subtrees, 0);
+            for threads in [2usize, 8] {
+                let (par, stats) = initial_pool_slab(&db, 4, max_len, threads);
+                assert!(
+                    stats.split_subtrees >= 1,
+                    "threads={threads} max_len={max_len}: dominant subtree not split"
+                );
+                assert_eq!(stats.subtrees, serial_stats.subtrees);
+                assert_eq!(par, serial, "threads={threads} max_len={max_len}");
+            }
+        }
+    }
+
+    /// The split decision is depth-gated: at `max_len == 1` there is no
+    /// depth-2 row to split on, so even a skewed pool mines whole.
+    #[test]
+    fn split_is_disabled_at_depth_one() {
+        let db = skewed_db();
+        let (serial, _) = initial_pool_slab(&db, 4, 1, 1);
+        let (par, stats) = initial_pool_slab(&db, 4, 1, 8);
+        assert_eq!(stats.split_subtrees, 0);
+        assert_eq!(par, serial);
     }
 }

@@ -51,6 +51,19 @@ check_absent crates/core/src/algorithm.rs \
     'cfp_miners::initial_pool(_stratified)?\(' \
     'engine mines through initial_pool_slab, not the Vec materialization'
 
+# 5. The out-of-core spill streams shard rows from the base slab borrows
+#    (`dump_slab_rows_path`): no whole-slab permuted copy, no cloned slab
+#    or sub-pool materialization on the spill/load path.
+check_absent crates/core/src/oocore.rs \
+    '\.permuted\(|pool\.clone\(\)|slab\.clone\(\)|base\.clone\(\)|base_pool\(\)\.clone' \
+    'spill streams rows from the shared base slab (no whole-slab copies)'
+
+# 6. The slab writer serializes from column borrows; it must never
+#    assemble an intermediate PatternPool or clone columns to write them.
+check_absent crates/itemset/src/slab_io.rs \
+    'permuted\(|\.to_vec\(\)|clone\(\)' \
+    'slab writer streams column borrows (no intermediate pool or column copies)'
+
 if [ "$fail" -ne 0 ]; then
     echo "slab hot-path gate failed: a Vec<Pattern> copying idiom is back on the mine->fuse path"
     exit 1

@@ -4,15 +4,25 @@
 //! cfp mine <file.dat> [--minsup FRAC | --mincount N] [--k N] [--tau T]
 //!          [--pool-len L] [--seed S] [--closure] [--stats]
 //!          [--shards N] [--shard-strategy stratum|minhash]
+//!          [--mem-budget BYTES] [--pool SLAB]
+//! cfp dump <file.dat> --out <pool.slab> [--minsup FRAC | --mincount N]
+//!          [--pool-len L] [--threads N]
+//! cfp load <pool.slab>
 //! cfp stats <file.dat>
 //! cfp generate <diag|diag-plus|replace|all|quest> [--out FILE] [--seed S]
 //! ```
 //!
 //! `mine` runs Pattern-Fusion and prints the mined patterns (external item
-//! labels) with sizes and supports. `stats` summarizes a dataset. `generate`
-//! writes one of the paper's workloads in FIMI format.
+//! labels) with sizes and supports; `--mem-budget` (or `CFP_MEM_BUDGET`)
+//! routes it through the out-of-core driver. `dump` mines just the initial
+//! pool and persists it as a `CFPSLAB` binary slab; `load` validates a slab
+//! and summarizes it; `mine --pool` starts fusion from a dumped slab
+//! instead of re-mining. `stats` summarizes a dataset. `generate` writes
+//! one of the paper's workloads in FIMI format.
 
-use colossal::fusion::{FusionConfig, PatternFusion};
+use colossal::fusion::oocore::{parse_budget, OocoreConfig};
+use colossal::fusion::{FusionConfig, FusionResult, PatternFusion};
+use colossal::itemset::slab_io;
 use colossal::itemset::{read_fimi, write_fimi, TransactionDb};
 use std::process::ExitCode;
 
@@ -24,6 +34,8 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "mine" => cmd_mine(&args[1..]),
+        "dump" => cmd_dump(&args[1..]),
+        "load" => cmd_load(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -56,7 +68,15 @@ usage:
                        (overrides CFP_SHARDS; 1 = unsharded)  [default 1]
       --shard-strategy stratum|minhash
                        partition strategy (overrides CFP_SHARD_STRATEGY)
+      --mem-budget B   mine out of core, bounding resident slab bytes per
+                       fusion pass to B (suffixes k/m/g; 0 = spill but one
+                       pass; overrides CFP_MEM_BUDGET; bit-identical output)
+      --pool SLAB      start from a dumped CFPSLAB pool instead of re-mining
       --stats          print per-iteration (and per-shard) statistics
+  cfp dump <file.dat> --out <pool.slab>
+                       mine the initial pool and persist it as a binary slab
+      --minsup/--mincount/--pool-len as for mine; --threads N mine workers
+  cfp load <pool.slab>               validate a dumped slab and summarize it
   cfp stats <file.dat>               dataset summary
   cfp generate <kind> [--out FILE] [--seed S]
       kinds: diag40, diag-plus (the intro's Diag40+20), replace, all, quest";
@@ -125,9 +145,36 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("unknown --shard-strategy '{name}' (stratum|minhash)"))?;
         config = config.with_shard_strategy(strategy);
     }
+    // `--mem-budget B` (or the CFP_MEM_BUDGET environment default) routes
+    // the run through the out-of-core driver — same output, bounded
+    // resident slab bytes. `--pool SLAB` starts from a dumped pool slab,
+    // used as-is: the file must come from the same dataset, and because
+    // sharded runs mine their own pools in support-stratified order, a
+    // plain dump's row order (hence its deterministic tie-breaks) can
+    // differ from a fresh `run()`. Output is deterministic per slab —
+    // with and without a budget it is bit-identical for the same slab.
+    let budget = match parse_value::<String>(args, "--mem-budget")? {
+        Some(s) => Some(parse_budget(&s).ok_or_else(|| {
+            format!("invalid --mem-budget '{s}' (bytes, with optional k/m/g suffix)")
+        })?),
+        None => OocoreConfig::from_env().map(|oo| oo.mem_budget),
+    };
+    let pool_slab = parse_value::<String>(args, "--pool")?
+        .map(|p| slab_io::load_slab_path(&p).map_err(|e| format!("loading pool {p}: {e}")))
+        .transpose()?;
+
     let pf = PatternFusion::new(&db, config);
     let t0 = std::time::Instant::now();
-    let result = pf.run();
+    let result: FusionResult = match (budget, pool_slab) {
+        (Some(b), Some(slab)) => pf
+            .run_out_of_core_with_slab(slab, &OocoreConfig::new(b))
+            .map_err(|e| e.to_string())?,
+        (Some(b), None) => pf
+            .run_out_of_core(&OocoreConfig::new(b))
+            .map_err(|e| e.to_string())?,
+        (None, Some(slab)) => pf.run_with_slab(slab),
+        (None, None) => pf.run(),
+    };
     eprintln!(
         "mined {} patterns in {:.3}s (pool {}, {} iterations)",
         result.patterns.len(),
@@ -175,11 +222,95 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
                 result.stats.repair_iterations
             );
         }
+        let oo = &result.stats.oocore;
+        if oo.active() {
+            eprintln!(
+                "  oocore: {} pass(es) over {} spilled shard(s), {:.1} KiB spilled in \
+                 {:.3}s, {:.1} KiB loaded in {:.3}s, peak resident {:.1} KiB \
+                 (budget {}), bytes touched {:.2}x the in-memory slab",
+                oo.passes,
+                oo.shards_spilled,
+                oo.spill_bytes as f64 / 1024.0,
+                oo.spill_time.as_secs_f64(),
+                oo.load_bytes as f64 / 1024.0,
+                oo.load_time.as_secs_f64(),
+                oo.peak_resident_bytes as f64 / 1024.0,
+                if oo.budget_bytes == 0 {
+                    "unlimited".to_string()
+                } else {
+                    format!("{:.1} KiB", oo.budget_bytes as f64 / 1024.0)
+                },
+                oo.bytes_touched_ratio(),
+            );
+        }
     }
     for p in &result.patterns {
         let labels = db.item_map().externalize(p.items.items());
         let rendered: Vec<String> = labels.iter().map(u32::to_string).collect();
         println!("{}\t{}\t{}", p.len(), p.support(), rendered.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("dump: missing <file.dat>".into());
+    };
+    let out = parse_value::<String>(args, "--out")?.ok_or("dump: missing --out <pool.slab>")?;
+    let db = load(path)?;
+    if db.is_empty() {
+        return Err("dataset has no transactions".into());
+    }
+    let min_count = match parse_value::<usize>(args, "--mincount")? {
+        Some(c) => c,
+        None => {
+            let frac = parse_value::<f64>(args, "--minsup")?.unwrap_or(0.05);
+            db.min_support(frac).map_err(|e| e.to_string())?.count()
+        }
+    };
+    let pool_len = parse_value::<usize>(args, "--pool-len")?.unwrap_or(3);
+    let threads = match parse_value::<usize>(args, "--threads")? {
+        Some(t) => t.max(1),
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let t0 = std::time::Instant::now();
+    let (pool, stats) = colossal::miners::initial_pool_slab(&db, min_count, pool_len, threads);
+    let bytes = slab_io::dump_slab_path(&pool, &out).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "dumped {} pool patterns (size ≤ {pool_len}, min support {min_count}) to {out}: \
+         {:.1} KiB in {:.3}s ({} mine workers)",
+        pool.len(),
+        bytes as f64 / 1024.0,
+        t0.elapsed().as_secs_f64(),
+        stats.workers,
+    );
+    Ok(())
+}
+
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("load: missing <pool.slab>".into());
+    };
+    let pool = slab_io::load_slab_path(path).map_err(|e| format!("loading {path}: {e}"))?;
+    println!("pool rows:         {}", pool.len());
+    println!("universe (txns):   {}", pool.universe());
+    println!("resident bytes:    {}", pool.resident_bytes());
+    println!("tid bytes:         {}", pool.tid_bytes());
+    if !pool.is_empty() {
+        let supports: Vec<usize> = (0..pool.len() as u32).map(|r| pool.support(r)).collect();
+        let sizes: Vec<usize> = (0..pool.len() as u32)
+            .map(|r| pool.items(r).len())
+            .collect();
+        println!(
+            "support range:     {}..={}",
+            supports.iter().min().unwrap(),
+            supports.iter().max().unwrap()
+        );
+        println!(
+            "pattern sizes:     {}..={}",
+            sizes.iter().min().unwrap(),
+            sizes.iter().max().unwrap()
+        );
     }
     Ok(())
 }
