@@ -12,6 +12,7 @@
 //! | `BENCH_shard.json`    | `speedup_k4`          | ≥ 1.3×  |
 //! | `BENCH_pool.json`     | `mine_speedup`        | ≥ 2×    |
 //! | `BENCH_oocore.json`   | `overhead_vs_inmemory`| ≤ 2×    |
+//! | `BENCH_procshard.json`| `overhead_vs_inthread`| ≤ 2.5×  |
 //!
 //! A 10% measurement-noise allowance is applied (a ≥-gate trips below
 //! 0.9 × target, a ≤-gate above target / 0.9): these are *regression* gates
@@ -23,7 +24,9 @@
 //! "speedup" is the expected truth, not a regression; the pool gate
 //! (parallel mine at 4 threads) is likewise skipped when the box has fewer
 //! than 4 cores (`threads_available`), where the queue cannot scale by
-//! definition.
+//! definition; the procshard gate (4 worker processes) is skipped on
+//! single-core boxes, where process fan-out buys nothing to amortize its
+//! spawn + slab-interchange cost against.
 //!
 //! Every gate is evaluated every run — missing summary files are all
 //! reported together (with the `cargo bench` invocation that regenerates
@@ -58,7 +61,7 @@ struct Gate {
     bench: &'static str,
 }
 
-const GATES: [Gate; 6] = [
+const GATES: [Gate; 7] = [
     Gate {
         file: "BENCH_ball.json",
         field: "speedup",
@@ -106,6 +109,14 @@ const GATES: [Gate; 6] = [
         direction: Direction::AtMost,
         what: "out-of-core fusion at quarter budget vs in-memory sharded engine",
         bench: "cargo bench -p cfp-bench --bench oocore",
+    },
+    Gate {
+        file: "BENCH_procshard.json",
+        field: "overhead_vs_inthread",
+        target: 2.5,
+        direction: Direction::AtMost,
+        what: "subprocess shard executor (4 workers) vs in-thread sharded engine",
+        bench: "cargo bench -p cfp-bench --bench procshard",
     },
 ];
 
@@ -177,6 +188,15 @@ fn main() -> ExitCode {
         {
             println!(
                 "SKIP {:<22} fewer than 4 cores on this box (a 4-thread mine cannot scale here)",
+                gate.file
+            );
+            continue;
+        }
+        if gate.file == "BENCH_procshard.json"
+            && field_f64(&json, "threads_available").is_some_and(|t| t < 2.0)
+        {
+            println!(
+                "SKIP {:<22} single core on this box (process fan-out cannot amortize its spawn cost)",
                 gate.file
             );
             continue;

@@ -189,13 +189,16 @@ impl<'a> PatternFusion<'a> {
     }
 
     /// Shared tail of [`PatternFusion::run`] / [`PatternFusion::run_with_pool`]:
-    /// routes sharded vs plain, stamps pool statistics, materializes.
-    fn run_from_store(&self, mut store: PoolStore, mine: PoolMineStats) -> FusionResult {
+    /// routes sharded (through the in-thread executor backend,
+    /// [`crate::executor`]) vs plain, stamps pool statistics, materializes.
+    pub(crate) fn run_from_store(&self, mut store: PoolStore, mine: PoolMineStats) -> FusionResult {
         let rows: Vec<u32> = (0..store.base_len() as u32).collect();
-        let (final_rows, mut stats) = if self.config.sharding.shards > 1 {
-            self.run_sharded_rows(&mut store, rows)
+        let (store, final_rows, mut stats) = if self.config.sharding.shards > 1 {
+            self.run_partitioned(store, rows, &crate::executor::ExecutorKind::InThread)
+                .unwrap_or_else(|e| unreachable!("in-thread executor is infallible: {e}"))
         } else {
-            self.run_rows_with(&mut store, rows, &self.config)
+            let (final_rows, stats) = self.run_rows_with(&mut store, rows, &self.config);
+            (store, final_rows, stats)
         };
         stats.pool = PoolStats {
             rows: store.len_rows(),

@@ -1,0 +1,1341 @@
+//! The `ShardExecutor` seam: one driver owns partition → execute →
+//! deterministic merge; *where* the shards run is a pluggable backend.
+//!
+//! [`crate::shard`] proved the pool partitionable (balls are local, so a
+//! shard mines its slice independently) and [`crate::oocore`] proved the
+//! shard interchange serializable (a CFPSLAB file round-trips a sub-pool
+//! bit-exactly). This module is the layer both were converging on: the
+//! partition arithmetic (content-keyed assignment, proportional seed
+//! budgets, per-shard config derivation) and the deterministic merge +
+//! boundary repair run **once, here**, while the middle — "run these n
+//! shard configs over these n sub-pools and give me each archive with its
+//! counters" — is an [`ExecutorKind`]:
+//!
+//! * [`ExecutorKind::InThread`] — shards as tasks on the in-process
+//!   work-stealing pool, reading the shared frozen slab through forks
+//!   (zero copies; the historical `run_sharded_*` engine);
+//! * [`ExecutorKind::OutOfCore`] — shards as spilled slab files mined in
+//!   budgeted batches with the pool evicted (the historical
+//!   [`crate::oocore`] driver, now an executor instead of a parallel code
+//!   path);
+//! * [`ExecutorKind::Subprocess`] — shards as **OS processes**: each
+//!   sub-pool is spilled as a CFPSLAB file, a `cfp shard-worker` child is
+//!   spawned per shard, and the parent reads back an archive slab plus a
+//!   serialized stats record. Crash isolation per shard — a dead worker
+//!   surfaces as a typed [`ExecutorError::Worker`], never a hang or a
+//!   corrupt merge, with an opt-in in-process fallback
+//!   ([`SubprocessConfig::fallback_in_process`]).
+//!
+//! # Bit-identity across backends
+//!
+//! Every backend returns the same [`ShardRun`] data for the same config:
+//! shard assignment is a pure function of pool content, a spilled shard
+//! slab preserves the sub-pool's row order, each shard runs the identical
+//! per-shard config ([`shard_config`]) over identical content, and archives
+//! travel as owned patterns whose interning restores row identity in the
+//! merge store. `tests/oocore_equivalence.rs` proves it for the out-of-core
+//! backend and `tests/procshard.rs` (workspace root) for the subprocess
+//! backend: itemsets, support sets, AND per-shard counters are bit-equal to
+//! the in-thread engine for both partition strategies at any shard and
+//! thread count.
+//!
+//! # The worker protocol (version 1)
+//!
+//! The on-disk and on-pipe interchange between the parent and a
+//! `cfp shard-worker` child is specified next to the CFPSLAB format it
+//! rides on — see the *worker interchange protocol* section of
+//! [`cfp_itemset::store`]'s module docs. In short: request as argv
+//! ([`WorkerRequest`]), sub-pool in as a CFPSLAB file, archive out as a
+//! CFPSLAB file, counters out as a `cfp-shard-worker 1` handshake plus
+//! `key value` lines on stdout ([`WorkerStats`]), typed exit codes.
+
+use crate::algorithm::{threads_for, PatternFusion};
+use crate::ball::{BallQueryStats, MAX_PIVOTS};
+use crate::config::FusionConfig;
+use crate::oocore::{OocoreConfig, OocoreError};
+use crate::parallel::run_tasks;
+use crate::pattern::Pattern;
+use crate::pool::PoolStore;
+use crate::shard::{apportion_seeds, partition, shard_seed, MergePattern, Sharding};
+use crate::stats::{RunStats, ShardStats};
+use cfp_itemset::{slab_io, PatternPool, SlabIoError};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Distinguishes concurrently running subprocess executors' work
+/// directories within one parent process (the name also carries the pid).
+static WORK_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Which backend executes the shards of a partitioned run.
+#[derive(Debug, Clone)]
+pub enum ExecutorKind {
+    /// Shards as tasks on the in-process work-stealing pool over the
+    /// shared slab — the default engine.
+    InThread,
+    /// Shards as spilled slab files mined in memory-budgeted batches
+    /// (the [`crate::oocore`] driver).
+    OutOfCore(OocoreConfig),
+    /// Shards as `cfp shard-worker` OS processes exchanging CFPSLAB files.
+    Subprocess(SubprocessConfig),
+}
+
+impl ExecutorKind {
+    /// Stable lowercase name (used in the CLI and env parsing).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutorKind::InThread => "thread",
+            ExecutorKind::OutOfCore(_) => "oocore",
+            ExecutorKind::Subprocess(_) => "process",
+        }
+    }
+
+    /// Parses an executor name (`thread` / `oocore` / `process`, with a few
+    /// aliases; case-insensitive) into a default-configured kind. Unknown
+    /// names are `None` — callers surface a hard error, never a silent
+    /// default.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "thread" | "in-thread" | "inthread" | "threads" => Some(ExecutorKind::InThread),
+            "oocore" | "out-of-core" | "ooc" => Some(ExecutorKind::OutOfCore(OocoreConfig::new(0))),
+            "process" | "subprocess" | "proc" => {
+                Some(ExecutorKind::Subprocess(SubprocessConfig::default()))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of the subprocess executor.
+#[derive(Debug, Clone, Default)]
+pub struct SubprocessConfig {
+    /// The worker executable. `None` → the current executable
+    /// (`std::env::current_exe`), which is how the `cfp` binary re-invokes
+    /// itself as `cfp shard-worker`.
+    pub worker_cmd: Option<PathBuf>,
+    /// Where shard and archive slabs go; `None` → a unique directory under
+    /// the system temp dir, removed when the run finishes. A user-supplied
+    /// directory must be empty (same contract as
+    /// [`OocoreConfig::spill_dir`]).
+    pub work_dir: Option<PathBuf>,
+    /// Keep the work directory after the run (for inspection).
+    pub keep_work: bool,
+    /// Re-run a shard in-process (bit-identically, from its spilled slab)
+    /// when its worker dies, instead of failing the run.
+    pub fallback_in_process: bool,
+    /// Dataset path shipped to workers so they can rebuild the vertical
+    /// index. Required only when `closure_step` is on; the fusion loop
+    /// itself never consults the database.
+    pub db_path: Option<PathBuf>,
+}
+
+impl SubprocessConfig {
+    /// The default configuration: self-exec worker, temp work dir, no
+    /// fallback.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the worker executable.
+    pub fn with_worker_cmd(mut self, cmd: impl Into<PathBuf>) -> Self {
+        self.worker_cmd = Some(cmd.into());
+        self
+    }
+
+    /// Overrides the work directory (must be empty if it exists).
+    pub fn with_work_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.work_dir = Some(dir.into());
+        self
+    }
+
+    /// Keeps the work directory after the run.
+    pub fn with_keep_work(mut self, keep: bool) -> Self {
+        self.keep_work = keep;
+        self
+    }
+
+    /// Enables the in-process fallback for dead workers.
+    pub fn with_fallback_in_process(mut self, fallback: bool) -> Self {
+        self.fallback_in_process = fallback;
+        self
+    }
+
+    /// Ships a dataset path to workers (required for `closure_step`).
+    pub fn with_db_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.db_path = Some(path.into());
+        self
+    }
+}
+
+/// A shard worker that did not deliver: spawn failure, death (killed or
+/// non-zero exit), or a protocol violation (bad handshake, missing or
+/// invalid archive slab, stats record that does not parse).
+#[derive(Debug)]
+pub struct WorkerFailure {
+    /// Which shard's worker failed.
+    pub shard: usize,
+    /// The worker's exit code, when it ran and exited (killed workers and
+    /// spawn failures have none).
+    pub exit: Option<i32>,
+    /// Human-readable detail (spawn error, captured stderr, protocol
+    /// violation).
+    pub detail: String,
+}
+
+impl fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.exit {
+            Some(code) => write!(
+                f,
+                "shard {} worker failed (exit {code}): {}",
+                self.shard, self.detail
+            ),
+            None => write!(f, "shard {} worker failed: {}", self.shard, self.detail),
+        }
+    }
+}
+
+/// What went wrong driving a partitioned run through an executor.
+#[derive(Debug)]
+pub enum ExecutorError {
+    /// Disk-side failure: spill/work directory management or slab I/O
+    /// (shared with the out-of-core driver's error type).
+    Disk(OocoreError),
+    /// A shard worker process failed and the in-process fallback was off.
+    Worker(WorkerFailure),
+    /// The configuration cannot be shipped over the worker protocol (e.g.
+    /// `closure_step` without [`SubprocessConfig::db_path`]).
+    Unsupported(String),
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Disk(e) => write!(f, "shard executor: {e}"),
+            Self::Worker(w) => write!(f, "shard executor: {w}"),
+            Self::Unsupported(why) => write!(f, "shard executor: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Disk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OocoreError> for ExecutorError {
+    fn from(e: OocoreError) -> Self {
+        Self::Disk(e)
+    }
+}
+
+impl From<SlabIoError> for ExecutorError {
+    fn from(e: SlabIoError) -> Self {
+        Self::Disk(OocoreError::Slab(e))
+    }
+}
+
+/// The partition a driver hands its backend: shard member lists
+/// (positions into `rows`), the pool row-id list, and the per-shard seed
+/// budgets.
+pub(crate) struct ShardPlan<'a> {
+    /// Shard count (≥ 1).
+    pub n: usize,
+    /// Per-shard position lists into `rows` (from [`partition`]).
+    pub assignment: &'a [Vec<u32>],
+    /// The pool as row ids. Disk-backed executors additionally require
+    /// these to be **base-slab** rows (the entry points always pass the
+    /// identity list over the base).
+    pub rows: &'a [u32],
+    /// Per-shard seed budgets (from [`apportion_seeds`]).
+    pub seed_budget: &'a [usize],
+}
+
+impl ShardPlan<'_> {
+    /// Shard `s`'s sub-pool as base row ids, in pool order.
+    pub fn sub_rows(&self, s: usize) -> Vec<u32> {
+        self.assignment[s]
+            .iter()
+            .map(|&i| self.rows[i as usize])
+            .collect()
+    }
+}
+
+/// One shard's contribution back to the driver: its archive (as merge
+/// inputs, in the shard's output order) and its counters.
+pub(crate) struct ShardRun {
+    /// The shard's archived patterns, ready for the deterministic merge.
+    pub outputs: Vec<MergePattern>,
+    /// The shard's counters (the `shard` index and `elapsed` stamped by
+    /// the backend).
+    pub stats: ShardStats,
+}
+
+/// What a backend returns: the store the merge runs in, the pool rows
+/// valid in that store (for boundary repair's full-pool round; empty when
+/// the pool was evicted and stays evicted), and the per-shard runs in
+/// shard order.
+pub(crate) struct ShardExecution {
+    /// The merge store (the parent store for resident backends, a fresh
+    /// store for the out-of-core backend).
+    pub store: PoolStore,
+    /// Pool rows valid in `store` (see [`PatternFusion::merge_shard_outputs`]).
+    pub pool_rows: Vec<u32>,
+    /// Per-shard results, in shard order.
+    pub runs: Vec<ShardRun>,
+}
+
+/// The per-shard config derivation shared by every backend: single-shard
+/// sharding, this shard's seed budget as K, the `(master seed, shard)`
+/// derived RNG seed, and — for more than one shard — a widened archive cap
+/// (local top-K truncation must not drop a pattern the global re-rank
+/// would keep) and a single-threaded private loop (the coarse-grained
+/// split replaces the fine-grained one).
+pub(crate) fn shard_config(
+    cfg: &FusionConfig,
+    seed_budget: usize,
+    shard: usize,
+    shards: usize,
+) -> FusionConfig {
+    let mut scfg = cfg.clone();
+    scfg.sharding = Sharding::single();
+    scfg.k = seed_budget;
+    scfg.seed = shard_seed(cfg.seed, shard, shards);
+    if shards > 1 {
+        scfg.archive_cap = Some(cfg.archive_cap.unwrap_or(cfg.k).max(scfg.k));
+        scfg.threads = Some(1);
+    }
+    scfg
+}
+
+/// [`ShardStats`] from a shard's own [`RunStats`] — the rollup every
+/// backend stamps identically (the subprocess worker computes the same
+/// rollups on its side of the pipe).
+pub(crate) fn shard_stats_of(
+    shard: usize,
+    pool_size: usize,
+    patterns: usize,
+    run: &RunStats,
+    elapsed: std::time::Duration,
+) -> ShardStats {
+    ShardStats {
+        shard,
+        pool_size,
+        patterns,
+        iterations: run.iterations.len(),
+        converged: run.converged,
+        ball: run.ball(),
+        tombstoned: run.tombstoned(),
+        inserted: run.inserted(),
+        compactions: run.compactions(),
+        elapsed,
+    }
+}
+
+/// The empty shard's run: trivially converged on an empty archive, all
+/// counters zero — every backend synthesizes exactly this (the subprocess
+/// executor never spawns a worker for an empty shard).
+fn empty_shard_run(shard: usize, elapsed: std::time::Duration) -> ShardRun {
+    let empty = RunStats {
+        converged: true,
+        ..Default::default()
+    };
+    ShardRun {
+        outputs: Vec::new(),
+        stats: shard_stats_of(shard, 0, 0, &empty, elapsed),
+    }
+}
+
+/// Creates `dir` if needed and — for a **user-supplied** directory —
+/// refuses one that already contains files: the run's cleanup guard
+/// deletes the directory afterwards (unless `keep`), and silently reusing
+/// then deleting a caller's populated directory destroys their data.
+/// Auto-generated temp directories are unique per process and sequence
+/// number and skip the check.
+pub(crate) fn prepare_spill_dir(dir: &Path, user_supplied: bool) -> Result<(), OocoreError> {
+    std::fs::create_dir_all(dir)?;
+    if user_supplied && std::fs::read_dir(dir)?.next().is_some() {
+        return Err(OocoreError::SpillDirNotEmpty(dir.to_path_buf()));
+    }
+    Ok(())
+}
+
+/// Removes the spill/work directory when dropped (best-effort), unless
+/// asked to keep it — covers both the success path and every early `?`
+/// return. Shared by the out-of-core and subprocess executors.
+pub(crate) struct SpillDirGuard {
+    /// The directory to remove.
+    pub dir: PathBuf,
+    /// Leave the directory behind.
+    pub keep: bool,
+}
+
+impl Drop for SpillDirGuard {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+impl PatternFusion<'_> {
+    /// Runs the full algorithm (mine + fuse) through the given executor.
+    /// With [`ExecutorKind::InThread`] this is exactly [`PatternFusion::run`];
+    /// the other backends are bit-identical to it at the same config (see
+    /// the module docs).
+    pub fn run_with_executor(
+        &self,
+        executor: &ExecutorKind,
+    ) -> Result<crate::algorithm::FusionResult, ExecutorError> {
+        match executor {
+            ExecutorKind::OutOfCore(oo) => self.run_out_of_core(oo).map_err(ExecutorError::Disk),
+            _ => {
+                let (store, mine) = self.mine_store();
+                self.run_executor_store(store, mine, executor)
+            }
+        }
+    }
+
+    /// [`PatternFusion::run_with_executor`] from a caller-supplied slab
+    /// (phase 2 only) — the executor-parameterized counterpart of
+    /// [`PatternFusion::run_with_slab`].
+    pub fn run_with_slab_executor(
+        &self,
+        slab: PatternPool,
+        executor: &ExecutorKind,
+    ) -> Result<crate::algorithm::FusionResult, ExecutorError> {
+        match executor {
+            ExecutorKind::OutOfCore(oo) => self
+                .run_out_of_core_with_slab(slab, oo)
+                .map_err(ExecutorError::Disk),
+            _ => self.run_executor_store(
+                PoolStore::new(slab),
+                cfp_miners::PoolMineStats::default(),
+                executor,
+            ),
+        }
+    }
+
+    /// Shared tail of the executor entries for the pool-resident backends:
+    /// route through the partitioned driver, stamp pool statistics from
+    /// the live store (the same stamping as `run_from_store`), materialize.
+    fn run_executor_store(
+        &self,
+        store: PoolStore,
+        mine: cfp_miners::PoolMineStats,
+        executor: &ExecutorKind,
+    ) -> Result<crate::algorithm::FusionResult, ExecutorError> {
+        if matches!(executor, ExecutorKind::InThread) {
+            // The in-thread executor at any shard count is the historical
+            // engine; `run_from_store` also routes the unsharded config to
+            // the plain loop.
+            return Ok(self.run_from_store(store, mine));
+        }
+        let rows: Vec<u32> = (0..store.base_len() as u32).collect();
+        let (store, merged, mut stats) = self.run_partitioned(store, rows, executor)?;
+        stats.pool = crate::stats::PoolStats {
+            rows: store.len_rows(),
+            initial_rows: store.base_len(),
+            tid_bytes: store.tid_bytes(),
+            peak_bytes: store.resident_bytes(),
+            mine_workers: mine.workers,
+            mine_time: mine.mine_time,
+            splice_time: mine.splice_time,
+        };
+        Ok(crate::algorithm::FusionResult {
+            patterns: crate::pool::materialize(&store, &merged),
+            stats,
+        })
+    }
+
+    /// The unified partitioned driver: partition the pool, derive per-shard
+    /// seed budgets, hand the plan to the backend, then run the shared
+    /// deterministic merge + boundary repair over whatever store the
+    /// backend returned. Every sharded entry point
+    /// (`run_sharded_*`, `run_out_of_core*`, the executor entries) funnels
+    /// through here.
+    pub(crate) fn run_partitioned(
+        &self,
+        store: PoolStore,
+        rows: Vec<u32>,
+        executor: &ExecutorKind,
+    ) -> Result<(PoolStore, Vec<u32>, RunStats), ExecutorError> {
+        let cfg = self.config();
+        let n = cfg.sharding.shards.max(1);
+        let mut stats = RunStats {
+            initial_pool_size: rows.len(),
+            kernel_backend: cfp_itemset::kernels::Backend::active(),
+            ..Default::default()
+        };
+        if rows.is_empty() {
+            return Ok((store, rows, stats));
+        }
+        let assignment = partition(&store, &rows, n, cfg.sharding.strategy);
+        let sizes: Vec<usize> = assignment.iter().map(Vec::len).collect();
+        let seed_budget = apportion_seeds(cfg.k, &sizes);
+        let plan = ShardPlan {
+            n,
+            assignment: &assignment,
+            rows: &rows,
+            seed_budget: &seed_budget,
+        };
+        let execution = match executor {
+            ExecutorKind::InThread => self.execute_in_thread(store, &plan),
+            ExecutorKind::OutOfCore(oo) => {
+                self.execute_out_of_core(store, &plan, oo, &mut stats)?
+            }
+            ExecutorKind::Subprocess(sp) => self.execute_subprocess(store, &plan, sp)?,
+        };
+        let ShardExecution {
+            mut store,
+            pool_rows,
+            runs,
+        } = execution;
+        // Shard results merge in shard order (not completion order).
+        let mut per_shard: Vec<Vec<MergePattern>> = Vec::with_capacity(runs.len());
+        for run in runs {
+            stats.shards.push(run.stats);
+            per_shard.push(run.outputs);
+        }
+        let merged = self.merge_shard_outputs(&mut store, &pool_rows, per_shard, &mut stats);
+        stats.converged = stats.shards.iter().all(|s| s.converged) && merged.len() <= cfg.k.max(1);
+        Ok((store, merged, stats))
+    }
+
+    /// The in-thread backend: shards as tasks on the work-stealing pool,
+    /// each forking the shared store (shared frozen base, private overlay)
+    /// and running the plain loop under its derived config. Base-slab rows
+    /// carry over as merge rows; overlay rows — the only patterns that
+    /// exist nowhere else — travel as owned patterns to intern.
+    fn execute_in_thread(&self, store: PoolStore, plan: &ShardPlan) -> ShardExecution {
+        let cfg = self.config();
+        let threads = threads_for(cfg);
+        let shard_runs = {
+            let parent: &PoolStore = &store;
+            run_tasks(plan.n, threads, |s| {
+                let t0 = Instant::now();
+                let sub_rows = plan.sub_rows(s);
+                let pool_size = sub_rows.len();
+                let mut shard_store = parent.fork();
+                if sub_rows.is_empty() {
+                    let empty = RunStats {
+                        converged: true,
+                        ..Default::default()
+                    };
+                    return (shard_store, Vec::new(), empty, t0.elapsed(), pool_size);
+                }
+                let scfg = shard_config(cfg, plan.seed_budget[s], s, plan.n);
+                let (out_rows, rstats) = self.run_rows_with(&mut shard_store, sub_rows, &scfg);
+                (shard_store, out_rows, rstats, t0.elapsed(), pool_size)
+            })
+        };
+        let base_len = store.base_len() as u32;
+        let runs = shard_runs
+            .into_iter()
+            .enumerate()
+            .map(
+                |(s, (shard_store, out_rows, rstats, elapsed, pool_size))| ShardRun {
+                    stats: shard_stats_of(s, pool_size, out_rows.len(), &rstats, elapsed),
+                    outputs: out_rows
+                        .into_iter()
+                        .map(|r| {
+                            if r < base_len {
+                                MergePattern::Row(r)
+                            } else {
+                                MergePattern::Owned(shard_store.pattern(r))
+                            }
+                        })
+                        .collect(),
+                },
+            )
+            .collect();
+        ShardExecution {
+            pool_rows: plan.rows.to_vec(),
+            store,
+            runs,
+        }
+    }
+
+    /// The subprocess backend: spill each shard sub-pool as a CFPSLAB file
+    /// (streamed from the base slab's borrows — nothing is materialized to
+    /// send), spawn one `cfp shard-worker` per non-empty shard, then
+    /// collect archives and stats records in shard order. The parent store
+    /// stays resident, so the merge interns worker archives straight into
+    /// it — identical row identity to the in-thread engine.
+    fn execute_subprocess(
+        &self,
+        store: PoolStore,
+        plan: &ShardPlan,
+        sp: &SubprocessConfig,
+    ) -> Result<ShardExecution, ExecutorError> {
+        let cfg = self.config();
+        if cfg.closure_step && sp.db_path.is_none() {
+            return Err(ExecutorError::Unsupported(
+                "closure_step needs SubprocessConfig::db_path: workers rebuild the vertical \
+                 index from the dataset file"
+                    .into(),
+            ));
+        }
+        let dir = match &sp.work_dir {
+            Some(d) => d.clone(),
+            None => std::env::temp_dir().join(format!(
+                "cfp-procshard-{}-{}",
+                std::process::id(),
+                WORK_SEQ.fetch_add(1, Ordering::Relaxed)
+            )),
+        };
+        prepare_spill_dir(&dir, sp.work_dir.is_some())?;
+        let _cleanup = SpillDirGuard {
+            dir: dir.clone(),
+            keep: sp.keep_work,
+        };
+        let worker = match &sp.worker_cmd {
+            Some(cmd) => cmd.clone(),
+            None => std::env::current_exe().map_err(|e| ExecutorError::Disk(e.into()))?,
+        };
+
+        // Ship: spill every non-empty shard's sub-pool, row-streamed from
+        // the shared base slab, then launch its worker.
+        let base = store.base_pool();
+        let mut launches: Vec<Launch> = Vec::with_capacity(plan.n);
+        for s in 0..plan.n {
+            let sub_rows = plan.sub_rows(s);
+            if sub_rows.is_empty() {
+                launches.push(Launch::Empty);
+                continue;
+            }
+            let input = shard_slab_path(&dir, s);
+            if let Err(e) = slab_io::dump_slab_rows_path(base, &sub_rows, &input) {
+                abort_workers(&mut launches);
+                return Err(e.into());
+            }
+            let req = WorkerRequest {
+                shard: s,
+                shards: plan.n,
+                input,
+                output: archive_slab_path(&dir, s),
+                config: shard_config(cfg, plan.seed_budget[s], s, plan.n),
+                db: sp.db_path.clone(),
+            };
+            let spawned = Command::new(&worker)
+                .arg("shard-worker")
+                .args(req.to_args())
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn();
+            launches.push(match spawned {
+                Ok(child) => Launch::Running(child, sub_rows.len(), Instant::now()),
+                Err(e) => Launch::Failed(WorkerFailure {
+                    shard: s,
+                    exit: None,
+                    detail: format!("failed to spawn {}: {e}", worker.display()),
+                }),
+            });
+        }
+
+        // Collect in shard order. On the first failure without fallback,
+        // kill the remaining workers before surfacing the typed error —
+        // a dead worker must never leave the parent waiting or merging
+        // partial state.
+        let mut runs: Vec<ShardRun> = Vec::with_capacity(plan.n);
+        let mut fatal: Option<WorkerFailure> = None;
+        for (s, launch) in launches.into_iter().enumerate() {
+            if fatal.is_some() {
+                if let Launch::Running(mut child, _, _) = launch {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                continue;
+            }
+            let outcome = match launch {
+                Launch::Empty => Ok(empty_shard_run(s, std::time::Duration::default())),
+                Launch::Failed(wf) => Err(wf),
+                Launch::Running(child, pool_size, t0) => {
+                    collect_worker(s, child, pool_size, &dir, t0)
+                }
+            };
+            match outcome {
+                Ok(run) => runs.push(run),
+                Err(_) if sp.fallback_in_process => {
+                    // Bit-identical recovery: the shard's slab is still on
+                    // disk; mine it here under the same derived config.
+                    runs.push(self.fallback_shard(s, plan, &dir)?);
+                }
+                Err(wf) => fatal = Some(wf),
+            }
+        }
+        if let Some(wf) = fatal {
+            return Err(ExecutorError::Worker(wf));
+        }
+        Ok(ShardExecution {
+            pool_rows: plan.rows.to_vec(),
+            store,
+            runs,
+        })
+    }
+
+    /// In-process recovery for one dead worker: reload the shard slab it
+    /// was given and run the identical per-shard loop here. Same sub-pool
+    /// content and order, same derived config — bit-identical output.
+    fn fallback_shard(
+        &self,
+        s: usize,
+        plan: &ShardPlan,
+        dir: &Path,
+    ) -> Result<ShardRun, ExecutorError> {
+        let t0 = Instant::now();
+        let slab = slab_io::load_slab_path(shard_slab_path(dir, s))?;
+        let pool_size = slab.len();
+        let mut shard_store = PoolStore::new(slab);
+        let scfg = shard_config(self.config(), plan.seed_budget[s], s, plan.n);
+        let sub_rows: Vec<u32> = (0..pool_size as u32).collect();
+        let (out_rows, run) = self.run_rows_with(&mut shard_store, sub_rows, &scfg);
+        Ok(ShardRun {
+            stats: shard_stats_of(s, pool_size, out_rows.len(), &run, t0.elapsed()),
+            outputs: out_rows
+                .iter()
+                .map(|&r| MergePattern::Owned(shard_store.pattern(r)))
+                .collect(),
+        })
+    }
+}
+
+/// A launched (or not) shard worker, collected in shard order.
+enum Launch {
+    /// Empty shard: no worker, synthesized empty run.
+    Empty,
+    /// A live child with its sub-pool size and spawn time.
+    Running(Child, usize, Instant),
+    /// Spawn already failed; surfaced at collection time so earlier
+    /// shards still collect (or fall back) first.
+    Failed(WorkerFailure),
+}
+
+/// Kills and reaps every still-running worker (spawn-phase bailout).
+fn abort_workers(launches: &mut [Launch]) {
+    for l in launches.iter_mut() {
+        if let Launch::Running(child, _, _) = l {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// The shard sub-pool slab the parent ships to worker `s`.
+fn shard_slab_path(dir: &Path, s: usize) -> PathBuf {
+    dir.join(format!("shard-{s}.slab"))
+}
+
+/// The archive slab worker `s` writes back.
+fn archive_slab_path(dir: &Path, s: usize) -> PathBuf {
+    dir.join(format!("archive-{s}.slab"))
+}
+
+/// Waits for worker `s`, validates the handshake + stats record on its
+/// stdout, and loads its archive slab as owned merge patterns. Any
+/// deviation — death, non-zero exit, unparsable record, missing or
+/// inconsistent archive — is a [`WorkerFailure`].
+fn collect_worker(
+    s: usize,
+    child: Child,
+    pool_size: usize,
+    dir: &Path,
+    t0: Instant,
+) -> Result<ShardRun, WorkerFailure> {
+    let fail = |exit: Option<i32>, detail: String| WorkerFailure {
+        shard: s,
+        exit,
+        detail,
+    };
+    let out = child
+        .wait_with_output()
+        .map_err(|e| fail(None, format!("wait failed: {e}")))?;
+    if !out.status.success() {
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let detail = match stderr.trim() {
+            "" => format!("worker died ({})", out.status),
+            msg => format!("worker died ({}): {msg}", out.status),
+        };
+        return Err(fail(out.status.code(), detail));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let wstats = WorkerStats::parse_record(&stdout, s)
+        .map_err(|why| fail(out.status.code(), format!("stats record: {why}")))?;
+    if wstats.pool_size != pool_size {
+        return Err(fail(
+            out.status.code(),
+            format!(
+                "worker mined {} pool rows, parent shipped {pool_size}",
+                wstats.pool_size
+            ),
+        ));
+    }
+    let slab = slab_io::load_slab_path(archive_slab_path(dir, s))
+        .map_err(|e| fail(out.status.code(), format!("archive slab: {e}")))?;
+    if slab.len() != wstats.patterns {
+        return Err(fail(
+            out.status.code(),
+            format!(
+                "archive slab holds {} patterns, stats record says {}",
+                slab.len(),
+                wstats.patterns
+            ),
+        ));
+    }
+    let outputs = (0..slab.len() as u32)
+        .map(|r| MergePattern::Owned(Pattern::new(slab.itemset(r), slab.tidset(r))))
+        .collect();
+    Ok(ShardRun {
+        outputs,
+        stats: wstats.into_shard_stats(s, t0.elapsed()),
+    })
+}
+
+/// The argv side of the worker protocol: everything a `cfp shard-worker`
+/// child needs to reproduce one shard's fusion loop bit-exactly — the
+/// derived per-shard [`FusionConfig`], the input sub-pool slab, the output
+/// archive slab, and (only when `closure_step` is on) the dataset path.
+/// [`WorkerRequest::to_args`] and [`WorkerRequest::parse`] are exact
+/// inverses; both ends live here so the field list has one home.
+#[derive(Debug, Clone)]
+pub struct WorkerRequest {
+    /// This worker's shard index (echoed in the handshake).
+    pub shard: usize,
+    /// Total shard count of the parent run (diagnostics only).
+    pub shards: usize,
+    /// The sub-pool CFPSLAB file to mine.
+    pub input: PathBuf,
+    /// Where to write the archive CFPSLAB file.
+    pub output: PathBuf,
+    /// The fully derived per-shard config (single-shard sharding; see
+    /// [`shard_config`]).
+    pub config: FusionConfig,
+    /// Dataset path for the closure step's vertical index, if any.
+    pub db: Option<PathBuf>,
+}
+
+/// Worker protocol version spoken by this build (argv `--protocol` and the
+/// stdout handshake line).
+pub const WORKER_PROTOCOL_VERSION: u32 = 1;
+
+impl WorkerRequest {
+    /// Serializes the request as `cfp shard-worker` argv (without the
+    /// subcommand itself).
+    pub fn to_args(&self) -> Vec<String> {
+        let c = &self.config;
+        let mut args = vec![
+            "--protocol".into(),
+            WORKER_PROTOCOL_VERSION.to_string(),
+            "--shard".into(),
+            self.shard.to_string(),
+            "--shards".into(),
+            self.shards.to_string(),
+            "--input".into(),
+            self.input.display().to_string(),
+            "--output".into(),
+            self.output.display().to_string(),
+            "--k".into(),
+            c.k.to_string(),
+            "--mincount".into(),
+            c.min_count.to_string(),
+            "--tau".into(),
+            c.tau.to_string(),
+            "--pool-len".into(),
+            c.pool_max_len.to_string(),
+            "--attempts".into(),
+            c.attempts_per_seed.to_string(),
+            "--max-results".into(),
+            c.max_results_per_seed.to_string(),
+            "--max-iterations".into(),
+            c.max_iterations.to_string(),
+            "--max-ball-size".into(),
+            c.max_ball_size.to_string(),
+            "--ball-pivots".into(),
+            c.ball_pivots.to_string(),
+            "--seed".into(),
+            c.seed.to_string(),
+        ];
+        if let Some(cap) = c.archive_cap {
+            args.push("--archive-cap".into());
+            args.push(cap.to_string());
+        }
+        if !c.archive {
+            args.push("--no-archive".into());
+        }
+        if !c.parallel {
+            args.push("--no-parallel".into());
+        }
+        if let Some(t) = c.threads {
+            args.push("--threads".into());
+            args.push(t.to_string());
+        }
+        if c.closure_step {
+            args.push("--closure".into());
+        }
+        if let Some(db) = &self.db {
+            args.push("--db".into());
+            args.push(db.display().to_string());
+        }
+        args
+    }
+
+    /// Parses worker argv back into a request. Strict: unknown flags,
+    /// missing required flags, and protocol version mismatches are hard
+    /// errors (exit code 3 in the worker).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut shard: Option<usize> = None;
+        let mut shards: Option<usize> = None;
+        let mut input: Option<PathBuf> = None;
+        let mut output: Option<PathBuf> = None;
+        let mut db: Option<PathBuf> = None;
+        let mut protocol: Option<u32> = None;
+        // Start from defaults with the env-independent single-shard
+        // sharding: the parent ships every field explicitly.
+        let mut cfg = FusionConfig::new(1, 1).with_shards(1);
+        let mut i = 0usize;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |name: &str| -> Result<&String, String> {
+                args.get(i + 1)
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag {
+                "--no-archive" => {
+                    cfg.archive = false;
+                    i += 1;
+                    continue;
+                }
+                "--no-parallel" => {
+                    cfg.parallel = false;
+                    i += 1;
+                    continue;
+                }
+                "--closure" => {
+                    cfg.closure_step = true;
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            let v = value(flag)?.clone();
+            let bad = |what: &str| format!("invalid {flag} value '{v}' ({what})");
+            match flag {
+                "--protocol" => protocol = Some(v.parse().map_err(|_| bad("u32"))?),
+                "--shard" => shard = Some(v.parse().map_err(|_| bad("usize"))?),
+                "--shards" => shards = Some(v.parse().map_err(|_| bad("usize"))?),
+                "--input" => input = Some(PathBuf::from(v)),
+                "--output" => output = Some(PathBuf::from(v)),
+                "--db" => db = Some(PathBuf::from(v)),
+                "--k" => cfg.k = v.parse().map_err(|_| bad("usize"))?,
+                "--mincount" => cfg.min_count = v.parse().map_err(|_| bad("usize"))?,
+                "--tau" => cfg.tau = v.parse().map_err(|_| bad("f64"))?,
+                "--pool-len" => cfg.pool_max_len = v.parse().map_err(|_| bad("usize"))?,
+                "--attempts" => cfg.attempts_per_seed = v.parse().map_err(|_| bad("usize"))?,
+                "--max-results" => {
+                    cfg.max_results_per_seed = v.parse().map_err(|_| bad("usize"))?
+                }
+                "--max-iterations" => cfg.max_iterations = v.parse().map_err(|_| bad("usize"))?,
+                "--max-ball-size" => cfg.max_ball_size = v.parse().map_err(|_| bad("usize"))?,
+                "--ball-pivots" => cfg.ball_pivots = v.parse().map_err(|_| bad("usize"))?,
+                "--seed" => cfg.seed = v.parse().map_err(|_| bad("u64"))?,
+                "--archive-cap" => cfg.archive_cap = Some(v.parse().map_err(|_| bad("usize"))?),
+                "--threads" => cfg.threads = Some(v.parse().map_err(|_| bad("usize"))?),
+                other => return Err(format!("unknown shard-worker flag '{other}'")),
+            }
+            i += 2;
+        }
+        match protocol {
+            Some(WORKER_PROTOCOL_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "protocol version {v} not supported (worker speaks {WORKER_PROTOCOL_VERSION})"
+                ))
+            }
+            None => return Err("missing --protocol".into()),
+        }
+        Ok(WorkerRequest {
+            shard: shard.ok_or("missing --shard")?,
+            shards: shards.ok_or("missing --shards")?,
+            input: input.ok_or("missing --input")?,
+            output: output.ok_or("missing --output")?,
+            config: cfg,
+            db,
+        })
+    }
+}
+
+/// The stats record a worker prints on stdout: the per-shard counters the
+/// parent stamps into [`ShardStats`], already rolled up on the worker side
+/// (so the record is a fixed, versioned set of scalars, not a dump of
+/// internal iteration records).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Sub-pool rows the worker mined.
+    pub pool_size: usize,
+    /// Archived patterns written to the output slab.
+    pub patterns: usize,
+    /// Fusion iterations run.
+    pub iterations: usize,
+    /// Whether the shard's loop converged.
+    pub converged: bool,
+    /// Ball-query pruning counters, rolled up over the shard's run.
+    pub ball: BallQueryStats,
+    /// Index tombstones over the shard's run.
+    pub tombstoned: u64,
+    /// Index side-buffer insertions over the shard's run.
+    pub inserted: u64,
+    /// Index compaction rebuilds over the shard's run.
+    pub compactions: usize,
+}
+
+impl WorkerStats {
+    /// Rolls up a shard run's [`RunStats`] into the wire record.
+    pub fn from_run(pool_size: usize, patterns: usize, run: &RunStats) -> Self {
+        Self {
+            pool_size,
+            patterns,
+            iterations: run.iterations.len(),
+            converged: run.converged,
+            ball: run.ball(),
+            tombstoned: run.tombstoned(),
+            inserted: run.inserted(),
+            compactions: run.compactions(),
+        }
+    }
+
+    /// The parent-side conversion into the driver's per-shard counters.
+    pub(crate) fn into_shard_stats(self, shard: usize, elapsed: std::time::Duration) -> ShardStats {
+        ShardStats {
+            shard,
+            pool_size: self.pool_size,
+            patterns: self.patterns,
+            iterations: self.iterations,
+            converged: self.converged,
+            ball: self.ball,
+            tombstoned: self.tombstoned,
+            inserted: self.inserted,
+            compactions: self.compactions,
+            elapsed,
+        }
+    }
+
+    /// Serializes the record: the `cfp-shard-worker <version> shard=<s>`
+    /// handshake line, one `key value` line per counter (ball pivot-prune
+    /// counts as a space-separated row), and a terminating `end`.
+    pub fn to_record(&self, shard: usize) -> String {
+        let b = &self.ball;
+        let pivots: Vec<String> = b.pivot_prune_counts.iter().map(u64::to_string).collect();
+        format!(
+            "cfp-shard-worker {WORKER_PROTOCOL_VERSION} shard={shard}\n\
+             pool_size {}\npatterns {}\niterations {}\nconverged {}\n\
+             tombstoned {}\ninserted {}\ncompactions {}\n\
+             ball.pairs_total {}\nball.cardinality_pruned {}\nball.pivot_pruned {}\n\
+             ball.exact_checked {}\nball.ball_members {}\nball.side_hits {}\n\
+             ball.tombstone_skips {}\nball.pivot_prune_counts {}\nend\n",
+            self.pool_size,
+            self.patterns,
+            self.iterations,
+            self.converged as u8,
+            self.tombstoned,
+            self.inserted,
+            self.compactions,
+            b.pairs_total,
+            b.cardinality_pruned,
+            b.pivot_pruned,
+            b.exact_checked,
+            b.ball_members,
+            b.side_hits,
+            b.tombstone_skips,
+            pivots.join(" "),
+        )
+    }
+
+    /// Parses a stats record, validating the handshake (version AND shard
+    /// index) and the terminator. Strict on every field: a truncated or
+    /// reordered record from a half-dead worker must fail typed, not load
+    /// zeros into the merge.
+    pub fn parse_record(text: &str, shard: usize) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let head = lines.next().ok_or("empty stats record")?;
+        let want = format!("cfp-shard-worker {WORKER_PROTOCOL_VERSION} shard={shard}");
+        if head != want {
+            return Err(format!("bad handshake '{head}' (expected '{want}')"));
+        }
+        let mut out = WorkerStats::default();
+        let mut ended = false;
+        for line in lines {
+            if line == "end" {
+                ended = true;
+                break;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed line '{line}'"))?;
+            let num = |v: &str| -> Result<u64, String> {
+                v.parse::<u64>()
+                    .map_err(|_| format!("non-numeric value '{v}' for {key}"))
+            };
+            match key {
+                "pool_size" => out.pool_size = num(value)? as usize,
+                "patterns" => out.patterns = num(value)? as usize,
+                "iterations" => out.iterations = num(value)? as usize,
+                "converged" => out.converged = num(value)? != 0,
+                "tombstoned" => out.tombstoned = num(value)?,
+                "inserted" => out.inserted = num(value)?,
+                "compactions" => out.compactions = num(value)? as usize,
+                "ball.pairs_total" => out.ball.pairs_total = num(value)?,
+                "ball.cardinality_pruned" => out.ball.cardinality_pruned = num(value)?,
+                "ball.pivot_pruned" => out.ball.pivot_pruned = num(value)?,
+                "ball.exact_checked" => out.ball.exact_checked = num(value)?,
+                "ball.ball_members" => out.ball.ball_members = num(value)?,
+                "ball.side_hits" => out.ball.side_hits = num(value)?,
+                "ball.tombstone_skips" => out.ball.tombstone_skips = num(value)?,
+                "ball.pivot_prune_counts" => {
+                    let counts: Vec<u64> = value
+                        .split(' ')
+                        .map(num)
+                        .collect::<Result<Vec<u64>, String>>()?;
+                    if counts.len() != MAX_PIVOTS {
+                        return Err(format!(
+                            "pivot_prune_counts has {} entries, expected {MAX_PIVOTS}",
+                            counts.len()
+                        ));
+                    }
+                    out.ball.pivot_prune_counts.copy_from_slice(&counts);
+                }
+                other => return Err(format!("unknown stats key '{other}'")),
+            }
+        }
+        if !ended {
+            return Err("stats record not terminated by 'end' (worker died mid-write?)".into());
+        }
+        Ok(out)
+    }
+}
+
+/// What went wrong inside a `cfp shard-worker` child. The CLI maps the
+/// variants to the protocol's typed exit codes: slab I/O → 2, request /
+/// dataset problems → 3.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Input or output slab failed to read, write, or validate.
+    Slab(SlabIoError),
+    /// The dataset shipped for the closure step failed to load.
+    Db(String),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Slab(e) => write!(f, "slab: {e}"),
+            Self::Db(e) => write!(f, "dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<SlabIoError> for WorkerError {
+    fn from(e: SlabIoError) -> Self {
+        Self::Slab(e)
+    }
+}
+
+/// The worker side of the subprocess protocol: load the shard slab, run
+/// the per-shard fusion loop under the shipped config, write the archive
+/// slab in output order, and return the stats record to print on stdout.
+/// The database is rebuilt from [`WorkerRequest::db`] only when the
+/// closure step needs it; otherwise the fusion loop never consults it and
+/// an empty database stands in.
+pub fn run_shard_worker(req: &WorkerRequest) -> Result<WorkerStats, WorkerError> {
+    let db = match &req.db {
+        Some(path) => cfp_itemset::read_fimi(path)
+            .map_err(|e| WorkerError::Db(format!("{}: {e}", path.display())))?,
+        None => cfp_itemset::DbBuilder::new().build(),
+    };
+    let pf = PatternFusion::new(&db, req.config.clone());
+    let slab = slab_io::load_slab_path(&req.input)?;
+    let universe = slab.universe();
+    let pool_size = slab.len();
+    let mut store = PoolStore::new(slab);
+    let (out_rows, run) = if pool_size == 0 {
+        // Mirror the in-thread engine's empty-shard synthesis (the parent
+        // skips spawning for empty shards, but a hand-driven worker must
+        // agree).
+        (
+            Vec::new(),
+            RunStats {
+                converged: true,
+                ..Default::default()
+            },
+        )
+    } else {
+        let rows: Vec<u32> = (0..pool_size as u32).collect();
+        pf.run_rows_with(&mut store, rows, pf.config())
+    };
+    // The archive slab, in output order — the one materialization on the
+    // worker side (≤ archive-cap patterns), mirroring the out-of-core
+    // driver's owned-archive hand-off.
+    let mut archive = PatternPool::new(universe);
+    for &r in &out_rows {
+        let p = store.pattern(r);
+        archive.push_tidset(p.items.items(), &p.tids);
+    }
+    slab_io::dump_slab_path(&archive, &req.output)?;
+    Ok(WorkerStats::from_run(pool_size, out_rows.len(), &run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_names_parse_case_insensitively() {
+        assert!(matches!(
+            ExecutorKind::parse("thread"),
+            Some(ExecutorKind::InThread)
+        ));
+        assert!(matches!(
+            ExecutorKind::parse(" OOCORE "),
+            Some(ExecutorKind::OutOfCore(_))
+        ));
+        assert!(matches!(
+            ExecutorKind::parse("Process"),
+            Some(ExecutorKind::Subprocess(_))
+        ));
+        assert!(matches!(
+            ExecutorKind::parse("subprocess"),
+            Some(ExecutorKind::Subprocess(_))
+        ));
+        assert!(ExecutorKind::parse("gpu").is_none());
+        assert!(ExecutorKind::parse("").is_none());
+    }
+
+    #[test]
+    fn worker_request_round_trips_through_argv() {
+        let mut cfg = FusionConfig::new(7, 3)
+            .with_shards(1)
+            .with_tau(0.625)
+            .with_seed(0xDEAD_BEEF)
+            .with_max_ball_size(48)
+            .with_threads(1)
+            .with_archive_cap(21);
+        cfg.max_iterations = 9;
+        cfg.attempts_per_seed = 4;
+        cfg.closure_step = true;
+        let req = WorkerRequest {
+            shard: 2,
+            shards: 4,
+            input: PathBuf::from("/tmp/in.slab"),
+            output: PathBuf::from("/tmp/out.slab"),
+            config: cfg.clone(),
+            db: Some(PathBuf::from("/tmp/data.dat")),
+        };
+        let parsed = WorkerRequest::parse(&req.to_args()).expect("round trip");
+        assert_eq!(parsed.shard, 2);
+        assert_eq!(parsed.shards, 4);
+        assert_eq!(parsed.input, req.input);
+        assert_eq!(parsed.output, req.output);
+        assert_eq!(parsed.db, req.db);
+        let (a, b) = (&parsed.config, &cfg);
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.min_count, b.min_count);
+        assert_eq!(a.tau, b.tau);
+        assert_eq!(a.pool_max_len, b.pool_max_len);
+        assert_eq!(a.attempts_per_seed, b.attempts_per_seed);
+        assert_eq!(a.max_results_per_seed, b.max_results_per_seed);
+        assert_eq!(a.max_iterations, b.max_iterations);
+        assert_eq!(a.max_ball_size, b.max_ball_size);
+        assert_eq!(a.ball_pivots, b.ball_pivots);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.archive, b.archive);
+        assert_eq!(a.archive_cap, b.archive_cap);
+        assert_eq!(a.parallel, b.parallel);
+        assert_eq!(a.threads, b.threads);
+        assert_eq!(a.closure_step, b.closure_step);
+        assert_eq!(a.sharding.shards, 1);
+    }
+
+    #[test]
+    fn worker_request_rejects_malformed_argv() {
+        let strs = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(WorkerRequest::parse(&strs(&["--shard"])).is_err());
+        assert!(WorkerRequest::parse(&strs(&["--bogus", "1"])).is_err());
+        // Missing --protocol, and an unsupported version.
+        assert!(WorkerRequest::parse(&[]).is_err());
+        let mut args = strs(&["--protocol", "99"]);
+        assert!(WorkerRequest::parse(&args)
+            .unwrap_err()
+            .contains("protocol"));
+        args = strs(&["--protocol", "1", "--shard", "0", "--shards", "2"]);
+        assert!(WorkerRequest::parse(&args).unwrap_err().contains("input"));
+    }
+
+    #[test]
+    fn worker_stats_record_round_trips() {
+        let mut stats = WorkerStats {
+            pool_size: 12,
+            patterns: 3,
+            iterations: 5,
+            converged: true,
+            tombstoned: 77,
+            inserted: 9,
+            compactions: 1,
+            ..Default::default()
+        };
+        stats.ball.pairs_total = 1_000_000;
+        stats.ball.pivot_pruned = 123_456;
+        stats.ball.pivot_prune_counts[0] = 100_000;
+        stats.ball.pivot_prune_counts[3] = 23_456;
+        let record = stats.to_record(2);
+        assert!(record.starts_with("cfp-shard-worker 1 shard=2\n"));
+        assert!(record.ends_with("end\n"));
+        let parsed = WorkerStats::parse_record(&record, 2).expect("round trip");
+        assert_eq!(parsed, stats);
+    }
+
+    #[test]
+    fn worker_stats_record_rejects_corruption() {
+        let record = WorkerStats::default().to_record(0);
+        // Wrong shard in the handshake.
+        assert!(WorkerStats::parse_record(&record, 1).is_err());
+        // Truncated (no `end`): a worker that died mid-write.
+        let cut = record.trim_end_matches("end\n");
+        assert!(WorkerStats::parse_record(cut, 0)
+            .unwrap_err()
+            .contains("end"));
+        // Garbage value.
+        let bad = record.replace("pool_size 0", "pool_size zero");
+        assert!(WorkerStats::parse_record(&bad, 0).is_err());
+        // Unknown key.
+        let unk = record.replace("pool_size", "pool_sizes");
+        assert!(WorkerStats::parse_record(&unk, 0).is_err());
+    }
+
+    #[test]
+    fn spill_dir_guard_and_preparation() {
+        let base = std::env::temp_dir().join(format!("cfp-executor-test-{}", std::process::id()));
+        let fresh = base.join("fresh");
+        // Fresh (even pre-created empty) user dirs pass.
+        prepare_spill_dir(&fresh, true).expect("fresh dir");
+        prepare_spill_dir(&fresh, true).expect("existing empty dir");
+        // Non-empty user dirs are refused with the typed error...
+        std::fs::write(fresh.join("precious.txt"), b"do not delete").unwrap();
+        match prepare_spill_dir(&fresh, true) {
+            Err(OocoreError::SpillDirNotEmpty(d)) => assert_eq!(d, fresh),
+            other => panic!("expected SpillDirNotEmpty, got {other:?}"),
+        }
+        // ...and the caller's file survives the refusal.
+        assert!(fresh.join("precious.txt").is_file());
+        // Auto-generated dirs skip the emptiness check.
+        prepare_spill_dir(&fresh, false).expect("auto dir reuse");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -94,6 +94,7 @@ pub mod ball;
 pub mod complementary;
 pub mod core_pattern;
 pub mod distance;
+pub mod executor;
 pub mod fusion;
 pub mod oocore;
 pub mod pattern;
@@ -121,9 +122,13 @@ pub use complementary::{count_complementary_sets, find_complementary_set, is_com
 pub use config::FusionConfig;
 pub use core_pattern::{core_patterns_of, is_core_pattern, is_core_pattern_of};
 pub use distance::{ball_radius, pattern_distance};
+pub use executor::{
+    ExecutorError, ExecutorKind, SubprocessConfig, WorkerError, WorkerFailure, WorkerRequest,
+    WorkerStats,
+};
 pub use oocore::{OocoreConfig, OocoreError};
 pub use pattern::Pattern;
 pub use pool::PoolStore;
 pub use robustness::robustness;
-pub use shard::{ShardStrategy, Sharding};
+pub use shard::{ShardEnvError, ShardStrategy, Sharding};
 pub use stats::{IndexMaintenance, IterationStats, OocoreStats, PoolStats, RunStats, ShardStats};

@@ -61,13 +61,15 @@
 //! not in memory).
 
 use crate::algorithm::{threads_for, FusionResult, PatternFusion};
+use crate::executor::{
+    prepare_spill_dir, shard_stats_of, ExecutorError, ExecutorKind, ShardExecution, ShardPlan,
+    ShardRun, SpillDirGuard,
+};
 use crate::parallel::run_tasks;
 use crate::pattern::Pattern;
 use crate::pool::{materialize, PoolStore};
-use crate::shard::{
-    apportion_seeds, partition, shard_seed, MergePattern, Sharding, FULL_REPAIR_POOL_LIMIT,
-};
-use crate::stats::{OocoreStats, PoolStats, RunStats, ShardStats};
+use crate::shard::{MergePattern, FULL_REPAIR_POOL_LIMIT};
+use crate::stats::{OocoreStats, PoolStats, RunStats};
 use cfp_itemset::{slab_io, PatternPool, SlabIoError};
 use cfp_miners::PoolMineStats;
 use std::fmt;
@@ -154,6 +156,11 @@ pub enum OocoreError {
     Slab(SlabIoError),
     /// Spill-directory management failed.
     Io(std::io::Error),
+    /// A user-supplied spill/work directory already contains files. The
+    /// run's cleanup guard would delete the directory afterwards (unless
+    /// `keep_spill` is set), so a populated directory is refused up front
+    /// rather than silently reused and destroyed.
+    SpillDirNotEmpty(PathBuf),
 }
 
 impl fmt::Display for OocoreError {
@@ -161,6 +168,13 @@ impl fmt::Display for OocoreError {
         match self {
             Self::Slab(e) => write!(f, "out-of-core spill slab: {e}"),
             Self::Io(e) => write!(f, "out-of-core spill dir: {e}"),
+            Self::SpillDirNotEmpty(dir) => write!(
+                f,
+                "spill dir {} is not empty: refusing to reuse (and later delete) \
+                 an existing directory's contents — point --spill-dir at an empty \
+                 or new directory",
+                dir.display()
+            ),
         }
     }
 }
@@ -170,6 +184,7 @@ impl std::error::Error for OocoreError {
         match self {
             Self::Slab(e) => Some(e),
             Self::Io(e) => Some(e),
+            Self::SpillDirNotEmpty(_) => None,
         }
     }
 }
@@ -235,25 +250,21 @@ impl PatternFusion<'_> {
     ) -> Result<FusionResult, OocoreError> {
         let cfg = self.config();
         let n = cfg.sharding.shards.max(1);
-        let threads = threads_for(cfg);
         let pool_len = store.base_len();
-        let universe = store.universe();
         let base_tid_bytes = store.tid_bytes();
-        let base_resident = store.resident_bytes() as u64;
-
-        let mut stats = RunStats {
-            initial_pool_size: pool_len,
-            kernel_backend: cfp_itemset::kernels::Backend::active(),
-            ..Default::default()
-        };
-        let mut oostats = OocoreStats {
-            budget_bytes: oo.mem_budget,
-            in_memory_resident_bytes: base_resident,
-            ..Default::default()
-        };
+        let base_resident = store.resident_bytes();
 
         if pool_len == 0 {
-            stats.oocore = oostats;
+            let mut stats = RunStats {
+                initial_pool_size: 0,
+                kernel_backend: cfp_itemset::kernels::Backend::active(),
+                ..Default::default()
+            };
+            stats.oocore = OocoreStats {
+                budget_bytes: oo.mem_budget,
+                in_memory_resident_bytes: base_resident as u64,
+                ..Default::default()
+            };
             stats.pool = PoolStats {
                 mine_workers: mine.workers,
                 mine_time: mine.mine_time,
@@ -266,16 +277,68 @@ impl PatternFusion<'_> {
             });
         }
 
-        // Partition positions over the base slab (rows are the identity
-        // list, so positions are base row ids).
+        // The identity row list over the base slab: the shape the spill
+        // path requires (it streams shard sub-pools straight from base
+        // rows).
         let rows: Vec<u32> = (0..pool_len as u32).collect();
-        let assignment = partition(&store, &rows, n, cfg.sharding.strategy);
-        let sizes: Vec<usize> = assignment.iter().map(Vec::len).collect();
-        let seed_budget = apportion_seeds(cfg.k, &sizes);
+        let (merge_store, merged, mut stats) = self
+            .run_partitioned(store, rows, &ExecutorKind::OutOfCore(oo.clone()))
+            .map_err(|e| match e {
+                ExecutorError::Disk(d) => d,
+                other => OocoreError::Io(std::io::Error::other(other.to_string())),
+            })?;
+
+        // Rows the backend re-interned into its fresh merge store before
+        // the shard archives (the boundary-repair pool reload, when it
+        // happened).
+        let pool_reinterned = if n > 1 && pool_len <= FULL_REPAIR_POOL_LIMIT {
+            pool_len
+        } else {
+            0
+        };
+        stats.pool = PoolStats {
+            // Distinct rows across the run: the (evicted) initial pool plus
+            // the merge store's overlay beyond any pool re-interns.
+            rows: pool_len + merge_store.len_rows().saturating_sub(pool_reinterned),
+            initial_rows: pool_len,
+            tid_bytes: base_tid_bytes,
+            peak_bytes: base_resident,
+            mine_workers: mine.workers,
+            mine_time: mine.mine_time,
+            splice_time: mine.splice_time,
+        };
+        Ok(FusionResult {
+            patterns: materialize(&merge_store, &merged),
+            stats,
+        })
+    }
+
+    /// The out-of-core executor backend (see [`crate::executor`]): spill
+    /// every shard sub-pool (plus the pool slab itself when boundary
+    /// repair's full-pool round will need it back), **evict the resident
+    /// store**, mine the shards in budget-bounded batches, and hand back
+    /// owned archives with a fresh merge store holding the re-interned
+    /// pool. Stamps [`RunStats::oocore`] — the only backend with disk
+    /// traffic to account for on both sides of the mine.
+    pub(crate) fn execute_out_of_core(
+        &self,
+        store: PoolStore,
+        plan: &ShardPlan<'_>,
+        oo: &OocoreConfig,
+        stats: &mut RunStats,
+    ) -> Result<ShardExecution, ExecutorError> {
+        let cfg = self.config();
+        let n = plan.n;
+        let threads = threads_for(cfg);
+        let universe = store.universe();
+        let mut oostats = OocoreStats {
+            budget_bytes: oo.mem_budget,
+            in_memory_resident_bytes: store.resident_bytes() as u64,
+            ..Default::default()
+        };
 
         // Spill: one slab file per shard, streamed row-by-row from the base
-        // slab's borrows; plus the pool slab itself when boundary repair's
-        // full-pool round will need it back.
+        // slab's borrows.
         let dir = match &oo.spill_dir {
             Some(d) => d.clone(),
             None => std::env::temp_dir().join(format!(
@@ -284,8 +347,8 @@ impl PatternFusion<'_> {
                 SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
             )),
         };
-        std::fs::create_dir_all(&dir)?;
-        let cleanup = SpillDirGuard {
+        prepare_spill_dir(&dir, oo.spill_dir.is_some())?;
+        let _cleanup = SpillDirGuard {
             dir: dir.clone(),
             keep: oo.keep_spill,
         };
@@ -295,18 +358,21 @@ impl PatternFusion<'_> {
         let mut shard_file_bytes = Vec::with_capacity(n);
         let mut shard_resident = Vec::with_capacity(n);
         let t_spill = Instant::now();
-        for (s, positions) in assignment.iter().enumerate() {
+        for s in 0..n {
+            let sub_rows = plan.sub_rows(s);
             let path = dir.join(format!("shard-{s}.slab"));
-            let bytes = slab_io::dump_slab_rows_path(base, positions, &path)?;
-            shard_resident.push(rows_resident_bytes(base, positions));
+            let bytes =
+                slab_io::dump_slab_rows_path(base, &sub_rows, &path).map_err(OocoreError::from)?;
+            shard_resident.push(rows_resident_bytes(base, &sub_rows));
             shard_file_bytes.push(bytes);
             shard_paths.push(path);
         }
-        let reload_pool = n > 1 && pool_len <= FULL_REPAIR_POOL_LIMIT;
+        let reload_pool = n > 1 && plan.rows.len() <= FULL_REPAIR_POOL_LIMIT;
         let pool_path = dir.join("pool.slab");
         let mut pool_file_bytes = 0u64;
         if reload_pool {
-            pool_file_bytes = slab_io::dump_slab_path(base, &pool_path)?;
+            pool_file_bytes = slab_io::dump_slab_rows_path(base, plan.rows, &pool_path)
+                .map_err(OocoreError::from)?;
         }
         oostats.spill_time = t_spill.elapsed();
         oostats.spill_bytes = shard_file_bytes.iter().sum::<u64>() + pool_file_bytes;
@@ -339,7 +405,6 @@ impl PatternFusion<'_> {
             let results = {
                 let shard_paths = &shard_paths;
                 let shard_file_bytes = &shard_file_bytes;
-                let seed_budget = &seed_budget;
                 run_tasks(
                     batch.len(),
                     threads,
@@ -366,16 +431,10 @@ impl PatternFusion<'_> {
                             });
                         }
                         let sub_rows: Vec<u32> = (0..pool_size as u32).collect();
-                        // Exactly the in-memory engine's per-shard config
-                        // derivation (`run_sharded_rows`).
-                        let mut scfg = cfg.clone();
-                        scfg.sharding = Sharding::single();
-                        scfg.k = seed_budget[s];
-                        scfg.seed = shard_seed(cfg.seed, s, n);
-                        if n > 1 {
-                            scfg.archive_cap = Some(cfg.archive_cap.unwrap_or(cfg.k).max(scfg.k));
-                            scfg.threads = Some(1);
-                        }
+                        // Exactly the shared per-shard config derivation —
+                        // the spilled slab preserved sub-pool order, so the
+                        // loop sees the in-thread engine's exact input.
+                        let scfg = crate::executor::shard_config(cfg, plan.seed_budget[s], s, n);
                         let (out_rows, run) = self.run_rows_with(&mut shard_store, sub_rows, &scfg);
                         let patterns = materialize(&shard_store, &out_rows);
                         Ok(ShardOutcome {
@@ -390,7 +449,7 @@ impl PatternFusion<'_> {
                 )
             };
             for r in results {
-                outcomes.push(r?);
+                outcomes.push(r.map_err(OocoreError::from)?);
             }
         }
 
@@ -402,7 +461,7 @@ impl PatternFusion<'_> {
         let mut pool_rows: Vec<u32> = Vec::new();
         if reload_pool {
             let t0 = Instant::now();
-            let pool_slab = slab_io::load_slab_path(&pool_path)?;
+            let pool_slab = slab_io::load_slab_path(&pool_path).map_err(OocoreError::from)?;
             oostats.load_time += t0.elapsed();
             oostats.load_bytes += pool_file_bytes;
             for r in 0..pool_slab.len() as u32 {
@@ -410,68 +469,39 @@ impl PatternFusion<'_> {
                 pool_rows.push(merge_store.intern(&p));
             }
         }
-        let mut per_shard: Vec<Vec<MergePattern>> = Vec::with_capacity(n);
-        for (s, outcome) in outcomes.into_iter().enumerate() {
-            stats.shards.push(ShardStats {
-                shard: s,
-                pool_size: outcome.pool_size,
-                patterns: outcome.patterns.len(),
-                iterations: outcome.run.iterations.len(),
-                converged: outcome.run.converged,
-                ball: outcome.run.ball(),
-                tombstoned: outcome.run.tombstoned(),
-                inserted: outcome.run.inserted(),
-                compactions: outcome.run.compactions(),
-                elapsed: outcome.elapsed,
-            });
-            oostats.load_bytes += outcome.load_bytes;
-            oostats.load_time += outcome.load_time;
-            per_shard.push(
-                outcome
-                    .patterns
-                    .into_iter()
-                    .map(MergePattern::Owned)
-                    .collect(),
-            );
-        }
-        let merged = self.merge_shard_outputs(&mut merge_store, &pool_rows, per_shard, &mut stats);
-        stats.converged = stats.shards.iter().all(|s| s.converged) && merged.len() <= cfg.k.max(1);
+        let runs = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(s, outcome)| {
+                oostats.load_bytes += outcome.load_bytes;
+                oostats.load_time += outcome.load_time;
+                ShardRun {
+                    stats: shard_stats_of(
+                        s,
+                        outcome.pool_size,
+                        outcome.patterns.len(),
+                        &outcome.run,
+                        outcome.elapsed,
+                    ),
+                    outputs: outcome
+                        .patterns
+                        .into_iter()
+                        .map(MergePattern::Owned)
+                        .collect(),
+                }
+            })
+            .collect();
 
         // `peak_resident_bytes` reports the fusion-pass peak — the quantity
         // the budget bounds. The merge phase's own residency (archives +
         // the optional pool reload, bounded by FULL_REPAIR_POOL_LIMIT) is
         // outside the budget by design; see the module docs.
-        stats.pool = PoolStats {
-            // Distinct rows across the run: the (evicted) initial pool plus
-            // the merge store's overlay beyond any pool re-interns.
-            rows: pool_len + merge_store.len_rows().saturating_sub(pool_rows.len()),
-            initial_rows: pool_len,
-            tid_bytes: base_tid_bytes,
-            peak_bytes: base_resident as usize,
-            mine_workers: mine.workers,
-            mine_time: mine.mine_time,
-            splice_time: mine.splice_time,
-        };
         stats.oocore = oostats;
-
-        let patterns = materialize(&merge_store, &merged);
-        drop(cleanup);
-        Ok(FusionResult { patterns, stats })
-    }
-}
-
-/// Removes the spill directory when dropped (best-effort), unless asked to
-/// keep it — covers both the success path and every early `?` return.
-struct SpillDirGuard {
-    dir: PathBuf,
-    keep: bool,
-}
-
-impl Drop for SpillDirGuard {
-    fn drop(&mut self) {
-        if !self.keep {
-            let _ = std::fs::remove_dir_all(&self.dir);
-        }
+        Ok(ShardExecution {
+            store: merge_store,
+            pool_rows,
+            runs,
+        })
     }
 }
 

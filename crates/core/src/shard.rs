@@ -5,12 +5,14 @@
 //! the pool naturally partitionable: a shard that holds all core patterns of
 //! a colossal pattern can assemble it without ever seeing the other shards
 //! (Theorem 2 puts those core patterns inside one ball, and balls are local).
-//! This module is the first architectural seam toward multi-process /
-//! multi-node deployment: each shard runs the existing persistent-
-//! [`crate::ball::BallIndex`] fusion loop over its private sub-pool, shards
-//! are scheduled on the work-stealing pool in [`crate::parallel`], and the
-//! per-shard archives are merged through a deterministic dedup / re-rank
-//! pass followed by a cross-shard **boundary repair** step.
+//! This module owns the partition arithmetic and the deterministic merge:
+//! each shard runs the existing persistent-[`crate::ball::BallIndex`]
+//! fusion loop over its private sub-pool, and the per-shard archives are
+//! merged through a deterministic dedup / re-rank pass followed by a
+//! cross-shard **boundary repair** step. *Where* the shards execute —
+//! in-thread on the work-stealing pool, out-of-core in budgeted passes, or
+//! in `cfp shard-worker` OS processes — is the [`crate::executor`] seam's
+//! business; every backend funnels back through the merge here.
 //!
 //! # Zero-copy sub-pools
 //!
@@ -45,8 +47,8 @@
 //! across shards (always possible under `SupportStratum`, with probability
 //! `1 − J` per pattern pair under `MinhashBucket`), a **boundary-repair**
 //! pass then re-balls the merged survivors and fuses, retaining the archive
-//! between delta-seeded rounds until fixpoint (see
-//! [`PatternFusion::run_sharded_rows`]'s repair notes), so partial
+//! between delta-seeded rounds until fixpoint (see the repair notes on
+//! `boundary_repair_rows`), so partial
 //! assemblies from different shards fuse into their common core descendant
 //! — and the resulting subsumed fragments are pruned — before the final
 //! re-rank.
@@ -66,11 +68,10 @@
 use crate::algorithm::{splitmix64, threads_for, FusionResult, PatternFusion};
 use crate::parallel::run_tasks;
 use crate::pool::{materialize, rank_rows, PoolStore};
-use crate::stats::{RunStats, ShardStats};
+use crate::stats::RunStats;
 use cfp_itemset::store::sorted_subset;
 use rand::SeedableRng;
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// How the initial pool is partitioned across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,23 +135,81 @@ impl Sharding {
     }
 
     /// Reads the process-wide default from the environment: `CFP_SHARDS`
-    /// (shard count; absent, empty, unparsable, or 0 → 1) and
-    /// `CFP_SHARD_STRATEGY` (`stratum` / `minhash`; default `stratum`).
-    /// This is how CI's determinism matrix runs the whole test suite
-    /// through the sharded engine without touching any call site.
+    /// (shard count ≥ 1; absent or empty → 1) and `CFP_SHARD_STRATEGY`
+    /// (`stratum` / `minhash`, case-insensitive; absent or empty →
+    /// `stratum`). This is how CI's determinism matrix runs the whole test
+    /// suite through the sharded engine without touching any call site.
+    ///
+    /// A **set but malformed** value is a hard [`ShardEnvError`] — never a
+    /// silent fallback to the default: `CFP_SHARDS=fuor` quietly running
+    /// unsharded would invalidate exactly the determinism sweep the knob
+    /// exists for.
+    pub fn try_from_env() -> Result<Self, ShardEnvError> {
+        let mut out = Self::default();
+        if let Some(v) = env_set("CFP_SHARDS") {
+            out.shards = parse_shard_count(&v).ok_or(ShardEnvError {
+                var: "CFP_SHARDS",
+                value: v,
+                expected: "a shard count of at least 1",
+            })?;
+        }
+        if let Some(v) = env_set("CFP_SHARD_STRATEGY") {
+            out.strategy = ShardStrategy::parse(&v).ok_or(ShardEnvError {
+                var: "CFP_SHARD_STRATEGY",
+                value: v,
+                expected: "'stratum' or 'minhash'",
+            })?;
+        }
+        Ok(out)
+    }
+
+    /// [`Sharding::try_from_env`] for infallible call sites
+    /// ([`crate::FusionConfig::new`]); panics with the typed error's
+    /// message on a malformed value. The `cfp` CLI validates the
+    /// environment up front and reports the error cleanly instead.
     pub fn from_env() -> Self {
-        let shards = std::env::var("CFP_SHARDS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1);
-        let strategy = std::env::var("CFP_SHARD_STRATEGY")
-            .ok()
-            .and_then(|v| ShardStrategy::parse(&v))
-            .unwrap_or_default();
-        Self { shards, strategy }
+        match Self::try_from_env() {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
+
+/// An environment variable that is set, non-empty after trimming, and
+/// readable — the only state that can carry a malformed value.
+fn env_set(var: &str) -> Option<String> {
+    std::env::var(var).ok().filter(|v| !v.trim().is_empty())
+}
+
+/// Parses a shard count: trimmed decimal, at least 1. `None` means the
+/// value is malformed (callers decide whether that is a hard error).
+pub fn parse_shard_count(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// A malformed sharding environment variable (see
+/// [`Sharding::try_from_env`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEnvError {
+    /// Which variable was malformed.
+    pub var: &'static str,
+    /// The rejected value, verbatim.
+    pub value: String,
+    /// What would have parsed.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for ShardEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {}='{}': expected {} (unset or empty means the default)",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ShardEnvError {}
 
 /// Splits the paper's K seed budget across shards **proportionally to
 /// shard size** (largest-remainder apportionment, ties to the lower shard
@@ -304,9 +363,11 @@ impl PatternFusion<'_> {
         self.run_sharded_with_slab_store(PoolStore::new(slab))
     }
 
-    fn run_sharded_with_slab_store(&self, mut store: PoolStore) -> FusionResult {
+    fn run_sharded_with_slab_store(&self, store: PoolStore) -> FusionResult {
         let rows: Vec<u32> = (0..store.base_len() as u32).collect();
-        let (final_rows, mut stats) = self.run_sharded_rows(&mut store, rows);
+        let (store, final_rows, mut stats) = self
+            .run_partitioned(store, rows, &crate::executor::ExecutorKind::InThread)
+            .unwrap_or_else(|e| unreachable!("in-thread executor is infallible: {e}"));
         // Pool supplied pre-mined: no mine evidence, but the slab footprint
         // is real — stamp it like `run_from_store` does.
         stats.pool = crate::stats::PoolStats {
@@ -320,112 +381,6 @@ impl PatternFusion<'_> {
             patterns: materialize(&store, &final_rows),
             stats,
         }
-    }
-
-    /// The sharded fusion loop over row-id pools: partition positions, fork
-    /// the store per shard (shared base slab, private overlays), run the
-    /// plain loop per shard on the work-stealing pool, then merge + repair
-    /// in the parent store.
-    pub(crate) fn run_sharded_rows(
-        &self,
-        store: &mut PoolStore,
-        rows: Vec<u32>,
-    ) -> (Vec<u32>, RunStats) {
-        let cfg = self.config();
-        let n = cfg.sharding.shards.max(1);
-        let threads = threads_for(cfg);
-        let mut stats = RunStats {
-            initial_pool_size: rows.len(),
-            kernel_backend: cfp_itemset::kernels::Backend::active(),
-            ..Default::default()
-        };
-        if rows.is_empty() {
-            return (rows, stats);
-        }
-
-        let assignment = partition(store, &rows, n, cfg.sharding.strategy);
-        let sizes: Vec<usize> = assignment.iter().map(Vec::len).collect();
-        let seed_budget = apportion_seeds(cfg.k, &sizes);
-        // Shards on the work-stealing pool; each shard's private fusion loop
-        // runs single-threaded when there is more than one shard (the
-        // coarse-grained split replaces the fine-grained one), and with the
-        // caller's full thread budget when there is only one. Every worker
-        // reads the shared base slab through its fork; sub-pools are
-        // position lists, not clones.
-        let shard_runs = {
-            let parent: &PoolStore = store;
-            let assignment_ref = &assignment;
-            let rows_ref = &rows;
-            let seed_budget_ref = &seed_budget;
-            run_tasks(n, threads, |s| {
-                let t0 = Instant::now();
-                let positions = &assignment_ref[s];
-                let sub_rows: Vec<u32> = positions.iter().map(|&i| rows_ref[i as usize]).collect();
-                let pool_size = sub_rows.len();
-                let mut shard_store = parent.fork();
-                if sub_rows.is_empty() {
-                    // An empty shard trivially converged on an empty archive.
-                    let empty = RunStats {
-                        converged: true,
-                        ..Default::default()
-                    };
-                    return (shard_store, Vec::new(), empty, t0.elapsed(), pool_size);
-                }
-                let mut scfg = cfg.clone();
-                scfg.sharding = Sharding::single();
-                scfg.k = seed_budget_ref[s];
-                scfg.seed = shard_seed(cfg.seed, s, n);
-                if n > 1 {
-                    // The per-shard K is this shard's share of the global seed
-                    // budget; the archive keeps the full K so local top-K
-                    // truncation cannot drop a smaller colossal pattern that
-                    // the global re-rank would have kept.
-                    scfg.archive_cap = Some(cfg.archive_cap.unwrap_or(cfg.k).max(scfg.k));
-                    scfg.threads = Some(1);
-                }
-                let (out_rows, rstats) = self.run_rows_with(&mut shard_store, sub_rows, &scfg);
-                (shard_store, out_rows, rstats, t0.elapsed(), pool_size)
-            })
-        };
-
-        // Shard results concatenate in shard order (not completion order).
-        // Base-slab rows carry over as-is; each shard's overlay rows — the
-        // only patterns that exist nowhere else — are handed to the shared
-        // merge as owned patterns to intern.
-        let base_len = store.base_len() as u32;
-        let mut per_shard: Vec<Vec<MergePattern>> = Vec::with_capacity(n);
-        for (s, (shard_store, out_rows, rstats, elapsed, pool_size)) in
-            shard_runs.into_iter().enumerate()
-        {
-            stats.shards.push(ShardStats {
-                shard: s,
-                pool_size,
-                patterns: out_rows.len(),
-                iterations: rstats.iterations.len(),
-                converged: rstats.converged,
-                ball: rstats.ball(),
-                tombstoned: rstats.tombstoned(),
-                inserted: rstats.inserted(),
-                compactions: rstats.compactions(),
-                elapsed,
-            });
-            per_shard.push(
-                out_rows
-                    .into_iter()
-                    .map(|r| {
-                        if r < base_len {
-                            MergePattern::Row(r)
-                        } else {
-                            MergePattern::Owned(shard_store.pattern(r))
-                        }
-                    })
-                    .collect(),
-            );
-        }
-        let merged = self.merge_shard_outputs(store, &rows, per_shard, &mut stats);
-
-        stats.converged = stats.shards.iter().all(|s| s.converged) && merged.len() <= cfg.k.max(1);
-        (merged, stats)
     }
 
     /// The deterministic merge tail shared by the in-memory sharded engine
@@ -652,8 +607,8 @@ impl PatternFusion<'_> {
 /// that fixpoint detection almost always cuts short.
 const REPAIR_MAX_ROUNDS: usize = 8;
 
-/// Pool-size bound for the full-pool round of boundary repair (see
-/// [`PatternFusion::run_sharded_rows`]'s repair notes): below it, one
+/// Pool-size bound for the full-pool round of boundary repair (see the
+/// repair notes on `boundary_repair_rows`): below it, one
 /// extra bounded re-ball pass over the original pool is cheap insurance
 /// against shard-split balls; above it, that pass would cost as much as an
 /// unsharded iteration and the proportional per-shard seed budgets already
@@ -861,10 +816,47 @@ mod tests {
     }
 
     #[test]
+    fn strategy_parsing_is_case_insensitive() {
+        for (name, want) in [
+            ("STRATUM", ShardStrategy::SupportStratum),
+            ("Support-Stratum", ShardStrategy::SupportStratum),
+            (" MinHash ", ShardStrategy::MinhashBucket),
+            ("Locality", ShardStrategy::MinhashBucket),
+            ("MINHASH-BUCKET", ShardStrategy::MinhashBucket),
+        ] {
+            assert_eq!(ShardStrategy::parse(name), Some(want), "{name}");
+        }
+    }
+
+    #[test]
     fn sharding_env_parsing_defaults() {
         // Can't mutate the process env safely in a parallel test binary;
         // exercise the parse path and the default.
         assert_eq!(Sharding::single().shards, 1);
         assert_eq!(Sharding::default().strategy, ShardStrategy::SupportStratum);
+    }
+
+    #[test]
+    fn shard_count_parsing_is_strict() {
+        assert_eq!(parse_shard_count("1"), Some(1));
+        assert_eq!(parse_shard_count(" 8 "), Some(8));
+        // Malformed values are rejected, not defaulted — the env reader
+        // turns these into a hard `ShardEnvError`.
+        for bad in ["0", "-2", "fuor", "4x", "1.5", ""] {
+            assert_eq!(parse_shard_count(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn shard_env_error_names_the_variable_and_value() {
+        let e = ShardEnvError {
+            var: "CFP_SHARDS",
+            value: "fuor".into(),
+            expected: "a shard count of at least 1",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("CFP_SHARDS"), "{msg}");
+        assert!(msg.contains("fuor"), "{msg}");
+        assert!(msg.contains("unset or empty"), "{msg}");
     }
 }

@@ -210,6 +210,46 @@ fn spill_directory_lifecycle() {
 }
 
 #[test]
+fn non_empty_spill_dir_is_refused_and_left_untouched() {
+    let db = cfp_datagen::diag_plus(12, 6, 9);
+    let cfg = FusionConfig::new(8, 6).with_seed(7).with_shards(2);
+    let pf = PatternFusion::new(&db, cfg);
+
+    let dir = std::env::temp_dir().join(format!("cfp-oocore-nonempty-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("user-data.txt"), b"not ours to delete").unwrap();
+
+    // The spill dir will be deleted wholesale after the run (unless
+    // keep_spill is set), so reusing a directory that already has contents
+    // must be a typed refusal — even with keep_spill on, spilling into it
+    // would mix our slabs with the caller's files.
+    for oo in [
+        OocoreConfig::new(0).with_spill_dir(&dir),
+        OocoreConfig::new(0)
+            .with_spill_dir(&dir)
+            .with_keep_spill(true),
+    ] {
+        match pf.run_out_of_core(&oo) {
+            Err(cfp_core::OocoreError::SpillDirNotEmpty(d)) => assert_eq!(d, dir),
+            other => panic!("expected SpillDirNotEmpty, got {other:?}"),
+        }
+    }
+    // The refusal left the caller's file alone and spilled nothing.
+    assert!(dir.join("user-data.txt").is_file());
+    assert!(!dir.join("shard-0.slab").exists());
+
+    // An empty pre-existing directory is fine — emptiness, not prior
+    // existence, is the criterion.
+    let empty = std::env::temp_dir().join(format!("cfp-oocore-empty-{}", std::process::id()));
+    std::fs::create_dir_all(&empty).unwrap();
+    pf.run_out_of_core(&OocoreConfig::new(0).with_spill_dir(&empty))
+        .expect("empty pre-existing spill dir must be accepted");
+    assert!(!empty.exists(), "run should clean up as usual");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn budget_env_knob_parses() {
     // `from_env` reads the live environment; exercise only the pure parser
     // here to stay hermetic under parallel test execution.

@@ -60,6 +60,50 @@
 //! bit-flips, and mismatched section tables each surface as a typed
 //! [`crate::slab_io::SlabIoError`], never a panic.
 //!
+//! # Worker interchange protocol (version 1)
+//!
+//! CFPSLAB doubles as the interchange format of the subprocess shard
+//! executor (`cfp_core::executor`): the parent ships each shard to a
+//! `cfp shard-worker` child as a slab file and reads the shard's archive
+//! back as another. The protocol is deliberately file-plus-argv — no
+//! streaming over pipes — so a worker's inputs are inspectable and
+//! replayable after a failure.
+//!
+//! **Request** (argv): the parent spawns `<worker> shard-worker
+//! --protocol 1 --shard S --shards N --input IN.slab --output OUT.slab`
+//! followed by the full fusion configuration (`--k`, `--mincount`,
+//! `--tau`, `--pool-len`, `--attempts`, `--max-results`,
+//! `--max-iterations`, `--max-ball-size`, `--ball-pivots`, `--seed`, and
+//! the optional `--archive-cap`, `--no-archive`, `--no-parallel`,
+//! `--threads`, `--closure`, `--db`). A worker rejects any protocol
+//! version or flag it does not know — unknown flags are a hard error,
+//! never silently ignored, so parent/worker version skew cannot mine
+//! with a half-applied configuration.
+//!
+//! **Slab layout**: `IN.slab` holds the shard's sub-pool in the parent's
+//! partition order — the worker mines rows `0..rows` in slab order, so
+//! the sub-pool's row order (not content hashing) carries the
+//! determinism contract across the process boundary. `OUT.slab` holds
+//! the shard's archive rows in the worker's deterministic output order;
+//! the parent re-interns them against its own base slab, restoring
+//! row-id identity for the deterministic merge.
+//!
+//! **Stats record** (worker stdout, line-oriented ASCII): a handshake
+//! line `cfp-shard-worker <version> shard=<S>`, then `key value` pairs
+//! (`pool_size`, `patterns`, `iterations`, `converged`, `tombstoned`,
+//! `inserted`, `compactions`, and the `ball.*` counters, with
+//! `ball.pivot_prune_counts` as one space-separated row of per-pivot
+//! totals), closed by a literal `end` line. The parent parses strictly —
+//! a missing terminator, an unknown key, or a `pool_size` that does not
+//! match what was shipped is a typed worker failure, because per-shard
+//! counters are part of the bit-identity gate, not best-effort telemetry.
+//!
+//! **Exit codes**: `0` success (record on stdout); `2` slab I/O failure
+//! (the typed `SlabIoError` text goes to stderr); `3` malformed request
+//! or dataset. Anything else — a crash, a kill, a wrong binary — is
+//! surfaced by the parent as a typed worker-death error carrying the
+//! shard index, exit status, and captured stderr.
+//!
 //! # Ownership and freezing contract
 //!
 //! The slab is **append-only**: a row, once pushed, is frozen — its words,

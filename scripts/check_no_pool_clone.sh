@@ -64,6 +64,14 @@ check_absent crates/itemset/src/slab_io.rs \
     'permuted\(|\.to_vec\(\)|clone\(\)' \
     'slab writer streams column borrows (no intermediate pool or column copies)'
 
+# 7. The subprocess executor ships each shard by streaming base-slab row
+#    borrows into a CFPSLAB file (`dump_slab_rows_path`) and reads archives
+#    back as slab rows: no cloned sub-pools or whole-slab copies may appear
+#    on the worker send/receive path (config/path clones are fine).
+check_absent crates/core/src/executor.rs \
+    'pool\.clone\(\)|slab\.clone\(\)|base\.clone\(\)|\.permuted\(|Vec<Pattern>|\.tids\.clone' \
+    'worker interchange streams slab rows (no cloned sub-pools or slab copies)'
+
 if [ "$fail" -ne 0 ]; then
     echo "slab hot-path gate failed: a Vec<Pattern> copying idiom is back on the mine->fuse path"
     exit 1

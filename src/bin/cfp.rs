@@ -14,14 +14,26 @@
 //!
 //! `mine` runs Pattern-Fusion and prints the mined patterns (external item
 //! labels) with sizes and supports; `--mem-budget` (or `CFP_MEM_BUDGET`)
-//! routes it through the out-of-core driver. `dump` mines just the initial
+//! routes it through the out-of-core driver, and `--executor` (or
+//! `CFP_EXECUTOR`) picks the shard execution backend — `thread` (default),
+//! `oocore`, or `process` (one `cfp shard-worker` OS process per shard;
+//! bit-identical output either way). `dump` mines just the initial
 //! pool and persists it as a `CFPSLAB` binary slab; `load` validates a slab
 //! and summarizes it; `mine --pool` starts fusion from a dumped slab
 //! instead of re-mining. `stats` summarizes a dataset. `generate` writes
 //! one of the paper's workloads in FIMI format.
+//!
+//! There is also a hidden `shard-worker` subcommand — the child half of the
+//! subprocess executor's worker protocol (see the CFPSLAB spec in
+//! `cfp_itemset::store`). It is spawned by the parent `cfp mine
+//! --executor process`, not by people, so it stays out of the usage text.
 
+use colossal::fusion::executor::run_shard_worker;
 use colossal::fusion::oocore::{parse_budget, OocoreConfig};
-use colossal::fusion::{FusionConfig, FusionResult, PatternFusion};
+use colossal::fusion::{
+    ExecutorKind, FusionConfig, FusionResult, PatternFusion, Sharding, SubprocessConfig,
+    WorkerError, WorkerRequest,
+};
 use colossal::itemset::slab_io;
 use colossal::itemset::{read_fimi, write_fimi, TransactionDb};
 use std::process::ExitCode;
@@ -32,12 +44,22 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // Validate the sharding environment up front: a malformed CFP_SHARDS /
+    // CFP_SHARD_STRATEGY is a clean typed error here, not a library panic
+    // halfway into a mine.
+    if let Err(e) = Sharding::try_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match command.as_str() {
         "mine" => cmd_mine(&args[1..]),
         "dump" => cmd_dump(&args[1..]),
         "load" => cmd_load(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        // Hidden: the subprocess executor's worker half, with its own
+        // protocol exit codes (0 ok, 2 slab I/O, 3 request/dataset).
+        "shard-worker" => return cmd_shard_worker(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -71,6 +93,14 @@ usage:
       --mem-budget B   mine out of core, bounding resident slab bytes per
                        fusion pass to B (suffixes k/m/g; 0 = spill but one
                        pass; overrides CFP_MEM_BUDGET; bit-identical output)
+      --executor E     shard execution backend: thread | oocore | process
+                       (overrides CFP_EXECUTOR; process spawns one
+                       cfp shard-worker per shard; bit-identical output;
+                       CFP_EXECUTOR_FALLBACK=1 re-runs a dead worker's
+                       shard in-process instead of failing)
+      --spill-dir D    spill/work directory for oocore and process runs
+                       (must be empty; kept only with --keep-spill)
+      --keep-spill     keep the spill/work directory after the run
       --pool SLAB      start from a dumped CFPSLAB pool instead of re-mining
       --stats          print per-iteration (and per-shard) statistics
   cfp dump <file.dat> --out <pool.slab>
@@ -159,21 +189,67 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         })?),
         None => OocoreConfig::from_env().map(|oo| oo.mem_budget),
     };
+    let spill_dir = parse_value::<String>(args, "--spill-dir")?;
+    let keep_spill = parse_flag(args, "--keep-spill");
+    let make_oo = |b: u64| {
+        let mut oo = OocoreConfig::new(b).with_keep_spill(keep_spill);
+        if let Some(d) = &spill_dir {
+            oo = oo.with_spill_dir(d);
+        }
+        oo
+    };
+    // `--executor` / CFP_EXECUTOR picks the shard execution backend.
+    // Unknown names are hard errors; an explicit executor wins over the
+    // legacy `--mem-budget → oocore` routing (the budget still feeds the
+    // oocore backend's config).
+    let executor_name = match parse_value::<String>(args, "--executor")? {
+        Some(name) => Some(name),
+        None => std::env::var("CFP_EXECUTOR")
+            .ok()
+            .filter(|v| !v.trim().is_empty()),
+    };
+    let executor = executor_name
+        .map(|name| {
+            let parsed = ExecutorKind::parse(&name)
+                .ok_or_else(|| format!("unknown --executor '{name}' (thread|oocore|process)"))?;
+            Ok::<ExecutorKind, String>(match parsed {
+                ExecutorKind::OutOfCore(_) => ExecutorKind::OutOfCore(make_oo(budget.unwrap_or(0))),
+                ExecutorKind::Subprocess(_) => {
+                    // Workers re-read the dataset (needed only for
+                    // --closure); worker death falls back in-process when
+                    // CFP_EXECUTOR_FALLBACK=1.
+                    let mut sp = SubprocessConfig::new()
+                        .with_db_path(path)
+                        .with_keep_work(keep_spill);
+                    if let Some(d) = &spill_dir {
+                        sp = sp.with_work_dir(d);
+                    }
+                    if std::env::var("CFP_EXECUTOR_FALLBACK").ok().as_deref() == Some("1") {
+                        sp = sp.with_fallback_in_process(true);
+                    }
+                    ExecutorKind::Subprocess(sp)
+                }
+                ExecutorKind::InThread => ExecutorKind::InThread,
+            })
+        })
+        .transpose()?;
     let pool_slab = parse_value::<String>(args, "--pool")?
         .map(|p| slab_io::load_slab_path(&p).map_err(|e| format!("loading pool {p}: {e}")))
         .transpose()?;
 
     let pf = PatternFusion::new(&db, config);
     let t0 = std::time::Instant::now();
-    let result: FusionResult = match (budget, pool_slab) {
-        (Some(b), Some(slab)) => pf
-            .run_out_of_core_with_slab(slab, &OocoreConfig::new(b))
+    let result: FusionResult = match (executor, budget, pool_slab) {
+        (Some(ex), _, Some(slab)) => pf
+            .run_with_slab_executor(slab, &ex)
             .map_err(|e| e.to_string())?,
-        (Some(b), None) => pf
-            .run_out_of_core(&OocoreConfig::new(b))
+        (Some(ex), _, None) => pf.run_with_executor(&ex).map_err(|e| e.to_string())?,
+        (None, Some(b), Some(slab)) => pf
+            .run_out_of_core_with_slab(slab, &make_oo(b))
             .map_err(|e| e.to_string())?,
-        (None, Some(slab)) => pf.run_with_slab(slab),
-        (None, None) => pf.run(),
+        (None, Some(b), None) => pf.run_out_of_core(&make_oo(b)).map_err(|e| e.to_string())?,
+        (None, None, Some(slab)) => pf.run_with_slab(slab),
+        (None, None, None) => pf.run(),
     };
     eprintln!(
         "mined {} patterns in {:.3}s (pool {}, {} iterations)",
@@ -377,4 +453,33 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The hidden `shard-worker` subcommand — the child half of the subprocess
+/// executor. Parses the argv request, mines the shipped shard slab, writes
+/// the archive slab, and prints the stats record on stdout. Exit codes are
+/// part of the worker protocol: 0 success, 2 slab I/O failure, 3 malformed
+/// request or dataset failure.
+fn cmd_shard_worker(args: &[String]) -> ExitCode {
+    let req = match WorkerRequest::parse(args) {
+        Ok(req) => req,
+        Err(e) => {
+            eprintln!("shard-worker: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    match run_shard_worker(&req) {
+        Ok(stats) => {
+            print!("{}", stats.to_record(req.shard));
+            ExitCode::SUCCESS
+        }
+        Err(e @ WorkerError::Slab(_)) => {
+            eprintln!("shard-worker: {e}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("shard-worker: {e}");
+            ExitCode::from(3)
+        }
+    }
 }

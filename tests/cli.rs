@@ -127,3 +127,176 @@ fn bad_inputs_fail_cleanly() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
 }
+
+/// Run `cfp` against a damaged slab and assert the typed [`SlabIoError`]
+/// text reaches stderr with a non-zero exit — never a panic.
+fn assert_slab_error(args: &[&str], expect: &str) {
+    let out = cfp().args(args).output().unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+    assert!(err.contains(expect), "{args:?}: stderr was: {err}");
+    assert!(!err.contains("panic"), "{args:?}: panicked: {err}");
+}
+
+#[test]
+fn damaged_slabs_fail_with_typed_errors() {
+    let data = temp_path("slab_damage.dat");
+    let good = temp_path("slab_damage_good.slab");
+    let truncated = temp_path("slab_damage_truncated.slab");
+    let corrupted = temp_path("slab_damage_corrupted.slab");
+
+    let out = cfp()
+        .args(["generate", "diag-plus", "--out", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = cfp()
+        .args([
+            "dump",
+            data.to_str().unwrap(),
+            "--out",
+            good.to_str().unwrap(),
+            "--mincount",
+            "20",
+            "--pool-len",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Truncation: keep the first half of the image. Corruption: flip one
+    // bit in the middle of the payload, leaving the length intact.
+    let bytes = std::fs::read(&good).unwrap();
+    assert!(bytes.len() > 64, "slab suspiciously small: {}", bytes.len());
+    std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    std::fs::write(&corrupted, &flipped).unwrap();
+
+    for (slab, expect) in [
+        (&truncated, "slab image is truncated"),
+        (&corrupted, "slab CRC mismatch"),
+    ] {
+        assert_slab_error(&["load", slab.to_str().unwrap()], expect);
+        assert_slab_error(
+            &[
+                "mine",
+                data.to_str().unwrap(),
+                "--pool",
+                slab.to_str().unwrap(),
+                "--mincount",
+                "20",
+                "--k",
+                "10",
+                "--seed",
+                "7",
+            ],
+            expect,
+        );
+    }
+
+    // The undamaged slab still loads, proving the failures above came
+    // from the damage and not the pipeline.
+    let out = cfp()
+        .args(["load", good.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    for f in [&data, &good, &truncated, &corrupted] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn process_executor_output_matches_default_engine() {
+    let data = temp_path("executor_equiv.dat");
+    let out = cfp()
+        .args(["generate", "diag-plus", "--out", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let mine_args = [
+        "mine",
+        data.to_str().unwrap(),
+        "--mincount",
+        "20",
+        "--k",
+        "10",
+        "--pool-len",
+        "2",
+        "--seed",
+        "7",
+    ];
+    let base = cfp()
+        .args(mine_args)
+        .env("CFP_SHARDS", "4")
+        .output()
+        .unwrap();
+    assert!(
+        base.status.success(),
+        "{}",
+        String::from_utf8_lossy(&base.stderr)
+    );
+    for executor in ["process", "thread"] {
+        let alt = cfp()
+            .args(mine_args)
+            .args(["--executor", executor])
+            .env("CFP_SHARDS", "4")
+            .output()
+            .unwrap();
+        assert!(
+            alt.status.success(),
+            "--executor {executor}: {}",
+            String::from_utf8_lossy(&alt.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&base.stdout),
+            String::from_utf8_lossy(&alt.stdout),
+            "--executor {executor} drifted from the default engine"
+        );
+    }
+
+    let out = cfp()
+        .args(mine_args)
+        .args(["--executor", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --executor"));
+
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn malformed_shard_env_fails_before_mining() {
+    let out = cfp()
+        .args(["mine", "/nonexistent/never-read.dat"])
+        .env("CFP_SHARDS", "fuor")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The env error wins over the missing file: validation happens first.
+    assert!(err.contains("invalid CFP_SHARDS='fuor'"), "{err}");
+
+    let out = cfp()
+        .args(["mine", "/nonexistent/never-read.dat"])
+        .env("CFP_SHARD_STRATEGY", "banana")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid CFP_SHARD_STRATEGY='banana'"), "{err}");
+}

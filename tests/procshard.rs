@@ -1,0 +1,232 @@
+//! Contracts of the subprocess shard executor
+//! (`cfp_core::executor::ExecutorKind::Subprocess`), driven against the
+//! real `cfp` binary (`cfp shard-worker` children):
+//!
+//! 1. **bit-identity** — the subprocess executor returns bit-for-bit the
+//!    in-thread sharded engine's output for both partition strategies at
+//!    1–4 shards and 1/2/8 worker threads — itemsets AND support sets,
+//!    plus the per-shard counters shipped back over the stats record;
+//! 2. **worker death is typed** — a worker that dies (or never spawns)
+//!    surfaces as [`colossal::fusion::ExecutorError::Worker`] with the
+//!    shard index and exit status, never a hang or a partial merge; with
+//!    `fallback_in_process` the dead worker's shard is re-mined in-process
+//!    and the run still returns the bit-identical result;
+//! 3. **configuration edges** — `closure_step` without a dataset path is
+//!    rejected up front, a non-empty user work dir is refused with the
+//!    typed spill-dir error, and empty pools never spawn anything.
+
+use colossal::fusion::{
+    ExecutorError, ExecutorKind, FusionConfig, OocoreError, Pattern, PatternFusion, RunStats,
+    ShardStats, ShardStrategy, SubprocessConfig,
+};
+
+/// The real worker binary: the `cfp` executable this test suite builds.
+fn worker_cmd() -> &'static str {
+    env!("CARGO_BIN_EXE_cfp")
+}
+
+fn subprocess() -> ExecutorKind {
+    ExecutorKind::Subprocess(SubprocessConfig::new().with_worker_cmd(worker_cmd()))
+}
+
+/// Full bit-identity of two results: itemsets AND support sets, in order.
+fn assert_identical(a: &[Pattern], b: &[Pattern], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: result sizes differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.items, y.items, "{label}: itemset drift");
+        assert_eq!(x.tids, y.tids, "{label}: support-set drift");
+    }
+}
+
+/// Per-shard counters with wall-clock times (which legitimately vary)
+/// zeroed out.
+fn shards_without_time(stats: &RunStats) -> Vec<ShardStats> {
+    stats
+        .shards
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            s.elapsed = std::time::Duration::default();
+            s
+        })
+        .collect()
+}
+
+fn planted_db() -> colossal::datagen::PlantedData {
+    colossal::datagen::planted(&colossal::datagen::PlantedConfig {
+        n_rows: 40,
+        pattern_sizes: vec![9, 7, 6],
+        pattern_support: 12,
+        max_row_overlap: 4,
+        row_len: 0,
+        filler_rows_lo: 2,
+        filler_rows_hi: 3,
+        seed: 5,
+    })
+}
+
+fn config(shards: usize, strategy: ShardStrategy, threads: usize) -> FusionConfig {
+    FusionConfig::new(12, 12)
+        .with_pool_max_len(2)
+        .with_seed(99)
+        .with_shards(shards)
+        .with_shard_strategy(strategy)
+        .with_threads(threads)
+}
+
+#[test]
+fn subprocess_is_bit_identical_to_in_thread_including_counters() {
+    let data = planted_db();
+    for strategy in ShardStrategy::ALL {
+        for shards in [1usize, 2, 4] {
+            let inm = PatternFusion::new(&data.db, config(shards, strategy, 1)).run();
+            for threads in [1usize, 2, 8] {
+                let pf = PatternFusion::new(&data.db, config(shards, strategy, threads));
+                let proc = pf.run_with_executor(&subprocess()).expect("subprocess run");
+                let label = format!("{strategy:?} shards={shards} threads={threads}");
+                assert_identical(&inm.patterns, &proc.patterns, &label);
+                assert_eq!(inm.stats.converged, proc.stats.converged, "{label}");
+                if shards > 1 {
+                    // The in-thread baseline routed through the sharded
+                    // engine: every per-shard counter — pool sizes,
+                    // iterations, ball-query pruning, index maintenance —
+                    // must survive the stats-record round trip bit-exactly.
+                    assert_eq!(
+                        shards_without_time(&inm.stats),
+                        shards_without_time(&proc.stats),
+                        "{label}: per-shard counters drifted"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn with_slab_entry_matches_in_thread_sharded_with_slab() {
+    let db = colossal::datagen::diag_plus(12, 6, 9);
+    let cfg = FusionConfig::new(8, 6)
+        .with_seed(7)
+        .with_shards(3)
+        .with_shard_strategy(ShardStrategy::MinhashBucket);
+    let pf = PatternFusion::new(&db, cfg);
+    let slab = pf.mine_initial_slab();
+    let inm = pf.run_sharded_with_slab(slab.clone());
+    let proc = pf
+        .run_with_slab_executor(slab, &subprocess())
+        .expect("subprocess run");
+    assert_identical(&inm.patterns, &proc.patterns, "with_slab");
+    assert_eq!(
+        shards_without_time(&inm.stats),
+        shards_without_time(&proc.stats)
+    );
+}
+
+#[test]
+fn dead_worker_surfaces_as_a_typed_error() {
+    let data = planted_db();
+    let cfg = config(2, ShardStrategy::SupportStratum, 1);
+    let pf = PatternFusion::new(&data.db, cfg);
+    // `false` exits 1 immediately without speaking the protocol — the
+    // run must fail typed (naming the shard and exit code), never hang
+    // on the other worker or merge partial state.
+    let ex = ExecutorKind::Subprocess(SubprocessConfig::new().with_worker_cmd("false"));
+    match pf.run_with_executor(&ex) {
+        Err(ExecutorError::Worker(wf)) => {
+            assert_eq!(wf.shard, 0, "failures collect in shard order");
+            assert_eq!(wf.exit, Some(1), "{wf}");
+            assert!(wf.detail.contains("worker died"), "{wf}");
+        }
+        other => panic!("expected a typed worker failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn unspawnable_worker_surfaces_as_a_typed_error() {
+    let data = planted_db();
+    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1));
+    let ex = ExecutorKind::Subprocess(
+        SubprocessConfig::new().with_worker_cmd("/nonexistent/cfp-worker-binary"),
+    );
+    match pf.run_with_executor(&ex) {
+        Err(ExecutorError::Worker(wf)) => {
+            assert_eq!(wf.exit, None, "{wf}");
+            assert!(wf.detail.contains("failed to spawn"), "{wf}");
+        }
+        other => panic!("expected a typed spawn failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn in_process_fallback_recovers_dead_workers_bit_identically() {
+    let data = planted_db();
+    let inm = PatternFusion::new(&data.db, config(4, ShardStrategy::SupportStratum, 1)).run();
+    let pf = PatternFusion::new(&data.db, config(4, ShardStrategy::SupportStratum, 2));
+    // Every worker is dead on arrival; with the fallback enabled each
+    // shard re-mines in-process from its spilled slab — the run succeeds
+    // and stays bit-identical.
+    let ex = ExecutorKind::Subprocess(
+        SubprocessConfig::new()
+            .with_worker_cmd("false")
+            .with_fallback_in_process(true),
+    );
+    let rec = pf.run_with_executor(&ex).expect("fallback run");
+    assert_identical(&inm.patterns, &rec.patterns, "fallback");
+    assert_eq!(
+        shards_without_time(&inm.stats),
+        shards_without_time(&rec.stats),
+        "fallback: per-shard counters drifted"
+    );
+}
+
+#[test]
+fn closure_step_requires_a_dataset_path() {
+    let data = planted_db();
+    let cfg = config(2, ShardStrategy::SupportStratum, 1).with_closure_step(true);
+    let pf = PatternFusion::new(&data.db, cfg);
+    match pf.run_with_executor(&subprocess()) {
+        Err(ExecutorError::Unsupported(why)) => {
+            assert!(why.contains("db_path"), "{why}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_empty_work_dir_is_refused() {
+    let dir = std::env::temp_dir().join(format!("cfp-procshard-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("precious.txt"), b"do not delete").unwrap();
+
+    let data = planted_db();
+    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1));
+    let ex = ExecutorKind::Subprocess(
+        SubprocessConfig::new()
+            .with_worker_cmd(worker_cmd())
+            .with_work_dir(&dir),
+    );
+    match pf.run_with_executor(&ex) {
+        Err(ExecutorError::Disk(OocoreError::SpillDirNotEmpty(d))) => assert_eq!(d, dir),
+        other => panic!("expected SpillDirNotEmpty, got {other:?}"),
+    }
+    // The caller's file survives the refusal.
+    assert!(dir.join("precious.txt").is_file());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_pool_spawns_nothing_and_returns_empty() {
+    let db = colossal::datagen::diag(4);
+    let cfg = FusionConfig::new(4, 2).with_shards(2);
+    let pf = PatternFusion::new(&db, cfg);
+    // A worker command that would fail instantly proves no child is ever
+    // spawned for an empty pool.
+    let ex = ExecutorKind::Subprocess(
+        SubprocessConfig::new().with_worker_cmd("/nonexistent/never-spawned"),
+    );
+    let r = pf
+        .run_with_slab_executor(colossal::fusion::PatternPool::new(4), &ex)
+        .expect("empty pool run");
+    assert!(r.patterns.is_empty());
+    assert!(r.stats.shards.is_empty());
+}
