@@ -13,6 +13,7 @@
 //! | `BENCH_pool.json`     | `mine_speedup`        | ≥ 2×    |
 //! | `BENCH_oocore.json`   | `overhead_vs_inmemory`| ≤ 2×    |
 //! | `BENCH_procshard.json`| `overhead_vs_inthread`| ≤ 2.5×  |
+//! | `BENCH_netshard.json` | `overhead_vs_inthread`| ≤ 3×    |
 //!
 //! A 10% measurement-noise allowance is applied (a ≥-gate trips below
 //! 0.9 × target, a ≤-gate above target / 0.9): these are *regression* gates
@@ -24,9 +25,10 @@
 //! "speedup" is the expected truth, not a regression; the pool gate
 //! (parallel mine at 4 threads) is likewise skipped when the box has fewer
 //! than 4 cores (`threads_available`), where the queue cannot scale by
-//! definition; the procshard gate (4 worker processes) is skipped on
-//! single-core boxes, where process fan-out buys nothing to amortize its
-//! spawn + slab-interchange cost against.
+//! definition; the procshard gate (4 worker processes) and the netshard
+//! gate (a 2-host loopback fleet) are skipped on single-core boxes, where
+//! fan-out buys nothing to amortize its spawn / wire-framing cost
+//! against.
 //!
 //! Every gate is evaluated every run — missing summary files are all
 //! reported together (with the `cargo bench` invocation that regenerates
@@ -61,7 +63,7 @@ struct Gate {
     bench: &'static str,
 }
 
-const GATES: [Gate; 7] = [
+const GATES: [Gate; 8] = [
     Gate {
         file: "BENCH_ball.json",
         field: "speedup",
@@ -117,6 +119,14 @@ const GATES: [Gate; 7] = [
         direction: Direction::AtMost,
         what: "subprocess shard executor (4 workers) vs in-thread sharded engine",
         bench: "cargo bench -p cfp-bench --bench procshard",
+    },
+    Gate {
+        file: "BENCH_netshard.json",
+        field: "overhead_vs_inthread",
+        target: 3.0,
+        direction: Direction::AtMost,
+        what: "networked shard executor (loopback TCP, 2 hosts) vs in-thread sharded engine",
+        bench: "cargo bench -p cfp-bench --bench netshard",
     },
 ];
 
@@ -197,6 +207,15 @@ fn main() -> ExitCode {
         {
             println!(
                 "SKIP {:<22} single core on this box (process fan-out cannot amortize its spawn cost)",
+                gate.file
+            );
+            continue;
+        }
+        if gate.file == "BENCH_netshard.json"
+            && field_f64(&json, "threads_available").is_some_and(|t| t < 2.0)
+        {
+            println!(
+                "SKIP {:<22} single core on this box (networked fan-out cannot amortize its wire cost)",
                 gate.file
             );
             continue;

@@ -8,7 +8,7 @@ use crate::shard::{ShardStrategy, Sharding};
 /// `K` (the maximum number of patterns to mine) and the minimum support are
 /// the paper's user-facing parameters; the rest tune the fusion heuristic and
 /// default to values that reproduce the paper's experiments.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FusionConfig {
     /// Maximum number of patterns to mine (the paper's `K`). Iteration stops
     /// once a fusion round yields ≤ K patterns.

@@ -24,7 +24,12 @@
 //!   serialized stats record. Crash isolation per shard — a dead worker
 //!   surfaces as a typed [`ExecutorError::Worker`], never a hang or a
 //!   corrupt merge, with an opt-in in-process fallback
-//!   ([`SubprocessConfig::fallback_in_process`]).
+//!   ([`SubprocessConfig::fallback_in_process`]);
+//! * [`ExecutorKind::Remote`] — shards as **network workers**: sub-pools
+//!   stream over TCP to `cfp shard-host` processes as CRC-checked frames,
+//!   with per-phase deadlines, deterministic retry/backoff, and in-thread
+//!   fallback from the spilled slab when a shard exhausts its attempts
+//!   (see [`crate::net`]).
 //!
 //! # Bit-identity across backends
 //!
@@ -52,6 +57,7 @@
 use crate::algorithm::{threads_for, PatternFusion};
 use crate::ball::{BallQueryStats, MAX_PIVOTS};
 use crate::config::FusionConfig;
+use crate::net::{NetError, RemoteConfig};
 use crate::oocore::{OocoreConfig, OocoreError};
 use crate::parallel::run_tasks;
 use crate::pattern::Pattern;
@@ -63,7 +69,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Distinguishes concurrently running subprocess executors' work
 /// directories within one parent process (the name also carries the pid).
@@ -80,6 +86,9 @@ pub enum ExecutorKind {
     OutOfCore(OocoreConfig),
     /// Shards as `cfp shard-worker` OS processes exchanging CFPSLAB files.
     Subprocess(SubprocessConfig),
+    /// Shards as remote `cfp shard-host` workers over TCP (see
+    /// [`crate::net`]). The worker list must be non-empty.
+    Remote(RemoteConfig),
 }
 
 impl ExecutorKind {
@@ -89,13 +98,14 @@ impl ExecutorKind {
             ExecutorKind::InThread => "thread",
             ExecutorKind::OutOfCore(_) => "oocore",
             ExecutorKind::Subprocess(_) => "process",
+            ExecutorKind::Remote(_) => "remote",
         }
     }
 
-    /// Parses an executor name (`thread` / `oocore` / `process`, with a few
-    /// aliases; case-insensitive) into a default-configured kind. Unknown
-    /// names are `None` — callers surface a hard error, never a silent
-    /// default.
+    /// Parses an executor name (`thread` / `oocore` / `process` / `remote`,
+    /// with a few aliases; case-insensitive) into a default-configured
+    /// kind. Unknown names are `None` — callers surface a hard error, never
+    /// a silent default.
     pub fn parse(name: &str) -> Option<Self> {
         match name.trim().to_ascii_lowercase().as_str() {
             "thread" | "in-thread" | "inthread" | "threads" => Some(ExecutorKind::InThread),
@@ -103,6 +113,7 @@ impl ExecutorKind {
             "process" | "subprocess" | "proc" => {
                 Some(ExecutorKind::Subprocess(SubprocessConfig::default()))
             }
+            "remote" | "net" | "tcp" => Some(ExecutorKind::Remote(RemoteConfig::default())),
             _ => None,
         }
     }
@@ -129,6 +140,16 @@ pub struct SubprocessConfig {
     /// index. Required only when `closure_step` is on; the fusion loop
     /// itself never consults the database.
     pub db_path: Option<PathBuf>,
+    /// Deadline for one worker, measured from its spawn. A worker still
+    /// running past it is killed and surfaced as a timed-out
+    /// [`ExecutorError::Worker`] — a stalled child can never hang the
+    /// parent. `None` → `CFP_NET_TIMEOUT` (milliseconds) if set, else a
+    /// generous default ([`DEFAULT_WORKER_DEADLINE`]).
+    pub timeout: Option<Duration>,
+    /// Fault-injection spec forwarded to workers via their `CFP_FAULT`
+    /// environment (see [`crate::net::FaultPlan`]); only honored by
+    /// workers built with the `fault-inject` feature (or under test).
+    pub fault: Option<String>,
 }
 
 impl SubprocessConfig {
@@ -167,7 +188,33 @@ impl SubprocessConfig {
         self.db_path = Some(path.into());
         self
     }
+
+    /// Overrides the per-worker deadline.
+    pub fn with_timeout(mut self, deadline: Duration) -> Self {
+        self.timeout = Some(deadline);
+        self
+    }
+
+    /// Forwards a fault-injection spec to workers (testing only).
+    pub fn with_fault(mut self, spec: impl Into<String>) -> Self {
+        self.fault = Some(spec.into());
+        self
+    }
+
+    /// The effective per-worker deadline: the explicit override, else
+    /// `CFP_NET_TIMEOUT` milliseconds, else [`DEFAULT_WORKER_DEADLINE`].
+    pub fn deadline(&self) -> Duration {
+        self.timeout
+            .or_else(crate::net::timeout_from_env)
+            .unwrap_or(DEFAULT_WORKER_DEADLINE)
+    }
 }
+
+/// The default deadline for one shard worker (subprocess executor) when
+/// neither [`SubprocessConfig::timeout`] nor `CFP_NET_TIMEOUT` is set:
+/// generous enough for real mining, finite so a wedged child can never
+/// hang the parent forever.
+pub const DEFAULT_WORKER_DEADLINE: Duration = Duration::from_secs(600);
 
 /// A shard worker that did not deliver: spawn failure, death (killed or
 /// non-zero exit), or a protocol violation (bad handshake, missing or
@@ -182,18 +229,51 @@ pub struct WorkerFailure {
     /// Human-readable detail (spawn error, captured stderr, protocol
     /// violation).
     pub detail: String,
+    /// The worker blew its deadline and was killed by the parent — a
+    /// stalled worker, not a dead one (distinguishable so callers and
+    /// tests can tell "hung" from "crashed").
+    pub timed_out: bool,
 }
 
 impl fmt::Display for WorkerFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let marker = if self.timed_out { " [timeout]" } else { "" };
         match self.exit {
             Some(code) => write!(
                 f,
-                "shard {} worker failed (exit {code}): {}",
+                "shard {} worker failed{marker} (exit {code}): {}",
                 self.shard, self.detail
             ),
-            None => write!(f, "shard {} worker failed: {}", self.shard, self.detail),
+            None => write!(
+                f,
+                "shard {} worker failed{marker}: {}",
+                self.shard, self.detail
+            ),
         }
+    }
+}
+
+/// A remote shard that exhausted its retry budget (see [`crate::net`]):
+/// which shard, how many attempts were made, and the final attempt's typed
+/// failure.
+#[derive(Debug)]
+pub struct NetFailure {
+    /// Which shard's remote dispatch failed.
+    pub shard: usize,
+    /// Connection attempts made before giving up.
+    pub attempts: usize,
+    /// The last attempt's failure (earlier attempts may have failed
+    /// differently; the last one is what exhausted the budget).
+    pub last: NetError,
+}
+
+impl fmt::Display for NetFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} remote dispatch failed after {} attempt(s): {}",
+            self.shard, self.attempts, self.last
+        )
     }
 }
 
@@ -205,6 +285,9 @@ pub enum ExecutorError {
     Disk(OocoreError),
     /// A shard worker process failed and the in-process fallback was off.
     Worker(WorkerFailure),
+    /// A remote shard exhausted its retry budget and the in-thread
+    /// fallback was off.
+    Net(NetFailure),
     /// The configuration cannot be shipped over the worker protocol (e.g.
     /// `closure_step` without [`SubprocessConfig::db_path`]).
     Unsupported(String),
@@ -215,6 +298,7 @@ impl fmt::Display for ExecutorError {
         match self {
             Self::Disk(e) => write!(f, "shard executor: {e}"),
             Self::Worker(w) => write!(f, "shard executor: {w}"),
+            Self::Net(n) => write!(f, "shard executor: {n}"),
             Self::Unsupported(why) => write!(f, "shard executor: {why}"),
         }
     }
@@ -341,7 +425,7 @@ pub(crate) fn shard_stats_of(
 /// The empty shard's run: trivially converged on an empty archive, all
 /// counters zero — every backend synthesizes exactly this (the subprocess
 /// executor never spawns a worker for an empty shard).
-fn empty_shard_run(shard: usize, elapsed: std::time::Duration) -> ShardRun {
+pub(crate) fn empty_shard_run(shard: usize, elapsed: std::time::Duration) -> ShardRun {
     let empty = RunStats {
         converged: true,
         ..Default::default()
@@ -491,6 +575,7 @@ impl PatternFusion<'_> {
                 self.execute_out_of_core(store, &plan, oo, &mut stats)?
             }
             ExecutorKind::Subprocess(sp) => self.execute_subprocess(store, &plan, sp)?,
+            ExecutorKind::Remote(rc) => self.execute_remote(store, &plan, rc, &mut stats)?,
         };
         let ShardExecution {
             mut store,
@@ -623,19 +708,24 @@ impl PatternFusion<'_> {
                 config: shard_config(cfg, plan.seed_budget[s], s, plan.n),
                 db: sp.db_path.clone(),
             };
-            let spawned = Command::new(&worker)
-                .arg("shard-worker")
+            let mut cmd = Command::new(&worker);
+            cmd.arg("shard-worker")
                 .args(req.to_args())
                 .stdin(Stdio::null())
                 .stdout(Stdio::piped())
-                .stderr(Stdio::piped())
-                .spawn();
-            launches.push(match spawned {
+                .stderr(Stdio::piped());
+            if let Some(spec) = &sp.fault {
+                // Forwarded on the child's environment only — never set on
+                // the parent process (tests run concurrently).
+                cmd.env("CFP_FAULT", spec);
+            }
+            launches.push(match cmd.spawn() {
                 Ok(child) => Launch::Running(child, sub_rows.len(), Instant::now()),
                 Err(e) => Launch::Failed(WorkerFailure {
                     shard: s,
                     exit: None,
                     detail: format!("failed to spawn {}: {e}", worker.display()),
+                    timed_out: false,
                 }),
             });
         }
@@ -644,6 +734,7 @@ impl PatternFusion<'_> {
         // kill the remaining workers before surfacing the typed error —
         // a dead worker must never leave the parent waiting or merging
         // partial state.
+        let deadline = sp.deadline();
         let mut runs: Vec<ShardRun> = Vec::with_capacity(plan.n);
         let mut fatal: Option<WorkerFailure> = None;
         for (s, launch) in launches.into_iter().enumerate() {
@@ -658,7 +749,7 @@ impl PatternFusion<'_> {
                 Launch::Empty => Ok(empty_shard_run(s, std::time::Duration::default())),
                 Launch::Failed(wf) => Err(wf),
                 Launch::Running(child, pool_size, t0) => {
-                    collect_worker(s, child, pool_size, &dir, t0)
+                    collect_worker(s, child, pool_size, &dir, t0, deadline)
                 }
             };
             match outcome {
@@ -684,7 +775,9 @@ impl PatternFusion<'_> {
     /// In-process recovery for one dead worker: reload the shard slab it
     /// was given and run the identical per-shard loop here. Same sub-pool
     /// content and order, same derived config — bit-identical output.
-    fn fallback_shard(
+    /// Shared by the subprocess and remote executors (graceful degradation
+    /// converges a dying fleet to the single-machine answer).
+    pub(crate) fn fallback_shard(
         &self,
         s: usize,
         plan: &ShardPlan,
@@ -728,8 +821,10 @@ fn abort_workers(launches: &mut [Launch]) {
     }
 }
 
-/// The shard sub-pool slab the parent ships to worker `s`.
-fn shard_slab_path(dir: &Path, s: usize) -> PathBuf {
+/// The shard sub-pool slab the parent ships to worker `s` — one naming
+/// scheme across the out-of-core, subprocess, and remote executors, so the
+/// in-process fallback always finds the spilled sub-pool.
+pub(crate) fn shard_slab_path(dir: &Path, s: usize) -> PathBuf {
     dir.join(format!("shard-{s}.slab"))
 }
 
@@ -738,39 +833,93 @@ fn archive_slab_path(dir: &Path, s: usize) -> PathBuf {
     dir.join(format!("archive-{s}.slab"))
 }
 
-/// Waits for worker `s`, validates the handshake + stats record on its
-/// stdout, and loads its archive slab as owned merge patterns. Any
-/// deviation — death, non-zero exit, unparsable record, missing or
-/// inconsistent archive — is a [`WorkerFailure`].
+/// Drains a piped child stream on its own thread — `try_wait` polling must
+/// never share a thread with pipe reads, or a chatty child filling the
+/// pipe deadlocks against a parent waiting on exit.
+fn drain_pipe<R: std::io::Read + Send + 'static>(
+    pipe: Option<R>,
+) -> std::thread::JoinHandle<Vec<u8>> {
+    std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        if let Some(mut r) = pipe {
+            let _ = r.read_to_end(&mut buf);
+        }
+        buf
+    })
+}
+
+/// Waits for worker `s` **bounded by `deadline`** (from its spawn time),
+/// validates the handshake + stats record on its stdout, and loads its
+/// archive slab as owned merge patterns. A worker still running at the
+/// deadline is killed and surfaced as a timed-out [`WorkerFailure`]; any
+/// other deviation — death, non-zero exit, unparsable record, missing or
+/// inconsistent archive — is a [`WorkerFailure`] too. Never a hang: every
+/// wait in here is deadline-bounded.
 fn collect_worker(
     s: usize,
-    child: Child,
+    mut child: Child,
     pool_size: usize,
     dir: &Path,
     t0: Instant,
+    deadline: Duration,
 ) -> Result<ShardRun, WorkerFailure> {
     let fail = |exit: Option<i32>, detail: String| WorkerFailure {
         shard: s,
         exit,
         detail,
+        timed_out: false,
     };
-    let out = child
-        .wait_with_output()
-        .map_err(|e| fail(None, format!("wait failed: {e}")))?;
-    if !out.status.success() {
-        let stderr = String::from_utf8_lossy(&out.stderr);
+    let out_pipe = drain_pipe(child.stdout.take());
+    let err_pipe = drain_pipe(child.stderr.take());
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if t0.elapsed() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = out_pipe.join();
+                    let stderr = err_pipe.join().unwrap_or_default();
+                    let tail = String::from_utf8_lossy(&stderr);
+                    return Err(WorkerFailure {
+                        shard: s,
+                        exit: None,
+                        detail: match tail.trim() {
+                            "" => format!("worker timed out after {deadline:?} (killed)"),
+                            msg => {
+                                format!("worker timed out after {deadline:?} (killed): {msg}")
+                            }
+                        },
+                        timed_out: true,
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = out_pipe.join();
+                let _ = err_pipe.join();
+                return Err(fail(None, format!("wait failed: {e}")));
+            }
+        }
+    };
+    let stdout_buf = out_pipe.join().unwrap_or_default();
+    let stderr_buf = err_pipe.join().unwrap_or_default();
+    if !status.success() {
+        let stderr = String::from_utf8_lossy(&stderr_buf);
         let detail = match stderr.trim() {
-            "" => format!("worker died ({})", out.status),
-            msg => format!("worker died ({}): {msg}", out.status),
+            "" => format!("worker died ({status})"),
+            msg => format!("worker died ({status}): {msg}"),
         };
-        return Err(fail(out.status.code(), detail));
+        return Err(fail(status.code(), detail));
     }
-    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stdout = String::from_utf8_lossy(&stdout_buf);
     let wstats = WorkerStats::parse_record(&stdout, s)
-        .map_err(|why| fail(out.status.code(), format!("stats record: {why}")))?;
+        .map_err(|why| fail(status.code(), format!("stats record: {why}")))?;
     if wstats.pool_size != pool_size {
         return Err(fail(
-            out.status.code(),
+            status.code(),
             format!(
                 "worker mined {} pool rows, parent shipped {pool_size}",
                 wstats.pool_size
@@ -778,10 +927,10 @@ fn collect_worker(
         ));
     }
     let slab = slab_io::load_slab_path(archive_slab_path(dir, s))
-        .map_err(|e| fail(out.status.code(), format!("archive slab: {e}")))?;
+        .map_err(|e| fail(status.code(), format!("archive slab: {e}")))?;
     if slab.len() != wstats.patterns {
         return Err(fail(
-            out.status.code(),
+            status.code(),
             format!(
                 "archive slab holds {} patterns, stats record says {}",
                 slab.len(),
@@ -825,11 +974,103 @@ pub struct WorkerRequest {
 /// stdout handshake line).
 pub const WORKER_PROTOCOL_VERSION: u32 = 1;
 
+/// Serializes a per-shard [`FusionConfig`] as the worker protocol's flag
+/// list — the one home of the config field set, shared by the argv request
+/// (protocol v1, [`WorkerRequest::to_args`]) and the network request frame
+/// (protocol v2, `cfp_core::net`).
+pub(crate) fn config_flag_args(c: &FusionConfig) -> Vec<String> {
+    let mut args = vec![
+        "--k".into(),
+        c.k.to_string(),
+        "--mincount".into(),
+        c.min_count.to_string(),
+        "--tau".into(),
+        c.tau.to_string(),
+        "--pool-len".into(),
+        c.pool_max_len.to_string(),
+        "--attempts".into(),
+        c.attempts_per_seed.to_string(),
+        "--max-results".into(),
+        c.max_results_per_seed.to_string(),
+        "--max-iterations".into(),
+        c.max_iterations.to_string(),
+        "--max-ball-size".into(),
+        c.max_ball_size.to_string(),
+        "--ball-pivots".into(),
+        c.ball_pivots.to_string(),
+        "--seed".into(),
+        c.seed.to_string(),
+    ];
+    if let Some(cap) = c.archive_cap {
+        args.push("--archive-cap".into());
+        args.push(cap.to_string());
+    }
+    if !c.archive {
+        args.push("--no-archive".into());
+    }
+    if !c.parallel {
+        args.push("--no-parallel".into());
+    }
+    if let Some(t) = c.threads {
+        args.push("--threads".into());
+        args.push(t.to_string());
+    }
+    if c.closure_step {
+        args.push("--closure".into());
+    }
+    args
+}
+
+/// Applies one **unary** config flag from the worker protocol's flag list.
+/// `false` = not a config flag (the caller decides whether that's an
+/// error).
+pub(crate) fn apply_config_unary(cfg: &mut FusionConfig, flag: &str) -> bool {
+    match flag {
+        "--no-archive" => cfg.archive = false,
+        "--no-parallel" => cfg.parallel = false,
+        "--closure" => cfg.closure_step = true,
+        _ => return false,
+    }
+    true
+}
+
+/// Applies one **valued** config flag from the worker protocol's flag
+/// list. `Ok(false)` = not a config flag; `Err` = it is one, but the value
+/// does not parse.
+pub(crate) fn apply_config_value(
+    cfg: &mut FusionConfig,
+    flag: &str,
+    v: &str,
+) -> Result<bool, String> {
+    let bad = |what: &str| format!("invalid {flag} value '{v}' ({what})");
+    match flag {
+        "--k" => cfg.k = v.parse().map_err(|_| bad("usize"))?,
+        "--mincount" => cfg.min_count = v.parse().map_err(|_| bad("usize"))?,
+        "--tau" => cfg.tau = v.parse().map_err(|_| bad("f64"))?,
+        "--pool-len" => cfg.pool_max_len = v.parse().map_err(|_| bad("usize"))?,
+        "--attempts" => cfg.attempts_per_seed = v.parse().map_err(|_| bad("usize"))?,
+        "--max-results" => cfg.max_results_per_seed = v.parse().map_err(|_| bad("usize"))?,
+        "--max-iterations" => cfg.max_iterations = v.parse().map_err(|_| bad("usize"))?,
+        "--max-ball-size" => cfg.max_ball_size = v.parse().map_err(|_| bad("usize"))?,
+        "--ball-pivots" => cfg.ball_pivots = v.parse().map_err(|_| bad("usize"))?,
+        "--seed" => cfg.seed = v.parse().map_err(|_| bad("u64"))?,
+        "--archive-cap" => cfg.archive_cap = Some(v.parse().map_err(|_| bad("usize"))?),
+        "--threads" => cfg.threads = Some(v.parse().map_err(|_| bad("usize"))?),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// The env-independent base config the worker protocol's flag list applies
+/// onto: single-shard sharding, every other field shipped explicitly.
+pub(crate) fn base_worker_config() -> FusionConfig {
+    FusionConfig::new(1, 1).with_shards(1)
+}
+
 impl WorkerRequest {
     /// Serializes the request as `cfp shard-worker` argv (without the
     /// subcommand itself).
     pub fn to_args(&self) -> Vec<String> {
-        let c = &self.config;
         let mut args = vec![
             "--protocol".into(),
             WORKER_PROTOCOL_VERSION.to_string(),
@@ -841,44 +1082,8 @@ impl WorkerRequest {
             self.input.display().to_string(),
             "--output".into(),
             self.output.display().to_string(),
-            "--k".into(),
-            c.k.to_string(),
-            "--mincount".into(),
-            c.min_count.to_string(),
-            "--tau".into(),
-            c.tau.to_string(),
-            "--pool-len".into(),
-            c.pool_max_len.to_string(),
-            "--attempts".into(),
-            c.attempts_per_seed.to_string(),
-            "--max-results".into(),
-            c.max_results_per_seed.to_string(),
-            "--max-iterations".into(),
-            c.max_iterations.to_string(),
-            "--max-ball-size".into(),
-            c.max_ball_size.to_string(),
-            "--ball-pivots".into(),
-            c.ball_pivots.to_string(),
-            "--seed".into(),
-            c.seed.to_string(),
         ];
-        if let Some(cap) = c.archive_cap {
-            args.push("--archive-cap".into());
-            args.push(cap.to_string());
-        }
-        if !c.archive {
-            args.push("--no-archive".into());
-        }
-        if !c.parallel {
-            args.push("--no-parallel".into());
-        }
-        if let Some(t) = c.threads {
-            args.push("--threads".into());
-            args.push(t.to_string());
-        }
-        if c.closure_step {
-            args.push("--closure".into());
-        }
+        args.extend(config_flag_args(&self.config));
         if let Some(db) = &self.db {
             args.push("--db".into());
             args.push(db.display().to_string());
@@ -896,35 +1101,20 @@ impl WorkerRequest {
         let mut output: Option<PathBuf> = None;
         let mut db: Option<PathBuf> = None;
         let mut protocol: Option<u32> = None;
-        // Start from defaults with the env-independent single-shard
-        // sharding: the parent ships every field explicitly.
-        let mut cfg = FusionConfig::new(1, 1).with_shards(1);
+        // Start from the env-independent base config: the parent ships
+        // every field explicitly.
+        let mut cfg = base_worker_config();
         let mut i = 0usize;
         while i < args.len() {
             let flag = args[i].as_str();
-            let value = |name: &str| -> Result<&String, String> {
-                args.get(i + 1)
-                    .ok_or_else(|| format!("{name} needs a value"))
-            };
-            match flag {
-                "--no-archive" => {
-                    cfg.archive = false;
-                    i += 1;
-                    continue;
-                }
-                "--no-parallel" => {
-                    cfg.parallel = false;
-                    i += 1;
-                    continue;
-                }
-                "--closure" => {
-                    cfg.closure_step = true;
-                    i += 1;
-                    continue;
-                }
-                _ => {}
+            if apply_config_unary(&mut cfg, flag) {
+                i += 1;
+                continue;
             }
-            let v = value(flag)?.clone();
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .clone();
             let bad = |what: &str| format!("invalid {flag} value '{v}' ({what})");
             match flag {
                 "--protocol" => protocol = Some(v.parse().map_err(|_| bad("u32"))?),
@@ -933,21 +1123,11 @@ impl WorkerRequest {
                 "--input" => input = Some(PathBuf::from(v)),
                 "--output" => output = Some(PathBuf::from(v)),
                 "--db" => db = Some(PathBuf::from(v)),
-                "--k" => cfg.k = v.parse().map_err(|_| bad("usize"))?,
-                "--mincount" => cfg.min_count = v.parse().map_err(|_| bad("usize"))?,
-                "--tau" => cfg.tau = v.parse().map_err(|_| bad("f64"))?,
-                "--pool-len" => cfg.pool_max_len = v.parse().map_err(|_| bad("usize"))?,
-                "--attempts" => cfg.attempts_per_seed = v.parse().map_err(|_| bad("usize"))?,
-                "--max-results" => {
-                    cfg.max_results_per_seed = v.parse().map_err(|_| bad("usize"))?
+                other => {
+                    if !apply_config_value(&mut cfg, other, &v)? {
+                        return Err(format!("unknown shard-worker flag '{other}'"));
+                    }
                 }
-                "--max-iterations" => cfg.max_iterations = v.parse().map_err(|_| bad("usize"))?,
-                "--max-ball-size" => cfg.max_ball_size = v.parse().map_err(|_| bad("usize"))?,
-                "--ball-pivots" => cfg.ball_pivots = v.parse().map_err(|_| bad("usize"))?,
-                "--seed" => cfg.seed = v.parse().map_err(|_| bad("u64"))?,
-                "--archive-cap" => cfg.archive_cap = Some(v.parse().map_err(|_| bad("usize"))?),
-                "--threads" => cfg.threads = Some(v.parse().map_err(|_| bad("usize"))?),
-                other => return Err(format!("unknown shard-worker flag '{other}'")),
             }
             i += 2;
         }
@@ -1155,6 +1335,10 @@ impl From<SlabIoError> for WorkerError {
 /// closure step needs it; otherwise the fusion loop never consults it and
 /// an empty database stands in.
 pub fn run_shard_worker(req: &WorkerRequest) -> Result<WorkerStats, WorkerError> {
+    // Deterministic fault injection (no-op unless compiled in AND the
+    // worker's own CFP_FAULT names this shard): a stalled mine here is how
+    // tests reach the parent's deadline machinery.
+    crate::net::FaultPlan::from_env().maybe_stall(req.shard, 0);
     let db = match &req.db {
         Some(path) => cfp_itemset::read_fimi(path)
             .map_err(|e| WorkerError::Db(format!("{}: {e}", path.display())))?,
@@ -1162,6 +1346,16 @@ pub fn run_shard_worker(req: &WorkerRequest) -> Result<WorkerStats, WorkerError>
     };
     let pf = PatternFusion::new(&db, req.config.clone());
     let slab = slab_io::load_slab_path(&req.input)?;
+    let (archive, wstats) = mine_shard_slab(&pf, slab);
+    slab_io::dump_slab_path(&archive, &req.output)?;
+    Ok(wstats)
+}
+
+/// The mining body shared by the subprocess worker and the network host
+/// (`cfp_core::net`): run the per-shard fusion loop over a shipped
+/// sub-pool slab under the already-applied config, returning the archive
+/// pool (in deterministic output order) and the wire stats record.
+pub(crate) fn mine_shard_slab(pf: &PatternFusion, slab: PatternPool) -> (PatternPool, WorkerStats) {
     let universe = slab.universe();
     let pool_size = slab.len();
     let mut store = PoolStore::new(slab);
@@ -1188,8 +1382,8 @@ pub fn run_shard_worker(req: &WorkerRequest) -> Result<WorkerStats, WorkerError>
         let p = store.pattern(r);
         archive.push_tidset(p.items.items(), &p.tids);
     }
-    slab_io::dump_slab_path(&archive, &req.output)?;
-    Ok(WorkerStats::from_run(pool_size, out_rows.len(), &run))
+    let wstats = WorkerStats::from_run(pool_size, out_rows.len(), &run);
+    (archive, wstats)
 }
 
 #[cfg(test)]
@@ -1213,6 +1407,14 @@ mod tests {
         assert!(matches!(
             ExecutorKind::parse("subprocess"),
             Some(ExecutorKind::Subprocess(_))
+        ));
+        assert!(matches!(
+            ExecutorKind::parse("Remote"),
+            Some(ExecutorKind::Remote(_))
+        ));
+        assert!(matches!(
+            ExecutorKind::parse("tcp"),
+            Some(ExecutorKind::Remote(_))
         ));
         assert!(ExecutorKind::parse("gpu").is_none());
         assert!(ExecutorKind::parse("").is_none());

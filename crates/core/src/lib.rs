@@ -96,6 +96,7 @@ pub mod core_pattern;
 pub mod distance;
 pub mod executor;
 pub mod fusion;
+pub mod net;
 pub mod oocore;
 pub mod pattern;
 pub mod pool;
@@ -123,12 +124,18 @@ pub use config::FusionConfig;
 pub use core_pattern::{core_patterns_of, is_core_pattern, is_core_pattern_of};
 pub use distance::{ball_radius, pattern_distance};
 pub use executor::{
-    ExecutorError, ExecutorKind, SubprocessConfig, WorkerError, WorkerFailure, WorkerRequest,
-    WorkerStats,
+    ExecutorError, ExecutorKind, NetFailure, SubprocessConfig, WorkerError, WorkerFailure,
+    WorkerRequest, WorkerStats, DEFAULT_WORKER_DEADLINE,
+};
+pub use net::{
+    retry_backoff, serve, spawn_host, FaultAction, FaultPlan, HostOptions, NetError, NetPhase,
+    NetRequest, RemoteConfig, NET_PROTOCOL_VERSION,
 };
 pub use oocore::{OocoreConfig, OocoreError};
 pub use pattern::Pattern;
 pub use pool::PoolStore;
 pub use robustness::robustness;
 pub use shard::{ShardEnvError, ShardStrategy, Sharding};
-pub use stats::{IndexMaintenance, IterationStats, OocoreStats, PoolStats, RunStats, ShardStats};
+pub use stats::{
+    IndexMaintenance, IterationStats, NetStats, OocoreStats, PoolStats, RunStats, ShardStats,
+};

@@ -360,7 +360,7 @@ impl PatternFusion<'_> {
         let t_spill = Instant::now();
         for s in 0..n {
             let sub_rows = plan.sub_rows(s);
-            let path = dir.join(format!("shard-{s}.slab"));
+            let path = crate::executor::shard_slab_path(&dir, s);
             let bytes =
                 slab_io::dump_slab_rows_path(base, &sub_rows, &path).map_err(OocoreError::from)?;
             shard_resident.push(rows_resident_bytes(base, &sub_rows));

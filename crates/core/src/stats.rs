@@ -150,6 +150,53 @@ impl OocoreStats {
     }
 }
 
+/// What a networked run did (see [`crate::net`]): dispatch, retry, and
+/// fallback evidence from the remote shard executor. All-zero for local
+/// runs. Deliberately **excluded from bit-identity gates**: heartbeat
+/// counts and byte totals depend on wall-clock interleaving, while the
+/// mined output does not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Non-empty shards dispatched to remote workers.
+    pub shards_dispatched: usize,
+    /// Total connection attempts across all shards (≥ `shards_dispatched`).
+    pub attempts: usize,
+    /// Attempts beyond each shard's first (`attempts - shards completed
+    /// first-try`): how often the deterministic retry policy fired.
+    pub retries: usize,
+    /// Shards that exhausted their retry budget and were re-mined in-thread
+    /// from the spilled slab (graceful degradation).
+    pub fallbacks: usize,
+    /// Mine-phase heartbeat frames received from workers.
+    pub heartbeats: u64,
+    /// Request + sub-pool slab bytes shipped to workers (frame payloads).
+    pub bytes_sent: u64,
+    /// Stats + archive slab bytes received back (frame payloads).
+    pub bytes_received: u64,
+    /// Total deterministic backoff slept between retries.
+    pub backoff_total: Duration,
+}
+
+impl NetStats {
+    /// Whether this run actually dispatched over the network (or tried to).
+    pub fn active(&self) -> bool {
+        self.shards_dispatched > 0 || self.attempts > 0
+    }
+
+    /// Accumulates another shard's counters (the coordinator rolls its
+    /// per-shard threads' counters into the run total in shard order).
+    pub fn merge(&mut self, o: &NetStats) {
+        self.shards_dispatched += o.shards_dispatched;
+        self.attempts += o.attempts;
+        self.retries += o.retries;
+        self.fallbacks += o.fallbacks;
+        self.heartbeats += o.heartbeats;
+        self.bytes_sent += o.bytes_sent;
+        self.bytes_received += o.bytes_received;
+        self.backoff_total += o.backoff_total;
+    }
+}
+
 /// Statistics for a whole Pattern-Fusion run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -181,6 +228,9 @@ pub struct RunStats {
     /// Out-of-core spill/load evidence (all-zero for in-memory runs; see
     /// [`crate::oocore`]).
     pub oocore: OocoreStats,
+    /// Remote-dispatch evidence (all-zero for local runs; see
+    /// [`crate::net`]).
+    pub net: NetStats,
 }
 
 impl RunStats {

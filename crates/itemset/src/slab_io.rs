@@ -143,6 +143,45 @@ fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
     crc
 }
 
+/// Streaming CRC-32 over arbitrary byte runs — the exact checksum the
+/// CFPSLAB footer uses (IEEE 802.3 reflected, init `0xFFFF_FFFF`, final
+/// XOR), exposed so other interchange layers (the shard-worker network
+/// frames of `cfp_core::net`) checksum with the same machinery instead of
+/// a second table.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// A fresh checksum (over zero bytes so far).
+    pub fn new() -> Self {
+        Self(0xFFFF_FFFF)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.0 = crc32_update(self.0, bytes);
+    }
+
+    /// The checksum of everything updated so far (the running state is
+    /// unaffected; more bytes may still be folded in).
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot [`Crc32`] over a single byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
 /// Streams bytes to `inner` while folding them into a running CRC — the
 /// writer never buffers a section, so row-subset spills stay O(row) in
 /// scratch space.
@@ -614,6 +653,24 @@ mod tests {
             pool.push_tidset(&items, &TidSet::from_tids(universe, tids));
         }
         pool
+    }
+
+    #[test]
+    fn public_crc32_matches_the_footer_checksum() {
+        // The IEEE 802.3 check value for the canonical "123456789" vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // Streaming over arbitrary splits equals the one-shot.
+        let data = b"the CFPSLAB footer and the net frames share one CRC";
+        let mut c = Crc32::new();
+        c.update(&data[..7]);
+        c.update(&data[7..30]);
+        c.update(&data[30..]);
+        assert_eq!(c.finish(), crc32(data));
+        // And it is exactly what the slab footer stores: the last 4 bytes
+        // of a dump are the CRC of everything before them.
+        let bytes = dump_bytes(&sample_pool(64));
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        assert_eq!(u32::from_le_bytes(tail.try_into().unwrap()), crc32(body));
     }
 
     #[test]

@@ -104,6 +104,55 @@
 //! surfaced by the parent as a typed worker-death error carrying the
 //! shard index, exit status, and captured stderr.
 //!
+//! # Worker interchange protocol (version 2, networked)
+//!
+//! The networked shard executor (`cfp_core::net`: coordinator ↔
+//! `cfp shard-host` over TCP) speaks version 2: the same CFPSLAB bytes,
+//! re-framed for a socket. Every frame is
+//!
+//! ```text
+//! offset  size   field
+//! ------  -----  --------------------------------------------------
+//!      0  1      kind (u8)
+//!      1  4      payload length (u32 LE, ≤ 8 MiB)
+//!      5  len    payload
+//!  5+len  4      CRC-32 (IEEE) over kind + length + payload (LE)
+//! ------  -----  --------------------------------------------------
+//! ```
+//!
+//! Frame kinds: `1` request, `2` slab chunk, `3` slab end, `4`
+//! heartbeat, `5` stats record, `6` error, `7` bye. A short read, a bad
+//! CRC, an unknown kind, or an over-cap length is a typed corrupt-frame
+//! failure — never a panic, never a partial merge.
+//!
+//! **Handshake** (request payload, ASCII): `cfp-net 2 shard=<S>
+//! shards=<N> attempt=<A>` on the first line, then the same
+//! configuration flags as the version-1 argv request, one token per
+//! line. A host rejects unknown versions and unknown flags exactly as a
+//! version-1 worker does. `attempt` makes redelivery explicit: a host
+//! treats every attempt as idempotent (same sub-pool → same answer).
+//!
+//! **Slab streaming**: the coordinator frames the shard's sub-pool —
+//! byte-identical to the version-1 `IN.slab` image, row order and all —
+//! as chunk frames (128 KiB each) closed by a slab-end frame whose
+//! payload is the total byte count (u64 LE); the host streams the
+//! archive slab back the same way after its stats frame. End-total
+//! mismatches and trailing bytes are corrupt-frame failures.
+//!
+//! **Liveness**: while mining, the host emits a heartbeat frame at a
+//! configurable cadence; the coordinator arms `SO_RCVTIMEO` /
+//! `SO_SNDTIMEO` per phase (connect, send, mine, receive), so a dead
+//! peer surfaces as a typed per-phase timeout, never a hang.
+//!
+//! **Errors**: an error frame carries `exit=<code>` (reusing the
+//! version-1 exit codes: `2` slab I/O, `3` malformed request) and the
+//! failure text on the following lines; the coordinator maps it to a
+//! typed remote-worker failure, retries the shard with deterministic
+//! backoff on a rotated host, and — when retries are exhausted — either
+//! re-mines the shard in-thread from its spilled slab or surfaces a
+//! typed network failure naming the shard, the attempt count, and the
+//! last error.
+//!
 //! # Ownership and freezing contract
 //!
 //! The slab is **append-only**: a row, once pushed, is frozen — its words,

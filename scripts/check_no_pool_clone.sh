@@ -72,6 +72,14 @@ check_absent crates/core/src/executor.rs \
     'pool\.clone\(\)|slab\.clone\(\)|base\.clone\(\)|\.permuted\(|Vec<Pattern>|\.tids\.clone' \
     'worker interchange streams slab rows (no cloned sub-pools or slab copies)'
 
+# 8. The networked executor frames each shard's sub-pool over TCP straight
+#    from base-slab row borrows (`write_slab_rows` into the chunking
+#    FrameSink) and decodes archives from the framed byte stream: no
+#    cloned sub-pools or whole-slab copies on the wire path either.
+check_absent crates/core/src/net.rs \
+    'pool\.clone\(\)|slab\.clone\(\)|base\.clone\(\)|\.permuted\(|Vec<Pattern>|\.tids\.clone' \
+    'wire interchange streams slab rows (no cloned sub-pools or slab copies)'
+
 if [ "$fail" -ne 0 ]; then
     echo "slab hot-path gate failed: a Vec<Pattern> copying idiom is back on the mine->fuse path"
     exit 1

@@ -29,10 +29,11 @@
 //! --executor process`, not by people, so it stays out of the usage text.
 
 use colossal::fusion::executor::run_shard_worker;
+use colossal::fusion::net;
 use colossal::fusion::oocore::{parse_budget, OocoreConfig};
 use colossal::fusion::{
-    ExecutorKind, FusionConfig, FusionResult, PatternFusion, Sharding, SubprocessConfig,
-    WorkerError, WorkerRequest,
+    ExecutorKind, FusionConfig, FusionResult, HostOptions, PatternFusion, RemoteConfig, Sharding,
+    SubprocessConfig, WorkerError, WorkerRequest,
 };
 use colossal::itemset::slab_io;
 use colossal::itemset::{read_fimi, write_fimi, TransactionDb};
@@ -51,12 +52,21 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    // Same discipline for the network environment: a malformed
+    // CFP_NET_TIMEOUT / CFP_NET_ATTEMPTS / CFP_FAULT fails loudly here —
+    // in particular, CFP_FAULT on a build without the fault-inject
+    // feature is an error, never a silently honored no-op.
+    if let Err(e) = net::validate_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match command.as_str() {
         "mine" => cmd_mine(&args[1..]),
         "dump" => cmd_dump(&args[1..]),
         "load" => cmd_load(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "shard-host" => cmd_shard_host(&args[1..]),
         // Hidden: the subprocess executor's worker half, with its own
         // protocol exit codes (0 ok, 2 slab I/O, 3 request/dataset).
         "shard-worker" => return cmd_shard_worker(&args[1..]),
@@ -94,10 +104,15 @@ usage:
                        fusion pass to B (suffixes k/m/g; 0 = spill but one
                        pass; overrides CFP_MEM_BUDGET; bit-identical output)
       --executor E     shard execution backend: thread | oocore | process
-                       (overrides CFP_EXECUTOR; process spawns one
-                       cfp shard-worker per shard; bit-identical output;
-                       CFP_EXECUTOR_FALLBACK=1 re-runs a dead worker's
-                       shard in-process instead of failing)
+                       | remote (overrides CFP_EXECUTOR; process spawns
+                       one cfp shard-worker per shard, remote streams each
+                       shard to a cfp shard-host over TCP; bit-identical
+                       output; CFP_EXECUTOR_FALLBACK=1 re-runs a dead
+                       worker's shard in-process instead of failing, =0
+                       disables the remote executor's default fallback)
+      --workers LIST   remote executor worker addresses, comma-separated
+                       host:port (overrides CFP_WORKERS); deadlines and
+                       retries via CFP_NET_TIMEOUT (ms) / CFP_NET_ATTEMPTS
       --spill-dir D    spill/work directory for oocore and process runs
                        (must be empty; kept only with --keep-spill)
       --keep-spill     keep the spill/work directory after the run
@@ -108,6 +123,13 @@ usage:
       --minsup/--mincount/--pool-len as for mine; --threads N mine workers
   cfp load <pool.slab>               validate a dumped slab and summarize it
   cfp stats <file.dat>               dataset summary
+  cfp shard-host [options]           serve shards to remote coordinators
+      --bind ADDR      listen address                 [default 127.0.0.1:0]
+      --max-conns N    serve N connections, then exit [default: forever]
+      --heartbeat MS   mine-phase heartbeat cadence   [default 500]
+      --io-timeout MS  socket deadline (also CFP_NET_TIMEOUT) [default 60000]
+      --verbose        log per-connection failures to stderr
+      (prints the bound address on stdout once listening)
   cfp generate <kind> [--out FILE] [--seed S]
       kinds: diag40, diag-plus (the intro's Diag40+20), replace, all, quest";
 
@@ -210,8 +232,9 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     };
     let executor = executor_name
         .map(|name| {
-            let parsed = ExecutorKind::parse(&name)
-                .ok_or_else(|| format!("unknown --executor '{name}' (thread|oocore|process)"))?;
+            let parsed = ExecutorKind::parse(&name).ok_or_else(|| {
+                format!("unknown --executor '{name}' (thread|oocore|process|remote)")
+            })?;
             Ok::<ExecutorKind, String>(match parsed {
                 ExecutorKind::OutOfCore(_) => ExecutorKind::OutOfCore(make_oo(budget.unwrap_or(0))),
                 ExecutorKind::Subprocess(_) => {
@@ -228,6 +251,37 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
                         sp = sp.with_fallback_in_process(true);
                     }
                     ExecutorKind::Subprocess(sp)
+                }
+                ExecutorKind::Remote(_) => {
+                    // Worker fleet from --workers / CFP_WORKERS; deadlines
+                    // and attempt budget from the CFP_NET_* environment
+                    // (validated in main); deterministic fault schedule
+                    // from CFP_FAULT when compiled in. Fallback is on by
+                    // default for remote — CFP_EXECUTOR_FALLBACK=0 turns a
+                    // retry-exhausted shard into a typed error instead.
+                    let workers_arg = match parse_value::<String>(args, "--workers")? {
+                        Some(list) => Some(list),
+                        None => std::env::var("CFP_WORKERS")
+                            .ok()
+                            .filter(|v| !v.trim().is_empty()),
+                    };
+                    let workers: Vec<String> = workers_arg
+                        .ok_or("--executor remote needs --workers host:port,... or CFP_WORKERS")?
+                        .split(',')
+                        .map(|w| w.trim().to_string())
+                        .filter(|w| !w.is_empty())
+                        .collect();
+                    let mut rc = RemoteConfig::new()
+                        .with_workers(workers)
+                        .with_keep_work(keep_spill)
+                        .with_fault(net::FaultPlan::from_env());
+                    if let Some(d) = &spill_dir {
+                        rc = rc.with_work_dir(d);
+                    }
+                    if std::env::var("CFP_EXECUTOR_FALLBACK").ok().as_deref() == Some("0") {
+                        rc = rc.with_fallback_in_thread(false);
+                    }
+                    ExecutorKind::Remote(rc)
                 }
                 ExecutorKind::InThread => ExecutorKind::InThread,
             })
@@ -296,6 +350,22 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             eprintln!(
                 "  merge: {} boundary-repair iterations",
                 result.stats.repair_iterations
+            );
+        }
+        let netstats = &result.stats.net;
+        if netstats.active() {
+            eprintln!(
+                "  net: {} shard(s) dispatched in {} attempt(s) ({} retried, {} fell back \
+                 in-thread), {:.1} KiB sent / {:.1} KiB received, {} heartbeat(s), \
+                 {:.3}s backoff",
+                netstats.shards_dispatched,
+                netstats.attempts,
+                netstats.retries,
+                netstats.fallbacks,
+                netstats.bytes_sent as f64 / 1024.0,
+                netstats.bytes_received as f64 / 1024.0,
+                netstats.heartbeats,
+                netstats.backoff_total.as_secs_f64(),
             );
         }
         let oo = &result.stats.oocore;
@@ -482,4 +552,38 @@ fn cmd_shard_worker(args: &[String]) -> ExitCode {
             ExitCode::from(3)
         }
     }
+}
+
+/// The `shard-host` subcommand — the worker half of the remote executor
+/// (worker interchange protocol v2). Binds, announces the bound address on
+/// stdout (an OS-assigned `:0` port is the fixture-friendly default), and
+/// serves one shard request per connection until `--max-conns` runs out.
+fn cmd_shard_host(args: &[String]) -> Result<(), String> {
+    let bind = parse_value::<String>(args, "--bind")?.unwrap_or_else(|| "127.0.0.1:0".into());
+    let listener =
+        std::net::TcpListener::bind(&bind).map_err(|e| format!("binding {bind}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let mut opts = HostOptions::default()
+        .with_verbose(parse_flag(args, "--verbose"))
+        .with_fault(net::FaultPlan::from_env());
+    if let Some(n) = parse_value::<usize>(args, "--max-conns")? {
+        opts = opts.with_max_conns(n);
+    }
+    if let Some(ms) = parse_value::<u64>(args, "--heartbeat")? {
+        opts = opts.with_heartbeat(std::time::Duration::from_millis(ms.max(1)));
+    }
+    match parse_value::<u64>(args, "--io-timeout")? {
+        Some(ms) => opts = opts.with_io_timeout(std::time::Duration::from_millis(ms.max(1))),
+        None => {
+            if let Some(t) = net::timeout_from_env() {
+                opts = opts.with_io_timeout(t);
+            }
+        }
+    }
+    // Announce on stdout (flushed) so scripts can scrape the port even
+    // when it was OS-assigned.
+    println!("cfp shard-host listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    net::serve(listener, &opts).map_err(|e| format!("serve: {e}"))
 }

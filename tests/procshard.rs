@@ -180,6 +180,62 @@ fn in_process_fallback_recovers_dead_workers_bit_identically() {
 }
 
 #[test]
+fn stalled_worker_is_killed_at_the_deadline_and_surfaces_typed() {
+    let data = planted_db();
+    let dir = std::env::temp_dir().join(format!("cfp-procshard-stall-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // The worker's own CFP_FAULT (forwarded on its child environment)
+    // stalls shard 0 before mining; historically `wait_with_output`
+    // blocked forever here. The deadline must kill it and surface a
+    // timed-out worker failure — a bounded wait, never a hang.
+    let ex = ExecutorKind::Subprocess(
+        SubprocessConfig::new()
+            .with_worker_cmd(worker_cmd())
+            .with_work_dir(&dir)
+            .with_fault("stall-mine:shard0")
+            .with_timeout(std::time::Duration::from_millis(400)),
+    );
+    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1));
+    let t0 = std::time::Instant::now();
+    match pf.run_with_executor(&ex) {
+        Err(ExecutorError::Worker(wf)) => {
+            assert_eq!(wf.shard, 0, "{wf}");
+            assert!(wf.timed_out, "{wf}");
+            assert!(wf.to_string().contains("[timeout]"), "{wf}");
+        }
+        other => panic!("expected a timed-out worker failure, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(30),
+        "the deadline bounded the wait"
+    );
+    // The guard swept the work directory on the error path: no orphaned
+    // CFPSLAB files from the killed worker.
+    assert!(!dir.exists(), "timeout path left spill files behind");
+}
+
+#[test]
+fn fallback_recovers_a_stalled_worker_bit_identically() {
+    let data = planted_db();
+    let inm = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1)).run();
+    let ex = ExecutorKind::Subprocess(
+        SubprocessConfig::new()
+            .with_worker_cmd(worker_cmd())
+            .with_fault("stall-mine:shard0")
+            .with_timeout(std::time::Duration::from_millis(400))
+            .with_fallback_in_process(true),
+    );
+    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 2));
+    let rec = pf.run_with_executor(&ex).expect("fallback run");
+    assert_identical(&inm.patterns, &rec.patterns, "stall fallback");
+    assert_eq!(
+        shards_without_time(&inm.stats),
+        shards_without_time(&rec.stats),
+        "stall fallback: per-shard counters drifted"
+    );
+}
+
+#[test]
 fn closure_step_requires_a_dataset_path() {
     let data = planted_db();
     let cfg = config(2, ShardStrategy::SupportStratum, 1).with_closure_step(true);
