@@ -25,7 +25,7 @@
 //! (a silent in-thread fallback would fake a low overhead).
 
 use cfp_core::{
-    spawn_host, ExecutorKind, FusionConfig, HostOptions, PatternFusion, RemoteConfig, ShardStrategy,
+    spawn_host, ExecutorKind, FusionConfig, HostOptions, RemoteConfig, ShardStrategy, Source,
 };
 use cfp_itemset::PatternPool;
 use criterion::{black_box, Criterion};
@@ -87,10 +87,11 @@ fn bench_netshard(c: &mut Criterion) {
     // The remote run is bit-identical to the in-thread sharded engine,
     // per-shard counters included, and it got there over the wire — no
     // retries, no in-thread fallbacks.
-    let pf = PatternFusion::new(&db, config());
-    let inm = pf.run_sharded_with_slab(slab.clone());
-    let net = pf
-        .run_with_slab_executor(slab.clone(), &remote)
+    let inm_engine = config().engine(&db).partitioned();
+    let net_engine = config().engine(&db).with_executor(remote);
+    let inm = inm_engine.mine(Source::Slab(slab.clone())).unwrap();
+    let net = net_engine
+        .mine(Source::Slab(slab.clone()))
         .expect("remote run");
     assert_eq!(
         inm.patterns.len(),
@@ -127,14 +128,16 @@ fn bench_netshard(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4));
     group.bench_function("run_inthread_k4", |b| {
         b.iter(|| {
-            let r = pf.run_sharded_with_slab(black_box(slab.clone()));
+            let r = inm_engine
+                .mine(Source::Slab(black_box(slab.clone())))
+                .unwrap();
             (r.patterns.len(), r.stats.shards.len())
         })
     });
     group.bench_function("run_remote_k4", |b| {
         b.iter(|| {
-            let r = pf
-                .run_with_slab_executor(black_box(slab.clone()), &remote)
+            let r = net_engine
+                .mine(Source::Slab(black_box(slab.clone())))
                 .expect("remote run");
             assert_eq!(r.stats.net.fallbacks, 0, "timed run fell back in-thread");
             (r.patterns.len(), r.stats.shards.len())

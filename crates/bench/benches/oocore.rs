@@ -1,6 +1,7 @@
 //! Out-of-core fusion benchmark: the spill/evict/load driver
-//! ([`PatternFusion::run_out_of_core_with_slab`]) against the in-memory
-//! sharded engine on the 12 288-pattern clustered pool, at a memory budget
+//! ([`cfp_core::ExecutorKind::OutOfCore`] through the engine facade)
+//! against the in-memory sharded engine on the 12 288-pattern clustered
+//! pool, at a memory budget
 //! of **one quarter of the pool's resident tid bytes** — small enough that
 //! every pass genuinely evicts and reloads.
 //!
@@ -24,7 +25,7 @@
 //! Output bit-identity with the in-memory engine is gated before anything
 //! is timed.
 
-use cfp_core::{FusionConfig, OocoreConfig, PatternFusion, ShardStrategy};
+use cfp_core::{ExecutorKind, FusionConfig, OocoreConfig, ShardStrategy, Source};
 use cfp_itemset::PatternPool;
 use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
@@ -61,10 +62,13 @@ fn bench_oocore(c: &mut Criterion) {
     // --- Correctness gate, before anything is timed ------------------------
     // The out-of-core run at the quarter budget is bit-identical to the
     // in-memory sharded engine.
-    let pf = PatternFusion::new(&db, config());
-    let inm = pf.run_sharded_with_slab(slab.clone());
-    let oo = pf
-        .run_out_of_core_with_slab(slab.clone(), &OocoreConfig::new(budget))
+    let inm_engine = config().engine(&db).partitioned();
+    let oo_engine = config()
+        .engine(&db)
+        .with_executor(ExecutorKind::OutOfCore(OocoreConfig::new(budget)));
+    let inm = inm_engine.mine(Source::Slab(slab.clone())).unwrap();
+    let oo = oo_engine
+        .mine(Source::Slab(slab.clone()))
         .expect("out-of-core run");
     assert_eq!(
         inm.patterns.len(),
@@ -93,14 +97,16 @@ fn bench_oocore(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4));
     group.bench_function("run_inmemory_k4", |b| {
         b.iter(|| {
-            let r = pf.run_sharded_with_slab(black_box(slab.clone()));
+            let r = inm_engine
+                .mine(Source::Slab(black_box(slab.clone())))
+                .unwrap();
             (r.patterns.len(), r.stats.shards.len())
         })
     });
     group.bench_function("run_oocore_k4_quarter_budget", |b| {
         b.iter(|| {
-            let r = pf
-                .run_out_of_core_with_slab(black_box(slab.clone()), &OocoreConfig::new(budget))
+            let r = oo_engine
+                .mine(Source::Slab(black_box(slab.clone())))
                 .expect("out-of-core run");
             (r.patterns.len(), r.stats.oocore.passes)
         })

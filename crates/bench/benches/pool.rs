@@ -12,9 +12,9 @@
 //!
 //! **Pipeline entry** (`pool_entry` group): a complete fusion run over the
 //! 12 288-pattern clustered pool, entered two ways with identical output
-//! (gated): [`PatternFusion::run_with_slab`] — the engine's path, the pool
-//! arrives as a columnar slab and becomes the store's frozen base with no
-//! per-pattern work — vs [`PatternFusion::run_with_pool`] — the legacy
+//! (gated): [`cfp_core::Source::Slab`] — the engine's zero-copy path, the
+//! pool arrives as a columnar slab and becomes the store's frozen base
+//! with no per-pattern work — vs [`cfp_core::Source::Pool`] — the legacy
 //! `Vec<Pattern>` shape, which pays one heap allocation per pattern to
 //! build plus the per-pattern re-push into a slab at entry. The run itself
 //! is shared machinery, so the gap isolates what the `Vec<Pattern>`
@@ -22,7 +22,7 @@
 //!
 //! Exports `BENCH_pool.json`.
 
-use cfp_core::{FusionConfig, Pattern, PatternFusion};
+use cfp_core::{FusionConfig, Pattern, Source};
 use cfp_itemset::PatternPool;
 use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
@@ -114,12 +114,12 @@ fn bench_pool(c: &mut Criterion) {
     let pool = cfp_bench::clustered_pool(&mut rng, CLUSTERS, PER_CLUSTER, UNIVERSE);
     let slab = slab_of(&pool);
     let db_entry = cfp_datagen::diag(4);
-    let pf = PatternFusion::new(&db_entry, entry_config());
+    let engine = entry_config().engine(&db_entry);
 
     // Gate: both entries produce identical results.
     {
-        let a = pf.run_with_slab(slab.clone());
-        let b = pf.run_with_pool(pool.clone());
+        let a = engine.mine(Source::Slab(slab.clone())).unwrap();
+        let b = engine.mine(Source::Pool(pool.clone())).unwrap();
         assert_eq!(a.patterns.len(), b.patterns.len(), "entry drift (sizes)");
         for (x, y) in a.patterns.iter().zip(&b.patterns) {
             assert_eq!(x.items, y.items, "entry drift (itemsets)");
@@ -134,13 +134,13 @@ fn bench_pool(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4));
     group.bench_function("entry_slab", |b| {
         b.iter(|| {
-            let r = pf.run_with_slab(black_box(slab.clone()));
+            let r = engine.mine(Source::Slab(black_box(slab.clone()))).unwrap();
             r.patterns.len()
         })
     });
     group.bench_function("entry_vec", |b| {
         b.iter(|| {
-            let r = pf.run_with_pool(black_box(pool.clone()));
+            let r = engine.mine(Source::Pool(black_box(pool.clone()))).unwrap();
             r.patterns.len()
         })
     });

@@ -20,7 +20,7 @@
 //! Output bit-identity with the in-thread engine — itemsets, support
 //! sets, AND per-shard counters — is gated before anything is timed.
 
-use cfp_core::{ExecutorKind, FusionConfig, PatternFusion, ShardStrategy, SubprocessConfig};
+use cfp_core::{ExecutorKind, FusionConfig, ShardStrategy, Source, SubprocessConfig};
 use cfp_itemset::PatternPool;
 use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
@@ -77,10 +77,11 @@ fn bench_procshard(c: &mut Criterion) {
     // --- Correctness gate, before anything is timed ------------------------
     // The subprocess run is bit-identical to the in-thread sharded engine,
     // per-shard counters included.
-    let pf = PatternFusion::new(&db, config());
-    let inm = pf.run_sharded_with_slab(slab.clone());
-    let proc = pf
-        .run_with_slab_executor(slab.clone(), &subprocess())
+    let inm_engine = config().engine(&db).partitioned();
+    let proc_engine = config().engine(&db).with_executor(subprocess());
+    let inm = inm_engine.mine(Source::Slab(slab.clone())).unwrap();
+    let proc = proc_engine
+        .mine(Source::Slab(slab.clone()))
         .expect("subprocess run");
     assert_eq!(
         inm.patterns.len(),
@@ -115,14 +116,16 @@ fn bench_procshard(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4));
     group.bench_function("run_inthread_k4", |b| {
         b.iter(|| {
-            let r = pf.run_sharded_with_slab(black_box(slab.clone()));
+            let r = inm_engine
+                .mine(Source::Slab(black_box(slab.clone())))
+                .unwrap();
             (r.patterns.len(), r.stats.shards.len())
         })
     });
     group.bench_function("run_subprocess_k4", |b| {
         b.iter(|| {
-            let r = pf
-                .run_with_slab_executor(black_box(slab.clone()), &subprocess())
+            let r = proc_engine
+                .mine(Source::Slab(black_box(slab.clone())))
                 .expect("subprocess run");
             (r.patterns.len(), r.stats.shards.len())
         })

@@ -1,8 +1,8 @@
 //! Sharded fusion engine benchmark: K ∈ {1, 2, 4, 8} shards on the
 //! 12 288-pattern clustered pool.
 //!
-//! Each measured unit is one **complete sharded fusion run**
-//! ([`PatternFusion::run_sharded_with_pool`]): partition, per-shard
+//! Each measured unit is one **complete sharded fusion run** (the engine
+//! facade's forced-partition path, `engine.partitioned()`): partition, per-shard
 //! persistent-index fusion, deterministic archive merge, and boundary
 //! repair. K = 1 is the baseline — the same machinery with one shard, which
 //! is bit-identical to the unsharded engine (gated below before anything is
@@ -22,7 +22,7 @@
 //! Exports `BENCH_shard.json` with per-K times, the K = 4 speedup, and the
 //! ≥ 1.3× acceptance target.
 
-use cfp_core::{FusionConfig, PatternFusion, ShardStrategy};
+use cfp_core::{FusionConfig, ShardStrategy, Source};
 use cfp_itemset::PatternPool;
 use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
@@ -67,9 +67,13 @@ fn bench_shard(c: &mut Criterion) {
     // --- Correctness gates, before anything is timed -----------------------
     // Gate 1: the sharded machinery at one shard is bit-identical to the
     // unsharded engine on this pool.
-    let pf1 = PatternFusion::new(&db, config(1, ShardStrategy::SupportStratum));
-    let unsharded = pf1.run_with_slab(slab.clone());
-    let single = pf1.run_sharded_with_slab(slab.clone());
+    let cfg1 = config(1, ShardStrategy::SupportStratum);
+    let unsharded = cfg1.engine(&db).mine(Source::Slab(slab.clone())).unwrap();
+    let single = cfg1
+        .engine(&db)
+        .partitioned()
+        .mine(Source::Slab(slab.clone()))
+        .unwrap();
     assert_eq!(
         unsharded.patterns.len(),
         single.patterns.len(),
@@ -83,7 +87,10 @@ fn bench_shard(c: &mut Criterion) {
     let gate_stats = {
         let run = |threads: usize| {
             let cfg = config(4, ShardStrategy::SupportStratum).with_threads(threads);
-            PatternFusion::new(&db, cfg).run_sharded_with_slab(slab.clone())
+            cfg.engine(&db)
+                .partitioned()
+                .mine(Source::Slab(slab.clone()))
+                .unwrap()
         };
         let one = run(1);
         let two = run(2);
@@ -104,9 +111,9 @@ fn bench_shard(c: &mut Criterion) {
     for strategy in ShardStrategy::ALL {
         for &n in &SHARD_COUNTS {
             group.bench_function(format!("run_{}_{n}", strategy.name()), |b| {
-                let pf = PatternFusion::new(&db, config(n, strategy));
+                let engine = config(n, strategy).engine(&db).partitioned();
                 b.iter(|| {
-                    let r = pf.run_sharded_with_slab(black_box(slab.clone()));
+                    let r = engine.mine(Source::Slab(black_box(slab.clone()))).unwrap();
                     (r.patterns.len(), r.stats.shards.len())
                 })
             });

@@ -14,6 +14,8 @@
 //! | `BENCH_oocore.json`   | `overhead_vs_inmemory`| ≤ 2×    |
 //! | `BENCH_procshard.json`| `overhead_vs_inthread`| ≤ 2.5×  |
 //! | `BENCH_netshard.json` | `overhead_vs_inthread`| ≤ 3×    |
+//! | `BENCH_serve.json`    | `queries_per_sec`     | ≥ 1000  |
+//! | `BENCH_serve.json`    | `p99_latency_ms`      | ≤ 50 ms |
 //!
 //! A 10% measurement-noise allowance is applied (a ≥-gate trips below
 //! 0.9 × target, a ≤-gate above target / 0.9): these are *regression* gates
@@ -28,7 +30,8 @@
 //! definition; the procshard gate (4 worker processes) and the netshard
 //! gate (a 2-host loopback fleet) are skipped on single-core boxes, where
 //! fan-out buys nothing to amortize its spawn / wire-framing cost
-//! against.
+//! against; both serve gates (concurrent clients against one daemon) are
+//! skipped on single-core boxes for the same reason.
 //!
 //! Every gate is evaluated every run — missing summary files are all
 //! reported together (with the `cargo bench` invocation that regenerates
@@ -63,7 +66,7 @@ struct Gate {
     bench: &'static str,
 }
 
-const GATES: [Gate; 8] = [
+const GATES: [Gate; 10] = [
     Gate {
         file: "BENCH_ball.json",
         field: "speedup",
@@ -127,6 +130,22 @@ const GATES: [Gate; 8] = [
         direction: Direction::AtMost,
         what: "networked shard executor (loopback TCP, 2 hosts) vs in-thread sharded engine",
         bench: "cargo bench -p cfp-bench --bench netshard",
+    },
+    Gate {
+        file: "BENCH_serve.json",
+        field: "queries_per_sec",
+        target: 1000.0,
+        direction: Direction::AtLeast,
+        what: "pattern query service throughput, concurrent loopback clients",
+        bench: "cargo bench -p cfp-bench --bench serve",
+    },
+    Gate {
+        file: "BENCH_serve.json",
+        field: "p99_latency_ms",
+        target: 50.0,
+        direction: Direction::AtMost,
+        what: "pattern query service p99 request latency under concurrent load",
+        bench: "cargo bench -p cfp-bench --bench serve",
     },
 ];
 
@@ -216,6 +235,15 @@ fn main() -> ExitCode {
         {
             println!(
                 "SKIP {:<22} single core on this box (networked fan-out cannot amortize its wire cost)",
+                gate.file
+            );
+            continue;
+        }
+        if gate.file == "BENCH_serve.json"
+            && field_f64(&json, "threads_available").is_some_and(|t| t < 2.0)
+        {
+            println!(
+                "SKIP {:<22} single core on this box (server and clients would timeshare one core)",
                 gate.file
             );
             continue;

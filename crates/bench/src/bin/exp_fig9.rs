@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p cfp-bench --bin exp_fig9 [--fast] [--k N]`
 
 use cfp_bench::{arg_usize, engine_line, flag, secs, time, Table};
-use cfp_core::{FusionConfig, PatternFusion};
+use cfp_core::{FusionConfig, Source};
 use cfp_miners::{closed, Budget};
 use std::collections::BTreeMap;
 
@@ -50,15 +50,15 @@ fn main() {
         .with_pool_max_len(2)
         .with_closure_step(true)
         .with_seed(0xF190);
-    let pf = PatternFusion::new(db, config);
+    let engine = config.engine(db);
     // Mine straight into the slab (the engine's own entry); the timed run
     // enters zero-copy instead of round-tripping through Vec<Pattern>.
-    let pool = pf.mine_initial_slab();
+    let pool = engine.fusion().mine_initial_slab();
     println!(
         "initial pool: {} patterns of size <= 2 (paper: 25,760)",
         pool.len()
     );
-    let (result, d_pf) = time(|| pf.run_with_slab(pool));
+    let (result, d_pf) = time(|| engine.mine(Source::Slab(pool)).unwrap());
     println!(
         "pattern-fusion: {} patterns in {} s over {} iterations",
         result.patterns.len(),

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p cfp-bench --bin exp_shard [--fast] [--k N]`
 
 use cfp_bench::{arg_usize, engine_line, flag, secs, time, Table};
-use cfp_core::{FusionConfig, PatternFusion, ShardStrategy};
+use cfp_core::{FusionConfig, PatternFusion, ShardStrategy, Source};
 use cfp_itemset::Itemset;
 
 fn main() {
@@ -58,16 +58,16 @@ fn main() {
             .with_shards(shards)
             .with_shard_strategy(strategy)
     };
-    let pf_ref = PatternFusion::new(&data.db, base_cfg(1, ShardStrategy::SupportStratum));
+    let ref_engine = base_cfg(1, ShardStrategy::SupportStratum).engine(&data.db);
     // One slab mined for the whole sweep: every run enters zero-copy, and
     // the K = 1 identity check compares over the identical pool.
-    let pool = pf_ref.mine_initial_slab();
-    let unsharded = pf_ref.run_with_slab(pool.clone());
+    let pool = ref_engine.fusion().mine_initial_slab();
+    let unsharded = ref_engine.mine(Source::Slab(pool.clone())).unwrap();
 
     for strategy in ShardStrategy::ALL {
         for shards in [1usize, 2, 4, 8] {
-            let pf = PatternFusion::new(&data.db, base_cfg(shards, strategy));
-            let (result, d) = time(|| pf.run_sharded_with_slab(pool.clone()));
+            let engine = base_cfg(shards, strategy).engine(&data.db).partitioned();
+            let (result, d) = time(|| engine.mine(Source::Slab(pool.clone())).unwrap());
             if shards == 1 {
                 // The bit-identity contract, live: the sharded machinery at
                 // one shard must reproduce the unsharded engine exactly.

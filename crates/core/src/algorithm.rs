@@ -173,6 +173,7 @@ impl<'a> PatternFusion<'a> {
     /// pools never round-trip through owned patterns. Routes through the
     /// sharded engine ([`crate::shard`]) when `FusionConfig::sharding` asks
     /// for more than one shard.
+    #[deprecated(note = "use `FusionConfig::engine(&db).mine(Source::Pool(pool))` (crate::engine)")]
     pub fn run_with_pool(&self, pool: Vec<Pattern>) -> FusionResult {
         let store = PoolStore::from_patterns(&pool);
         self.run_from_store(store, PoolMineStats::default())
@@ -184,6 +185,7 @@ impl<'a> PatternFusion<'a> {
     /// it mines; external producers (e.g. [`cfp_miners::initial_pool_slab`]
     /// called ahead of time, or a deserialized pool) use it to skip the
     /// `Vec<Pattern>` materialization round-trip entirely.
+    #[deprecated(note = "use `FusionConfig::engine(&db).mine(Source::Slab(slab))` (crate::engine)")]
     pub fn run_with_slab(&self, slab: cfp_itemset::PatternPool) -> FusionResult {
         self.run_from_store(PoolStore::new(slab), PoolMineStats::default())
     }

@@ -746,6 +746,74 @@ impl BallIndex {
             slo,
             shi,
             seed_pivot_dists,
+            ext: None,
+        }
+    }
+
+    /// Prepares a ball query for a seed that is **not** a pool member: an
+    /// external tid-set supplied in slab-row shape — `words` is the padded
+    /// tid bitmap ([`PoolStore::words_per_row`] words), `sufs` its suffix
+    /// cardinality table ([`PoolStore::suf_stride`] entries, built with
+    /// [`kernels::suffix_cards_into`]), `card` the set's cardinality.
+    ///
+    /// The seed's pivot distances are computed here, one batched Jaccard
+    /// per pivot through the same kernel that built the pivot table, so the
+    /// triangle-inequality prune is exactly as tight (and as correct) as
+    /// for member queries. The scan then runs the member machinery
+    /// unchanged; since the seed holds no index position, no candidate is
+    /// skipped as "self" — the ball is the full radius-`r` neighborhood.
+    /// O(P) small kernel calls + O(log |Pool|).
+    pub fn query_external<'q>(
+        &'q self,
+        store: &PoolStore,
+        words: &'q [u64],
+        sufs: &'q [u32],
+        card: usize,
+    ) -> BallQuery<'q> {
+        debug_assert_eq!(words.len(), store.words_per_row(), "query words mis-sized");
+        debug_assert_eq!(
+            sufs.len(),
+            store.suf_stride(),
+            "query suffix table mis-sized"
+        );
+        let (lo_card, hi_card) = self.card_window(card as f64);
+        let alo = self.cards.partition_point(|&c| c < lo_card);
+        let ahi = self.cards.partition_point(|&c| c <= hi_card);
+        let slo = self.side_cards.partition_point(|&c| c < lo_card);
+        let shi = self.side_cards.partition_point(|&c| c <= hi_card);
+        let mut seed_pivot_dists = [0.0f32; MAX_PIVOTS];
+        let w = store.words_per_row();
+        let mut col: Vec<f64> = Vec::with_capacity(1);
+        for (p, &(prow, _)) in self.pivots.iter().enumerate() {
+            let (local, idx) = store.split(prow);
+            let slab = if local {
+                store.local_pool()
+            } else {
+                store.base_pool()
+            };
+            col.clear();
+            kernels::jaccard_rows(
+                words,
+                card,
+                slab.words(),
+                slab.supports(),
+                w,
+                &[idx],
+                &mut col,
+            );
+            seed_pivot_dists[p] = col[0] as f32;
+        }
+        BallQuery {
+            index: self,
+            // Sentinel: no candidate's global position can equal this, so
+            // the member scan's self-skip never fires for an external seed.
+            q_pos: usize::MAX,
+            alo,
+            ahi,
+            slo,
+            shi,
+            seed_pivot_dists,
+            ext: Some((words, sufs)),
         }
     }
 
@@ -754,6 +822,26 @@ impl BallIndex {
     /// over the live pool.
     pub fn ball(&self, store: &PoolStore, q: usize, stats: &mut BallQueryStats) -> Vec<usize> {
         let query = self.query(q);
+        let mut out = Vec::new();
+        query.account(stats);
+        query.scan(store, 0..query.candidates(), &mut out, stats);
+        out.sort_unstable();
+        out
+    }
+
+    /// Convenience: the full radius-`r` ball of an external tid-set (see
+    /// [`BallIndex::query_external`] for the slab-row shape of
+    /// `words`/`sufs`/`card`), ascending pool order, counters accumulated
+    /// into `stats`.
+    pub fn ball_external(
+        &self,
+        store: &PoolStore,
+        words: &[u64],
+        sufs: &[u32],
+        card: usize,
+        stats: &mut BallQueryStats,
+    ) -> Vec<usize> {
+        let query = self.query_external(store, words, sufs, card);
         let mut out = Vec::new();
         query.account(stats);
         query.scan(store, 0..query.candidates(), &mut out, stats);
@@ -884,6 +972,9 @@ pub struct BallQuery<'a> {
     slo: usize,
     shi: usize,
     seed_pivot_dists: [f32; MAX_PIVOTS],
+    /// `Some((words, sufs))` for an external (non-member) seed: the slab-
+    /// shaped row data the exact kernel reads instead of a store row.
+    ext: Option<(&'a [u64], &'a [u32])>,
 }
 
 impl BallQuery<'_> {
@@ -908,9 +999,10 @@ impl BallQuery<'_> {
     pub fn account(&self, stats: &mut BallQueryStats) {
         let n = self.index.len() as u64;
         let in_range = self.live_candidates() as u64;
-        stats.pairs_total += n - 1;
-        // The seed sits inside its own range; it is neither a pair nor
-        // pruned.
+        // An external seed holds no pool slot, so every live pattern is a
+        // candidate pair; a member seed excludes itself (it sits inside its
+        // own range — neither a pair nor pruned).
+        stats.pairs_total += if self.ext.is_some() { n } else { n - 1 };
         stats.cardinality_pruned += n - in_range;
     }
 
@@ -971,9 +1063,13 @@ impl BallQuery<'_> {
     ) {
         let ix = self.index;
         let arena_span = self.ahi - self.alo;
-        let q_row = ix.row_at(self.q_pos);
-        let qw = store.words_of(q_row);
-        let qs = store.sufs_of(q_row);
+        let (qw, qs) = match self.ext {
+            Some((w, s)) => (w, s),
+            None => {
+                let q_row = ix.row_at(self.q_pos);
+                (store.words_of(q_row), store.sufs_of(q_row))
+            }
+        };
         let pivot_radius = (ix.radius + PIVOT_SLACK) as f32;
         let end = seg.end.min(self.candidates());
         // Pass 1: prune. Survivors are (slab row, pool index) pairs split
@@ -1142,6 +1238,66 @@ mod tests {
             let index = BallIndex::build(&store, &rows, radius, 4);
             assert_matches_brute(&index, &store, &pool, radius, "fresh");
         }
+    }
+
+    /// An external pattern's tid set in slab-row shape: padded word bitmap,
+    /// suffix cardinality table, cardinality.
+    fn row_shape(store: &PoolStore, p: &Pattern) -> (Vec<u64>, Vec<u32>, usize) {
+        let mut words = vec![0u64; store.words_per_row()];
+        for t in p.tids.iter() {
+            words[t / 64] |= 1 << (t % 64);
+        }
+        let mut sufs = Vec::new();
+        kernels::suffix_cards_into(&words, &mut sufs);
+        debug_assert_eq!(sufs.len(), store.suf_stride());
+        (words, sufs, p.tids.count())
+    }
+
+    #[test]
+    fn external_query_equals_brute_force() {
+        let pool = fixture_pool();
+        let (store, rows) = store_of(&pool);
+        for radius in [0.0, 0.2, 0.5, 1.0] {
+            let index = BallIndex::build(&store, &rows, radius, 4);
+            // Every member, asked externally, gets its brute ball plus its
+            // own pool slot (an external seed skips nothing as "self").
+            for q in 0..pool.len() {
+                let (words, sufs, card) = row_shape(&store, &pool[q]);
+                let mut stats = BallQueryStats::default();
+                let got = index.ball_external(&store, &words, &sufs, card, &mut stats);
+                let mut want = brute_ball(&pool, q, radius);
+                want.push(q);
+                want.sort_unstable();
+                assert_eq!(got, want, "member-as-external q={q} radius={radius}");
+                assert_eq!(stats.pairs_total, pool.len() as u64, "q={q}");
+                assert_eq!(
+                    stats.pairs_total,
+                    stats.cardinality_pruned + stats.pivot_pruned + stats.exact_checked,
+                    "q={q} radius={radius}"
+                );
+            }
+            // A genuinely novel tid set: half of cluster 0's base block.
+            let novel = pat(256, 999, &(0..20usize).collect::<Vec<_>>());
+            let (words, sufs, card) = row_shape(&store, &novel);
+            let mut stats = BallQueryStats::default();
+            let got = index.ball_external(&store, &words, &sufs, card, &mut stats);
+            let want: Vec<usize> = (0..pool.len())
+                .filter(|&j| pattern_distance(&novel, &pool[j]) <= radius)
+                .collect();
+            assert_eq!(got, want, "novel seed radius={radius}");
+        }
+    }
+
+    #[test]
+    fn external_query_on_an_empty_index_is_empty() {
+        let pool = fixture_pool();
+        let (store, _) = store_of(&pool);
+        let index = BallIndex::build(&store, &[], 0.5, 4);
+        let (words, sufs, card) = row_shape(&store, &pool[0]);
+        let mut stats = BallQueryStats::default();
+        let got = index.ball_external(&store, &words, &sufs, card, &mut stats);
+        assert!(got.is_empty());
+        assert_eq!(stats.pairs_total, 0);
     }
 
     #[test]

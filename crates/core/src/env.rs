@@ -1,0 +1,392 @@
+//! One typed home for every `CFP_*` environment variable.
+//!
+//! The knobs grew up scattered: `CFP_SHARDS` / `CFP_SHARD_STRATEGY` in
+//! [`crate::shard`], `CFP_MEM_BUDGET` in [`crate::oocore`],
+//! `CFP_NET_TIMEOUT` / `CFP_NET_ATTEMPTS` / `CFP_FAULT` in [`crate::net`],
+//! and `CFP_EXECUTOR` / `CFP_EXECUTOR_FALLBACK` / `CFP_WORKERS` inline in
+//! the `cfp` binary — each with its own parse, its own error wording, and
+//! (for `CFP_MEM_BUDGET` and `CFP_EXECUTOR_FALLBACK`) a silent shrug on a
+//! malformed value. This module is the single source of truth both `cfp
+//! mine` and `cfp serve` read, so a daemon and a batch run given the same
+//! environment cannot disagree about what it means.
+//!
+//! The contract, shared by every variable:
+//!
+//! * **unset, or empty after trimming, means the default** — an empty
+//!   string can come from shell quoting accidents and must never be an
+//!   error;
+//! * **set but malformed is a hard [`EnvError`]** — never a silent
+//!   fallback. `CFP_SHARDS=fuor` quietly running unsharded would
+//!   invalidate exactly the determinism sweep the knob exists for, and
+//!   `CFP_MEM_BUDGET=1x` quietly mining in-memory would fake an
+//!   out-of-core result.
+//!
+//! Each variable has a pure `parse_*` function (tested without touching
+//! the process environment, which is shared mutable state across the
+//! parallel test harness) plus a thin process-environment reader. The
+//! `cfp` CLI calls [`validate_all`] once at startup so every malformed
+//! variable fails loudly before any work starts.
+
+use crate::executor::ExecutorKind;
+use crate::net::FaultPlan;
+use crate::oocore;
+use crate::shard::{self, ShardStrategy, Sharding};
+use std::fmt;
+use std::time::Duration;
+
+/// A set-but-malformed `CFP_*` environment variable. The message names the
+/// variable, echoes the rejected value verbatim, and says what would have
+/// parsed — the same shape for all variables, so a failed CI sweep reads
+/// the same no matter which knob was mistyped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// Which variable was malformed.
+    pub var: &'static str,
+    /// The rejected value, verbatim.
+    pub value: String,
+    /// What would have parsed.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}='{}': expected {} (unset or empty means the default)",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// An environment variable that is set, non-empty after trimming, and
+/// readable — the only state that can carry a malformed value.
+pub fn var_set(var: &str) -> Option<String> {
+    std::env::var(var).ok().filter(|v| !v.trim().is_empty())
+}
+
+/// Reads and strictly parses one variable: unset/empty → `Ok(None)`,
+/// malformed → `Err`, otherwise `Ok(Some(parsed))`.
+fn read<T>(var: &'static str, parse: impl Fn(&str) -> Result<T, EnvError>) -> OptEnv<T> {
+    match var_set(var) {
+        Some(v) => parse(&v).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// `Ok(None)` = unset (use the default); `Err` = set but malformed.
+pub type OptEnv<T> = Result<Option<T>, EnvError>;
+
+// ---------------------------------------------------------------------------
+// Pure parsers — one per variable, each returning the typed EnvError that
+// names its variable.
+// ---------------------------------------------------------------------------
+
+/// `CFP_SHARDS`: a shard count, trimmed decimal ≥ 1.
+pub fn parse_shards(raw: &str) -> Result<usize, EnvError> {
+    shard::parse_shard_count(raw).ok_or_else(|| EnvError {
+        var: "CFP_SHARDS",
+        value: raw.to_string(),
+        expected: "a shard count of at least 1",
+    })
+}
+
+/// `CFP_SHARD_STRATEGY`: `stratum` / `minhash` (case-insensitive, with
+/// aliases; see [`ShardStrategy::parse`]).
+pub fn parse_shard_strategy(raw: &str) -> Result<ShardStrategy, EnvError> {
+    ShardStrategy::parse(raw).ok_or_else(|| EnvError {
+        var: "CFP_SHARD_STRATEGY",
+        value: raw.to_string(),
+        expected: "'stratum' or 'minhash'",
+    })
+}
+
+/// `CFP_MEM_BUDGET`: a byte count with optional binary-magnitude suffix
+/// (`k`/`kb`/`kib`, `m`/…, `g`/…; see [`oocore::parse_budget`]).
+pub fn parse_mem_budget(raw: &str) -> Result<u64, EnvError> {
+    oocore::parse_budget(raw).ok_or_else(|| EnvError {
+        var: "CFP_MEM_BUDGET",
+        value: raw.to_string(),
+        expected: "a byte count with optional k/m/g suffix (binary multiples)",
+    })
+}
+
+/// `CFP_NET_TIMEOUT`: whole milliseconds, at least 1.
+pub fn parse_net_timeout(raw: &str) -> Result<Duration, EnvError> {
+    let err = || EnvError {
+        var: "CFP_NET_TIMEOUT",
+        value: raw.to_string(),
+        expected: "a timeout in whole milliseconds, at least 1",
+    };
+    let ms: u64 = raw.trim().parse().map_err(|_| err())?;
+    if ms == 0 {
+        return Err(err());
+    }
+    Ok(Duration::from_millis(ms))
+}
+
+/// `CFP_NET_ATTEMPTS`: a per-shard attempt budget, at least 1.
+pub fn parse_net_attempts(raw: &str) -> Result<usize, EnvError> {
+    let err = || EnvError {
+        var: "CFP_NET_ATTEMPTS",
+        value: raw.to_string(),
+        expected: "an attempt count of at least 1",
+    };
+    let n: usize = raw.trim().parse().map_err(|_| err())?;
+    if n == 0 {
+        return Err(err());
+    }
+    Ok(n)
+}
+
+/// `CFP_FAULT`: a deterministic fault schedule. Validates the spec
+/// (including "set but fault injection not compiled in") and returns it
+/// verbatim; [`FaultPlan::from_env`] stays the quiet library-side reader.
+pub fn parse_fault_spec(raw: &str) -> Result<String, EnvError> {
+    let err = || EnvError {
+        var: "CFP_FAULT",
+        value: raw.to_string(),
+        expected: "a fault schedule like 'drop-conn:shard1:attempt0,stall-mine:shard0' \
+                   in a build with --features fault-inject",
+    };
+    if !FaultPlan::compiled_in() {
+        return Err(err());
+    }
+    FaultPlan::parse(raw).map_err(|_| err())?;
+    Ok(raw.to_string())
+}
+
+/// `CFP_EXECUTOR`: a backend name (`thread` / `oocore` / `process` /
+/// `remote`, with aliases; see [`ExecutorKind::parse`]), returned
+/// default-configured — callers layer flags and the other `CFP_*`
+/// variables on top.
+pub fn parse_executor(raw: &str) -> Result<ExecutorKind, EnvError> {
+    ExecutorKind::parse(raw).ok_or_else(|| EnvError {
+        var: "CFP_EXECUTOR",
+        value: raw.to_string(),
+        expected: "one of thread|oocore|process|remote",
+    })
+}
+
+/// `CFP_EXECUTOR_FALLBACK`: exactly `1` (fall back) or `0` (hard error),
+/// trimmed. Anything else used to be silently ignored; now it is a parse
+/// error, because a typo'd `CFP_EXECUTOR_FALLBACK=yes` silently keeping
+/// the default fallback policy is indistinguishable from the knob working.
+pub fn parse_executor_fallback(raw: &str) -> Result<bool, EnvError> {
+    match raw.trim() {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        _ => Err(EnvError {
+            var: "CFP_EXECUTOR_FALLBACK",
+            value: raw.to_string(),
+            expected: "'1' (fall back) or '0' (hard error)",
+        }),
+    }
+}
+
+/// `CFP_WORKERS`: a comma-separated list of `host:port` worker addresses,
+/// at least one non-empty entry after trimming.
+pub fn parse_workers(raw: &str) -> Result<Vec<String>, EnvError> {
+    let workers: Vec<String> = raw
+        .split(',')
+        .map(|w| w.trim().to_string())
+        .filter(|w| !w.is_empty())
+        .collect();
+    if workers.is_empty() {
+        return Err(EnvError {
+            var: "CFP_WORKERS",
+            value: raw.to_string(),
+            expected: "a comma-separated list of host:port worker addresses",
+        });
+    }
+    Ok(workers)
+}
+
+// ---------------------------------------------------------------------------
+// Process-environment readers.
+// ---------------------------------------------------------------------------
+
+/// `CFP_SHARDS`, strictly parsed.
+pub fn shards() -> OptEnv<usize> {
+    read("CFP_SHARDS", parse_shards)
+}
+
+/// `CFP_SHARD_STRATEGY`, strictly parsed.
+pub fn shard_strategy() -> OptEnv<ShardStrategy> {
+    read("CFP_SHARD_STRATEGY", parse_shard_strategy)
+}
+
+/// The full sharding default from `CFP_SHARDS` + `CFP_SHARD_STRATEGY`
+/// (this is what [`Sharding::try_from_env`] delegates to).
+pub fn sharding() -> Result<Sharding, EnvError> {
+    let mut out = Sharding::default();
+    if let Some(n) = shards()? {
+        out.shards = n;
+    }
+    if let Some(s) = shard_strategy()? {
+        out.strategy = s;
+    }
+    Ok(out)
+}
+
+/// `CFP_MEM_BUDGET`, strictly parsed.
+pub fn mem_budget() -> OptEnv<u64> {
+    read("CFP_MEM_BUDGET", parse_mem_budget)
+}
+
+/// `CFP_NET_TIMEOUT`, strictly parsed.
+pub fn net_timeout() -> OptEnv<Duration> {
+    read("CFP_NET_TIMEOUT", parse_net_timeout)
+}
+
+/// `CFP_NET_ATTEMPTS`, strictly parsed.
+pub fn net_attempts() -> OptEnv<usize> {
+    read("CFP_NET_ATTEMPTS", parse_net_attempts)
+}
+
+/// `CFP_FAULT`, validated (spec returned verbatim).
+pub fn fault_spec() -> OptEnv<String> {
+    read("CFP_FAULT", parse_fault_spec)
+}
+
+/// `CFP_EXECUTOR`, strictly parsed to a default-configured kind.
+pub fn executor() -> OptEnv<ExecutorKind> {
+    read("CFP_EXECUTOR", parse_executor)
+}
+
+/// `CFP_EXECUTOR_FALLBACK`, strictly parsed.
+pub fn executor_fallback() -> OptEnv<bool> {
+    read("CFP_EXECUTOR_FALLBACK", parse_executor_fallback)
+}
+
+/// `CFP_WORKERS`, strictly parsed.
+pub fn workers() -> OptEnv<Vec<String>> {
+    read("CFP_WORKERS", parse_workers)
+}
+
+/// Validates every `CFP_*` variable this module owns, reporting the first
+/// malformed one. `cfp mine` and `cfp serve` call this before any work so
+/// a typo'd knob is a clean startup error, not a mid-run surprise (or,
+/// worse, a silently ignored setting).
+pub fn validate_all() -> Result<(), EnvError> {
+    shards()?;
+    shard_strategy()?;
+    mem_budget()?;
+    net_timeout()?;
+    net_attempts()?;
+    fault_spec()?;
+    executor()?;
+    executor_fallback()?;
+    workers()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One parse-error test per variable, all through the pure parsers so
+    // the suite never mutates the shared process environment.
+
+    #[test]
+    fn shards_rejects_garbage() {
+        for bad in ["fuor", "0", "-1", "1.5", ""] {
+            let e = parse_shards(bad).unwrap_err();
+            assert_eq!(e.var, "CFP_SHARDS");
+            assert!(e.to_string().contains("CFP_SHARDS"), "{e}");
+        }
+        assert_eq!(parse_shards(" 4 ").unwrap(), 4);
+    }
+
+    #[test]
+    fn shard_strategy_rejects_garbage() {
+        let e = parse_shard_strategy("round-robin").unwrap_err();
+        assert_eq!(e.var, "CFP_SHARD_STRATEGY");
+        assert_eq!(
+            parse_shard_strategy("MinHash").unwrap(),
+            ShardStrategy::MinhashBucket
+        );
+    }
+
+    #[test]
+    fn mem_budget_rejects_garbage() {
+        for bad in ["1x", "k", "99999999999999999999g", "nope"] {
+            let e = parse_mem_budget(bad).unwrap_err();
+            assert_eq!(e.var, "CFP_MEM_BUDGET", "value {bad:?}");
+        }
+        assert_eq!(parse_mem_budget("256k").unwrap(), 256 << 10);
+    }
+
+    #[test]
+    fn net_timeout_rejects_garbage() {
+        for bad in ["0", "fast", "-5", "1s"] {
+            let e = parse_net_timeout(bad).unwrap_err();
+            assert_eq!(e.var, "CFP_NET_TIMEOUT", "value {bad:?}");
+        }
+        assert_eq!(
+            parse_net_timeout(" 250 ").unwrap(),
+            Duration::from_millis(250)
+        );
+    }
+
+    #[test]
+    fn net_attempts_rejects_garbage() {
+        for bad in ["0", "many", "-1"] {
+            let e = parse_net_attempts(bad).unwrap_err();
+            assert_eq!(e.var, "CFP_NET_ATTEMPTS", "value {bad:?}");
+        }
+        assert_eq!(parse_net_attempts("3").unwrap(), 3);
+    }
+
+    #[test]
+    fn fault_spec_rejects_garbage() {
+        // Without fault-inject compiled in, any set value is an error; with
+        // it, a bogus action name is. Either way the typed error names the
+        // variable.
+        let e = parse_fault_spec("explode-everything:shard0").unwrap_err();
+        assert_eq!(e.var, "CFP_FAULT");
+    }
+
+    #[test]
+    fn executor_rejects_garbage() {
+        let e = parse_executor("gpu").unwrap_err();
+        assert_eq!(e.var, "CFP_EXECUTOR");
+        assert!(matches!(
+            parse_executor("Process").unwrap(),
+            ExecutorKind::Subprocess(_)
+        ));
+    }
+
+    #[test]
+    fn executor_fallback_rejects_garbage() {
+        for bad in ["yes", "true", "2", "on"] {
+            let e = parse_executor_fallback(bad).unwrap_err();
+            assert_eq!(e.var, "CFP_EXECUTOR_FALLBACK", "value {bad:?}");
+        }
+        assert!(parse_executor_fallback(" 1 ").unwrap());
+        assert!(!parse_executor_fallback("0").unwrap());
+    }
+
+    #[test]
+    fn workers_rejects_garbage() {
+        for bad in [",", " , ,", ""] {
+            let e = parse_workers(bad).unwrap_err();
+            assert_eq!(e.var, "CFP_WORKERS", "value {bad:?}");
+        }
+        assert_eq!(
+            parse_workers(" a:1 , b:2 ").unwrap(),
+            vec!["a:1".to_string(), "b:2".to_string()]
+        );
+    }
+
+    #[test]
+    fn error_message_shape_is_shared() {
+        let e = parse_shards("fuor").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "invalid CFP_SHARDS='fuor': expected a shard count of at least 1 \
+             (unset or empty means the default)"
+        );
+    }
+}

@@ -473,6 +473,10 @@ impl PatternFusion<'_> {
     /// With [`ExecutorKind::InThread`] this is exactly [`PatternFusion::run`];
     /// the other backends are bit-identical to it at the same config (see
     /// the module docs).
+    #[deprecated(
+        note = "use `FusionConfig::engine(&db).with_executor(ex).mine(Source::Transactions)` (crate::engine)"
+    )]
+    #[allow(deprecated)] // shim body still routes through its deprecated siblings
     pub fn run_with_executor(
         &self,
         executor: &ExecutorKind,
@@ -489,6 +493,10 @@ impl PatternFusion<'_> {
     /// [`PatternFusion::run_with_executor`] from a caller-supplied slab
     /// (phase 2 only) — the executor-parameterized counterpart of
     /// [`PatternFusion::run_with_slab`].
+    #[deprecated(
+        note = "use `FusionConfig::engine(&db).with_executor(ex).mine(Source::Slab(slab))` (crate::engine)"
+    )]
+    #[allow(deprecated)] // shim body still routes through its deprecated siblings
     pub fn run_with_slab_executor(
         &self,
         slab: PatternPool,

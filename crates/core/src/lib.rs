@@ -94,6 +94,8 @@ pub mod ball;
 pub mod complementary;
 pub mod core_pattern;
 pub mod distance;
+pub mod engine;
+pub mod env;
 pub mod executor;
 pub mod fusion;
 pub mod net;
@@ -101,6 +103,7 @@ pub mod oocore;
 pub mod pattern;
 pub mod pool;
 pub mod robustness;
+pub mod serve;
 pub mod shard;
 pub mod stats;
 
@@ -123,6 +126,8 @@ pub use complementary::{count_complementary_sets, find_complementary_set, is_com
 pub use config::FusionConfig;
 pub use core_pattern::{core_patterns_of, is_core_pattern, is_core_pattern_of};
 pub use distance::{ball_radius, pattern_distance};
+pub use engine::{Engine, EngineError, Source};
+pub use env::EnvError;
 pub use executor::{
     ExecutorError, ExecutorKind, NetFailure, SubprocessConfig, WorkerError, WorkerFailure,
     WorkerRequest, WorkerStats, DEFAULT_WORKER_DEADLINE,
@@ -135,6 +140,10 @@ pub use oocore::{OocoreConfig, OocoreError};
 pub use pattern::Pattern;
 pub use pool::PoolStore;
 pub use robustness::robustness;
+pub use serve::{
+    serve_queries, spawn_query_server, QueryClient, ServeError, ServeOptions, ServeReply,
+    ServeRequest, SERVE_PROTOCOL_VERSION,
+};
 pub use shard::{ShardEnvError, ShardStrategy, Sharding};
 pub use stats::{
     IndexMaintenance, IterationStats, NetStats, OocoreStats, PoolStats, RunStats, ShardStats,

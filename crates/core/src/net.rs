@@ -872,54 +872,27 @@ impl RemoteConfig {
     }
 }
 
-/// `CFP_NET_TIMEOUT` (milliseconds, clamped to ≥ 1 ms), if set and valid.
+/// `CFP_NET_TIMEOUT` (milliseconds, ≥ 1 ms), if set and valid — the quiet
+/// library-side reader over [`crate::env::net_timeout`]; the CLI validates
+/// the environment strictly up front ([`crate::env::validate_all`]).
 pub fn timeout_from_env() -> Option<Duration> {
-    let v = std::env::var("CFP_NET_TIMEOUT").ok()?;
-    let ms: u64 = v.trim().parse().ok()?;
-    Some(Duration::from_millis(ms.max(1)))
+    crate::env::net_timeout().ok().flatten()
 }
 
-/// `CFP_NET_ATTEMPTS` (clamped to ≥ 1), if set and valid.
+/// `CFP_NET_ATTEMPTS` (≥ 1), if set and valid — quiet reader over
+/// [`crate::env::net_attempts`].
 pub fn attempts_from_env() -> Option<usize> {
-    let v = std::env::var("CFP_NET_ATTEMPTS").ok()?;
-    let n: usize = v.trim().parse().ok()?;
-    Some(n.max(1))
+    crate::env::net_attempts().ok().flatten()
 }
 
 /// Validates the net-related environment up front so the CLI fails loudly
 /// on a malformed `CFP_NET_TIMEOUT` / `CFP_NET_ATTEMPTS` / `CFP_FAULT`
-/// instead of silently ignoring it.
+/// instead of silently ignoring it. Kept as a `String`-error shim over the
+/// typed [`crate::env`] module, which now owns the parsing.
 pub fn validate_env() -> Result<(), String> {
-    if let Ok(v) = std::env::var("CFP_NET_TIMEOUT") {
-        let ms: u64 = v
-            .trim()
-            .parse()
-            .map_err(|_| format!("CFP_NET_TIMEOUT must be milliseconds, got '{v}'"))?;
-        if ms == 0 {
-            return Err("CFP_NET_TIMEOUT must be ≥ 1 ms".into());
-        }
-    }
-    if let Ok(v) = std::env::var("CFP_NET_ATTEMPTS") {
-        let n: usize = v
-            .trim()
-            .parse()
-            .map_err(|_| format!("CFP_NET_ATTEMPTS must be a positive integer, got '{v}'"))?;
-        if n == 0 {
-            return Err("CFP_NET_ATTEMPTS must be ≥ 1".into());
-        }
-    }
-    if let Ok(v) = std::env::var("CFP_FAULT") {
-        if !v.trim().is_empty() {
-            if !FaultPlan::compiled_in() {
-                return Err(
-                    "CFP_FAULT is set but fault injection is not compiled into this build \
-                     (use --features fault-inject)"
-                        .into(),
-                );
-            }
-            FaultPlan::parse(&v)?;
-        }
-    }
+    crate::env::net_timeout().map_err(|e| e.to_string())?;
+    crate::env::net_attempts().map_err(|e| e.to_string())?;
+    crate::env::fault_spec().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -1454,7 +1427,9 @@ fn handle_conn(stream: TcpStream, opts: &HostOptions) -> Result<(), String> {
 }
 
 /// Sends a typed [`FRAME_ERROR`] (best-effort — the peer may be gone).
-fn send_error_frame(stream: &TcpStream, exit: i32, msg: &str) {
+/// Shared with the v3 query service ([`crate::serve`]), whose error frames
+/// carry the same `exit=<code>\n<message>` payload shape.
+pub(crate) fn send_error_frame(stream: &TcpStream, exit: i32, msg: &str) {
     let payload = format!("exit={exit}\n{msg}");
     let mut ws: &TcpStream = stream;
     let _ = write_frame(&mut ws, FRAME_ERROR, payload.as_bytes());

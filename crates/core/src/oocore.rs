@@ -104,10 +104,19 @@ impl OocoreConfig {
 
     /// Reads `CFP_MEM_BUDGET` (a byte count, optionally suffixed `k`/`m`/`g`
     /// — also `kb`/`kib` forms — in binary multiples): `Some` config when
-    /// the variable is set and parses, `None` otherwise.
+    /// the variable is set and parses, `None` when unset, and a hard
+    /// [`crate::env::EnvError`] when set but malformed — a typo'd budget
+    /// silently mining in-memory would fake an out-of-core result.
+    pub fn try_from_env() -> Result<Option<Self>, crate::env::EnvError> {
+        Ok(crate::env::mem_budget()?.map(Self::new))
+    }
+
+    /// [`OocoreConfig::try_from_env`] for quiet library call sites: a
+    /// malformed value reads as unset. The `cfp` CLI validates the
+    /// environment up front ([`crate::env::validate_all`]) so it never
+    /// reaches this leniency.
     pub fn from_env() -> Option<Self> {
-        let raw = std::env::var("CFP_MEM_BUDGET").ok()?;
-        parse_budget(&raw).map(Self::new)
+        Self::try_from_env().ok().flatten()
     }
 
     /// Overrides the spill directory.
@@ -226,6 +235,9 @@ impl PatternFusion<'_> {
     /// it as per-shard slabs, evicts it, and mines/fuses the shards in
     /// batches bounded by `oo.mem_budget` — bit-identical to
     /// [`PatternFusion::run`] at the same config (see the module docs).
+    #[deprecated(
+        note = "use `FusionConfig::engine(&db).with_executor(ExecutorKind::OutOfCore(oo)).mine(Source::Transactions)` (crate::engine)"
+    )]
     pub fn run_out_of_core(&self, oo: &OocoreConfig) -> Result<FusionResult, OocoreError> {
         let (store, mine) = self.mine_store();
         self.run_oocore_store(store, mine, oo)
@@ -234,6 +246,9 @@ impl PatternFusion<'_> {
     /// [`PatternFusion::run_out_of_core`] from a caller-supplied slab
     /// (phase 2 only) — the out-of-core counterpart of
     /// [`PatternFusion::run_with_slab`] / `run_sharded_with_slab`.
+    #[deprecated(
+        note = "use `FusionConfig::engine(&db).with_executor(ExecutorKind::OutOfCore(oo)).mine(Source::Slab(slab))` (crate::engine)"
+    )]
     pub fn run_out_of_core_with_slab(
         &self,
         slab: PatternPool,

@@ -145,22 +145,7 @@ impl Sharding {
     /// unsharded would invalidate exactly the determinism sweep the knob
     /// exists for.
     pub fn try_from_env() -> Result<Self, ShardEnvError> {
-        let mut out = Self::default();
-        if let Some(v) = env_set("CFP_SHARDS") {
-            out.shards = parse_shard_count(&v).ok_or(ShardEnvError {
-                var: "CFP_SHARDS",
-                value: v,
-                expected: "a shard count of at least 1",
-            })?;
-        }
-        if let Some(v) = env_set("CFP_SHARD_STRATEGY") {
-            out.strategy = ShardStrategy::parse(&v).ok_or(ShardEnvError {
-                var: "CFP_SHARD_STRATEGY",
-                value: v,
-                expected: "'stratum' or 'minhash'",
-            })?;
-        }
-        Ok(out)
+        crate::env::sharding()
     }
 
     /// [`Sharding::try_from_env`] for infallible call sites
@@ -175,41 +160,16 @@ impl Sharding {
     }
 }
 
-/// An environment variable that is set, non-empty after trimming, and
-/// readable — the only state that can carry a malformed value.
-fn env_set(var: &str) -> Option<String> {
-    std::env::var(var).ok().filter(|v| !v.trim().is_empty())
-}
-
 /// Parses a shard count: trimmed decimal, at least 1. `None` means the
 /// value is malformed (callers decide whether that is a hard error).
 pub fn parse_shard_count(value: &str) -> Option<usize> {
     value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
-/// A malformed sharding environment variable (see
-/// [`Sharding::try_from_env`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShardEnvError {
-    /// Which variable was malformed.
-    pub var: &'static str,
-    /// The rejected value, verbatim.
-    pub value: String,
-    /// What would have parsed.
-    pub expected: &'static str,
-}
-
-impl std::fmt::Display for ShardEnvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "invalid {}='{}': expected {} (unset or empty means the default)",
-            self.var, self.value, self.expected
-        )
-    }
-}
-
-impl std::error::Error for ShardEnvError {}
+/// A malformed sharding environment variable — the sharding-flavored name
+/// of the one typed error every `CFP_*` variable reports through (see
+/// [`crate::env`], where the parsing now lives).
+pub use crate::env::EnvError as ShardEnvError;
 
 /// Splits the paper's K seed budget across shards **proportionally to
 /// shard size** (largest-remainder apportionment, ties to the lower shard
@@ -353,12 +313,18 @@ impl PatternFusion<'_> {
     /// sharded engine, regardless of `FusionConfig::sharding` — the config
     /// only chooses shard count and strategy. [`PatternFusion::run_with_pool`]
     /// routes here automatically when `sharding.shards > 1`.
+    #[deprecated(
+        note = "use `FusionConfig::engine(&db).partitioned().mine(Source::Pool(pool))` (crate::engine)"
+    )]
     pub fn run_sharded_with_pool(&self, pool: Vec<crate::Pattern>) -> FusionResult {
         self.run_sharded_with_slab_store(PoolStore::from_patterns(&pool))
     }
 
     /// [`PatternFusion::run_sharded_with_pool`] over a columnar slab — the
     /// zero-copy entry (see [`PatternFusion::run_with_slab`]).
+    #[deprecated(
+        note = "use `FusionConfig::engine(&db).partitioned().mine(Source::Slab(slab))` (crate::engine)"
+    )]
     pub fn run_sharded_with_slab(&self, slab: cfp_itemset::PatternPool) -> FusionResult {
         self.run_sharded_with_slab_store(PoolStore::new(slab))
     }

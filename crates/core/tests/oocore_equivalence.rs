@@ -11,7 +11,23 @@
 //! 3. **edge cases** — one shard ≡ the plain engine, empty pools, spill
 //!    directory lifecycle (`keep_spill` on and off).
 
-use cfp_core::{FusionConfig, OocoreConfig, Pattern, PatternFusion, ShardStrategy};
+use cfp_core::{
+    EngineError, ExecutorKind, FusionConfig, FusionResult, OocoreConfig, Pattern, PatternFusion,
+    ShardStrategy, Source,
+};
+use cfp_itemset::TransactionDb;
+
+/// The out-of-core backend through the unified engine entry.
+fn run_oo(
+    db: &TransactionDb,
+    cfg: &FusionConfig,
+    oo: OocoreConfig,
+    source: Source,
+) -> Result<FusionResult, EngineError> {
+    cfg.engine(db)
+        .with_executor(ExecutorKind::OutOfCore(oo))
+        .mine(source)
+}
 
 /// Full bit-identity of two results: itemsets AND support sets, in order.
 fn assert_identical(a: &[Pattern], b: &[Pattern], label: &str) {
@@ -68,10 +84,13 @@ fn out_of_core_is_bit_identical_to_in_memory_at_quarter_budget() {
             // tid bytes — well under the full slab, forcing real eviction.
             let budget = (inm.stats.pool.tid_bytes as u64 / 4).max(1);
             for threads in [1usize, 2, 8] {
-                let pf = PatternFusion::new(&data.db, config(shards, strategy, threads));
-                let oo = pf
-                    .run_out_of_core(&OocoreConfig::new(budget))
-                    .expect("out-of-core run");
+                let oo = run_oo(
+                    &data.db,
+                    &config(shards, strategy, threads),
+                    OocoreConfig::new(budget),
+                    Source::Transactions,
+                )
+                .expect("out-of-core run");
                 let label = format!("{strategy:?} shards={shards} threads={threads}");
                 assert_identical(&inm.patterns, &oo.patterns, &label);
                 assert_eq!(
@@ -99,10 +118,13 @@ fn out_of_core_is_bit_identical_to_in_memory_at_quarter_budget() {
 fn tiny_budget_degenerates_to_one_shard_per_pass() {
     let data = planted_db();
     let inm = PatternFusion::new(&data.db, config(4, ShardStrategy::MinhashBucket, 1)).run();
-    let pf = PatternFusion::new(&data.db, config(4, ShardStrategy::MinhashBucket, 2));
-    let oo = pf
-        .run_out_of_core(&OocoreConfig::new(1))
-        .expect("out-of-core run");
+    let oo = run_oo(
+        &data.db,
+        &config(4, ShardStrategy::MinhashBucket, 2),
+        OocoreConfig::new(1),
+        Source::Transactions,
+    )
+    .expect("out-of-core run");
     assert_identical(&inm.patterns, &oo.patterns, "budget=1");
     assert_eq!(oo.stats.oocore.passes, 4, "one pass per shard");
 }
@@ -111,10 +133,13 @@ fn tiny_budget_degenerates_to_one_shard_per_pass() {
 fn unlimited_budget_runs_a_single_pass_and_still_round_trips_disk() {
     let data = planted_db();
     let inm = PatternFusion::new(&data.db, config(4, ShardStrategy::SupportStratum, 1)).run();
-    let pf = PatternFusion::new(&data.db, config(4, ShardStrategy::SupportStratum, 8));
-    let oo = pf
-        .run_out_of_core(&OocoreConfig::new(0))
-        .expect("out-of-core run");
+    let oo = run_oo(
+        &data.db,
+        &config(4, ShardStrategy::SupportStratum, 8),
+        OocoreConfig::new(0),
+        Source::Transactions,
+    )
+    .expect("out-of-core run");
     assert_identical(&inm.patterns, &oo.patterns, "budget=0");
     let oos = &oo.stats.oocore;
     assert_eq!(oos.passes, 1);
@@ -132,11 +157,9 @@ fn single_shard_out_of_core_matches_the_plain_engine() {
             .with_pool_max_len(2)
             .with_seed(seed)
             .with_shards(1);
-        let pf = PatternFusion::new(&db, cfg);
-        let plain = pf.run();
-        let oo = pf
-            .run_out_of_core(&OocoreConfig::new(1))
-            .expect("out-of-core run");
+        let plain = PatternFusion::new(&db, cfg.clone()).run();
+        let oo =
+            run_oo(&db, &cfg, OocoreConfig::new(1), Source::Transactions).expect("out-of-core run");
         assert_identical(&plain.patterns, &oo.patterns, &format!("seed {seed}"));
         assert_eq!(oo.stats.oocore.passes, 1);
         // No pool slab is spilled for a single shard (no boundary repair).
@@ -151,12 +174,14 @@ fn with_slab_entry_matches_in_memory_sharded_with_slab() {
         .with_seed(7)
         .with_shards(3)
         .with_shard_strategy(ShardStrategy::MinhashBucket);
-    let pf = PatternFusion::new(&db, cfg);
-    let slab = pf.mine_initial_slab();
-    let inm = pf.run_sharded_with_slab(slab.clone());
-    let oo = pf
-        .run_out_of_core_with_slab(slab, &OocoreConfig::new(1))
-        .expect("out-of-core run");
+    let engine = cfg.engine(&db);
+    let slab = engine.fusion().mine_initial_slab();
+    let inm = cfg
+        .engine(&db)
+        .partitioned()
+        .mine(Source::Slab(slab.clone()))
+        .unwrap();
+    let oo = run_oo(&db, &cfg, OocoreConfig::new(1), Source::Slab(slab)).expect("out-of-core run");
     assert_identical(&inm.patterns, &oo.patterns, "with_slab");
     assert_eq!(
         shards_without_time(&inm.stats),
@@ -168,10 +193,13 @@ fn with_slab_entry_matches_in_memory_sharded_with_slab() {
 fn empty_pool_is_tolerated() {
     let db = cfp_datagen::diag(4);
     let cfg = FusionConfig::new(4, 2).with_shards(2);
-    let pf = PatternFusion::new(&db, cfg);
-    let oo = pf
-        .run_out_of_core_with_slab(cfp_core::PatternPool::new(4), &OocoreConfig::new(64))
-        .expect("out-of-core run");
+    let oo = run_oo(
+        &db,
+        &cfg,
+        OocoreConfig::new(64),
+        Source::Slab(cfp_core::PatternPool::new(4)),
+    )
+    .expect("out-of-core run");
     assert!(oo.patterns.is_empty());
     assert_eq!(oo.stats.oocore.passes, 0);
     assert!(!oo.stats.oocore.active());
@@ -181,7 +209,6 @@ fn empty_pool_is_tolerated() {
 fn spill_directory_lifecycle() {
     let db = cfp_datagen::diag_plus(12, 6, 9);
     let cfg = FusionConfig::new(8, 6).with_seed(7).with_shards(2);
-    let pf = PatternFusion::new(&db, cfg);
 
     let base = std::env::temp_dir().join(format!("cfp-oocore-test-{}", std::process::id()));
     let kept = base.join("kept");
@@ -190,7 +217,7 @@ fn spill_directory_lifecycle() {
     let oo_keep = OocoreConfig::new(0)
         .with_spill_dir(&kept)
         .with_keep_spill(true);
-    pf.run_out_of_core(&oo_keep).expect("keep-spill run");
+    run_oo(&db, &cfg, oo_keep, Source::Transactions).expect("keep-spill run");
     assert!(
         kept.join("shard-0.slab").is_file() && kept.join("shard-1.slab").is_file(),
         "keep_spill must leave the shard slabs behind"
@@ -200,7 +227,7 @@ fn spill_directory_lifecycle() {
     assert!(!reloaded.is_empty());
 
     let oo_drop = OocoreConfig::new(0).with_spill_dir(&removed);
-    pf.run_out_of_core(&oo_drop).expect("auto-clean run");
+    run_oo(&db, &cfg, oo_drop, Source::Transactions).expect("auto-clean run");
     assert!(
         !removed.exists(),
         "spill dir must be removed when keep_spill is off"
@@ -213,7 +240,6 @@ fn spill_directory_lifecycle() {
 fn non_empty_spill_dir_is_refused_and_left_untouched() {
     let db = cfp_datagen::diag_plus(12, 6, 9);
     let cfg = FusionConfig::new(8, 6).with_seed(7).with_shards(2);
-    let pf = PatternFusion::new(&db, cfg);
 
     let dir = std::env::temp_dir().join(format!("cfp-oocore-nonempty-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -229,8 +255,12 @@ fn non_empty_spill_dir_is_refused_and_left_untouched() {
             .with_spill_dir(&dir)
             .with_keep_spill(true),
     ] {
-        match pf.run_out_of_core(&oo) {
-            Err(cfp_core::OocoreError::SpillDirNotEmpty(d)) => assert_eq!(d, dir),
+        // The typed refusal survives the engine facade's wrapping:
+        // EngineError → ExecutorError::Disk → OocoreError.
+        match run_oo(&db, &cfg, oo, Source::Transactions) {
+            Err(EngineError::Executor(cfp_core::ExecutorError::Disk(
+                cfp_core::OocoreError::SpillDirNotEmpty(d),
+            ))) => assert_eq!(d, dir),
             other => panic!("expected SpillDirNotEmpty, got {other:?}"),
         }
     }
@@ -242,8 +272,13 @@ fn non_empty_spill_dir_is_refused_and_left_untouched() {
     // existence, is the criterion.
     let empty = std::env::temp_dir().join(format!("cfp-oocore-empty-{}", std::process::id()));
     std::fs::create_dir_all(&empty).unwrap();
-    pf.run_out_of_core(&OocoreConfig::new(0).with_spill_dir(&empty))
-        .expect("empty pre-existing spill dir must be accepted");
+    run_oo(
+        &db,
+        &cfg,
+        OocoreConfig::new(0).with_spill_dir(&empty),
+        Source::Transactions,
+    )
+    .expect("empty pre-existing spill dir must be accepted");
     assert!(!empty.exists(), "run should clean up as usual");
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -14,18 +14,20 @@
 //! `CFP_KERNEL_BACKEND=scalar` matrix leg additionally pushes this whole
 //! suite through the env-var path.
 
-use cfp_core::{FusionConfig, FusionResult, KernelBackend, PatternFusion};
+use cfp_core::{FusionConfig, FusionResult, KernelBackend, Source};
 use cfp_itemset::TransactionDb;
 use proptest::prelude::*;
 
-/// Both entries of the same configured engine: the slab path mines into
+/// Both sources of the same configured engine: the slab path mines into
 /// the columnar store directly; the legacy path materializes the identical
 /// initial pool as owned patterns and re-enters through
-/// [`PatternFusion::run_with_pool`].
+/// [`Source::Pool`]'s copy-in.
 fn run_both(db: &TransactionDb, config: FusionConfig) -> (FusionResult, FusionResult) {
-    let pf = PatternFusion::new(db, config);
-    let slab = pf.run();
-    let legacy = pf.run_with_pool(pf.mine_initial_pool());
+    let engine = config.engine(db);
+    let slab = engine.mine(Source::Transactions).unwrap();
+    let legacy = engine
+        .mine(Source::Pool(engine.fusion().mine_initial_pool()))
+        .unwrap();
     (slab, legacy)
 }
 

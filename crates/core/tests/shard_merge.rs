@@ -12,7 +12,7 @@
 //! 4. **edge cases** — empty shards, single-pattern shards, and duplicate
 //!    cross-shard fusions.
 
-use cfp_core::{FusionConfig, Pattern, PatternFusion, ShardStrategy};
+use cfp_core::{FusionConfig, Pattern, PatternFusion, ShardStrategy, Source};
 use cfp_itemset::{Itemset, TidSet};
 use proptest::prelude::*;
 
@@ -51,11 +51,11 @@ fn single_shard_engine_is_bit_identical_to_unsharded() {
             .with_pool_max_len(2)
             .with_seed(seed)
             .with_shards(1);
-        let pf = PatternFusion::new(&db, config);
-        let pool = pf.mine_initial_pool();
-        let unsharded = pf.run_with_pool(pool.clone());
+        let engine = config.engine(&db);
+        let pool = engine.fusion().mine_initial_pool();
+        let unsharded = engine.mine(Source::Pool(pool.clone())).unwrap();
         // Force the full sharded machinery (partition + merge) at one shard.
-        let sharded = pf.run_sharded_with_pool(pool);
+        let sharded = engine.partitioned().mine(Source::Pool(pool)).unwrap();
         assert_identical(
             &unsharded.patterns,
             &sharded.patterns,
@@ -156,8 +156,11 @@ fn empty_shards_are_tolerated() {
             .with_seed(7)
             .with_shards(8)
             .with_shard_strategy(strategy);
-        let pf = PatternFusion::new(&db, config);
-        let result = pf.run_sharded_with_pool(pool.clone());
+        let result = config
+            .engine(&db)
+            .partitioned()
+            .mine(Source::Pool(pool.clone()))
+            .unwrap();
         assert_eq!(result.stats.shards.len(), 8, "{strategy:?}");
         assert!(
             result
@@ -201,8 +204,11 @@ fn single_pattern_shards_fuse_through_boundary_repair() {
         .with_seed(11)
         .with_shards(4)
         .with_shard_strategy(ShardStrategy::SupportStratum);
-    let pf = PatternFusion::new(&db, config);
-    let result = pf.run_sharded_with_pool(pool);
+    let result = config
+        .engine(&db)
+        .partitioned()
+        .mine(Source::Pool(pool))
+        .unwrap();
     for s in &result.stats.shards {
         assert_eq!(
             s.pool_size, 1,
@@ -237,8 +243,11 @@ fn duplicate_cross_shard_fusions_are_deduplicated() {
             .with_attempts_per_seed(16)
             .with_shards(2)
             .with_shard_strategy(strategy);
-        let pf = PatternFusion::new(&db, config);
-        let result = pf.run_sharded_with_pool(pool.clone());
+        let result = config
+            .engine(&db)
+            .partitioned()
+            .mine(Source::Pool(pool.clone()))
+            .unwrap();
         assert_no_duplicate_itemsets(&result.patterns, "duplicate-fusion run");
         assert!(result.patterns.len() <= 6, "result capped at K");
     }
@@ -396,10 +405,10 @@ proptest! {
             .with_pool_max_len(2)
             .with_seed(run_seed)
             .with_shards(1);
-        let pf = PatternFusion::new(&data.db, config);
-        let pool = pf.mine_initial_pool();
-        let unsharded = pf.run_with_pool(pool.clone());
-        let sharded = pf.run_sharded_with_pool(pool);
+        let engine = config.engine(&data.db);
+        let pool = engine.fusion().mine_initial_pool();
+        let unsharded = engine.mine(Source::Pool(pool.clone())).unwrap();
+        let sharded = engine.partitioned().mine(Source::Pool(pool)).unwrap();
         assert_identical(&unsharded.patterns, &sharded.patterns, "K=1 identity");
     }
 }

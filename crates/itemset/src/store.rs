@@ -153,6 +153,61 @@
 //! typed network failure naming the shard, the attempt count, and the
 //! last error.
 //!
+//! # Query service protocol (version 3)
+//!
+//! The pattern query daemon (`cfp_core::serve`: long-lived clients ↔ a
+//! `cfp serve` process) speaks version 3 over the version-2 transport —
+//! the identical frame layout (kind, length, payload, CRC-32; 8 MiB cap)
+//! and kind numbering — with line-oriented ASCII payloads in place of
+//! slab bytes. One connection carries many requests, strictly
+//! request-reply; concurrent connections each get their own thread.
+//!
+//! **Request** (request-frame payload, ASCII): a handshake line
+//! `cfp-serve 3 <verb>`, then one `key=value` field per line. Parsing is
+//! strict — an unknown verb, a field the verb does not admit, a
+//! duplicate key, an empty key, or a bad handshake is a typed request
+//! error, never silently ignored. Verbs and their admitted fields:
+//!
+//! ```text
+//! verb     fields                      answer
+//! -------  --------------------------  --------------------------------
+//! topk     k, tids, session            first k patterns of the ranking
+//! lookup   items, session              exact-itemset support lookup
+//! contain  items, limit, session       ranked patterns containing items
+//! similar  tids                        metric ball around the tid-set
+//! put      session, items, tids        intern into the session overlay
+//! stats    —                           server counters
+//! reload   seed, wait                  background re-mine + epoch swap
+//! bye      —                           close the connection
+//! ```
+//!
+//! **Reply**: chunk frames closed by a slab-end frame carrying the total
+//! byte count (u64 LE) — the version-2 streaming shape reused for text.
+//! The first payload line is `cfp-serve 3 ok <verb> epoch=<E>`; body
+//! lines follow (`count=…`, `pattern items=… support=… [tids=…]`,
+//! `found=0|1`, `row=… fresh=…`, `waited=1` / `scheduled=1`, and
+//! `key=value` stats lines). `epoch` names the immutable generation
+//! snapshot (slab + ranking + ball index) that answered: `reload`
+//! re-mines on a background builder and swaps the generation
+//! atomically, so two replies stamped with the same epoch are
+//! byte-identical and a reader never blocks on, or observes, a build in
+//! progress. A heartbeat frame may precede any reply; clients skip it.
+//!
+//! **Sessions**: a `session=<name>` field routes the request through
+//! that tenant's private interning overlay (a fork of the shared
+//! generation's slab); `put` patterns are visible only to their own
+//! session and are re-interned across epoch swaps, so tenant state
+//! survives a reload without leaking between tenants.
+//!
+//! **Errors**: an error frame carries `exit=<code>` (`3` = the request
+//! was at fault, `2` = the server failed) with the failure text on the
+//! following lines, exactly as in version 2. A request-level fault
+//! (unknown verb, bad field, out-of-universe tid) keeps the connection
+//! alive for the next request; a transport-level fault (bad CRC,
+//! oversize length, truncation) is answered with an error frame and the
+//! connection is closed. The `bye` verb — or a bare bye frame — closes
+//! cleanly.
+//!
 //! # Ownership and freezing contract
 //!
 //! The slab is **append-only**: a row, once pushed, is frozen — its words,

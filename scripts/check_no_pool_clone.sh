@@ -80,6 +80,14 @@ check_absent crates/core/src/net.rs \
     'pool\.clone\(\)|slab\.clone\(\)|base\.clone\(\)|\.permuted\(|Vec<Pattern>|\.tids\.clone' \
     'wire interchange streams slab rows (no cloned sub-pools or slab copies)'
 
+# 9. The query service renders every reply straight from generation slab
+#    borrows (`items_of` / `words_of` / `support`): no per-request slab,
+#    pattern, or tid-set copies on the read path (session overlays fork
+#    the Arc-shared frozen base; only `put` owns its interned patterns).
+check_absent crates/core/src/serve.rs \
+    'pool\.clone\(\)|slab\.clone\(\)|base\.clone\(\)|\.permuted\(|\.tids\.clone|materialize\(' \
+    'service read path renders from slab borrows (no per-request copies)'
+
 if [ "$fail" -ne 0 ]; then
     echo "slab hot-path gate failed: a Vec<Pattern> copying idiom is back on the mine->fuse path"
     exit 1

@@ -28,12 +28,13 @@
 //! `cfp_itemset::store`). It is spawned by the parent `cfp mine
 //! --executor process`, not by people, so it stays out of the usage text.
 
+use colossal::fusion::env as cfp_env;
 use colossal::fusion::executor::run_shard_worker;
 use colossal::fusion::net;
 use colossal::fusion::oocore::{parse_budget, OocoreConfig};
 use colossal::fusion::{
-    ExecutorKind, FusionConfig, FusionResult, HostOptions, PatternFusion, RemoteConfig, Sharding,
-    SubprocessConfig, WorkerError, WorkerRequest,
+    serve_queries, ExecutorKind, FusionConfig, FusionResult, HostOptions, QueryClient,
+    RemoteConfig, ServeOptions, Source, SubprocessConfig, WorkerError, WorkerRequest,
 };
 use colossal::itemset::slab_io;
 use colossal::itemset::{read_fimi, write_fimi, TransactionDb};
@@ -45,18 +46,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // Validate the sharding environment up front: a malformed CFP_SHARDS /
-    // CFP_SHARD_STRATEGY is a clean typed error here, not a library panic
-    // halfway into a mine.
-    if let Err(e) = Sharding::try_from_env() {
-        eprintln!("error: {e}");
-        return ExitCode::FAILURE;
-    }
-    // Same discipline for the network environment: a malformed
-    // CFP_NET_TIMEOUT / CFP_NET_ATTEMPTS / CFP_FAULT fails loudly here —
-    // in particular, CFP_FAULT on a build without the fault-inject
-    // feature is an error, never a silently honored no-op.
-    if let Err(e) = net::validate_env() {
+    // Validate every CFP_* variable up front: a malformed CFP_SHARDS /
+    // CFP_MEM_BUDGET / CFP_NET_TIMEOUT / ... is a clean typed error here,
+    // not a library panic halfway into a mine (or, worse, a silently
+    // ignored knob) — in particular, CFP_FAULT on a build without the
+    // fault-inject feature is an error, never a silently honored no-op.
+    if let Err(e) = cfp_env::validate_all() {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
@@ -66,6 +61,8 @@ fn main() -> ExitCode {
         "load" => cmd_load(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "query" => cmd_query(&args[1..]),
         "shard-host" => cmd_shard_host(&args[1..]),
         // Hidden: the subprocess executor's worker half, with its own
         // protocol exit codes (0 ok, 2 slab I/O, 3 request/dataset).
@@ -123,6 +120,27 @@ usage:
       --minsup/--mincount/--pool-len as for mine; --threads N mine workers
   cfp load <pool.slab>               validate a dumped slab and summarize it
   cfp stats <file.dat>               dataset summary
+  cfp serve <file.dat> [options]     mine once, then serve pattern queries
+                                     over TCP (query protocol v3; concurrent
+                                     long-lived connections; `reload` re-mines
+                                     in the background and swaps epochs
+                                     without blocking readers)
+      --minsup/--mincount/--k/--tau/--pool-len/--seed/--closure as for mine
+      --bind ADDR      listen address                 [default 127.0.0.1:0]
+      --max-conns N    serve N connections, then exit [default: forever]
+      --io-timeout MS  socket deadline (also CFP_NET_TIMEOUT) [default 60000]
+      --verbose        log per-connection failures to stderr
+      (prints the bound address on stdout once listening)
+  cfp query <host:port> <verb> [key=value ...]
+                                     one v3 request against a cfp serve
+                                     daemon; body lines print on stdout
+      verbs: topk [k=N] [tids=1] [session=S]      top-K colossal patterns
+             lookup items=a,b,c [session=S]       exact support lookup
+             contain items=a,b,c [limit=N]        patterns containing items
+             similar tids=t1,t2,...               ball query for a tid-set
+             put session=S items=... tids=...     intern into a session
+             stats | reload [seed=N] [wait=1] | bye
+      --timeout MS     socket deadline             [default 10000]
   cfp shard-host [options]           serve shards to remote coordinators
       --bind ADDR      listen address                 [default 127.0.0.1:0]
       --max-conns N    serve N connections, then exit [default: forever]
@@ -209,7 +227,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         Some(s) => Some(parse_budget(&s).ok_or_else(|| {
             format!("invalid --mem-budget '{s}' (bytes, with optional k/m/g suffix)")
         })?),
-        None => OocoreConfig::from_env().map(|oo| oo.mem_budget),
+        None => cfp_env::mem_budget().map_err(|e| e.to_string())?,
     };
     let spill_dir = parse_value::<String>(args, "--spill-dir")?;
     let keep_spill = parse_flag(args, "--keep-spill");
@@ -224,17 +242,15 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     // Unknown names are hard errors; an explicit executor wins over the
     // legacy `--mem-budget → oocore` routing (the budget still feeds the
     // oocore backend's config).
-    let executor_name = match parse_value::<String>(args, "--executor")? {
-        Some(name) => Some(name),
-        None => std::env::var("CFP_EXECUTOR")
-            .ok()
-            .filter(|v| !v.trim().is_empty()),
+    let parsed_executor = match parse_value::<String>(args, "--executor")? {
+        Some(name) => Some(ExecutorKind::parse(&name).ok_or_else(|| {
+            format!("unknown --executor '{name}' (thread|oocore|process|remote)")
+        })?),
+        None => cfp_env::executor().map_err(|e| e.to_string())?,
     };
-    let executor = executor_name
-        .map(|name| {
-            let parsed = ExecutorKind::parse(&name).ok_or_else(|| {
-                format!("unknown --executor '{name}' (thread|oocore|process|remote)")
-            })?;
+    let fallback = cfp_env::executor_fallback().map_err(|e| e.to_string())?;
+    let executor = parsed_executor
+        .map(|parsed| {
             Ok::<ExecutorKind, String>(match parsed {
                 ExecutorKind::OutOfCore(_) => ExecutorKind::OutOfCore(make_oo(budget.unwrap_or(0))),
                 ExecutorKind::Subprocess(_) => {
@@ -247,7 +263,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
                     if let Some(d) = &spill_dir {
                         sp = sp.with_work_dir(d);
                     }
-                    if std::env::var("CFP_EXECUTOR_FALLBACK").ok().as_deref() == Some("1") {
+                    if fallback == Some(true) {
                         sp = sp.with_fallback_in_process(true);
                     }
                     ExecutorKind::Subprocess(sp)
@@ -259,26 +275,27 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
                     // from CFP_FAULT when compiled in. Fallback is on by
                     // default for remote — CFP_EXECUTOR_FALLBACK=0 turns a
                     // retry-exhausted shard into a typed error instead.
-                    let workers_arg = match parse_value::<String>(args, "--workers")? {
-                        Some(list) => Some(list),
-                        None => std::env::var("CFP_WORKERS")
-                            .ok()
-                            .filter(|v| !v.trim().is_empty()),
+                    let workers = match parse_value::<String>(args, "--workers")? {
+                        Some(list) => {
+                            let ws: Vec<String> = list
+                                .split(',')
+                                .map(|w| w.trim().to_string())
+                                .filter(|w| !w.is_empty())
+                                .collect();
+                            (!ws.is_empty()).then_some(ws)
+                        }
+                        None => cfp_env::workers().map_err(|e| e.to_string())?,
                     };
-                    let workers: Vec<String> = workers_arg
-                        .ok_or("--executor remote needs --workers host:port,... or CFP_WORKERS")?
-                        .split(',')
-                        .map(|w| w.trim().to_string())
-                        .filter(|w| !w.is_empty())
-                        .collect();
                     let mut rc = RemoteConfig::new()
-                        .with_workers(workers)
+                        .with_workers(workers.ok_or(
+                            "--executor remote needs --workers host:port,... or CFP_WORKERS",
+                        )?)
                         .with_keep_work(keep_spill)
                         .with_fault(net::FaultPlan::from_env());
                     if let Some(d) = &spill_dir {
                         rc = rc.with_work_dir(d);
                     }
-                    if std::env::var("CFP_EXECUTOR_FALLBACK").ok().as_deref() == Some("0") {
+                    if fallback == Some(false) {
                         rc = rc.with_fallback_in_thread(false);
                     }
                     ExecutorKind::Remote(rc)
@@ -287,24 +304,21 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             })
         })
         .transpose()?;
-    let pool_slab = parse_value::<String>(args, "--pool")?
-        .map(|p| slab_io::load_slab_path(&p).map_err(|e| format!("loading pool {p}: {e}")))
-        .transpose()?;
-
-    let pf = PatternFusion::new(&db, config);
-    let t0 = std::time::Instant::now();
-    let result: FusionResult = match (executor, budget, pool_slab) {
-        (Some(ex), _, Some(slab)) => pf
-            .run_with_slab_executor(slab, &ex)
-            .map_err(|e| e.to_string())?,
-        (Some(ex), _, None) => pf.run_with_executor(&ex).map_err(|e| e.to_string())?,
-        (None, Some(b), Some(slab)) => pf
-            .run_out_of_core_with_slab(slab, &make_oo(b))
-            .map_err(|e| e.to_string())?,
-        (None, Some(b), None) => pf.run_out_of_core(&make_oo(b)).map_err(|e| e.to_string())?,
-        (None, None, Some(slab)) => pf.run_with_slab(slab),
-        (None, None, None) => pf.run(),
+    // A plain `--mem-budget` (no explicit executor) is sugar for the
+    // out-of-core backend; an explicit executor wins, with the budget
+    // already folded into its config above.
+    let executor = executor.or_else(|| budget.map(|b| ExecutorKind::OutOfCore(make_oo(b))));
+    let source = match parse_value::<String>(args, "--pool")? {
+        Some(p) => Source::SlabFile(p.into()),
+        None => Source::Transactions,
     };
+
+    let mut engine = config.engine(&db);
+    if let Some(ex) = executor {
+        engine = engine.with_executor(ex);
+    }
+    let t0 = std::time::Instant::now();
+    let result: FusionResult = engine.mine(source).map_err(|e| e.to_string())?;
     eprintln!(
         "mined {} patterns in {:.3}s (pool {}, {} iterations)",
         result.patterns.len(),
@@ -522,6 +536,99 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             write_fimi(&db, &mut out).map_err(|e| e.to_string())?;
         }
     }
+    Ok(())
+}
+
+/// The `serve` subcommand — mines the dataset once through the engine
+/// facade, then serves v3 pattern-query traffic on long-lived connections
+/// (see `cfp_core::serve`). Announces the bound address on stdout so
+/// scripts can scrape an OS-assigned port.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("serve: missing <file.dat>".into());
+    };
+    let db = load(path)?;
+    if db.is_empty() {
+        return Err("dataset has no transactions".into());
+    }
+    let min_count = match parse_value::<usize>(args, "--mincount")? {
+        Some(c) => c,
+        None => {
+            let frac = parse_value::<f64>(args, "--minsup")?.unwrap_or(0.05);
+            db.min_support(frac).map_err(|e| e.to_string())?.count()
+        }
+    };
+    let k = parse_value::<usize>(args, "--k")?.unwrap_or(50);
+    let tau = parse_value::<f64>(args, "--tau")?.unwrap_or(0.5);
+    if !(tau > 0.0 && tau <= 1.0) {
+        return Err(format!("--tau {tau} outside (0, 1]"));
+    }
+    let config = FusionConfig::new(k, min_count)
+        .with_tau(tau)
+        .with_pool_max_len(parse_value::<usize>(args, "--pool-len")?.unwrap_or(3))
+        .with_seed(parse_value::<u64>(args, "--seed")?.unwrap_or(2007))
+        .with_closure_step(parse_flag(args, "--closure"));
+
+    let bind = parse_value::<String>(args, "--bind")?.unwrap_or_else(|| "127.0.0.1:0".into());
+    let listener =
+        std::net::TcpListener::bind(&bind).map_err(|e| format!("binding {bind}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let mut opts = ServeOptions::default().with_verbose(parse_flag(args, "--verbose"));
+    if let Some(n) = parse_value::<usize>(args, "--max-conns")? {
+        opts = opts.with_max_conns(n);
+    }
+    match parse_value::<u64>(args, "--io-timeout")? {
+        Some(ms) => opts = opts.with_io_timeout(std::time::Duration::from_millis(ms.max(1))),
+        None => {
+            if let Some(t) = net::timeout_from_env() {
+                opts = opts.with_io_timeout(t);
+            }
+        }
+    }
+    eprintln!(
+        "serving {path}: {} transactions, {} items, min support {min_count}, K={k}, τ={tau}",
+        db.len(),
+        db.num_items()
+    );
+    println!("cfp serve listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    serve_queries(listener, &db, config, &opts).map_err(|e| format!("serve: {e}"))
+}
+
+/// The `query` subcommand — one v3 request against a `cfp serve` daemon.
+/// Fields are the trailing `key=value` arguments; the reply's body lines
+/// print on stdout (the answering epoch goes to stderr).
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("query: missing <host:port>".into());
+    };
+    let Some(verb) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        return Err("query: missing <verb>".into());
+    };
+    let timeout = parse_value::<u64>(args, "--timeout")?.unwrap_or(10_000);
+    let mut fields: Vec<(&str, &str)> = Vec::new();
+    for arg in &args[2..] {
+        if arg.starts_with("--") {
+            continue;
+        }
+        // Fields always contain '='; a bare token here is the value that
+        // trails a --flag (e.g. --timeout 5000), not a field.
+        if let Some((k, v)) = arg.split_once('=') {
+            fields.push((k, v));
+        }
+    }
+    let mut client = QueryClient::connect(
+        addr.as_str(),
+        std::time::Duration::from_millis(timeout.max(1)),
+    )
+    .map_err(|e| format!("connecting {addr}: {e}"))?;
+    let reply = client.request(verb, &fields).map_err(|e| e.to_string())?;
+    eprintln!("epoch={}", reply.epoch);
+    for line in &reply.lines {
+        println!("{line}");
+    }
+    client.bye();
     Ok(())
 }
 

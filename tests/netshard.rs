@@ -22,8 +22,8 @@
 
 use colossal::fusion::net::{self, FaultPlan, HostOptions, NetError, NetPhase, RemoteConfig};
 use colossal::fusion::{
-    ExecutorError, ExecutorKind, FusionConfig, Pattern, PatternFusion, RunStats, ShardStats,
-    ShardStrategy,
+    EngineError, ExecutorError, ExecutorKind, FusionConfig, FusionResult, Pattern, PatternFusion,
+    RunStats, ShardStats, ShardStrategy, Source,
 };
 use proptest::prelude::*;
 use std::net::SocketAddr;
@@ -48,6 +48,23 @@ fn remote(workers: Vec<String>) -> RemoteConfig {
         .with_workers(workers)
         .with_timeout(Duration::from_millis(2_000))
         .with_backoff_base(Duration::from_millis(2))
+}
+
+/// The remote backend through the unified engine entry, with the engine's
+/// wrapper peeled back off so the typed-error contracts below keep
+/// matching on [`ExecutorError`] directly.
+fn run_remote(
+    db: &colossal::itemset::TransactionDb,
+    cfg: FusionConfig,
+    rc: RemoteConfig,
+) -> Result<FusionResult, ExecutorError> {
+    cfg.engine(db)
+        .with_executor(ExecutorKind::Remote(rc))
+        .mine(Source::Transactions)
+        .map_err(|e| match e {
+            EngineError::Executor(inner) => inner,
+            other => panic!("the transactions source cannot fail to load: {other}"),
+        })
 }
 
 /// Full bit-identity of two results: itemsets AND support sets, in order.
@@ -103,9 +120,12 @@ fn remote_is_bit_identical_to_in_thread_including_counters() {
         for shards in [1usize, 2, 4] {
             let inm = PatternFusion::new(&data.db, config(shards, strategy, 1)).run();
             for threads in [1usize, 2, 8] {
-                let pf = PatternFusion::new(&data.db, config(shards, strategy, threads));
-                let ex = ExecutorKind::Remote(remote(workers.clone()));
-                let rem = pf.run_with_executor(&ex).expect("remote run");
+                let rem = run_remote(
+                    &data.db,
+                    config(shards, strategy, threads),
+                    remote(workers.clone()),
+                )
+                .expect("remote run");
                 let label = format!("{strategy:?} shards={shards} threads={threads}");
                 assert_identical(&inm.patterns, &rem.patterns, &label);
                 assert_eq!(inm.stats.converged, rem.stats.converged, "{label}");
@@ -143,9 +163,7 @@ fn every_host_side_fault_is_recovered_by_a_deterministic_retry() {
         let rc = remote(workers)
             .with_timeout(Duration::from_millis(800))
             .with_fallback_in_thread(false);
-        let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 2));
-        let rem = pf
-            .run_with_executor(&ExecutorKind::Remote(rc))
+        let rem = run_remote(&data.db, config(2, ShardStrategy::SupportStratum, 2), rc)
             .unwrap_or_else(|e| panic!("{fault}: retry did not recover: {e}"));
         assert_identical(&inm.patterns, &rem.patterns, fault);
         assert_eq!(
@@ -167,9 +185,7 @@ fn a_dropped_connection_is_recovered_by_a_deterministic_retry() {
     let rc = remote(workers)
         .with_fault(FaultPlan::parse("drop-conn:attempt0").expect("plan"))
         .with_fallback_in_thread(false);
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 2));
-    let rem = pf
-        .run_with_executor(&ExecutorKind::Remote(rc))
+    let rem = run_remote(&data.db, config(2, ShardStrategy::SupportStratum, 2), rc)
         .expect("retry after drop-conn");
     assert_identical(&inm.patterns, &rem.patterns, "drop-conn");
     assert!(rem.stats.net.retries >= 1);
@@ -187,10 +203,8 @@ fn retry_exhaustion_falls_back_in_thread_bit_identically() {
     let rc = remote(workers)
         .with_fault(FaultPlan::parse("drop-conn").expect("plan"))
         .with_attempts(2);
-    let pf = PatternFusion::new(&data.db, config(3, ShardStrategy::MinhashBucket, 2));
-    let rem = pf
-        .run_with_executor(&ExecutorKind::Remote(rc))
-        .expect("fallback run");
+    let rem =
+        run_remote(&data.db, config(3, ShardStrategy::MinhashBucket, 2), rc).expect("fallback run");
     assert_identical(&inm.patterns, &rem.patterns, "fallback");
     assert_eq!(
         shards_without_time(&inm.stats),
@@ -221,8 +235,7 @@ fn retry_exhaustion_without_fallback_is_a_typed_net_error() {
         .with_fault(FaultPlan::parse("drop-conn").expect("plan"))
         .with_attempts(3)
         .with_fallback_in_thread(false);
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1));
-    match pf.run_with_executor(&ExecutorKind::Remote(rc)) {
+    match run_remote(&data.db, config(2, ShardStrategy::SupportStratum, 1), rc) {
         Err(ExecutorError::Net(nf)) => {
             assert_eq!(nf.shard, 0, "failures surface in shard order");
             assert_eq!(nf.attempts, 3, "{nf}");
@@ -243,9 +256,8 @@ fn a_stalled_mine_times_out_typed_not_hangs() {
         .with_timeout(Duration::from_millis(300))
         .with_attempts(1)
         .with_fallback_in_thread(false);
-    let pf = PatternFusion::new(&data.db, config(1, ShardStrategy::SupportStratum, 1));
     let t0 = std::time::Instant::now();
-    match pf.run_with_executor(&ExecutorKind::Remote(rc)) {
+    match run_remote(&data.db, config(1, ShardStrategy::SupportStratum, 1), rc) {
         Err(ExecutorError::Net(nf)) => {
             assert!(
                 matches!(
@@ -272,8 +284,7 @@ fn connection_refused_is_typed_and_counted() {
     let rc = remote(vec!["127.0.0.1:1".into()])
         .with_attempts(2)
         .with_fallback_in_thread(false);
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1));
-    match pf.run_with_executor(&ExecutorKind::Remote(rc)) {
+    match run_remote(&data.db, config(2, ShardStrategy::SupportStratum, 1), rc) {
         Err(ExecutorError::Net(nf)) => {
             assert_eq!(nf.attempts, 2, "{nf}");
             assert!(matches!(nf.last, NetError::Connect(_)), "{nf}");
@@ -285,15 +296,17 @@ fn connection_refused_is_typed_and_counted() {
 #[test]
 fn no_workers_and_closure_step_are_rejected_up_front() {
     let data = planted_db();
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1));
-    match pf.run_with_executor(&ExecutorKind::Remote(RemoteConfig::default())) {
+    match run_remote(
+        &data.db,
+        config(2, ShardStrategy::SupportStratum, 1),
+        RemoteConfig::default(),
+    ) {
         Err(ExecutorError::Unsupported(why)) => assert!(why.contains("--workers"), "{why}"),
         other => panic!("expected Unsupported, got {other:?}"),
     }
     let cfg = config(2, ShardStrategy::SupportStratum, 1).with_closure_step(true);
-    let pf = PatternFusion::new(&data.db, cfg);
     let rc = remote(vec!["127.0.0.1:1".into()]);
-    match pf.run_with_executor(&ExecutorKind::Remote(rc)) {
+    match run_remote(&data.db, cfg, rc) {
         Err(ExecutorError::Unsupported(why)) => assert!(why.contains("closure_step"), "{why}"),
         other => panic!("expected Unsupported, got {other:?}"),
     }
@@ -303,15 +316,13 @@ fn no_workers_and_closure_step_are_rejected_up_front() {
 fn empty_pool_dials_nothing_and_returns_empty() {
     let db = colossal::datagen::diag(4);
     let cfg = FusionConfig::new(4, 2).with_shards(2);
-    let pf = PatternFusion::new(&db, cfg);
     // A worker address that would instantly refuse proves no connection
     // is ever attempted for an empty pool.
     let rc = remote(vec!["127.0.0.1:1".into()]);
-    let r = pf
-        .run_with_slab_executor(
-            colossal::fusion::PatternPool::new(4),
-            &ExecutorKind::Remote(rc),
-        )
+    let r = cfg
+        .engine(&db)
+        .with_executor(ExecutorKind::Remote(rc))
+        .mine(Source::Slab(colossal::fusion::PatternPool::new(4)))
         .expect("empty pool run");
     assert!(r.patterns.is_empty());
     assert!(r.stats.shards.is_empty());
@@ -332,9 +343,7 @@ fn spill_dir_is_cleaned_on_fallback_and_error_paths() {
     std::fs::create_dir_all(&dir).unwrap();
     let workers = fleet(1, &FaultPlan::parse("kill-worker").expect("plan"));
     let rc = remote(workers).with_attempts(2).with_work_dir(&dir);
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 2));
-    let rem = pf
-        .run_with_executor(&ExecutorKind::Remote(rc))
+    let rem = run_remote(&data.db, config(2, ShardStrategy::SupportStratum, 2), rc)
         .expect("fallback run");
     assert!(rem.stats.net.fallbacks > 0);
     assert!(!dir.exists(), "fallback path left spill files behind");
@@ -348,9 +357,8 @@ fn spill_dir_is_cleaned_on_fallback_and_error_paths() {
         .with_attempts(2)
         .with_work_dir(&dir)
         .with_fallback_in_thread(false);
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 2));
     assert!(matches!(
-        pf.run_with_executor(&ExecutorKind::Remote(rc)),
+        run_remote(&data.db, config(2, ShardStrategy::SupportStratum, 2), rc),
         Err(ExecutorError::Net(_))
     ));
     assert!(!dir.exists(), "error path left spill files behind");
@@ -365,9 +373,8 @@ fn spill_dir_is_cleaned_on_fallback_and_error_paths() {
         .with_attempts(1)
         .with_work_dir(&dir)
         .with_fallback_in_thread(false);
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 2));
     assert!(matches!(
-        pf.run_with_executor(&ExecutorKind::Remote(rc)),
+        run_remote(&data.db, config(2, ShardStrategy::SupportStratum, 2), rc),
         Err(ExecutorError::Net(_))
     ));
     assert!(!dir.exists(), "mid-fleet failure left spill files behind");
@@ -401,9 +408,7 @@ proptest! {
             .with_fault(plan)
             .with_timeout(Duration::from_millis(400))
             .with_attempts(3);
-        let pf = PatternFusion::new(&data.db, config(3, ShardStrategy::SupportStratum, 2));
-        let rem = pf
-            .run_with_executor(&ExecutorKind::Remote(rc))
+        let rem = run_remote(&data.db, config(3, ShardStrategy::SupportStratum, 2), rc)
             .expect("faulted run converges");
         assert_identical(&inm.patterns, &rem.patterns, &spec.join(","));
         prop_assert_eq!(

@@ -16,8 +16,8 @@
 //!    typed spill-dir error, and empty pools never spawn anything.
 
 use colossal::fusion::{
-    ExecutorError, ExecutorKind, FusionConfig, OocoreError, Pattern, PatternFusion, RunStats,
-    ShardStats, ShardStrategy, SubprocessConfig,
+    EngineError, ExecutorError, ExecutorKind, FusionConfig, FusionResult, OocoreError, Pattern,
+    PatternFusion, RunStats, ShardStats, ShardStrategy, Source, SubprocessConfig,
 };
 
 /// The real worker binary: the `cfp` executable this test suite builds.
@@ -27,6 +27,24 @@ fn worker_cmd() -> &'static str {
 
 fn subprocess() -> ExecutorKind {
     ExecutorKind::Subprocess(SubprocessConfig::new().with_worker_cmd(worker_cmd()))
+}
+
+/// The subprocess backend through the unified engine entry, with the
+/// engine's wrapper peeled back off so the typed-error contracts below
+/// keep matching on [`ExecutorError`] directly.
+fn run_proc(
+    db: &colossal::itemset::TransactionDb,
+    cfg: FusionConfig,
+    ex: ExecutorKind,
+    source: Source,
+) -> Result<FusionResult, ExecutorError> {
+    cfg.engine(db)
+        .with_executor(ex)
+        .mine(source)
+        .map_err(|e| match e {
+            EngineError::Executor(inner) => inner,
+            other => panic!("in-memory sources cannot fail to load: {other}"),
+        })
 }
 
 /// Full bit-identity of two results: itemsets AND support sets, in order.
@@ -81,8 +99,13 @@ fn subprocess_is_bit_identical_to_in_thread_including_counters() {
         for shards in [1usize, 2, 4] {
             let inm = PatternFusion::new(&data.db, config(shards, strategy, 1)).run();
             for threads in [1usize, 2, 8] {
-                let pf = PatternFusion::new(&data.db, config(shards, strategy, threads));
-                let proc = pf.run_with_executor(&subprocess()).expect("subprocess run");
+                let proc = run_proc(
+                    &data.db,
+                    config(shards, strategy, threads),
+                    subprocess(),
+                    Source::Transactions,
+                )
+                .expect("subprocess run");
                 let label = format!("{strategy:?} shards={shards} threads={threads}");
                 assert_identical(&inm.patterns, &proc.patterns, &label);
                 assert_eq!(inm.stats.converged, proc.stats.converged, "{label}");
@@ -109,12 +132,14 @@ fn with_slab_entry_matches_in_thread_sharded_with_slab() {
         .with_seed(7)
         .with_shards(3)
         .with_shard_strategy(ShardStrategy::MinhashBucket);
-    let pf = PatternFusion::new(&db, cfg);
-    let slab = pf.mine_initial_slab();
-    let inm = pf.run_sharded_with_slab(slab.clone());
-    let proc = pf
-        .run_with_slab_executor(slab, &subprocess())
-        .expect("subprocess run");
+    let engine = cfg.engine(&db);
+    let slab = engine.fusion().mine_initial_slab();
+    let inm = cfg
+        .engine(&db)
+        .partitioned()
+        .mine(Source::Slab(slab.clone()))
+        .unwrap();
+    let proc = run_proc(&db, cfg, subprocess(), Source::Slab(slab)).expect("subprocess run");
     assert_identical(&inm.patterns, &proc.patterns, "with_slab");
     assert_eq!(
         shards_without_time(&inm.stats),
@@ -126,12 +151,11 @@ fn with_slab_entry_matches_in_thread_sharded_with_slab() {
 fn dead_worker_surfaces_as_a_typed_error() {
     let data = planted_db();
     let cfg = config(2, ShardStrategy::SupportStratum, 1);
-    let pf = PatternFusion::new(&data.db, cfg);
     // `false` exits 1 immediately without speaking the protocol — the
     // run must fail typed (naming the shard and exit code), never hang
     // on the other worker or merge partial state.
     let ex = ExecutorKind::Subprocess(SubprocessConfig::new().with_worker_cmd("false"));
-    match pf.run_with_executor(&ex) {
+    match run_proc(&data.db, cfg, ex, Source::Transactions) {
         Err(ExecutorError::Worker(wf)) => {
             assert_eq!(wf.shard, 0, "failures collect in shard order");
             assert_eq!(wf.exit, Some(1), "{wf}");
@@ -144,11 +168,15 @@ fn dead_worker_surfaces_as_a_typed_error() {
 #[test]
 fn unspawnable_worker_surfaces_as_a_typed_error() {
     let data = planted_db();
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1));
     let ex = ExecutorKind::Subprocess(
         SubprocessConfig::new().with_worker_cmd("/nonexistent/cfp-worker-binary"),
     );
-    match pf.run_with_executor(&ex) {
+    match run_proc(
+        &data.db,
+        config(2, ShardStrategy::SupportStratum, 1),
+        ex,
+        Source::Transactions,
+    ) {
         Err(ExecutorError::Worker(wf)) => {
             assert_eq!(wf.exit, None, "{wf}");
             assert!(wf.detail.contains("failed to spawn"), "{wf}");
@@ -161,7 +189,6 @@ fn unspawnable_worker_surfaces_as_a_typed_error() {
 fn in_process_fallback_recovers_dead_workers_bit_identically() {
     let data = planted_db();
     let inm = PatternFusion::new(&data.db, config(4, ShardStrategy::SupportStratum, 1)).run();
-    let pf = PatternFusion::new(&data.db, config(4, ShardStrategy::SupportStratum, 2));
     // Every worker is dead on arrival; with the fallback enabled each
     // shard re-mines in-process from its spilled slab — the run succeeds
     // and stays bit-identical.
@@ -170,7 +197,13 @@ fn in_process_fallback_recovers_dead_workers_bit_identically() {
             .with_worker_cmd("false")
             .with_fallback_in_process(true),
     );
-    let rec = pf.run_with_executor(&ex).expect("fallback run");
+    let rec = run_proc(
+        &data.db,
+        config(4, ShardStrategy::SupportStratum, 2),
+        ex,
+        Source::Transactions,
+    )
+    .expect("fallback run");
     assert_identical(&inm.patterns, &rec.patterns, "fallback");
     assert_eq!(
         shards_without_time(&inm.stats),
@@ -195,9 +228,13 @@ fn stalled_worker_is_killed_at_the_deadline_and_surfaces_typed() {
             .with_fault("stall-mine:shard0")
             .with_timeout(std::time::Duration::from_millis(400)),
     );
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1));
     let t0 = std::time::Instant::now();
-    match pf.run_with_executor(&ex) {
+    match run_proc(
+        &data.db,
+        config(2, ShardStrategy::SupportStratum, 1),
+        ex,
+        Source::Transactions,
+    ) {
         Err(ExecutorError::Worker(wf)) => {
             assert_eq!(wf.shard, 0, "{wf}");
             assert!(wf.timed_out, "{wf}");
@@ -225,8 +262,13 @@ fn fallback_recovers_a_stalled_worker_bit_identically() {
             .with_timeout(std::time::Duration::from_millis(400))
             .with_fallback_in_process(true),
     );
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 2));
-    let rec = pf.run_with_executor(&ex).expect("fallback run");
+    let rec = run_proc(
+        &data.db,
+        config(2, ShardStrategy::SupportStratum, 2),
+        ex,
+        Source::Transactions,
+    )
+    .expect("fallback run");
     assert_identical(&inm.patterns, &rec.patterns, "stall fallback");
     assert_eq!(
         shards_without_time(&inm.stats),
@@ -239,8 +281,7 @@ fn fallback_recovers_a_stalled_worker_bit_identically() {
 fn closure_step_requires_a_dataset_path() {
     let data = planted_db();
     let cfg = config(2, ShardStrategy::SupportStratum, 1).with_closure_step(true);
-    let pf = PatternFusion::new(&data.db, cfg);
-    match pf.run_with_executor(&subprocess()) {
+    match run_proc(&data.db, cfg, subprocess(), Source::Transactions) {
         Err(ExecutorError::Unsupported(why)) => {
             assert!(why.contains("db_path"), "{why}");
         }
@@ -255,13 +296,17 @@ fn non_empty_work_dir_is_refused() {
     std::fs::write(dir.join("precious.txt"), b"do not delete").unwrap();
 
     let data = planted_db();
-    let pf = PatternFusion::new(&data.db, config(2, ShardStrategy::SupportStratum, 1));
     let ex = ExecutorKind::Subprocess(
         SubprocessConfig::new()
             .with_worker_cmd(worker_cmd())
             .with_work_dir(&dir),
     );
-    match pf.run_with_executor(&ex) {
+    match run_proc(
+        &data.db,
+        config(2, ShardStrategy::SupportStratum, 1),
+        ex,
+        Source::Transactions,
+    ) {
         Err(ExecutorError::Disk(OocoreError::SpillDirNotEmpty(d))) => assert_eq!(d, dir),
         other => panic!("expected SpillDirNotEmpty, got {other:?}"),
     }
@@ -274,15 +319,18 @@ fn non_empty_work_dir_is_refused() {
 fn empty_pool_spawns_nothing_and_returns_empty() {
     let db = colossal::datagen::diag(4);
     let cfg = FusionConfig::new(4, 2).with_shards(2);
-    let pf = PatternFusion::new(&db, cfg);
     // A worker command that would fail instantly proves no child is ever
     // spawned for an empty pool.
     let ex = ExecutorKind::Subprocess(
         SubprocessConfig::new().with_worker_cmd("/nonexistent/never-spawned"),
     );
-    let r = pf
-        .run_with_slab_executor(colossal::fusion::PatternPool::new(4), &ex)
-        .expect("empty pool run");
+    let r = run_proc(
+        &db,
+        cfg,
+        ex,
+        Source::Slab(colossal::fusion::PatternPool::new(4)),
+    )
+    .expect("empty pool run");
     assert!(r.patterns.is_empty());
     assert!(r.stats.shards.is_empty());
 }
