@@ -72,7 +72,7 @@ const SCAN_TASK_CANDIDATES: usize = 2048;
 /// A configured Pattern-Fusion run over one database.
 pub struct PatternFusion<'a> {
     db: &'a TransactionDb,
-    index: VerticalIndex,
+    index: std::borrow::Cow<'a, VerticalIndex>,
     config: FusionConfig,
 }
 
@@ -103,7 +103,29 @@ impl<'a> PatternFusion<'a> {
     pub fn new(db: &'a TransactionDb, config: FusionConfig) -> Self {
         Self {
             db,
-            index: VerticalIndex::new(db),
+            index: std::borrow::Cow::Owned(VerticalIndex::new(db)),
+            config,
+        }
+    }
+
+    /// Prepares a run over a database whose vertical index the caller
+    /// already maintains — the incremental driver ([`crate::delta`]) absorbs
+    /// transaction appends into one long-lived index and re-mines many
+    /// times, so rebuilding it per run would reintroduce an O(|D|) cost the
+    /// delta path exists to avoid. `index` must describe exactly `db`.
+    pub fn with_vertical_index(
+        db: &'a TransactionDb,
+        index: &'a VerticalIndex,
+        config: FusionConfig,
+    ) -> Self {
+        debug_assert_eq!(
+            index.num_transactions(),
+            db.len(),
+            "vertical index out of sync with the database"
+        );
+        Self {
+            db,
+            index: std::borrow::Cow::Borrowed(index),
             config,
         }
     }
@@ -193,13 +215,30 @@ impl<'a> PatternFusion<'a> {
     /// Shared tail of [`PatternFusion::run`] / [`PatternFusion::run_with_pool`]:
     /// routes sharded (through the in-thread executor backend,
     /// [`crate::executor`]) vs plain, stamps pool statistics, materializes.
-    pub(crate) fn run_from_store(&self, mut store: PoolStore, mine: PoolMineStats) -> FusionResult {
+    pub(crate) fn run_from_store(&self, store: PoolStore, mine: PoolMineStats) -> FusionResult {
+        self.run_from_store_with_index(store, mine, None)
+    }
+
+    /// [`PatternFusion::run_from_store`] with an optional pre-built ball
+    /// index over the store's base rows — the incremental driver
+    /// ([`crate::delta`]) carries one across database generations via
+    /// [`BallIndex::apply_generation_delta`] so only delta-sized index work
+    /// is paid per append. Sharded runs build per-shard indexes and must not
+    /// pass one.
+    pub(crate) fn run_from_store_with_index(
+        &self,
+        mut store: PoolStore,
+        mine: PoolMineStats,
+        prebuilt: Option<BallIndex>,
+    ) -> FusionResult {
         let rows: Vec<u32> = (0..store.base_len() as u32).collect();
         let (store, final_rows, mut stats) = if self.config.sharding.shards > 1 {
+            debug_assert!(prebuilt.is_none(), "sharded runs build one index per shard");
             self.run_partitioned(store, rows, &crate::executor::ExecutorKind::InThread)
                 .unwrap_or_else(|e| unreachable!("in-thread executor is infallible: {e}"))
         } else {
-            let (final_rows, stats) = self.run_rows_with(&mut store, rows, &self.config);
+            let (final_rows, stats) =
+                self.run_rows_with_index(&mut store, rows, &self.config, prebuilt);
             (store, final_rows, stats)
         };
         stats.pool = PoolStats {
@@ -228,8 +267,23 @@ impl<'a> PatternFusion<'a> {
     pub(crate) fn run_rows_with(
         &self,
         store: &mut PoolStore,
+        rows: Vec<u32>,
+        cfg: &FusionConfig,
+    ) -> (Vec<u32>, RunStats) {
+        self.run_rows_with_index(store, rows, cfg, None)
+    }
+
+    /// [`PatternFusion::run_rows_with`] with an optional pre-built
+    /// [`BallIndex`] mirroring exactly `rows` over `store` — the generation
+    /// carry seam. Results are identical with and without a prebuilt index
+    /// (balls are exact either way); only the index-build cost and the
+    /// maintenance counters differ.
+    pub(crate) fn run_rows_with_index(
+        &self,
+        store: &mut PoolStore,
         mut rows: Vec<u32>,
         cfg: &FusionConfig,
+        prebuilt: Option<BallIndex>,
     ) -> (Vec<u32>, RunStats) {
         let mut stats = RunStats {
             initial_pool_size: rows.len(),
@@ -254,14 +308,31 @@ impl<'a> PatternFusion<'a> {
         // pool deltas (tombstones + side-buffer inserts) at the end of each
         // iteration instead of being rebuilt from scratch.
         let t_build = Instant::now();
-        let mut index =
-            BallIndex::build_with_threads(store, &rows, radius, cfg.ball_pivots, threads);
-        let mut maintenance = IndexMaintenance {
-            rebuilt: true,
-            live: index.len(),
-            arena: index.arena_slots(),
-            elapsed: t_build.elapsed(),
-            ..Default::default()
+        let (mut index, mut maintenance) = match prebuilt {
+            Some(index) => {
+                debug_assert_eq!(index.len(), rows.len(), "prebuilt index out of sync");
+                let maintenance = IndexMaintenance {
+                    rebuilt: false,
+                    live: index.len(),
+                    arena: index.arena_slots(),
+                    side: index.side_len(),
+                    elapsed: t_build.elapsed(),
+                    ..Default::default()
+                };
+                (index, maintenance)
+            }
+            None => {
+                let index =
+                    BallIndex::build_with_threads(store, &rows, radius, cfg.ball_pivots, threads);
+                let maintenance = IndexMaintenance {
+                    rebuilt: true,
+                    live: index.len(),
+                    arena: index.arena_slots(),
+                    elapsed: t_build.elapsed(),
+                    ..Default::default()
+                };
+                (index, maintenance)
+            }
         };
 
         for iteration in 0..cfg.max_iterations {
@@ -330,6 +401,11 @@ impl<'a> PatternFusion<'a> {
             };
             let continuing = next.len() > cfg.k && !stagnated && iteration + 1 < cfg.max_iterations;
             if continuing {
+                // Let the measured prune rates steer the pivot count the
+                // next compaction rebuild will request — never the live
+                // table, so results stay bit-identical (satellite of the
+                // incremental-mining work).
+                index.adapt_pivot_target(&ball_stats);
                 // Advance the index to the next pool while both pools are
                 // still alive: survivors keep their slots, departures are
                 // tombstoned, fresh fusions enter the side buffer.

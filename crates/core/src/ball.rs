@@ -144,6 +144,12 @@ pub struct BallQueryStats {
     /// Evidence for how much each farthest-point pivot earns its table
     /// column.
     pub pivot_prune_counts: [u64; MAX_PIVOTS],
+    /// Number of pivot columns the serving index had active — the adapted
+    /// count chosen by [`BallIndex::adapt_pivot_target`] once a rebuild has
+    /// applied it (merged with `max`, so aggregated stats report the widest
+    /// table consulted). Not a pair count; excluded from the partition
+    /// identity.
+    pub pivots_active: u64,
 }
 
 impl BallQueryStats {
@@ -163,6 +169,7 @@ impl BallQueryStats {
         {
             *mine += *theirs;
         }
+        self.pivots_active = self.pivots_active.max(other.pivots_active);
     }
 
     /// Fraction of pairs that never reached the exact kernel (0 when no
@@ -275,6 +282,12 @@ impl SlabGather {
 /// over K seed queries per iteration *and* over subsequent iterations via
 /// [`BallIndex::apply_delta`]. No tid words are copied: the arena holds row
 /// ids and derived prune columns only (see the module docs).
+///
+/// `Clone` snapshots the whole index (small: row ids, cards, f32 pivot
+/// table) — the incremental-mining driver clones the freshly built index of
+/// one database generation so the next generation can start from it via
+/// [`BallIndex::apply_generation_delta`] instead of a from-scratch build.
+#[derive(Clone)]
 pub struct BallIndex {
     /// Arena position → global store row, in **support-sorted order** as of
     /// the last rebuild. Slots are frozen: tombstoned entries keep their
@@ -624,6 +637,117 @@ impl BallIndex {
             side: self.side_cards.len(),
             elapsed: t0.elapsed(),
         }
+    }
+
+    /// Advances the index **across database generations**: the pool slab was
+    /// replaced wholesale (transactions were appended, every tid-set grew its
+    /// universe), but `delta.survivors` names the rows whose tid-sets are the
+    /// old ones *zero-extended* — for those, every stored cardinality and
+    /// pivot distance is still exact, because zero-padding changes neither a
+    /// set's count nor any pairwise Jaccard. The index retargets itself onto
+    /// the new store by rewriting survivor row bindings (`old_rows[i] →
+    /// new_rows[j]`), then runs the ordinary [`BallIndex::apply_delta`]
+    /// machinery so deaths tombstone, inserts enter the side buffer with
+    /// pivot rows computed against the **new** store, and the compaction
+    /// policy fires as usual.
+    ///
+    /// Every pivot's reference row must itself survive: pivot rows are
+    /// dereferenced in the new store for insert/external distance
+    /// computations, and a vanished row has no binding there. If any pivot
+    /// dies, the whole index is rebuilt over `new_rows` instead — still
+    /// correct, just not incremental.
+    ///
+    /// Queries afterwards answer exactly as a fresh index over `new_rows`
+    /// would, up to counter internals — the same contract as `apply_delta`.
+    pub fn apply_generation_delta(
+        &mut self,
+        store: &PoolStore,
+        new_rows: &[u32],
+        old_rows: &[u32],
+        delta: &PoolDelta,
+        threads: usize,
+    ) -> IndexMaintenance {
+        let t0 = Instant::now();
+        let mut row_map: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::with_capacity(delta.survivors.len());
+        for &(i, j) in &delta.survivors {
+            row_map.insert(old_rows[i as usize], new_rows[j as usize]);
+        }
+        if self.pivots.iter().any(|&(r, _)| !row_map.contains_key(&r)) {
+            let tombstoned = self.len().saturating_sub(delta.survivors.len()) as u64;
+            return self.rebuild(
+                store,
+                new_rows,
+                threads,
+                t0,
+                tombstoned,
+                delta.inserts.len() as u64,
+            );
+        }
+        // Rebind survivors onto the new slab. Non-survivor entries keep
+        // their stale old-store row ids; `apply_delta` tombstones them and
+        // dead slots are never dereferenced.
+        for r in self
+            .arena_rows
+            .iter_mut()
+            .chain(self.side_rows.iter_mut())
+            .chain(self.pivots.iter_mut().map(|(r, _)| r))
+        {
+            if let Some(&nr) = row_map.get(r) {
+                *r = nr;
+            }
+        }
+        self.apply_delta(store, new_rows, delta, threads)
+    }
+
+    /// Adapts the pivot *count* to the prune rates one iteration actually
+    /// measured (satellite of the incremental-mining work): each pivot
+    /// column costs a |Pool|-sized f32 stripe at rebuild plus one band test
+    /// per surviving pair at scan, so the count should track what the pool's
+    /// geometry lets the triangle inequality earn.
+    ///
+    /// Policy, over the pairs that survived the cardinality prune
+    /// (`pairs_total − cardinality_pruned`):
+    ///
+    /// * **shrink** — drop trailing pivots whose attributed prune count is
+    ///   under 1% of the surviving pairs (the scan attributes each pruned
+    ///   pair to the first rejecting pivot, so a late pivot's count is its
+    ///   *marginal* contribution);
+    /// * **grow** — when no pivot is idle and over half the surviving pairs
+    ///   still reach the exact kernel, request one more pivot (up to
+    ///   [`MAX_PIVOTS`]).
+    ///
+    /// Only [`BallIndex::pivot_target`](Self) changes; the live table is
+    /// untouched, so results stay bit-identical and the new count takes
+    /// effect at the next compaction rebuild. Deterministic: the counters
+    /// are exact pair counts, identical at every thread count.
+    pub fn adapt_pivot_target(&mut self, stats: &BallQueryStats) {
+        let survivors = stats.pairs_total.saturating_sub(stats.cardinality_pruned);
+        if survivors == 0 {
+            return;
+        }
+        let mut target = self.n_pivots;
+        while target > 0 && stats.pivot_prune_counts[target - 1] * 100 < survivors {
+            target -= 1;
+        }
+        if target == self.n_pivots
+            && self.n_pivots < MAX_PIVOTS
+            && stats.exact_checked * 2 > survivors
+        {
+            target = self.n_pivots + 1;
+        }
+        self.pivot_target = target;
+    }
+
+    /// Number of pivot columns currently in use.
+    pub fn pivots_active(&self) -> usize {
+        self.n_pivots
+    }
+
+    /// The pivot count the next full rebuild will request (the adapted
+    /// target once [`BallIndex::adapt_pivot_target`] has run).
+    pub fn pivot_target(&self) -> usize {
+        self.pivot_target
     }
 
     /// The deterministic compaction policy: a pure function of index state,
@@ -1004,6 +1128,7 @@ impl BallQuery<'_> {
         // own range — neither a pair nor pruned).
         stats.pairs_total += if self.ext.is_some() { n } else { n - 1 };
         stats.cardinality_pruned += n - in_range;
+        stats.pivots_active = stats.pivots_active.max(self.index.n_pivots as u64);
     }
 
     /// Cuts `0..candidates()` into ranges holding ≈`target_live` live
@@ -1323,6 +1448,8 @@ mod tests {
             stats.pivot_pruned
         );
         assert!(stats.pivot_prune_counts[4..].iter().all(|&c| c == 0));
+        // The serving index's pivot count is reported alongside the prunes.
+        assert_eq!(stats.pivots_active, 4);
         // A fresh index has no tombstones and no side buffer.
         assert_eq!(stats.tombstone_skips, 0);
         assert_eq!(stats.side_hits, 0);
@@ -1553,6 +1680,149 @@ mod tests {
             pool = next;
             rows = next_rows;
         }
+    }
+
+    #[test]
+    fn adapt_pivot_target_follows_measured_prune_rates() {
+        let pool = fixture_pool();
+        let (mut store, rows) = store_of(&pool);
+        let mut index = BallIndex::build(&store, &rows, 0.5, 4);
+        assert_eq!(index.pivots_active(), 4);
+        assert_eq!(index.pivot_target(), 4);
+
+        // Trailing pivots earning under 1% of the surviving pairs are shed
+        // one by one until a productive pivot is reached.
+        let mut idle = BallQueryStats {
+            pairs_total: 10_000,
+            cardinality_pruned: 2_000, // survivors = 8_000, 1% = 80
+            pivot_pruned: 4_210,
+            exact_checked: 3_790,
+            ..Default::default()
+        };
+        idle.pivot_prune_counts[0] = 4_000;
+        idle.pivot_prune_counts[1] = 200;
+        idle.pivot_prune_counts[2] = 10;
+        index.adapt_pivot_target(&idle);
+        assert_eq!(index.pivot_target(), 2, "pivots 2 and 3 are idle");
+        assert_eq!(
+            index.pivots_active(),
+            4,
+            "live table untouched until rebuild"
+        );
+
+        // All pivots busy but most survivors still reach the exact kernel:
+        // request one more column.
+        index.adapt_pivot_target(&BallQueryStats {
+            pairs_total: 10_000,
+            cardinality_pruned: 2_000,
+            pivot_pruned: 2_000,
+            exact_checked: 6_000,
+            pivot_prune_counts: {
+                let mut c = [0u64; MAX_PIVOTS];
+                c[..4].copy_from_slice(&[1_000, 500, 300, 200]);
+                c
+            },
+            ..Default::default()
+        });
+        assert_eq!(index.pivot_target(), 5);
+
+        // No surviving pairs: nothing to learn from, target unchanged.
+        index.adapt_pivot_target(&BallQueryStats::default());
+        assert_eq!(index.pivot_target(), 5);
+
+        // The adapted target takes effect at the next compaction rebuild.
+        index.adapt_pivot_target(&idle);
+        assert_eq!(index.pivot_target(), 2);
+        let next: Vec<Pattern> = pool[..10].to_vec();
+        let next_rows = intern_all(&mut store, &next);
+        let delta = PoolDelta::compute(&rows, &next_rows, store.len_rows());
+        let m = index.apply_delta(&store, &next_rows, &delta, 1);
+        assert!(m.rebuilt, "shrinking to 10/44 live must compact");
+        assert_eq!(index.pivots_active(), 2);
+        assert_matches_brute(&index, &store, &next, 0.5, "after adapted rebuild");
+    }
+
+    /// `apply_generation_delta`: the pool slab is replaced wholesale
+    /// (universe grown by appended transactions), survivors are the old
+    /// tid-sets zero-extended, and the index must retarget in place.
+    #[test]
+    fn generation_delta_retargets_onto_a_grown_store() {
+        let pool = fixture_pool();
+        let (old_store, old_rows) = store_of(&pool);
+        let index0 = BallIndex::build(&old_store, &old_rows, 0.5, 4);
+        let u = 320;
+        let grow = |p: &Pattern| {
+            let mut t = p.tids.clone();
+            t.grow_universe(u);
+            Pattern::new(p.items.clone(), t)
+        };
+
+        // Generation 1: pure zero-extension plus inserts — every pivot
+        // survives, so no rebuild is needed.
+        let mut index = index0.clone();
+        let mut next: Vec<Pattern> = pool.iter().map(grow).collect();
+        let survivors: Vec<(u32, u32)> = (0..pool.len() as u32).map(|i| (i, i)).collect();
+        let mut inserts = Vec::new();
+        for v in 0..3usize {
+            inserts.push(next.len() as u32);
+            next.push(pat(
+                u,
+                2000 + v as u32,
+                &(v * 30..v * 30 + 25).collect::<Vec<_>>(),
+            ));
+        }
+        let (new_store, new_rows) = store_of(&next);
+        let delta = PoolDelta { survivors, inserts };
+        let m = index.apply_generation_delta(&new_store, &new_rows, &old_rows, &delta, 1);
+        assert!(!m.rebuilt, "zero-extension survivors carry the index");
+        assert_eq!(m.inserted, 3);
+        assert_eq!(m.live, next.len());
+        assert_matches_brute(&index, &new_store, &next, 0.5, "generation carry");
+        let fresh = BallIndex::build(&new_store, &new_rows, 0.5, 4);
+        for q in 0..next.len() {
+            let (mut a, mut b) = (BallQueryStats::default(), BallQueryStats::default());
+            assert_eq!(
+                index.ball(&new_store, q, &mut a),
+                fresh.ball(&new_store, q, &mut b),
+                "q={q}"
+            );
+        }
+
+        // Generation with deaths: exact regardless of whether a pivot died
+        // (the rebuild fallback is silent but correct).
+        let mut index = index0.clone();
+        let mut culled: Vec<Pattern> = Vec::new();
+        let mut survivors = Vec::new();
+        for (i, p) in pool.iter().enumerate() {
+            if i % 5 == 4 {
+                continue;
+            }
+            survivors.push((i as u32, culled.len() as u32));
+            culled.push(grow(p));
+        }
+        let (culled_store, culled_rows) = store_of(&culled);
+        let delta = PoolDelta {
+            survivors,
+            inserts: vec![],
+        };
+        let m = index.apply_generation_delta(&culled_store, &culled_rows, &old_rows, &delta, 1);
+        assert_eq!(m.live, culled.len());
+        assert_matches_brute(&index, &culled_store, &culled, 0.5, "generation deaths");
+
+        // Nothing survives: the pivots are gone, so the index must rebuild
+        // itself over the new pool.
+        let mut index = index0.clone();
+        let fresh_pool: Vec<Pattern> = (0..6)
+            .map(|v| pat(u, 3000 + v as u32, &[v * 2, v * 2 + 1]))
+            .collect();
+        let (s2, r2) = store_of(&fresh_pool);
+        let d2 = PoolDelta {
+            survivors: vec![],
+            inserts: (0..fresh_pool.len() as u32).collect(),
+        };
+        let m2 = index.apply_generation_delta(&s2, &r2, &old_rows, &d2, 1);
+        assert!(m2.rebuilt, "dead pivots must force a full rebuild");
+        assert_matches_brute(&index, &s2, &fresh_pool, 0.5, "rebuild fallback");
     }
 
     #[test]

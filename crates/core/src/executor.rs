@@ -1226,7 +1226,8 @@ impl WorkerStats {
              tombstoned {}\ninserted {}\ncompactions {}\n\
              ball.pairs_total {}\nball.cardinality_pruned {}\nball.pivot_pruned {}\n\
              ball.exact_checked {}\nball.ball_members {}\nball.side_hits {}\n\
-             ball.tombstone_skips {}\nball.pivot_prune_counts {}\nend\n",
+             ball.tombstone_skips {}\nball.pivots_active {}\n\
+             ball.pivot_prune_counts {}\nend\n",
             self.pool_size,
             self.patterns,
             self.iterations,
@@ -1241,6 +1242,7 @@ impl WorkerStats {
             b.ball_members,
             b.side_hits,
             b.tombstone_skips,
+            b.pivots_active,
             pivots.join(" "),
         )
     }
@@ -1285,6 +1287,7 @@ impl WorkerStats {
                 "ball.ball_members" => out.ball.ball_members = num(value)?,
                 "ball.side_hits" => out.ball.side_hits = num(value)?,
                 "ball.tombstone_skips" => out.ball.tombstone_skips = num(value)?,
+                "ball.pivots_active" => out.ball.pivots_active = num(value)?,
                 "ball.pivot_prune_counts" => {
                     let counts: Vec<u64> = value
                         .split(' ')
@@ -1504,6 +1507,7 @@ mod tests {
         stats.ball.pivot_pruned = 123_456;
         stats.ball.pivot_prune_counts[0] = 100_000;
         stats.ball.pivot_prune_counts[3] = 23_456;
+        stats.ball.pivots_active = 6;
         let record = stats.to_record(2);
         assert!(record.starts_with("cfp-shard-worker 1 shard=2\n"));
         assert!(record.ends_with("end\n"));

@@ -93,6 +93,7 @@ pub mod algorithm;
 pub mod ball;
 pub mod complementary;
 pub mod core_pattern;
+pub mod delta;
 pub mod distance;
 pub mod engine;
 pub mod env;
@@ -125,6 +126,7 @@ pub use cfp_itemset::PatternPool;
 pub use complementary::{count_complementary_sets, find_complementary_set, is_complementary_set};
 pub use config::FusionConfig;
 pub use core_pattern::{core_patterns_of, is_core_pattern, is_core_pattern_of};
+pub use delta::{AppendStats, DeltaEngine};
 pub use distance::{ball_radius, pattern_distance};
 pub use engine::{Engine, EngineError, Source};
 pub use env::EnvError;

@@ -42,6 +42,18 @@
 //! Readers never block on a build, and `reload wait=1` lets admin callers
 //! observe the swap synchronously.
 //!
+//! The served database itself evolves through the same machinery: an
+//! `append` request stages a batch of new transactions (`txns=`,
+//! `;`-separated transactions of `,`-separated external labels) onto the
+//! builder thread, which owns the evolving database inside a
+//! [`DeltaEngine`] — the delta is absorbed at sublinear cost (clean
+//! first-item subtrees spliced, the ball index carried across the
+//! generation; see [`crate::delta`]) and the resulting generation is
+//! **bit-identical** to what a cold daemon over the grown database would
+//! serve. `append wait=1` blocks until the new epoch is swapped in; a
+//! later `reload` re-mines the *grown* database from scratch (seed
+//! overrides still apply to that build only).
+//!
 //! # Sessions
 //!
 //! Multi-tenant isolation rides on the slab's fork semantics
@@ -55,6 +67,7 @@
 
 use crate::ball::{BallIndex, BallQueryStats};
 use crate::config::FusionConfig;
+use crate::delta::DeltaEngine;
 use crate::distance::ball_radius;
 use crate::engine::Source;
 use crate::net::{
@@ -63,7 +76,7 @@ use crate::net::{
 };
 use crate::pattern::Pattern;
 use crate::pool::{rank_rows, PoolStore};
-use cfp_itemset::{kernels, Item, Itemset, TidSet, TransactionDb};
+use cfp_itemset::{kernels, DbDelta, Item, Itemset, TidSet, TransactionDb};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -139,7 +152,7 @@ impl ServeOptions {
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
     /// The request verb (`topk`, `lookup`, `contain`, `similar`, `put`,
-    /// `stats`, `reload`, `bye`).
+    /// `stats`, `reload`, `append`, `bye`).
     pub verb: String,
     /// The `key=value` field lines, in wire order.
     pub fields: Vec<(String, String)>,
@@ -233,6 +246,7 @@ fn allowed_fields(verb: &str) -> Option<&'static [&'static str]> {
         "put" => &["session", "items", "tids"],
         "stats" => &[],
         "reload" => &["seed", "wait"],
+        "append" => &["txns", "wait"],
         "bye" => &[],
         _ => return None,
     })
@@ -269,7 +283,13 @@ impl Generation {
             .engine(db)
             .mine(Source::Transactions)
             .expect("the transactions source cannot fail to load");
-        let store = PoolStore::from_patterns(&result.patterns);
+        Self::from_patterns(&result.patterns, config, epoch)
+    }
+
+    /// Freezes an already-mined result as epoch `epoch` (the `append` path:
+    /// the [`DeltaEngine`] did the mining incrementally).
+    fn from_patterns(patterns: &[Pattern], config: &FusionConfig, epoch: u64) -> Self {
+        let store = PoolStore::from_patterns(patterns);
         let mut rows: Vec<u32> = (0..store.len_rows() as u32).collect();
         rank_rows(&store, &mut rows);
         let radius = ball_radius(config.tau);
@@ -331,11 +351,21 @@ impl Session {
     }
 }
 
-/// A queued `reload`: an optional seed override and, for `wait=1`
-/// requests, a channel the builder acks the new epoch on.
-struct ReloadJob {
-    seed: Option<u64>,
-    ack: Option<mpsc::Sender<u64>>,
+/// A queued build for the dedicated builder thread. For `wait=1` requests
+/// the builder acks the freshly swapped epoch on `ack`.
+enum BuilderJob {
+    /// A `reload`: re-mine the current (possibly grown) database from
+    /// scratch, with an optional seed override for this build only.
+    Reload {
+        seed: Option<u64>,
+        ack: Option<mpsc::Sender<u64>>,
+    },
+    /// An `append`: absorb a transaction delta into the evolving database
+    /// and re-mine incrementally through the builder's [`DeltaEngine`].
+    Append {
+        delta: DbDelta,
+        ack: Option<mpsc::Sender<u64>>,
+    },
 }
 
 /// Everything the connection handlers share, borrowed into the scoped
@@ -398,7 +428,7 @@ pub fn serve_queries(
         requests: AtomicU64::new(0),
     };
     thread::scope(|scope| {
-        let (reload_tx, reload_rx) = mpsc::channel::<ReloadJob>();
+        let (reload_tx, reload_rx) = mpsc::channel::<BuilderJob>();
         let st = &state;
         scope.spawn(move || builder_loop(reload_rx, st));
         let mut served = 0usize;
@@ -448,19 +478,39 @@ pub fn spawn_query_server(
     Ok((addr, handle))
 }
 
-/// The dedicated builder thread: drains `reload` jobs one at a time (so
-/// concurrent reload requests serialize naturally), builds each new
+/// The dedicated builder thread: drains `reload` / `append` jobs one at a
+/// time (so concurrent build requests serialize naturally), builds each new
 /// generation entirely off-lock, and swaps it in with one brief write.
-fn builder_loop(rx: mpsc::Receiver<ReloadJob>, state: &ServerState<'_>) {
+///
+/// The builder is the sole owner of the *evolving* database: the first
+/// `append` clones the launch database into a [`DeltaEngine`], and every
+/// later append is absorbed incrementally there. A `reload` re-mines
+/// whatever the database currently is — grown or not — from scratch, so a
+/// seed override always sees the appended transactions too.
+fn builder_loop(rx: mpsc::Receiver<BuilderJob>, state: &ServerState<'_>) {
+    let mut engine: Option<DeltaEngine> = None;
     while let Ok(job) = rx.recv() {
         let epoch = state.next_epoch.fetch_add(1, Ordering::SeqCst);
-        let config = match job.seed {
-            Some(seed) => state.config.clone().with_seed(seed),
-            None => state.config.clone(),
+        let (gen, ack) = match job {
+            BuilderJob::Reload { seed, ack } => {
+                let config = match seed {
+                    Some(seed) => state.config.clone().with_seed(seed),
+                    None => state.config.clone(),
+                };
+                let db = engine.as_ref().map_or(state.db, DeltaEngine::db);
+                (Arc::new(Generation::build(db, &config, epoch)), ack)
+            }
+            BuilderJob::Append { delta, ack } => {
+                let engine = engine.get_or_insert_with(|| {
+                    DeltaEngine::new(state.db.clone(), state.config.clone())
+                });
+                let result = engine.append(&delta);
+                let gen = Generation::from_patterns(&result.patterns, &state.config, epoch);
+                (Arc::new(gen), ack)
+            }
         };
-        let gen = Arc::new(Generation::build(state.db, &config, epoch));
         *state.generation.write().expect("generation lock") = gen;
-        if let Some(ack) = job.ack {
+        if let Some(ack) = ack {
             let _ = ack.send(epoch);
         }
     }
@@ -473,7 +523,7 @@ fn builder_loop(rx: mpsc::Receiver<ReloadJob>, state: &ServerState<'_>) {
 fn handle_conn(
     stream: TcpStream,
     state: &ServerState<'_>,
-    reload: &mpsc::Sender<ReloadJob>,
+    reload: &mpsc::Sender<BuilderJob>,
     opts: &ServeOptions,
 ) -> Result<(), String> {
     let _ = stream.set_nodelay(true);
@@ -550,7 +600,7 @@ fn bad_request(msg: impl Into<String>) -> Fault {
 /// `key=value` / `pattern ...` lines).
 fn dispatch(
     state: &ServerState<'_>,
-    reload: &mpsc::Sender<ReloadJob>,
+    reload: &mpsc::Sender<BuilderJob>,
     req: &ServeRequest,
 ) -> Result<String, Fault> {
     let allowed = allowed_fields(&req.verb)
@@ -573,6 +623,10 @@ fn dispatch(
         "stats" => (gen.epoch, server_stats(state, &gen)),
         "reload" => {
             let (epoch, body) = trigger_reload(&gen, reload, req)?;
+            (epoch, body)
+        }
+        "append" => {
+            let (epoch, body) = trigger_append(&gen, reload, req)?;
             (epoch, body)
         }
         "bye" => (gen.epoch, "closing=1\n".to_string()),
@@ -833,13 +887,13 @@ fn server_stats(state: &ServerState<'_>, gen: &Generation) -> String {
 /// answered and `scheduled=1`.
 fn trigger_reload(
     gen: &Generation,
-    reload: &mpsc::Sender<ReloadJob>,
+    reload: &mpsc::Sender<BuilderJob>,
     req: &ServeRequest,
 ) -> Result<(u64, String), Fault> {
     let seed = parse_num::<u64>(req, "seed")?;
     let wait = req.get("wait") == Some("1");
     let (ack_tx, ack_rx) = mpsc::channel();
-    let job = ReloadJob {
+    let job = BuilderJob::Reload {
         seed,
         ack: wait.then(|| ack_tx.clone()),
     };
@@ -854,6 +908,65 @@ fn trigger_reload(
         Ok((epoch, "waited=1\n".to_string()))
     } else {
         Ok((gen.epoch, "scheduled=1\n".to_string()))
+    }
+}
+
+/// Parses an `append` request's `txns=` field: `;`-separated transactions,
+/// each a `,`-separated list of external item labels. Strict like every
+/// other field parser: an empty batch, an empty transaction segment, or a
+/// malformed label is a typed error.
+fn parse_txns(raw: &str) -> Result<DbDelta, Fault> {
+    let mut delta = DbDelta::new();
+    for seg in raw.split(';') {
+        if seg.is_empty() {
+            return Err(bad_request("empty transaction in txns list"));
+        }
+        let mut txn: Vec<u32> = Vec::new();
+        for tok in seg.split(',').filter(|t| !t.is_empty()) {
+            txn.push(
+                tok.parse()
+                    .map_err(|_| bad_request(format!("bad item label '{tok}' in txns list")))?,
+            );
+        }
+        delta.push(&txn);
+    }
+    if delta.is_empty() {
+        return Err(bad_request("missing or empty field 'txns'"));
+    }
+    Ok(delta)
+}
+
+/// `append`: stages a transaction delta onto the builder thread, which
+/// absorbs it incrementally (see [`crate::delta`]) and swaps in a new
+/// generation bit-identical to a cold mine of the grown database. `wait=1`
+/// reports the freshly swapped epoch, mirroring `reload`.
+fn trigger_append(
+    gen: &Generation,
+    reload: &mpsc::Sender<BuilderJob>,
+    req: &ServeRequest,
+) -> Result<(u64, String), Fault> {
+    let raw = req
+        .get("txns")
+        .ok_or_else(|| bad_request("missing required field 'txns'"))?;
+    let delta = parse_txns(raw)?;
+    let appended = delta.len();
+    let wait = req.get("wait") == Some("1");
+    let (ack_tx, ack_rx) = mpsc::channel();
+    let job = BuilderJob::Append {
+        delta,
+        ack: wait.then(|| ack_tx.clone()),
+    };
+    reload
+        .send(job)
+        .map_err(|_| (2, "the generation builder has shut down".to_string()))?;
+    if wait {
+        drop(ack_tx);
+        let epoch = ack_rx
+            .recv()
+            .map_err(|_| (2, "the generation builder died mid-build".to_string()))?;
+        Ok((epoch, format!("appended={appended} waited=1\n")))
+    } else {
+        Ok((gen.epoch, format!("appended={appended} scheduled=1\n")))
     }
 }
 
@@ -1083,6 +1196,16 @@ mod tests {
     fn unknown_verbs_and_fields_are_rejected_by_the_table() {
         assert!(allowed_fields("frobnicate").is_none());
         assert!(allowed_fields("topk").is_some_and(|a| !a.contains(&"seed")));
+        assert!(allowed_fields("append").is_some_and(|a| a.contains(&"txns")));
+    }
+
+    #[test]
+    fn txns_fields_parse_strictly() {
+        let delta = parse_txns("1,2,3;4;9,12").unwrap();
+        assert_eq!(delta.transactions(), &[vec![1, 2, 3], vec![4], vec![9, 12]]);
+        for bad in ["", "1,2;;3", "1,2;", "1,x,3"] {
+            assert!(parse_txns(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

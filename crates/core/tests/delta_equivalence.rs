@@ -1,0 +1,166 @@
+//! The incremental driver's load-bearing contract: a [`DeltaEngine`] fed
+//! any schedule of transaction appends produces **bit-for-bit** the result
+//! a from-scratch mine of the grown database would — itemsets, support
+//! sets, and (for sharded runs, which replay the cold partitioned path
+//! exactly) the per-shard counters too — across thread counts, shard
+//! strategies, batch sizes, item skew, duplicate transactions, and both
+//! tid-lane width paths (appends that stay inside the padded lane width
+//! and appends that cross it).
+
+use cfp_core::{DeltaEngine, FusionConfig, FusionResult, Source};
+use cfp_itemset::{DbDelta, TransactionDb};
+use proptest::prelude::*;
+
+fn quest_db(n_transactions: usize, seed: u64) -> TransactionDb {
+    cfp_datagen::quest(&cfp_datagen::QuestConfig {
+        n_transactions,
+        n_items: 30,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn config(min_count: usize, seed: u64, threads: usize, shards: usize) -> FusionConfig {
+    FusionConfig::new(8, min_count)
+        .with_pool_max_len(2)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_shards(shards)
+}
+
+/// Bit-identity of the mined answer: itemsets and support sets, in order.
+fn assert_same_patterns(a: &FusionResult, b: &FusionResult, label: &str) {
+    assert_eq!(a.patterns.len(), b.patterns.len(), "{label}: pattern count");
+    for (x, y) in a.patterns.iter().zip(&b.patterns) {
+        assert_eq!(x.items, y.items, "{label}: itemset drift");
+        assert_eq!(x.tids, y.tids, "{label}: support-set drift");
+    }
+}
+
+/// Runs `engine.append` for every batch, checking against a from-scratch
+/// re-mine of the grown database after each one. Sharded runs must also
+/// replay the cold run's per-shard trajectory, counters included.
+fn check_schedule(
+    base: &TransactionDb,
+    cfg: &FusionConfig,
+    batches: &[Vec<Vec<u32>>],
+    label: &str,
+) {
+    let mut engine = DeltaEngine::new(base.clone(), cfg.clone());
+    engine.mine();
+    let mut grown = base.clone();
+    for (i, batch) in batches.iter().enumerate() {
+        let delta = DbDelta::from_transactions(batch.clone());
+        let incremental = engine.append(&delta);
+        grown.append_delta(&delta);
+        let scratch = cfg.engine(&grown).mine(Source::Transactions).unwrap();
+        let tag = format!("{label}, batch {i}");
+        assert_same_patterns(&incremental, &scratch, &tag);
+        assert_eq!(engine.db(), &grown, "{tag}: database drift");
+        assert_eq!(
+            incremental.stats.shards.len(),
+            scratch.stats.shards.len(),
+            "{tag}: shard count"
+        );
+        for (a, b) in incremental.stats.shards.iter().zip(&scratch.stats.shards) {
+            // Everything but wall-clock must replay exactly.
+            let mut x = a.clone();
+            x.elapsed = b.elapsed;
+            assert_eq!(
+                &x, b,
+                "{tag}: per-shard trajectory drift (shard {})",
+                a.shard
+            );
+        }
+    }
+}
+
+#[test]
+fn appends_stay_bit_identical_across_threads_and_shards() {
+    let base = quest_db(200, 17);
+    // Three batches mixing existing labels, heavy skew onto one item, a
+    // duplicate of an existing transaction shape, an empty transaction,
+    // and a brand-new label (4001).
+    let batches: Vec<Vec<Vec<u32>>> = vec![
+        vec![vec![3, 7, 11], vec![7, 11], vec![7, 7, 11]],
+        vec![vec![1, 2, 3, 4, 5], vec![], vec![4001, 1]],
+        vec![vec![3, 7, 11], vec![3, 7, 11]],
+    ];
+    for shards in [1usize, 3] {
+        for threads in [1usize, 2, 8] {
+            check_schedule(
+                &base,
+                &config(8, 7, threads, shards),
+                &batches,
+                &format!("threads={threads} shards={shards}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn appends_that_cross_the_tid_lane_boundary_stay_bit_identical() {
+    // 254 transactions sit just under the 256-transaction lane block
+    // (4 × 64-bit words); a 6-transaction append crosses it, forcing the
+    // wider per-row splice path. The same-width fast path is covered by
+    // every other test here (30 appends onto 200 never widen).
+    let base = quest_db(254, 23);
+    let batches: Vec<Vec<Vec<u32>>> = vec![vec![
+        vec![2, 4, 6],
+        vec![2, 4],
+        vec![9, 12, 15],
+        vec![1, 5],
+        vec![2, 4, 6],
+        vec![30, 31],
+    ]];
+    for threads in [1usize, 2, 8] {
+        check_schedule(
+            &base,
+            &config(8, 29, threads, 1),
+            &batches,
+            &format!("lane-crossing threads={threads}"),
+        );
+    }
+    check_schedule(
+        &base,
+        &config(8, 29, 2, 3),
+        &batches,
+        "lane-crossing sharded",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random append schedules: random batch sizes, transactions drawn
+    /// from a skewed label space wider than the base universe (so fresh
+    /// items appear), with duplicate transactions likely — the
+    /// incremental result must track a from-scratch re-mine bit for bit
+    /// at every step of the schedule.
+    #[test]
+    fn random_append_schedules_stay_bit_identical(
+        data_seed in 0u64..200,
+        run_seed in 0u64..200,
+        threads_sel in 0usize..3,
+        shards_sel in 0usize..2,
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(0u32..45, 1..6),
+                1..4,
+            ),
+            1..4,
+        ),
+    ) {
+        let threads = [1usize, 2, 8][threads_sel];
+        let shards = [1usize, 3][shards_sel];
+        let base = quest_db(150, data_seed);
+        check_schedule(
+            &base,
+            &config(6, run_seed, threads, shards),
+            &batches,
+            &format!(
+                "seed={data_seed}/{run_seed} threads={threads} shards={shards}"
+            ),
+        );
+    }
+}

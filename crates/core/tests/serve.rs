@@ -322,6 +322,86 @@ fn session_overlays_isolate_tenants_and_survive_reloads() {
 }
 
 #[test]
+fn appends_answer_identically_to_a_cold_daemon_on_the_grown_database() {
+    let addr = spawn(ServeOptions::default());
+    let mut c = client(addr);
+
+    // Two staged deltas: one touching existing diagonal items, one carrying
+    // a never-before-seen label (999). `wait=1` observes each swap.
+    let batches = [vec![vec![1, 2, 3], vec![17, 18, 19, 999]], vec![vec![4, 5]]];
+    let mut epoch = 0;
+    for batch in &batches {
+        let txns = batch
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect::<Vec<_>>()
+            .join(";");
+        let r = c
+            .request("append", &[("txns", &txns), ("wait", "1")])
+            .unwrap();
+        assert_eq!(r.field("appended"), Some(batch.len().to_string().as_str()));
+        assert_eq!(r.field("waited"), Some("1"));
+        assert!(r.epoch > epoch, "append did not advance the epoch");
+        epoch = r.epoch;
+    }
+
+    // The reference: a cold daemon over the final database.
+    let mut grown = dataset();
+    grown.append_delta(&cfp_itemset::DbDelta::from_transactions(
+        batches.iter().flat_map(|b| b.iter().cloned()).collect(),
+    ));
+    let (cold_addr, _h) =
+        spawn_query_server(grown, config(), ServeOptions::default()).expect("cold daemon");
+    let mut cold = client(cold_addr);
+
+    let probes: Vec<(&str, Vec<(&str, &str)>)> = vec![
+        ("topk", vec![("k", "200"), ("tids", "1")]),
+        ("contain", vec![("items", "17,18"), ("limit", "200")]),
+        ("lookup", vec![("items", "17,18,19,20")]),
+    ];
+    let body = |r: &ServeReply| r.lines.join("\n");
+    for (verb, fields) in &probes {
+        let warm = c.request(verb, fields).unwrap();
+        let ref_cold = cold.request(verb, fields).unwrap();
+        assert_eq!(
+            body(&warm),
+            body(&ref_cold),
+            "incremental daemon diverged from a cold daemon on {verb}"
+        );
+    }
+
+    // A reload now re-mines the *grown* database from scratch — same
+    // answers, fresh epoch.
+    let reloaded = c.request("reload", &[("wait", "1")]).unwrap();
+    assert!(reloaded.epoch > epoch);
+    for (verb, fields) in &probes {
+        let warm = c.request(verb, fields).unwrap();
+        let ref_cold = cold.request(verb, fields).unwrap();
+        assert_eq!(
+            body(&warm),
+            body(&ref_cold),
+            "post-reload daemon diverged from a cold daemon on {verb}"
+        );
+    }
+
+    // Bad txns fields are typed request errors that keep the connection up.
+    for bad in ["", "1,2;;3", "1,a"] {
+        match c.request("append", &[("txns", bad)]) {
+            Err(ServeError::Server { exit, .. }) => assert_eq!(exit, 3, "txns={bad:?}"),
+            other => panic!("expected a typed error for txns={bad:?}, got {other:?}"),
+        }
+    }
+    assert!(c.request("stats", &[]).is_ok());
+    c.bye();
+    cold.bye();
+}
+
+#[test]
 fn similar_equals_the_engine_own_ball_semantics() {
     let addr = spawn(ServeOptions::default());
     // The reference: mine the same config locally and compute the ball by

@@ -97,6 +97,17 @@ impl AlignedWords {
         self.lanes.clear();
     }
 
+    /// Grows the buffer with zero lanes until it covers at least `words`
+    /// words (rounded up to a whole lane). Shrinking is not supported:
+    /// a target below the current length is a no-op, so existing words are
+    /// never dropped.
+    pub fn grow_zeroed(&mut self, words: usize) {
+        let lanes = words.div_ceil(LANE_WORDS);
+        if lanes > self.lanes.len() {
+            self.lanes.resize(lanes, Lane::default());
+        }
+    }
+
     /// The words as a slice (length is always a lane multiple).
     #[inline]
     pub fn as_words(&self) -> &[u64] {

@@ -81,6 +81,15 @@ impl TransactionDb {
         }
     }
 
+    /// Appends one transaction of external labels, interning fresh labels
+    /// through the existing map exactly as [`crate::DbBuilder`] would —
+    /// the primitive behind [`TransactionDb::append_delta`].
+    pub(crate) fn push_external(&mut self, labels: &[u32]) {
+        let items: Vec<crate::Item> = labels.iter().map(|&l| self.item_map.intern(l)).collect();
+        self.transactions.push(Itemset::from_items(&items));
+        self.num_items = self.item_map.len() as u32;
+    }
+
     /// Number of transactions `|D|`.
     pub fn len(&self) -> usize {
         self.transactions.len()

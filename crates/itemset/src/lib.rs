@@ -43,6 +43,7 @@ pub mod aligned;
 mod builder;
 mod closure;
 mod database;
+mod delta;
 mod error;
 mod io;
 mod item;
@@ -57,6 +58,7 @@ pub use aligned::AlignedWords;
 pub use builder::DbBuilder;
 pub use closure::ClosureOperator;
 pub use database::{MinSupport, TransactionDb};
+pub use delta::DbDelta;
 pub use error::{Error, Result};
 pub use io::{parse_fimi, read_fimi, write_fimi};
 pub use item::{Item, ItemMap};

@@ -178,6 +178,7 @@
 //! put      session, items, tids        intern into the session overlay
 //! stats    —                           server counters
 //! reload   seed, wait                  background re-mine + epoch swap
+//! append   txns, wait                  absorb transactions + epoch swap
 //! bye      —                           close the connection
 //! ```
 //!
@@ -207,6 +208,40 @@
 //! oversize length, truncation) is answered with an error frame and the
 //! connection is closed. The `bye` verb — or a bare bye frame — closes
 //! cleanly.
+//!
+//! # `DbDelta` interchange and append semantics
+//!
+//! The incremental mining path (`cfp_core::delta`, `cfp mine --append`,
+//! and the serve `append` verb) moves transaction appends around as a
+//! [`crate::DbDelta`]: an ordered batch of transactions carrying
+//! **external** item labels. The interchange forms:
+//!
+//! * **File / string**: FIMI `.dat` grammar, identical to the base dataset
+//!   format — one transaction per line, space-separated non-negative
+//!   integer labels, blank lines skipped, any other token a parse error
+//!   with a 1-based line number ([`crate::DbDelta::read_fimi`]).
+//! * **Serve `append` verb (protocol 3)**: a `txns=` field holding the
+//!   batch as `;`-separated transactions of `,`-separated labels (e.g.
+//!   `txns=1,2,5;2,5` is the two-line file `1 2 5` / `2 5`; an empty
+//!   segment is an empty transaction). The optional `wait=1` blocks until
+//!   the re-mined generation is swapped in and stamps the reply with its
+//!   epoch, exactly like `reload`.
+//!
+//! **Append semantics** ([`crate::TransactionDb::append_delta`]): the
+//! batch's transactions get the next tids in batch order; labels are
+//! interned through the database's existing [`crate::ItemMap`], so a label
+//! already seen keeps its internal id and fresh labels extend the dense id
+//! space in first-seen order; duplicate labels within one transaction
+//! collapse. The grown database is therefore **equal** — item map, ids,
+//! tids, everything — to one parsed from the base file and the delta file
+//! concatenated, which is the ground truth the incremental engine's
+//! bit-identity contract is stated against: mining incrementally after
+//! `append_delta` must produce byte-for-byte the archive a from-scratch
+//! re-mine of the concatenated input produces. Universe growth is
+//! append-only (tids never renumber, items never change id), which is what
+//! lets tid columns widen in place ([`crate::TidSet::grow_universe`]) and
+//! untouched slab rows splice forward zero-extended
+//! ([`PatternPool::splice_rows`]) instead of rebuilding.
 //!
 //! # Ownership and freezing contract
 //!
@@ -465,6 +500,59 @@ impl PatternPool {
         self.supports.extend_from_slice(&other.supports);
     }
 
+    /// Splices a contiguous row range of `src` onto the end of `self`,
+    /// preserving row order — the incremental miner's bulk-copy step for
+    /// subtrees a delta did not touch.
+    ///
+    /// Unlike [`PatternPool::append_pool`] the source may range over a
+    /// *smaller* (earlier-generation) transaction universe: appended
+    /// transactions only ever add high tids, so an untouched row's tid-set
+    /// is the same bit pattern zero-extended. When both pools share a padded
+    /// row width (universe growth within the current lane padding — the
+    /// common small-append case) the tid words and suffix tables are copied
+    /// column-wise in bulk; when `self` is wider each row is re-laid-out
+    /// through a zero-padded scratch row and its suffix table recomputed.
+    ///
+    /// # Panics
+    /// Panics when `self`'s universe (or padded row width) is smaller than
+    /// `src`'s — splicing never drops tid bits.
+    pub fn splice_rows(&mut self, src: &PatternPool, rows: std::ops::Range<usize>) {
+        assert!(
+            self.universe >= src.universe && self.words_per_row >= src.words_per_row,
+            "splice target must cover the source universe ({} < {})",
+            self.universe,
+            src.universe
+        );
+        if self.words_per_row == src.words_per_row {
+            // Same padded width: identical geometry (suf_stride is derived
+            // from it), so every column extends by a contiguous slice.
+            let w = self.words_per_row;
+            self.words
+                .extend_from_slice(&src.words[rows.start * w..rows.end * w]);
+            let s = self.suf_stride;
+            self.sufs
+                .extend_from_slice(&src.sufs[rows.start * s..rows.end * s]);
+            let base = self.item_data.len() as u32;
+            let start_off = src.item_offsets[rows.start];
+            let (ilo, ihi) = (start_off as usize, src.item_offsets[rows.end] as usize);
+            self.item_data.extend_from_slice(&src.item_data[ilo..ihi]);
+            self.item_offsets.extend(
+                src.item_offsets[rows.start + 1..=rows.end]
+                    .iter()
+                    .map(|&o| base + (o - start_off)),
+            );
+            self.supports.extend_from_slice(&src.supports[rows.clone()]);
+        } else {
+            let mut scratch = vec![0u64; self.words_per_row];
+            for row in rows {
+                let row = row as u32;
+                let tid = src.tid_words(row);
+                scratch[..tid.len()].copy_from_slice(tid);
+                self.push(src.items(row), &scratch, src.support(row));
+            }
+        }
+    }
+
     /// Row ids in the stratified `(support asc, itemset)` rank — the order
     /// the sharded engine consumes.
     pub fn stratified_order(&self) -> Vec<u32> {
@@ -707,6 +795,52 @@ mod tests {
         assert_eq!(spliced.tid_words(3), b.tid_words(1));
         assert_eq!(spliced.row_sufs(2), b.row_sufs(0));
         assert_eq!(spliced.support(2), 2);
+    }
+
+    #[test]
+    fn splice_rows_same_width_and_wider() {
+        let src = pool_with(
+            100,
+            &[
+                (&[1], &[0, 64, 99]),
+                (&[2, 3], &[5]),
+                (&[4], &[]),
+                (&[5, 6, 7], &[1, 2]),
+            ],
+        );
+        // Same padded width: universes 100 and 200 both round to 4 words.
+        let mut same = PatternPool::new(200);
+        assert_eq!(same.words_per_row(), src.words_per_row());
+        same.splice_rows(&src, 1..3);
+        same.splice_rows(&src, 3..4);
+        // Wider target: 100 → 300 crosses the 256-tid lane boundary.
+        let mut wide = PatternPool::new(300);
+        assert!(wide.words_per_row() > src.words_per_row());
+        wide.splice_rows(&src, 1..3);
+        wide.splice_rows(&src, 3..4);
+        // Both must equal pushing the same rows by hand.
+        for (got, universe) in [(&same, 200), (&wide, 300)] {
+            let mut want = PatternPool::new(universe);
+            for row in 1..4u32 {
+                let mut t = TidSet::from_words(100, src.tid_words(row), src.support(row));
+                t.grow_universe(universe);
+                want.push_tidset(src.items(row), &t);
+            }
+            assert_eq!(got, &want, "universe {universe}");
+            // Suffix tables stay consistent with the kernel helper.
+            for row in 0..got.len() as u32 {
+                assert_eq!(
+                    got.row_sufs(row),
+                    &kernels::suffix_cards(got.tid_words(row))[..]
+                );
+            }
+        }
+        // Empty and full ranges degrade gracefully.
+        let mut all = PatternPool::new(100);
+        all.splice_rows(&src, 0..0);
+        assert!(all.is_empty());
+        all.splice_rows(&src, 0..src.len());
+        assert_eq!(all, src);
     }
 
     #[test]

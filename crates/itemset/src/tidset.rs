@@ -127,6 +127,26 @@ impl TidSet {
         self.universe
     }
 
+    /// Widens the universe to `new_universe` transactions in place,
+    /// zero-extending the block buffer as needed — the tid-column growth
+    /// primitive of the incremental append path. Membership is unchanged:
+    /// every existing tid keeps its bit, the new tail ids are absent. While
+    /// the widened universe stays within the current lane padding no
+    /// allocation happens at all.
+    ///
+    /// # Panics
+    /// Panics (debug) when `new_universe` is smaller than the current
+    /// universe — tid-sets never forget transactions.
+    pub fn grow_universe(&mut self, new_universe: usize) {
+        debug_assert!(
+            new_universe >= self.universe,
+            "universe can only grow ({} -> {new_universe})",
+            self.universe
+        );
+        self.blocks.grow_zeroed(new_universe.div_ceil(BITS));
+        self.universe = new_universe;
+    }
+
     /// Inserts transaction `tid`.
     #[inline]
     pub fn insert(&mut self, tid: usize) {

@@ -33,6 +33,36 @@ impl VerticalIndex {
         }
     }
 
+    /// Absorbs the transactions a [`TransactionDb::append_delta`] just
+    /// added: every existing item column widens its universe in place
+    /// ([`TidSet::grow_universe`] — usually allocation-free thanks to lane
+    /// padding), fresh items get empty columns, and only the appended tids
+    /// are inserted. Equivalent to a fresh [`VerticalIndex::new`] over the
+    /// grown database at cost proportional to the delta's occurrences plus
+    /// the item count — not the database size.
+    ///
+    /// `appended` is the tid range `append_delta` returned; it must start
+    /// exactly where this index's coverage ends.
+    pub fn absorb(&mut self, db: &TransactionDb, appended: std::ops::Range<usize>) {
+        assert_eq!(
+            appended.start, self.num_transactions,
+            "absorb must continue from the indexed prefix"
+        );
+        assert_eq!(appended.end, db.len(), "absorb must cover the whole tail");
+        let n = db.len();
+        for ts in &mut self.tidsets {
+            ts.grow_universe(n);
+        }
+        self.tidsets
+            .resize(db.num_items() as usize, TidSet::empty(n));
+        for tid in appended {
+            for item in db.transaction(tid).iter() {
+                self.tidsets[item as usize].insert(tid);
+            }
+        }
+        self.num_transactions = n;
+    }
+
     /// Number of transactions in the underlying database.
     pub fn num_transactions(&self) -> usize {
         self.num_transactions
@@ -143,6 +173,43 @@ mod tests {
         let d_abe = idx.extend_tidset(&d_ab, 3);
         assert_eq!(d_abe, idx.tidset(&Itemset::from_items(&[0, 1, 3])));
         assert_eq!(idx.extended_support(&d_ab, 3), d_abe.count());
+    }
+
+    #[test]
+    fn absorb_matches_fresh_rebuild() {
+        let mut db = fig3_distinct_db();
+        let mut idx = VerticalIndex::new(&db);
+        // Delta introduces a fresh item (5) and touches existing ones.
+        let delta = crate::DbDelta::from_transactions(vec![vec![0, 2, 5], vec![5], vec![1]]);
+        let appended = db.append_delta(&delta);
+        idx.absorb(&db, appended);
+        let fresh = VerticalIndex::new(&db);
+        assert_eq!(idx.num_transactions(), fresh.num_transactions());
+        assert_eq!(idx.num_items(), fresh.num_items());
+        for item in 0..fresh.num_items() {
+            assert_eq!(
+                idx.item_tidset(item),
+                fresh.item_tidset(item),
+                "item {item}"
+            );
+        }
+        // Universe crossing a lane boundary (256 tids) still matches.
+        let mut big = TransactionDb::from_dense(
+            (0..255)
+                .map(|t| Itemset::from_items(&[(t % 3) as Item]))
+                .collect(),
+        );
+        let mut big_idx = VerticalIndex::new(&big);
+        let grown = big.append_delta(&crate::DbDelta::from_transactions(vec![
+            vec![0],
+            vec![1],
+            vec![2],
+        ]));
+        big_idx.absorb(&big, grown);
+        let big_fresh = VerticalIndex::new(&big);
+        for item in 0..big_fresh.num_items() {
+            assert_eq!(big_idx.item_tidset(item), big_fresh.item_tidset(item));
+        }
     }
 
     #[test]

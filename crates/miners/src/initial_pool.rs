@@ -187,6 +187,168 @@ pub fn initial_pool_slab(
     (pool, stats)
 }
 
+/// First-item subtree spans of a **plain** (DFS emit order) pool slab:
+/// `(item, rows)` per frequent first item, ascending, covering the slab.
+///
+/// The plain emit order opens every first-item subtree with its singleton
+/// row, so each span starts at a 1-item row and runs to the next one —
+/// these are exactly the splice units of the incremental re-mine
+/// ([`delta_pool_slab`]). Meaningless on a stratified/permuted slab.
+pub fn subtree_spans(pool: &PatternPool) -> Vec<(u32, std::ops::Range<u32>)> {
+    let rows = pool.len() as u32;
+    let mut spans: Vec<(u32, std::ops::Range<u32>)> = Vec::new();
+    for r in 0..rows {
+        let items = pool.items(r);
+        if items.len() == 1 {
+            if let Some(last) = spans.last_mut() {
+                last.1.end = r;
+            }
+            spans.push((items[0], r..rows));
+        } else {
+            debug_assert!(!spans.is_empty(), "plain pools open with a singleton row");
+        }
+    }
+    spans
+}
+
+/// Re-mines only the first-item subtrees a database delta touched, splicing
+/// every untouched subtree forward from the previous generation's plain
+/// slab — the incremental counterpart of [`initial_pool_slab`], bit-for-bit
+/// identical to it on the grown database.
+///
+/// Inputs: `index` is the vertical index of the **grown** database
+/// ([`VerticalIndex::absorb`]); `old_pool` is the previous generation's
+/// plain slab with `old_spans` its [`subtree_spans`]; `dirty` lists
+/// (sorted, ascending) every item with at least one occurrence among the
+/// appended transactions. Appends only ever grow supports, so a frequent
+/// item outside `dirty` kept its exact support set and — because a clean
+/// prefix tid-set contains no appended tid, while any newly frequent
+/// rightward extension has fewer than `min_count` old tids — its whole
+/// subtree re-emits the previous rows zero-extended, which is what
+/// [`PatternPool::splice_rows`] bulk-copies. Dirty subtrees (including
+/// newly frequent items, which are always dirty) are re-mined with the
+/// same DFS as the full miner and spliced at their item's position in the
+/// ascending first-item order, reproducing the serial emit sequence.
+///
+/// The returned [`PoolMineStats`] counts re-mined subtrees in `subtrees`;
+/// spliced subtrees only show up in `splice_time`.
+pub fn delta_pool_slab(
+    index: &VerticalIndex,
+    min_count: usize,
+    max_len: usize,
+    threads: usize,
+    old_pool: &PatternPool,
+    old_spans: &[(u32, std::ops::Range<u32>)],
+    dirty: &[u32],
+) -> (PatternPool, PoolMineStats) {
+    let min_count = min_count.max(1);
+    let universe = index.num_transactions();
+    debug_assert!(
+        dirty.windows(2).all(|w| w[0] < w[1]),
+        "dirty must be sorted"
+    );
+    let frequent: Vec<(u32, &TidSet)> = (0..index.num_items())
+        .filter_map(|i| {
+            let t = index.item_tidset(i);
+            (t.count() >= min_count).then_some((i, t))
+        })
+        .collect();
+
+    let mut stats = PoolMineStats {
+        workers: threads.max(1),
+        ..Default::default()
+    };
+    if max_len == 0 || frequent.is_empty() {
+        return (PatternPool::new(universe), stats);
+    }
+
+    // Plan each first-item subtree: splice the old span when the item is
+    // clean, re-mine when dirty (or, defensively, when a clean item has no
+    // old span — re-mining is always correct, splicing is the shortcut).
+    // Both span list and frequent list ascend by item, so one merge walk
+    // pairs them.
+    enum Plan {
+        Splice(std::ops::Range<u32>),
+        Mine(usize),
+    }
+    let mut spans = old_spans.iter().peekable();
+    let plans: Vec<Plan> = frequent
+        .iter()
+        .enumerate()
+        .map(|(pos, &(item, _))| {
+            while spans.peek().is_some_and(|&&(i, _)| i < item) {
+                spans.next();
+            }
+            let span = match spans.peek() {
+                Some((i, r)) if *i == item => Some(r.clone()),
+                _ => None,
+            };
+            match span {
+                Some(r) if dirty.binary_search(&item).is_err() => Plan::Splice(r),
+                _ => Plan::Mine(pos),
+            }
+        })
+        .collect();
+
+    let t_mine = Instant::now();
+    let mine_positions: Vec<usize> = plans
+        .iter()
+        .filter_map(|p| match p {
+            Plan::Mine(pos) => Some(*pos),
+            Plan::Splice(_) => None,
+        })
+        .collect();
+    stats.subtrees = mine_positions.len();
+    let frequent_ref = &frequent;
+    let positions_ref = &mine_positions;
+    let segments = run_tasks(mine_positions.len(), threads, |ti| {
+        let pos = positions_ref[ti];
+        let (item, tids) = frequent_ref[pos];
+        let mut seg = PatternPool::new(universe);
+        let mut prefix = vec![item];
+        seg.push_tidset(&prefix, tids);
+        dfs_slab(
+            frequent_ref,
+            pos,
+            tids,
+            &mut prefix,
+            max_len,
+            min_count,
+            &mut seg,
+        );
+        seg
+    });
+    stats.mine_time = t_mine.elapsed();
+
+    let t_splice = Instant::now();
+    let rows = segments.iter().map(PatternPool::len).sum::<usize>()
+        + plans
+            .iter()
+            .map(|p| match p {
+                Plan::Splice(r) => r.len(),
+                Plan::Mine(_) => 0,
+            })
+            .sum::<usize>();
+    let mut pool = PatternPool::with_capacity(universe, rows);
+    let mut seg_iter = segments.iter();
+    for plan in &plans {
+        match plan {
+            Plan::Splice(r) => pool.splice_rows(old_pool, r.start as usize..r.end as usize),
+            Plan::Mine(_) => pool.append_pool(seg_iter.next().expect("one segment per mine plan")),
+        }
+    }
+    stats.splice_time = t_splice.elapsed();
+    (pool, stats)
+}
+
+/// A support-stratified copy of a plain slab — the transform
+/// [`initial_pool_slab_stratified`] applies after the parallel mine,
+/// available separately so the incremental engine can keep the plain slab
+/// (the next delta's splice source) and derive the sharded order on demand.
+pub fn stratified_copy(pool: &PatternPool) -> PatternPool {
+    pool.permuted(&pool.stratified_order())
+}
+
 /// [`initial_pool_slab`] in **support-stratified emit order**: ascending
 /// support, itemset as the tie-break. The sharded fusion engine
 /// (`cfp_core::shard`) consumes this order — shard assignment is keyed on
@@ -443,6 +605,99 @@ mod tests {
                 assert_eq!(par, serial, "threads={threads} max_len={max_len}");
             }
         }
+    }
+
+    #[test]
+    fn subtree_spans_cover_the_plain_slab() {
+        let db = cfp_datagen::quest(&cfp_datagen::QuestConfig {
+            n_transactions: 150,
+            n_items: 25,
+            ..Default::default()
+        });
+        let (pool, _) = initial_pool_slab(&db, 3, 3, 1);
+        let spans = subtree_spans(&pool);
+        // Spans are ascending by item, contiguous, and cover every row;
+        // each opens with its singleton and owns every row whose first
+        // item matches.
+        let mut next = 0u32;
+        for (item, range) in &spans {
+            assert_eq!(range.start, next);
+            assert_eq!(pool.items(range.start), &[*item]);
+            for r in range.clone() {
+                assert_eq!(pool.items(r)[0], *item, "row {r}");
+            }
+            next = range.end;
+        }
+        assert_eq!(next, pool.len() as u32);
+        assert!(spans.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    /// The incremental contract: re-mining only the touched subtrees and
+    /// splicing the rest reproduces the full miner on the grown database
+    /// bit for bit — including when the delta makes a previously
+    /// infrequent item frequent (its subtree appears mid-sequence) and
+    /// introduces brand-new items.
+    #[test]
+    fn delta_pool_matches_full_remine() {
+        let db = cfp_datagen::quest(&cfp_datagen::QuestConfig {
+            n_transactions: 200,
+            n_items: 30,
+            ..Default::default()
+        });
+        let min_count = 4;
+        for max_len in [2usize, 3] {
+            let (old_pool, _) = initial_pool_slab(&db, min_count, max_len, 1);
+            let spans = subtree_spans(&old_pool);
+            // A delta touching a handful of items, one fresh label (40).
+            let delta = cfp_itemset::DbDelta::from_transactions(vec![
+                vec![0, 3, 7, 40],
+                vec![3, 7],
+                vec![7, 11, 40],
+            ]);
+            let mut grown = db.clone();
+            let appended = grown.append_delta(&delta);
+            let mut index = VerticalIndex::new(&db);
+            index.absorb(&grown, appended);
+            let mut dirty: Vec<u32> = delta
+                .transactions()
+                .iter()
+                .flatten()
+                .filter_map(|&l| grown.item_map().internal(l))
+                .collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            let (want, _) = initial_pool_slab(&grown, min_count, max_len, 1);
+            for threads in [1usize, 2, 8] {
+                let (got, stats) = delta_pool_slab(
+                    &index, min_count, max_len, threads, &old_pool, &spans, &dirty,
+                );
+                assert_eq!(got, want, "threads={threads} max_len={max_len}");
+                // Only the dirty subtrees were re-mined.
+                assert!(stats.subtrees <= dirty.len());
+            }
+        }
+    }
+
+    /// An empty dirty set splices everything: the delta mine re-expands no
+    /// subtree and still equals the full re-mine (which equals the old
+    /// pool zero-extended).
+    #[test]
+    fn delta_pool_with_no_dirty_items_is_pure_splice() {
+        let db = cfp_datagen::diag(14);
+        let (old_pool, _) = initial_pool_slab(&db, 5, 2, 1);
+        let spans = subtree_spans(&old_pool);
+        let index = VerticalIndex::new(&db);
+        let (got, stats) = delta_pool_slab(&index, 5, 2, 4, &old_pool, &spans, &[]);
+        assert_eq!(stats.subtrees, 0);
+        assert_eq!(got, old_pool);
+    }
+
+    #[test]
+    fn stratified_copy_matches_stratified_miner() {
+        let db = cfp_datagen::diag(12);
+        let (plain, _) = initial_pool_slab(&db, 4, 2, 2);
+        let (want, _) = initial_pool_slab_stratified(&db, 4, 2, 2);
+        assert_eq!(stratified_copy(&plain), want);
     }
 
     /// The split decision is depth-gated: at `max_len == 1` there is no

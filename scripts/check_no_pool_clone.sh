@@ -88,6 +88,16 @@ check_absent crates/core/src/serve.rs \
     'pool\.clone\(\)|slab\.clone\(\)|base\.clone\(\)|\.permuted\(|\.tids\.clone|materialize\(' \
     'service read path renders from slab borrows (no per-request copies)'
 
+# 10. The incremental delta driver carries each generation by splicing
+#     clean subtree spans out of the previous plain slab and sharing the
+#     result (`PoolStore::from_shared`): no whole-slab or sub-pool copies
+#     may appear on the append path (the BallIndex snapshot for the next
+#     generation's carry and the cached FusionResult are views/results,
+#     not pool copies, and are allowed).
+check_absent crates/core/src/delta.rs \
+    'plain\.clone\(\)|pool\.clone\(\)|slab\.clone\(\)|base\.clone\(\)|\.permuted\(|\.tids\.clone|materialize\(' \
+    'delta append splices spans and shares the slab (no whole-pool copies)'
+
 if [ "$fail" -ne 0 ]; then
     echo "slab hot-path gate failed: a Vec<Pattern> copying idiom is back on the mine->fuse path"
     exit 1

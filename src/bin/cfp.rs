@@ -4,7 +4,7 @@
 //! cfp mine <file.dat> [--minsup FRAC | --mincount N] [--k N] [--tau T]
 //!          [--pool-len L] [--seed S] [--closure] [--stats]
 //!          [--shards N] [--shard-strategy stratum|minhash]
-//!          [--mem-budget BYTES] [--pool SLAB]
+//!          [--mem-budget BYTES] [--pool SLAB] [--append FILE]
 //! cfp dump <file.dat> --out <pool.slab> [--minsup FRAC | --mincount N]
 //!          [--pool-len L] [--threads N]
 //! cfp load <pool.slab>
@@ -114,6 +114,12 @@ usage:
                        (must be empty; kept only with --keep-spill)
       --keep-spill     keep the spill/work directory after the run
       --pool SLAB      start from a dumped CFPSLAB pool instead of re-mining
+      --append FILE    mine <file.dat>, then absorb FILE (FIMI, one appended
+                       transaction per line) incrementally — bit-identical
+                       to re-mining the concatenation, at delta cost. A
+                       relative --minsup resolves against the *base* file
+                       (appends must not re-price old patterns; use
+                       --mincount for an explicit absolute threshold)
       --stats          print per-iteration (and per-shard) statistics
   cfp dump <file.dat> --out <pool.slab>
                        mine the initial pool and persist it as a binary slab
@@ -139,6 +145,10 @@ usage:
              contain items=a,b,c [limit=N]        patterns containing items
              similar tids=t1,t2,...               ball query for a tid-set
              put session=S items=... tids=...     intern into a session
+             append txns=1,2;3,4 [wait=1]         absorb appended transactions
+                                                  (incremental re-mine; the new
+                                                  epoch is bit-identical to a
+                                                  cold mine of the grown data)
              stats | reload [seed=N] [wait=1] | bye
       --timeout MS     socket deadline             [default 10000]
   cfp shard-host [options]           serve shards to remote coordinators
@@ -312,6 +322,54 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         Some(p) => Source::SlabFile(p.into()),
         None => Source::Transactions,
     };
+
+    // `--append FILE` routes through the incremental delta driver
+    // (`cfp_core::delta`): the base file is mined, the appended
+    // transactions absorbed at delta cost, and the printed result is
+    // bit-identical to mining the concatenated file from scratch.
+    if let Some(delta_path) = parse_value::<String>(args, "--append")? {
+        if matches!(source, Source::SlabFile(_)) {
+            return Err("--append cannot start from a dumped --pool slab".into());
+        }
+        if executor.is_some() {
+            return Err("--append runs in-process (drop --executor / --mem-budget)".into());
+        }
+        let delta = colossal::itemset::DbDelta::read_fimi(&delta_path)
+            .map_err(|e| format!("reading {delta_path}: {e}"))?;
+        let mut engine = colossal::fusion::DeltaEngine::new(db, config);
+        let t0 = std::time::Instant::now();
+        let result = engine.append(&delta);
+        let s = engine.last_append();
+        eprintln!(
+            "mined {} patterns in {:.3}s (pool {}, {} iterations)",
+            result.patterns.len(),
+            t0.elapsed().as_secs_f64(),
+            result.stats.initial_pool_size,
+            result.stats.total_iterations()
+        );
+        eprintln!(
+            "  append: {} transactions from {delta_path}, {} dirty item(s), \
+             {} subtree(s) re-mined, {} of {} pool rows spliced, ball index {} \
+             ({:.3}s incremental)",
+            s.appended_transactions,
+            s.dirty_items,
+            s.subtrees_remined,
+            s.rows_spliced,
+            s.pool_rows,
+            if s.index_carried {
+                "carried"
+            } else {
+                "rebuilt"
+            },
+            s.elapsed.as_secs_f64(),
+        );
+        for p in &result.patterns {
+            let labels = engine.db().item_map().externalize(p.items.items());
+            let rendered: Vec<String> = labels.iter().map(u32::to_string).collect();
+            println!("{}\t{}\t{}", p.len(), p.support(), rendered.join(" "));
+        }
+        return Ok(());
+    }
 
     let mut engine = config.engine(&db);
     if let Some(ex) = executor {
